@@ -1,0 +1,45 @@
+"""Shared workload builders for the benchmark suite.
+
+Every benchmark runs a scaled-down version of the corresponding experiment
+(a ~600-router map, tens-to-hundreds of peers) so the whole suite finishes in
+a few minutes; the experiment functions themselves accept paper-scale
+parameters when more fidelity is wanted (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.topology.internet_mapper import RouterMapConfig
+from repro.workloads.scenarios import Scenario, ScenarioConfig, build_scenario
+
+BENCH_MAP_KWARGS = dict(
+    core_size=20,
+    core_attachment=3,
+    transit_size=100,
+    transit_attachment=2,
+    stub_size=480,
+    stub_attachment=1,
+)
+
+
+def bench_map_config(seed: int = 5) -> RouterMapConfig:
+    """The ~600-router map used by most benchmarks."""
+    return RouterMapConfig(seed=seed, **BENCH_MAP_KWARGS)
+
+
+def bench_scenario(
+    peer_count: int = 120,
+    landmark_count: int = 4,
+    neighbor_set_size: int = 5,
+    seed: int = 5,
+    **kwargs,
+) -> Scenario:
+    """Build (but do not join) a benchmark-sized scenario."""
+    config = ScenarioConfig(
+        peer_count=peer_count,
+        landmark_count=landmark_count,
+        neighbor_set_size=neighbor_set_size,
+        router_map_config=bench_map_config(seed),
+        seed=seed,
+        **kwargs,
+    )
+    return build_scenario(config)

@@ -1,0 +1,21 @@
+"""Fixtures for the benchmark suite.
+
+Benchmarks attach their headline numbers (the ratios / errors the paper
+reports) to ``benchmark.extra_info`` so they appear in pytest-benchmark's
+JSON output alongside the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from ._workloads import bench_scenario
+from repro.workloads.scenarios import Scenario
+
+
+@pytest.fixture(scope="session")
+def joined_bench_scenario() -> Scenario:
+    """One joined scenario shared by read-only benchmarks."""
+    scenario = bench_scenario(peer_count=150, seed=7)
+    scenario.join_all()
+    return scenario

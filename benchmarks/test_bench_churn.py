@@ -1,0 +1,70 @@
+"""Benchmark for future-work item F2: faulty peers / churn.
+
+The paper defers "managing both faulty peers and handover" to future work.
+This benchmark regenerates the churn study: neighbour quality right after
+every peer joined, after a wave of departures (stale lists), and after the
+survivors refresh their lists from the management server.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import churn_study, traceroute_noise_sweep
+
+
+@pytest.mark.benchmark(group="churn")
+def test_churn_recovery(benchmark):
+    """Neighbour quality before / during / after a departure wave."""
+    table = benchmark.pedantic(
+        lambda: churn_study(
+            peer_count=120,
+            landmark_count=4,
+            neighbor_set_size=3,
+            departure_fraction=0.3,
+            seed=29,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row["phase"]: row for row in table.rows}
+    for phase, row in rows.items():
+        benchmark.extra_info[f"{phase}_ratio"] = round(row["scheme_ratio"], 3)
+
+    assert rows["initial"]["scheme_ratio"] >= 1.0
+    assert rows["after_departures"]["scheme_ratio"] >= 1.0
+    assert rows["after_refresh"]["scheme_ratio"] >= 1.0
+    # Refreshing from the server never leaves survivors worse off than the
+    # stale state (small tolerance for ties broken differently).
+    assert (
+        rows["after_refresh"]["scheme_ratio"]
+        <= rows["after_departures"]["scheme_ratio"] + 0.1
+    )
+    # Quality after recovery stays in the paper's "close to optimal" band.
+    assert rows["after_refresh"]["scheme_ratio"] < 1.6
+
+
+@pytest.mark.benchmark(group="churn")
+def test_traceroute_noise_robustness(benchmark):
+    """Robustness to the 'decreased' traceroute the paper envisions (noisy paths)."""
+    table = benchmark.pedantic(
+        lambda: traceroute_noise_sweep(
+            anonymous_probabilities=(0.0, 0.1, 0.3),
+            peer_count=120,
+            landmark_count=4,
+            neighbor_set_size=3,
+            seed=23,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for row in table.rows:
+        benchmark.extra_info[
+            f"scheme_ratio_anon_{row['anonymous_probability']}"
+        ] = round(row["scheme_ratio"], 3)
+        # Even with noisy traceroutes the scheme keeps beating random selection.
+        assert row["scheme_ratio"] < row["random_ratio"]
+
+    ratios = [row["scheme_ratio"] for row in table.rows]
+    # Quality degrades gracefully: 30% anonymous routers costs at most +0.5.
+    assert ratios[-1] <= ratios[0] + 0.5

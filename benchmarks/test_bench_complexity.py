@@ -1,0 +1,117 @@
+"""Benchmarks for the paper's complexity claims (C1 and C2).
+
+The paper claims a newcomer insertion costs O(log n) — "the cost of inserting
+a new element in an ordered list" — and a closest-peer lookup costs O(1) —
+"accessing a data in a hash table".  These benchmarks measure both operations
+at several population sizes and assert that the cost does not grow linearly
+with the population.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.management_server import ManagementServer
+from repro.core.path import RouterPath
+
+from ._workloads import bench_scenario
+
+
+def _populate_server(peer_count: int, seed: int = 3) -> ManagementServer:
+    """A server with `peer_count` synthetic peers under one landmark.
+
+    Synthetic paths over a three-level access hierarchy reproduce the shape
+    of real landmark trees without paying for a full router-map build at
+    every benchmark size.
+    """
+    rng = random.Random(seed)
+    server = ManagementServer(neighbor_set_size=5)
+    server.register_landmark("lmk", "lmk")
+    for index in range(peer_count):
+        region = rng.randrange(12)
+        pop = rng.randrange(30)
+        access = rng.randrange(60)
+        routers = [
+            f"access-{region}-{pop}-{access}",
+            f"pop-{region}-{pop}",
+            f"region-{region}",
+            "core",
+            "lmk",
+        ]
+        server.register_peer(RouterPath.from_routers(f"peer{index}", "lmk", routers))
+    return server
+
+
+def _fresh_paths(count: int, seed: int = 99):
+    rng = random.Random(seed)
+    paths = []
+    for index in range(count):
+        region = rng.randrange(12)
+        pop = rng.randrange(30)
+        routers = [
+            f"newaccess-{index}",
+            f"pop-{region}-{pop}",
+            f"region-{region}",
+            "core",
+            "lmk",
+        ]
+        paths.append(RouterPath.from_routers(f"newcomer{index}", "lmk", routers))
+    return paths
+
+
+@pytest.mark.benchmark(group="complexity-insert")
+@pytest.mark.parametrize("population", [200, 800, 3200])
+def test_insertion_scaling(benchmark, population):
+    """Claim C1: newcomer insertion cost is (nearly) independent of n."""
+    server = _populate_server(population)
+    paths = _fresh_paths(200, seed=population)
+    state = {"next": 0}
+
+    def insert_one():
+        path = paths[state["next"] % len(paths)]
+        state["next"] += 1
+        # Re-registering replaces the previous entry, so repeated rounds stay
+        # at a constant population.
+        server.register_peer(path)
+
+    benchmark(insert_one)
+    benchmark.extra_info["population"] = population
+
+
+@pytest.mark.benchmark(group="complexity-query")
+@pytest.mark.parametrize("population", [200, 800, 3200])
+def test_query_scaling(benchmark, population):
+    """Claim C2: a cached closest-peer lookup costs O(1)."""
+    server = _populate_server(population)
+    peers = server.peers()
+    rng = random.Random(1)
+    sample = [rng.choice(peers) for _ in range(512)]
+    state = {"next": 0}
+
+    def query_one():
+        peer = sample[state["next"] % len(sample)]
+        state["next"] += 1
+        return server.closest_peers(peer)
+
+    benchmark(query_one)
+    benchmark.extra_info["population"] = population
+    benchmark.extra_info["cache_hit_fraction"] = round(
+        server.stats.cache_hits / max(1, server.stats.queries), 3
+    )
+
+
+@pytest.mark.benchmark(group="complexity-join")
+@pytest.mark.parametrize("peer_count", [50, 150])
+def test_full_join_cost(benchmark, peer_count):
+    """End-to-end join cost (traceroute + registration) per newcomer."""
+
+    def join_all():
+        scenario = bench_scenario(peer_count=peer_count, seed=peer_count)
+        scenario.join_all()
+        return scenario
+
+    scenario = benchmark.pedantic(join_all, rounds=1, iterations=1)
+    benchmark.extra_info["peers"] = peer_count
+    benchmark.extra_info["registrations"] = scenario.server.stats.registrations

@@ -1,0 +1,48 @@
+"""Benchmark for motivation M1: quicker than coordinate systems.
+
+Regenerates the comparison between the path-tree scheme, Vivaldi (at several
+gossip-round budgets), GNP, binning and random selection: neighbour quality
+(``D/D_closest``) against the measurement effort and the modelled setup time.
+
+Paper's claim: coordinate systems "require a substantial amount of time
+before delivering accurate information", while the proposed scheme answers
+after a single traceroute + one server round trip.  The benchmark asserts
+that ordering: the path tree reaches better-than-early-Vivaldi quality with a
+setup time orders of magnitude below a converged Vivaldi run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.convergence import run_convergence_study
+
+
+@pytest.mark.benchmark(group="convergence")
+def test_convergence_comparison(benchmark):
+    """Neighbour quality vs measurement effort across proximity schemes."""
+    table = benchmark.pedantic(
+        lambda: run_convergence_study(
+            peer_count=80,
+            landmark_count=4,
+            neighbor_set_size=3,
+            vivaldi_round_schedule=(1, 4, 16),
+            seed=31,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row["scheme"]: row for row in table.rows}
+
+    for name, row in rows.items():
+        benchmark.extra_info[f"{name}_ratio"] = round(row["scheme_ratio"], 3)
+        benchmark.extra_info[f"{name}_setup_ms"] = round(row["setup_time_ms"], 1)
+
+    path_tree = rows["path_tree"]
+    # Better neighbour quality than Vivaldi after its first rounds...
+    assert path_tree["scheme_ratio"] <= rows["vivaldi_r1"]["scheme_ratio"] + 0.05
+    assert path_tree["scheme_ratio"] <= rows["vivaldi_r4"]["scheme_ratio"] + 0.05
+    # ...and much quicker than a long Vivaldi convergence run.
+    assert path_tree["setup_time_ms"] < rows["vivaldi_r16"]["setup_time_ms"] / 5
+    # Clearly better than picking neighbours at random.
+    assert path_tree["scheme_ratio"] < rows["random"]["scheme_ratio"]

@@ -1,0 +1,52 @@
+"""Benchmark reproducing the paper's Figure 1 (its only figure).
+
+Regenerates the two curves — ``D/D_closest`` for the proposed scheme and
+``D_random/D_closest`` for random selection — against the number of peers,
+on a scaled-down router map, and records them in ``extra_info``.
+
+Paper's reported shape: the scheme stays ≈1.1–1.4 and flat while random is
+≈2.0–2.4 and grows with the population.  The reproduction must show the same
+ordering and flatness (absolute values depend on the synthetic map).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import Figure1Config, run_figure1
+
+from ._workloads import bench_map_config
+
+
+def _figure1_table():
+    config = Figure1Config(
+        peer_counts=(60, 120, 180),
+        landmark_count=4,
+        neighbor_set_size=5,
+        seeds=(11,),
+        router_map_config=bench_map_config(11),
+    )
+    return run_figure1(config)
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_curves(benchmark):
+    """Figure 1: neighbour-quality ratios vs population size."""
+    table = benchmark.pedantic(_figure1_table, rounds=1, iterations=1)
+
+    scheme = table.column("scheme_ratio")
+    random_ratio = table.column("random_ratio")
+    peers = table.column("peers")
+
+    # Record the regenerated series next to the timing.
+    for population, scheme_value, random_value in zip(peers, scheme, random_ratio):
+        benchmark.extra_info[f"scheme_ratio_n{population}"] = round(scheme_value, 3)
+        benchmark.extra_info[f"random_ratio_n{population}"] = round(random_value, 3)
+
+    # Shape checks mirroring the paper's figure.
+    assert all(1.0 <= value < 1.6 for value in scheme), scheme
+    assert all(s < r for s, r in zip(scheme, random_ratio))
+    # Scheme is stable as the population grows (flat curve).
+    assert max(scheme) - min(scheme) < 0.3
+    # Random selection does not improve with population size.
+    assert random_ratio[-1] >= random_ratio[0] - 0.15

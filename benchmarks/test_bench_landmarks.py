@@ -1,0 +1,63 @@
+"""Benchmarks for future-work item F1: landmark count and placement.
+
+The paper lists "various policies for the management of landmarks, including
+the number and their placement in the network" as ongoing work.  These
+benchmarks regenerate the two corresponding ablation tables and record every
+row in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import landmark_count_sweep, landmark_placement_sweep
+
+
+@pytest.mark.benchmark(group="landmarks")
+def test_landmark_count_sweep(benchmark):
+    """Neighbour quality vs the number of deployed landmarks."""
+    table = benchmark.pedantic(
+        lambda: landmark_count_sweep(
+            landmark_counts=(1, 2, 4, 8), peer_count=120, neighbor_set_size=3, seed=11
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    ratios = {}
+    for row in table.rows:
+        ratios[row["landmarks"]] = row["scheme_ratio"]
+        benchmark.extra_info[f"scheme_ratio_{row['landmarks']}_landmarks"] = round(
+            row["scheme_ratio"], 3
+        )
+
+    # A handful of landmarks is enough ("few landmarks" in the paper): adding
+    # more beyond 4 must not change the quality much.
+    assert abs(ratios[8] - ratios[4]) < 0.25
+    # Every configuration still beats random selection.
+    for row in table.rows:
+        assert row["scheme_ratio"] < row["random_ratio"]
+
+
+@pytest.mark.benchmark(group="landmarks")
+def test_landmark_placement_sweep(benchmark):
+    """Neighbour quality vs the placement strategy."""
+    table = benchmark.pedantic(
+        lambda: landmark_placement_sweep(
+            strategies=("medium_degree", "random", "high_degree", "betweenness"),
+            peer_count=120,
+            landmark_count=4,
+            neighbor_set_size=3,
+            seed=13,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for row in table.rows:
+        benchmark.extra_info[f"scheme_ratio_{row['strategy']}"] = round(row["scheme_ratio"], 3)
+        # Whatever the placement, the scheme beats random neighbour selection.
+        assert row["scheme_ratio"] < row["random_ratio"]
+
+    ratios = {row["strategy"]: row["scheme_ratio"] for row in table.rows}
+    # The paper's medium-degree placement is competitive with the alternatives
+    # (within 0.3 of the best strategy on this map).
+    assert ratios["medium_degree"] <= min(ratios.values()) + 0.3

@@ -1,0 +1,48 @@
+"""Benchmark for future-work item F3: super-peer sharding of the directory.
+
+The paper mentions investigating "the opportunity to use some super-peers".
+This benchmark regenerates the super-peer ablation: the same peer population
+is registered into directories sharded over 1, 2, 4 and 8 super-peers, and the
+table reports neighbour quality, load balance and cross-region traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import superpeer_study
+
+
+@pytest.mark.benchmark(group="superpeers")
+def test_superpeer_sharding(benchmark):
+    """Neighbour quality and load balance vs the number of super-peers."""
+    table = benchmark.pedantic(
+        lambda: superpeer_study(
+            super_peer_counts=(1, 2, 4, 8),
+            peer_count=120,
+            landmark_count=8,
+            neighbor_set_size=3,
+            seed=37,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row["super_peers"]: row for row in table.rows}
+    for count, row in rows.items():
+        benchmark.extra_info[f"ratio_{count}_superpeers"] = round(row["scheme_ratio"], 3)
+        benchmark.extra_info[f"max_load_{count}_superpeers"] = round(row["max_load_fraction"], 3)
+
+    single = rows[1]
+    # A single super-peer is exactly the centralised server.
+    assert single["max_load_fraction"] == 1.0
+    assert single["cross_region_queries"] == 0
+    for count, row in rows.items():
+        # Quality stays in the near-optimal band regardless of sharding.
+        assert row["scheme_ratio"] < 1.5
+        # Sharding never degrades quality by more than a small margin.
+        assert row["scheme_ratio"] <= single["scheme_ratio"] + 0.15
+        if count > 1:
+            # The busiest super-peer carries strictly less than everything.
+            assert row["max_load_fraction"] < 1.0
+    # More super-peers means a flatter load distribution.
+    assert rows[8]["max_load_fraction"] <= rows[2]["max_load_fraction"] + 1e-9

@@ -1,0 +1,42 @@
+"""Benchmark for claim C3: ``dtree ≈ d`` for most peer pairs.
+
+The paper's correctness argument is that the heavy-tailed router graph routes
+most shortest paths through the core, so the distance inferred from the
+landmark tree matches the true distance for most pairs.  This benchmark
+regenerates the accuracy distribution (exact fraction, mean stretch) over
+random same-landmark pairs and records it in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import tree_accuracy_study
+
+
+@pytest.mark.benchmark(group="tree-accuracy")
+def test_tree_accuracy(benchmark):
+    """Distribution of dtree vs the true hop distance."""
+    table = benchmark.pedantic(
+        lambda: tree_accuracy_study(peer_count=150, landmark_count=4, pair_samples=400, seed=19),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row["pair_type"]: row for row in table.rows}
+    same = rows["same_landmark"]
+
+    benchmark.extra_info["same_landmark_pairs"] = same["pairs"]
+    benchmark.extra_info["exact_fraction"] = round(same["exact_fraction"], 3)
+    benchmark.extra_info["mean_stretch"] = round(same["mean_stretch"], 3)
+    benchmark.extra_info["p90_stretch"] = round(same["p90_stretch"], 3)
+    if "cross_landmark" in rows:
+        benchmark.extra_info["cross_landmark_mean_stretch"] = round(
+            rows["cross_landmark"]["mean_stretch"], 3
+        )
+
+    # dtree follows a real route, so it never undershoots (stretch >= 1) ...
+    assert same["mean_stretch"] >= 1.0
+    # ... and the core-centrality argument keeps it tight for most pairs.
+    assert same["exact_fraction"] > 0.3
+    assert same["mean_stretch"] < 1.5
+    assert same["p90_stretch"] < 2.0

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""How quick is "quicker"?  Path tree vs Vivaldi, GNP and binning.
+
+The paper's argument against coordinate systems is convergence time: a
+newcomer should not have to wait for dozens of RTT samples before it can pick
+good neighbours.  This example runs the convergence study and prints, for
+every scheme, the number of measurements a newcomer performs, the modelled
+wall-clock setup time, and the neighbour-quality ratio it achieves.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.convergence import run_convergence_study
+
+
+def main() -> None:
+    table = run_convergence_study(
+        peer_count=80,
+        landmark_count=4,
+        neighbor_set_size=3,
+        vivaldi_round_schedule=(1, 2, 4, 8, 16, 32),
+        seed=31,
+    )
+    print(table.to_text())
+    print()
+
+    rows = {row["scheme"]: row for row in table.rows}
+    path_tree = rows["path_tree"]
+    vivaldi_rows = [row for name, row in rows.items() if name.startswith("vivaldi_")]
+    good_enough = [
+        row for row in vivaldi_rows if row["scheme_ratio"] <= path_tree["scheme_ratio"] * 1.05
+    ]
+    print(f"path tree: ratio {path_tree['scheme_ratio']:.2f} after "
+          f"{path_tree['setup_time_ms']:.0f} ms of probing")
+    if good_enough:
+        first = min(good_enough, key=lambda row: row["measurements_per_peer"])
+        print(f"Vivaldi needs ~{first['measurements_per_peer']:.0f} gossip rounds "
+              f"({first['setup_time_ms']:.0f} ms) to reach comparable quality.")
+    else:
+        slowest = max(vivaldi_rows, key=lambda row: row["measurements_per_peer"])
+        print("Vivaldi does not reach comparable quality even after "
+              f"{slowest['measurements_per_peer']:.0f} rounds "
+              f"({slowest['setup_time_ms']:.0f} ms) in this run.")
+    print("GNP / binning answer after one landmark measurement phase but with "
+          "coarser quality — see their rows above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Event-driven join: measuring setup delay with the discrete-event simulator.
+
+The other examples drive the management server in-process.  This one runs
+the full message exchange over the simulated network (latencies computed on
+the router map): newcomers send a ``JoinRequest``, receive the landmark list,
+spend simulated time probing their landmark path, upload the ``PathReport``
+and finally receive their ``NeighborResponse``.  The distribution of setup
+delays (join start → neighbour list received) is the quantity the paper wants
+to minimise.
+"""
+
+from __future__ import annotations
+
+from repro import ScenarioConfig, build_scenario
+from repro.metrics.latency_stats import DelaySummary
+from repro.sim import Engine, PeerNode, ServerNode, SimulatedNetwork
+from repro.topology import RouterMapConfig
+from repro.workloads.arrivals import flash_crowd_arrivals
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        peer_count=50,
+        landmark_count=4,
+        neighbor_set_size=4,
+        router_map_config=RouterMapConfig(
+            core_size=20,
+            core_attachment=3,
+            transit_size=100,
+            transit_attachment=2,
+            stub_size=480,
+            stub_attachment=1,
+            seed=23,
+        ),
+        seed=23,
+    )
+    scenario = build_scenario(config)
+
+    engine = Engine()
+    network = SimulatedNetwork(engine, scenario.router_map.graph, processing_delay_ms=0.5, seed=23)
+
+    # The server host sits next to the first landmark's router.
+    server_router = scenario.landmark_set.routers()[0]
+    server_node = ServerNode("management-server", scenario.server, network)
+    network.attach_host("management-server", server_router, server_node)
+
+    # Peers arrive as a flash crowd over one minute of simulated time.
+    peers = []
+    arrivals = flash_crowd_arrivals(scenario.peer_ids, duration_s=60.0, seed=23)
+    for arrival in arrivals:
+        peer_id = arrival.peer_id
+        router = scenario.peer_routers[peer_id]
+        node = PeerNode(
+            host_id=peer_id,
+            access_router=router,
+            server_host="management-server",
+            engine=engine,
+            network=network,
+            traceroute=scenario.traceroute,
+        )
+        network.attach_host(peer_id, router, node)
+        peers.append(node)
+        engine.schedule_at(arrival.time_s * 1000.0, node.start_join, label=f"join:{peer_id}")
+
+    engine.run()
+
+    records = [node.record for node in peers if node.record is not None]
+    completed = [record for record in records if record.completed]
+    delays = [record.setup_delay for record in completed]
+
+    print(f"peers joined          : {len(completed)}/{len(records)}")
+    print(f"messages on the wire  : {network.sent_messages} (dropped: {network.dropped_messages})")
+    print(f"simulated end time    : {engine.now / 1000.0:.1f} s")
+    print()
+    summary = DelaySummary.from_samples(delays)
+    print("setup delay (ms) — join start to neighbour list received")
+    print(f"  mean   : {summary.mean:8.1f}")
+    print(f"  median : {summary.median:8.1f}")
+    print(f"  p90    : {summary.p90:8.1f}")
+    print(f"  max    : {summary.maximum:8.1f}")
+    print()
+    # Show a late joiner: early joiners legitimately receive few neighbours
+    # because the population was still small when they arrived.
+    sample = max(completed, key=lambda record: record.started_at)
+    print(f"example ({sample.peer_id}): {len(sample.neighbors)} neighbours, "
+          f"setup delay {sample.setup_delay:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

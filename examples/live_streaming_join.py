@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Live-streaming scenario: why nearby neighbours matter.
+
+This is the workload the paper's introduction motivates: a mesh-based live
+streaming channel (PULSE-style) where chunks are pulled from overlay
+neighbours.  The example builds the *same* peer population twice —
+
+* once with neighbours chosen by the paper's path-tree scheme,
+* once with uniformly random neighbours —
+
+and streams the same channel over both overlays.  Proximity-aware neighbours
+shorten chunk transfer delays, which shows up as lower startup delay and a
+tighter playback-delay spread across peers.
+"""
+
+from __future__ import annotations
+
+from repro import ScenarioConfig, build_scenario
+from repro.streaming import MeshConfig, MeshStreamingSession, playback_delay_spread
+from repro.topology import RouterMapConfig
+
+
+def build_streaming_overlays(seed: int = 11, peer_count: int = 60):
+    """Build one scenario and derive the two overlays to compare."""
+    config = ScenarioConfig(
+        peer_count=peer_count,
+        landmark_count=4,
+        neighbor_set_size=4,
+        router_map_config=RouterMapConfig(
+            core_size=20,
+            core_attachment=3,
+            transit_size=100,
+            transit_attachment=2,
+            stub_size=480,
+            stub_attachment=1,
+            seed=seed,
+        ),
+        seed=seed,
+    )
+    scenario = build_scenario(config)
+    scenario.join_all()
+
+    proximity_overlay = scenario.build_overlay(scenario.scheme_neighbor_sets())
+    random_overlay = scenario.build_overlay(scenario.random_neighbor_sets())
+    return scenario, proximity_overlay, random_overlay
+
+
+def stream_over(overlay, scenario, label: str) -> None:
+    """Run one streaming session and print its headline metrics."""
+    source = scenario.peer_ids[0]
+    session = MeshStreamingSession(
+        overlay=overlay,
+        source_id=source,
+        distance=scenario.true_distance,
+        config=MeshConfig(rounds=90, requests_per_round=4, uploads_per_round=6),
+    )
+    result = session.run()
+    reports = list(result.playback_reports.values())
+    link_cost = overlay.mean_neighbor_cost(scenario.true_distance) / max(
+        1, scenario.config.neighbor_set_size
+    )
+    print(f"-- {label} --")
+    print(f"  mean router hops per overlay link : {link_cost:.2f}")
+    print(f"  chunks injected                   : {result.chunks_injected}")
+    print(f"  chunk transfers                   : {result.total_transfers}")
+    print(f"  mean delivery delay               : {result.mean_delivery_delay_s:.2f} s")
+    print(f"  mean startup delay                : {result.mean_startup_delay():.2f} s")
+    print(f"  mean continuity                   : {result.mean_continuity():.3f}")
+    print(f"  playback delay spread             : {playback_delay_spread(reports):.2f} s")
+    print()
+
+
+def main() -> None:
+    scenario, proximity_overlay, random_overlay = build_streaming_overlays()
+    print(f"peers: {len(scenario.peer_ids)}, neighbour set size: "
+          f"{scenario.config.neighbor_set_size}\n")
+    stream_over(proximity_overlay, scenario, "path-tree neighbours (the paper's scheme)")
+    stream_over(random_overlay, scenario, "random neighbours (baseline)")
+    print("Proximity-selected neighbours exchange chunks over far fewer underlying")
+    print("router hops (first metric above), which is exactly what the paper's scheme")
+    print("optimises; deployed systems blend in a few random long links to also keep")
+    print("the overlay's hop-diameter low.")
+
+
+if __name__ == "__main__":
+    main()

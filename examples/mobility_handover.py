@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Mobility and handover (paper future work).
+
+A moving peer re-attaches to a different access router; its recorded path to
+the landmark — and therefore its place in the path tree — becomes stale.  The
+handover procedure is simply the join protocol run again from the new
+position: one traceroute, one path report, a fresh neighbour list.
+
+This example joins a population, generates a synthetic movement trace for 30%
+of the peers, executes every handover, and reports:
+
+* how often the move changed the peer's closest landmark,
+* how much of the old neighbour set survived the move,
+* how much worse the *stale* neighbour set was from the new position, and how
+  much the refresh recovered,
+* the population-wide neighbour quality after all the churn.
+"""
+
+from __future__ import annotations
+
+from repro import ScenarioConfig, build_scenario
+from repro.metrics.proximity import compare_strategies
+from repro.overlay.mobility import HandoverManager, MobilityModel
+from repro.topology import RouterMapConfig
+
+
+def main() -> None:
+    scenario = build_scenario(ScenarioConfig(
+        peer_count=80,
+        landmark_count=4,
+        neighbor_set_size=4,
+        router_map_config=RouterMapConfig(
+            core_size=20, core_attachment=3, transit_size=100, transit_attachment=2,
+            stub_size=480, stub_attachment=1, seed=43,
+        ),
+        seed=43,
+    ))
+    scenario.join_all()
+
+    stubs = scenario.router_map.stub_routers()
+    model = MobilityModel(candidate_routers=stubs, mean_pause_s=60.0, seed=43)
+    moves = model.trace(
+        scenario.router_map.graph, scenario.peer_routers, horizon_s=300.0, mobile_fraction=0.3
+    )
+    print(f"peers: {len(scenario.peer_ids)}, moves to execute: {len(moves)}")
+
+    manager = HandoverManager(scenario)
+    reports = manager.run_trace(moves)
+
+    landmark_changes = sum(1 for report in reports if report.landmark_changed)
+    overlaps = [report.neighbor_overlap for report in reports if report.old_neighbors]
+    gains = [report.refresh_gain for report in reports if report.stale_neighbor_cost > 0]
+
+    print(f"handovers executed        : {len(reports)}")
+    print(f"closest landmark changed  : {landmark_changes} ({landmark_changes / len(reports):.0%})")
+    if overlaps:
+        print(f"old neighbours kept       : {sum(overlaps) / len(overlaps):.0%} on average")
+    if gains:
+        print(f"refresh improved D by     : {sum(gains) / len(gains):.0%} on average "
+              "(vs keeping the stale list)")
+
+    comparison = compare_strategies(
+        scenario.scheme_neighbor_sets(),
+        scenario.oracle_neighbor_sets(),
+        scenario.random_neighbor_sets(),
+        scenario.true_distance,
+        scenario.config.neighbor_set_size,
+    )
+    print()
+    print("population after all handovers:")
+    print(f"  D/D_closest        = {comparison.scheme_ratio:.3f}")
+    print(f"  D_random/D_closest = {comparison.random_ratio:.3f}")
+    print()
+    print("Because a handover is just a cheap re-join (one traceroute + one report),")
+    print("mobile peers regain near-optimal neighbour sets immediately after moving.")
+
+
+if __name__ == "__main__":
+    main()

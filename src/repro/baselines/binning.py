@@ -1,0 +1,160 @@
+"""Distributed binning (Ratnasamy et al., INFOCOM 2002).
+
+The paper's related-work anchor for "topologically-aware overlay
+construction": every host measures its RTT to a small set of landmarks,
+orders the landmarks from closest to farthest, and discretises each RTT into
+a small number of levels.  The resulting *bin* (landmark order + level
+vector) is the host's coarse position; hosts falling in the same bin are
+considered topologically close.
+
+Neighbour selection then prefers peers with an identical bin, then peers
+whose bin differs in the fewest positions — far cheaper than coordinates but
+also much coarser, which is exactly the trade-off the comparison benchmarks
+illustrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from .._validation import require_positive_int
+from ..exceptions import ConfigurationError
+
+PeerId = Hashable
+LandmarkId = Hashable
+RttToLandmark = Callable[[PeerId, LandmarkId], float]
+
+DEFAULT_LEVEL_BOUNDARIES = (20.0, 80.0)
+"""Default RTT boundaries (ms) separating level 0 / 1 / 2, as in the paper."""
+
+
+@dataclass(frozen=True)
+class Bin:
+    """A peer's bin: landmark ordering plus per-landmark RTT level."""
+
+    ordering: Tuple[LandmarkId, ...]
+    levels: Tuple[int, ...]
+
+    def similarity_to(self, other: "Bin") -> int:
+        """Number of positions at which the two bins agree (higher = closer)."""
+        matches = 0
+        for a, b in zip(self.ordering, other.ordering):
+            if a == b:
+                matches += 1
+        for a, b in zip(self.levels, other.levels):
+            if a == b:
+                matches += 1
+        return matches
+
+
+class BinningSystem:
+    """Landmark-order binning for a peer population.
+
+    Parameters
+    ----------
+    landmark_ids:
+        The deployed landmarks.
+    rtt_to_landmark:
+        Callable giving a peer's measured RTT to one landmark.
+    level_boundaries:
+        Increasing RTT thresholds splitting measurements into levels
+        (``len(boundaries) + 1`` levels).
+    """
+
+    name = "binning"
+
+    def __init__(
+        self,
+        landmark_ids: Sequence[LandmarkId],
+        rtt_to_landmark: RttToLandmark,
+        level_boundaries: Sequence[float] = DEFAULT_LEVEL_BOUNDARIES,
+    ) -> None:
+        if not landmark_ids:
+            raise ConfigurationError("binning needs at least one landmark")
+        boundaries = [float(b) for b in level_boundaries]
+        if boundaries != sorted(boundaries):
+            raise ConfigurationError("level_boundaries must be increasing")
+        self.landmark_ids = list(landmark_ids)
+        self.rtt_to_landmark = rtt_to_landmark
+        self.level_boundaries = boundaries
+        self.bins: Dict[PeerId, Bin] = {}
+        self.measurements_per_peer = len(self.landmark_ids)
+
+    def _level(self, rtt: float) -> int:
+        for level, boundary in enumerate(self.level_boundaries):
+            if rtt < boundary:
+                return level
+        return len(self.level_boundaries)
+
+    def compute_bin(self, peer_id: PeerId) -> Bin:
+        """Measure the peer's landmark RTTs and compute its bin."""
+        measurements = [
+            (float(self.rtt_to_landmark(peer_id, lid)), repr(lid), lid)
+            for lid in self.landmark_ids
+        ]
+        measurements.sort()
+        ordering = tuple(lid for _, _, lid in measurements)
+        levels = tuple(self._level(rtt) for rtt, _, _ in measurements)
+        return Bin(ordering=ordering, levels=levels)
+
+    def add_peer(self, peer_id: PeerId) -> Bin:
+        """Bin a (new) peer and remember the result."""
+        peer_bin = self.compute_bin(peer_id)
+        self.bins[peer_id] = peer_bin
+        return peer_bin
+
+    def remove_peer(self, peer_id: PeerId) -> None:
+        """Forget a departed peer."""
+        self.bins.pop(peer_id, None)
+
+    def peers(self) -> List[PeerId]:
+        """All binned peers."""
+        return list(self.bins)
+
+    # ---------------------------------------------------------------- queries
+
+    def estimate_distance(self, peer_a: PeerId, peer_b: PeerId) -> float:
+        """Coarse distance: maximum similarity minus actual similarity.
+
+        Peers in identical bins get distance 0; every disagreeing position
+        adds 1.  This is only an ordinal quantity (good for ranking, not for
+        absolute prediction), which is all binning claims to provide.
+        """
+        if peer_a == peer_b:
+            return 0.0
+        if peer_a not in self.bins or peer_b not in self.bins:
+            raise ConfigurationError("both peers must be binned before estimating a distance")
+        bin_a = self.bins[peer_a]
+        bin_b = self.bins[peer_b]
+        maximum = 2 * len(self.landmark_ids)
+        return float(maximum - bin_a.similarity_to(bin_b))
+
+    def select_neighbors(
+        self,
+        peer_id: PeerId,
+        population: Optional[Sequence[PeerId]] = None,
+        k: int = 5,
+        exclude: Optional[Set[PeerId]] = None,
+    ) -> List[PeerId]:
+        """Return the ``k`` peers whose bins match the peer's bin best."""
+        require_positive_int(k, "k")
+        excluded = {peer_id}
+        if exclude:
+            excluded |= set(exclude)
+        candidates = population if population is not None else self.peers()
+        ranked = sorted(
+            (
+                (self.estimate_distance(peer_id, candidate), repr(candidate), candidate)
+                for candidate in candidates
+                if candidate not in excluded and candidate in self.bins
+            )
+        )
+        return [candidate for _, _, candidate in ranked[:k]]
+
+    def bin_population_histogram(self) -> Dict[Bin, int]:
+        """How many peers fall in each distinct bin (diagnostic)."""
+        histogram: Dict[Bin, int] = {}
+        for peer_bin in self.bins.values():
+            histogram[peer_bin] = histogram.get(peer_bin, 0) + 1
+        return histogram

@@ -1,0 +1,223 @@
+"""GNP-style landmark coordinates (Ng & Zhang, INFOCOM 2002).
+
+GNP is the other coordinate approach the paper cites: every host measures its
+RTT to a fixed set of landmarks and solves a small optimisation problem to
+place itself in a Euclidean space in which inter-host RTTs are approximated
+by coordinate distances.
+
+The reproduction implements the two standard phases:
+
+1. **Landmark embedding** — the landmarks' own coordinates are found by
+   minimising the pairwise embedding error over all landmark pairs.
+2. **Host embedding** — each peer independently minimises the error between
+   its measured landmark RTTs and its coordinate distances to the (fixed)
+   landmark coordinates.
+
+Both minimisations use a simple multi-restart coordinate-descent / gradient
+scheme built on numpy, which is accurate enough for ranking peers by
+proximity (the only use the evaluation makes of it) and keeps the library
+free of a hard scipy dependency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .._validation import coerce_seed, require_positive_int
+from ..exceptions import ConfigurationError
+
+PeerId = Hashable
+LandmarkId = Hashable
+RttToLandmark = Callable[[PeerId, LandmarkId], float]
+
+
+def _embedding_error(
+    coordinates: np.ndarray, targets: np.ndarray, anchors: np.ndarray
+) -> float:
+    """Sum of squared relative errors between coordinate and target distances."""
+    distances = np.linalg.norm(anchors - coordinates, axis=1)
+    safe_targets = np.where(targets <= 0, 1e-9, targets)
+    relative = (distances - targets) / safe_targets
+    return float(np.sum(relative ** 2))
+
+
+def _minimize_point(
+    targets: np.ndarray,
+    anchors: np.ndarray,
+    dimensions: int,
+    rng: random.Random,
+    iterations: int = 200,
+    restarts: int = 3,
+) -> np.ndarray:
+    """Find a point whose distances to ``anchors`` best match ``targets``.
+
+    Gradient descent with adaptive step and a few random restarts; good
+    enough for the small (5–20 landmark) systems GNP uses.
+    """
+    best_point: Optional[np.ndarray] = None
+    best_error = float("inf")
+    scale = float(np.mean(targets)) if targets.size else 1.0
+    for _ in range(restarts):
+        point = np.array(
+            [rng.uniform(-scale, scale) for _ in range(dimensions)], dtype=float
+        )
+        step = scale / 10.0 if scale > 0 else 0.1
+        error = _embedding_error(point, targets, anchors)
+        for _ in range(iterations):
+            gradient = np.zeros(dimensions)
+            distances = np.linalg.norm(anchors - point, axis=1)
+            safe_distances = np.where(distances < 1e-9, 1e-9, distances)
+            safe_targets = np.where(targets <= 0, 1e-9, targets)
+            # d/dp of ((|a-p| - t)/t)^2 = 2 (|a-p| - t)/t^2 * (p - a)/|a-p|
+            coefficients = 2.0 * (distances - targets) / (safe_targets ** 2)
+            gradient = np.sum(
+                (coefficients / safe_distances)[:, None] * (point - anchors), axis=0
+            )
+            candidate = point - step * gradient
+            candidate_error = _embedding_error(candidate, targets, anchors)
+            if candidate_error < error:
+                point = candidate
+                error = candidate_error
+                step *= 1.1
+            else:
+                step *= 0.5
+                if step < 1e-9:
+                    break
+        if error < best_error:
+            best_error = error
+            best_point = point
+    assert best_point is not None
+    return best_point
+
+
+class GnpSystem:
+    """Landmark-based coordinate embedding for a peer population.
+
+    Parameters
+    ----------
+    landmark_ids:
+        The fixed landmark identifiers.
+    landmark_rtts:
+        ``{(landmark_a, landmark_b): rtt}`` for every landmark pair (any
+        order); used to embed the landmarks themselves.
+    rtt_to_landmark:
+        Callable giving a peer's measured RTT to one landmark.
+    dimensions:
+        Embedding dimensionality (the original paper uses 5–7 for the full
+        Internet; 3 is plenty for the simulated maps).
+    """
+
+    name = "gnp"
+
+    def __init__(
+        self,
+        landmark_ids: Sequence[LandmarkId],
+        landmark_rtts: Dict[Tuple[LandmarkId, LandmarkId], float],
+        rtt_to_landmark: RttToLandmark,
+        dimensions: int = 3,
+        seed: Optional[int] = None,
+    ) -> None:
+        if len(landmark_ids) < 2:
+            raise ConfigurationError("GNP needs at least two landmarks")
+        self.landmark_ids = list(landmark_ids)
+        self.dimensions = require_positive_int(dimensions, "dimensions")
+        self.rtt_to_landmark = rtt_to_landmark
+        self._rng = random.Random(coerce_seed(seed))
+        self._landmark_rtts = self._symmetrize(landmark_rtts)
+        self.landmark_coordinates: Dict[LandmarkId, np.ndarray] = {}
+        self.peer_coordinates: Dict[PeerId, np.ndarray] = {}
+        self.measurements_per_peer = len(self.landmark_ids)
+        self._embed_landmarks()
+
+    def _symmetrize(
+        self, rtts: Dict[Tuple[LandmarkId, LandmarkId], float]
+    ) -> Dict[Tuple[LandmarkId, LandmarkId], float]:
+        table: Dict[Tuple[LandmarkId, LandmarkId], float] = {}
+        for (a, b), value in rtts.items():
+            table[(a, b)] = float(value)
+            table[(b, a)] = float(value)
+        for a in self.landmark_ids:
+            for b in self.landmark_ids:
+                if a == b:
+                    table[(a, b)] = 0.0
+                elif (a, b) not in table:
+                    raise ConfigurationError(f"missing landmark RTT between {a!r} and {b!r}")
+        return table
+
+    # ------------------------------------------------------------- embeddings
+
+    def _embed_landmarks(self) -> None:
+        """Iteratively place the landmarks to fit their pairwise RTTs."""
+        count = len(self.landmark_ids)
+        scale = max(self._landmark_rtts.values()) or 1.0
+        coordinates = {
+            lid: np.array(
+                [self._rng.uniform(-scale / 2, scale / 2) for _ in range(self.dimensions)]
+            )
+            for lid in self.landmark_ids
+        }
+        # A few sweeps of per-landmark refinement against the others.
+        for _ in range(5):
+            for lid in self.landmark_ids:
+                others = [o for o in self.landmark_ids if o != lid]
+                anchors = np.array([coordinates[o] for o in others])
+                targets = np.array([self._landmark_rtts[(lid, o)] for o in others])
+                coordinates[lid] = _minimize_point(
+                    targets, anchors, self.dimensions, self._rng, iterations=100, restarts=2
+                )
+        self.landmark_coordinates = coordinates
+
+    def add_peer(self, peer_id: PeerId) -> np.ndarray:
+        """Measure the peer's landmark RTTs and embed it."""
+        anchors = np.array([self.landmark_coordinates[lid] for lid in self.landmark_ids])
+        targets = np.array(
+            [float(self.rtt_to_landmark(peer_id, lid)) for lid in self.landmark_ids]
+        )
+        coordinate = _minimize_point(targets, anchors, self.dimensions, self._rng)
+        self.peer_coordinates[peer_id] = coordinate
+        return coordinate
+
+    def remove_peer(self, peer_id: PeerId) -> None:
+        """Forget a departed peer."""
+        self.peer_coordinates.pop(peer_id, None)
+
+    def peers(self) -> List[PeerId]:
+        """All embedded peers."""
+        return list(self.peer_coordinates)
+
+    # ---------------------------------------------------------------- queries
+
+    def estimate_distance(self, peer_a: PeerId, peer_b: PeerId) -> float:
+        """Predicted RTT between two embedded peers."""
+        if peer_a == peer_b:
+            return 0.0
+        if peer_a not in self.peer_coordinates or peer_b not in self.peer_coordinates:
+            raise ConfigurationError("both peers must be embedded before estimating a distance")
+        return float(
+            np.linalg.norm(self.peer_coordinates[peer_a] - self.peer_coordinates[peer_b])
+        )
+
+    def select_neighbors(
+        self,
+        peer_id: PeerId,
+        population: Optional[Sequence[PeerId]] = None,
+        k: int = 5,
+        exclude: Optional[Set[PeerId]] = None,
+    ) -> List[PeerId]:
+        """Rank embedded peers by coordinate distance and return the closest ``k``."""
+        require_positive_int(k, "k")
+        excluded = {peer_id}
+        if exclude:
+            excluded |= set(exclude)
+        candidates = population if population is not None else self.peers()
+        ranked = sorted(
+            (
+                (self.estimate_distance(peer_id, candidate), repr(candidate), candidate)
+                for candidate in candidates
+                if candidate not in excluded and candidate in self.peer_coordinates
+            )
+        )
+        return [candidate for _, _, candidate in ranked[:k]]

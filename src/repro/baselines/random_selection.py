@@ -1,0 +1,60 @@
+"""Random neighbour selection — the paper's "basic approach" baseline.
+
+A newcomer that knows nothing about network proximity simply picks ``k``
+peers uniformly at random among the current population.  The paper's figure
+shows this baseline at roughly twice the optimal neighbour cost
+(``D_random / D_closest`` around 2), growing slowly with the population.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Sequence, Set
+
+from .._validation import coerce_seed, require_positive_int
+from ..exceptions import ConfigurationError
+
+PeerId = Hashable
+
+
+class RandomSelection:
+    """Uniformly random neighbour selection.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; experiments pass one so the random baseline is reproducible.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(coerce_seed(seed))
+
+    def select_neighbors(
+        self,
+        peer_id: PeerId,
+        population: Sequence[PeerId],
+        k: int,
+        exclude: Optional[Set[PeerId]] = None,
+    ) -> List[PeerId]:
+        """Pick up to ``k`` distinct peers uniformly at random.
+
+        The joining peer itself and any peer in ``exclude`` are never
+        returned.  If fewer than ``k`` candidates exist, all of them are
+        returned (shuffled).
+        """
+        require_positive_int(k, "k")
+        excluded = {peer_id}
+        if exclude:
+            excluded |= set(exclude)
+        candidates = [candidate for candidate in population if candidate not in excluded]
+        if not candidates:
+            raise ConfigurationError(
+                f"no candidates available for random selection around peer {peer_id!r}"
+            )
+        if k >= len(candidates):
+            shuffled = list(candidates)
+            self._rng.shuffle(shuffled)
+            return shuffled
+        return self._rng.sample(candidates, k)

@@ -1,0 +1,99 @@
+"""The paper's primary contribution: landmark path trees + management server.
+
+The pieces fit together as follows:
+
+* a peer records a :class:`~repro.core.path.RouterPath` towards its closest
+  landmark (client side: :class:`~repro.core.newcomer.NewcomerClient`);
+* the :class:`~repro.core.management_server.ManagementServer` inserts the
+  path into the landmark's :class:`~repro.core.path_tree.PathTree` and
+  answers with the estimated-closest peers;
+* :mod:`~repro.core.distance` provides the tooling to compare the inferred
+  ``dtree`` distances against true network distances.
+"""
+
+from .path import (
+    LandmarkId,
+    NodeId,
+    PeerId,
+    RouterPath,
+    shared_suffix_length,
+    tree_distance,
+)
+from .path_tree import PathTree, PathTreeNode
+from .management_server import ManagementServer, NeighborEntry, ServerStats
+from .distance import (
+    AccuracyReport,
+    DistanceEstimator,
+    PairAccuracy,
+    evaluate_estimator,
+    sample_peer_pairs,
+    true_hop_distances,
+)
+from .protocol import (
+    JoinRequest,
+    JoinResponse,
+    JoinTranscript,
+    LandmarkDescriptor,
+    LeaveNotice,
+    NeighborRecommendation,
+    NeighborResponse,
+    PathReport,
+)
+from .newcomer import (
+    LANDMARK_SELECTION_POLICIES,
+    SELECT_CLOSEST_RTT,
+    SELECT_FEWEST_HOPS,
+    SELECT_FIRST,
+    JoinResult,
+    NewcomerClient,
+    join_population,
+)
+from .superpeers import (
+    PARTITION_CONTIGUOUS,
+    PARTITION_POLICIES,
+    PARTITION_ROUND_ROBIN,
+    SuperPeer,
+    SuperPeerDirectory,
+    partition_landmarks,
+)
+
+__all__ = [
+    "LandmarkId",
+    "NodeId",
+    "PeerId",
+    "RouterPath",
+    "shared_suffix_length",
+    "tree_distance",
+    "PathTree",
+    "PathTreeNode",
+    "ManagementServer",
+    "NeighborEntry",
+    "ServerStats",
+    "AccuracyReport",
+    "DistanceEstimator",
+    "PairAccuracy",
+    "evaluate_estimator",
+    "sample_peer_pairs",
+    "true_hop_distances",
+    "JoinRequest",
+    "JoinResponse",
+    "JoinTranscript",
+    "LandmarkDescriptor",
+    "LeaveNotice",
+    "NeighborRecommendation",
+    "NeighborResponse",
+    "PathReport",
+    "LANDMARK_SELECTION_POLICIES",
+    "SELECT_CLOSEST_RTT",
+    "SELECT_FEWEST_HOPS",
+    "SELECT_FIRST",
+    "JoinResult",
+    "NewcomerClient",
+    "join_population",
+    "PARTITION_CONTIGUOUS",
+    "PARTITION_POLICIES",
+    "PARTITION_ROUND_ROBIN",
+    "SuperPeer",
+    "SuperPeerDirectory",
+    "partition_landmarks",
+]

@@ -1,0 +1,336 @@
+"""The management server: registers peer paths, answers closest-peer queries.
+
+This is the paper's central component.  It maintains one
+:class:`~repro.core.path_tree.PathTree` per landmark, plus (optionally) a
+per-peer **cached neighbour list** so that answering a closest-peer query is
+a single hash-table access — the O(1) lookup the paper claims — while each
+newcomer insertion only touches the peers close to the newcomer and performs
+ordered-list insertions into their cached lists — the O(log n) insertion the
+paper claims.
+
+Cross-landmark estimates
+------------------------
+Peers registered under different landmarks share no path, so their tree
+distance is undefined.  When inter-landmark distances are provided (the
+landmarks can measure them once, offline), the server falls back to::
+
+    d_cross(p1, p2) = hops(p1 -> landmark(p1)) + d(landmark(p1), landmark(p2))
+                      + hops(landmark(p2) -> p2)
+
+which is an upper bound on the true distance.  Cross-landmark candidates are
+only used to fill a neighbour list when the peer's own tree cannot provide
+``k`` candidates.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from .._validation import require_positive_int
+from ..exceptions import LandmarkError, RegistrationError, UnknownPeerError
+from .path import LandmarkId, NodeId, PeerId, RouterPath
+from .path_tree import PathTree
+
+
+@dataclass
+class ServerStats:
+    """Operation counters, used by the complexity benchmarks."""
+
+    registrations: int = 0
+    removals: int = 0
+    queries: int = 0
+    cache_hits: int = 0
+    tree_queries: int = 0
+    cache_updates: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.registrations = 0
+        self.removals = 0
+        self.queries = 0
+        self.cache_hits = 0
+        self.tree_queries = 0
+        self.cache_updates = 0
+
+
+@dataclass
+class NeighborEntry:
+    """One entry of a cached neighbour list."""
+
+    distance: float
+    peer_id: PeerId
+
+    def as_tuple(self) -> Tuple[float, str, PeerId]:
+        """Sort key: distance first, then a stable textual tiebreak."""
+        return (self.distance, repr(self.peer_id), self.peer_id)
+
+
+class ManagementServer:
+    """Central server implementing the paper's two-round discovery scheme.
+
+    Parameters
+    ----------
+    neighbor_set_size:
+        Number of neighbours (``k``) returned to a newcomer and kept in each
+        peer's cached list.
+    maintain_cache:
+        Keep per-peer neighbour lists up to date on every registration so
+        queries are O(1).  Disabling it makes every query walk the tree
+        (useful for the complexity ablation).
+    landmark_distances:
+        Optional ``{(landmark_a, landmark_b): hop_distance}`` map (symmetric
+        entries are filled in automatically) enabling cross-landmark
+        estimates.
+    """
+
+    def __init__(
+        self,
+        neighbor_set_size: int = 5,
+        maintain_cache: bool = True,
+        landmark_distances: Optional[Dict[Tuple[LandmarkId, LandmarkId], float]] = None,
+    ) -> None:
+        self.neighbor_set_size = require_positive_int(neighbor_set_size, "neighbor_set_size")
+        self.maintain_cache = maintain_cache
+        self._trees: Dict[LandmarkId, PathTree] = {}
+        self._landmark_routers: Dict[LandmarkId, NodeId] = {}
+        self._peer_landmark: Dict[PeerId, LandmarkId] = {}
+        self._paths: Dict[PeerId, RouterPath] = {}
+        self._neighbor_cache: Dict[PeerId, List[NeighborEntry]] = {}
+        self._landmark_distances: Dict[Tuple[LandmarkId, LandmarkId], float] = {}
+        if landmark_distances:
+            for (a, b), distance in landmark_distances.items():
+                self.set_landmark_distance(a, b, distance)
+        self.stats = ServerStats()
+
+    # -------------------------------------------------------------- landmarks
+
+    def register_landmark(self, landmark_id: LandmarkId, router: NodeId) -> None:
+        """Declare a landmark and the router it is attached to."""
+        if landmark_id in self._trees:
+            raise LandmarkError(f"landmark {landmark_id!r} is already registered")
+        self._landmark_routers[landmark_id] = router
+        self._trees[landmark_id] = PathTree(landmark_id=landmark_id, landmark_router=router)
+
+    def landmarks(self) -> List[LandmarkId]:
+        """Identifiers of all registered landmarks."""
+        return list(self._trees)
+
+    def landmark_router(self, landmark_id: LandmarkId) -> NodeId:
+        """Router a landmark is attached to."""
+        if landmark_id not in self._landmark_routers:
+            raise LandmarkError(f"unknown landmark {landmark_id!r}")
+        return self._landmark_routers[landmark_id]
+
+    def tree(self, landmark_id: LandmarkId) -> PathTree:
+        """The path tree of one landmark."""
+        if landmark_id not in self._trees:
+            raise LandmarkError(f"unknown landmark {landmark_id!r}")
+        return self._trees[landmark_id]
+
+    def set_landmark_distance(self, a: LandmarkId, b: LandmarkId, distance: float) -> None:
+        """Record the (symmetric) distance between two landmarks."""
+        if distance < 0:
+            raise LandmarkError(f"landmark distance must be >= 0, got {distance}")
+        self._landmark_distances[(a, b)] = float(distance)
+        self._landmark_distances[(b, a)] = float(distance)
+
+    def landmark_distance(self, a: LandmarkId, b: LandmarkId) -> Optional[float]:
+        """Distance between two landmarks, or None if unknown."""
+        if a == b:
+            return 0.0
+        return self._landmark_distances.get((a, b))
+
+    # ------------------------------------------------------------------ peers
+
+    @property
+    def peer_count(self) -> int:
+        """Number of currently registered peers."""
+        return len(self._peer_landmark)
+
+    def peers(self) -> List[PeerId]:
+        """Identifiers of all registered peers."""
+        return list(self._peer_landmark)
+
+    def has_peer(self, peer_id: PeerId) -> bool:
+        """True if the peer is registered."""
+        return peer_id in self._peer_landmark
+
+    def peer_path(self, peer_id: PeerId) -> RouterPath:
+        """The path a peer registered with."""
+        if peer_id not in self._paths:
+            raise UnknownPeerError(peer_id)
+        return self._paths[peer_id]
+
+    def peer_landmark(self, peer_id: PeerId) -> LandmarkId:
+        """The landmark a peer registered under."""
+        if peer_id not in self._peer_landmark:
+            raise UnknownPeerError(peer_id)
+        return self._peer_landmark[peer_id]
+
+    # -------------------------------------------------------------- register
+
+    def register_peer(self, path: RouterPath) -> List[Tuple[PeerId, float]]:
+        """Round 2 of the join protocol: insert the path, return closest peers.
+
+        Returns the newcomer's neighbour list (up to ``neighbor_set_size``
+        entries of ``(peer_id, estimated_distance)``), which is also what the
+        server caches for subsequent O(1) queries.
+        """
+        if path.landmark_id not in self._trees:
+            raise RegistrationError(
+                f"peer {path.peer_id!r} reported a path to unknown landmark "
+                f"{path.landmark_id!r}"
+            )
+        if path.peer_id in self._peer_landmark:
+            self.unregister_peer(path.peer_id)
+
+        tree = self._trees[path.landmark_id]
+        tree.insert(path)
+        self._peer_landmark[path.peer_id] = path.landmark_id
+        self._paths[path.peer_id] = path
+        self.stats.registrations += 1
+
+        neighbors = self._compute_neighbors(path.peer_id)
+        if self.maintain_cache:
+            self._neighbor_cache[path.peer_id] = [
+                NeighborEntry(distance=distance, peer_id=peer) for peer, distance in neighbors
+            ]
+            self._propagate_newcomer(path.peer_id, neighbors)
+        return neighbors
+
+    def unregister_peer(self, peer_id: PeerId) -> None:
+        """Remove a departing peer from its tree and from all cached lists."""
+        if peer_id not in self._peer_landmark:
+            raise UnknownPeerError(peer_id)
+        landmark_id = self._peer_landmark.pop(peer_id)
+        del self._paths[peer_id]
+        self._trees[landmark_id].remove(peer_id)
+        self._neighbor_cache.pop(peer_id, None)
+        self.stats.removals += 1
+        if self.maintain_cache:
+            # Lazily repair other peers' lists: drop the departed entry; the
+            # list is refilled from the tree on the next query if it runs dry.
+            for entries in self._neighbor_cache.values():
+                entries[:] = [entry for entry in entries if entry.peer_id != peer_id]
+
+    # ---------------------------------------------------------------- queries
+
+    def closest_peers(self, peer_id: PeerId, k: Optional[int] = None) -> List[Tuple[PeerId, float]]:
+        """Return up to ``k`` closest peers for a registered peer.
+
+        With the cache enabled and ``k <= neighbor_set_size`` this is a single
+        dictionary access (plus slicing); otherwise the landmark tree is
+        queried directly.
+        """
+        if peer_id not in self._peer_landmark:
+            raise UnknownPeerError(peer_id)
+        k = k or self.neighbor_set_size
+        self.stats.queries += 1
+        if self.maintain_cache and k <= self.neighbor_set_size:
+            entries = self._neighbor_cache.get(peer_id, [])
+            if len(entries) >= min(k, self.peer_count - 1):
+                self.stats.cache_hits += 1
+                return [(entry.peer_id, entry.distance) for entry in entries[:k]]
+        neighbors = self._compute_neighbors(peer_id, k=k)
+        if self.maintain_cache and k >= self.neighbor_set_size:
+            self._neighbor_cache[peer_id] = [
+                NeighborEntry(distance=distance, peer_id=peer)
+                for peer, distance in neighbors[: self.neighbor_set_size]
+            ]
+        return neighbors
+
+    def estimate_distance(self, peer_a: PeerId, peer_b: PeerId) -> float:
+        """Estimated hop distance between two registered peers.
+
+        Implements the :class:`~repro.core.distance.DistanceEstimator`
+        protocol: same-landmark pairs use the tree distance, cross-landmark
+        pairs use the landmark-detour estimate (requires landmark distances),
+        and unknown cross-landmark distances raise :class:`LandmarkError`.
+        """
+        if peer_a == peer_b:
+            return 0.0
+        landmark_a = self.peer_landmark(peer_a)
+        landmark_b = self.peer_landmark(peer_b)
+        if landmark_a == landmark_b:
+            return float(self._trees[landmark_a].tree_distance(peer_a, peer_b))
+        between = self.landmark_distance(landmark_a, landmark_b)
+        if between is None:
+            raise LandmarkError(
+                f"no inter-landmark distance between {landmark_a!r} and {landmark_b!r}"
+            )
+        return float(self._paths[peer_a].hop_count + between + self._paths[peer_b].hop_count)
+
+    # -------------------------------------------------------------- internals
+
+    def _compute_neighbors(self, peer_id: PeerId, k: Optional[int] = None) -> List[Tuple[PeerId, float]]:
+        """Tree-walk computation of a peer's closest peers (plus cross-landmark fill)."""
+        k = k or self.neighbor_set_size
+        landmark_id = self._peer_landmark[peer_id]
+        tree = self._trees[landmark_id]
+        self.stats.tree_queries += 1
+        same_landmark = tree.closest_peers(peer_id, k)
+        neighbors: List[Tuple[PeerId, float]] = [
+            (peer, float(distance)) for peer, distance in same_landmark
+        ]
+        if len(neighbors) >= k:
+            return neighbors[:k]
+
+        # Not enough peers under this landmark: fill with cross-landmark
+        # estimates if inter-landmark distances are known.
+        own_path = self._paths[peer_id]
+        candidates: List[Tuple[float, str, PeerId]] = []
+        for other_landmark, other_tree in self._trees.items():
+            if other_landmark == landmark_id:
+                continue
+            between = self.landmark_distance(landmark_id, other_landmark)
+            if between is None:
+                continue
+            for other_peer in other_tree.peers():
+                if other_peer == peer_id:
+                    continue
+                estimate = own_path.hop_count + between + self._paths[other_peer].hop_count
+                candidates.append((float(estimate), repr(other_peer), other_peer))
+        candidates.sort()
+        already = {peer for peer, _ in neighbors}
+        for estimate, _, other_peer in candidates:
+            if len(neighbors) >= k:
+                break
+            if other_peer in already:
+                continue
+            neighbors.append((other_peer, estimate))
+            already.add(other_peer)
+        return neighbors
+
+    def _propagate_newcomer(
+        self, newcomer: PeerId, newcomer_neighbors: Sequence[Tuple[PeerId, float]]
+    ) -> None:
+        """Insert the newcomer into nearby peers' cached lists (ordered insert).
+
+        Only the peers that appear in the newcomer's own neighbour list (and
+        their current list members' bound) can possibly gain the newcomer as
+        a better neighbour, so the update cost is bounded by
+        ``neighbor_set_size`` ordered-list insertions — the O(log n)
+        "ordered list" cost the paper refers to.
+        """
+        for peer, distance in newcomer_neighbors:
+            entries = self._neighbor_cache.get(peer)
+            if entries is None:
+                continue
+            if any(entry.peer_id == newcomer for entry in entries):
+                continue
+            if len(entries) >= self.neighbor_set_size and distance >= entries[-1].distance:
+                continue
+            keys = [entry.as_tuple() for entry in entries]
+            new_entry = NeighborEntry(distance=distance, peer_id=newcomer)
+            index = bisect.bisect_left(keys, new_entry.as_tuple())
+            entries.insert(index, new_entry)
+            del entries[self.neighbor_set_size :]
+            self.stats.cache_updates += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ManagementServer(peers={self.peer_count}, landmarks={len(self._trees)}, "
+            f"k={self.neighbor_set_size}, cache={'on' if self.maintain_cache else 'off'})"
+        )

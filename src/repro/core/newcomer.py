@@ -1,0 +1,223 @@
+"""Client-side logic of the two-round join protocol.
+
+A :class:`NewcomerClient` models what a joining peer does:
+
+1. obtain the landmark list from the management server (bootstrap);
+2. probe the landmarks to find the closest one *in terms of latency* — the
+   paper's newcomer targets "its closest landmark";
+3. run the traceroute-like tool towards that landmark and clean the result;
+4. upload the path and receive the recommended neighbour list.
+
+The client works directly against an in-process
+:class:`~repro.core.management_server.ManagementServer` (as the experiments
+do) and records a :class:`~repro.core.protocol.JoinTranscript` with the
+simulated timing of each phase, so setup-delay comparisons against
+coordinate-based systems can be made.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .._validation import require_one_of, require_positive_int
+from ..exceptions import LandmarkError, TracerouteError
+from ..routing.path_inference import GAP_DROP, GAP_POLICIES, clean_traceroute
+from ..routing.traceroute import TracerouteSimulator
+from .management_server import ManagementServer
+from .path import LandmarkId, NodeId, PeerId, RouterPath
+from .protocol import (
+    JoinTranscript,
+    LandmarkDescriptor,
+    NeighborRecommendation,
+    NeighborResponse,
+    PathReport,
+)
+
+LandmarkSelection = str
+SELECT_CLOSEST_RTT = "closest_rtt"
+SELECT_FEWEST_HOPS = "fewest_hops"
+SELECT_FIRST = "first"
+LANDMARK_SELECTION_POLICIES = (SELECT_CLOSEST_RTT, SELECT_FEWEST_HOPS, SELECT_FIRST)
+
+
+@dataclass
+class JoinResult:
+    """Outcome of one join: the accepted neighbours plus the full transcript."""
+
+    peer_id: PeerId
+    landmark_id: LandmarkId
+    path: RouterPath
+    neighbors: List[NeighborRecommendation]
+    transcript: JoinTranscript
+
+    def neighbor_ids(self) -> List[PeerId]:
+        """Recommended neighbour identifiers, closest first."""
+        return [entry.peer_id for entry in self.neighbors]
+
+
+class NewcomerClient:
+    """Implements the peer side of the join protocol.
+
+    Parameters
+    ----------
+    peer_id:
+        Identifier of the joining peer.
+    access_router:
+        Router the peer's host is attached to (its first hop).
+    traceroute:
+        Simulated traceroute tool operating on the router topology.
+    landmark_selection:
+        How to pick the landmark to report a path for: ``closest_rtt``
+        (default, matches the paper), ``fewest_hops`` or ``first``.
+    gap_policy:
+        How to clean anonymous hops out of the recorded path (see
+        :mod:`repro.routing.path_inference`).
+    probe_cost_ms:
+        Modelled wall-clock cost of one traceroute hop probe, used only to
+        fill in the transcript timings.
+    """
+
+    def __init__(
+        self,
+        peer_id: PeerId,
+        access_router: NodeId,
+        traceroute: TracerouteSimulator,
+        landmark_selection: LandmarkSelection = SELECT_CLOSEST_RTT,
+        gap_policy: str = GAP_DROP,
+        probe_cost_ms: float = 20.0,
+    ) -> None:
+        self.peer_id = peer_id
+        self.access_router = access_router
+        self.traceroute = traceroute
+        self.landmark_selection = require_one_of(
+            landmark_selection, LANDMARK_SELECTION_POLICIES, "landmark_selection"
+        )
+        self.gap_policy = require_one_of(gap_policy, GAP_POLICIES, "gap_policy")
+        self.probe_cost_ms = float(probe_cost_ms)
+
+    # ------------------------------------------------------------- selection
+
+    def select_landmark(
+        self, landmarks: Sequence[LandmarkDescriptor]
+    ) -> Tuple[LandmarkDescriptor, Dict[LandmarkId, float]]:
+        """Pick the landmark to use and return per-landmark probe measurements.
+
+        The ``closest_rtt`` policy traces towards every landmark and keeps the
+        one with the lowest measured RTT (ties broken by landmark id).  The
+        measurements dict maps landmark id → measured RTT (or hop count for
+        the ``fewest_hops`` policy) and is reused so the chosen landmark does
+        not need to be re-probed.
+        """
+        if not landmarks:
+            raise LandmarkError("the management server announced no landmarks")
+        if self.landmark_selection == SELECT_FIRST or len(landmarks) == 1:
+            return landmarks[0], {}
+
+        measurements: Dict[LandmarkId, float] = {}
+        for descriptor in landmarks:
+            result = self.traceroute.trace(self.access_router, descriptor.router)
+            if not result.reached:
+                continue
+            if self.landmark_selection == SELECT_CLOSEST_RTT:
+                rtt = result.destination_rtt_ms()
+                measurements[descriptor.landmark_id] = rtt if rtt is not None else float("inf")
+            else:
+                measurements[descriptor.landmark_id] = float(result.hop_count)
+
+        if not measurements:
+            raise TracerouteError(
+                f"peer {self.peer_id!r} could not reach any landmark from router "
+                f"{self.access_router!r}"
+            )
+        best_id = min(measurements, key=lambda lid: (measurements[lid], repr(lid)))
+        best = next(d for d in landmarks if d.landmark_id == best_id)
+        return best, measurements
+
+    # ------------------------------------------------------------------ probe
+
+    def probe_landmark(self, landmark: LandmarkDescriptor) -> RouterPath:
+        """Run the traceroute-like tool towards ``landmark`` and clean the path."""
+        result = self.traceroute.trace(self.access_router, landmark.router)
+        cleaned = clean_traceroute(result, gap_policy=self.gap_policy)
+        routers = list(cleaned.routers)
+        if not routers:
+            raise TracerouteError(
+                f"peer {self.peer_id!r}: traceroute towards landmark "
+                f"{landmark.landmark_id!r} produced an empty path"
+            )
+        # The peer's own access router is the first hop of its path; the
+        # traceroute starts *from* that router, so prepend it explicitly.
+        if routers[0] != self.access_router:
+            routers.insert(0, self.access_router)
+        return RouterPath.from_routers(
+            peer_id=self.peer_id,
+            landmark_id=landmark.landmark_id,
+            routers=routers,
+            rtt_ms=result.destination_rtt_ms(),
+        )
+
+    # ------------------------------------------------------------------- join
+
+    def join(
+        self,
+        server: ManagementServer,
+        start_time_ms: float = 0.0,
+    ) -> JoinResult:
+        """Run the full two-round join against ``server``."""
+        transcript = JoinTranscript(peer_id=self.peer_id, probe_started_at=start_time_ms)
+
+        descriptors = [
+            LandmarkDescriptor(landmark_id=lid, router=server.landmark_router(lid))
+            for lid in server.landmarks()
+        ]
+        chosen, measurements = self.select_landmark(descriptors)
+        transcript.landmark_id = chosen.landmark_id
+
+        path = self.probe_landmark(chosen)
+        probe_count = max(1, len(measurements)) if measurements else 1
+        probe_time = self.probe_cost_ms * path.hop_count * probe_count
+        transcript.probe_finished_at = start_time_ms + probe_time
+        transcript.report_sent_at = transcript.probe_finished_at
+
+        report = PathReport(peer_id=self.peer_id, path=path)
+        pairs = server.register_peer(report.path)
+        response = NeighborResponse.from_pairs(self.peer_id, pairs)
+
+        server_rtt = path.rtt_ms if path.rtt_ms is not None else 10.0
+        transcript.neighbors_received_at = transcript.report_sent_at + server_rtt
+        transcript.neighbors = list(response.neighbors)
+
+        return JoinResult(
+            peer_id=self.peer_id,
+            landmark_id=chosen.landmark_id,
+            path=path,
+            neighbors=list(response.neighbors),
+            transcript=transcript,
+        )
+
+
+def join_population(
+    peer_routers: Dict[PeerId, NodeId],
+    server: ManagementServer,
+    traceroute: TracerouteSimulator,
+    landmark_selection: LandmarkSelection = SELECT_CLOSEST_RTT,
+    gap_policy: str = GAP_DROP,
+) -> Dict[PeerId, JoinResult]:
+    """Join a whole population of peers one by one (in dict order).
+
+    Convenience helper used by the experiments: ``peer_routers`` maps each
+    peer id to the access router it is attached to.
+    """
+    require_positive_int(len(peer_routers), "population size")
+    results: Dict[PeerId, JoinResult] = {}
+    for peer_id, router in peer_routers.items():
+        client = NewcomerClient(
+            peer_id=peer_id,
+            access_router=router,
+            traceroute=traceroute,
+            landmark_selection=landmark_selection,
+            gap_policy=gap_policy,
+        )
+        results[peer_id] = client.join(server)
+    return results

@@ -1,0 +1,321 @@
+"""Landmark-rooted path tree (the management server's core data structure).
+
+All the paths reported towards one landmark form a tree rooted at that
+landmark: paths merge as they approach the network core, and the router where
+two paths merge (their lowest common ancestor, the *branch router*) is the
+point through which the inferred route between the two peers goes.  The
+inferred distance is::
+
+    dtree(p1, p2) = hops(p1 -> branch) + hops(branch -> p2)
+
+The tree is implemented as a trie over the reversed paths (landmark first).
+Each trie node corresponds to one router on at least one reported path, knows
+its depth (hops from the landmark), the peers attached at that exact router,
+and the number of peers in its subtree, so closest-peer queries can stop as
+soon as enough candidates have been gathered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+
+from ..exceptions import RegistrationError, UnknownPeerError
+from .path import LandmarkId, NodeId, PeerId, RouterPath
+
+
+@dataclass
+class PathTreeNode:
+    """One router on the landmark-rooted path tree."""
+
+    router: NodeId
+    depth: int
+    parent: Optional["PathTreeNode"] = None
+    children: Dict[NodeId, "PathTreeNode"] = field(default_factory=dict)
+    attached_peers: Set[PeerId] = field(default_factory=set)
+    subtree_peer_count: int = 0
+
+    def child(self, router: NodeId) -> Optional["PathTreeNode"]:
+        """Return the child trie node for ``router`` if it exists."""
+        return self.children.get(router)
+
+    def ensure_child(self, router: NodeId) -> "PathTreeNode":
+        """Return the child for ``router``, creating it if needed."""
+        node = self.children.get(router)
+        if node is None:
+            node = PathTreeNode(router=router, depth=self.depth + 1, parent=self)
+            self.children[router] = node
+        return node
+
+    def iter_subtree(self) -> Iterator["PathTreeNode"]:
+        """Depth-first iteration over this node and all its descendants."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def peers_in_subtree(self) -> Iterator[Tuple[PeerId, int]]:
+        """Yield ``(peer_id, attachment_depth)`` for every peer under this node."""
+        for node in self.iter_subtree():
+            for peer_id in node.attached_peers:
+                yield peer_id, node.depth
+
+    def __repr__(self) -> str:
+        return (
+            f"PathTreeNode(router={self.router!r}, depth={self.depth}, "
+            f"peers={len(self.attached_peers)}, subtree={self.subtree_peer_count})"
+        )
+
+
+class PathTree:
+    """The set of reported paths towards one landmark, organised as a trie.
+
+    Parameters
+    ----------
+    landmark_id:
+        Identifier of the landmark this tree belongs to.
+    landmark_router:
+        Router the landmark is attached to; used as the trie root.  If not
+        given, the root is created lazily from the first inserted path's
+        landmark-side router.
+    """
+
+    def __init__(self, landmark_id: LandmarkId, landmark_router: Optional[NodeId] = None) -> None:
+        self.landmark_id = landmark_id
+        self._root: Optional[PathTreeNode] = None
+        if landmark_router is not None:
+            self._root = PathTreeNode(router=landmark_router, depth=0)
+        self._attachment: Dict[PeerId, PathTreeNode] = {}
+        self._paths: Dict[PeerId, RouterPath] = {}
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def root(self) -> Optional[PathTreeNode]:
+        """The trie root (landmark-side router), or None if still empty."""
+        return self._root
+
+    @property
+    def peer_count(self) -> int:
+        """Number of peers currently registered in this tree."""
+        return len(self._attachment)
+
+    @property
+    def router_count(self) -> int:
+        """Number of distinct routers present in the tree."""
+        if self._root is None:
+            return 0
+        return sum(1 for _ in self._root.iter_subtree())
+
+    def peers(self) -> List[PeerId]:
+        """All registered peer identifiers."""
+        return list(self._attachment)
+
+    def has_peer(self, peer_id: PeerId) -> bool:
+        """True if ``peer_id`` is registered in this tree."""
+        return peer_id in self._attachment
+
+    def path_of(self, peer_id: PeerId) -> RouterPath:
+        """The path ``peer_id`` registered with."""
+        if peer_id not in self._paths:
+            raise UnknownPeerError(peer_id)
+        return self._paths[peer_id]
+
+    def attachment_node(self, peer_id: PeerId) -> PathTreeNode:
+        """The trie node (access router) the peer is attached to."""
+        if peer_id not in self._attachment:
+            raise UnknownPeerError(peer_id)
+        return self._attachment[peer_id]
+
+    def max_depth(self) -> int:
+        """Deepest router depth in the tree (0 for an empty/one-node tree)."""
+        if self._root is None:
+            return 0
+        return max(node.depth for node in self._root.iter_subtree())
+
+    # ----------------------------------------------------------------- insert
+
+    def insert(self, path: RouterPath) -> PathTreeNode:
+        """Insert a peer's path; returns the node the peer got attached to.
+
+        The cost is linear in the path length (bounded by the network
+        diameter, ~15–30 hops), independent of the number of peers already in
+        the tree — this is the cheap "newcomer insertion" the paper claims.
+        Re-registering an already-known peer replaces its previous path.
+        """
+        if path.landmark_id != self.landmark_id:
+            raise RegistrationError(
+                f"path of peer {path.peer_id!r} targets landmark {path.landmark_id!r}, "
+                f"but this tree belongs to landmark {self.landmark_id!r}"
+            )
+        if path.peer_id in self._attachment:
+            self.remove(path.peer_id)
+
+        reversed_routers = path.from_landmark()
+        if self._root is None:
+            self._root = PathTreeNode(router=reversed_routers[0], depth=0)
+        elif self._root.router != reversed_routers[0]:
+            raise RegistrationError(
+                f"path of peer {path.peer_id!r} ends at router {reversed_routers[0]!r}, "
+                f"but the tree of landmark {self.landmark_id!r} is rooted at "
+                f"{self._root.router!r}"
+            )
+
+        node = self._root
+        for router in reversed_routers[1:]:
+            node = node.ensure_child(router)
+
+        node.attached_peers.add(path.peer_id)
+        self._attachment[path.peer_id] = node
+        self._paths[path.peer_id] = path
+        # Propagate the subtree count up to the root.
+        current: Optional[PathTreeNode] = node
+        while current is not None:
+            current.subtree_peer_count += 1
+            current = current.parent
+        return node
+
+    def remove(self, peer_id: PeerId) -> None:
+        """Remove a peer (e.g. on departure); prunes now-empty branches."""
+        if peer_id not in self._attachment:
+            raise UnknownPeerError(peer_id)
+        node = self._attachment.pop(peer_id)
+        del self._paths[peer_id]
+        node.attached_peers.discard(peer_id)
+
+        current: Optional[PathTreeNode] = node
+        while current is not None:
+            current.subtree_peer_count -= 1
+            current = current.parent
+
+        # Prune empty leaves so the trie does not grow without bound under churn.
+        current = node
+        while (
+            current is not None
+            and current.parent is not None
+            and current.subtree_peer_count == 0
+            and not current.children
+        ):
+            parent = current.parent
+            del parent.children[current.router]
+            current = parent
+
+    # ----------------------------------------------------------------- queries
+
+    def lowest_common_ancestor(self, peer_a: PeerId, peer_b: PeerId) -> PathTreeNode:
+        """Branch router node of two registered peers."""
+        node_a = self.attachment_node(peer_a)
+        node_b = self.attachment_node(peer_b)
+        while node_a.depth > node_b.depth:
+            node_a = node_a.parent  # type: ignore[assignment]
+        while node_b.depth > node_a.depth:
+            node_b = node_b.parent  # type: ignore[assignment]
+        while node_a is not node_b:
+            node_a = node_a.parent  # type: ignore[assignment]
+            node_b = node_b.parent  # type: ignore[assignment]
+        return node_a
+
+    def tree_distance(self, peer_a: PeerId, peer_b: PeerId) -> int:
+        """Inferred hop distance ``dtree`` between two registered peers.
+
+        Each peer is one hop away from its attachment (access) router, hence
+        the ``+ 1`` per side.
+        """
+        if peer_a == peer_b:
+            return 0
+        node_a = self.attachment_node(peer_a)
+        node_b = self.attachment_node(peer_b)
+        lca = self.lowest_common_ancestor(peer_a, peer_b)
+        hops_a = node_a.depth - lca.depth + 1
+        hops_b = node_b.depth - lca.depth + 1
+        return hops_a + hops_b
+
+    def closest_peers(
+        self,
+        peer_id: PeerId,
+        k: int,
+        exclude: Optional[Set[PeerId]] = None,
+    ) -> List[Tuple[PeerId, int]]:
+        """Return up to ``k`` peers closest to ``peer_id`` by tree distance.
+
+        The query walks up from the peer's attachment node: peers attached in
+        the subtree of an ancestor at depth ``d`` have their branch point at
+        depth >= ``d``, so candidates are discovered in non-decreasing
+        ``dtree`` order level by level.  The walk stops as soon as ``k``
+        candidates strictly closer than anything a higher ancestor could
+        provide have been found.
+
+        Returns a list of ``(peer_id, dtree)`` sorted by ``dtree`` then peer id.
+        """
+        if k <= 0:
+            return []
+        origin = self.attachment_node(peer_id)
+        excluded = {peer_id}
+        if exclude:
+            excluded |= set(exclude)
+
+        candidates: Dict[PeerId, int] = {}
+        visited_child: Optional[PathTreeNode] = None
+        node: Optional[PathTreeNode] = origin
+
+        while node is not None:
+            # Peers attached at or below `node` (skipping the subtree already
+            # examined through `visited_child`) have their LCA with the origin
+            # exactly at `node`.
+            for subtree_node in self._iter_subtree_excluding(node, visited_child):
+                for candidate in subtree_node.attached_peers:
+                    if candidate in excluded or candidate in candidates:
+                        continue
+                    hops_origin = origin.depth - node.depth + 1
+                    hops_candidate = subtree_node.depth - node.depth + 1
+                    candidates[candidate] = hops_origin + hops_candidate
+            if len(candidates) >= k and node.parent is not None:
+                # Anything discovered through the parent is at least as far as
+                # (origin.depth - parent.depth + 2); check whether the current
+                # k-best are already at most that bound.
+                best = sorted(candidates.values())[:k]
+                parent_bound = origin.depth - node.parent.depth + 2
+                if best[-1] <= parent_bound:
+                    break
+            visited_child = node
+            node = node.parent
+
+        ranked = sorted(candidates.items(), key=lambda item: (item[1], repr(item[0])))
+        return ranked[:k]
+
+    @staticmethod
+    def _iter_subtree_excluding(
+        node: PathTreeNode, skip: Optional[PathTreeNode]
+    ) -> Iterator[PathTreeNode]:
+        """Iterate ``node``'s subtree but do not descend into ``skip``."""
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current is skip:
+                continue
+            yield current
+            for child in current.children.values():
+                if child is not skip:
+                    stack.append(child)
+
+    def all_pairs_tree_distance(self) -> Dict[Tuple[PeerId, PeerId], int]:
+        """Exhaustive dtree for every unordered pair (small populations only)."""
+        peers = self.peers()
+        result: Dict[Tuple[PeerId, PeerId], int] = {}
+        for i, peer_a in enumerate(peers):
+            for peer_b in peers[i + 1 :]:
+                result[(peer_a, peer_b)] = self.tree_distance(peer_a, peer_b)
+        return result
+
+    def __contains__(self, peer_id: PeerId) -> bool:
+        return peer_id in self._attachment
+
+    def __len__(self) -> int:
+        return len(self._attachment)
+
+    def __repr__(self) -> str:
+        return (
+            f"PathTree(landmark={self.landmark_id!r}, peers={self.peer_count}, "
+            f"routers={self.router_count})"
+        )

@@ -1,0 +1,140 @@
+"""Message types of the two-round join protocol.
+
+The protocol exchanges exactly three application messages per newcomer:
+
+1. ``JoinRequest`` — the newcomer asks the management server which landmarks
+   exist (bootstrap information).
+2. ``PathReport`` — after probing, the newcomer uploads its recorded router
+   path towards its chosen landmark (round 1 of the paper's description).
+3. ``NeighborResponse`` — the server answers with the estimated-closest peers
+   (round 2).
+
+The messages are plain dataclasses so they can be carried by the discrete-
+event simulator's network layer (:mod:`repro.sim.network`) or used directly
+in in-process experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .path import LandmarkId, NodeId, PeerId, RouterPath
+
+
+@dataclass(frozen=True)
+class LandmarkDescriptor:
+    """What a newcomer needs to know about one landmark."""
+
+    landmark_id: LandmarkId
+    router: NodeId
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """Newcomer → server: announce arrival and ask for the landmark list."""
+
+    peer_id: PeerId
+
+
+@dataclass(frozen=True)
+class JoinResponse:
+    """Server → newcomer: the landmarks available for probing."""
+
+    peer_id: PeerId
+    landmarks: Tuple[LandmarkDescriptor, ...]
+
+    @classmethod
+    def for_landmarks(
+        cls, peer_id: PeerId, landmarks: Sequence[Tuple[LandmarkId, NodeId]]
+    ) -> "JoinResponse":
+        """Build a response from ``(landmark_id, router)`` pairs."""
+        return cls(
+            peer_id=peer_id,
+            landmarks=tuple(
+                LandmarkDescriptor(landmark_id=lid, router=router) for lid, router in landmarks
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PathReport:
+    """Newcomer → server: the recorded path towards the chosen landmark."""
+
+    peer_id: PeerId
+    path: RouterPath
+
+    @property
+    def landmark_id(self) -> LandmarkId:
+        """Landmark the reported path leads to."""
+        return self.path.landmark_id
+
+
+@dataclass(frozen=True)
+class NeighborRecommendation:
+    """One recommended neighbour with its estimated distance."""
+
+    peer_id: PeerId
+    estimated_distance: float
+
+
+@dataclass(frozen=True)
+class NeighborResponse:
+    """Server → newcomer: the estimated-closest peers."""
+
+    peer_id: PeerId
+    neighbors: Tuple[NeighborRecommendation, ...]
+
+    @classmethod
+    def from_pairs(
+        cls, peer_id: PeerId, pairs: Sequence[Tuple[PeerId, float]]
+    ) -> "NeighborResponse":
+        """Build a response from ``(neighbor_id, distance)`` pairs."""
+        return cls(
+            peer_id=peer_id,
+            neighbors=tuple(
+                NeighborRecommendation(peer_id=neighbor, estimated_distance=float(distance))
+                for neighbor, distance in pairs
+            ),
+        )
+
+    def neighbor_ids(self) -> List[PeerId]:
+        """Just the recommended peer identifiers, closest first."""
+        return [entry.peer_id for entry in self.neighbors]
+
+
+@dataclass(frozen=True)
+class LeaveNotice:
+    """Peer → server: graceful departure."""
+
+    peer_id: PeerId
+
+
+@dataclass
+class JoinTranscript:
+    """Record of one complete join, used by setup-delay experiments.
+
+    Times are in simulated milliseconds relative to the join start.
+    """
+
+    peer_id: PeerId
+    landmark_id: Optional[LandmarkId] = None
+    probe_started_at: Optional[float] = None
+    probe_finished_at: Optional[float] = None
+    report_sent_at: Optional[float] = None
+    neighbors_received_at: Optional[float] = None
+    neighbors: List[NeighborRecommendation] = field(default_factory=list)
+
+    @property
+    def probe_duration(self) -> Optional[float]:
+        """Time spent probing the landmark path."""
+        if self.probe_started_at is None or self.probe_finished_at is None:
+            return None
+        return self.probe_finished_at - self.probe_started_at
+
+    @property
+    def setup_delay(self) -> Optional[float]:
+        """Total time from join start to neighbour list received."""
+        if self.probe_started_at is None or self.neighbors_received_at is None:
+            return None
+        return self.neighbors_received_at - self.probe_started_at

@@ -1,0 +1,313 @@
+"""Super-peer deployment of the management service (paper future work).
+
+The paper notes: "we are investigating the opportunity to use some
+super-peers."  A single management server is a scalability and availability
+bottleneck; this module shards it across several **super-peers**, each
+responsible for one or more landmarks (and therefore for the path tree of
+every peer that registered under those landmarks).
+
+Design
+------
+* :func:`partition_landmarks` splits the landmark set across super-peers,
+  either round-robin or load-balanced by expected coverage.
+* Each :class:`SuperPeer` embeds a regular
+  :class:`~repro.core.management_server.ManagementServer` restricted to its
+  landmarks, so all the single-server machinery (path trees, caches,
+  cross-landmark estimates) is reused unchanged.
+* The :class:`SuperPeerDirectory` is the thin routing layer a newcomer talks
+  to: it forwards a registration to the super-peer owning the reported
+  landmark and merges answers when a query needs candidates from other
+  regions.
+
+The directory implements the same ``register_peer`` / ``closest_peers`` /
+``estimate_distance`` surface as the single server, so experiments can swap
+one for the other (see ``examples/superpeer_deployment.py`` and the
+``superpeer`` ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .._validation import require_one_of, require_positive_int
+from ..exceptions import ConfigurationError, LandmarkError, RegistrationError, UnknownPeerError
+from .management_server import ManagementServer
+from .path import LandmarkId, NodeId, PeerId, RouterPath
+
+PARTITION_ROUND_ROBIN = "round_robin"
+PARTITION_CONTIGUOUS = "contiguous"
+PARTITION_POLICIES = (PARTITION_ROUND_ROBIN, PARTITION_CONTIGUOUS)
+
+
+def partition_landmarks(
+    landmark_ids: Sequence[LandmarkId],
+    super_peer_count: int,
+    policy: str = PARTITION_ROUND_ROBIN,
+) -> List[List[LandmarkId]]:
+    """Split ``landmark_ids`` into ``super_peer_count`` groups.
+
+    ``round_robin`` interleaves landmarks across super-peers (balances counts
+    when landmark coverage is roughly uniform); ``contiguous`` slices the
+    list, which keeps adjacent landmarks together when the caller pre-sorted
+    them by region.
+    """
+    require_positive_int(super_peer_count, "super_peer_count")
+    require_one_of(policy, PARTITION_POLICIES, "policy")
+    if not landmark_ids:
+        raise ConfigurationError("cannot partition an empty landmark list")
+    if super_peer_count > len(landmark_ids):
+        raise ConfigurationError(
+            f"cannot spread {len(landmark_ids)} landmarks over {super_peer_count} super-peers"
+        )
+    groups: List[List[LandmarkId]] = [[] for _ in range(super_peer_count)]
+    if policy == PARTITION_ROUND_ROBIN:
+        for index, landmark in enumerate(landmark_ids):
+            groups[index % super_peer_count].append(landmark)
+    else:
+        size = (len(landmark_ids) + super_peer_count - 1) // super_peer_count
+        for index in range(super_peer_count):
+            groups[index] = list(landmark_ids[index * size : (index + 1) * size])
+    return groups
+
+
+@dataclass
+class SuperPeer:
+    """One super-peer: a regional management server for a set of landmarks."""
+
+    super_peer_id: Hashable
+    server: ManagementServer
+    landmark_ids: List[LandmarkId] = field(default_factory=list)
+
+    @property
+    def peer_count(self) -> int:
+        """Peers currently registered at this super-peer."""
+        return self.server.peer_count
+
+    def owns_landmark(self, landmark_id: LandmarkId) -> bool:
+        """True if this super-peer is responsible for ``landmark_id``."""
+        return landmark_id in self.landmark_ids
+
+
+class SuperPeerDirectory:
+    """Routes registrations and queries to the responsible super-peer.
+
+    Parameters
+    ----------
+    neighbor_set_size:
+        Neighbours returned per query (k), forwarded to every regional server.
+    landmark_distances:
+        Global inter-landmark distance map; every regional server receives the
+        full map so cross-landmark estimates keep working within a region, and
+        the directory uses it for cross-region merging.
+    """
+
+    def __init__(
+        self,
+        neighbor_set_size: int = 5,
+        landmark_distances: Optional[Dict[Tuple[LandmarkId, LandmarkId], float]] = None,
+    ) -> None:
+        self.neighbor_set_size = require_positive_int(neighbor_set_size, "neighbor_set_size")
+        self._landmark_distances = dict(landmark_distances or {})
+        self._super_peers: Dict[Hashable, SuperPeer] = {}
+        self._landmark_owner: Dict[LandmarkId, Hashable] = {}
+        self._peer_owner: Dict[PeerId, Hashable] = {}
+        self.forwarded_registrations = 0
+        self.cross_region_queries = 0
+
+    # ------------------------------------------------------------ deployment
+
+    def add_super_peer(
+        self,
+        super_peer_id: Hashable,
+        landmarks: Sequence[Tuple[LandmarkId, NodeId]],
+    ) -> SuperPeer:
+        """Deploy a super-peer responsible for ``landmarks`` (id, router pairs)."""
+        if super_peer_id in self._super_peers:
+            raise ConfigurationError(f"super-peer {super_peer_id!r} already exists")
+        if not landmarks:
+            raise ConfigurationError("a super-peer must own at least one landmark")
+        server = ManagementServer(
+            neighbor_set_size=self.neighbor_set_size,
+            landmark_distances=self._landmark_distances or None,
+        )
+        super_peer = SuperPeer(super_peer_id=super_peer_id, server=server)
+        for landmark_id, router in landmarks:
+            if landmark_id in self._landmark_owner:
+                raise LandmarkError(
+                    f"landmark {landmark_id!r} is already owned by super-peer "
+                    f"{self._landmark_owner[landmark_id]!r}"
+                )
+            server.register_landmark(landmark_id, router)
+            super_peer.landmark_ids.append(landmark_id)
+            self._landmark_owner[landmark_id] = super_peer_id
+        self._super_peers[super_peer_id] = super_peer
+        return super_peer
+
+    @classmethod
+    def deploy(
+        cls,
+        landmarks: Sequence[Tuple[LandmarkId, NodeId]],
+        super_peer_count: int,
+        neighbor_set_size: int = 5,
+        landmark_distances: Optional[Dict[Tuple[LandmarkId, LandmarkId], float]] = None,
+        policy: str = PARTITION_ROUND_ROBIN,
+    ) -> "SuperPeerDirectory":
+        """Build a directory with ``super_peer_count`` super-peers in one call."""
+        directory = cls(
+            neighbor_set_size=neighbor_set_size, landmark_distances=landmark_distances
+        )
+        landmark_ids = [landmark_id for landmark_id, _ in landmarks]
+        routers = dict(landmarks)
+        groups = partition_landmarks(landmark_ids, super_peer_count, policy=policy)
+        for index, group in enumerate(groups):
+            if not group:
+                continue
+            directory.add_super_peer(
+                f"sp{index}", [(landmark_id, routers[landmark_id]) for landmark_id in group]
+            )
+        return directory
+
+    # --------------------------------------------------------------- lookups
+
+    def super_peers(self) -> List[SuperPeer]:
+        """All deployed super-peers."""
+        return list(self._super_peers.values())
+
+    def super_peer(self, super_peer_id: Hashable) -> SuperPeer:
+        """Return one super-peer by id."""
+        if super_peer_id not in self._super_peers:
+            raise ConfigurationError(f"unknown super-peer {super_peer_id!r}")
+        return self._super_peers[super_peer_id]
+
+    def owner_of_landmark(self, landmark_id: LandmarkId) -> SuperPeer:
+        """The super-peer responsible for ``landmark_id``."""
+        if landmark_id not in self._landmark_owner:
+            raise LandmarkError(f"no super-peer owns landmark {landmark_id!r}")
+        return self._super_peers[self._landmark_owner[landmark_id]]
+
+    def owner_of_peer(self, peer_id: PeerId) -> SuperPeer:
+        """The super-peer a registered peer lives on."""
+        if peer_id not in self._peer_owner:
+            raise UnknownPeerError(peer_id)
+        return self._super_peers[self._peer_owner[peer_id]]
+
+    def landmarks(self) -> List[LandmarkId]:
+        """All landmarks across all super-peers."""
+        return list(self._landmark_owner)
+
+    def landmark_router(self, landmark_id: LandmarkId) -> NodeId:
+        """Router a landmark is attached to (directory-wide lookup)."""
+        return self.owner_of_landmark(landmark_id).server.landmark_router(landmark_id)
+
+    @property
+    def peer_count(self) -> int:
+        """Total peers registered across all super-peers."""
+        return len(self._peer_owner)
+
+    def has_peer(self, peer_id: PeerId) -> bool:
+        """True if the peer is registered somewhere in the federation."""
+        return peer_id in self._peer_owner
+
+    def load_by_super_peer(self) -> Dict[Hashable, int]:
+        """Registered-peer count per super-peer (load-balance diagnostic)."""
+        return {spid: sp.peer_count for spid, sp in self._super_peers.items()}
+
+    # --------------------------------------------------------- registrations
+
+    def register_peer(self, path: RouterPath) -> List[Tuple[PeerId, float]]:
+        """Forward the registration to the owning super-peer.
+
+        The answer is that super-peer's regional neighbour list, padded with
+        cross-region candidates when the region holds fewer than ``k`` peers.
+        """
+        owner = self.owner_of_landmark(path.landmark_id)
+        if path.peer_id in self._peer_owner and self._peer_owner[path.peer_id] != owner.super_peer_id:
+            # The peer moved to a landmark owned by another super-peer.
+            self.unregister_peer(path.peer_id)
+        neighbors = owner.server.register_peer(path)
+        self._peer_owner[path.peer_id] = owner.super_peer_id
+        self.forwarded_registrations += 1
+        if len(neighbors) < self.neighbor_set_size:
+            neighbors = self._pad_with_remote_candidates(path, owner, neighbors)
+        return neighbors
+
+    def unregister_peer(self, peer_id: PeerId) -> None:
+        """Remove a departed peer from its super-peer."""
+        owner = self.owner_of_peer(peer_id)
+        owner.server.unregister_peer(peer_id)
+        del self._peer_owner[peer_id]
+
+    # ---------------------------------------------------------------- queries
+
+    def closest_peers(self, peer_id: PeerId, k: Optional[int] = None) -> List[Tuple[PeerId, float]]:
+        """Regional O(1) lookup, padded with cross-region estimates if short."""
+        k = k or self.neighbor_set_size
+        owner = self.owner_of_peer(peer_id)
+        neighbors = owner.server.closest_peers(peer_id, k=k)
+        if len(neighbors) < k:
+            path = owner.server.peer_path(peer_id)
+            neighbors = self._pad_with_remote_candidates(path, owner, neighbors, k=k)
+        return neighbors[:k]
+
+    def estimate_distance(self, peer_a: PeerId, peer_b: PeerId) -> float:
+        """Estimated distance between any two registered peers (any region)."""
+        owner_a = self.owner_of_peer(peer_a)
+        owner_b = self.owner_of_peer(peer_b)
+        if owner_a.super_peer_id == owner_b.super_peer_id:
+            return owner_a.server.estimate_distance(peer_a, peer_b)
+        path_a = owner_a.server.peer_path(peer_a)
+        path_b = owner_b.server.peer_path(peer_b)
+        between = self._landmark_distance(path_a.landmark_id, path_b.landmark_id)
+        if between is None:
+            raise LandmarkError(
+                f"no inter-landmark distance between {path_a.landmark_id!r} and "
+                f"{path_b.landmark_id!r}"
+            )
+        return float(path_a.hop_count + between + path_b.hop_count)
+
+    # -------------------------------------------------------------- internals
+
+    def _landmark_distance(self, a: LandmarkId, b: LandmarkId) -> Optional[float]:
+        if a == b:
+            return 0.0
+        return self._landmark_distances.get((a, b), self._landmark_distances.get((b, a)))
+
+    def _pad_with_remote_candidates(
+        self,
+        path: RouterPath,
+        owner: SuperPeer,
+        neighbors: List[Tuple[PeerId, float]],
+        k: Optional[int] = None,
+    ) -> List[Tuple[PeerId, float]]:
+        """Ask the other super-peers for candidates when the region is sparse."""
+        k = k or self.neighbor_set_size
+        already = {peer for peer, _ in neighbors} | {path.peer_id}
+        candidates: List[Tuple[float, str, PeerId]] = []
+        for super_peer in self._super_peers.values():
+            if super_peer.super_peer_id == owner.super_peer_id:
+                continue
+            self.cross_region_queries += 1
+            for remote_peer in super_peer.server.peers():
+                if remote_peer in already:
+                    continue
+                remote_path = super_peer.server.peer_path(remote_peer)
+                between = self._landmark_distance(path.landmark_id, remote_path.landmark_id)
+                if between is None:
+                    continue
+                estimate = path.hop_count + between + remote_path.hop_count
+                candidates.append((float(estimate), repr(remote_peer), remote_peer))
+        candidates.sort()
+        padded = list(neighbors)
+        for estimate, _, remote_peer in candidates:
+            if len(padded) >= k:
+                break
+            padded.append((remote_peer, estimate))
+            already.add(remote_peer)
+        return padded
+
+    def __repr__(self) -> str:
+        return (
+            f"SuperPeerDirectory(super_peers={len(self._super_peers)}, "
+            f"landmarks={len(self._landmark_owner)}, peers={self.peer_count})"
+        )

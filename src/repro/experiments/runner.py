@@ -1,0 +1,93 @@
+"""Experiment registry and runner.
+
+``repro-experiments`` (the console entry point in :mod:`repro.cli`) looks up
+experiments by name here, runs them, prints their tables and optionally dumps
+them as JSON.  Each experiment is a zero-argument callable (quick variants
+are provided for everything so the whole suite can be smoke-run in CI).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from .ablations import (
+    churn_study,
+    superpeer_study,
+    landmark_count_sweep,
+    landmark_placement_sweep,
+    neighbor_set_size_sweep,
+    traceroute_noise_sweep,
+    tree_accuracy_study,
+)
+from .analysis import branch_point_analysis
+from .convergence import run_convergence_study
+from .figure1 import Figure1Config, quick_figure1_config, run_figure1
+from .results import ResultTable
+
+ExperimentFunction = Callable[[], ResultTable]
+
+
+def _figure1_full() -> ResultTable:
+    return run_figure1(Figure1Config())
+
+
+def _figure1_quick() -> ResultTable:
+    return run_figure1(quick_figure1_config())
+
+
+EXPERIMENTS: Dict[str, ExperimentFunction] = {
+    "figure1": _figure1_full,
+    "figure1-quick": _figure1_quick,
+    "landmark-count": landmark_count_sweep,
+    "landmark-placement": landmark_placement_sweep,
+    "neighbor-set-size": neighbor_set_size_sweep,
+    "tree-accuracy": tree_accuracy_study,
+    "traceroute-noise": traceroute_noise_sweep,
+    "churn": churn_study,
+    "superpeers": superpeer_study,
+    "convergence": run_convergence_study,
+    "branch-analysis": branch_point_analysis,
+}
+"""All runnable experiments by name."""
+
+
+def available_experiments() -> List[str]:
+    """Names accepted by :func:`run_experiment`."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str) -> ResultTable:
+    """Run one experiment by name and return its result table."""
+    if name not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {available_experiments()}"
+        )
+    return EXPERIMENTS[name]()
+
+
+def run_experiments(names: Sequence[str]) -> Dict[str, ResultTable]:
+    """Run several experiments and return their tables keyed by name."""
+    return {name: run_experiment(name) for name in names}
+
+
+def save_table(table: ResultTable, output_dir: Path, stem: Optional[str] = None) -> Path:
+    """Write a table to ``output_dir`` as JSON; returns the file path."""
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    path = output_dir / f"{stem or table.name}.json"
+    path.write_text(table.to_json())
+    return path
+
+
+def load_table(path: Path) -> ResultTable:
+    """Load a table previously written by :func:`save_table`."""
+    data = json.loads(Path(path).read_text())
+    table = ResultTable(
+        name=data["name"], columns=list(data["columns"]), metadata=dict(data.get("metadata", {}))
+    )
+    for row in data["rows"]:
+        table.add_row(**row)
+    return table

@@ -1,0 +1,26 @@
+"""Landmark deployment: placement strategies and landmark-set management."""
+
+from .placement import (
+    PLACEMENT_STRATEGIES,
+    place_betweenness,
+    place_high_degree,
+    place_landmarks,
+    place_medium_degree,
+    place_on_router_map,
+    place_random,
+    place_spread,
+)
+from .manager import Landmark, LandmarkSet
+
+__all__ = [
+    "PLACEMENT_STRATEGIES",
+    "place_betweenness",
+    "place_high_degree",
+    "place_landmarks",
+    "place_medium_degree",
+    "place_on_router_map",
+    "place_random",
+    "place_spread",
+    "Landmark",
+    "LandmarkSet",
+]

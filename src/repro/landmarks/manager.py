@@ -1,0 +1,152 @@
+"""Landmark set management.
+
+A :class:`LandmarkSet` groups the deployed landmarks, knows which router each
+one is attached to, and can compute the inter-landmark distance matrix the
+management server needs for cross-landmark estimates.  It also offers the
+closest-landmark lookup that an *oracle* would give a peer — useful in tests
+to verify that the client-side RTT-based selection finds the same landmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import LandmarkError
+from ..routing.shortest_path import bfs_shortest_paths, dijkstra_shortest_paths
+from ..topology.graph import Graph
+
+NodeId = Hashable
+LandmarkId = Hashable
+
+
+@dataclass(frozen=True)
+class Landmark:
+    """One deployed landmark."""
+
+    landmark_id: LandmarkId
+    router: NodeId
+
+
+@dataclass
+class LandmarkSet:
+    """The set of deployed landmarks plus distance bookkeeping."""
+
+    graph: Graph
+    landmarks: List[Landmark] = field(default_factory=list)
+    _by_id: Dict[LandmarkId, Landmark] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_routers(
+        cls, graph: Graph, routers: Sequence[NodeId], prefix: str = "lm"
+    ) -> "LandmarkSet":
+        """Create landmarks named ``lm0, lm1, ...`` attached to ``routers``."""
+        landmark_set = cls(graph=graph)
+        for index, router in enumerate(routers):
+            landmark_set.add(f"{prefix}{index}", router)
+        return landmark_set
+
+    def add(self, landmark_id: LandmarkId, router: NodeId) -> Landmark:
+        """Add a landmark attached to ``router``."""
+        if landmark_id in self._by_id:
+            raise LandmarkError(f"landmark {landmark_id!r} already exists")
+        if not self.graph.has_node(router):
+            raise LandmarkError(f"router {router!r} is not part of the topology")
+        landmark = Landmark(landmark_id=landmark_id, router=router)
+        self.landmarks.append(landmark)
+        self._by_id[landmark_id] = landmark
+        return landmark
+
+    def remove(self, landmark_id: LandmarkId) -> None:
+        """Remove a landmark (e.g. for a placement sweep)."""
+        if landmark_id not in self._by_id:
+            raise LandmarkError(f"unknown landmark {landmark_id!r}")
+        landmark = self._by_id.pop(landmark_id)
+        self.landmarks.remove(landmark)
+
+    def get(self, landmark_id: LandmarkId) -> Landmark:
+        """Return the landmark with the given id."""
+        if landmark_id not in self._by_id:
+            raise LandmarkError(f"unknown landmark {landmark_id!r}")
+        return self._by_id[landmark_id]
+
+    def ids(self) -> List[LandmarkId]:
+        """All landmark identifiers."""
+        return [landmark.landmark_id for landmark in self.landmarks]
+
+    def routers(self) -> List[NodeId]:
+        """All landmark attachment routers."""
+        return [landmark.router for landmark in self.landmarks]
+
+    def __len__(self) -> int:
+        return len(self.landmarks)
+
+    def __iter__(self) -> Iterator[Landmark]:
+        return iter(self.landmarks)
+
+    def __contains__(self, landmark_id: LandmarkId) -> bool:
+        return landmark_id in self._by_id
+
+    # -------------------------------------------------------------- distances
+
+    def pairwise_hop_distances(self) -> Dict[Tuple[LandmarkId, LandmarkId], float]:
+        """Hop distances between every pair of landmarks (both orders)."""
+        result: Dict[Tuple[LandmarkId, LandmarkId], float] = {}
+        for landmark in self.landmarks:
+            distances, _ = bfs_shortest_paths(self.graph, landmark.router)
+            for other in self.landmarks:
+                if other.landmark_id == landmark.landmark_id:
+                    continue
+                if other.router not in distances:
+                    raise LandmarkError(
+                        f"landmarks {landmark.landmark_id!r} and {other.landmark_id!r} "
+                        "are not connected"
+                    )
+                result[(landmark.landmark_id, other.landmark_id)] = float(
+                    distances[other.router]
+                )
+        return result
+
+    def closest_landmark_by_hops(self, router: NodeId) -> Tuple[Landmark, int]:
+        """Oracle lookup: the landmark with the fewest hops from ``router``."""
+        if not self.landmarks:
+            raise LandmarkError("the landmark set is empty")
+        distances, _ = bfs_shortest_paths(self.graph, router)
+        best: Optional[Tuple[int, str, Landmark]] = None
+        for landmark in self.landmarks:
+            if landmark.router not in distances:
+                continue
+            key = (distances[landmark.router], repr(landmark.landmark_id), landmark)
+            if best is None or key[:2] < best[:2]:
+                best = key
+        if best is None:
+            raise LandmarkError(f"router {router!r} cannot reach any landmark")
+        return best[2], best[0]
+
+    def closest_landmark_by_latency(self, router: NodeId) -> Tuple[Landmark, float]:
+        """Oracle lookup: the landmark with the lowest latency from ``router``."""
+        if not self.landmarks:
+            raise LandmarkError("the landmark set is empty")
+        distances, _ = dijkstra_shortest_paths(self.graph, router)
+        best: Optional[Tuple[float, str, Landmark]] = None
+        for landmark in self.landmarks:
+            if landmark.router not in distances:
+                continue
+            key = (distances[landmark.router], repr(landmark.landmark_id), landmark)
+            if best is None or key[:2] < best[:2]:
+                best = key
+        if best is None:
+            raise LandmarkError(f"router {router!r} cannot reach any landmark")
+        return best[2], best[0]
+
+    def coverage_histogram(self, routers: Sequence[NodeId]) -> Dict[LandmarkId, int]:
+        """How many of ``routers`` have each landmark as their hop-closest one.
+
+        A very unbalanced histogram indicates a poor placement (one landmark
+        serves almost everyone), which degrades cross-landmark estimates.
+        """
+        histogram: Dict[LandmarkId, int] = {landmark.landmark_id: 0 for landmark in self.landmarks}
+        for router in routers:
+            landmark, _ = self.closest_landmark_by_hops(router)
+            histogram[landmark.landmark_id] += 1
+        return histogram

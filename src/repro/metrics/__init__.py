@@ -1,0 +1,35 @@
+"""Evaluation metrics: the paper's D ratios, ranking quality, delay statistics."""
+
+from .proximity import (
+    ProximityComparison,
+    compare_strategies,
+    mean_population_cost,
+    neighbor_cost,
+    per_peer_ratios,
+    population_cost,
+)
+from .ranking import (
+    kendall_tau,
+    precision_at_k,
+    recall_at_k,
+    relative_rank_loss,
+    top_k_overlap_curve,
+)
+from .latency_stats import DelaySummary, ProbeCostModel, compare_delay_distributions
+
+__all__ = [
+    "ProximityComparison",
+    "compare_strategies",
+    "mean_population_cost",
+    "neighbor_cost",
+    "per_peer_ratios",
+    "population_cost",
+    "kendall_tau",
+    "precision_at_k",
+    "recall_at_k",
+    "relative_rank_loss",
+    "top_k_overlap_curve",
+    "DelaySummary",
+    "ProbeCostModel",
+    "compare_delay_distributions",
+]

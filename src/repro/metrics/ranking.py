@@ -1,0 +1,104 @@
+"""Ranking-quality metrics for proximity estimators.
+
+Beyond the paper's ``D`` ratios, it is useful to quantify how well an
+estimator *ranks* peers by proximity (that is what neighbour selection
+actually consumes).  The standard measures implemented here:
+
+* ``precision_at_k`` — fraction of the estimator's top-k that are in the true
+  top-k;
+* ``recall_at_k`` — same set-overlap viewed from the true top-k (identical to
+  precision when both lists have k entries, provided for readability);
+* ``relative_rank_loss`` — how much farther (in true distance) the selected
+  neighbours are compared to the optimal ones (equals ``D/D_closest - 1``);
+* ``kendall_tau`` — rank correlation between estimated and true distance
+  orderings over a candidate set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Sequence, Tuple
+
+from ..exceptions import MetricError
+
+PeerId = Hashable
+DistanceFunction = Callable[[PeerId, PeerId], float]
+
+
+def precision_at_k(selected: Sequence[PeerId], optimal: Sequence[PeerId], k: int) -> float:
+    """Fraction of the first ``k`` selected peers that appear in the true top-k."""
+    if k <= 0:
+        raise MetricError(f"k must be positive, got {k}")
+    selected_top = list(selected)[:k]
+    if not selected_top:
+        return 0.0
+    optimal_top = set(list(optimal)[:k])
+    hits = sum(1 for peer in selected_top if peer in optimal_top)
+    return hits / len(selected_top)
+
+
+def recall_at_k(selected: Sequence[PeerId], optimal: Sequence[PeerId], k: int) -> float:
+    """Fraction of the true top-k that the selection recovered."""
+    if k <= 0:
+        raise MetricError(f"k must be positive, got {k}")
+    optimal_top = list(optimal)[:k]
+    if not optimal_top:
+        return 0.0
+    selected_set = set(list(selected)[:k])
+    hits = sum(1 for peer in optimal_top if peer in selected_set)
+    return hits / len(optimal_top)
+
+
+def relative_rank_loss(
+    peer_id: PeerId,
+    selected: Sequence[PeerId],
+    optimal: Sequence[PeerId],
+    distance: DistanceFunction,
+) -> float:
+    """``(D_selected - D_optimal) / D_optimal`` for one peer (0 = optimal)."""
+    if not selected or not optimal:
+        raise MetricError("both neighbour lists must be non-empty")
+    selected_cost = sum(distance(peer_id, neighbor) for neighbor in selected)
+    optimal_cost = sum(distance(peer_id, neighbor) for neighbor in optimal)
+    if optimal_cost == 0:
+        raise MetricError("optimal cost is zero; relative loss undefined")
+    return (selected_cost - optimal_cost) / optimal_cost
+
+
+def kendall_tau(
+    pairs: Sequence[Tuple[float, float]],
+) -> float:
+    """Kendall rank correlation between two paired score lists.
+
+    ``pairs`` holds ``(estimated, true)`` values for each candidate.  Returns
+    a value in [-1, 1]; 1 means the estimator orders candidates exactly like
+    the truth.  Ties count as neither concordant nor discordant (tau-a).
+    """
+    n = len(pairs)
+    if n < 2:
+        raise MetricError("kendall_tau needs at least two pairs")
+    concordant = 0
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            estimated_delta = pairs[i][0] - pairs[j][0]
+            true_delta = pairs[i][1] - pairs[j][1]
+            product = estimated_delta * true_delta
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    total = n * (n - 1) / 2
+    return (concordant - discordant) / total
+
+
+def top_k_overlap_curve(
+    selected_ranking: Sequence[PeerId],
+    optimal_ranking: Sequence[PeerId],
+    max_k: int,
+) -> List[float]:
+    """Precision@k for every k from 1 to ``max_k`` (a quality curve)."""
+    if max_k <= 0:
+        raise MetricError(f"max_k must be positive, got {max_k}")
+    return [
+        precision_at_k(selected_ranking, optimal_ranking, k) for k in range(1, max_k + 1)
+    ]

@@ -1,0 +1,44 @@
+"""Overlay layer: peers, neighbour bookkeeping, selection strategies, churn."""
+
+from .peer import Peer
+from .overlay import Overlay
+from .neighbor_selection import (
+    NeighborSelectionStrategy,
+    OracleStrategy,
+    PathTreeSelection,
+    RandomStrategy,
+    build_overlay_with_strategy,
+)
+from .churn import (
+    EVENT_CRASH,
+    EVENT_JOIN,
+    EVENT_LEAVE,
+    ChurnEvent,
+    ChurnModel,
+    churn_statistics,
+)
+from .mobility import HandoverManager, HandoverReport, MobilityModel, Move
+from .maintenance import MaintenancePolicy, MaintenanceStats, OverlayMaintainer
+
+__all__ = [
+    "Peer",
+    "Overlay",
+    "NeighborSelectionStrategy",
+    "OracleStrategy",
+    "PathTreeSelection",
+    "RandomStrategy",
+    "build_overlay_with_strategy",
+    "EVENT_CRASH",
+    "EVENT_JOIN",
+    "EVENT_LEAVE",
+    "ChurnEvent",
+    "ChurnModel",
+    "churn_statistics",
+    "HandoverManager",
+    "HandoverReport",
+    "MobilityModel",
+    "Move",
+    "MaintenancePolicy",
+    "MaintenanceStats",
+    "OverlayMaintainer",
+]

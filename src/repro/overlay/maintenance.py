@@ -1,0 +1,160 @@
+"""Periodic overlay maintenance: keeping neighbour lists fresh.
+
+The management server keeps its cached lists up to date as peers come and go,
+but a peer only benefits once it *re-queries* the server (or is told to).
+This module provides the client-side maintenance loop a deployed system would
+run, in a simulation-friendly form:
+
+* :class:`MaintenancePolicy` decides when a peer should refresh (fixed period,
+  plus an immediate refresh when too many of its neighbours disappeared);
+* :class:`OverlayMaintainer` applies refreshes to an
+  :class:`~repro.overlay.overlay.Overlay` backed by a management server (or a
+  super-peer directory — anything with ``closest_peers``), and keeps counters
+  that the churn experiments report (refreshes performed, neighbours replaced,
+  dead neighbours detected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set
+
+from .._validation import require_positive_float, require_positive_int, require_probability
+from ..exceptions import OverlayError
+from .overlay import Overlay
+
+PeerId = Hashable
+
+
+@dataclass
+class MaintenancePolicy:
+    """When should a peer refresh its neighbour list?
+
+    Parameters
+    ----------
+    refresh_period_s:
+        Nominal time between two periodic refreshes of the same peer.
+    dead_neighbor_threshold:
+        Fraction of a peer's neighbours that may disappear before an
+        immediate (out-of-period) refresh is triggered.
+    """
+
+    refresh_period_s: float = 60.0
+    dead_neighbor_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        require_positive_float(self.refresh_period_s, "refresh_period_s")
+        require_probability(self.dead_neighbor_threshold, "dead_neighbor_threshold")
+
+    def next_refresh_time(self, last_refresh_s: float) -> float:
+        """Absolute time of the next periodic refresh."""
+        return last_refresh_s + self.refresh_period_s
+
+    def needs_immediate_refresh(self, total_neighbors: int, dead_neighbors: int) -> bool:
+        """True if enough neighbours died to warrant refreshing right away."""
+        if total_neighbors == 0:
+            return True
+        return dead_neighbors / total_neighbors >= self.dead_neighbor_threshold
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters describing the maintenance activity."""
+
+    refreshes: int = 0
+    immediate_refreshes: int = 0
+    dead_neighbors_detected: int = 0
+    neighbors_replaced: int = 0
+
+
+class OverlayMaintainer:
+    """Keeps an overlay's neighbour lists aligned with the management server.
+
+    Parameters
+    ----------
+    overlay:
+        The overlay to maintain; neighbour lists are replaced in place.
+    server:
+        Anything exposing ``closest_peers(peer_id, k)`` and ``has_peer`` —
+        the single :class:`~repro.core.management_server.ManagementServer` or
+        a :class:`~repro.core.superpeers.SuperPeerDirectory`.
+    neighbor_set_size:
+        Target neighbour-list size (k).
+    policy:
+        Refresh policy; defaults to a 60 s period with a 50 % dead threshold.
+    """
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        server,
+        neighbor_set_size: int,
+        policy: Optional[MaintenancePolicy] = None,
+    ) -> None:
+        self.overlay = overlay
+        self.server = server
+        self.neighbor_set_size = require_positive_int(neighbor_set_size, "neighbor_set_size")
+        self.policy = policy or MaintenancePolicy()
+        self.stats = MaintenanceStats()
+        self._last_refresh: Dict[PeerId, float] = {}
+
+    # --------------------------------------------------------------- refresh
+
+    def refresh_peer(self, peer_id: PeerId, now_s: float = 0.0, immediate: bool = False) -> List[PeerId]:
+        """Re-query the server for ``peer_id`` and install the fresh list."""
+        if not self.overlay.has_peer(peer_id):
+            raise OverlayError(f"peer {peer_id!r} is not in the overlay")
+        if not self.server.has_peer(peer_id):
+            raise OverlayError(f"peer {peer_id!r} is not registered at the server")
+        old = set(self.overlay.neighbors_of(peer_id))
+        fresh = [p for p, _ in self.server.closest_peers(peer_id, k=self.neighbor_set_size)]
+        fresh = [p for p in fresh if self.overlay.has_peer(p)]
+        self.overlay.set_neighbors(peer_id, fresh)
+        self._last_refresh[peer_id] = now_s
+        self.stats.refreshes += 1
+        if immediate:
+            self.stats.immediate_refreshes += 1
+        self.stats.neighbors_replaced += len(set(fresh) - old)
+        return fresh
+
+    def handle_departures(self, departed: Sequence[PeerId], now_s: float = 0.0) -> List[PeerId]:
+        """Drop departed peers from every list; refresh peers that lost too many.
+
+        Returns the peers that received an immediate refresh.
+        """
+        departed_set = set(departed)
+        refreshed: List[PeerId] = []
+        for peer_id in self.overlay.peers():
+            if peer_id in departed_set:
+                continue
+            neighbors = self.overlay.neighbors_of(peer_id)
+            dead = [n for n in neighbors if n in departed_set]
+            if not dead:
+                continue
+            self.stats.dead_neighbors_detected += len(dead)
+            surviving = [n for n in neighbors if n not in departed_set]
+            self.overlay.set_neighbors(peer_id, surviving)
+            if self.policy.needs_immediate_refresh(len(neighbors), len(dead)):
+                self.refresh_peer(peer_id, now_s=now_s, immediate=True)
+                refreshed.append(peer_id)
+        return refreshed
+
+    def run_periodic_round(self, now_s: float) -> List[PeerId]:
+        """Refresh every peer whose periodic timer has expired."""
+        refreshed: List[PeerId] = []
+        for peer_id in self.overlay.peers():
+            last = self._last_refresh.get(peer_id, float("-inf"))
+            if now_s >= self.policy.next_refresh_time(last) or last == float("-inf"):
+                if self.server.has_peer(peer_id):
+                    self.refresh_peer(peer_id, now_s=now_s)
+                    refreshed.append(peer_id)
+        return refreshed
+
+    def staleness(self, now_s: float) -> Dict[PeerId, float]:
+        """Seconds since each peer's last refresh (``inf`` if never refreshed)."""
+        return {
+            peer_id: (now_s - self._last_refresh[peer_id])
+            if peer_id in self._last_refresh
+            else float("inf")
+            for peer_id in self.overlay.peers()
+        }

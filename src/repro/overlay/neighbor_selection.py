@@ -1,0 +1,133 @@
+"""Uniform interface over all neighbour-selection strategies.
+
+The figure-1 experiment builds three overlays over the *same* peer population
+— one per strategy — and compares their neighbour costs.  To make that loop
+trivial, every strategy is wrapped behind the small
+:class:`NeighborSelectionStrategy` protocol (``select_neighbors(peer, population,
+k)``) and this module provides adapters for:
+
+* the management-server scheme (the paper's proposal),
+* the random baseline,
+* the brute-force oracle,
+* the coordinate systems (Vivaldi / GNP) and binning, which already expose
+  a compatible ``select_neighbors``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Protocol, Sequence, Set
+
+from ..baselines.brute_force import BruteForceOracle
+from ..baselines.random_selection import RandomSelection
+from ..core.management_server import ManagementServer
+from ..exceptions import OverlayError
+
+PeerId = Hashable
+
+
+class NeighborSelectionStrategy(Protocol):
+    """Common strategy interface (structural typing; no registration needed)."""
+
+    name: str
+
+    def select_neighbors(
+        self,
+        peer_id: PeerId,
+        population: Sequence[PeerId],
+        k: int,
+        exclude: Optional[Set[PeerId]] = None,
+    ) -> List[PeerId]:
+        """Return up to ``k`` neighbour ids for ``peer_id``."""
+        ...
+
+
+class PathTreeSelection:
+    """Adapter exposing the management server as a selection strategy.
+
+    The population argument is ignored (the server already knows the
+    registered peers); peers in ``exclude`` are filtered out of the answer
+    and replaced by the next-closest candidates when possible.
+    """
+
+    name = "path_tree"
+
+    def __init__(self, server: ManagementServer) -> None:
+        self.server = server
+
+    def select_neighbors(
+        self,
+        peer_id: PeerId,
+        population: Optional[Sequence[PeerId]] = None,
+        k: int = 5,
+        exclude: Optional[Set[PeerId]] = None,
+    ) -> List[PeerId]:
+        """Ask the management server for the closest peers."""
+        if not self.server.has_peer(peer_id):
+            raise OverlayError(
+                f"peer {peer_id!r} must register with the management server before "
+                "asking for neighbours"
+            )
+        excluded = set(exclude) if exclude else set()
+        # Over-fetch so exclusions can be compensated without a second query
+        # in the common case.
+        fetch = k + len(excluded)
+        candidates = self.server.closest_peers(peer_id, k=fetch)
+        selected = [peer for peer, _ in candidates if peer not in excluded]
+        return selected[:k]
+
+
+class RandomStrategy:
+    """Adapter for the random baseline (thin wrapper kept for naming symmetry)."""
+
+    name = "random"
+
+    def __init__(self, selection: Optional[RandomSelection] = None, seed: Optional[int] = None) -> None:
+        self.selection = selection or RandomSelection(seed=seed)
+
+    def select_neighbors(
+        self,
+        peer_id: PeerId,
+        population: Sequence[PeerId],
+        k: int = 5,
+        exclude: Optional[Set[PeerId]] = None,
+    ) -> List[PeerId]:
+        """Delegate to :class:`~repro.baselines.random_selection.RandomSelection`."""
+        return self.selection.select_neighbors(peer_id, population, k, exclude=exclude)
+
+
+class OracleStrategy:
+    """Adapter for the brute-force oracle."""
+
+    name = "brute_force"
+
+    def __init__(self, oracle: BruteForceOracle) -> None:
+        self.oracle = oracle
+
+    def select_neighbors(
+        self,
+        peer_id: PeerId,
+        population: Optional[Sequence[PeerId]] = None,
+        k: int = 5,
+        exclude: Optional[Set[PeerId]] = None,
+    ) -> List[PeerId]:
+        """Delegate to :class:`~repro.baselines.brute_force.BruteForceOracle`."""
+        return self.oracle.select_neighbors(peer_id, population=population, k=k, exclude=exclude)
+
+
+def build_overlay_with_strategy(
+    overlay,
+    strategy: NeighborSelectionStrategy,
+    k: int,
+    population: Optional[Sequence[PeerId]] = None,
+) -> None:
+    """Assign neighbours to every peer of ``overlay`` using ``strategy``.
+
+    The population defaults to the overlay's full membership; each peer's
+    neighbours are chosen among the *other* peers (the strategy receives the
+    full population and must exclude the peer itself, which all provided
+    strategies do).
+    """
+    peer_ids = list(population) if population is not None else overlay.peers()
+    for peer_id in overlay.peers():
+        neighbors = strategy.select_neighbors(peer_id, peer_ids, k)
+        overlay.set_neighbors(peer_id, neighbors)

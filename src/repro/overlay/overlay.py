@@ -1,0 +1,161 @@
+"""Overlay bookkeeping: the directory of peers and their neighbour links.
+
+The overlay is *directed by construction* (each peer keeps the list of
+neighbours it selected) but exposes symmetric views because mesh streaming
+treats chunk exchange links as bidirectional.  The class also computes the
+paper's quality metric ``D`` (sum of true hop distances from a peer to its
+neighbours) when given a distance oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Set, Tuple
+
+from ..exceptions import OverlayError
+from .peer import Peer
+
+PeerId = Hashable
+NodeId = Hashable
+DistanceFunction = Callable[[PeerId, PeerId], float]
+
+
+class Overlay:
+    """Directory of peers plus their (directed) neighbour selections."""
+
+    def __init__(self) -> None:
+        self._peers: Dict[PeerId, Peer] = {}
+
+    # ------------------------------------------------------------------ peers
+
+    def add_peer(self, peer: Peer) -> None:
+        """Add a peer to the overlay."""
+        if peer.peer_id in self._peers:
+            raise OverlayError(f"peer {peer.peer_id!r} is already in the overlay")
+        self._peers[peer.peer_id] = peer
+
+    def create_peer(self, peer_id: PeerId, access_router: NodeId, **kwargs) -> Peer:
+        """Create and add a peer in one step."""
+        peer = Peer(peer_id=peer_id, access_router=access_router, **kwargs)
+        self.add_peer(peer)
+        return peer
+
+    def remove_peer(self, peer_id: PeerId) -> None:
+        """Remove a peer and drop it from every other peer's neighbour list."""
+        if peer_id not in self._peers:
+            raise OverlayError(f"peer {peer_id!r} is not in the overlay")
+        del self._peers[peer_id]
+        for peer in self._peers.values():
+            peer.remove_neighbor(peer_id)
+
+    def peer(self, peer_id: PeerId) -> Peer:
+        """Return the peer record."""
+        if peer_id not in self._peers:
+            raise OverlayError(f"peer {peer_id!r} is not in the overlay")
+        return self._peers[peer_id]
+
+    def has_peer(self, peer_id: PeerId) -> bool:
+        """True if the peer is in the overlay."""
+        return peer_id in self._peers
+
+    def peers(self) -> List[PeerId]:
+        """All peer identifiers."""
+        return list(self._peers)
+
+    def peer_records(self) -> List[Peer]:
+        """All peer records."""
+        return list(self._peers.values())
+
+    @property
+    def size(self) -> int:
+        """Number of peers."""
+        return len(self._peers)
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def __iter__(self) -> Iterator[PeerId]:
+        return iter(self._peers)
+
+    def __contains__(self, peer_id: PeerId) -> bool:
+        return peer_id in self._peers
+
+    # ------------------------------------------------------------- neighbours
+
+    def set_neighbors(self, peer_id: PeerId, neighbors: List[PeerId]) -> None:
+        """Set the (directed) neighbour list of ``peer_id``.
+
+        Every neighbour must be a known peer; unknown identifiers raise.
+        """
+        unknown = [neighbor for neighbor in neighbors if neighbor not in self._peers]
+        if unknown:
+            raise OverlayError(f"unknown neighbours for peer {peer_id!r}: {unknown!r}")
+        self.peer(peer_id).set_neighbors(neighbors)
+
+    def neighbors_of(self, peer_id: PeerId) -> List[PeerId]:
+        """Directed neighbour list of ``peer_id``."""
+        return list(self.peer(peer_id).neighbors)
+
+    def symmetric_neighbors_of(self, peer_id: PeerId) -> Set[PeerId]:
+        """Neighbours in either direction (selected-by or selected)."""
+        result = set(self.peer(peer_id).neighbors)
+        for other_id, other in self._peers.items():
+            if other_id != peer_id and peer_id in other.neighbors:
+                result.add(other_id)
+        return result
+
+    def edges(self) -> List[Tuple[PeerId, PeerId]]:
+        """All directed overlay edges ``(selector, selected)``."""
+        return [
+            (peer_id, neighbor)
+            for peer_id, peer in self._peers.items()
+            for neighbor in peer.neighbors
+        ]
+
+    def in_degree(self, peer_id: PeerId) -> int:
+        """How many peers selected ``peer_id`` as a neighbour."""
+        if peer_id not in self._peers:
+            raise OverlayError(f"peer {peer_id!r} is not in the overlay")
+        return sum(1 for peer in self._peers.values() if peer_id in peer.neighbors)
+
+    # ---------------------------------------------------------------- metrics
+
+    def neighbor_cost(self, peer_id: PeerId, distance: DistanceFunction) -> float:
+        """The paper's ``D`` for one peer: sum of distances to its neighbours."""
+        peer = self.peer(peer_id)
+        return sum(distance(peer_id, neighbor) for neighbor in peer.neighbors)
+
+    def total_neighbor_cost(self, distance: DistanceFunction) -> float:
+        """Sum of ``D`` over all peers with at least one neighbour."""
+        return sum(
+            self.neighbor_cost(peer_id, distance)
+            for peer_id, peer in self._peers.items()
+            if peer.neighbors
+        )
+
+    def mean_neighbor_cost(self, distance: DistanceFunction) -> float:
+        """Average ``D`` over peers with at least one neighbour."""
+        costs = [
+            self.neighbor_cost(peer_id, distance)
+            for peer_id, peer in self._peers.items()
+            if peer.neighbors
+        ]
+        if not costs:
+            raise OverlayError("no peer has any neighbour; cannot compute a mean cost")
+        return sum(costs) / len(costs)
+
+    def is_connected(self) -> bool:
+        """True if the symmetric overlay graph is connected (and non-empty)."""
+        if not self._peers:
+            return False
+        start = next(iter(self._peers))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            next_frontier: List[PeerId] = []
+            for peer_id in frontier:
+                for neighbor in self.symmetric_neighbors_of(peer_id):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return len(seen) == len(self._peers)

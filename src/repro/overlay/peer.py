@@ -1,0 +1,66 @@
+"""Peer records used by the overlay bookkeeping layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Set
+
+from ..exceptions import OverlayError
+
+PeerId = Hashable
+NodeId = Hashable
+
+
+@dataclass
+class Peer:
+    """One participating peer.
+
+    Attributes
+    ----------
+    peer_id:
+        Unique identifier.
+    access_router:
+        The router the peer's host is attached to.
+    landmark_id:
+        Landmark the peer registered under (None before joining).
+    joined_at:
+        Simulated time of join completion (None before joining).
+    neighbors:
+        Current overlay neighbours (peer ids), closest first if the selection
+        strategy provides an order.
+    """
+
+    peer_id: PeerId
+    access_router: NodeId
+    landmark_id: Optional[Hashable] = None
+    joined_at: Optional[float] = None
+    neighbors: List[PeerId] = field(default_factory=list)
+    upload_capacity: float = 1.0
+    online: bool = True
+
+    def set_neighbors(self, neighbors: List[PeerId]) -> None:
+        """Replace the neighbour list (self-references are rejected)."""
+        if self.peer_id in neighbors:
+            raise OverlayError(f"peer {self.peer_id!r} cannot be its own neighbour")
+        self.neighbors = list(neighbors)
+
+    def add_neighbor(self, neighbor: PeerId) -> None:
+        """Add one neighbour if not already present."""
+        if neighbor == self.peer_id:
+            raise OverlayError(f"peer {self.peer_id!r} cannot be its own neighbour")
+        if neighbor not in self.neighbors:
+            self.neighbors.append(neighbor)
+
+    def remove_neighbor(self, neighbor: PeerId) -> None:
+        """Remove one neighbour if present (no error if absent)."""
+        if neighbor in self.neighbors:
+            self.neighbors.remove(neighbor)
+
+    @property
+    def degree(self) -> int:
+        """Number of overlay neighbours."""
+        return len(self.neighbors)
+
+    def neighbor_set(self) -> Set[PeerId]:
+        """Neighbours as a set."""
+        return set(self.neighbors)

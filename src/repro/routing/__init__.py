@@ -1,0 +1,63 @@
+"""Routing substrate: shortest paths, forwarding tables, simulated traceroute.
+
+The traceroute path a peer records towards its landmark is the only network
+measurement the paper's system relies on; everything in this package exists
+to produce those paths faithfully over the synthetic router maps.
+"""
+
+from .shortest_path import (
+    AllPairsHopDistances,
+    ShortestPathTree,
+    bfs_shortest_paths,
+    dijkstra_shortest_paths,
+    hop_distance,
+    latency_distance,
+    reconstruct_path,
+    shortest_path_tree,
+)
+from .route_table import RouteTable, build_route_table
+from .traceroute import (
+    TracerouteConfig,
+    TracerouteHop,
+    TracerouteResult,
+    TracerouteSimulator,
+)
+from .path_inference import (
+    GAP_DROP,
+    GAP_PLACEHOLDER,
+    GAP_POLICIES,
+    GAP_TRUNCATE,
+    CleanedPath,
+    PathQualityReport,
+    assess_paths,
+    branch_router,
+    clean_traceroute,
+    common_prefix_length,
+)
+
+__all__ = [
+    "AllPairsHopDistances",
+    "ShortestPathTree",
+    "bfs_shortest_paths",
+    "dijkstra_shortest_paths",
+    "hop_distance",
+    "latency_distance",
+    "reconstruct_path",
+    "shortest_path_tree",
+    "RouteTable",
+    "build_route_table",
+    "TracerouteConfig",
+    "TracerouteHop",
+    "TracerouteResult",
+    "TracerouteSimulator",
+    "GAP_DROP",
+    "GAP_PLACEHOLDER",
+    "GAP_POLICIES",
+    "GAP_TRUNCATE",
+    "CleanedPath",
+    "PathQualityReport",
+    "assess_paths",
+    "branch_router",
+    "clean_traceroute",
+    "common_prefix_length",
+]

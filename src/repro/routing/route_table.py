@@ -1,0 +1,96 @@
+"""Per-router forwarding state derived from shortest-path trees.
+
+The traceroute simulation needs to know, at every router, the next hop
+towards a given destination (the landmark).  Real routers hold forwarding
+tables computed by their IGP; here we derive the equivalent next-hop state
+from landmark-rooted shortest-path trees, which is both faithful (intra-domain
+routing follows shortest paths) and cheap (one BFS/Dijkstra per landmark
+instead of per-destination tables for every router).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from ..exceptions import NoRouteError, RoutingError
+from ..topology.graph import Graph
+from .shortest_path import ShortestPathTree, shortest_path_tree
+
+NodeId = Hashable
+
+
+@dataclass
+class RouteTable:
+    """Next-hop routing state towards a fixed set of destinations.
+
+    One :class:`~repro.routing.shortest_path.ShortestPathTree` is maintained
+    per destination.  ``next_hop(router, destination)`` then answers the
+    forwarding question the traceroute simulator asks at every hop.
+    """
+
+    graph: Graph
+    weighted: bool = False
+    _trees: Dict[NodeId, ShortestPathTree] = field(default_factory=dict)
+
+    def add_destination(self, destination: NodeId) -> ShortestPathTree:
+        """Compute (or return the cached) tree towards ``destination``."""
+        if destination not in self._trees:
+            self._trees[destination] = shortest_path_tree(
+                self.graph, destination, weighted=self.weighted
+            )
+        return self._trees[destination]
+
+    def destinations(self) -> List[NodeId]:
+        """Destinations for which forwarding state exists."""
+        return list(self._trees)
+
+    def has_destination(self, destination: NodeId) -> bool:
+        """True if forwarding state towards ``destination`` exists."""
+        return destination in self._trees
+
+    def tree(self, destination: NodeId) -> ShortestPathTree:
+        """Return the shortest-path tree towards ``destination``."""
+        if destination not in self._trees:
+            raise RoutingError(
+                f"no routing state towards {destination!r}; call add_destination first"
+            )
+        return self._trees[destination]
+
+    def next_hop(self, router: NodeId, destination: NodeId) -> NodeId:
+        """Return the next router on the path from ``router`` to ``destination``."""
+        tree = self.tree(destination)
+        if router == destination:
+            raise RoutingError(f"router {router!r} is the destination itself")
+        if not tree.covers(router):
+            raise NoRouteError(router, destination)
+        return tree.parents[router]
+
+    def route(self, source: NodeId, destination: NodeId) -> List[NodeId]:
+        """Return the full routed path ``[source, ..., destination]``."""
+        tree = self.add_destination(destination)
+        return tree.path_to_root(source)
+
+    def route_length(self, source: NodeId, destination: NodeId) -> int:
+        """Number of hops on the routed path."""
+        return len(self.route(source, destination)) - 1
+
+    def path_latency(self, source: NodeId, destination: NodeId) -> float:
+        """Sum of link latencies along the routed path."""
+        path = self.route(source, destination)
+        total = 0.0
+        for u, v in zip(path, path[1:]):
+            total += self.graph.edge_weight(u, v)
+        return total
+
+
+def build_route_table(
+    graph: Graph,
+    destinations: Optional[List[NodeId]] = None,
+    weighted: bool = False,
+) -> RouteTable:
+    """Convenience constructor: build a table and pre-compute ``destinations``."""
+    table = RouteTable(graph=graph, weighted=weighted)
+    for destination in destinations or []:
+        table.add_destination(destination)
+    return table

@@ -1,0 +1,138 @@
+"""Minimal deterministic discrete-event simulation engine.
+
+The engine plays the role PeerSim plays in the paper: it advances a simulated
+clock, fires scheduled events in timestamp order, and gives protocol code a
+way to schedule future work (timers, message deliveries).  Determinism is a
+design goal — given the same seed and the same scheduling order, two runs
+produce identical traces — because the experiment harness relies on it for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from .._validation import require_non_negative_float
+from ..exceptions import ClockError, SimulationError
+from .events import Event, EventCallback, TimerHandle
+
+
+class Engine:
+    """The event loop.
+
+    Attributes
+    ----------
+    now:
+        Current simulated time (milliseconds by convention, but the engine is
+        unit-agnostic).
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Event] = []
+        self._running = False
+        self._processed_events = 0
+        self._stop_requested = False
+
+    # -------------------------------------------------------------- schedule
+
+    def schedule(self, delay: float, callback: EventCallback, label: str = "") -> TimerHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        require_non_negative_float(delay, "delay")
+        event = Event.at(self.now + delay, callback, label=label)
+        heapq.heappush(self._queue, event)
+        return TimerHandle(event)
+
+    def schedule_at(self, time: float, callback: EventCallback, label: str = "") -> TimerHandle:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise ClockError(f"cannot schedule an event at {time} before current time {self.now}")
+        event = Event.at(time, callback, label=label)
+        heapq.heappush(self._queue, event)
+        return TimerHandle(event)
+
+    # ------------------------------------------------------------------- run
+
+    def step(self) -> bool:
+        """Process the next pending event; return False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError(
+                    f"event {event.label!r} scheduled at {event.time} is in the past "
+                    f"(now={self.now})"
+                )
+            self.now = event.time
+            event.fire()
+            self._processed_events += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the number of events processed during this call.
+        """
+        if self._running:
+            raise SimulationError("the engine is already running (re-entrant run() call)")
+        self._running = True
+        self._stop_requested = False
+        processed = 0
+        try:
+            while self._queue and not self._stop_requested:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_event = self._queue[0]
+                if next_event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and next_event.time > until:
+                    self.now = until
+                    break
+                if not self.step():
+                    break
+                processed += 1
+            else:
+                if until is not None and not self._queue:
+                    self.now = max(self.now, until)
+        finally:
+            self._running = False
+        return processed
+
+    def stop(self) -> None:
+        """Request the current ``run`` call to stop after the current event."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        """Total events processed since the engine was created."""
+        return self._processed_events
+
+    def peek_next_time(self) -> Optional[float]:
+        """Timestamp of the next non-cancelled event, or None."""
+        for event in sorted(self._queue):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def reset(self) -> None:
+        """Clear the queue and rewind the clock (for test reuse)."""
+        if self._running:
+            raise SimulationError("cannot reset a running engine")
+        self.now = 0.0
+        self._queue.clear()
+        self._processed_events = 0
+        self._stop_requested = False
+
+    def __repr__(self) -> str:
+        return f"Engine(now={self.now}, pending={self.pending_events})"

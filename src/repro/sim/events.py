@@ -1,0 +1,65 @@
+"""Event types of the discrete-event simulation engine.
+
+An event is a timestamped callback plus bookkeeping (sequence number for
+stable ordering of simultaneous events, cancellation flag, an optional
+human-readable label used by the trace collector).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+EventCallback = Callable[[], Any]
+
+_sequence_counter = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event.
+
+    Events order by ``(time, sequence)`` so two events scheduled for the same
+    instant fire in scheduling order, which keeps simulations deterministic.
+    """
+
+    time: float
+    sequence: int = field(compare=True)
+    callback: EventCallback = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    @classmethod
+    def at(cls, time: float, callback: EventCallback, label: str = "") -> "Event":
+        """Create an event scheduled at absolute ``time``."""
+        return cls(time=time, sequence=next(_sequence_counter), callback=callback, label=label)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the engine will skip it."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Run the callback (the engine calls this; tests may too)."""
+        return self.callback()
+
+
+@dataclass
+class TimerHandle:
+    """Handle returned by ``Engine.schedule`` so callers can cancel timers."""
+
+    event: Event
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated time the timer fires at."""
+        return self.event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True if the timer was cancelled."""
+        return self.event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the underlying event."""
+        self.event.cancel()

@@ -1,0 +1,171 @@
+"""Latency-aware message delivery between simulated hosts.
+
+The network layer connects protocol endpoints (peers, landmarks, the
+management server) to the discrete-event engine: ``send`` schedules the
+destination's ``handle_message`` after the one-way latency between the two
+hosts' attachment routers (computed over the router topology), plus optional
+fixed processing delay and random jitter.  Message loss can be injected for
+robustness experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Protocol, Tuple
+
+from .._validation import (
+    coerce_seed,
+    require_non_negative_float,
+    require_probability,
+)
+from ..exceptions import SimulationError
+from ..routing.shortest_path import dijkstra_shortest_paths
+from ..topology.graph import Graph
+from .engine import Engine
+
+HostId = Hashable
+NodeId = Hashable
+
+
+class MessageHandler(Protocol):
+    """Anything attached to the network must accept delivered messages."""
+
+    def handle_message(self, sender: HostId, message: Any) -> None:
+        """Process ``message`` sent by ``sender``."""
+        ...
+
+
+@dataclass
+class DeliveryRecord:
+    """One delivered (or dropped) message, for trace inspection."""
+
+    sent_at: float
+    delivered_at: Optional[float]
+    sender: HostId
+    recipient: HostId
+    message: Any
+    dropped: bool = False
+
+
+class SimulatedNetwork:
+    """Message transport over a router topology.
+
+    Parameters
+    ----------
+    engine:
+        The event loop used to schedule deliveries.
+    graph:
+        Router topology; one-way latency between two hosts is the
+        latency-weighted shortest path between their attachment routers.
+    processing_delay_ms:
+        Fixed per-message processing time added at the receiver.
+    jitter_ms:
+        Uniform random jitter added to each delivery.
+    loss_probability:
+        Probability that a message is silently dropped.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        graph: Graph,
+        processing_delay_ms: float = 0.5,
+        jitter_ms: float = 0.0,
+        loss_probability: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.engine = engine
+        self.graph = graph
+        self.processing_delay_ms = require_non_negative_float(processing_delay_ms, "processing_delay_ms")
+        self.jitter_ms = require_non_negative_float(jitter_ms, "jitter_ms")
+        self.loss_probability = require_probability(loss_probability, "loss_probability")
+        self._rng = random.Random(coerce_seed(seed))
+        self._hosts: Dict[HostId, Tuple[NodeId, MessageHandler]] = {}
+        self._latency_cache: Dict[NodeId, Dict[NodeId, float]] = {}
+        self.deliveries: List[DeliveryRecord] = []
+        self.dropped_messages = 0
+        self.sent_messages = 0
+
+    # ------------------------------------------------------------------ hosts
+
+    def attach_host(self, host_id: HostId, router: NodeId, handler: MessageHandler) -> None:
+        """Attach a protocol endpoint to a router."""
+        if not self.graph.has_node(router):
+            raise SimulationError(f"router {router!r} is not part of the topology")
+        self._hosts[host_id] = (router, handler)
+
+    def detach_host(self, host_id: HostId) -> None:
+        """Detach a departed host (queued deliveries to it are dropped)."""
+        self._hosts.pop(host_id, None)
+
+    def is_attached(self, host_id: HostId) -> bool:
+        """True if ``host_id`` is currently attached."""
+        return host_id in self._hosts
+
+    def router_of(self, host_id: HostId) -> NodeId:
+        """The router a host is attached to."""
+        if host_id not in self._hosts:
+            raise SimulationError(f"host {host_id!r} is not attached to the network")
+        return self._hosts[host_id][0]
+
+    # ---------------------------------------------------------------- latency
+
+    def one_way_latency(self, sender: HostId, recipient: HostId) -> float:
+        """Latency-weighted shortest-path delay between two hosts' routers."""
+        router_a = self.router_of(sender)
+        router_b = self.router_of(recipient)
+        if router_a == router_b:
+            return 0.1  # same access router: LAN-ish delay
+        if router_a not in self._latency_cache:
+            distances, _ = dijkstra_shortest_paths(self.graph, router_a)
+            self._latency_cache[router_a] = distances
+        distances = self._latency_cache[router_a]
+        if router_b not in distances:
+            raise SimulationError(f"no route between hosts {sender!r} and {recipient!r}")
+        return distances[router_b]
+
+    # ------------------------------------------------------------------- send
+
+    def send(self, sender: HostId, recipient: HostId, message: Any) -> DeliveryRecord:
+        """Send ``message``; delivery is scheduled on the engine."""
+        if sender not in self._hosts:
+            raise SimulationError(f"sender {sender!r} is not attached to the network")
+        if recipient not in self._hosts:
+            raise SimulationError(f"recipient {recipient!r} is not attached to the network")
+        self.sent_messages += 1
+        record = DeliveryRecord(
+            sent_at=self.engine.now,
+            delivered_at=None,
+            sender=sender,
+            recipient=recipient,
+            message=message,
+        )
+        self.deliveries.append(record)
+
+        if self._rng.random() < self.loss_probability:
+            record.dropped = True
+            self.dropped_messages += 1
+            return record
+
+        delay = (
+            self.one_way_latency(sender, recipient)
+            + self.processing_delay_ms
+            + (self._rng.uniform(0.0, self.jitter_ms) if self.jitter_ms > 0 else 0.0)
+        )
+
+        def deliver() -> None:
+            entry = self._hosts.get(recipient)
+            if entry is None:
+                record.dropped = True
+                self.dropped_messages += 1
+                return
+            record.delivered_at = self.engine.now
+            entry[1].handle_message(sender, message)
+
+        self.engine.schedule(delay, deliver, label=f"deliver:{sender}->{recipient}")
+        return record
+
+    def broadcast(self, sender: HostId, recipients: List[HostId], message: Any) -> List[DeliveryRecord]:
+        """Send the same message to several recipients."""
+        return [self.send(sender, recipient, message) for recipient in recipients]

@@ -1,0 +1,111 @@
+"""Statistics collection for simulation runs.
+
+A :class:`TraceCollector` is a tiny time-series / counter sink the protocol
+code and experiment harness write into, so a run produces one structured
+object with everything needed to build tables (message counts, setup delays,
+per-event samples) instead of ad-hoc prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import MetricError
+
+
+@dataclass
+class SeriesSummary:
+    """Summary statistics of one recorded series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+    std: float
+
+
+def summarize_values(values: List[float]) -> SeriesSummary:
+    """Compute a :class:`SeriesSummary` for a list of samples."""
+    if not values:
+        raise MetricError("cannot summarise an empty series")
+    ordered = sorted(values)
+    count = len(ordered)
+    mean = sum(ordered) / count
+
+    def percentile(fraction: float) -> float:
+        index = min(count - 1, max(0, int(math.ceil(fraction * count)) - 1))
+        return ordered[index]
+
+    variance = sum((value - mean) ** 2 for value in ordered) / count
+    return SeriesSummary(
+        count=count,
+        mean=mean,
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        p50=percentile(0.50),
+        p90=percentile(0.90),
+        p99=percentile(0.99),
+        std=math.sqrt(variance),
+    )
+
+
+@dataclass
+class TraceCollector:
+    """Named counters plus named sample series."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    events: List[Tuple[float, str]] = field(default_factory=list)
+
+    # ---------------------------------------------------------------- counters
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0 if absent)."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    # ------------------------------------------------------------------ series
+
+    def record(self, name: str, value: float) -> None:
+        """Append ``value`` to series ``name``."""
+        self.series.setdefault(name, []).append(float(value))
+
+    def values(self, name: str) -> List[float]:
+        """All samples of series ``name`` (empty list if absent)."""
+        return list(self.series.get(name, []))
+
+    def summary(self, name: str) -> SeriesSummary:
+        """Summary statistics of series ``name``."""
+        return summarize_values(self.values(name))
+
+    def has_series(self, name: str) -> bool:
+        """True if at least one sample was recorded under ``name``."""
+        return bool(self.series.get(name))
+
+    # ------------------------------------------------------------------ events
+
+    def log_event(self, time: float, description: str) -> None:
+        """Record a timestamped free-form event."""
+        self.events.append((time, description))
+
+    def events_matching(self, substring: str) -> List[Tuple[float, str]]:
+        """Events whose description contains ``substring``."""
+        return [entry for entry in self.events if substring in entry[1]]
+
+    # ------------------------------------------------------------------ export
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict export (for JSON dumps in the experiment runner)."""
+        return {
+            "counters": dict(self.counters),
+            "series": {name: list(values) for name, values in self.series.items()},
+            "events": list(self.events),
+        }

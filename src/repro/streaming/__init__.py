@@ -1,0 +1,31 @@
+"""Mesh live-streaming workload (the application motivating the paper)."""
+
+from .chunk import Chunk, ChunkBuffer
+from .scheduler import (
+    SCHEDULERS,
+    EarliestDeadlineScheduler,
+    RarestFirstScheduler,
+    SchedulerBase,
+    SequentialScheduler,
+    make_scheduler,
+)
+from .playback import PlaybackModel, PlaybackReport, mean_continuity, playback_delay_spread
+from .mesh import MeshConfig, MeshResult, MeshStreamingSession
+
+__all__ = [
+    "Chunk",
+    "ChunkBuffer",
+    "SCHEDULERS",
+    "EarliestDeadlineScheduler",
+    "RarestFirstScheduler",
+    "SchedulerBase",
+    "SequentialScheduler",
+    "make_scheduler",
+    "PlaybackModel",
+    "PlaybackReport",
+    "mean_continuity",
+    "playback_delay_spread",
+    "MeshConfig",
+    "MeshResult",
+    "MeshStreamingSession",
+]

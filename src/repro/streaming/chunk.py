@@ -1,0 +1,127 @@
+"""Chunks and chunk buffers for the mesh live-streaming workload.
+
+The paper motivates proximity discovery with mesh-based live streaming
+(PULSE-style): the video is cut into numbered chunks, peers advertise which
+chunks they hold and pull missing ones from neighbours.  A
+:class:`ChunkBuffer` is the sliding window each peer maintains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..exceptions import StreamingError
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One video chunk."""
+
+    index: int
+    created_at: float
+    size_kb: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise StreamingError(f"chunk index must be >= 0, got {self.index}")
+        if self.size_kb <= 0:
+            raise StreamingError(f"chunk size must be > 0, got {self.size_kb}")
+
+
+class ChunkBuffer:
+    """A peer's sliding window of received chunks.
+
+    Parameters
+    ----------
+    window_size:
+        How many chunk slots the buffer keeps behind the most recent chunk;
+        chunks older than the window are evicted (they have been played out).
+    """
+
+    def __init__(self, window_size: int = 60) -> None:
+        if window_size <= 0:
+            raise StreamingError(f"window_size must be positive, got {window_size}")
+        self.window_size = window_size
+        self._chunks: Dict[int, Chunk] = {}
+        self._received_at: Dict[int, float] = {}
+        self.highest_index: Optional[int] = None
+
+    # ------------------------------------------------------------------ write
+
+    def add(self, chunk: Chunk, received_at: float) -> bool:
+        """Store a chunk; returns False if it was already present or too old."""
+        if self.highest_index is not None and chunk.index <= self.highest_index - self.window_size:
+            return False
+        if chunk.index in self._chunks:
+            return False
+        self._chunks[chunk.index] = chunk
+        self._received_at[chunk.index] = received_at
+        if self.highest_index is None or chunk.index > self.highest_index:
+            self.highest_index = chunk.index
+        self._evict()
+        return True
+
+    def _evict(self) -> None:
+        if self.highest_index is None:
+            return
+        threshold = self.highest_index - self.window_size
+        stale = [index for index in self._chunks if index <= threshold]
+        for index in stale:
+            del self._chunks[index]
+            del self._received_at[index]
+
+    # ------------------------------------------------------------------- read
+
+    def has(self, index: int) -> bool:
+        """True if chunk ``index`` is currently buffered."""
+        return index in self._chunks
+
+    def get(self, index: int) -> Chunk:
+        """Return a buffered chunk."""
+        if index not in self._chunks:
+            raise StreamingError(f"chunk {index} is not in the buffer")
+        return self._chunks[index]
+
+    def received_at(self, index: int) -> float:
+        """When chunk ``index`` was received."""
+        if index not in self._received_at:
+            raise StreamingError(f"chunk {index} is not in the buffer")
+        return self._received_at[index]
+
+    def indices(self) -> List[int]:
+        """Buffered chunk indices in increasing order."""
+        return sorted(self._chunks)
+
+    def bitmap(self, start: int, length: int) -> List[bool]:
+        """Presence bitmap for ``length`` chunk slots starting at ``start``."""
+        if length <= 0:
+            raise StreamingError(f"length must be positive, got {length}")
+        return [self.has(start + offset) for offset in range(length)]
+
+    def missing_in_window(self, start: int, length: int) -> List[int]:
+        """Chunk indices missing from the ``[start, start+length)`` window."""
+        return [start + offset for offset in range(length) if not self.has(start + offset)]
+
+    def contiguous_from(self, start: int) -> int:
+        """Number of consecutive chunks present starting at ``start``."""
+        count = 0
+        index = start
+        while self.has(index):
+            count += 1
+            index += 1
+        return count
+
+    @property
+    def size(self) -> int:
+        """Number of chunks currently buffered."""
+        return len(self._chunks)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._chunks
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._chunks))

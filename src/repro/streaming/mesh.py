@@ -1,0 +1,246 @@
+"""Round-based mesh pull streaming over an overlay.
+
+A deliberately simple (but complete) model of PULSE-style mesh streaming,
+used by the examples to show *why* proximity-aware neighbour selection
+matters: chunks propagate faster and startup delays shrink when overlay
+neighbours are network-close.
+
+Model
+-----
+Time advances in rounds of ``round_duration_s``.  The source injects one new
+chunk per round.  Each round every peer:
+
+1. advertises its buffer map to its (symmetric) neighbours;
+2. schedules up to ``requests_per_round`` chunk requests using its scheduler;
+3. requests are served after a delay proportional to the network distance
+   between the two peers (``distance * latency_per_hop_s``), so a chunk
+   fetched from a far neighbour arrives several rounds later than one fetched
+   nearby.
+
+The simulation records per-peer chunk reception times which
+:mod:`repro.streaming.playback` turns into startup delay / continuity
+metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from .._validation import require_positive_float, require_positive_int
+from ..exceptions import StreamingError
+from ..overlay.overlay import Overlay
+from .chunk import Chunk, ChunkBuffer
+from .playback import PlaybackModel, PlaybackReport
+from .scheduler import SchedulerBase, SequentialScheduler
+
+PeerId = Hashable
+DistanceFunction = Callable[[PeerId, PeerId], float]
+
+
+@dataclass
+class MeshConfig:
+    """Parameters of the mesh streaming simulation."""
+
+    rounds: int = 120
+    round_duration_s: float = 1.0
+    requests_per_round: int = 4
+    uploads_per_round: int = 4
+    latency_per_hop_s: float = 0.05
+    buffer_window: int = 60
+    source_fanout: int = 4
+    startup_buffer_chunks: int = 3
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.rounds, "rounds")
+        require_positive_float(self.round_duration_s, "round_duration_s")
+        require_positive_int(self.requests_per_round, "requests_per_round")
+        require_positive_int(self.uploads_per_round, "uploads_per_round")
+        require_positive_float(self.latency_per_hop_s, "latency_per_hop_s")
+        require_positive_int(self.buffer_window, "buffer_window")
+        require_positive_int(self.source_fanout, "source_fanout")
+        require_positive_int(self.startup_buffer_chunks, "startup_buffer_chunks")
+
+
+@dataclass
+class MeshResult:
+    """Outcome of a mesh streaming run."""
+
+    reception_times: Dict[PeerId, Dict[int, float]]
+    playback_reports: Dict[PeerId, PlaybackReport]
+    chunks_injected: int
+    total_transfers: int
+    mean_delivery_delay_s: float
+
+    def mean_startup_delay(self) -> float:
+        """Mean startup delay over peers that managed to start."""
+        delays = [
+            report.startup_delay_s
+            for report in self.playback_reports.values()
+            if report.startup_delay_s is not None
+        ]
+        if not delays:
+            raise StreamingError("no peer completed startup")
+        return sum(delays) / len(delays)
+
+    def mean_continuity(self) -> float:
+        """Mean continuity index over all peers."""
+        reports = list(self.playback_reports.values())
+        return sum(report.continuity for report in reports) / len(reports)
+
+
+class MeshStreamingSession:
+    """Simulates one live-streaming session over a given overlay.
+
+    Parameters
+    ----------
+    overlay:
+        The overlay whose (symmetric) neighbour links carry chunk transfers.
+    source_id:
+        Which peer acts as the source.  It must be part of the overlay.
+    distance:
+        Network distance function between peers (hop count from the oracle in
+        the experiments); converts into transfer delay.
+    scheduler:
+        Chunk scheduling policy (sequential by default).
+    """
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        source_id: PeerId,
+        distance: DistanceFunction,
+        config: Optional[MeshConfig] = None,
+        scheduler: Optional[SchedulerBase] = None,
+    ) -> None:
+        if not overlay.has_peer(source_id):
+            raise StreamingError(f"source {source_id!r} is not part of the overlay")
+        self.overlay = overlay
+        self.source_id = source_id
+        self.distance = distance
+        self.config = config or MeshConfig()
+        self.scheduler = scheduler or SequentialScheduler(seed=0)
+        self._buffers: Dict[PeerId, ChunkBuffer] = {
+            peer_id: ChunkBuffer(window_size=self.config.buffer_window)
+            for peer_id in overlay.peers()
+        }
+        self._reception: Dict[PeerId, Dict[int, float]] = {
+            peer_id: {} for peer_id in overlay.peers()
+        }
+        # Transfers in flight: (arrival_time, recipient, chunk).
+        self._in_flight: List[Tuple[float, PeerId, Chunk]] = []
+        self._total_transfers = 0
+        self._delivery_delays: List[float] = []
+
+    # -------------------------------------------------------------- internals
+
+    def _neighbors(self, peer_id: PeerId) -> List[PeerId]:
+        return sorted(self.overlay.symmetric_neighbors_of(peer_id), key=repr)
+
+    def _deliver(self, peer_id: PeerId, chunk: Chunk, time_s: float) -> None:
+        buffer = self._buffers[peer_id]
+        if buffer.add(chunk, received_at=time_s):
+            self._reception[peer_id][chunk.index] = time_s
+            self._delivery_delays.append(time_s - chunk.created_at)
+
+    def _transfer_delay(self, sender: PeerId, recipient: PeerId) -> float:
+        hops = max(1.0, float(self.distance(sender, recipient)))
+        return hops * self.config.latency_per_hop_s
+
+    def _process_in_flight(self, now_s: float) -> None:
+        still_flying: List[Tuple[float, PeerId, Chunk]] = []
+        for arrival, recipient, chunk in self._in_flight:
+            if arrival <= now_s:
+                self._deliver(recipient, chunk, arrival)
+            else:
+                still_flying.append((arrival, recipient, chunk))
+        self._in_flight = still_flying
+
+    # -------------------------------------------------------------------- run
+
+    def run(self) -> MeshResult:
+        """Run the configured number of rounds and return the results."""
+        config = self.config
+        chunk_index = 0
+        for round_number in range(config.rounds):
+            now = round_number * config.round_duration_s
+
+            # 1. The source produces one chunk and pushes it to a few neighbours.
+            chunk = Chunk(index=chunk_index, created_at=now)
+            chunk_index += 1
+            self._deliver(self.source_id, chunk, now)
+            for neighbor in self._neighbors(self.source_id)[: config.source_fanout]:
+                delay = self._transfer_delay(self.source_id, neighbor)
+                self._in_flight.append((now + delay, neighbor, chunk))
+                self._total_transfers += 1
+
+            # 2. Deliver transfers that have arrived by now.
+            self._process_in_flight(now)
+
+            # 3. Every peer pulls missing chunks from neighbours.
+            window_start = max(0, chunk_index - config.buffer_window)
+            window_length = chunk_index - window_start
+            upload_budget: Dict[PeerId, int] = {
+                peer_id: config.uploads_per_round for peer_id in self.overlay.peers()
+            }
+            for peer_id in self.overlay.peers():
+                if peer_id == self.source_id:
+                    continue
+                buffer = self._buffers[peer_id]
+                missing = buffer.missing_in_window(window_start, window_length)
+                if not missing:
+                    continue
+                neighbors = self._neighbors(peer_id)
+                if not neighbors:
+                    continue
+                neighbor_bitmaps: Dict[PeerId, Dict[int, bool]] = {
+                    neighbor: {
+                        index: self._buffers[neighbor].has(index) for index in missing
+                    }
+                    for neighbor in neighbors
+                }
+                requests = self.scheduler.schedule(
+                    missing, neighbor_bitmaps, budget=config.requests_per_round
+                )
+                for requested_index, holder in requests:
+                    if upload_budget.get(holder, 0) <= 0:
+                        continue
+                    if not self._buffers[holder].has(requested_index):
+                        continue
+                    upload_budget[holder] -= 1
+                    held_chunk = self._buffers[holder].get(requested_index)
+                    delay = self._transfer_delay(holder, peer_id)
+                    self._in_flight.append((now + delay, peer_id, held_chunk))
+                    self._total_transfers += 1
+
+        # Flush remaining transfers at the end of the session.
+        final_time = config.rounds * config.round_duration_s
+        self._process_in_flight(final_time + 10 * config.round_duration_s)
+
+        playback = PlaybackModel(
+            chunk_duration_s=config.round_duration_s,
+            startup_buffer_chunks=config.startup_buffer_chunks,
+        )
+        reports: Dict[PeerId, PlaybackReport] = {}
+        for peer_id in self.overlay.peers():
+            reports[peer_id] = playback.evaluate(
+                peer_id=peer_id,
+                join_time_s=0.0,
+                reception_times=self._reception[peer_id],
+                first_chunk_index=0,
+                last_chunk_index=chunk_index - 1,
+            )
+
+        mean_delay = (
+            sum(self._delivery_delays) / len(self._delivery_delays)
+            if self._delivery_delays
+            else 0.0
+        )
+        return MeshResult(
+            reception_times={peer: dict(times) for peer, times in self._reception.items()},
+            playback_reports=reports,
+            chunks_injected=chunk_index,
+            total_transfers=self._total_transfers,
+            mean_delivery_delay_s=mean_delay,
+        )

@@ -1,0 +1,148 @@
+"""Playback model: setup delay, playback delay, continuity.
+
+The paper's motivation is that a newcomer's *setup delay* (time until the
+video becomes visible) depends on how quickly it finds good neighbours, and
+that neighbours should ideally share the same *playback delay* so they work
+on the same chunk window.  This module models both quantities for a peer
+given the chunk arrival times produced by the mesh simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..exceptions import StreamingError
+
+
+@dataclass
+class PlaybackReport:
+    """Playback outcome for one peer."""
+
+    peer_id: object
+    startup_delay_s: Optional[float]
+    playback_delay_s: Optional[float]
+    continuity: float
+    stalls: int
+    chunks_played: int
+    chunks_missed: int
+
+
+class PlaybackModel:
+    """Derives playback metrics from chunk reception times.
+
+    Parameters
+    ----------
+    chunk_duration_s:
+        Playback duration of one chunk (chunk i's nominal play time is
+        ``source_start + i * chunk_duration_s + playback_delay``).
+    startup_buffer_chunks:
+        How many consecutive chunks a player buffers before starting.
+    """
+
+    def __init__(self, chunk_duration_s: float = 1.0, startup_buffer_chunks: int = 3) -> None:
+        if chunk_duration_s <= 0:
+            raise StreamingError(f"chunk_duration_s must be > 0, got {chunk_duration_s}")
+        if startup_buffer_chunks <= 0:
+            raise StreamingError(
+                f"startup_buffer_chunks must be > 0, got {startup_buffer_chunks}"
+            )
+        self.chunk_duration_s = chunk_duration_s
+        self.startup_buffer_chunks = startup_buffer_chunks
+
+    def startup_delay(
+        self, join_time_s: float, reception_times: Mapping[int, float]
+    ) -> Optional[float]:
+        """Time from join until ``startup_buffer_chunks`` consecutive chunks are held.
+
+        Returns None if the buffer never fills.
+        """
+        if not reception_times:
+            return None
+        indices = sorted(reception_times)
+        for start_position in range(len(indices)):
+            start_index = indices[start_position]
+            window = [start_index + offset for offset in range(self.startup_buffer_chunks)]
+            if all(index in reception_times for index in window):
+                ready_at = max(reception_times[index] for index in window)
+                return max(0.0, ready_at - join_time_s)
+        return None
+
+    def evaluate(
+        self,
+        peer_id: object,
+        join_time_s: float,
+        reception_times: Mapping[int, float],
+        first_chunk_index: int,
+        last_chunk_index: int,
+        source_start_s: float = 0.0,
+    ) -> PlaybackReport:
+        """Full playback evaluation over ``[first_chunk_index, last_chunk_index]``.
+
+        The playback delay is chosen as the smallest value such that every
+        chunk the peer *did* receive arrived before its play-out time; chunks
+        never received count as misses and as stalls.
+        """
+        if last_chunk_index < first_chunk_index:
+            raise StreamingError("last_chunk_index must be >= first_chunk_index")
+
+        startup = self.startup_delay(join_time_s, reception_times)
+
+        # Minimal playback delay that keeps all received chunks on time.
+        playback_delay: Optional[float] = None
+        lateness: List[float] = []
+        for index in range(first_chunk_index, last_chunk_index + 1):
+            received = reception_times.get(index)
+            if received is None:
+                continue
+            nominal_play_time = source_start_s + index * self.chunk_duration_s
+            lateness.append(received - nominal_play_time)
+        if lateness:
+            playback_delay = max(0.0, max(lateness))
+
+        played = 0
+        missed = 0
+        stalls = 0
+        previous_missed = False
+        for index in range(first_chunk_index, last_chunk_index + 1):
+            if index in reception_times:
+                played += 1
+                previous_missed = False
+            else:
+                missed += 1
+                if not previous_missed:
+                    stalls += 1
+                previous_missed = True
+
+        total = played + missed
+        continuity = played / total if total else 0.0
+        return PlaybackReport(
+            peer_id=peer_id,
+            startup_delay_s=startup,
+            playback_delay_s=playback_delay,
+            continuity=continuity,
+            stalls=stalls,
+            chunks_played=played,
+            chunks_missed=missed,
+        )
+
+
+def playback_delay_spread(reports: Sequence[PlaybackReport]) -> float:
+    """Max minus min playback delay across peers (the paper wants this small).
+
+    Peers whose playback delay could not be determined are ignored; if fewer
+    than two peers have one, the spread is 0.
+    """
+    delays = [
+        report.playback_delay_s for report in reports if report.playback_delay_s is not None
+    ]
+    if len(delays) < 2:
+        return 0.0
+    return max(delays) - min(delays)
+
+
+def mean_continuity(reports: Sequence[PlaybackReport]) -> float:
+    """Average continuity index across peers."""
+    if not reports:
+        raise StreamingError("no playback reports to average")
+    return sum(report.continuity for report in reports) / len(reports)

@@ -1,0 +1,153 @@
+"""Chunk-scheduling policies for mesh pull streaming.
+
+Each round a peer decides which missing chunks to request from which
+neighbour.  The classic policies are implemented:
+
+* ``RarestFirstScheduler`` — request the chunk held by the fewest neighbours
+  first (maximises diversity, the BitTorrent heuristic);
+* ``EarliestDeadlineScheduler`` — request the chunk closest to its playback
+  deadline first (minimises stalls for live playback);
+* ``SequentialScheduler`` — request in index order (simplest; prone to
+  missing deadlines under loss).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from .._validation import coerce_seed
+from ..exceptions import StreamingError
+
+PeerId = Hashable
+
+Request = Tuple[int, PeerId]
+"""A scheduled request: ``(chunk_index, neighbour_to_ask)``."""
+
+
+class SchedulerBase:
+    """Shared helpers for chunk schedulers."""
+
+    name = "base"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(coerce_seed(seed))
+
+    @staticmethod
+    def _holders(
+        chunk_index: int, neighbor_bitmaps: Mapping[PeerId, Mapping[int, bool]]
+    ) -> List[PeerId]:
+        """Neighbours that hold ``chunk_index``."""
+        return [
+            neighbor
+            for neighbor, bitmap in neighbor_bitmaps.items()
+            if bitmap.get(chunk_index, False)
+        ]
+
+    def _pick_holder(self, holders: List[PeerId]) -> PeerId:
+        """Pick one holder (random to spread load)."""
+        if not holders:
+            raise StreamingError("no holder available")
+        return self._rng.choice(sorted(holders, key=repr))
+
+    def schedule(
+        self,
+        missing: Sequence[int],
+        neighbor_bitmaps: Mapping[PeerId, Mapping[int, bool]],
+        budget: int,
+        deadlines: Optional[Mapping[int, float]] = None,
+    ) -> List[Request]:
+        """Return up to ``budget`` requests for chunks in ``missing``."""
+        raise NotImplementedError
+
+
+class SequentialScheduler(SchedulerBase):
+    """Request missing chunks in increasing index order."""
+
+    name = "sequential"
+
+    def schedule(
+        self,
+        missing: Sequence[int],
+        neighbor_bitmaps: Mapping[PeerId, Mapping[int, bool]],
+        budget: int,
+        deadlines: Optional[Mapping[int, float]] = None,
+    ) -> List[Request]:
+        requests: List[Request] = []
+        for chunk_index in sorted(missing):
+            if len(requests) >= budget:
+                break
+            holders = self._holders(chunk_index, neighbor_bitmaps)
+            if holders:
+                requests.append((chunk_index, self._pick_holder(holders)))
+        return requests
+
+
+class RarestFirstScheduler(SchedulerBase):
+    """Request the rarest (fewest holders) missing chunks first."""
+
+    name = "rarest_first"
+
+    def schedule(
+        self,
+        missing: Sequence[int],
+        neighbor_bitmaps: Mapping[PeerId, Mapping[int, bool]],
+        budget: int,
+        deadlines: Optional[Mapping[int, float]] = None,
+    ) -> List[Request]:
+        scored: List[Tuple[int, int]] = []
+        for chunk_index in missing:
+            holders = self._holders(chunk_index, neighbor_bitmaps)
+            if holders:
+                scored.append((len(holders), chunk_index))
+        scored.sort()
+        requests: List[Request] = []
+        for _, chunk_index in scored:
+            if len(requests) >= budget:
+                break
+            holders = self._holders(chunk_index, neighbor_bitmaps)
+            requests.append((chunk_index, self._pick_holder(holders)))
+        return requests
+
+
+class EarliestDeadlineScheduler(SchedulerBase):
+    """Request chunks whose playback deadline is closest first."""
+
+    name = "earliest_deadline"
+
+    def schedule(
+        self,
+        missing: Sequence[int],
+        neighbor_bitmaps: Mapping[PeerId, Mapping[int, bool]],
+        budget: int,
+        deadlines: Optional[Mapping[int, float]] = None,
+    ) -> List[Request]:
+        if deadlines is None:
+            # Without deadlines the policy degenerates to sequential order.
+            deadlines = {chunk_index: float(chunk_index) for chunk_index in missing}
+        scored = sorted(
+            (deadlines.get(chunk_index, float("inf")), chunk_index) for chunk_index in missing
+        )
+        requests: List[Request] = []
+        for _, chunk_index in scored:
+            if len(requests) >= budget:
+                break
+            holders = self._holders(chunk_index, neighbor_bitmaps)
+            if holders:
+                requests.append((chunk_index, self._pick_holder(holders)))
+        return requests
+
+
+SCHEDULERS = {
+    "sequential": SequentialScheduler,
+    "rarest_first": RarestFirstScheduler,
+    "earliest_deadline": EarliestDeadlineScheduler,
+}
+"""Registry of scheduler classes by name."""
+
+
+def make_scheduler(name: str, seed: Optional[int] = None) -> SchedulerBase:
+    """Instantiate a scheduler by name."""
+    if name not in SCHEDULERS:
+        raise StreamingError(f"unknown scheduler {name!r}; available: {sorted(SCHEDULERS)}")
+    return SCHEDULERS[name](seed=seed)

@@ -1,0 +1,457 @@
+"""Synthetic topology generators.
+
+The paper's evaluation runs over a router-level Internet map whose only
+properties that matter for the algorithm are (i) a heavy-tailed degree
+distribution and (ii) a well-connected core that most shortest paths traverse.
+This module provides several classical generators that reproduce those
+properties at different levels of realism:
+
+* :func:`barabasi_albert` — preferential attachment, power-law degrees.
+* :func:`glp` — Generalised Linear Preference (Bu & Towsley), a BA variant
+  tuned to better match measured router-level maps.
+* :func:`waxman` — random geometric graph with distance-dependent edges
+  (no heavy tail, used as a "null" topology in ablations).
+* :func:`powerlaw_configuration_model` — degrees drawn from a discrete
+  power law, wired with the configuration model and simplified.
+* :func:`random_regular` — every node has the same degree (another null
+  model: no core at all).
+* :func:`two_tier_hierarchical` — an explicit core/edge construction used as
+  a building block by :mod:`repro.topology.internet_mapper`.
+
+All generators return :class:`repro.topology.graph.Graph` instances whose
+nodes are consecutive integers starting at 0, and accept a ``rng`` argument
+(:class:`random.Random`) or a ``seed`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._validation import (
+    coerce_seed,
+    require_in_range,
+    require_positive_float,
+    require_positive_int,
+    require_probability,
+)
+from ..exceptions import GeneratorError
+from .graph import Graph
+
+
+def _make_rng(rng: Optional[random.Random], seed: Optional[int]) -> random.Random:
+    """Return ``rng`` if given, else a new :class:`random.Random` seeded with ``seed``."""
+    if rng is not None:
+        return rng
+    return random.Random(coerce_seed(seed))
+
+
+def _preferential_targets(
+    repeated_nodes: List[int],
+    m: int,
+    rng: random.Random,
+    exclude: int,
+) -> List[int]:
+    """Pick ``m`` distinct targets from ``repeated_nodes`` proportionally to frequency."""
+    targets: List[int] = []
+    chosen = set()
+    # Guard against pathological loops when the candidate pool is small.
+    max_attempts = 50 * m + 100
+    attempts = 0
+    while len(targets) < m and attempts < max_attempts:
+        attempts += 1
+        candidate = rng.choice(repeated_nodes)
+        if candidate == exclude or candidate in chosen:
+            continue
+        chosen.add(candidate)
+        targets.append(candidate)
+    if len(targets) < m:
+        # Fall back to uniform sampling over all seen nodes.
+        pool = [node for node in set(repeated_nodes) if node != exclude and node not in chosen]
+        rng.shuffle(pool)
+        targets.extend(pool[: m - len(targets)])
+    return targets
+
+
+def barabasi_albert(
+    n: int,
+    m: int = 2,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    name: str = "barabasi-albert",
+) -> Graph:
+    """Generate a Barabási–Albert preferential-attachment graph.
+
+    Parameters
+    ----------
+    n:
+        Total number of nodes (must be > m).
+    m:
+        Number of edges each new node attaches with.
+    """
+    require_positive_int(n, "n")
+    require_positive_int(m, "m")
+    if n <= m:
+        raise GeneratorError(f"barabasi_albert requires n > m (got n={n}, m={m})")
+    rng = _make_rng(rng, seed)
+
+    graph = Graph(name=name)
+    # Start from a star over the first m+1 nodes so every node has degree >= 1.
+    for node in range(m + 1):
+        graph.add_node(node)
+    repeated_nodes: List[int] = []
+    for node in range(1, m + 1):
+        graph.add_edge(0, node)
+        repeated_nodes.extend([0, node])
+
+    for new_node in range(m + 1, n):
+        targets = _preferential_targets(repeated_nodes, m, rng, exclude=new_node)
+        for target in targets:
+            graph.add_edge(new_node, target)
+            repeated_nodes.extend([new_node, target])
+    return graph
+
+
+def glp(
+    n: int,
+    m: int = 2,
+    p: float = 0.45,
+    beta: float = 0.64,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    name: str = "glp",
+) -> Graph:
+    """Generate a Generalised Linear Preference (GLP) graph.
+
+    GLP (Bu & Towsley, INFOCOM 2002) extends BA with a probability ``p`` of
+    adding edges between existing nodes instead of growing, and a shift
+    ``beta`` in the attachment kernel ``(degree - beta)``.  The defaults are
+    the values reported to match router-level maps.
+    """
+    require_positive_int(n, "n")
+    require_positive_int(m, "m")
+    require_probability(p, "p")
+    require_in_range(beta, -10.0, 0.999999, "beta")
+    if n <= m + 1:
+        raise GeneratorError(f"glp requires n > m + 1 (got n={n}, m={m})")
+    rng = _make_rng(rng, seed)
+
+    graph = Graph(name=name)
+    for node in range(m + 1):
+        graph.add_node(node)
+    for node in range(1, m + 1):
+        graph.add_edge(0, node)
+
+    def pick_by_preference(exclude: Optional[int], forbidden: Optional[set] = None) -> int:
+        weights: List[float] = []
+        nodes: List[int] = []
+        for node in graph.nodes():
+            if node == exclude:
+                continue
+            if forbidden is not None and node in forbidden:
+                continue
+            weight = graph.degree(node) - beta
+            if weight <= 0:
+                weight = 1e-9
+            nodes.append(node)
+            weights.append(weight)
+        total = sum(weights)
+        threshold = rng.random() * total
+        acc = 0.0
+        for node, weight in zip(nodes, weights):
+            acc += weight
+            if acc >= threshold:
+                return node
+        return nodes[-1]
+
+    next_node = m + 1
+    while next_node < n:
+        if rng.random() < p and graph.node_count > m + 1:
+            # Add m new edges between existing nodes.
+            for _ in range(m):
+                u = pick_by_preference(exclude=None)
+                forbidden = set(graph.neighbors(u)) | {u}
+                if len(forbidden) >= graph.node_count:
+                    continue
+                v = pick_by_preference(exclude=u, forbidden=forbidden)
+                graph.add_edge(u, v)
+        else:
+            new_node = next_node
+            graph.add_node(new_node)
+            added = set()
+            for _ in range(min(m, graph.node_count - 1)):
+                target = pick_by_preference(exclude=new_node, forbidden=added)
+                graph.add_edge(new_node, target)
+                added.add(target)
+            next_node += 1
+    return graph
+
+
+def waxman(
+    n: int,
+    alpha: float = 0.4,
+    beta: float = 0.1,
+    domain_size: float = 1.0,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    name: str = "waxman",
+    ensure_connected: bool = True,
+) -> Graph:
+    """Generate a Waxman random geometric graph.
+
+    Nodes are placed uniformly in a ``domain_size`` x ``domain_size`` square
+    and each pair is connected with probability
+    ``alpha * exp(-d / (beta * L))`` where ``d`` is their Euclidean distance
+    and ``L`` the diagonal.  Node positions are stored in the ``pos`` node
+    attribute so latency models can reuse them.
+    """
+    require_positive_int(n, "n")
+    require_probability(alpha, "alpha")
+    require_positive_float(beta, "beta")
+    require_positive_float(domain_size, "domain_size")
+    rng = _make_rng(rng, seed)
+
+    graph = Graph(name=name)
+    positions: Dict[int, Tuple[float, float]] = {}
+    for node in range(n):
+        pos = (rng.uniform(0.0, domain_size), rng.uniform(0.0, domain_size))
+        positions[node] = pos
+        graph.add_node(node, pos=pos)
+
+    diagonal = math.sqrt(2.0) * domain_size
+    for u in range(n):
+        for v in range(u + 1, n):
+            dx = positions[u][0] - positions[v][0]
+            dy = positions[u][1] - positions[v][1]
+            distance = math.hypot(dx, dy)
+            probability = alpha * math.exp(-distance / (beta * diagonal))
+            if rng.random() < probability:
+                graph.add_edge(u, v, distance=distance)
+
+    if ensure_connected:
+        _connect_components(graph, rng, positions)
+    return graph
+
+
+def _connect_components(
+    graph: Graph,
+    rng: random.Random,
+    positions: Optional[Dict[int, Tuple[float, float]]] = None,
+) -> None:
+    """Add edges between components until the graph is connected."""
+    components = graph.connected_components()
+    while len(components) > 1:
+        components.sort(key=len, reverse=True)
+        main, other = components[0], components[1]
+        u = rng.choice(main)
+        v = rng.choice(other)
+        attrs = {}
+        if positions is not None and u in positions and v in positions:
+            dx = positions[u][0] - positions[v][0]
+            dy = positions[u][1] - positions[v][1]
+            attrs["distance"] = math.hypot(dx, dy)
+        graph.add_edge(u, v, **attrs)
+        components = graph.connected_components()
+
+
+def powerlaw_degree_sequence(
+    n: int,
+    exponent: float = 2.2,
+    min_degree: int = 1,
+    max_degree: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+) -> List[int]:
+    """Draw ``n`` degrees from a discrete power law ``P(k) ~ k^-exponent``.
+
+    The sequence sum is forced to be even so it is graphical for the
+    configuration model.
+    """
+    require_positive_int(n, "n")
+    require_positive_float(exponent, "exponent")
+    require_positive_int(min_degree, "min_degree")
+    rng = _make_rng(rng, seed)
+    if max_degree is None:
+        max_degree = max(min_degree + 1, int(math.sqrt(n) * 2))
+    if max_degree < min_degree:
+        raise GeneratorError(
+            f"max_degree ({max_degree}) must be >= min_degree ({min_degree})"
+        )
+
+    degrees_support = list(range(min_degree, max_degree + 1))
+    weights = [k ** (-exponent) for k in degrees_support]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    def draw() -> int:
+        u = rng.random()
+        for value, threshold in zip(degrees_support, cumulative):
+            if u <= threshold:
+                return value
+        return degrees_support[-1]
+
+    sequence = [draw() for _ in range(n)]
+    if sum(sequence) % 2 == 1:
+        # Bump a random minimum-degree entry to make the sum even.
+        index = rng.randrange(n)
+        sequence[index] += 1
+    return sequence
+
+
+def powerlaw_configuration_model(
+    n: int,
+    exponent: float = 2.2,
+    min_degree: int = 1,
+    max_degree: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    name: str = "powerlaw-cm",
+    ensure_connected: bool = True,
+) -> Graph:
+    """Generate a simple graph with an (approximate) power-law degree sequence.
+
+    The configuration model creates multi-edges and self-loops; those are
+    dropped, so realised degrees can be slightly below the drawn sequence —
+    the heavy tail is preserved, which is all the evaluation needs.
+    """
+    rng = _make_rng(rng, seed)
+    sequence = powerlaw_degree_sequence(
+        n, exponent=exponent, min_degree=min_degree, max_degree=max_degree, rng=rng
+    )
+
+    stubs: List[int] = []
+    for node, degree in enumerate(sequence):
+        stubs.extend([node] * degree)
+    rng.shuffle(stubs)
+
+    graph = Graph(name=name)
+    for node in range(n):
+        graph.add_node(node)
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+
+    if ensure_connected:
+        _connect_components(graph, rng)
+    return graph
+
+
+def random_regular(
+    n: int,
+    degree: int = 3,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    name: str = "random-regular",
+    max_retries: int = 50,
+) -> Graph:
+    """Generate an (approximately) random ``degree``-regular graph.
+
+    Used as a null model without any core: with homogeneous degrees the
+    path-tree inference should lose most of its advantage, which the
+    ablation benchmarks verify.
+    """
+    require_positive_int(n, "n")
+    require_positive_int(degree, "degree")
+    if n <= degree:
+        raise GeneratorError(f"random_regular requires n > degree (got n={n}, degree={degree})")
+    if (n * degree) % 2 == 1:
+        raise GeneratorError("n * degree must be even for a regular graph")
+    rng = _make_rng(rng, seed)
+
+    for _ in range(max_retries):
+        stubs = [node for node in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        graph = Graph(name=name)
+        for node in range(n):
+            graph.add_node(node)
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or graph.has_edge(u, v):
+                ok = False
+                break
+            graph.add_edge(u, v)
+        if ok and graph.is_connected():
+            return graph
+    # Last resort: accept a not-exactly-regular simple graph.
+    stubs = [node for node in range(n) for _ in range(degree)]
+    rng.shuffle(stubs)
+    graph = Graph(name=name)
+    for node in range(n):
+        graph.add_node(node)
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+    _connect_components(graph, rng)
+    return graph
+
+
+def two_tier_hierarchical(
+    core_size: int,
+    edge_size: int,
+    core_attachment: int = 3,
+    edge_attachment: int = 1,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    name: str = "two-tier",
+) -> Graph:
+    """Generate an explicit two-tier (core + access) topology.
+
+    The core is a dense preferential-attachment graph of ``core_size`` nodes;
+    ``edge_size`` access routers attach to ``edge_attachment`` core (or
+    previously added access) routers chosen preferentially.  Core nodes carry
+    the node attribute ``tier='core'``, access nodes ``tier='edge'``.
+    """
+    require_positive_int(core_size, "core_size")
+    require_positive_int(edge_size, "edge_size")
+    require_positive_int(core_attachment, "core_attachment")
+    require_positive_int(edge_attachment, "edge_attachment")
+    if core_size <= core_attachment:
+        raise GeneratorError("core_size must exceed core_attachment")
+    rng = _make_rng(rng, seed)
+
+    graph = barabasi_albert(core_size, m=core_attachment, rng=rng, name=name)
+    for node in range(core_size):
+        graph.set_node_attribute(node, "tier", "core")
+
+    repeated: List[int] = []
+    for node in graph.nodes():
+        repeated.extend([node] * graph.degree(node))
+
+    for offset in range(edge_size):
+        new_node = core_size + offset
+        graph.add_node(new_node, tier="edge")
+        targets = _preferential_targets(repeated, edge_attachment, rng, exclude=new_node)
+        for target in targets:
+            graph.add_edge(new_node, target)
+            repeated.extend([new_node, target])
+    return graph
+
+
+GENERATORS = {
+    "barabasi_albert": barabasi_albert,
+    "glp": glp,
+    "waxman": waxman,
+    "powerlaw_configuration_model": powerlaw_configuration_model,
+    "random_regular": random_regular,
+    "two_tier_hierarchical": two_tier_hierarchical,
+}
+"""Registry mapping generator names to callables (used by the CLI and scenarios)."""
+
+
+def generate(kind: str, **kwargs) -> Graph:
+    """Dispatch to a named generator from :data:`GENERATORS`."""
+    if kind not in GENERATORS:
+        raise GeneratorError(
+            f"unknown generator {kind!r}; available: {sorted(GENERATORS)}"
+        )
+    return GENERATORS[kind](**kwargs)

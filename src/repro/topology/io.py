@@ -1,0 +1,206 @@
+"""Reading and writing router-level topologies.
+
+The paper's evaluation loads a router-level map produced by an external
+Internet mapper.  When such a dataset *is* available (e.g. a CAIDA ITDK or
+nem-style edge list), these helpers load it into the same
+:class:`~repro.topology.graph.Graph` / :class:`~repro.topology.internet_mapper.RouterMap`
+objects the rest of the library consumes, so real maps and synthetic maps are
+interchangeable in every experiment.  The synthetic maps can also be exported
+for inspection or reuse.
+
+Formats
+-------
+* **edge list** — one ``u v [latency_ms]`` line per link, ``#`` comments
+  allowed.  The de-facto exchange format of router-level datasets.
+* **JSON** — a self-describing dump including node attributes (tiers) and
+  edge attributes, used to round-trip :class:`RouterMap` objects exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..exceptions import TopologyError
+from .graph import DEFAULT_WEIGHT_KEY, Graph
+from .internet_mapper import RouterMap, RouterMapConfig
+
+PathLike = Union[str, Path]
+
+
+def _coerce_node(token: str):
+    """Edge-list node tokens become ints when they look like ints."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+# ---------------------------------------------------------------- edge lists
+
+
+def write_edge_list(graph: Graph, path: PathLike, include_latency: bool = True) -> Path:
+    """Write ``graph`` as an edge list; returns the written path."""
+    path = Path(path)
+    lines = [
+        f"# {graph.name}: {graph.node_count} nodes, {graph.edge_count} edges",
+    ]
+    for u, v in graph.edges():
+        if include_latency:
+            latency = graph.edge_weight(u, v)
+            lines.append(f"{u} {v} {latency:.6g}")
+        else:
+            lines.append(f"{u} {v}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_edge_list(path: PathLike, name: Optional[str] = None) -> Graph:
+    """Read an edge-list file into a :class:`Graph`.
+
+    Lines are ``u v`` or ``u v latency``; blank lines and ``#`` comments are
+    ignored.  Malformed lines raise :class:`~repro.exceptions.TopologyError`
+    with the offending line number.
+    """
+    path = Path(path)
+    graph = Graph(name=name or path.stem)
+    for line_number, raw_line in enumerate(path.read_text().splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise TopologyError(f"{path}:{line_number}: expected 'u v [latency]', got {raw_line!r}")
+        u, v = _coerce_node(parts[0]), _coerce_node(parts[1])
+        if u == v:
+            raise TopologyError(f"{path}:{line_number}: self-loop {u!r}")
+        attrs = {}
+        if len(parts) == 3:
+            try:
+                attrs[DEFAULT_WEIGHT_KEY] = float(parts[2])
+            except ValueError:
+                raise TopologyError(
+                    f"{path}:{line_number}: latency must be a number, got {parts[2]!r}"
+                ) from None
+        graph.add_edge(u, v, **attrs)
+    if graph.node_count == 0:
+        raise TopologyError(f"{path}: no edges found")
+    return graph
+
+
+# --------------------------------------------------------------------- JSON
+
+
+def graph_to_dict(graph: Graph) -> Dict:
+    """Plain-dict representation of a graph (nodes, attributes, edges)."""
+    return {
+        "name": graph.name,
+        "nodes": [
+            {"id": node, "attrs": dict(graph.node_attributes(node))} for node in graph.nodes()
+        ],
+        "edges": [
+            {"u": u, "v": v, "attrs": dict(graph.edge_attributes(u, v))} for u, v in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(data: Dict) -> Graph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    try:
+        graph = Graph(name=data.get("name", "graph"))
+        for node_entry in data["nodes"]:
+            graph.add_node(node_entry["id"], **dict(node_entry.get("attrs", {})))
+        for edge_entry in data["edges"]:
+            graph.add_edge(edge_entry["u"], edge_entry["v"], **dict(edge_entry.get("attrs", {})))
+    except (KeyError, TypeError) as error:
+        raise TopologyError(f"malformed graph dict: {error}") from error
+    return graph
+
+
+def write_graph_json(graph: Graph, path: PathLike) -> Path:
+    """Write a graph as JSON; returns the written path."""
+    path = Path(path)
+    path.write_text(json.dumps(graph_to_dict(graph), indent=1))
+    return path
+
+
+def read_graph_json(path: PathLike) -> Graph:
+    """Read a graph previously written by :func:`write_graph_json`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------- RouterMap
+
+
+def save_router_map(router_map: RouterMap, path: PathLike) -> Path:
+    """Persist a :class:`RouterMap` (graph + tiers + config) as JSON."""
+    path = Path(path)
+    payload = {
+        "graph": graph_to_dict(router_map.graph),
+        "tiers": {tier: list(nodes) for tier, nodes in router_map.tiers.items()},
+        "config": {
+            "core_size": router_map.config.core_size,
+            "core_attachment": router_map.config.core_attachment,
+            "transit_size": router_map.config.transit_size,
+            "transit_attachment": router_map.config.transit_attachment,
+            "stub_size": router_map.config.stub_size,
+            "stub_attachment": router_map.config.stub_attachment,
+            "stub_tree_probability": router_map.config.stub_tree_probability,
+            "extra_peering_probability": router_map.config.extra_peering_probability,
+            "seed": router_map.config.seed,
+        },
+    }
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def load_router_map(path: PathLike) -> RouterMap:
+    """Load a :class:`RouterMap` previously saved by :func:`save_router_map`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+        graph = graph_from_dict(payload["graph"])
+        tiers = {tier: list(nodes) for tier, nodes in payload["tiers"].items()}
+        config = RouterMapConfig(**payload["config"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise TopologyError(f"malformed router-map file {path}: {error}") from error
+    return RouterMap(graph=graph, config=config, tiers=tiers)
+
+
+def router_map_from_graph(graph: Graph, config: Optional[RouterMapConfig] = None) -> RouterMap:
+    """Wrap an externally loaded router graph as a :class:`RouterMap`.
+
+    Tier labels are taken from the ``tier`` node attribute when present;
+    otherwise nodes are classified by degree (degree 1 → stub, top decile →
+    core, the rest → transit), which is what the experiments need from a real
+    measured map: degree-1 routers to host peers and medium-degree routers to
+    host landmarks.
+    """
+    tiers: Dict[str, List] = {"core": [], "transit": [], "stub": []}
+    degrees = graph.degrees()
+    if degrees:
+        ordered = sorted(degrees.values())
+        core_threshold = ordered[int(len(ordered) * 0.9)] if len(ordered) > 10 else max(ordered)
+    else:
+        core_threshold = 0
+    for node in graph.nodes():
+        tier = graph.get_node_attribute(node, "tier")
+        if tier not in tiers:
+            degree = degrees[node]
+            if degree <= 1:
+                tier = "stub"
+            elif degree >= core_threshold:
+                tier = "core"
+            else:
+                tier = "transit"
+            graph.set_node_attribute(node, "tier", tier)
+        tiers[tier].append(node)
+    if config is None:
+        core_size = max(2, len(tiers["core"]))
+        config = RouterMapConfig(
+            core_size=core_size,
+            core_attachment=max(1, min(4, core_size - 1)),
+            transit_size=max(1, len(tiers["transit"])),
+            stub_size=max(1, len(tiers["stub"])),
+        )
+    return RouterMap(graph=graph, config=config, tiers=tiers)

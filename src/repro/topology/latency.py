@@ -1,0 +1,161 @@
+"""Link-latency models for generated topologies.
+
+The paper's metric is hop distance, but two parts of the system need
+latencies: the newcomer must pick its *closest landmark* "in terms of
+latency", and the streaming examples need realistic RTTs.  Real per-link
+latency data is not available for a synthetic map, so these models synthesise
+it.  All models write the latency (in milliseconds) into the edge attribute
+``latency`` (:data:`repro.topology.graph.DEFAULT_WEIGHT_KEY`), which the
+routing layer uses as its default weight.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+from .._validation import coerce_seed, require_non_negative_float, require_positive_float
+from .graph import DEFAULT_WEIGHT_KEY, Graph
+
+
+class LatencyModel(ABC):
+    """Base class: assigns a latency to every edge of a graph."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._seed = coerce_seed(seed)
+        self._rng = random.Random(self._seed)
+
+    @abstractmethod
+    def edge_latency(self, graph: Graph, u, v) -> float:
+        """Return the latency (ms) to assign to edge ``(u, v)``."""
+
+    def assign(self, graph: Graph, key: str = DEFAULT_WEIGHT_KEY) -> None:
+        """Write a latency into every edge's ``key`` attribute."""
+        for u, v in graph.edges():
+            graph.set_edge_attribute(u, v, key, self.edge_latency(graph, u, v))
+
+
+class ConstantLatencyModel(LatencyModel):
+    """Every link has the same latency (hop count scaled by a constant)."""
+
+    def __init__(self, latency_ms: float = 1.0, seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        self.latency_ms = require_positive_float(latency_ms, "latency_ms")
+
+    def edge_latency(self, graph: Graph, u, v) -> float:
+        return self.latency_ms
+
+
+class UniformLatencyModel(LatencyModel):
+    """Latency drawn uniformly from ``[low_ms, high_ms]`` per link."""
+
+    def __init__(self, low_ms: float = 1.0, high_ms: float = 20.0, seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        self.low_ms = require_positive_float(low_ms, "low_ms")
+        self.high_ms = require_positive_float(high_ms, "high_ms")
+        if high_ms < low_ms:
+            raise ValueError(f"high_ms ({high_ms}) must be >= low_ms ({low_ms})")
+
+    def edge_latency(self, graph: Graph, u, v) -> float:
+        return self._rng.uniform(self.low_ms, self.high_ms)
+
+
+class LogNormalLatencyModel(LatencyModel):
+    """Latency drawn from a log-normal distribution (heavy-ish tail).
+
+    Measured per-link latencies are highly skewed; a log-normal with a small
+    sigma reproduces the shape without extreme outliers.
+    """
+
+    def __init__(
+        self,
+        median_ms: float = 5.0,
+        sigma: float = 0.6,
+        minimum_ms: float = 0.1,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        self.median_ms = require_positive_float(median_ms, "median_ms")
+        self.sigma = require_positive_float(sigma, "sigma")
+        self.minimum_ms = require_non_negative_float(minimum_ms, "minimum_ms")
+
+    def edge_latency(self, graph: Graph, u, v) -> float:
+        mu = math.log(self.median_ms)
+        sample = self._rng.lognormvariate(mu, self.sigma)
+        return max(self.minimum_ms, sample)
+
+
+class TieredLatencyModel(LatencyModel):
+    """Latency depends on the tiers of the link endpoints.
+
+    Core–core links model long-haul backbone links (higher propagation
+    delay), access links (stub–anything) are short, and everything else sits
+    in between.  A small multiplicative jitter keeps ties rare.  This is the
+    default model used by :func:`repro.topology.internet_mapper.generate_router_map`.
+    """
+
+    def __init__(
+        self,
+        core_core_ms: float = 12.0,
+        core_transit_ms: float = 6.0,
+        transit_transit_ms: float = 4.0,
+        access_ms: float = 2.0,
+        jitter_fraction: float = 0.3,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        self.core_core_ms = require_positive_float(core_core_ms, "core_core_ms")
+        self.core_transit_ms = require_positive_float(core_transit_ms, "core_transit_ms")
+        self.transit_transit_ms = require_positive_float(transit_transit_ms, "transit_transit_ms")
+        self.access_ms = require_positive_float(access_ms, "access_ms")
+        self.jitter_fraction = require_non_negative_float(jitter_fraction, "jitter_fraction")
+
+    def _base_latency(self, tier_u: str, tier_v: str) -> float:
+        tiers = {tier_u, tier_v}
+        if "stub" in tiers:
+            return self.access_ms
+        if tiers == {"core"}:
+            return self.core_core_ms
+        if tiers == {"core", "transit"}:
+            return self.core_transit_ms
+        return self.transit_transit_ms
+
+    def edge_latency(self, graph: Graph, u, v) -> float:
+        tier_u = graph.get_node_attribute(u, "tier", "transit")
+        tier_v = graph.get_node_attribute(v, "tier", "transit")
+        base = self._base_latency(tier_u, tier_v)
+        jitter = 1.0 + self._rng.uniform(-self.jitter_fraction, self.jitter_fraction)
+        return max(0.05, base * jitter)
+
+
+class EuclideanLatencyModel(LatencyModel):
+    """Latency proportional to the Euclidean distance between node positions.
+
+    Requires node attribute ``pos`` (set e.g. by the Waxman generator).  Nodes
+    without a position fall back to ``fallback_ms``.
+    """
+
+    def __init__(
+        self,
+        ms_per_unit: float = 50.0,
+        minimum_ms: float = 0.5,
+        fallback_ms: float = 5.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        self.ms_per_unit = require_positive_float(ms_per_unit, "ms_per_unit")
+        self.minimum_ms = require_positive_float(minimum_ms, "minimum_ms")
+        self.fallback_ms = require_positive_float(fallback_ms, "fallback_ms")
+
+    @staticmethod
+    def _distance(pos_u: Tuple[float, float], pos_v: Tuple[float, float]) -> float:
+        return math.hypot(pos_u[0] - pos_v[0], pos_u[1] - pos_v[1])
+
+    def edge_latency(self, graph: Graph, u, v) -> float:
+        pos_u = graph.get_node_attribute(u, "pos")
+        pos_v = graph.get_node_attribute(v, "pos")
+        if pos_u is None or pos_v is None:
+            return self.fallback_ms
+        return max(self.minimum_ms, self._distance(pos_u, pos_v) * self.ms_per_unit)

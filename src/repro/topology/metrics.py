@@ -1,0 +1,228 @@
+"""Structural metrics of generated topologies.
+
+These are used by the tests (to assert that the synthetic router maps have
+the heavy-tailed, small-diameter structure the paper assumes) and by the
+EXPERIMENTS report (to document the substrate the figures were produced on).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from .._validation import coerce_seed, require_positive_int
+from ..exceptions import DisconnectedGraphError, NodeNotFoundError
+from .graph import Graph
+
+NodeId = Hashable
+
+
+def degree_distribution(graph: Graph) -> Dict[int, int]:
+    """Return ``{degree: number_of_nodes_with_that_degree}``."""
+    histogram: Dict[int, int] = {}
+    for degree in graph.degrees().values():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def degree_ccdf(graph: Graph) -> List[Tuple[int, float]]:
+    """Return the complementary CDF of the degree distribution.
+
+    Sorted list of ``(degree, P(Degree >= degree))`` — a straight line on a
+    log-log plot indicates a power-law tail.
+    """
+    histogram = degree_distribution(graph)
+    total = sum(histogram.values())
+    if total == 0:
+        return []
+    ccdf: List[Tuple[int, float]] = []
+    cumulative = 0
+    for degree in sorted(histogram, reverse=True):
+        cumulative += histogram[degree]
+        ccdf.append((degree, cumulative / total))
+    ccdf.reverse()
+    return ccdf
+
+
+def estimate_powerlaw_exponent(graph: Graph, k_min: int = 2) -> float:
+    """Maximum-likelihood estimate of the power-law exponent of the degree tail.
+
+    Uses the discrete Hill/Clauset estimator
+    ``alpha = 1 + n / sum(ln(k_i / (k_min - 0.5)))`` over degrees >= k_min.
+    Returns ``nan`` if fewer than 5 nodes qualify.
+    """
+    require_positive_int(k_min, "k_min")
+    tail = [degree for degree in graph.degrees().values() if degree >= k_min]
+    if len(tail) < 5:
+        return float("nan")
+    denominator = sum(math.log(degree / (k_min - 0.5)) for degree in tail)
+    if denominator <= 0:
+        return float("nan")
+    return 1.0 + len(tail) / denominator
+
+
+def average_degree(graph: Graph) -> float:
+    """Mean degree (2E/V)."""
+    if graph.node_count == 0:
+        return 0.0
+    return 2.0 * graph.edge_count / graph.node_count
+
+
+def max_degree(graph: Graph) -> int:
+    """Largest degree in the graph (0 for an empty graph)."""
+    degrees = list(graph.degrees().values())
+    return max(degrees) if degrees else 0
+
+
+def degree_one_fraction(graph: Graph) -> float:
+    """Fraction of nodes with degree exactly 1 (peer attachment points)."""
+    if graph.node_count == 0:
+        return 0.0
+    return len(graph.nodes_with_degree(1)) / graph.node_count
+
+
+def bfs_distances(graph: Graph, source: NodeId) -> Dict[NodeId, int]:
+    """Hop distances from ``source`` to every reachable node."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    distances: Dict[NodeId, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.iter_neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def eccentricity(graph: Graph, source: NodeId) -> int:
+    """Largest hop distance from ``source`` to any node (graph must be connected)."""
+    distances = bfs_distances(graph, source)
+    if len(distances) != graph.node_count:
+        raise DisconnectedGraphError("eccentricity requires a connected graph")
+    return max(distances.values())
+
+
+@dataclass
+class PathLengthStats:
+    """Summary of sampled shortest-path lengths."""
+
+    mean: float
+    median: float
+    p90: float
+    maximum: int
+    samples: int
+
+
+def sampled_path_length_stats(
+    graph: Graph,
+    samples: int = 200,
+    seed: Optional[int] = None,
+) -> PathLengthStats:
+    """Estimate the hop-distance distribution from ``samples`` random sources.
+
+    Each sample performs a BFS from a random node and records the distance to
+    another random node, so the estimate covers the whole graph cheaply.
+    """
+    require_positive_int(samples, "samples")
+    rng = random.Random(coerce_seed(seed))
+    nodes = list(graph.nodes())
+    if len(nodes) < 2:
+        raise DisconnectedGraphError("need at least two nodes to sample path lengths")
+
+    lengths: List[int] = []
+    for _ in range(samples):
+        source = rng.choice(nodes)
+        distances = bfs_distances(graph, source)
+        reachable = [node for node in distances if node != source]
+        if not reachable:
+            continue
+        target = rng.choice(reachable)
+        lengths.append(distances[target])
+
+    if not lengths:
+        raise DisconnectedGraphError("no reachable pairs found while sampling")
+
+    lengths.sort()
+    count = len(lengths)
+    mean = sum(lengths) / count
+    median = float(lengths[count // 2])
+    p90 = float(lengths[min(count - 1, int(count * 0.9))])
+    return PathLengthStats(
+        mean=mean, median=median, p90=p90, maximum=lengths[-1], samples=count
+    )
+
+
+def approximate_diameter(graph: Graph, probes: int = 10, seed: Optional[int] = None) -> int:
+    """Lower-bound the diameter with the double-sweep heuristic."""
+    require_positive_int(probes, "probes")
+    rng = random.Random(coerce_seed(seed))
+    nodes = list(graph.nodes())
+    if not nodes:
+        return 0
+    best = 0
+    for _ in range(probes):
+        start = rng.choice(nodes)
+        distances = bfs_distances(graph, start)
+        far_node = max(distances, key=distances.get)
+        second = bfs_distances(graph, far_node)
+        best = max(best, max(second.values()))
+    return best
+
+
+def clustering_coefficient(graph: Graph, node: NodeId) -> float:
+    """Local clustering coefficient of ``node``."""
+    neighbors = graph.neighbors(node)
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    for i in range(k):
+        for j in range(i + 1, k):
+            if graph.has_edge(neighbors[i], neighbors[j]):
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(graph: Graph, samples: Optional[int] = None, seed: Optional[int] = None) -> float:
+    """Average clustering coefficient (optionally over a node sample)."""
+    nodes = list(graph.nodes())
+    if not nodes:
+        return 0.0
+    if samples is not None and samples < len(nodes):
+        rng = random.Random(coerce_seed(seed))
+        nodes = rng.sample(nodes, samples)
+    return sum(clustering_coefficient(graph, node) for node in nodes) / len(nodes)
+
+
+@dataclass
+class TopologySummary:
+    """One-shot structural summary used in EXPERIMENTS.md."""
+
+    nodes: int
+    edges: int
+    average_degree: float
+    max_degree: int
+    degree_one_fraction: float
+    powerlaw_exponent: float
+    approximate_diameter: int
+    mean_path_length: float
+
+
+def summarize(graph: Graph, seed: Optional[int] = None) -> TopologySummary:
+    """Compute a :class:`TopologySummary` for ``graph``."""
+    stats = sampled_path_length_stats(graph, samples=min(200, max(10, graph.node_count // 10)), seed=seed)
+    return TopologySummary(
+        nodes=graph.node_count,
+        edges=graph.edge_count,
+        average_degree=average_degree(graph),
+        max_degree=max_degree(graph),
+        degree_one_fraction=degree_one_fraction(graph),
+        powerlaw_exponent=estimate_powerlaw_exponent(graph),
+        approximate_diameter=approximate_diameter(graph, probes=5, seed=seed),
+        mean_path_length=stats.mean,
+    )

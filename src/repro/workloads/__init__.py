@@ -1,0 +1,24 @@
+"""Workload construction: arrival processes and full evaluation scenarios."""
+
+from .arrivals import (
+    Arrival,
+    arrival_rate,
+    flash_crowd_arrivals,
+    poisson_arrivals,
+    sequential_arrivals,
+    uniform_arrivals,
+)
+from .scenarios import Scenario, ScenarioConfig, build_scenario, small_scenario
+
+__all__ = [
+    "Arrival",
+    "arrival_rate",
+    "flash_crowd_arrivals",
+    "poisson_arrivals",
+    "sequential_arrivals",
+    "uniform_arrivals",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+    "small_scenario",
+]

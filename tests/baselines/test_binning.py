@@ -1,0 +1,83 @@
+"""Tests for the distributed-binning baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.binning import Bin, BinningSystem
+from repro.exceptions import ConfigurationError
+
+
+RTTS = {
+    # peer -> landmark RTTs (ms)
+    "close_a": {"lm0": 10, "lm1": 90, "lm2": 200},
+    "close_b": {"lm0": 15, "lm1": 85, "lm2": 210},
+    "far": {"lm0": 190, "lm1": 30, "lm2": 95},
+}
+
+
+def rtt(peer, landmark):
+    return RTTS[peer][landmark]
+
+
+@pytest.fixture()
+def system() -> BinningSystem:
+    system = BinningSystem(["lm0", "lm1", "lm2"], rtt_to_landmark=rtt)
+    for peer in RTTS:
+        system.add_peer(peer)
+    return system
+
+
+class TestBin:
+    def test_similarity(self):
+        a = Bin(ordering=("lm0", "lm1"), levels=(0, 2))
+        b = Bin(ordering=("lm0", "lm2"), levels=(0, 1))
+        assert a.similarity_to(b) == 2  # first ordering slot + first level match
+        assert a.similarity_to(a) == 4
+
+
+class TestConstruction:
+    def test_requires_landmarks(self):
+        with pytest.raises(ConfigurationError):
+            BinningSystem([], rtt_to_landmark=rtt)
+
+    def test_requires_sorted_boundaries(self):
+        with pytest.raises(ConfigurationError):
+            BinningSystem(["lm0"], rtt_to_landmark=rtt, level_boundaries=(80.0, 20.0))
+
+
+class TestBinning:
+    def test_bin_orders_landmarks_by_rtt(self, system):
+        peer_bin = system.bins["close_a"]
+        assert peer_bin.ordering == ("lm0", "lm1", "lm2")
+        assert peer_bin.levels == (0, 2, 2)
+
+    def test_similar_peers_share_a_bin(self, system):
+        assert system.bins["close_a"] == system.bins["close_b"]
+        assert system.bins["close_a"] != system.bins["far"]
+
+    def test_estimate_distance_zero_for_identical_bins(self, system):
+        assert system.estimate_distance("close_a", "close_b") == 0.0
+        assert system.estimate_distance("close_a", "far") > 0.0
+        assert system.estimate_distance("close_a", "close_a") == 0.0
+
+    def test_estimate_requires_binned_peers(self, system):
+        with pytest.raises(ConfigurationError):
+            system.estimate_distance("close_a", "ghost")
+
+    def test_select_neighbors_prefers_same_bin(self, system):
+        assert system.select_neighbors("close_a", k=1) == ["close_b"]
+
+    def test_remove_peer(self, system):
+        system.remove_peer("far")
+        assert "far" not in system.peers()
+
+    def test_bin_population_histogram(self, system):
+        histogram = system.bin_population_histogram()
+        assert sum(histogram.values()) == 3
+        assert max(histogram.values()) == 2
+
+    def test_level_boundaries_applied(self):
+        system = BinningSystem(["lm0"], rtt_to_landmark=lambda p, l: 50.0, level_boundaries=(20.0, 80.0))
+        peer_bin = system.add_peer("p")
+        assert peer_bin.levels == (1,)

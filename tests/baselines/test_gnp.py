@@ -1,0 +1,112 @@
+"""Tests for the GNP landmark-coordinate baseline."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.gnp import GnpSystem
+from repro.exceptions import ConfigurationError
+
+
+def build_planted_world(n_peers=10, n_landmarks=4, seed=5):
+    """Peers and landmarks planted in a 2-D plane with Euclidean RTTs."""
+    rng = random.Random(seed)
+    landmark_positions = {f"lm{i}": (rng.uniform(0, 100), rng.uniform(0, 100)) for i in range(n_landmarks)}
+    peer_positions = {f"p{i}": (rng.uniform(0, 100), rng.uniform(0, 100)) for i in range(n_peers)}
+
+    def distance(pa, pb):
+        return math.hypot(pa[0] - pb[0], pa[1] - pb[1])
+
+    landmark_rtts = {}
+    ids = list(landmark_positions)
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            landmark_rtts[(a, b)] = distance(landmark_positions[a], landmark_positions[b])
+
+    def rtt_to_landmark(peer, landmark):
+        return distance(peer_positions[peer], landmark_positions[landmark])
+
+    def true_peer_rtt(peer_a, peer_b):
+        return distance(peer_positions[peer_a], peer_positions[peer_b])
+
+    return ids, landmark_rtts, rtt_to_landmark, peer_positions, true_peer_rtt
+
+
+class TestConstruction:
+    def test_requires_two_landmarks(self):
+        with pytest.raises(ConfigurationError):
+            GnpSystem(["only"], {}, rtt_to_landmark=lambda p, l: 1.0)
+
+    def test_missing_landmark_rtt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GnpSystem(["a", "b", "c"], {("a", "b"): 1.0}, rtt_to_landmark=lambda p, l: 1.0)
+
+    def test_landmarks_embedded_on_construction(self):
+        ids, landmark_rtts, rtt_to_landmark, _, _ = build_planted_world()
+        system = GnpSystem(ids, landmark_rtts, rtt_to_landmark, dimensions=2, seed=1)
+        assert set(system.landmark_coordinates) == set(ids)
+
+    def test_landmark_embedding_preserves_pairwise_distances(self):
+        ids, landmark_rtts, rtt_to_landmark, _, _ = build_planted_world(seed=7)
+        system = GnpSystem(ids, landmark_rtts, rtt_to_landmark, dimensions=2, seed=2)
+        import numpy as np
+
+        errors = []
+        for (a, b), true in landmark_rtts.items():
+            embedded = float(
+                np.linalg.norm(system.landmark_coordinates[a] - system.landmark_coordinates[b])
+            )
+            errors.append(abs(embedded - true) / true)
+        assert sorted(errors)[len(errors) // 2] < 0.3
+
+
+class TestPeers:
+    @pytest.fixture()
+    def system_and_truth(self):
+        ids, landmark_rtts, rtt_to_landmark, peer_positions, true_peer_rtt = build_planted_world()
+        system = GnpSystem(ids, landmark_rtts, rtt_to_landmark, dimensions=2, seed=3)
+        for peer in peer_positions:
+            system.add_peer(peer)
+        return system, peer_positions, true_peer_rtt
+
+    def test_add_and_remove(self, system_and_truth):
+        system, peer_positions, _ = system_and_truth
+        assert len(system.peers()) == len(peer_positions)
+        system.remove_peer("p0")
+        assert "p0" not in system.peers()
+
+    def test_estimates_correlate_with_truth(self, system_and_truth):
+        system, peer_positions, true_peer_rtt = system_and_truth
+        peers = list(peer_positions)
+        errors = []
+        for i, peer_a in enumerate(peers):
+            for peer_b in peers[i + 1 :]:
+                true = true_peer_rtt(peer_a, peer_b)
+                if true < 1.0:
+                    continue
+                predicted = system.estimate_distance(peer_a, peer_b)
+                errors.append(abs(predicted - true) / true)
+        assert sorted(errors)[len(errors) // 2] < 0.4
+
+    def test_estimate_requires_embedding(self, system_and_truth):
+        system, _, _ = system_and_truth
+        with pytest.raises(ConfigurationError):
+            system.estimate_distance("p0", "ghost")
+        assert system.estimate_distance("p0", "p0") == 0.0
+
+    def test_select_neighbors_prefers_nearby_peers(self, system_and_truth):
+        system, peer_positions, true_peer_rtt = system_and_truth
+        peers = list(peer_positions)
+        origin = peers[0]
+        others = [peer for peer in peers if peer != origin]
+        true_order = sorted(others, key=lambda peer: true_peer_rtt(origin, peer))
+        selected = system.select_neighbors(origin, peers, k=3)
+        assert origin not in selected
+        assert len(set(selected) & set(true_order[:5])) >= 2
+
+    def test_measurements_per_peer_equals_landmark_count(self, system_and_truth):
+        system, _, _ = system_and_truth
+        assert system.measurements_per_peer == len(system.landmark_ids)

@@ -1,0 +1,55 @@
+"""Tests for the random neighbour-selection baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.random_selection import RandomSelection
+from repro.exceptions import ConfigurationError
+
+
+class TestRandomSelection:
+    def test_returns_k_distinct_neighbors(self):
+        selection = RandomSelection(seed=1)
+        population = [f"p{i}" for i in range(20)]
+        neighbors = selection.select_neighbors("p0", population, 5)
+        assert len(neighbors) == 5
+        assert len(set(neighbors)) == 5
+        assert "p0" not in neighbors
+
+    def test_excludes_requested_peers(self):
+        selection = RandomSelection(seed=2)
+        population = ["a", "b", "c", "d"]
+        neighbors = selection.select_neighbors("a", population, 3, exclude={"b"})
+        assert "b" not in neighbors
+        assert set(neighbors) == {"c", "d"}
+
+    def test_small_population_returns_everyone_else(self):
+        selection = RandomSelection(seed=3)
+        neighbors = selection.select_neighbors("a", ["a", "b", "c"], 10)
+        assert sorted(neighbors) == ["b", "c"]
+
+    def test_no_candidates_raises(self):
+        selection = RandomSelection(seed=4)
+        with pytest.raises(ConfigurationError):
+            selection.select_neighbors("a", ["a"], 2)
+
+    def test_deterministic_with_seed(self):
+        population = [f"p{i}" for i in range(30)]
+        first = RandomSelection(seed=5).select_neighbors("p0", population, 5)
+        second = RandomSelection(seed=5).select_neighbors("p0", population, 5)
+        assert first == second
+
+    def test_invalid_k(self):
+        selection = RandomSelection(seed=6)
+        with pytest.raises(Exception):
+            selection.select_neighbors("a", ["a", "b"], 0)
+
+    def test_uniformity_sanity(self):
+        """Every candidate should be picked at least occasionally."""
+        selection = RandomSelection(seed=7)
+        population = [f"p{i}" for i in range(6)]
+        seen = set()
+        for _ in range(200):
+            seen.update(selection.select_neighbors("p0", population, 2))
+        assert seen == set(population) - {"p0"}

@@ -1,0 +1,123 @@
+"""Tests for the Vivaldi network-coordinate baseline."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.vivaldi import VivaldiCoordinate, VivaldiSystem
+from repro.exceptions import ConfigurationError
+
+
+def grid_rtt_function(positions):
+    """True RTTs proportional to Euclidean distance between planted positions."""
+
+    def rtt(peer_a, peer_b):
+        (xa, ya), (xb, yb) = positions[peer_a], positions[peer_b]
+        return math.hypot(xa - xb, ya - yb) + 1.0
+
+    return rtt
+
+
+@pytest.fixture()
+def planted_system():
+    """Twelve peers planted on a 40x40 grid with a known metric."""
+    rng = random.Random(3)
+    positions = {f"p{i}": (rng.uniform(0, 40), rng.uniform(0, 40)) for i in range(12)}
+    system = VivaldiSystem(rtt=grid_rtt_function(positions), dimensions=2, seed=3, use_height=False)
+    for peer in positions:
+        system.add_peer(peer)
+    return system, positions
+
+
+class TestCoordinate:
+    def test_distance_includes_heights(self):
+        a = VivaldiCoordinate(vector=(0.0, 0.0), height=2.0)
+        b = VivaldiCoordinate(vector=(3.0, 4.0), height=1.0)
+        assert a.distance_to(b) == pytest.approx(5.0 + 3.0)
+
+    def test_displaced_keeps_height_non_negative(self):
+        a = VivaldiCoordinate(vector=(0.0, 0.0), height=0.5)
+        moved = a.displaced((1.0, 0.0), magnitude=2.0, height_delta=-5.0)
+        assert moved.vector == (2.0, 0.0)
+        assert moved.height == 0.0
+
+
+class TestSystemBasics:
+    def test_add_and_remove_peers(self, planted_system):
+        system, _ = planted_system
+        assert len(system.peers()) == 12
+        system.remove_peer("p0")
+        assert "p0" not in system.peers()
+        # Adding an existing peer is a no-op returning its node.
+        node = system.add_peer("p1")
+        assert node.peer_id == "p1"
+
+    def test_observe_requires_known_peers(self, planted_system):
+        system, _ = planted_system
+        with pytest.raises(ConfigurationError):
+            system.observe("p0", "ghost")
+
+    def test_observe_self_is_noop(self, planted_system):
+        system, _ = planted_system
+        before = system.nodes["p0"].samples_observed
+        system.observe("p0", "p0")
+        assert system.nodes["p0"].samples_observed == before
+
+    def test_estimate_requires_membership(self, planted_system):
+        system, _ = planted_system
+        with pytest.raises(ConfigurationError):
+            system.estimate_distance("p0", "ghost")
+        assert system.estimate_distance("p0", "p0") == 0.0
+
+    def test_sample_counting(self, planted_system):
+        system, _ = planted_system
+        system.run(rounds=2, samples_per_peer=1)
+        assert system.total_samples() == 2 * 12
+
+
+class TestConvergence:
+    def test_error_decreases_with_rounds(self, planted_system):
+        system, _ = planted_system
+        initial_error = system.mean_error()
+        system.run(rounds=60, samples_per_peer=2)
+        assert system.mean_error() < initial_error
+
+    def test_coordinates_approximate_true_metric(self, planted_system):
+        """After convergence, predicted RTTs correlate with true RTTs."""
+        system, positions = planted_system
+        system.run(rounds=120, samples_per_peer=2)
+        rtt = grid_rtt_function(positions)
+        errors = []
+        peers = list(positions)
+        for i, peer_a in enumerate(peers):
+            for peer_b in peers[i + 1 :]:
+                true = rtt(peer_a, peer_b)
+                predicted = system.estimate_distance(peer_a, peer_b)
+                errors.append(abs(predicted - true) / true)
+        median_error = sorted(errors)[len(errors) // 2]
+        assert median_error < 0.35
+
+    def test_neighbor_ranking_better_than_random(self, planted_system):
+        """Vivaldi's top-3 neighbours should be genuinely nearby after convergence."""
+        system, positions = planted_system
+        system.run(rounds=120, samples_per_peer=2)
+        rtt = grid_rtt_function(positions)
+        peers = list(positions)
+        origin = peers[0]
+        others = [peer for peer in peers if peer != origin]
+        true_order = sorted(others, key=lambda peer: rtt(origin, peer))
+        selected = system.select_neighbors(origin, peers, k=3)
+        true_top = set(true_order[:5])
+        assert len(set(selected) & true_top) >= 2
+
+
+class TestSelection:
+    def test_select_neighbors_excludes_self_and_excluded(self, planted_system):
+        system, _ = planted_system
+        selected = system.select_neighbors("p0", k=5, exclude={"p1"})
+        assert "p0" not in selected
+        assert "p1" not in selected
+        assert len(selected) == 5

@@ -1,0 +1,108 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (the small router map, a joined scenario) are built once
+per session; tests that need to mutate them build their own copies.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.topology.graph import Graph
+from repro.topology.internet_mapper import RouterMap, RouterMapConfig, generate_router_map
+from repro.workloads.scenarios import Scenario, ScenarioConfig, build_scenario
+
+
+SMALL_MAP_KWARGS = dict(
+    core_size=15,
+    core_attachment=3,
+    transit_size=60,
+    transit_attachment=2,
+    stub_size=250,
+    stub_attachment=1,
+)
+
+
+def make_small_map(seed: int = 5) -> RouterMap:
+    """A ~325-router map, freshly generated (for tests that mutate it)."""
+    return generate_router_map(RouterMapConfig(seed=seed, **SMALL_MAP_KWARGS))
+
+
+def make_small_scenario(seed: int = 5, peer_count: int = 40, **kwargs) -> Scenario:
+    """A small un-joined scenario over the small test map."""
+    config = ScenarioConfig(
+        peer_count=peer_count,
+        landmark_count=kwargs.pop("landmark_count", 3),
+        neighbor_set_size=kwargs.pop("neighbor_set_size", 3),
+        router_map_config=RouterMapConfig(seed=seed, **SMALL_MAP_KWARGS),
+        seed=seed,
+        **kwargs,
+    )
+    return build_scenario(config)
+
+
+@pytest.fixture(scope="session")
+def small_router_map() -> RouterMap:
+    """Session-wide read-only small router map."""
+    return make_small_map(seed=5)
+
+
+@pytest.fixture(scope="session")
+def joined_scenario() -> Scenario:
+    """Session-wide scenario with every peer already joined (read-only)."""
+    scenario = make_small_scenario(seed=5, peer_count=40)
+    scenario.join_all()
+    return scenario
+
+
+@pytest.fixture()
+def fresh_scenario() -> Scenario:
+    """A fresh, un-joined scenario (safe to mutate)."""
+    return make_small_scenario(seed=9, peer_count=30)
+
+
+@pytest.fixture()
+def line_graph() -> Graph:
+    """A 6-node path graph 0-1-2-3-4-5 with unit latencies."""
+    graph = Graph(name="line")
+    for u, v in zip(range(5), range(1, 6)):
+        graph.add_edge(u, v, latency=1.0)
+    return graph
+
+
+@pytest.fixture()
+def star_graph() -> Graph:
+    """A star with centre ``0`` and leaves 1..6."""
+    graph = Graph(name="star")
+    for leaf in range(1, 7):
+        graph.add_edge(0, leaf, latency=1.0)
+    return graph
+
+
+@pytest.fixture()
+def tree_graph() -> Graph:
+    """A small binary-ish tree used by path and routing tests.
+
+    Structure::
+
+              0
+            /   \\
+           1     2
+          / \\   / \\
+         3   4 5   6
+         |   |
+         7   8
+    """
+    graph = Graph(name="tree")
+    edges = [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (3, 7), (4, 8)]
+    for u, v in edges:
+        graph.add_edge(u, v, latency=1.0)
+    return graph
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A seeded RNG for tests that need randomness."""
+    return random.Random(1234)

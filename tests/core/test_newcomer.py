@@ -1,0 +1,148 @@
+"""Tests for the client-side join logic (NewcomerClient)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.management_server import ManagementServer
+from repro.core.newcomer import (
+    SELECT_CLOSEST_RTT,
+    SELECT_FEWEST_HOPS,
+    SELECT_FIRST,
+    NewcomerClient,
+    join_population,
+)
+from repro.core.protocol import LandmarkDescriptor
+from repro.exceptions import LandmarkError
+from repro.routing.route_table import RouteTable
+from repro.routing.traceroute import TracerouteSimulator
+from repro.topology.graph import Graph
+
+
+@pytest.fixture()
+def topology() -> Graph:
+    """Two access branches joined by a core link; landmarks at both ends.
+
+    Structure (all latencies 1 ms except the long core link)::
+
+        a1 - a2 - coreA ===== coreB - b2 - b1
+                   |                   |
+                  lmA                 lmB
+    """
+    graph = Graph()
+    graph.add_edge("a1", "a2", latency=1.0)
+    graph.add_edge("a2", "coreA", latency=1.0)
+    graph.add_edge("coreA", "coreB", latency=10.0)
+    graph.add_edge("coreB", "b2", latency=1.0)
+    graph.add_edge("b2", "b1", latency=1.0)
+    graph.add_edge("coreA", "lmA", latency=1.0)
+    graph.add_edge("coreB", "lmB", latency=1.0)
+    return graph
+
+
+@pytest.fixture()
+def traceroute(topology) -> TracerouteSimulator:
+    return TracerouteSimulator(graph=topology, route_table=RouteTable(graph=topology))
+
+
+@pytest.fixture()
+def server() -> ManagementServer:
+    server = ManagementServer(neighbor_set_size=3)
+    server.register_landmark("lmA", "lmA")
+    server.register_landmark("lmB", "lmB")
+    server.set_landmark_distance("lmA", "lmB", 2)
+    return server
+
+
+class TestLandmarkSelection:
+    def test_closest_rtt_picks_nearby_landmark(self, traceroute):
+        client = NewcomerClient("p1", "a1", traceroute, landmark_selection=SELECT_CLOSEST_RTT)
+        descriptors = [LandmarkDescriptor("lmA", "lmA"), LandmarkDescriptor("lmB", "lmB")]
+        chosen, measurements = client.select_landmark(descriptors)
+        assert chosen.landmark_id == "lmA"
+        assert measurements["lmA"] < measurements["lmB"]
+
+    def test_fewest_hops_policy(self, traceroute):
+        client = NewcomerClient("p1", "b1", traceroute, landmark_selection=SELECT_FEWEST_HOPS)
+        descriptors = [LandmarkDescriptor("lmA", "lmA"), LandmarkDescriptor("lmB", "lmB")]
+        chosen, _ = client.select_landmark(descriptors)
+        assert chosen.landmark_id == "lmB"
+
+    def test_first_policy_skips_probing(self, traceroute):
+        client = NewcomerClient("p1", "b1", traceroute, landmark_selection=SELECT_FIRST)
+        descriptors = [LandmarkDescriptor("lmA", "lmA"), LandmarkDescriptor("lmB", "lmB")]
+        chosen, measurements = client.select_landmark(descriptors)
+        assert chosen.landmark_id == "lmA"
+        assert measurements == {}
+
+    def test_single_landmark_shortcut(self, traceroute):
+        client = NewcomerClient("p1", "a1", traceroute)
+        chosen, measurements = client.select_landmark([LandmarkDescriptor("lmA", "lmA")])
+        assert chosen.landmark_id == "lmA"
+        assert measurements == {}
+
+    def test_empty_landmark_list_raises(self, traceroute):
+        client = NewcomerClient("p1", "a1", traceroute)
+        with pytest.raises(LandmarkError):
+            client.select_landmark([])
+
+    def test_invalid_policy_rejected(self, traceroute):
+        with pytest.raises(Exception):
+            NewcomerClient("p1", "a1", traceroute, landmark_selection="nearest-by-magic")
+
+
+class TestProbing:
+    def test_probe_includes_access_router_and_landmark(self, traceroute):
+        client = NewcomerClient("p1", "a1", traceroute)
+        path = client.probe_landmark(LandmarkDescriptor("lmA", "lmA"))
+        assert path.routers[0] == "a1"
+        assert path.routers[-1] == "lmA"
+        assert path.routers == ("a1", "a2", "coreA", "lmA")
+        assert path.rtt_ms is not None and path.rtt_ms > 0
+
+    def test_probe_from_router_adjacent_to_landmark(self, traceroute):
+        client = NewcomerClient("p1", "coreA", traceroute)
+        path = client.probe_landmark(LandmarkDescriptor("lmA", "lmA"))
+        assert path.routers == ("coreA", "lmA")
+
+
+class TestJoin:
+    def test_join_registers_with_chosen_landmark(self, server, traceroute):
+        client = NewcomerClient("p1", "a1", traceroute)
+        result = client.join(server)
+        assert result.landmark_id == "lmA"
+        assert server.has_peer("p1")
+        assert server.peer_landmark("p1") == "lmA"
+        assert result.neighbors == []  # first peer has no neighbours yet
+
+    def test_join_returns_nearby_peers(self, server, traceroute):
+        NewcomerClient("p1", "a1", traceroute).join(server)
+        NewcomerClient("p2", "a2", traceroute).join(server)
+        result = NewcomerClient("p3", "a1", traceroute).join(server)
+        ids = result.neighbor_ids()
+        assert ids[0] == "p1"  # same access router -> closest
+        assert "p2" in ids
+
+    def test_join_transcript_times_are_consistent(self, server, traceroute):
+        client = NewcomerClient("p1", "b1", traceroute, probe_cost_ms=10.0)
+        result = client.join(server, start_time_ms=1000.0)
+        transcript = result.transcript
+        assert transcript.probe_started_at == 1000.0
+        assert transcript.probe_finished_at > transcript.probe_started_at
+        assert transcript.neighbors_received_at >= transcript.report_sent_at
+        assert transcript.setup_delay > 0
+
+    def test_peers_on_opposite_sides_choose_different_landmarks(self, server, traceroute):
+        result_a = NewcomerClient("pa", "a1", traceroute).join(server)
+        result_b = NewcomerClient("pb", "b1", traceroute).join(server)
+        assert result_a.landmark_id == "lmA"
+        assert result_b.landmark_id == "lmB"
+        # Cross-landmark estimate still lets them see each other if needed.
+        assert server.estimate_distance("pa", "pb") > 0
+
+    def test_join_population_helper(self, server, traceroute):
+        results = join_population(
+            {"p1": "a1", "p2": "a2", "p3": "b1"}, server, traceroute
+        )
+        assert set(results) == {"p1", "p2", "p3"}
+        assert server.peer_count == 3

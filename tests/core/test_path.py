@@ -1,0 +1,142 @@
+"""Tests for RouterPath and the pairwise tree-distance helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.path import RouterPath, shared_suffix_length, tree_distance
+from repro.exceptions import RegistrationError
+from repro.routing.path_inference import CleanedPath
+
+
+def make_path(peer, routers, landmark="lmk", rtt=None):
+    return RouterPath.from_routers(peer, landmark, routers, rtt_ms=rtt)
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        path = make_path("p1", ["r1", "r2", "lmk"], rtt=12.5)
+        assert path.access_router == "r1"
+        assert path.landmark_router == "lmk"
+        assert path.hop_count == 3
+        assert path.rtt_ms == 12.5
+        assert len(path) == 3
+        assert list(path) == ["r1", "r2", "lmk"]
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(RegistrationError):
+            make_path("p1", [])
+
+    def test_duplicate_routers_rejected(self):
+        with pytest.raises(RegistrationError):
+            make_path("p1", ["r1", "r2", "r1"])
+
+    def test_from_cleaned(self):
+        cleaned = CleanedPath(
+            source="p1", destination="lmk", routers=["r1", "r2"], anonymous_hops=0, truncated=False
+        )
+        path = RouterPath.from_cleaned("p1", "lmA", cleaned, rtt_ms=3.0)
+        assert path.routers == ("r1", "r2")
+        assert path.landmark_id == "lmA"
+
+    def test_immutability(self):
+        path = make_path("p1", ["r1", "lmk"])
+        with pytest.raises(Exception):
+            path.routers = ("x",)  # type: ignore[misc]
+
+
+class TestViews:
+    def test_orderings(self):
+        path = make_path("p1", ["r1", "r2", "r3"])
+        assert path.towards_landmark() == ("r1", "r2", "r3")
+        assert path.from_landmark() == ("r3", "r2", "r1")
+
+    def test_contains_and_depth(self):
+        path = make_path("p1", ["r1", "r2", "r3"])
+        assert path.contains_router("r2")
+        assert not path.contains_router("rX")
+        assert path.depth_of("r3") == 0
+        assert path.depth_of("r1") == 2
+
+    def test_depth_of_unknown_router_raises(self):
+        path = make_path("p1", ["r1", "r2"])
+        with pytest.raises(RegistrationError):
+            path.depth_of("ghost")
+
+
+class TestSharedSuffix:
+    def test_partial_overlap(self):
+        path_a = make_path("p1", ["a1", "a2", "core", "lmk"])
+        path_b = make_path("p2", ["b1", "core", "lmk"])
+        assert shared_suffix_length(path_a, path_b) == 2
+
+    def test_identical_routes(self):
+        path_a = make_path("p1", ["r1", "r2", "lmk"])
+        path_b = make_path("p2", ["r1", "r2", "lmk"])
+        assert shared_suffix_length(path_a, path_b) == 3
+
+    def test_disjoint_routes(self):
+        path_a = make_path("p1", ["a", "b"])
+        path_b = make_path("p2", ["c", "d"])
+        assert shared_suffix_length(path_a, path_b) == 0
+
+
+class TestTreeDistance:
+    def test_same_peer_distance_zero(self):
+        path = make_path("p1", ["r1", "lmk"])
+        assert tree_distance(path, path) == 0
+
+    def test_same_access_router(self):
+        path_a = make_path("p1", ["r1", "r2", "lmk"])
+        path_b = make_path("p2", ["r1", "r2", "lmk"])
+        assert tree_distance(path_a, path_b) == 2
+
+    def test_branch_at_core(self):
+        path_a = make_path("p1", ["a1", "a2", "core", "lmk"])
+        path_b = make_path("p2", ["b1", "core", "lmk"])
+        # p1 -> a1 -> a2 -> core = 3 hops, core -> b1 -> p2 = 2 hops.
+        assert tree_distance(path_a, path_b) == 5
+
+    def test_disjoint_paths_return_none(self):
+        path_a = make_path("p1", ["a", "b"], landmark="lm1")
+        path_b = make_path("p2", ["c", "d"], landmark="lm2")
+        assert tree_distance(path_a, path_b) is None
+
+    def test_symmetry(self):
+        path_a = make_path("p1", ["a1", "core", "lmk"])
+        path_b = make_path("p2", ["b1", "b2", "core", "lmk"])
+        assert tree_distance(path_a, path_b) == tree_distance(path_b, path_a)
+
+
+router_names = st.lists(
+    st.integers(min_value=0, max_value=30).map(lambda i: f"r{i}"),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(suffix=router_names, branch_a=router_names, branch_b=router_names)
+def test_property_tree_distance_formula(suffix, branch_a, branch_b):
+    """dtree equals the hop counts to the branch router plus one host hop per side."""
+    # Build two paths sharing exactly `suffix` at the landmark end, with
+    # disjoint peer-side branches.
+    branch_a = [f"a-{router}" for router in branch_a if router not in suffix]
+    branch_b = [f"b-{router}" for router in branch_b if router not in suffix]
+    path_a = RouterPath.from_routers("p1", "lmk", branch_a + suffix)
+    path_b = RouterPath.from_routers("p2", "lmk", branch_b + suffix)
+    expected = (len(branch_a) + 1) + (len(branch_b) + 1)
+    assert tree_distance(path_a, path_b) == expected
+    assert shared_suffix_length(path_a, path_b) == len(suffix)
+
+
+@settings(max_examples=50, deadline=None)
+@given(routers=router_names)
+def test_property_tree_distance_of_identical_routes_is_two(routers):
+    """Two distinct peers behind the same access router are always 2 hops apart."""
+    path_a = RouterPath.from_routers("p1", "lmk", routers)
+    path_b = RouterPath.from_routers("p2", "lmk", routers)
+    assert tree_distance(path_a, path_b) == 2

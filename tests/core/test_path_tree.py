@@ -1,0 +1,267 @@
+"""Tests for the landmark-rooted path tree (the core data structure)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.path import RouterPath, tree_distance
+from repro.core.path_tree import PathTree
+from repro.exceptions import RegistrationError, UnknownPeerError
+
+
+def path(peer, routers, landmark="lmk"):
+    return RouterPath.from_routers(peer, landmark, routers)
+
+
+@pytest.fixture()
+def populated_tree() -> PathTree:
+    """Tree over a small two-branch topology.
+
+    Routes (peer side first)::
+
+        p1: a1 a2 core lmk
+        p2: a3 a2 core lmk
+        p3: b1 core lmk
+        p4: b1 core lmk      (same access router as p3)
+        p5: core lmk
+    """
+    tree = PathTree(landmark_id="lmk", landmark_router="lmk")
+    tree.insert(path("p1", ["a1", "a2", "core", "lmk"]))
+    tree.insert(path("p2", ["a3", "a2", "core", "lmk"]))
+    tree.insert(path("p3", ["b1", "core", "lmk"]))
+    tree.insert(path("p4", ["b1", "core", "lmk"]))
+    tree.insert(path("p5", ["core", "lmk"]))
+    return tree
+
+
+class TestInsertion:
+    def test_counts(self, populated_tree):
+        assert populated_tree.peer_count == 5
+        assert len(populated_tree) == 5
+        # Routers: lmk, core, a2, a1, a3, b1.
+        assert populated_tree.router_count == 6
+        assert populated_tree.max_depth() == 3
+
+    def test_root_is_landmark_router(self, populated_tree):
+        assert populated_tree.root.router == "lmk"
+        assert populated_tree.root.depth == 0
+
+    def test_lazy_root_creation(self):
+        tree = PathTree(landmark_id="lmk")
+        assert tree.root is None
+        tree.insert(path("p1", ["r1", "lmk"]))
+        assert tree.root.router == "lmk"
+
+    def test_wrong_landmark_rejected(self, populated_tree):
+        with pytest.raises(RegistrationError):
+            populated_tree.insert(path("p9", ["x", "other"], landmark="other-lmk"))
+
+    def test_mismatched_root_rejected(self, populated_tree):
+        with pytest.raises(RegistrationError):
+            populated_tree.insert(path("p9", ["x", "not-lmk"]))
+
+    def test_reinsert_replaces_previous_path(self, populated_tree):
+        populated_tree.insert(path("p1", ["b1", "core", "lmk"]))
+        assert populated_tree.peer_count == 5
+        assert populated_tree.attachment_node("p1").router == "b1"
+
+    def test_subtree_counts_propagate(self, populated_tree):
+        assert populated_tree.root.subtree_peer_count == 5
+        core = populated_tree.root.child("core")
+        assert core.subtree_peer_count == 5
+        a2 = core.child("a2")
+        assert a2.subtree_peer_count == 2
+
+    def test_attachment_and_path_lookup(self, populated_tree):
+        assert populated_tree.has_peer("p3")
+        assert "p3" in populated_tree
+        assert populated_tree.attachment_node("p3").router == "b1"
+        assert populated_tree.path_of("p3").routers == ("b1", "core", "lmk")
+
+    def test_unknown_peer_lookups_raise(self, populated_tree):
+        with pytest.raises(UnknownPeerError):
+            populated_tree.attachment_node("ghost")
+        with pytest.raises(UnknownPeerError):
+            populated_tree.path_of("ghost")
+
+
+class TestRemoval:
+    def test_remove_updates_counts(self, populated_tree):
+        populated_tree.remove("p1")
+        assert populated_tree.peer_count == 4
+        assert not populated_tree.has_peer("p1")
+        assert populated_tree.root.subtree_peer_count == 4
+
+    def test_remove_prunes_empty_branches(self, populated_tree):
+        populated_tree.remove("p1")
+        core = populated_tree.root.child("core")
+        a2 = core.child("a2")
+        assert a2.child("a1") is None  # pruned
+        assert a2.child("a3") is not None  # still used by p2
+
+    def test_remove_keeps_shared_nodes(self, populated_tree):
+        populated_tree.remove("p3")
+        core = populated_tree.root.child("core")
+        assert core.child("b1") is not None  # p4 still attached there
+
+    def test_remove_unknown_peer_raises(self, populated_tree):
+        with pytest.raises(UnknownPeerError):
+            populated_tree.remove("ghost")
+
+    def test_remove_then_reinsert(self, populated_tree):
+        populated_tree.remove("p5")
+        populated_tree.insert(path("p5", ["core", "lmk"]))
+        assert populated_tree.peer_count == 5
+
+
+class TestDistances:
+    def test_lca(self, populated_tree):
+        assert populated_tree.lowest_common_ancestor("p1", "p2").router == "a2"
+        assert populated_tree.lowest_common_ancestor("p1", "p3").router == "core"
+        assert populated_tree.lowest_common_ancestor("p3", "p4").router == "b1"
+
+    def test_tree_distance_matches_pairwise_formula(self, populated_tree):
+        for peer_a in populated_tree.peers():
+            for peer_b in populated_tree.peers():
+                if peer_a == peer_b:
+                    continue
+                expected = tree_distance(
+                    populated_tree.path_of(peer_a), populated_tree.path_of(peer_b)
+                )
+                assert populated_tree.tree_distance(peer_a, peer_b) == expected
+
+    def test_tree_distance_values(self, populated_tree):
+        assert populated_tree.tree_distance("p3", "p4") == 2
+        assert populated_tree.tree_distance("p1", "p2") == 4
+        # p1 -> a1 -> a2 -> core (3 hops) + core -> b1 -> p3 (2 hops).
+        assert populated_tree.tree_distance("p1", "p3") == 5
+        assert populated_tree.tree_distance("p5", "p3") == 3
+        assert populated_tree.tree_distance("p1", "p1") == 0
+
+    def test_all_pairs(self, populated_tree):
+        pairs = populated_tree.all_pairs_tree_distance()
+        assert len(pairs) == 5 * 4 // 2
+        assert all(distance >= 2 for distance in pairs.values())
+
+
+class TestClosestPeers:
+    def test_returns_sorted_by_distance(self, populated_tree):
+        result = populated_tree.closest_peers("p1", k=4)
+        distances = [distance for _, distance in result]
+        assert distances == sorted(distances)
+        assert len(result) == 4
+
+    def test_nearest_neighbour_is_sibling(self, populated_tree):
+        result = populated_tree.closest_peers("p3", k=1)
+        assert result == [("p4", 2)]
+
+    def test_excludes_self(self, populated_tree):
+        result = populated_tree.closest_peers("p1", k=10)
+        assert all(peer != "p1" for peer, _ in result)
+
+    def test_k_larger_than_population(self, populated_tree):
+        result = populated_tree.closest_peers("p1", k=50)
+        assert len(result) == 4
+
+    def test_k_zero_returns_empty(self, populated_tree):
+        assert populated_tree.closest_peers("p1", k=0) == []
+
+    def test_exclude_set_respected(self, populated_tree):
+        result = populated_tree.closest_peers("p3", k=3, exclude={"p4"})
+        assert all(peer != "p4" for peer, _ in result)
+
+    def test_distances_match_tree_distance(self, populated_tree):
+        for peer, distance in populated_tree.closest_peers("p2", k=4):
+            assert distance == populated_tree.tree_distance("p2", peer)
+
+    def test_result_is_truly_the_k_closest(self, populated_tree):
+        k = 2
+        result = populated_tree.closest_peers("p1", k=k)
+        returned = {peer for peer, _ in result}
+        all_distances = sorted(
+            populated_tree.tree_distance("p1", other)
+            for other in populated_tree.peers()
+            if other != "p1"
+        )
+        kth_best = all_distances[k - 1]
+        assert all(distance <= kth_best for _, distance in result)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests: build random path populations and check invariants.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_paths(draw):
+    """Generate a set of peer paths over a random small tree of routers."""
+    n_peers = draw(st.integers(2, 12))
+    paths = []
+    for index in range(n_peers):
+        depth = draw(st.integers(1, 5))
+        # Peers share prefixes with probability by reusing small branch labels.
+        branch = [f"r{draw(st.integers(0, 3))}-{level}" for level in range(depth)]
+        routers = branch + ["lmk"]
+        # Deduplicate while keeping order (RouterPath rejects duplicates).
+        seen = set()
+        unique = []
+        for router in routers:
+            if router not in seen:
+                seen.add(router)
+                unique.append(router)
+        paths.append(RouterPath.from_routers(f"peer{index}", "lmk", unique))
+    return paths
+
+
+@settings(max_examples=40, deadline=None)
+@given(paths=random_paths())
+def test_property_tree_distance_symmetric_and_bounded(paths):
+    tree = PathTree(landmark_id="lmk", landmark_router="lmk")
+    for router_path in paths:
+        tree.insert(router_path)
+    peers = tree.peers()
+    for i, peer_a in enumerate(peers):
+        for peer_b in peers[i + 1 :]:
+            forward = tree.tree_distance(peer_a, peer_b)
+            backward = tree.tree_distance(peer_b, peer_a)
+            assert forward == backward
+            assert 2 <= forward
+            # dtree can never exceed going all the way up to the landmark and
+            # back down: hop_count(a) + hop_count(b).
+            assert forward <= tree.path_of(peer_a).hop_count + tree.path_of(peer_b).hop_count
+
+
+@settings(max_examples=40, deadline=None)
+@given(paths=random_paths(), k=st.integers(1, 6))
+def test_property_closest_peers_is_optimal_prefix(paths, k):
+    """closest_peers(k) returns peers no farther than the true k-th closest."""
+    tree = PathTree(landmark_id="lmk", landmark_router="lmk")
+    for router_path in paths:
+        tree.insert(router_path)
+    origin = tree.peers()[0]
+    others = [peer for peer in tree.peers() if peer != origin]
+    true_distances = sorted(tree.tree_distance(origin, other) for other in others)
+    result = tree.closest_peers(origin, k=k)
+    assert len(result) == min(k, len(others))
+    if result:
+        kth_best = true_distances[len(result) - 1]
+        assert all(distance <= kth_best for _, distance in result)
+        returned_distances = [distance for _, distance in result]
+        assert returned_distances == sorted(returned_distances)
+
+
+@settings(max_examples=30, deadline=None)
+@given(paths=random_paths())
+def test_property_subtree_counts_consistent_after_removals(paths):
+    """Subtree peer counts stay consistent while peers leave one by one."""
+    tree = PathTree(landmark_id="lmk", landmark_router="lmk")
+    for router_path in paths:
+        tree.insert(router_path)
+    while tree.peer_count > 0:
+        assert tree.root.subtree_peer_count == tree.peer_count
+        attached_everywhere = sum(
+            len(node.attached_peers) for node in tree.root.iter_subtree()
+        )
+        assert attached_everywhere == tree.peer_count
+        tree.remove(tree.peers()[0])

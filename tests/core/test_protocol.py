@@ -1,0 +1,59 @@
+"""Tests for the join-protocol message types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.path import RouterPath
+from repro.core.protocol import (
+    JoinRequest,
+    JoinResponse,
+    JoinTranscript,
+    LandmarkDescriptor,
+    LeaveNotice,
+    NeighborRecommendation,
+    NeighborResponse,
+    PathReport,
+)
+
+
+class TestMessages:
+    def test_join_response_builder(self):
+        response = JoinResponse.for_landmarks("p1", [("lmA", 10), ("lmB", 20)])
+        assert response.peer_id == "p1"
+        assert len(response.landmarks) == 2
+        assert response.landmarks[0] == LandmarkDescriptor(landmark_id="lmA", router=10)
+
+    def test_path_report_exposes_landmark(self):
+        path = RouterPath.from_routers("p1", "lmA", ["r1", "lmA"])
+        report = PathReport(peer_id="p1", path=path)
+        assert report.landmark_id == "lmA"
+
+    def test_neighbor_response_builder(self):
+        response = NeighborResponse.from_pairs("p1", [("p2", 3), ("p3", 5.0)])
+        assert response.neighbor_ids() == ["p2", "p3"]
+        assert response.neighbors[0] == NeighborRecommendation(peer_id="p2", estimated_distance=3.0)
+
+    def test_messages_are_hashable_value_objects(self):
+        assert JoinRequest(peer_id="p1") == JoinRequest(peer_id="p1")
+        assert hash(LeaveNotice(peer_id="x")) == hash(LeaveNotice(peer_id="x"))
+
+    def test_messages_are_immutable(self):
+        request = JoinRequest(peer_id="p1")
+        with pytest.raises(Exception):
+            request.peer_id = "p2"  # type: ignore[misc]
+
+
+class TestTranscript:
+    def test_durations(self):
+        transcript = JoinTranscript(peer_id="p1", probe_started_at=100.0)
+        transcript.probe_finished_at = 180.0
+        transcript.report_sent_at = 180.0
+        transcript.neighbors_received_at = 210.0
+        assert transcript.probe_duration == pytest.approx(80.0)
+        assert transcript.setup_delay == pytest.approx(110.0)
+
+    def test_incomplete_transcript_returns_none(self):
+        transcript = JoinTranscript(peer_id="p1")
+        assert transcript.probe_duration is None
+        assert transcript.setup_delay is None

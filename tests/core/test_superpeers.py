@@ -1,0 +1,188 @@
+"""Tests for the super-peer deployment of the management service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.management_server import ManagementServer
+from repro.core.path import RouterPath
+from repro.core.superpeers import (
+    PARTITION_CONTIGUOUS,
+    PARTITION_ROUND_ROBIN,
+    SuperPeerDirectory,
+    partition_landmarks,
+)
+from repro.exceptions import ConfigurationError, LandmarkError, UnknownPeerError
+
+
+def path(peer, routers, landmark):
+    return RouterPath.from_routers(peer, landmark, routers)
+
+
+LANDMARKS = [("lmA", "lmA"), ("lmB", "lmB"), ("lmC", "lmC"), ("lmD", "lmD")]
+LANDMARK_DISTANCES = {
+    ("lmA", "lmB"): 4.0,
+    ("lmA", "lmC"): 6.0,
+    ("lmA", "lmD"): 8.0,
+    ("lmB", "lmC"): 5.0,
+    ("lmB", "lmD"): 7.0,
+    ("lmC", "lmD"): 3.0,
+}
+
+
+@pytest.fixture()
+def directory() -> SuperPeerDirectory:
+    return SuperPeerDirectory.deploy(
+        LANDMARKS, super_peer_count=2, neighbor_set_size=3,
+        landmark_distances=LANDMARK_DISTANCES,
+    )
+
+
+@pytest.fixture()
+def populated(directory) -> SuperPeerDirectory:
+    directory.register_peer(path("p1", ["a1", "core", "lmA"], "lmA"))
+    directory.register_peer(path("p2", ["a1", "core", "lmA"], "lmA"))
+    directory.register_peer(path("p3", ["b1", "lmB"], "lmB"))
+    directory.register_peer(path("p4", ["c1", "c2", "lmC"], "lmC"))
+    return directory
+
+
+class TestPartitioning:
+    def test_round_robin_balance(self):
+        groups = partition_landmarks(["a", "b", "c", "d", "e"], 2)
+        assert groups == [["a", "c", "e"], ["b", "d"]]
+
+    def test_contiguous_slices(self):
+        groups = partition_landmarks(["a", "b", "c", "d", "e"], 2, policy=PARTITION_CONTIGUOUS)
+        assert groups == [["a", "b", "c"], ["d", "e"]]
+
+    def test_every_landmark_assigned_exactly_once(self):
+        landmarks = [f"lm{i}" for i in range(7)]
+        for policy in (PARTITION_ROUND_ROBIN, PARTITION_CONTIGUOUS):
+            groups = partition_landmarks(landmarks, 3, policy=policy)
+            flattened = [lm for group in groups for lm in group]
+            assert sorted(flattened) == sorted(landmarks)
+
+    def test_more_super_peers_than_landmarks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_landmarks(["a"], 2)
+
+    def test_empty_landmarks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_landmarks([], 1)
+
+
+class TestDeployment:
+    def test_deploy_creates_expected_super_peers(self, directory):
+        assert len(directory.super_peers()) == 2
+        assert sorted(directory.landmarks()) == ["lmA", "lmB", "lmC", "lmD"]
+        # Round-robin over 2: sp0 owns lmA+lmC, sp1 owns lmB+lmD.
+        assert directory.owner_of_landmark("lmA").super_peer_id == "sp0"
+        assert directory.owner_of_landmark("lmB").super_peer_id == "sp1"
+
+    def test_each_super_peer_embeds_a_management_server(self, directory):
+        for super_peer in directory.super_peers():
+            assert isinstance(super_peer.server, ManagementServer)
+            assert super_peer.landmark_ids
+
+    def test_duplicate_super_peer_rejected(self, directory):
+        with pytest.raises(ConfigurationError):
+            directory.add_super_peer("sp0", [("lmX", "rX")])
+
+    def test_landmark_cannot_be_owned_twice(self, directory):
+        with pytest.raises(LandmarkError):
+            directory.add_super_peer("sp9", [("lmA", "lmA")])
+
+    def test_super_peer_needs_landmarks(self, directory):
+        with pytest.raises(ConfigurationError):
+            directory.add_super_peer("sp9", [])
+
+    def test_landmark_router_lookup(self, directory):
+        assert directory.landmark_router("lmC") == "lmC"
+        with pytest.raises(LandmarkError):
+            directory.landmark_router("lmZ")
+
+
+class TestRegistration:
+    def test_registration_routed_to_owner(self, populated):
+        assert populated.owner_of_peer("p1").super_peer_id == "sp0"
+        assert populated.owner_of_peer("p3").super_peer_id == "sp1"
+        assert populated.peer_count == 4
+        assert populated.has_peer("p4")
+        assert populated.forwarded_registrations == 4
+
+    def test_load_by_super_peer(self, populated):
+        load = populated.load_by_super_peer()
+        assert load["sp0"] == 3  # p1, p2 (lmA) + p4 (lmC)
+        assert load["sp1"] == 1  # p3 (lmB)
+        assert sum(load.values()) == populated.peer_count
+
+    def test_same_region_neighbors_preferred(self, populated):
+        neighbors = populated.register_peer(path("p5", ["a9", "a1", "core", "lmA"], "lmA"))
+        ids = [peer for peer, _ in neighbors]
+        assert ids[0] in {"p1", "p2"}
+
+    def test_sparse_region_padded_with_remote_candidates(self, populated):
+        # p3 is alone under lmB (super-peer sp1); its list is padded with
+        # cross-region estimates.
+        neighbors = populated.closest_peers("p3", k=3)
+        assert len(neighbors) == 3
+        assert all(peer != "p3" for peer, _ in neighbors)
+        assert populated.cross_region_queries > 0
+
+    def test_unregister(self, populated):
+        populated.unregister_peer("p2")
+        assert not populated.has_peer("p2")
+        assert populated.peer_count == 3
+        with pytest.raises(UnknownPeerError):
+            populated.unregister_peer("p2")
+
+    def test_moving_to_landmark_of_other_super_peer(self, populated):
+        populated.register_peer(path("p1", ["b9", "lmB"], "lmB"))
+        assert populated.owner_of_peer("p1").super_peer_id == "sp1"
+        assert populated.peer_count == 4
+        # The old super-peer no longer knows the peer.
+        assert not populated.super_peer("sp0").server.has_peer("p1")
+
+    def test_unknown_landmark_rejected(self, populated):
+        with pytest.raises(LandmarkError):
+            populated.register_peer(path("p9", ["x", "lmZ"], "lmZ"))
+
+
+class TestDistances:
+    def test_same_region_distance_uses_tree(self, populated):
+        assert populated.estimate_distance("p1", "p2") == 2.0
+
+    def test_cross_region_distance_uses_landmark_detour(self, populated):
+        # p1: 3 hops to lmA; p3: 2 hops to lmB; lmA-lmB = 4.
+        assert populated.estimate_distance("p1", "p3") == 3 + 4 + 2
+
+    def test_unknown_peer_raises(self, populated):
+        with pytest.raises(UnknownPeerError):
+            populated.estimate_distance("p1", "ghost")
+
+    def test_federation_matches_single_server_quality(self):
+        """Same-landmark answers are identical whether sharded or not."""
+        single = ManagementServer(neighbor_set_size=3, landmark_distances=LANDMARK_DISTANCES)
+        for landmark_id, router in LANDMARKS:
+            single.register_landmark(landmark_id, router)
+        federated = SuperPeerDirectory.deploy(
+            LANDMARKS, super_peer_count=2, neighbor_set_size=3,
+            landmark_distances=LANDMARK_DISTANCES,
+        )
+        routes = [
+            ("p1", ["a1", "core", "lmA"], "lmA"),
+            ("p2", ["a2", "core", "lmA"], "lmA"),
+            ("p3", ["a1", "core", "lmA"], "lmA"),
+            ("p4", ["b1", "lmB"], "lmB"),
+        ]
+        for peer, routers, landmark in routes:
+            single.register_peer(path(peer, routers, landmark))
+            federated.register_peer(path(peer, routers, landmark))
+        for peer in ("p1", "p2", "p3"):
+            single_answer = single.closest_peers(peer, k=2)
+            federated_answer = federated.closest_peers(peer, k=2)
+            assert [p for p, _ in single_answer] == [p for p, _ in federated_answer]
+
+    def test_repr(self, populated):
+        assert "super_peers=2" in repr(populated)

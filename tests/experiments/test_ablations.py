@@ -1,0 +1,98 @@
+"""Tests for the ablation studies (scaled down to run quickly)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.ablations import (
+    churn_study,
+    landmark_count_sweep,
+    landmark_placement_sweep,
+    neighbor_set_size_sweep,
+    superpeer_study,
+    traceroute_noise_sweep,
+    tree_accuracy_study,
+)
+
+
+class TestLandmarkSweeps:
+    def test_landmark_count_sweep_rows(self):
+        table = landmark_count_sweep(landmark_counts=(1, 4), peer_count=30, seed=3)
+        assert table.column("landmarks") == [1, 4]
+        for row in table.rows:
+            assert row["scheme_ratio"] >= 1.0
+            assert row["random_ratio"] >= 1.0
+
+    def test_landmark_placement_sweep_rows(self):
+        table = landmark_placement_sweep(
+            strategies=("medium_degree", "random"), peer_count=30, landmark_count=3, seed=3
+        )
+        assert table.column("strategy") == ["medium_degree", "random"]
+        for row in table.rows:
+            assert row["scheme_ratio"] < row["random_ratio"] * 1.2
+
+
+class TestNeighborSetSizeSweep:
+    def test_rows_and_ratios(self):
+        table = neighbor_set_size_sweep(sizes=(1, 3), peer_count=30, landmark_count=3, seed=5)
+        assert table.column("k") == [1, 3]
+        for row in table.rows:
+            assert row["scheme_ratio"] >= 1.0
+
+
+class TestTreeAccuracy:
+    def test_same_landmark_pairs_are_accurate(self):
+        table = tree_accuracy_study(peer_count=50, landmark_count=3, pair_samples=120, seed=7)
+        rows = {row["pair_type"]: row for row in table.rows}
+        assert "same_landmark" in rows
+        same = rows["same_landmark"]
+        # dtree is an upper bound on the true distance, so stretch >= 1 ...
+        assert same["mean_stretch"] >= 1.0
+        # ... and the core-centrality argument keeps it close to 1.
+        assert same["mean_stretch"] < 1.6
+        assert same["exact_fraction"] > 0.3
+        if "cross_landmark" in rows:
+            assert rows["cross_landmark"]["mean_stretch"] >= same["mean_stretch"] * 0.9
+
+
+class TestTracerouteNoise:
+    def test_quality_degrades_gracefully(self):
+        table = traceroute_noise_sweep(
+            anonymous_probabilities=(0.0, 0.3), peer_count=30, landmark_count=3, seed=9
+        )
+        clean_row, noisy_row = table.rows
+        assert clean_row["anonymous_probability"] == 0.0
+        assert noisy_row["anonymous_probability"] == 0.3
+        # Even with 30% anonymous routers the scheme stays better than random.
+        assert noisy_row["scheme_ratio"] < noisy_row["random_ratio"]
+        assert noisy_row["scheme_ratio"] < 2.0
+
+
+class TestSuperpeers:
+    def test_sharding_preserves_quality_and_spreads_load(self):
+        table = superpeer_study(
+            super_peer_counts=(1, 2), peer_count=40, landmark_count=4, seed=5
+        )
+        rows = {row["super_peers"]: row for row in table.rows}
+        assert rows[1]["max_load_fraction"] == 1.0
+        assert rows[1]["cross_region_queries"] == 0
+        assert rows[2]["max_load_fraction"] < 1.0
+        assert rows[2]["scheme_ratio"] <= rows[1]["scheme_ratio"] + 0.2
+        for row in table.rows:
+            assert row["scheme_ratio"] >= 1.0
+
+
+class TestChurn:
+    def test_phases_and_recovery(self):
+        table = churn_study(peer_count=40, landmark_count=3, departure_fraction=0.3, seed=11)
+        phases = table.column("phase")
+        assert phases == ["initial", "after_departures", "after_refresh"]
+        rows = {row["phase"]: row for row in table.rows}
+        for row in table.rows:
+            assert not math.isnan(row["scheme_ratio"])
+            assert row["scheme_ratio"] >= 0.99
+        # Refreshing the neighbour lists never hurts relative to the stale state.
+        assert rows["after_refresh"]["scheme_ratio"] <= rows["after_departures"]["scheme_ratio"] + 0.15
+        assert rows["after_departures"]["online_peers"] == rows["after_refresh"]["online_peers"]

@@ -1,0 +1,50 @@
+"""Tests for the graph-oriented branch-point analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.analysis import branch_point_analysis
+
+
+@pytest.fixture(scope="module")
+def table():
+    return branch_point_analysis(peer_count=60, landmark_count=3, pair_samples=150, seed=41)
+
+
+class TestBranchPointAnalysis:
+    def test_all_statements_present(self, table):
+        statements = table.column("statement")
+        for expected in (
+            "core_betweenness_share",
+            "branch_in_core_fraction",
+            "branch_on_true_path_fraction",
+            "exact_when_branch_on_true_path",
+            "exact_otherwise",
+        ):
+            assert expected in statements
+
+    def test_values_are_fractions(self, table):
+        for row in table.rows:
+            if not math.isnan(row["value"]):
+                assert 0.0 <= row["value"] <= 1.0
+
+    def test_core_carries_most_betweenness(self, table):
+        rows = {row["statement"]: row["value"] for row in table.rows}
+        assert rows["core_betweenness_share"] > 0.5
+
+    def test_branch_routers_cluster_in_the_core(self, table):
+        rows = {row["statement"]: row["value"] for row in table.rows}
+        assert rows["branch_in_core_fraction"] > 0.4
+
+    def test_exactness_is_explained_by_branch_on_true_path(self, table):
+        """dtree is exact precisely when the branch router lies on a true shortest path."""
+        rows = {row["statement"]: row["value"] for row in table.rows}
+        assert rows["exact_when_branch_on_true_path"] == pytest.approx(1.0)
+        if not math.isnan(rows["exact_otherwise"]):
+            assert rows["exact_otherwise"] < rows["exact_when_branch_on_true_path"]
+
+    def test_metadata_counts_pairs(self, table):
+        assert table.metadata["same_landmark_pairs"] > 10

@@ -1,0 +1,67 @@
+"""Tests for the experiment registry, runner and persistence helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    available_experiments,
+    load_table,
+    run_experiment,
+    run_experiments,
+    save_table,
+)
+
+
+class TestRegistry:
+    def test_expected_experiments_registered(self):
+        names = available_experiments()
+        for expected in (
+            "figure1",
+            "figure1-quick",
+            "landmark-count",
+            "landmark-placement",
+            "neighbor-set-size",
+            "tree-accuracy",
+            "traceroute-noise",
+            "churn",
+            "convergence",
+        ):
+            assert expected in names
+
+    def test_registry_values_are_callables(self):
+        assert all(callable(function) for function in EXPERIMENTS.values())
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("does-not-exist")
+
+    def test_run_experiments_by_name(self, monkeypatch):
+        """run_experiments dispatches through the registry (stubbed for speed)."""
+        stub_table = ResultTable(name="stub", columns=["x"])
+        stub_table.add_row(x=1)
+        monkeypatch.setitem(EXPERIMENTS, "stub-experiment", lambda: stub_table)
+        results = run_experiments(["stub-experiment"])
+        assert results["stub-experiment"] is stub_table
+
+
+class TestPersistence:
+    def test_save_and_load_round_trip(self, tmp_path):
+        table = ResultTable(name="demo", columns=["peers", "ratio"], metadata={"seed": 1})
+        table.add_row(peers=100, ratio=1.25)
+        path = save_table(table, tmp_path)
+        assert path.name == "demo.json"
+        loaded = load_table(path)
+        assert loaded.name == "demo"
+        assert loaded.rows == table.rows
+        assert loaded.metadata["seed"] == 1
+
+    def test_save_with_custom_stem(self, tmp_path):
+        table = ResultTable(name="demo", columns=["x"])
+        table.add_row(x=1)
+        path = save_table(table, tmp_path, stem="custom")
+        assert path.name == "custom.json"
+        assert path.exists()

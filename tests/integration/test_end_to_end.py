@@ -1,0 +1,166 @@
+"""Integration tests: the full pipeline from router map to the paper's metric.
+
+These tests exercise several subsystems together (topology + routing + core +
+baselines + metrics) on small-but-realistic inputs, and check the headline
+properties the paper reports rather than individual functions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distance import evaluate_estimator, sample_peer_pairs, true_hop_distances
+from repro.metrics.proximity import compare_strategies, per_peer_ratios
+from repro.metrics.ranking import precision_at_k
+from repro.sim import Engine, PeerNode, ServerNode, SimulatedNetwork
+from repro.streaming import MeshConfig, MeshStreamingSession
+
+from ..conftest import make_small_scenario
+
+
+class TestFigureShape:
+    """The reproduced figure's qualitative claims on a small instance."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self, request):
+        scenario = make_small_scenario(seed=31, peer_count=50)
+        scenario.join_all()
+        return scenario, compare_strategies(
+            scenario.scheme_neighbor_sets(),
+            scenario.oracle_neighbor_sets(),
+            scenario.random_neighbor_sets(),
+            scenario.true_distance,
+            scenario.config.neighbor_set_size,
+        )
+
+    def test_scheme_close_to_optimal(self, comparison):
+        _, result = comparison
+        assert 1.0 <= result.scheme_ratio < 1.5
+
+    def test_random_clearly_worse(self, comparison):
+        _, result = comparison
+        assert result.random_ratio > result.scheme_ratio
+        assert result.random_ratio > 1.15
+
+    def test_most_peers_individually_near_optimal(self, comparison):
+        scenario, _ = comparison
+        ratios = per_peer_ratios(
+            scenario.scheme_neighbor_sets(), scenario.oracle_neighbor_sets(), scenario.true_distance
+        )
+        near_optimal = sum(1 for ratio in ratios.values() if ratio <= 1.5)
+        assert near_optimal / len(ratios) > 0.7
+
+    def test_growing_population_does_not_degrade_the_scheme(self):
+        """The paper: 'the quality of the algorithm is stable' as n grows."""
+        small = make_small_scenario(seed=33, peer_count=30)
+        large = make_small_scenario(seed=33, peer_count=90)
+        ratios = []
+        for scenario in (small, large):
+            scenario.join_all()
+            result = compare_strategies(
+                scenario.scheme_neighbor_sets(),
+                scenario.oracle_neighbor_sets(),
+                scenario.random_neighbor_sets(),
+                scenario.true_distance,
+                scenario.config.neighbor_set_size,
+            )
+            ratios.append(result.scheme_ratio)
+        assert abs(ratios[1] - ratios[0]) < 0.35
+
+
+class TestDtreeAccuracy:
+    """Claim C3: the inferred distance is an accurate upper bound."""
+
+    def test_dtree_upper_bounds_and_tracks_true_distance(self, joined_scenario):
+        scenario = joined_scenario
+        pairs = sample_peer_pairs(scenario.peer_ids, 150, seed=3)
+        same_landmark = [
+            pair
+            for pair in pairs
+            if scenario.server.peer_landmark(pair[0]) == scenario.server.peer_landmark(pair[1])
+        ]
+        assert len(same_landmark) >= 10
+        truths = true_hop_distances(
+            scenario.router_map.graph, scenario.peer_routers, same_landmark
+        )
+        report = evaluate_estimator(scenario.server, truths)
+        # dtree follows an actual route, so it can never undershoot ...
+        for (peer_a, peer_b), true in truths.items():
+            assert scenario.server.estimate_distance(peer_a, peer_b) >= true - 1e-9
+        # ... and stays close to the true distance on average.
+        assert report.mean_stretch < 1.5
+        assert report.exact_fraction > 0.3
+
+    def test_neighbor_ranking_overlaps_with_oracle(self, joined_scenario):
+        scenario = joined_scenario
+        k = scenario.config.neighbor_set_size
+        overlaps = []
+        for peer in scenario.peer_ids[:20]:
+            scheme = [p for p, _ in scenario.server.closest_peers(peer, k=k)]
+            optimal = scenario.oracle.select_neighbors(peer, k=k)
+            overlaps.append(precision_at_k(scheme, optimal, k))
+        assert sum(overlaps) / len(overlaps) > 0.4
+
+
+class TestEventDrivenJoin:
+    def test_simulated_flash_crowd_joins_everyone(self):
+        scenario = make_small_scenario(seed=37, peer_count=20)
+        engine = Engine()
+        network = SimulatedNetwork(engine, scenario.router_map.graph, seed=37)
+        server_node = ServerNode("server", scenario.server, network)
+        network.attach_host("server", scenario.landmark_set.routers()[0], server_node)
+
+        nodes = []
+        for index, (peer_id, router) in enumerate(scenario.peer_routers.items()):
+            node = PeerNode(
+                host_id=peer_id,
+                access_router=router,
+                server_host="server",
+                engine=engine,
+                network=network,
+                traceroute=scenario.traceroute,
+            )
+            network.attach_host(peer_id, router, node)
+            nodes.append(node)
+            engine.schedule_at(float(index * 10), node.start_join)
+
+        engine.run()
+        records = [node.record for node in nodes]
+        assert all(record is not None and record.completed for record in records)
+        assert scenario.server.peer_count == 20
+        # Later joiners should generally receive at least one neighbour.
+        late = records[-1]
+        assert len(late.neighbors) >= 1
+        assert late.setup_delay > 0
+
+
+class TestStreamingBenefit:
+    def test_proximity_overlay_uses_much_shorter_network_paths(self):
+        """Chunk-exchange links of the proximity overlay cross far fewer routers.
+
+        This is the property the paper optimises (a peer's neighbours should
+        be network-close); overlay-diameter effects on end-to-end delivery are
+        a separate trade-off handled by blending in long links, which the
+        scheme does not preclude.
+        """
+        scenario = make_small_scenario(seed=41, peer_count=25)
+        scenario.join_all()
+        proximity_overlay = scenario.build_overlay(scenario.scheme_neighbor_sets())
+        random_overlay = scenario.build_overlay(scenario.random_neighbor_sets())
+        proximity_cost = proximity_overlay.mean_neighbor_cost(scenario.true_distance)
+        random_cost = random_overlay.mean_neighbor_cost(scenario.true_distance)
+        assert proximity_cost < random_cost * 0.85
+
+    def test_streaming_runs_over_both_overlays(self):
+        """The mesh workload completes with healthy continuity on either overlay."""
+        scenario = make_small_scenario(seed=41, peer_count=25)
+        scenario.join_all()
+        config = MeshConfig(rounds=50, uploads_per_round=8, requests_per_round=4)
+        source = scenario.peer_ids[0]
+        for neighbor_sets in (scenario.scheme_neighbor_sets(), scenario.random_neighbor_sets()):
+            overlay = scenario.build_overlay(neighbor_sets)
+            result = MeshStreamingSession(
+                overlay, source, scenario.true_distance, config=config
+            ).run()
+            assert result.chunks_injected == 50
+            assert result.mean_continuity() > 0.5

@@ -1,0 +1,96 @@
+"""Tests for the LandmarkSet manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LandmarkError
+from repro.landmarks.manager import Landmark, LandmarkSet
+from repro.topology.graph import Graph
+
+
+@pytest.fixture()
+def landmark_set(line_graph) -> LandmarkSet:
+    return LandmarkSet.from_routers(line_graph, [0, 5])
+
+
+class TestMembership:
+    def test_from_routers_names(self, landmark_set):
+        assert landmark_set.ids() == ["lm0", "lm1"]
+        assert landmark_set.routers() == [0, 5]
+        assert len(landmark_set) == 2
+        assert "lm0" in landmark_set
+
+    def test_add_and_get(self, line_graph):
+        landmark_set = LandmarkSet(graph=line_graph)
+        landmark = landmark_set.add("west", 0)
+        assert landmark == Landmark(landmark_id="west", router=0)
+        assert landmark_set.get("west").router == 0
+
+    def test_duplicate_id_rejected(self, landmark_set):
+        with pytest.raises(LandmarkError):
+            landmark_set.add("lm0", 3)
+
+    def test_unknown_router_rejected(self, line_graph):
+        landmark_set = LandmarkSet(graph=line_graph)
+        with pytest.raises(LandmarkError):
+            landmark_set.add("x", 99)
+
+    def test_remove(self, landmark_set):
+        landmark_set.remove("lm1")
+        assert landmark_set.ids() == ["lm0"]
+        with pytest.raises(LandmarkError):
+            landmark_set.get("lm1")
+
+    def test_remove_unknown(self, landmark_set):
+        with pytest.raises(LandmarkError):
+            landmark_set.remove("ghost")
+
+    def test_iteration(self, landmark_set):
+        assert [landmark.landmark_id for landmark in landmark_set] == ["lm0", "lm1"]
+
+
+class TestDistances:
+    def test_pairwise_hop_distances(self, landmark_set):
+        distances = landmark_set.pairwise_hop_distances()
+        assert distances[("lm0", "lm1")] == 5.0
+        assert distances[("lm1", "lm0")] == 5.0
+
+    def test_pairwise_raises_when_disconnected(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        landmark_set = LandmarkSet.from_routers(graph, [1, 3])
+        with pytest.raises(LandmarkError):
+            landmark_set.pairwise_hop_distances()
+
+    def test_closest_landmark_by_hops(self, landmark_set):
+        landmark, distance = landmark_set.closest_landmark_by_hops(1)
+        assert landmark.landmark_id == "lm0"
+        assert distance == 1
+        landmark, distance = landmark_set.closest_landmark_by_hops(4)
+        assert landmark.landmark_id == "lm1"
+        assert distance == 1
+
+    def test_closest_landmark_by_latency_prefers_fast_path(self):
+        graph = Graph()
+        graph.add_edge("p", "a", latency=1.0)
+        graph.add_edge("a", "lmNear", latency=1.0)
+        graph.add_edge("p", "lmSlow", latency=100.0)
+        landmark_set = LandmarkSet(graph=graph)
+        landmark_set.add("near", "lmNear")
+        landmark_set.add("slow", "lmSlow")
+        landmark, latency = landmark_set.closest_landmark_by_latency("p")
+        # lmSlow is 1 hop away but 100 ms; lmNear is 2 hops but 2 ms.
+        assert landmark.landmark_id == "near"
+        assert latency == pytest.approx(2.0)
+
+    def test_empty_set_raises(self, line_graph):
+        landmark_set = LandmarkSet(graph=line_graph)
+        with pytest.raises(LandmarkError):
+            landmark_set.closest_landmark_by_hops(0)
+
+    def test_coverage_histogram(self, landmark_set):
+        histogram = landmark_set.coverage_histogram([0, 1, 2, 3, 4, 5])
+        assert histogram["lm0"] + histogram["lm1"] == 6
+        assert histogram["lm0"] >= 3

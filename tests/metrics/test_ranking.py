@@ -1,0 +1,83 @@
+"""Tests for ranking-quality metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics.ranking import (
+    kendall_tau,
+    precision_at_k,
+    recall_at_k,
+    relative_rank_loss,
+    top_k_overlap_curve,
+)
+
+
+def index_distance(peer_a, peer_b) -> float:
+    return abs(int(peer_a[1:]) - int(peer_b[1:]))
+
+
+class TestPrecisionRecall:
+    def test_perfect_overlap(self):
+        assert precision_at_k(["a", "b"], ["a", "b", "c"], k=2) == 1.0
+        assert recall_at_k(["a", "b"], ["a", "b"], k=2) == 1.0
+
+    def test_partial_overlap(self):
+        assert precision_at_k(["a", "x"], ["a", "b"], k=2) == 0.5
+        assert recall_at_k(["a", "x"], ["a", "b"], k=2) == 0.5
+
+    def test_no_overlap(self):
+        assert precision_at_k(["x", "y"], ["a", "b"], k=2) == 0.0
+
+    def test_short_lists(self):
+        assert precision_at_k(["a"], ["a", "b", "c"], k=3) == 1.0
+        assert precision_at_k([], ["a"], k=2) == 0.0
+        assert recall_at_k(["a"], [], k=2) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(MetricError):
+            precision_at_k(["a"], ["a"], k=0)
+        with pytest.raises(MetricError):
+            recall_at_k(["a"], ["a"], k=-1)
+
+    def test_overlap_curve(self):
+        curve = top_k_overlap_curve(["a", "b", "x"], ["a", "b", "c"], max_k=3)
+        assert curve == [1.0, 1.0, pytest.approx(2 / 3)]
+        with pytest.raises(MetricError):
+            top_k_overlap_curve(["a"], ["a"], max_k=0)
+
+
+class TestRelativeRankLoss:
+    def test_optimal_selection_has_zero_loss(self):
+        assert relative_rank_loss("p0", ["p1"], ["p1"], index_distance) == 0.0
+
+    def test_suboptimal_selection_positive_loss(self):
+        loss = relative_rank_loss("p0", ["p4"], ["p1"], index_distance)
+        assert loss == pytest.approx(3.0)
+
+    def test_empty_lists_rejected(self):
+        with pytest.raises(MetricError):
+            relative_rank_loss("p0", [], ["p1"], index_distance)
+
+    def test_zero_optimal_cost_rejected(self):
+        with pytest.raises(MetricError):
+            relative_rank_loss("p0", ["p1"], ["p0"], index_distance)
+
+
+class TestKendallTau:
+    def test_perfectly_concordant(self):
+        pairs = [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]
+        assert kendall_tau(pairs) == 1.0
+
+    def test_perfectly_discordant(self):
+        pairs = [(1.0, 30.0), (2.0, 20.0), (3.0, 10.0)]
+        assert kendall_tau(pairs) == -1.0
+
+    def test_mixed(self):
+        pairs = [(1.0, 10.0), (2.0, 30.0), (3.0, 20.0)]
+        assert -1.0 < kendall_tau(pairs) < 1.0
+
+    def test_requires_two_pairs(self):
+        with pytest.raises(MetricError):
+            kendall_tau([(1.0, 1.0)])

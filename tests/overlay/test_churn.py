@@ -1,0 +1,96 @@
+"""Tests for the churn model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.overlay.churn import (
+    EVENT_CRASH,
+    EVENT_JOIN,
+    EVENT_LEAVE,
+    ChurnModel,
+    churn_statistics,
+)
+
+
+class TestDraws:
+    def test_session_lengths_positive(self):
+        model = ChurnModel(mean_session_s=100.0, seed=1)
+        assert all(model.session_length() > 0 for _ in range(50))
+
+    def test_offtime_none_when_peers_never_return(self):
+        model = ChurnModel(mean_offtime_s=None, seed=1)
+        assert model.offtime_length() is None
+
+    def test_departure_kind_respects_crash_fraction(self):
+        all_crash = ChurnModel(crash_fraction=1.0, seed=1)
+        assert all(all_crash.departure_kind() == EVENT_CRASH for _ in range(20))
+        never_crash = ChurnModel(crash_fraction=0.0, seed=1)
+        assert all(never_crash.departure_kind() == EVENT_LEAVE for _ in range(20))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(Exception):
+            ChurnModel(mean_session_s=0.0)
+        with pytest.raises(Exception):
+            ChurnModel(crash_fraction=1.5)
+
+
+class TestSchedule:
+    def test_events_sorted_and_within_horizon(self):
+        model = ChurnModel(mean_session_s=100.0, mean_offtime_s=50.0, seed=3)
+        events = model.schedule([f"p{i}" for i in range(10)], horizon_s=600.0)
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        assert all(0.0 <= time < 600.0 for time in times)
+
+    def test_every_peer_joins_first(self):
+        model = ChurnModel(seed=4)
+        events = model.schedule(["a", "b", "c"], horizon_s=400.0)
+        first_event_per_peer = {}
+        for event in events:
+            first_event_per_peer.setdefault(event.peer_id, event.kind)
+        assert all(kind == EVENT_JOIN for kind in first_event_per_peer.values())
+
+    def test_join_and_leave_alternate_per_peer(self):
+        model = ChurnModel(mean_session_s=60.0, mean_offtime_s=30.0, seed=5)
+        events = model.schedule(["solo"], horizon_s=2000.0)
+        kinds = [event.kind for event in events]
+        online = False
+        for kind in kinds:
+            if kind == EVENT_JOIN:
+                assert not online
+                online = True
+            else:
+                assert online
+                online = False
+
+    def test_non_returning_peers_have_at_most_one_cycle(self):
+        model = ChurnModel(mean_session_s=10.0, mean_offtime_s=None, seed=6)
+        events = model.schedule(["a", "b"], horizon_s=10_000.0)
+        per_peer_joins = {}
+        for event in events:
+            if event.kind == EVENT_JOIN:
+                per_peer_joins[event.peer_id] = per_peer_joins.get(event.peer_id, 0) + 1
+        assert all(count == 1 for count in per_peer_joins.values())
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ConfigurationError):
+            ChurnModel(seed=1).schedule(["a"], horizon_s=0.0)
+
+    def test_deterministic_with_seed(self):
+        events_a = ChurnModel(seed=7).schedule(["a", "b"], horizon_s=500.0)
+        events_b = ChurnModel(seed=7).schedule(["a", "b"], horizon_s=500.0)
+        assert events_a == events_b
+
+
+class TestStatistics:
+    def test_counts(self):
+        model = ChurnModel(mean_session_s=50.0, mean_offtime_s=25.0, crash_fraction=0.5, seed=8)
+        events = model.schedule([f"p{i}" for i in range(20)], horizon_s=1000.0)
+        joins, leaves, crashes = churn_statistics(events)
+        assert joins == sum(1 for event in events if event.kind == EVENT_JOIN)
+        assert leaves + crashes == sum(1 for event in events if event.kind != EVENT_JOIN)
+        assert joins >= 20
+        assert crashes > 0
+        assert leaves > 0

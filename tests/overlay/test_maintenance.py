@@ -1,0 +1,121 @@
+"""Tests for the overlay maintenance loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.management_server import ManagementServer
+from repro.core.path import RouterPath
+from repro.exceptions import OverlayError
+from repro.overlay.maintenance import MaintenancePolicy, OverlayMaintainer
+from repro.overlay.overlay import Overlay
+
+
+def path(peer, routers):
+    return RouterPath.from_routers(peer, "lmA", routers)
+
+
+ROUTES = {
+    "p1": ["a1", "a2", "core", "lmA"],
+    "p2": ["a3", "a2", "core", "lmA"],
+    "p3": ["b1", "core", "lmA"],
+    "p4": ["b1", "core", "lmA"],
+    "p5": ["core", "lmA"],
+}
+
+
+@pytest.fixture()
+def world():
+    server = ManagementServer(neighbor_set_size=2)
+    server.register_landmark("lmA", "lmA")
+    overlay = Overlay()
+    for peer, routers in ROUTES.items():
+        overlay.create_peer(peer, access_router=routers[0])
+        server.register_peer(path(peer, routers))
+    maintainer = OverlayMaintainer(overlay, server, neighbor_set_size=2)
+    return server, overlay, maintainer
+
+
+class TestPolicy:
+    def test_next_refresh_time(self):
+        policy = MaintenancePolicy(refresh_period_s=30.0)
+        assert policy.next_refresh_time(100.0) == 130.0
+
+    def test_immediate_refresh_threshold(self):
+        policy = MaintenancePolicy(dead_neighbor_threshold=0.5)
+        assert policy.needs_immediate_refresh(4, 2)
+        assert not policy.needs_immediate_refresh(4, 1)
+        assert policy.needs_immediate_refresh(0, 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(Exception):
+            MaintenancePolicy(refresh_period_s=0.0)
+        with pytest.raises(Exception):
+            MaintenancePolicy(dead_neighbor_threshold=2.0)
+
+
+class TestRefresh:
+    def test_refresh_installs_server_answer(self, world):
+        server, overlay, maintainer = world
+        fresh = maintainer.refresh_peer("p3", now_s=10.0)
+        assert fresh[0] == "p4"
+        assert overlay.neighbors_of("p3") == fresh
+        assert maintainer.stats.refreshes == 1
+        assert maintainer.staleness(15.0)["p3"] == pytest.approx(5.0)
+
+    def test_refresh_unknown_peer_rejected(self, world):
+        _, _, maintainer = world
+        with pytest.raises(OverlayError):
+            maintainer.refresh_peer("ghost")
+
+    def test_refresh_requires_server_registration(self, world):
+        server, overlay, maintainer = world
+        overlay.create_peer("outsider", access_router="x")
+        with pytest.raises(OverlayError):
+            maintainer.refresh_peer("outsider")
+
+    def test_periodic_round_refreshes_everyone_initially(self, world):
+        _, overlay, maintainer = world
+        refreshed = maintainer.run_periodic_round(now_s=0.0)
+        assert sorted(refreshed) == sorted(overlay.peers())
+        for peer in overlay.peers():
+            assert len(overlay.neighbors_of(peer)) <= 2
+
+    def test_periodic_round_respects_period(self, world):
+        _, _, maintainer = world
+        maintainer.run_periodic_round(now_s=0.0)
+        assert maintainer.run_periodic_round(now_s=10.0) == []
+        assert len(maintainer.run_periodic_round(now_s=61.0)) == 5
+
+    def test_staleness_infinite_before_first_refresh(self, world):
+        _, _, maintainer = world
+        assert all(value == float("inf") for value in maintainer.staleness(0.0).values())
+
+
+class TestDepartures:
+    def test_departed_neighbors_dropped_and_refreshed(self, world):
+        server, overlay, maintainer = world
+        maintainer.run_periodic_round(now_s=0.0)
+        assert "p4" in overlay.neighbors_of("p3")
+
+        server.unregister_peer("p4")
+        refreshed = maintainer.handle_departures(["p4"], now_s=5.0)
+        overlay.remove_peer("p4")
+
+        assert "p3" in refreshed  # p3 lost half (or more) of its neighbours
+        assert all("p4" not in overlay.neighbors_of(peer) for peer in overlay.peers())
+        assert maintainer.stats.dead_neighbors_detected >= 1
+        assert maintainer.stats.immediate_refreshes >= 1
+
+    def test_small_losses_do_not_trigger_immediate_refresh(self, world):
+        server, overlay, maintainer = world
+        maintainer = OverlayMaintainer(
+            overlay, server, neighbor_set_size=2,
+            policy=MaintenancePolicy(dead_neighbor_threshold=0.9),
+        )
+        maintainer.run_periodic_round(now_s=0.0)
+        server.unregister_peer("p5")
+        refreshed = maintainer.handle_departures(["p5"], now_s=5.0)
+        overlay.remove_peer("p5")
+        assert refreshed == []
+        assert maintainer.stats.immediate_refreshes == 0

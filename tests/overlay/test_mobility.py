@@ -1,0 +1,142 @@
+"""Tests for mobility traces and handover management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.overlay.mobility import HandoverManager, MobilityModel, Move
+
+from ..conftest import make_small_scenario
+
+
+@pytest.fixture()
+def scenario():
+    scenario = make_small_scenario(seed=51, peer_count=30)
+    scenario.join_all()
+    return scenario
+
+
+class TestMobilityModel:
+    def test_requires_candidates(self):
+        with pytest.raises(ConfigurationError):
+            MobilityModel(candidate_routers=[])
+
+    def test_next_router_changes_attachment(self, scenario):
+        stubs = scenario.router_map.stub_routers()
+        model = MobilityModel(candidate_routers=stubs, seed=1)
+        current = stubs[0]
+        new_router = model.next_router(scenario.router_map.graph, current)
+        assert new_router in stubs
+        assert new_router != current
+
+    def test_local_moves_stay_nearby(self, scenario):
+        from repro.routing.shortest_path import hop_distance
+
+        stubs = scenario.router_map.stub_routers()
+        model = MobilityModel(
+            candidate_routers=stubs, local_move_probability=1.0, locality_radius=8, seed=2
+        )
+        current = stubs[0]
+        graph = scenario.router_map.graph
+        all_distances = sorted(
+            hop_distance(graph, current, other) for other in stubs if other != current
+        )
+        for _ in range(5):
+            new_router = model.next_router(graph, current)
+            distance = hop_distance(graph, current, new_router)
+            # A local move lands among the nearest handful of candidates.
+            assert distance <= all_distances[min(len(all_distances) - 1, 10)]
+
+    def test_trace_only_moves_mobile_fraction(self, scenario):
+        stubs = scenario.router_map.stub_routers()
+        model = MobilityModel(candidate_routers=stubs, mean_pause_s=50.0, seed=3)
+        moves = model.trace(
+            scenario.router_map.graph,
+            scenario.peer_routers,
+            horizon_s=400.0,
+            mobile_fraction=0.2,
+        )
+        moving_peers = {move.peer_id for move in moves}
+        assert len(moving_peers) <= int(len(scenario.peer_ids) * 0.2)
+        times = [move.time_s for move in moves]
+        assert times == sorted(times)
+        assert all(move.new_router in stubs for move in moves)
+
+    def test_trace_deterministic(self, scenario):
+        stubs = scenario.router_map.stub_routers()
+        kwargs = dict(mean_pause_s=60.0, seed=7)
+        trace_a = MobilityModel(candidate_routers=stubs, **kwargs).trace(
+            scenario.router_map.graph, scenario.peer_routers, horizon_s=300.0
+        )
+        trace_b = MobilityModel(candidate_routers=stubs, **kwargs).trace(
+            scenario.router_map.graph, scenario.peer_routers, horizon_s=300.0
+        )
+        assert trace_a == trace_b
+
+
+class TestHandover:
+    def test_move_updates_server_and_attachment(self, scenario):
+        manager = HandoverManager(scenario)
+        peer = scenario.peer_ids[0]
+        stubs = [r for r in scenario.router_map.stub_routers() if r != scenario.peer_routers[peer]]
+        target = stubs[0]
+        report = manager.move_peer(peer, target)
+        assert report.new_router == target
+        assert scenario.peer_routers[peer] == target
+        assert scenario.server.peer_path(peer).access_router == target
+        assert manager.handovers_executed == 1
+
+    def test_report_metrics_are_consistent(self, scenario):
+        manager = HandoverManager(scenario)
+        peer = scenario.peer_ids[1]
+        stubs = [r for r in scenario.router_map.stub_routers() if r != scenario.peer_routers[peer]]
+        report = manager.move_peer(peer, stubs[-1])
+        assert 0.0 <= report.neighbor_overlap <= 1.0
+        assert report.landmark_changed == (report.old_landmark != report.new_landmark)
+        k = scenario.config.neighbor_set_size
+        assert len(report.new_neighbors) <= k
+        # The refreshed list is priced at its true cost, which can only be
+        # better than (or equal to) keeping the stale list from the new spot.
+        if report.old_neighbors and report.new_neighbors:
+            assert report.refreshed_neighbor_cost <= report.stale_neighbor_cost + 1e-9
+            assert report.refresh_gain >= -1e-9
+
+    def test_unknown_peer_or_router_rejected(self, scenario):
+        manager = HandoverManager(scenario)
+        with pytest.raises(ConfigurationError):
+            manager.move_peer("ghost", scenario.router_map.stub_routers()[0])
+        with pytest.raises(ConfigurationError):
+            manager.move_peer(scenario.peer_ids[0], "not-a-router")
+
+    def test_run_trace_executes_every_move(self, scenario):
+        manager = HandoverManager(scenario)
+        stubs = scenario.router_map.stub_routers()
+        moves = [
+            Move(time_s=1.0, peer_id=scenario.peer_ids[2], new_router=stubs[3]),
+            Move(time_s=2.0, peer_id=scenario.peer_ids[3], new_router=stubs[4]),
+        ]
+        reports = manager.run_trace(moves)
+        assert len(reports) == 2
+        assert manager.handovers_executed == 2
+
+    def test_neighbor_quality_preserved_after_many_handovers(self, scenario):
+        """After a wave of moves + refreshes the population stays near-optimal."""
+        from repro.metrics.proximity import compare_strategies
+
+        manager = HandoverManager(scenario)
+        stubs = scenario.router_map.stub_routers()
+        model = MobilityModel(candidate_routers=stubs, mean_pause_s=30.0, seed=9)
+        moves = model.trace(
+            scenario.router_map.graph, scenario.peer_routers, horizon_s=120.0, mobile_fraction=0.3
+        )
+        manager.run_trace(moves)
+        comparison = compare_strategies(
+            scenario.scheme_neighbor_sets(),
+            scenario.oracle_neighbor_sets(),
+            scenario.random_neighbor_sets(),
+            scenario.true_distance,
+            scenario.config.neighbor_set_size,
+        )
+        assert comparison.scheme_ratio < comparison.random_ratio
+        assert comparison.scheme_ratio < 1.6

@@ -1,0 +1,85 @@
+"""Tests for the neighbour-selection strategy adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brute_force import BruteForceOracle
+from repro.core.management_server import ManagementServer
+from repro.core.path import RouterPath
+from repro.exceptions import OverlayError
+from repro.overlay.neighbor_selection import (
+    OracleStrategy,
+    PathTreeSelection,
+    RandomStrategy,
+    build_overlay_with_strategy,
+)
+from repro.overlay.overlay import Overlay
+from repro.topology.graph import Graph
+
+
+def path(peer, routers):
+    return RouterPath.from_routers(peer, "lmA", routers)
+
+
+@pytest.fixture()
+def server() -> ManagementServer:
+    server = ManagementServer(neighbor_set_size=3)
+    server.register_landmark("lmA", "lmA")
+    server.register_peer(path("p1", ["a1", "core", "lmA"]))
+    server.register_peer(path("p2", ["a1", "core", "lmA"]))
+    server.register_peer(path("p3", ["b1", "core", "lmA"]))
+    server.register_peer(path("p4", ["b2", "b1", "core", "lmA"]))
+    return server
+
+
+class TestPathTreeSelection:
+    def test_returns_closest_peers(self, server):
+        strategy = PathTreeSelection(server)
+        assert strategy.name == "path_tree"
+        neighbors = strategy.select_neighbors("p1", k=2)
+        assert neighbors[0] == "p2"
+        assert len(neighbors) == 2
+
+    def test_exclusion_is_compensated(self, server):
+        strategy = PathTreeSelection(server)
+        neighbors = strategy.select_neighbors("p1", k=2, exclude={"p2"})
+        assert "p2" not in neighbors
+        assert len(neighbors) == 2
+
+    def test_unregistered_peer_raises(self, server):
+        strategy = PathTreeSelection(server)
+        with pytest.raises(OverlayError):
+            strategy.select_neighbors("ghost", k=2)
+
+
+class TestAdapters:
+    def test_random_strategy(self):
+        strategy = RandomStrategy(seed=1)
+        population = [f"p{i}" for i in range(10)]
+        neighbors = strategy.select_neighbors("p0", population, k=4)
+        assert len(neighbors) == 4
+        assert "p0" not in neighbors
+
+    def test_oracle_strategy(self, line_graph):
+        oracle = BruteForceOracle(line_graph, {"a": 0, "b": 1, "c": 5})
+        strategy = OracleStrategy(oracle)
+        assert strategy.select_neighbors("a", k=1) == ["b"]
+
+
+class TestBuildOverlay:
+    def test_every_peer_gets_neighbors(self, server):
+        overlay = Overlay()
+        for peer in ("p1", "p2", "p3", "p4"):
+            overlay.create_peer(peer, access_router="x")
+        build_overlay_with_strategy(overlay, PathTreeSelection(server), k=2)
+        for peer in overlay.peers():
+            assert 1 <= len(overlay.neighbors_of(peer)) <= 2
+            assert peer not in overlay.neighbors_of(peer)
+
+    def test_with_random_strategy(self):
+        overlay = Overlay()
+        for index in range(6):
+            overlay.create_peer(f"p{index}", access_router=index)
+        build_overlay_with_strategy(overlay, RandomStrategy(seed=2), k=3)
+        assert all(len(overlay.neighbors_of(peer)) == 3 for peer in overlay.peers())

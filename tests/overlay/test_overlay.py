@@ -1,0 +1,106 @@
+"""Tests for overlay bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OverlayError
+from repro.overlay.overlay import Overlay
+from repro.overlay.peer import Peer
+
+
+@pytest.fixture()
+def overlay() -> Overlay:
+    overlay = Overlay()
+    for index in range(5):
+        overlay.create_peer(f"p{index}", access_router=index)
+    overlay.set_neighbors("p0", ["p1", "p2"])
+    overlay.set_neighbors("p1", ["p0"])
+    overlay.set_neighbors("p3", ["p4"])
+    return overlay
+
+
+def unit_distance(peer_a, peer_b) -> float:
+    """Distance function: |index difference| between peers named p<i>."""
+    return abs(int(peer_a[1:]) - int(peer_b[1:]))
+
+
+class TestMembership:
+    def test_counts_and_lookup(self, overlay):
+        assert overlay.size == 5
+        assert len(overlay) == 5
+        assert "p3" in overlay
+        assert overlay.has_peer("p4")
+        assert overlay.peer("p0").access_router == 0
+
+    def test_add_duplicate_rejected(self, overlay):
+        with pytest.raises(OverlayError):
+            overlay.add_peer(Peer(peer_id="p0", access_router=9))
+
+    def test_unknown_peer_lookup_raises(self, overlay):
+        with pytest.raises(OverlayError):
+            overlay.peer("ghost")
+        with pytest.raises(OverlayError):
+            overlay.remove_peer("ghost")
+        with pytest.raises(OverlayError):
+            overlay.in_degree("ghost")
+
+    def test_remove_peer_cleans_neighbor_lists(self, overlay):
+        overlay.remove_peer("p1")
+        assert not overlay.has_peer("p1")
+        assert overlay.neighbors_of("p0") == ["p2"]
+
+    def test_peer_records(self, overlay):
+        records = overlay.peer_records()
+        assert len(records) == 5
+        assert all(isinstance(record, Peer) for record in records)
+
+
+class TestNeighborLinks:
+    def test_set_neighbors_requires_known_peers(self, overlay):
+        with pytest.raises(OverlayError):
+            overlay.set_neighbors("p0", ["p1", "ghost"])
+
+    def test_directed_edges(self, overlay):
+        edges = set(overlay.edges())
+        assert ("p0", "p1") in edges
+        assert ("p1", "p0") in edges
+        assert ("p3", "p4") in edges
+        assert ("p4", "p3") not in edges
+
+    def test_in_degree(self, overlay):
+        assert overlay.in_degree("p0") == 1
+        assert overlay.in_degree("p2") == 1
+        assert overlay.in_degree("p3") == 0
+
+    def test_symmetric_neighbors(self, overlay):
+        assert overlay.symmetric_neighbors_of("p4") == {"p3"}
+        assert overlay.symmetric_neighbors_of("p0") == {"p1", "p2"}
+
+
+class TestConnectivityAndCosts:
+    def test_is_connected_false_with_two_components(self, overlay):
+        assert not overlay.is_connected()
+
+    def test_is_connected_true_when_bridged(self, overlay):
+        overlay.set_neighbors("p2", ["p3"])
+        assert overlay.is_connected()
+
+    def test_empty_overlay_not_connected(self):
+        assert not Overlay().is_connected()
+
+    def test_neighbor_cost(self, overlay):
+        assert overlay.neighbor_cost("p0", unit_distance) == 1 + 2
+        assert overlay.neighbor_cost("p3", unit_distance) == 1
+
+    def test_total_and_mean_cost_skip_isolated_peers(self, overlay):
+        total = overlay.total_neighbor_cost(unit_distance)
+        assert total == (1 + 2) + 1 + 1
+        mean = overlay.mean_neighbor_cost(unit_distance)
+        assert mean == pytest.approx(total / 3)
+
+    def test_mean_cost_without_any_links_raises(self):
+        overlay = Overlay()
+        overlay.create_peer("p0", access_router=0)
+        with pytest.raises(OverlayError):
+            overlay.mean_neighbor_cost(unit_distance)

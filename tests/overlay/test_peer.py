@@ -1,0 +1,44 @@
+"""Tests for the Peer record."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OverlayError
+from repro.overlay.peer import Peer
+
+
+class TestPeer:
+    def test_defaults(self):
+        peer = Peer(peer_id="p1", access_router=10)
+        assert peer.degree == 0
+        assert peer.online
+        assert peer.landmark_id is None
+        assert peer.neighbors == []
+
+    def test_set_neighbors(self):
+        peer = Peer(peer_id="p1", access_router=10)
+        peer.set_neighbors(["p2", "p3"])
+        assert peer.degree == 2
+        assert peer.neighbor_set() == {"p2", "p3"}
+
+    def test_cannot_be_own_neighbor(self):
+        peer = Peer(peer_id="p1", access_router=10)
+        with pytest.raises(OverlayError):
+            peer.set_neighbors(["p1"])
+        with pytest.raises(OverlayError):
+            peer.add_neighbor("p1")
+
+    def test_add_neighbor_idempotent(self):
+        peer = Peer(peer_id="p1", access_router=10)
+        peer.add_neighbor("p2")
+        peer.add_neighbor("p2")
+        assert peer.neighbors == ["p2"]
+
+    def test_remove_neighbor(self):
+        peer = Peer(peer_id="p1", access_router=10)
+        peer.set_neighbors(["p2", "p3"])
+        peer.remove_neighbor("p2")
+        assert peer.neighbors == ["p3"]
+        peer.remove_neighbor("not-there")  # silently ignored
+        assert peer.neighbors == ["p3"]

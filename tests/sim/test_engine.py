@@ -1,0 +1,157 @@
+"""Tests for the discrete-event engine and its events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ClockError, SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Event, TimerHandle
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5.0, lambda: fired.append("late"))
+        engine.schedule(1.0, lambda: fired.append("early"))
+        engine.schedule(3.0, lambda: fired.append("middle"))
+        engine.run()
+        assert fired == ["early", "middle", "late"]
+        assert engine.now == 5.0
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        engine = Engine()
+        fired = []
+        for label in ("a", "b", "c"):
+            engine.schedule(2.0, lambda label=label: fired.append(label))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(10.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [10.0]
+
+    def test_schedule_in_the_past_rejected(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: engine.schedule_at(0.5, lambda: None))
+        with pytest.raises(ClockError):
+            engine.run()
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(Exception):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        engine = Engine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule(1.0, lambda: fired.append("chained"))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert fired == ["first", "chained"]
+        assert engine.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_timer_handle_reports_time(self):
+        engine = Engine()
+        handle = engine.schedule(4.0, lambda: None)
+        assert isinstance(handle, TimerHandle)
+        assert handle.time == 4.0
+
+
+class TestRunControl:
+    def test_run_until_stops_the_clock(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        processed = engine.run(until=5.0)
+        assert processed == 1
+        assert fired == [1]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_run_max_events(self):
+        engine = Engine()
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda: None)
+        assert engine.run(max_events=3) == 3
+        assert engine.pending_events == 2
+
+    def test_stop_from_within_event(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: (fired.append(1), engine.stop()))
+        engine.schedule(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1]
+        engine.run()
+        assert fired == [1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_reset(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        engine.schedule(1.0, lambda: None)
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.pending_events == 0
+
+    def test_processed_events_counter(self):
+        engine = Engine()
+        for _ in range(4):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.processed_events == 4
+
+    def test_peek_next_time(self):
+        engine = Engine()
+        assert engine.peek_next_time() is None
+        handle = engine.schedule(3.0, lambda: None)
+        engine.schedule(5.0, lambda: None)
+        assert engine.peek_next_time() == 3.0
+        handle.cancel()
+        assert engine.peek_next_time() == 5.0
+
+    def test_reentrant_run_rejected(self):
+        engine = Engine()
+
+        def recurse():
+            engine.run()
+
+        engine.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestEvent:
+    def test_event_ordering(self):
+        early = Event.at(1.0, lambda: None)
+        late = Event.at(2.0, lambda: None)
+        assert early < late
+
+    def test_fire_returns_callback_value(self):
+        event = Event.at(0.0, lambda: 42)
+        assert event.fire() == 42

@@ -1,0 +1,150 @@
+"""Tests for latency-aware message delivery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.network import SimulatedNetwork
+
+
+class Recorder:
+    """Message handler that records deliveries with their arrival times."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.received = []
+
+    def handle_message(self, sender, message):
+        self.received.append((self.engine.now, sender, message))
+
+
+@pytest.fixture()
+def wired(line_graph):
+    engine = Engine()
+    network = SimulatedNetwork(engine, line_graph, processing_delay_ms=0.0, seed=1)
+    nodes = {}
+    for host, router in (("alice", 0), ("bob", 5), ("carol", 0)):
+        handler = Recorder(engine)
+        network.attach_host(host, router, handler)
+        nodes[host] = handler
+    return engine, network, nodes
+
+
+class TestAttachment:
+    def test_attach_and_router_lookup(self, wired):
+        _, network, _ = wired
+        assert network.is_attached("alice")
+        assert network.router_of("bob") == 5
+
+    def test_attach_to_unknown_router_rejected(self, wired, line_graph):
+        _, network, _ = wired
+        with pytest.raises(SimulationError):
+            network.attach_host("dave", 99, Recorder(None))
+
+    def test_detach(self, wired):
+        _, network, _ = wired
+        network.detach_host("carol")
+        assert not network.is_attached("carol")
+        with pytest.raises(SimulationError):
+            network.router_of("carol")
+
+
+class TestDelivery:
+    def test_message_arrives_after_path_latency(self, wired):
+        engine, network, nodes = wired
+        network.send("alice", "bob", "hello")
+        engine.run()
+        assert len(nodes["bob"].received) == 1
+        arrival, sender, message = nodes["bob"].received[0]
+        assert sender == "alice"
+        assert message == "hello"
+        assert arrival == pytest.approx(5.0)  # 5 unit-latency hops
+
+    def test_same_router_hosts_have_small_delay(self, wired):
+        engine, network, nodes = wired
+        network.send("alice", "carol", "hi")
+        engine.run()
+        arrival, _, _ = nodes["carol"].received[0]
+        assert arrival < 1.0
+
+    def test_processing_delay_added(self, line_graph):
+        engine = Engine()
+        network = SimulatedNetwork(engine, line_graph, processing_delay_ms=2.0, seed=1)
+        receiver = Recorder(engine)
+        network.attach_host("a", 0, Recorder(engine))
+        network.attach_host("b", 1, receiver)
+        network.send("a", "b", "x")
+        engine.run()
+        assert receiver.received[0][0] == pytest.approx(3.0)
+
+    def test_unknown_sender_or_recipient_rejected(self, wired):
+        _, network, _ = wired
+        with pytest.raises(SimulationError):
+            network.send("ghost", "bob", "x")
+        with pytest.raises(SimulationError):
+            network.send("alice", "ghost", "x")
+
+    def test_broadcast(self, wired):
+        engine, network, nodes = wired
+        network.broadcast("alice", ["bob", "carol"], "ping")
+        engine.run()
+        assert len(nodes["bob"].received) == 1
+        assert len(nodes["carol"].received) == 1
+
+    def test_delivery_records_kept(self, wired):
+        engine, network, _ = wired
+        record = network.send("alice", "bob", "x")
+        assert record.delivered_at is None
+        engine.run()
+        assert record.delivered_at == pytest.approx(5.0)
+        assert network.sent_messages == 1
+
+    def test_message_to_detached_host_is_dropped(self, wired):
+        engine, network, nodes = wired
+        network.send("alice", "bob", "x")
+        network.detach_host("bob")
+        engine.run()
+        assert nodes["bob"].received == []
+        assert network.dropped_messages == 1
+
+
+class TestLoss:
+    def test_total_loss_drops_everything(self, line_graph):
+        engine = Engine()
+        network = SimulatedNetwork(engine, line_graph, loss_probability=1.0, seed=2)
+        receiver = Recorder(engine)
+        network.attach_host("a", 0, Recorder(engine))
+        network.attach_host("b", 1, receiver)
+        record = network.send("a", "b", "x")
+        engine.run()
+        assert record.dropped
+        assert receiver.received == []
+        assert network.dropped_messages == 1
+
+    def test_partial_loss_is_deterministic_per_seed(self, line_graph):
+        def run_once():
+            engine = Engine()
+            network = SimulatedNetwork(engine, line_graph, loss_probability=0.5, seed=7)
+            receiver = Recorder(engine)
+            network.attach_host("a", 0, Recorder(engine))
+            network.attach_host("b", 1, receiver)
+            outcomes = []
+            for i in range(10):
+                record = network.send("a", "b", i)
+                outcomes.append(record.dropped)
+            engine.run()
+            return outcomes
+
+        assert run_once() == run_once()
+
+    def test_jitter_never_reorders_before_minimum_latency(self, line_graph):
+        engine = Engine()
+        network = SimulatedNetwork(engine, line_graph, jitter_ms=3.0, processing_delay_ms=0.0, seed=3)
+        receiver = Recorder(engine)
+        network.attach_host("a", 0, Recorder(engine))
+        network.attach_host("b", 5, receiver)
+        network.send("a", "b", "x")
+        engine.run()
+        assert receiver.received[0][0] >= 5.0

@@ -1,0 +1,70 @@
+"""Tests for the trace/statistics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MetricError
+from repro.sim.trace import TraceCollector, summarize_values
+
+
+class TestSummaries:
+    def test_basic_statistics(self):
+        summary = summarize_values([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.p50 == 3.0
+        assert summary.p90 == 5.0
+        assert summary.std == pytest.approx(1.4142, rel=1e-3)
+
+    def test_single_value(self):
+        summary = summarize_values([7.0])
+        assert summary.mean == 7.0
+        assert summary.p99 == 7.0
+        assert summary.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            summarize_values([])
+
+
+class TestCollector:
+    def test_counters(self):
+        trace = TraceCollector()
+        trace.increment("messages")
+        trace.increment("messages", 2.0)
+        assert trace.counter("messages") == 3.0
+        assert trace.counter("unknown") == 0.0
+
+    def test_series(self):
+        trace = TraceCollector()
+        for value in (1.0, 2.0, 3.0):
+            trace.record("delay", value)
+        assert trace.values("delay") == [1.0, 2.0, 3.0]
+        assert trace.has_series("delay")
+        assert not trace.has_series("other")
+        assert trace.summary("delay").mean == 2.0
+
+    def test_summary_of_missing_series_raises(self):
+        with pytest.raises(MetricError):
+            TraceCollector().summary("nothing")
+
+    def test_events(self):
+        trace = TraceCollector()
+        trace.log_event(1.0, "peer p1 joined")
+        trace.log_event(2.0, "peer p2 joined")
+        trace.log_event(3.0, "peer p1 left")
+        assert len(trace.events_matching("p1")) == 2
+        assert trace.events_matching("crash") == []
+
+    def test_as_dict_round_trip_shape(self):
+        trace = TraceCollector()
+        trace.increment("joins")
+        trace.record("delay", 4.0)
+        trace.log_event(0.0, "start")
+        exported = trace.as_dict()
+        assert exported["counters"] == {"joins": 1.0}
+        assert exported["series"] == {"delay": [4.0]}
+        assert exported["events"] == [(0.0, "start")]

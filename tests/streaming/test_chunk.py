@@ -1,0 +1,90 @@
+"""Tests for chunks and the sliding chunk buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StreamingError
+from repro.streaming.chunk import Chunk, ChunkBuffer
+
+
+class TestChunk:
+    def test_valid_chunk(self):
+        chunk = Chunk(index=3, created_at=1.5, size_kb=50.0)
+        assert chunk.index == 3
+
+    def test_invalid_chunk(self):
+        with pytest.raises(StreamingError):
+            Chunk(index=-1, created_at=0.0)
+        with pytest.raises(StreamingError):
+            Chunk(index=0, created_at=0.0, size_kb=0.0)
+
+
+class TestChunkBuffer:
+    def test_add_and_query(self):
+        buffer = ChunkBuffer(window_size=10)
+        assert buffer.add(Chunk(index=0, created_at=0.0), received_at=0.5)
+        assert buffer.has(0)
+        assert 0 in buffer
+        assert buffer.get(0).index == 0
+        assert buffer.received_at(0) == 0.5
+        assert buffer.size == 1
+
+    def test_duplicate_add_rejected(self):
+        buffer = ChunkBuffer()
+        chunk = Chunk(index=1, created_at=0.0)
+        assert buffer.add(chunk, 1.0)
+        assert not buffer.add(chunk, 2.0)
+        assert buffer.received_at(1) == 1.0
+
+    def test_old_chunks_evicted(self):
+        buffer = ChunkBuffer(window_size=3)
+        for index in range(6):
+            buffer.add(Chunk(index=index, created_at=float(index)), received_at=float(index))
+        assert buffer.highest_index == 5
+        assert not buffer.has(0)
+        assert not buffer.has(2)
+        assert buffer.has(3)
+        assert buffer.has(5)
+
+    def test_too_old_chunk_not_accepted(self):
+        buffer = ChunkBuffer(window_size=3)
+        buffer.add(Chunk(index=10, created_at=0.0), 0.0)
+        assert not buffer.add(Chunk(index=5, created_at=0.0), 1.0)
+
+    def test_get_missing_chunk_raises(self):
+        buffer = ChunkBuffer()
+        with pytest.raises(StreamingError):
+            buffer.get(7)
+        with pytest.raises(StreamingError):
+            buffer.received_at(7)
+
+    def test_bitmap_and_missing(self):
+        buffer = ChunkBuffer(window_size=10)
+        for index in (0, 2, 3):
+            buffer.add(Chunk(index=index, created_at=0.0), 0.0)
+        assert buffer.bitmap(0, 5) == [True, False, True, True, False]
+        assert buffer.missing_in_window(0, 5) == [1, 4]
+
+    def test_bitmap_invalid_length(self):
+        with pytest.raises(StreamingError):
+            ChunkBuffer().bitmap(0, 0)
+
+    def test_contiguous_from(self):
+        buffer = ChunkBuffer(window_size=10)
+        for index in (2, 3, 4, 6):
+            buffer.add(Chunk(index=index, created_at=0.0), 0.0)
+        assert buffer.contiguous_from(2) == 3
+        assert buffer.contiguous_from(5) == 0
+
+    def test_iteration_sorted(self):
+        buffer = ChunkBuffer(window_size=10)
+        for index in (4, 1, 3):
+            buffer.add(Chunk(index=index, created_at=0.0), 0.0)
+        assert list(buffer) == [1, 3, 4]
+        assert buffer.indices() == [1, 3, 4]
+        assert len(buffer) == 3
+
+    def test_invalid_window(self):
+        with pytest.raises(StreamingError):
+            ChunkBuffer(window_size=0)

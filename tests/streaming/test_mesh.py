@@ -1,0 +1,124 @@
+"""Tests for the round-based mesh streaming simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StreamingError
+from repro.overlay.overlay import Overlay
+from repro.streaming.mesh import MeshConfig, MeshStreamingSession
+from repro.streaming.scheduler import RarestFirstScheduler
+
+
+def build_chain_overlay(size: int = 6) -> Overlay:
+    """Peers p0-p1-...-p(n-1) linked in a chain (symmetric links)."""
+    overlay = Overlay()
+    for index in range(size):
+        overlay.create_peer(f"p{index}", access_router=index)
+    for index in range(size - 1):
+        overlay.set_neighbors(f"p{index}", [f"p{index + 1}"])
+    return overlay
+
+
+def index_distance(peer_a, peer_b) -> float:
+    return abs(int(peer_a[1:]) - int(peer_b[1:]))
+
+
+class TestConfiguration:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(Exception):
+            MeshConfig(rounds=0)
+        with pytest.raises(Exception):
+            MeshConfig(latency_per_hop_s=0.0)
+
+    def test_source_must_be_in_overlay(self):
+        overlay = build_chain_overlay()
+        with pytest.raises(StreamingError):
+            MeshStreamingSession(overlay, "ghost", index_distance)
+
+
+class TestStreaming:
+    def test_chunks_propagate_down_the_chain(self):
+        overlay = build_chain_overlay(5)
+        session = MeshStreamingSession(
+            overlay,
+            "p0",
+            index_distance,
+            config=MeshConfig(rounds=40, requests_per_round=4, uploads_per_round=8),
+        )
+        result = session.run()
+        assert result.chunks_injected == 40
+        # The far end of the chain still receives a healthy share of chunks.
+        assert len(result.reception_times["p4"]) > 10
+        assert result.total_transfers > 0
+
+    def test_all_peers_start_playback(self):
+        overlay = build_chain_overlay(4)
+        session = MeshStreamingSession(
+            overlay, "p0", index_distance, config=MeshConfig(rounds=40, uploads_per_round=8)
+        )
+        result = session.run()
+        for report in result.playback_reports.values():
+            assert report.startup_delay_s is not None
+        assert result.mean_startup_delay() > 0
+        assert 0.0 < result.mean_continuity() <= 1.0
+
+    def test_source_receives_everything_immediately(self):
+        overlay = build_chain_overlay(3)
+        session = MeshStreamingSession(overlay, "p0", index_distance, config=MeshConfig(rounds=20))
+        result = session.run()
+        assert len(result.reception_times["p0"]) == 20
+        assert result.playback_reports["p0"].continuity == 1.0
+
+    def test_closer_neighbours_give_lower_delivery_delay(self):
+        """A star around the source beats a long chain on delivery delay."""
+        chain = build_chain_overlay(6)
+        star = Overlay()
+        for index in range(6):
+            star.create_peer(f"p{index}", access_router=index)
+        for index in range(1, 6):
+            star.set_neighbors(f"p{index}", ["p0"])
+
+        config = MeshConfig(rounds=40, uploads_per_round=10, requests_per_round=4)
+        chain_result = MeshStreamingSession(chain, "p0", index_distance, config=config).run()
+        star_result = MeshStreamingSession(star, "p0", index_distance, config=config).run()
+        assert star_result.mean_delivery_delay_s < chain_result.mean_delivery_delay_s
+
+    def test_alternative_scheduler_accepted(self):
+        overlay = build_chain_overlay(4)
+        session = MeshStreamingSession(
+            overlay,
+            "p0",
+            index_distance,
+            config=MeshConfig(rounds=20),
+            scheduler=RarestFirstScheduler(seed=1),
+        )
+        result = session.run()
+        assert result.chunks_injected == 20
+
+    def test_isolated_peer_never_starts(self):
+        overlay = build_chain_overlay(3)
+        overlay.create_peer("loner", access_router=99)
+        session = MeshStreamingSession(
+            overlay, "p0", lambda a, b: 1.0, config=MeshConfig(rounds=20)
+        )
+        result = session.run()
+        assert result.playback_reports["loner"].startup_delay_s is None
+        assert result.playback_reports["loner"].continuity == 0.0
+
+    def test_no_peer_exceeds_continuity_one(self):
+        overlay = build_chain_overlay(5)
+        result = MeshStreamingSession(
+            overlay, "p0", index_distance, config=MeshConfig(rounds=30)
+        ).run()
+        assert all(0.0 <= report.continuity <= 1.0 for report in result.playback_reports.values())
+
+    def test_mean_startup_raises_when_nobody_started(self):
+        overlay = Overlay()
+        overlay.create_peer("p0", access_router=0)
+        overlay.create_peer("p1", access_router=1)  # not connected to the source
+        result = MeshStreamingSession(
+            overlay, "p0", lambda a, b: 1.0, config=MeshConfig(rounds=5, startup_buffer_chunks=10)
+        ).run()
+        with pytest.raises(StreamingError):
+            result.mean_startup_delay()

@@ -1,0 +1,94 @@
+"""Tests for the playback / setup-delay model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StreamingError
+from repro.streaming.playback import (
+    PlaybackModel,
+    mean_continuity,
+    playback_delay_spread,
+)
+
+
+class TestStartupDelay:
+    def test_requires_consecutive_chunks(self):
+        model = PlaybackModel(chunk_duration_s=1.0, startup_buffer_chunks=3)
+        reception = {0: 1.0, 1: 2.0, 2: 3.0}
+        assert model.startup_delay(0.0, reception) == pytest.approx(3.0)
+
+    def test_gap_delays_startup(self):
+        model = PlaybackModel(startup_buffer_chunks=3)
+        reception = {0: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+        # The first run of 3 consecutive chunks is 2,3,4, complete at t=4.
+        assert model.startup_delay(0.0, reception) == pytest.approx(4.0)
+
+    def test_never_starts_without_enough_chunks(self):
+        model = PlaybackModel(startup_buffer_chunks=3)
+        assert model.startup_delay(0.0, {0: 1.0, 2: 2.0}) is None
+        assert model.startup_delay(0.0, {}) is None
+
+    def test_relative_to_join_time(self):
+        model = PlaybackModel(startup_buffer_chunks=1)
+        assert model.startup_delay(10.0, {5: 12.0}) == pytest.approx(2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(StreamingError):
+            PlaybackModel(chunk_duration_s=0.0)
+        with pytest.raises(StreamingError):
+            PlaybackModel(startup_buffer_chunks=0)
+
+
+class TestEvaluate:
+    def test_full_reception_counts_all_played(self):
+        model = PlaybackModel(chunk_duration_s=1.0, startup_buffer_chunks=2)
+        reception = {index: index * 1.0 + 0.5 for index in range(10)}
+        report = model.evaluate("p", 0.0, reception, 0, 9)
+        assert report.chunks_played == 10
+        assert report.chunks_missed == 0
+        assert report.continuity == 1.0
+        assert report.stalls == 0
+        assert report.playback_delay_s == pytest.approx(0.5)
+
+    def test_missing_chunks_counted_as_stalls(self):
+        model = PlaybackModel()
+        reception = {0: 0.1, 1: 1.1, 4: 4.1, 5: 5.1}
+        report = model.evaluate("p", 0.0, reception, 0, 5)
+        assert report.chunks_played == 4
+        assert report.chunks_missed == 2
+        assert report.stalls == 1  # consecutive misses count once
+        assert report.continuity == pytest.approx(4 / 6)
+
+    def test_playback_delay_covers_worst_late_chunk(self):
+        model = PlaybackModel(chunk_duration_s=1.0)
+        reception = {0: 0.0, 1: 5.0, 2: 2.0}
+        report = model.evaluate("p", 0.0, reception, 0, 2)
+        assert report.playback_delay_s == pytest.approx(4.0)
+
+    def test_invalid_range(self):
+        model = PlaybackModel()
+        with pytest.raises(StreamingError):
+            model.evaluate("p", 0.0, {}, 5, 3)
+
+
+class TestAggregates:
+    def _reports(self):
+        model = PlaybackModel(startup_buffer_chunks=1)
+        fast = model.evaluate("fast", 0.0, {0: 0.2, 1: 1.2, 2: 2.2}, 0, 2)
+        slow = model.evaluate("slow", 0.0, {0: 1.5, 1: 2.5, 2: 3.5}, 0, 2)
+        return [fast, slow]
+
+    def test_playback_delay_spread(self):
+        reports = self._reports()
+        assert playback_delay_spread(reports) == pytest.approx(1.3)
+
+    def test_spread_with_single_report_is_zero(self):
+        assert playback_delay_spread(self._reports()[:1]) == 0.0
+
+    def test_mean_continuity(self):
+        assert mean_continuity(self._reports()) == pytest.approx(1.0)
+
+    def test_mean_continuity_empty_raises(self):
+        with pytest.raises(StreamingError):
+            mean_continuity([])

@@ -1,0 +1,76 @@
+"""Tests for chunk-scheduling policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StreamingError
+from repro.streaming.scheduler import (
+    EarliestDeadlineScheduler,
+    RarestFirstScheduler,
+    SequentialScheduler,
+    make_scheduler,
+)
+
+
+NEIGHBOR_BITMAPS = {
+    "n1": {1: True, 2: True, 3: False, 4: True},
+    "n2": {1: False, 2: True, 3: False, 4: True},
+    "n3": {1: False, 2: False, 3: False, 4: True},
+}
+MISSING = [1, 2, 3, 4]
+
+
+class TestSequential:
+    def test_requests_in_index_order(self):
+        scheduler = SequentialScheduler(seed=1)
+        requests = scheduler.schedule(MISSING, NEIGHBOR_BITMAPS, budget=10)
+        indices = [index for index, _ in requests]
+        assert indices == [1, 2, 4]  # 3 has no holder
+
+    def test_budget_respected(self):
+        scheduler = SequentialScheduler(seed=1)
+        assert len(scheduler.schedule(MISSING, NEIGHBOR_BITMAPS, budget=2)) == 2
+
+    def test_holders_actually_hold_requested_chunks(self):
+        scheduler = SequentialScheduler(seed=2)
+        for index, holder in scheduler.schedule(MISSING, NEIGHBOR_BITMAPS, budget=10):
+            assert NEIGHBOR_BITMAPS[holder][index]
+
+
+class TestRarestFirst:
+    def test_rarest_chunk_requested_first(self):
+        scheduler = RarestFirstScheduler(seed=1)
+        requests = scheduler.schedule(MISSING, NEIGHBOR_BITMAPS, budget=10)
+        # Chunk 1 has a single holder, chunk 2 has two, chunk 4 has three.
+        assert [index for index, _ in requests] == [1, 2, 4]
+        assert requests[0][1] == "n1"
+
+    def test_unavailable_chunks_skipped(self):
+        scheduler = RarestFirstScheduler(seed=1)
+        requests = scheduler.schedule([3], NEIGHBOR_BITMAPS, budget=5)
+        assert requests == []
+
+
+class TestEarliestDeadline:
+    def test_orders_by_deadline(self):
+        scheduler = EarliestDeadlineScheduler(seed=1)
+        deadlines = {1: 30.0, 2: 10.0, 4: 20.0}
+        requests = scheduler.schedule(MISSING, NEIGHBOR_BITMAPS, budget=10, deadlines=deadlines)
+        assert [index for index, _ in requests] == [2, 4, 1]
+
+    def test_without_deadlines_falls_back_to_index_order(self):
+        scheduler = EarliestDeadlineScheduler(seed=1)
+        requests = scheduler.schedule(MISSING, NEIGHBOR_BITMAPS, budget=10)
+        assert [index for index, _ in requests] == [1, 2, 4]
+
+
+class TestFactory:
+    def test_make_scheduler(self):
+        assert isinstance(make_scheduler("sequential"), SequentialScheduler)
+        assert isinstance(make_scheduler("rarest_first"), RarestFirstScheduler)
+        assert isinstance(make_scheduler("earliest_deadline"), EarliestDeadlineScheduler)
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(StreamingError):
+            make_scheduler("clairvoyant")

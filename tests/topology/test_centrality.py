@@ -1,0 +1,109 @@
+"""Tests for betweenness centrality, k-core decomposition and core extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.topology.centrality import (
+    approximate_betweenness,
+    betweenness_centrality,
+    centrality_concentration,
+    core_nodes,
+    degree_centrality,
+    k_core_decomposition,
+)
+from repro.topology.graph import Graph
+
+
+class TestBetweenness:
+    def test_star_centre_has_all_betweenness(self, star_graph):
+        centrality = betweenness_centrality(star_graph, normalized=True)
+        assert centrality[0] == pytest.approx(1.0)
+        assert all(centrality[leaf] == pytest.approx(0.0) for leaf in range(1, 7))
+
+    def test_line_graph_middle_highest(self, line_graph):
+        centrality = betweenness_centrality(line_graph, normalized=False)
+        assert centrality[2] == centrality[3]
+        assert centrality[2] > centrality[1] > centrality[0]
+
+    def test_line_graph_exact_values(self, line_graph):
+        # For a path of 6 nodes, node 1 lies on the shortest paths between
+        # {0} and {2,3,4,5}: 4 pairs.
+        centrality = betweenness_centrality(line_graph, normalized=False)
+        assert centrality[1] == pytest.approx(4.0)
+        assert centrality[2] == pytest.approx(6.0)
+
+    def test_unknown_source_raises(self, line_graph):
+        with pytest.raises(NodeNotFoundError):
+            betweenness_centrality(line_graph, sources=["ghost"])
+
+    def test_approximate_matches_exact_ranking_on_small_graph(self, tree_graph):
+        exact = betweenness_centrality(tree_graph)
+        approx = approximate_betweenness(tree_graph, pivots=100, seed=1)
+        top_exact = max(exact, key=exact.get)
+        top_approx = max(approx, key=approx.get)
+        assert top_exact == top_approx
+
+    def test_approximate_with_few_pivots_runs(self, star_graph):
+        approx = approximate_betweenness(star_graph, pivots=3, seed=2)
+        assert max(approx, key=approx.get) == 0
+
+
+class TestDegreeCentrality:
+    def test_star(self, star_graph):
+        centrality = degree_centrality(star_graph)
+        assert centrality[0] == pytest.approx(1.0)
+        assert centrality[1] == pytest.approx(1 / 6)
+
+    def test_single_node_graph(self):
+        graph = Graph()
+        graph.add_node("only")
+        assert degree_centrality(graph)["only"] == 0.0
+
+
+class TestKCore:
+    def test_tree_coreness_is_one(self, tree_graph):
+        coreness = k_core_decomposition(tree_graph)
+        assert set(coreness.values()) == {1}
+
+    def test_triangle_with_tail(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_edge(3, 1)
+        graph.add_edge(3, 4)
+        coreness = k_core_decomposition(graph)
+        assert coreness[1] == coreness[2] == coreness[3] == 2
+        assert coreness[4] == 1
+
+    def test_core_nodes_prefers_dense_subgraph(self):
+        graph = Graph()
+        # A 4-clique plus pendant nodes.
+        clique = [10, 11, 12, 13]
+        for i, u in enumerate(clique):
+            for v in clique[i + 1 :]:
+                graph.add_edge(u, v)
+        for leaf in range(4):
+            graph.add_edge(leaf, 10)
+        top = core_nodes(graph, fraction=0.5)
+        assert set(clique).issubset(set(top))
+
+    def test_core_nodes_invalid_fraction(self, star_graph):
+        with pytest.raises(ValueError):
+            core_nodes(star_graph, fraction=0.0)
+
+
+class TestConcentration:
+    def test_star_concentration_is_total(self, star_graph):
+        concentration = centrality_concentration(star_graph, top_fraction=0.2, pivots=10, seed=1)
+        assert concentration == pytest.approx(1.0)
+
+    def test_cycle_concentration_is_spread(self):
+        graph = Graph()
+        nodes = list(range(12))
+        for u, v in zip(nodes, nodes[1:] + nodes[:1]):
+            graph.add_edge(u, v)
+        concentration = centrality_concentration(graph, top_fraction=0.25, pivots=12, seed=1)
+        # In a symmetric cycle the top 25% carry roughly 25% of the load.
+        assert concentration < 0.5

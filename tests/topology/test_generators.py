@@ -1,0 +1,203 @@
+"""Tests for the synthetic topology generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GeneratorError
+from repro.topology import metrics
+from repro.topology.generators import (
+    GENERATORS,
+    barabasi_albert,
+    generate,
+    glp,
+    powerlaw_configuration_model,
+    powerlaw_degree_sequence,
+    random_regular,
+    two_tier_hierarchical,
+    waxman,
+)
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self):
+        graph = barabasi_albert(100, m=2, seed=1)
+        assert graph.node_count == 100
+        # The seed star has m edges; every later node adds up to m edges.
+        assert graph.edge_count <= 2 + 2 * 98
+        assert graph.edge_count >= 100
+
+    def test_connected(self):
+        graph = barabasi_albert(150, m=2, seed=3)
+        assert graph.is_connected()
+
+    def test_heavy_tail_present(self):
+        graph = barabasi_albert(400, m=2, seed=5)
+        assert metrics.max_degree(graph) >= 15
+
+    def test_deterministic_given_seed(self):
+        first = barabasi_albert(80, m=2, seed=11)
+        second = barabasi_albert(80, m=2, seed=11)
+        assert sorted(first.to_edge_list()) == sorted(second.to_edge_list())
+
+    def test_different_seeds_differ(self):
+        first = barabasi_albert(80, m=2, seed=11)
+        second = barabasi_albert(80, m=2, seed=12)
+        assert sorted(first.to_edge_list()) != sorted(second.to_edge_list())
+
+    def test_requires_n_greater_than_m(self):
+        with pytest.raises(GeneratorError):
+            barabasi_albert(3, m=3)
+
+    def test_accepts_external_rng(self):
+        rng = random.Random(7)
+        graph = barabasi_albert(50, m=1, rng=rng)
+        assert graph.node_count == 50
+
+
+class TestGlp:
+    def test_basic_properties(self):
+        graph = glp(120, m=2, seed=2)
+        assert graph.node_count == 120
+        assert graph.is_connected()
+
+    def test_heavy_tail(self):
+        graph = glp(300, m=2, seed=4)
+        assert metrics.max_degree(graph) >= 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GeneratorError):
+            glp(3, m=2)
+        with pytest.raises(Exception):
+            glp(100, m=2, p=1.5)
+
+
+class TestWaxman:
+    def test_positions_recorded(self):
+        graph = waxman(60, seed=3)
+        for node in graph.nodes():
+            pos = graph.get_node_attribute(node, "pos")
+            assert pos is not None and len(pos) == 2
+
+    def test_connected_when_requested(self):
+        graph = waxman(80, alpha=0.1, beta=0.05, seed=9, ensure_connected=True)
+        assert graph.is_connected()
+
+    def test_distance_attribute_on_edges(self):
+        graph = waxman(40, seed=5)
+        for u, v in list(graph.edges())[:10]:
+            assert graph.get_edge_attribute(u, v, "distance") is None or graph.get_edge_attribute(
+                u, v, "distance"
+            ) >= 0
+
+
+class TestPowerlawConfigurationModel:
+    def test_degree_sequence_sum_is_even(self):
+        sequence = powerlaw_degree_sequence(201, exponent=2.3, seed=1)
+        assert sum(sequence) % 2 == 0
+        assert len(sequence) == 201
+        assert min(sequence) >= 1
+
+    def test_degree_sequence_respects_bounds(self):
+        sequence = powerlaw_degree_sequence(100, min_degree=2, max_degree=10, seed=2)
+        assert min(sequence) >= 2
+        assert max(sequence) <= 11  # +1 possible from the parity fix
+
+    def test_max_degree_below_min_degree_rejected(self):
+        with pytest.raises(GeneratorError):
+            powerlaw_degree_sequence(50, min_degree=5, max_degree=2)
+
+    def test_graph_is_simple_and_connected(self):
+        graph = powerlaw_configuration_model(200, seed=3)
+        assert graph.is_connected()
+        for u, v in graph.edges():
+            assert u != v
+
+    def test_heavy_tail(self):
+        graph = powerlaw_configuration_model(400, exponent=2.1, seed=7)
+        assert metrics.max_degree(graph) > 3 * metrics.average_degree(graph)
+
+
+class TestRandomRegular:
+    def test_degrees_are_regular(self):
+        graph = random_regular(60, degree=4, seed=1)
+        degrees = set(graph.degrees().values())
+        # The generator retries until it gets an exactly regular simple graph,
+        # but the documented fallback may be slightly irregular; accept both
+        # while requiring near-regularity.
+        assert max(degrees) <= 4
+        assert min(degrees) >= 3
+
+    def test_odd_total_degree_rejected(self):
+        with pytest.raises(GeneratorError):
+            random_regular(5, degree=3)
+
+    def test_degree_at_least_n_rejected(self):
+        with pytest.raises(GeneratorError):
+            random_regular(4, degree=4)
+
+
+class TestTwoTier:
+    def test_tier_attributes(self):
+        graph = two_tier_hierarchical(core_size=10, edge_size=40, seed=1)
+        core = [n for n in graph.nodes() if graph.get_node_attribute(n, "tier") == "core"]
+        edge = [n for n in graph.nodes() if graph.get_node_attribute(n, "tier") == "edge"]
+        assert len(core) == 10
+        assert len(edge) == 40
+
+    def test_edge_nodes_sparser_than_core(self):
+        graph = two_tier_hierarchical(core_size=10, edge_size=60, edge_attachment=1, seed=2)
+        edge_nodes = [n for n in graph.nodes() if graph.get_node_attribute(n, "tier") == "edge"]
+        core_nodes = [n for n in graph.nodes() if graph.get_node_attribute(n, "tier") == "core"]
+        edge_mean = sum(graph.degree(n) for n in edge_nodes) / len(edge_nodes)
+        core_mean = sum(graph.degree(n) for n in core_nodes) / len(core_nodes)
+        assert edge_mean < core_mean
+        # Most access nodes keep exactly their single uplink.
+        assert sum(1 for n in edge_nodes if graph.degree(n) == 1) >= len(edge_nodes) * 0.5
+
+    def test_invalid_core_size(self):
+        with pytest.raises(GeneratorError):
+            two_tier_hierarchical(core_size=2, edge_size=10, core_attachment=3)
+
+
+class TestRegistry:
+    def test_all_generators_registered(self):
+        assert set(GENERATORS) == {
+            "barabasi_albert",
+            "glp",
+            "waxman",
+            "powerlaw_configuration_model",
+            "random_regular",
+            "two_tier_hierarchical",
+        }
+
+    def test_generate_dispatch(self):
+        graph = generate("barabasi_albert", n=30, m=1, seed=1)
+        assert graph.node_count == 30
+
+    def test_generate_unknown_name(self):
+        with pytest.raises(GeneratorError):
+            generate("erdos_renyi", n=10)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(10, 80), m=st.integers(1, 3))
+def test_property_ba_graphs_are_connected(n, m):
+    """Preferential attachment always yields a connected graph."""
+    if n <= m:
+        return
+    graph = barabasi_albert(n, m=m, seed=n * 10 + m)
+    assert graph.is_connected()
+    assert graph.node_count == n
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(20, 120), exponent=st.floats(1.8, 3.0))
+def test_property_powerlaw_sequence_is_graphical_sum(n, exponent):
+    """Drawn degree sequences always have an even sum (configuration-model ready)."""
+    sequence = powerlaw_degree_sequence(n, exponent=exponent, seed=int(exponent * 100) + n)
+    assert sum(sequence) % 2 == 0

@@ -1,0 +1,151 @@
+"""Tests for the synthetic router-level map (the paper's substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GeneratorError
+from repro.topology.centrality import centrality_concentration
+from repro.topology.internet_mapper import (
+    RouterMapConfig,
+    TIER_CORE,
+    TIER_STUB,
+    TIER_TRANSIT,
+    generate_router_map,
+    paper_router_map,
+    small_router_map,
+)
+from repro.topology.latency import ConstantLatencyModel
+from repro.topology.metrics import degree_one_fraction, estimate_powerlaw_exponent
+
+
+class TestConfig:
+    def test_total_routers(self):
+        config = RouterMapConfig(core_size=10, transit_size=20, stub_size=30, seed=1)
+        assert config.total_routers == 60
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(Exception):
+            RouterMapConfig(core_size=0)
+        with pytest.raises(GeneratorError):
+            RouterMapConfig(core_size=3, core_attachment=4)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(Exception):
+            RouterMapConfig(stub_tree_probability=1.5)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def router_map(self):
+        return generate_router_map(
+            RouterMapConfig(
+                core_size=15,
+                core_attachment=3,
+                transit_size=60,
+                transit_attachment=2,
+                stub_size=250,
+                stub_attachment=1,
+                seed=5,
+            )
+        )
+
+    def test_router_count_matches_config(self, router_map):
+        assert router_map.router_count == router_map.config.total_routers
+
+    def test_graph_is_connected(self, router_map):
+        assert router_map.graph.is_connected()
+
+    def test_every_router_has_a_tier(self, router_map):
+        for node in router_map.graph.nodes():
+            assert router_map.graph.get_node_attribute(node, "tier") in (
+                TIER_CORE,
+                TIER_TRANSIT,
+                TIER_STUB,
+            )
+
+    def test_tier_lists_partition_routers(self, router_map):
+        total = sum(len(router_map.routers_in_tier(t)) for t in (TIER_CORE, TIER_TRANSIT, TIER_STUB))
+        assert total == router_map.router_count
+
+    def test_has_many_degree_one_routers(self, router_map):
+        """The paper attaches peers to degree-1 routers; there must be plenty."""
+        stubs = router_map.stub_routers()
+        assert len(stubs) > router_map.config.stub_size * 0.3
+        for router in stubs[:50]:
+            assert router_map.graph.degree(router) == 1
+
+    def test_medium_degree_routers_exclude_leaves(self, router_map):
+        mediums = router_map.medium_degree_routers()
+        assert mediums
+        for router in mediums:
+            assert router_map.graph.degree(router) >= 3
+
+    def test_core_routers_have_high_degree(self, router_map):
+        core = router_map.core_routers()
+        assert core
+        core_mean = sum(router_map.graph.degree(r) for r in core) / len(core)
+        stub_mean = sum(router_map.graph.degree(r) for r in router_map.routers_in_tier(TIER_STUB)) / len(
+            router_map.routers_in_tier(TIER_STUB)
+        )
+        assert core_mean > 3 * stub_mean
+
+    def test_latencies_assigned_to_every_edge(self, router_map):
+        for u, v in router_map.graph.edges():
+            assert router_map.graph.edge_weight(u, v) > 0
+
+    def test_degree_histogram_sums_to_router_count(self, router_map):
+        histogram = router_map.degree_histogram()
+        assert sum(histogram.values()) == router_map.router_count
+
+    def test_heavy_tail_exponent_in_realistic_range(self, router_map):
+        exponent = estimate_powerlaw_exponent(router_map.graph)
+        assert 1.5 < exponent < 3.5
+
+    def test_betweenness_concentrated_on_core(self, router_map):
+        """The paper's structural assumption: a few routers carry most shortest paths."""
+        concentration = centrality_concentration(
+            router_map.graph, top_fraction=0.05, pivots=24, seed=1
+        )
+        assert concentration > 0.5
+
+
+class TestVariants:
+    def test_deterministic_given_seed(self):
+        first = generate_router_map(RouterMapConfig(core_size=10, transit_size=30, stub_size=80, seed=3))
+        second = generate_router_map(RouterMapConfig(core_size=10, transit_size=30, stub_size=80, seed=3))
+        assert sorted(first.graph.to_edge_list()) == sorted(second.graph.to_edge_list())
+
+    def test_custom_latency_model(self):
+        router_map = generate_router_map(
+            RouterMapConfig(core_size=8, transit_size=20, stub_size=40, seed=2),
+            latency_model=ConstantLatencyModel(latency_ms=3.0),
+        )
+        for u, v in router_map.graph.edges():
+            assert router_map.graph.edge_weight(u, v) == 3.0
+
+    def test_config_and_overrides_are_exclusive(self):
+        with pytest.raises(GeneratorError):
+            generate_router_map(RouterMapConfig(seed=1), stub_size=100)
+
+    def test_overrides_build_a_config(self):
+        router_map = generate_router_map(core_size=8, transit_size=10, stub_size=20, seed=1)
+        assert router_map.config.stub_size == 20
+
+    def test_small_router_map_helper(self):
+        router_map = small_router_map(seed=1)
+        assert 500 < router_map.router_count < 700
+
+    def test_flat_access_layer_when_tree_probability_zero(self):
+        router_map = generate_router_map(
+            RouterMapConfig(
+                core_size=8,
+                transit_size=20,
+                stub_size=60,
+                stub_tree_probability=0.0,
+                seed=4,
+            )
+        )
+        # With no stub trees every stub attaches to transit/core, so the
+        # degree-1 fraction is very high.
+        assert degree_one_fraction(router_map.graph) > 0.5

@@ -1,0 +1,144 @@
+"""Tests for topology persistence (edge lists, JSON, RouterMap round trips)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Graph
+from repro.topology.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_router_map,
+    read_edge_list,
+    read_graph_json,
+    router_map_from_graph,
+    save_router_map,
+    write_edge_list,
+    write_graph_json,
+)
+
+from ..conftest import make_small_map
+
+
+class TestEdgeList:
+    def test_round_trip_with_latencies(self, tmp_path, line_graph):
+        path = write_edge_list(line_graph, tmp_path / "line.edges")
+        loaded = read_edge_list(path)
+        assert loaded.node_count == line_graph.node_count
+        assert loaded.edge_count == line_graph.edge_count
+        for u, v in line_graph.edges():
+            assert loaded.edge_weight(u, v) == pytest.approx(line_graph.edge_weight(u, v))
+
+    def test_round_trip_without_latencies(self, tmp_path, star_graph):
+        path = write_edge_list(star_graph, tmp_path / "star.edges", include_latency=False)
+        loaded = read_edge_list(path)
+        assert loaded.edge_count == star_graph.edge_count
+        assert loaded.edge_weight(0, 1) == 1.0  # default weight
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "map.edges"
+        path.write_text("# a comment\n\n1 2 3.5\n2 3\n")
+        graph = read_edge_list(path)
+        assert graph.edge_count == 2
+        assert graph.edge_weight(1, 2) == 3.5
+
+    def test_string_node_ids_preserved(self, tmp_path):
+        path = tmp_path / "map.edges"
+        path.write_text("r-a r-b 2.0\n")
+        graph = read_edge_list(path)
+        assert graph.has_edge("r-a", "r-b")
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("1 2 3 4\n")
+        with pytest.raises(TopologyError):
+            read_edge_list(path)
+
+    def test_bad_latency_rejected(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("1 2 fast\n")
+        with pytest.raises(TopologyError):
+            read_edge_list(path)
+
+    def test_self_loop_rejected(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("1 1\n")
+        with pytest.raises(TopologyError):
+            read_edge_list(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.edges"
+        path.write_text("# nothing here\n")
+        with pytest.raises(TopologyError):
+            read_edge_list(path)
+
+
+class TestJson:
+    def test_graph_dict_round_trip_preserves_attributes(self, tree_graph):
+        tree_graph.set_node_attribute(0, "tier", "core")
+        rebuilt = graph_from_dict(graph_to_dict(tree_graph))
+        assert rebuilt.node_count == tree_graph.node_count
+        assert rebuilt.edge_count == tree_graph.edge_count
+        assert rebuilt.get_node_attribute(0, "tier") == "core"
+
+    def test_graph_json_file_round_trip(self, tmp_path, line_graph):
+        path = write_graph_json(line_graph, tmp_path / "line.json")
+        loaded = read_graph_json(path)
+        assert sorted(loaded.to_edge_list()) == sorted(line_graph.to_edge_list())
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(TopologyError):
+            graph_from_dict({"nodes": "oops"})
+
+
+class TestRouterMapPersistence:
+    def test_save_and_load_round_trip(self, tmp_path):
+        router_map = make_small_map(seed=61)
+        path = save_router_map(router_map, tmp_path / "map.json")
+        loaded = load_router_map(path)
+        assert loaded.router_count == router_map.router_count
+        assert loaded.graph.edge_count == router_map.graph.edge_count
+        assert sorted(loaded.tiers) == sorted(router_map.tiers)
+        assert len(loaded.stub_routers()) == len(router_map.stub_routers())
+        assert loaded.config.stub_size == router_map.config.stub_size
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{\"graph\": {}}")
+        with pytest.raises(TopologyError):
+            load_router_map(path)
+
+    def test_router_map_from_untiered_graph_classifies_by_degree(self):
+        graph = Graph(name="external")
+        # A hub with many leaves plus a small chain: the hub must be core,
+        # the leaves stubs.
+        for leaf in range(1, 12):
+            graph.add_edge(0, leaf)
+        graph.add_edge(1, 20)
+        graph.add_edge(20, 21)
+        router_map = router_map_from_graph(graph)
+        assert 0 in router_map.routers_in_tier("core")
+        assert 5 in router_map.routers_in_tier("stub")
+        assert router_map.stub_routers()
+        # Every router received a tier attribute.
+        for node in graph.nodes():
+            assert graph.get_node_attribute(node, "tier") in ("core", "transit", "stub")
+
+    def test_loaded_map_usable_in_a_scenario(self, tmp_path):
+        """An externally loaded map drives the normal experiment pipeline."""
+        from repro.workloads.scenarios import ScenarioConfig, build_scenario
+
+        router_map = make_small_map(seed=62)
+        path = save_router_map(router_map, tmp_path / "map.json")
+        loaded = load_router_map(path)
+        # Rebuild a scenario manually around the loaded map's graph.
+        config = ScenarioConfig(
+            peer_count=15,
+            landmark_count=2,
+            neighbor_set_size=2,
+            router_map_config=router_map.config,
+            seed=3,
+        )
+        scenario = build_scenario(config)
+        assert scenario.router_map.router_count == loaded.router_count

@@ -1,0 +1,109 @@
+"""Tests for the link-latency models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.graph import Graph
+from repro.topology.latency import (
+    ConstantLatencyModel,
+    EuclideanLatencyModel,
+    LogNormalLatencyModel,
+    TieredLatencyModel,
+    UniformLatencyModel,
+)
+
+
+@pytest.fixture()
+def tiered_graph() -> Graph:
+    graph = Graph()
+    graph.add_node("c1", tier="core")
+    graph.add_node("c2", tier="core")
+    graph.add_node("t1", tier="transit")
+    graph.add_node("s1", tier="stub")
+    graph.add_edge("c1", "c2")
+    graph.add_edge("c1", "t1")
+    graph.add_edge("t1", "s1")
+    return graph
+
+
+class TestConstant:
+    def test_assigns_same_value_everywhere(self, line_graph):
+        ConstantLatencyModel(latency_ms=4.0).assign(line_graph)
+        assert all(line_graph.edge_weight(u, v) == 4.0 for u, v in line_graph.edges())
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(Exception):
+            ConstantLatencyModel(latency_ms=0.0)
+
+
+class TestUniform:
+    def test_values_within_bounds(self, line_graph):
+        UniformLatencyModel(low_ms=2.0, high_ms=3.0, seed=1).assign(line_graph)
+        for u, v in line_graph.edges():
+            assert 2.0 <= line_graph.edge_weight(u, v) <= 3.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatencyModel(low_ms=5.0, high_ms=1.0)
+
+    def test_deterministic_with_seed(self, line_graph):
+        graph_a = line_graph.copy()
+        graph_b = line_graph.copy()
+        UniformLatencyModel(seed=9).assign(graph_a)
+        UniformLatencyModel(seed=9).assign(graph_b)
+        for u, v in graph_a.edges():
+            assert graph_a.edge_weight(u, v) == graph_b.edge_weight(u, v)
+
+
+class TestLogNormal:
+    def test_respects_minimum(self, line_graph):
+        LogNormalLatencyModel(median_ms=1.0, sigma=2.0, minimum_ms=0.5, seed=3).assign(line_graph)
+        for u, v in line_graph.edges():
+            assert line_graph.edge_weight(u, v) >= 0.5
+
+    def test_median_roughly_matches(self):
+        graph = Graph()
+        for i in range(400):
+            graph.add_edge(f"a{i}", f"b{i}")
+        LogNormalLatencyModel(median_ms=10.0, sigma=0.5, seed=4).assign(graph)
+        values = sorted(graph.edge_weight(u, v) for u, v in graph.edges())
+        median = values[len(values) // 2]
+        assert 6.0 < median < 16.0
+
+
+class TestTiered:
+    def test_core_links_slower_than_access_links(self, tiered_graph):
+        TieredLatencyModel(jitter_fraction=0.0, seed=1).assign(tiered_graph)
+        core_core = tiered_graph.edge_weight("c1", "c2")
+        access = tiered_graph.edge_weight("t1", "s1")
+        assert core_core > access
+
+    def test_unknown_tier_treated_as_transit(self):
+        graph = Graph()
+        graph.add_edge("x", "y")
+        TieredLatencyModel(jitter_fraction=0.0).assign(graph)
+        assert graph.edge_weight("x", "y") == pytest.approx(4.0)
+
+    def test_jitter_keeps_latency_positive(self, tiered_graph):
+        TieredLatencyModel(jitter_fraction=0.3, seed=2).assign(tiered_graph)
+        for u, v in tiered_graph.edges():
+            assert tiered_graph.edge_weight(u, v) > 0
+
+
+class TestEuclidean:
+    def test_latency_proportional_to_distance(self):
+        graph = Graph()
+        graph.add_node("a", pos=(0.0, 0.0))
+        graph.add_node("b", pos=(0.0, 1.0))
+        graph.add_node("c", pos=(0.0, 2.0))
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "c")
+        EuclideanLatencyModel(ms_per_unit=10.0).assign(graph)
+        assert graph.edge_weight("a", "c") == pytest.approx(2 * graph.edge_weight("a", "b"))
+
+    def test_fallback_without_positions(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        EuclideanLatencyModel(fallback_ms=7.0).assign(graph)
+        assert graph.edge_weight("a", "b") == 7.0

@@ -1,0 +1,138 @@
+"""Tests for the scenario builder (the paper's simulation setup)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.topology.internet_mapper import RouterMapConfig
+from repro.workloads.scenarios import ScenarioConfig, build_scenario
+
+from ..conftest import SMALL_MAP_KWARGS, make_small_scenario
+
+
+class TestConfig:
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(Exception):
+            ScenarioConfig(peer_count=0)
+        with pytest.raises(Exception):
+            ScenarioConfig(landmark_count=0)
+        with pytest.raises(Exception):
+            ScenarioConfig(neighbor_set_size=0)
+
+    def test_config_and_overrides_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario(ScenarioConfig(peer_count=10), peer_count=20)
+
+
+class TestBuild:
+    def test_setup_matches_paper(self, joined_scenario):
+        """Peers on degree-1 routers, landmarks on medium-degree routers."""
+        scenario = joined_scenario
+        graph = scenario.router_map.graph
+        for router in scenario.peer_routers.values():
+            assert graph.degree(router) == 1
+        for landmark in scenario.landmark_set:
+            assert graph.degree(landmark.router) >= 3
+
+    def test_peer_and_landmark_counts(self, joined_scenario):
+        assert len(joined_scenario.peer_ids) == joined_scenario.config.peer_count
+        assert len(joined_scenario.landmark_set) == joined_scenario.config.landmark_count
+        assert set(joined_scenario.server.landmarks()) == set(joined_scenario.landmark_set.ids())
+
+    def test_server_knows_inter_landmark_distances(self, joined_scenario):
+        landmarks = joined_scenario.server.landmarks()
+        assert joined_scenario.server.landmark_distance(landmarks[0], landmarks[1]) is not None
+
+    def test_deterministic_given_seed(self):
+        first = make_small_scenario(seed=21, peer_count=10)
+        second = make_small_scenario(seed=21, peer_count=10)
+        assert first.peer_routers == second.peer_routers
+        assert first.landmark_set.routers() == second.landmark_set.routers()
+
+    def test_different_seeds_differ(self):
+        first = make_small_scenario(seed=21, peer_count=10)
+        second = make_small_scenario(seed=22, peer_count=10)
+        assert (
+            first.peer_routers != second.peer_routers
+            or first.landmark_set.routers() != second.landmark_set.routers()
+        )
+
+
+class TestJoins:
+    def test_join_all_registers_every_peer(self, joined_scenario):
+        assert joined_scenario.server.peer_count == joined_scenario.config.peer_count
+        assert set(joined_scenario.join_results) == set(joined_scenario.peer_ids)
+
+    def test_join_one_incremental(self, fresh_scenario):
+        peer = fresh_scenario.peer_ids[0]
+        result = fresh_scenario.join_one(peer)
+        assert result.peer_id == peer
+        assert fresh_scenario.server.peer_count == 1
+        with pytest.raises(ConfigurationError):
+            fresh_scenario.join_one("ghost")
+
+    def test_every_peer_path_ends_at_its_landmark(self, joined_scenario):
+        for peer, result in joined_scenario.join_results.items():
+            landmark_router = joined_scenario.server.landmark_router(result.landmark_id)
+            assert result.path.routers[-1] == landmark_router
+            assert result.path.routers[0] == joined_scenario.peer_routers[peer]
+
+    def test_peers_pick_a_nearby_landmark(self, joined_scenario):
+        """The client-side RTT selection finds a landmark close to the oracle's pick.
+
+        The probe measures RTT along the hop-count route (what traceroute
+        follows), while the oracle minimises latency over latency-optimal
+        routes, so the two can legitimately disagree on close calls; the
+        chosen landmark must still be (near-)closest in hop distance.
+        """
+        from repro.routing.shortest_path import bfs_shortest_paths
+
+        acceptable = 0
+        total = 0
+        for peer, result in joined_scenario.join_results.items():
+            router = joined_scenario.peer_routers[peer]
+            distances, _ = bfs_shortest_paths(joined_scenario.router_map.graph, router)
+            landmark_hops = {
+                landmark.landmark_id: distances[landmark.router]
+                for landmark in joined_scenario.landmark_set
+            }
+            best_hops = min(landmark_hops.values())
+            total += 1
+            if landmark_hops[result.landmark_id] <= best_hops + 2:
+                acceptable += 1
+        assert acceptable / total > 0.85
+
+
+class TestNeighborSets:
+    def test_scheme_sets_require_joined_peers(self, fresh_scenario):
+        with pytest.raises(ConfigurationError):
+            fresh_scenario.scheme_neighbor_sets()
+
+    def test_neighbor_set_sizes(self, joined_scenario):
+        k = joined_scenario.config.neighbor_set_size
+        for sets in (
+            joined_scenario.scheme_neighbor_sets(),
+            joined_scenario.oracle_neighbor_sets(),
+            joined_scenario.random_neighbor_sets(),
+        ):
+            assert set(sets) == set(joined_scenario.peer_ids)
+            assert all(len(neighbors) == k for neighbors in sets.values())
+            assert all(peer not in neighbors for peer, neighbors in sets.items())
+
+    def test_scheme_never_worse_than_random_on_average(self, joined_scenario):
+        from repro.metrics.proximity import population_cost
+
+        scheme = population_cost(joined_scenario.scheme_neighbor_sets(), joined_scenario.true_distance)
+        random_cost = population_cost(joined_scenario.random_neighbor_sets(), joined_scenario.true_distance)
+        optimal = population_cost(joined_scenario.oracle_neighbor_sets(), joined_scenario.true_distance)
+        assert optimal <= scheme <= random_cost
+
+    def test_random_sets_reproducible(self, joined_scenario):
+        assert joined_scenario.random_neighbor_sets(seed=1) == joined_scenario.random_neighbor_sets(seed=1)
+
+    def test_build_overlay(self, joined_scenario):
+        overlay = joined_scenario.build_overlay(joined_scenario.scheme_neighbor_sets())
+        assert overlay.size == joined_scenario.config.peer_count
+        peer = joined_scenario.peer_ids[0]
+        assert overlay.neighbors_of(peer) == joined_scenario.scheme_neighbor_sets()[peer]
