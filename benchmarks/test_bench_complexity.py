@@ -1,10 +1,13 @@
-"""Benchmarks for the paper's complexity claims (C1 and C2).
+"""Benchmarks for the paper's complexity claims (C1, C2 — plus departures).
 
 The paper claims a newcomer insertion costs O(log n) — "the cost of inserting
 a new element in an ordered list" — and a closest-peer lookup costs O(1) —
 "accessing a data in a hash table".  These benchmarks measure both operations
 at several population sizes and assert that the cost does not grow linearly
-with the population.
+with the population.  Departures ride the reverse neighbour index, so their
+cost is bounded by the number of cached lists referencing the departed peer
+(O(k·c)), not by the population; the departure benchmark asserts that via
+the server's ``departure_updates`` counter.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ import pytest
 
 from repro.core.management_server import ManagementServer
 from repro.core.path import RouterPath
+from repro.perf.workloads import synthetic_paths
 
 from ._workloads import bench_scenario
 
@@ -24,23 +28,12 @@ def _populate_server(peer_count: int, seed: int = 3) -> ManagementServer:
 
     Synthetic paths over a three-level access hierarchy reproduce the shape
     of real landmark trees without paying for a full router-map build at
-    every benchmark size.
+    every benchmark size.  Population happens through the batch
+    ``register_peers`` arrival path.
     """
-    rng = random.Random(seed)
     server = ManagementServer(neighbor_set_size=5)
     server.register_landmark("lmk", "lmk")
-    for index in range(peer_count):
-        region = rng.randrange(12)
-        pop = rng.randrange(30)
-        access = rng.randrange(60)
-        routers = [
-            f"access-{region}-{pop}-{access}",
-            f"pop-{region}-{pop}",
-            f"region-{region}",
-            "core",
-            "lmk",
-        ]
-        server.register_peer(RouterPath.from_routers(f"peer{index}", "lmk", routers))
+    server.register_peers(synthetic_paths(peer_count, seed=seed))
     return server
 
 
@@ -100,6 +93,36 @@ def test_query_scaling(benchmark, population):
     benchmark.extra_info["cache_hit_fraction"] = round(
         server.stats.cache_hits / max(1, server.stats.queries), 3
     )
+
+
+@pytest.mark.benchmark(group="complexity-departure")
+@pytest.mark.parametrize("population", [200, 800, 3200])
+def test_departure_scaling(benchmark, population):
+    """Departure cost is bounded by referencing lists, not the population."""
+    server = _populate_server(population)
+    rng = random.Random(17)
+    spares = synthetic_paths(population, seed=3)
+    by_id = {path.peer_id: path for path in spares}
+    victims = rng.sample(server.peers(), min(256, population - 1))
+    state = {"next": 0}
+    server.stats.reset()
+
+    def depart_one():
+        victim = victims[state["next"] % len(victims)]
+        state["next"] += 1
+        server.unregister_peer(victim)
+        # Re-register so the population stays constant across rounds.
+        server.register_peers([by_id[victim]])
+
+    benchmark(depart_one)
+    removals = max(1, server.stats.removals)
+    per_departure_updates = server.stats.departure_updates / removals
+    benchmark.extra_info["population"] = population
+    benchmark.extra_info["per_departure_updates"] = round(per_departure_updates, 2)
+    # O(k·c), not O(n): the average number of lists repaired per departure
+    # must stay far below the population at every size.
+    assert per_departure_updates < 10 * server.neighbor_set_size
+    assert per_departure_updates < population / 4
 
 
 @pytest.mark.benchmark(group="complexity-join")

@@ -13,6 +13,11 @@ Run the quick Figure 1 reproduction and print the table::
 Run several experiments and save their tables as JSON::
 
     repro-experiments figure1-quick landmark-count --output results/
+
+Run the discovery perf harness and write ``BENCH_discovery.json``::
+
+    repro-experiments perf
+    repro-experiments perf --populations 200 800 --ops 50 --output /tmp/bench.json
 """
 
 from __future__ import annotations
@@ -32,6 +37,11 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Run the experiments reproducing 'A Quicker Way to Discover Nearby Peers' "
             "(CoNEXT 2007)."
+        ),
+        epilog=(
+            "Subcommand: 'repro-experiments perf' (as the first argument) runs the "
+            "discovery perf harness and writes BENCH_discovery.json; see "
+            "'repro-experiments perf --help'."
         ),
     )
     parser.add_argument(
@@ -60,8 +70,88 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_perf_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``perf`` subcommand (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments perf",
+        description=(
+            "Measure the discovery hot path (insert / query / departure / churn) "
+            "at several population sizes and write a JSON perf report."
+        ),
+    )
+    parser.add_argument(
+        "--populations",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="population sizes to measure (default: 200 800 3200 12800)",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=None,
+        metavar="COUNT",
+        help="operations per workload (default: per-workload; use a small value for smoke runs)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=3,
+        help="seed for the synthetic populations (default: 3)",
+    )
+    parser.add_argument(
+        "--neighbor-set-size",
+        type=int,
+        default=5,
+        metavar="K",
+        help="neighbour set size k (default: 5)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_discovery.json"),
+        metavar="FILE",
+        help="where to write the JSON report (default: BENCH_discovery.json)",
+    )
+    return parser
+
+
+def run_perf(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the ``perf`` subcommand; returns the process exit code."""
+    from .perf.workloads import DEFAULT_POPULATIONS, run_discovery_suite
+
+    parser = build_perf_parser()
+    args = parser.parse_args(argv)
+    populations = args.populations or list(DEFAULT_POPULATIONS)
+    if any(population < 2 for population in populations):
+        parser.error(f"--populations must all be >= 2, got {populations}")
+    if args.ops is not None and args.ops < 1:
+        parser.error(f"--ops must be >= 1, got {args.ops}")
+    if args.neighbor_set_size < 1:
+        parser.error(f"--neighbor-set-size must be >= 1, got {args.neighbor_set_size}")
+    report = run_discovery_suite(
+        populations=populations,
+        ops=args.ops,
+        seed=args.seed,
+        neighbor_set_size=args.neighbor_set_size,
+    )
+    print(report.to_text())
+    try:
+        path = report.write(args.output)
+    except OSError as error:
+        print(f"error: cannot write {args.output}: {error}", file=sys.stderr)
+        return 1
+    print(f"saved {path}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "perf":
+        return run_perf(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

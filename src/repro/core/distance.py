@@ -115,14 +115,25 @@ def sample_peer_pairs(
     if len(peers) < 2:
         raise MetricError("need at least two peers to sample pairs")
     rng = random.Random(coerce_seed(seed))
+    pool = list(peers)
+    count = len(pool)
     seen = set()
     pairs: List[Tuple[PeerId, PeerId]] = []
-    max_pairs = len(peers) * (len(peers) - 1) // 2
+    max_pairs = count * (count - 1) // 2
     target = min(samples, max_pairs)
     attempts = 0
+    # Rejection sampling over index pairs: the pool is materialised once, and
+    # drawing two distinct indices (rather than two members) keeps the retry
+    # loop from spinning when the input contains long duplicate-id streaks.
     while len(pairs) < target and attempts < 50 * target + 100:
         attempts += 1
-        peer_a, peer_b = rng.sample(list(peers), 2)
+        first = rng.randrange(count)
+        second = rng.randrange(count - 1)
+        if second >= first:
+            second += 1
+        peer_a, peer_b = pool[first], pool[second]
+        if peer_a == peer_b:  # duplicate ids at distinct indices
+            continue
         key = (peer_a, peer_b) if repr(peer_a) <= repr(peer_b) else (peer_b, peer_a)
         if key in seen:
             continue

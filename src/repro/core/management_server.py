@@ -8,6 +8,30 @@ newcomer insertion only touches the peers close to the newcomer and performs
 ordered-list insertions into their cached lists — the O(log n) insertion the
 paper claims.
 
+Hot-path complexity guarantees
+------------------------------
+With ``n`` registered peers, ``k = neighbor_set_size``, ``d`` the network
+diameter (path length, ~15–30 hops) and ``b`` the trie branching factor:
+
+* **Insertion** (:meth:`ManagementServer.register_peer`): O(d) trie insert +
+  a count-guided tree query (O(k + d·b), see below) + at most ``k``
+  ordered-list insertions of O(log k) each — the paper's O(log n) claim.
+  (When cross-landmark fills are in use, maintaining the per-landmark
+  min-hop ordering adds one sorted-list insert; the ordering is built
+  lazily, so single-landmark deployments never pay it.)
+* **Query** (:meth:`ManagementServer.closest_peers`): one dictionary access
+  when the cache is warm — O(1).  A cache miss falls back to the tree query:
+  a best-first walk over the landmark trie guided by ``subtree_peer_count``
+  that visits O(k + d·b) nodes instead of scanning whole sibling subtrees.
+* **Departure** (:meth:`ManagementServer.unregister_peer`): O(d) trie removal
+  + O(r) cached-list repairs where ``r`` is the number of lists that actually
+  reference the departed peer (bounded by the reverse neighbour index, not by
+  ``n``).  Lists that run dry are refilled lazily from the tree on their next
+  query.
+* **Batch arrival** (:meth:`ManagementServer.register_peers`): inserts all
+  paths first, then computes neighbour lists and propagates cache updates in
+  one pass, so co-arriving peers see each other immediately.
+
 Cross-landmark estimates
 ------------------------
 Peers registered under different landmarks share no path, so their tree
@@ -19,14 +43,17 @@ landmarks can measure them once, offline), the server falls back to::
 
 which is an upper bound on the true distance.  Cross-landmark candidates are
 only used to fill a neighbour list when the peer's own tree cannot provide
-``k`` candidates.
+``k`` candidates; the server keeps a per-landmark min-hop ordering of its
+peers so that filling the last one or two slots is a bounded merge, not a
+scan over every foreign-tree peer.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+import heapq
+from dataclasses import dataclass, fields
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .._validation import require_positive_int
 from ..exceptions import LandmarkError, RegistrationError, UnknownPeerError
@@ -36,7 +63,7 @@ from .path_tree import PathTree
 
 @dataclass
 class ServerStats:
-    """Operation counters, used by the complexity benchmarks."""
+    """Operation counters, used by the complexity benchmarks and perf harness."""
 
     registrations: int = 0
     removals: int = 0
@@ -44,15 +71,17 @@ class ServerStats:
     cache_hits: int = 0
     tree_queries: int = 0
     cache_updates: int = 0
+    cache_refills: int = 0
+    departure_updates: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.registrations = 0
-        self.removals = 0
-        self.queries = 0
-        self.cache_hits = 0
-        self.tree_queries = 0
-        self.cache_updates = 0
+        for spec in fields(self):
+            setattr(self, spec.name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counter values keyed by name (for perf reports)."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
 
 
 @dataclass
@@ -98,6 +127,15 @@ class ManagementServer:
         self._peer_landmark: Dict[PeerId, LandmarkId] = {}
         self._paths: Dict[PeerId, RouterPath] = {}
         self._neighbor_cache: Dict[PeerId, List[NeighborEntry]] = {}
+        # Reverse neighbour index: peer -> peers whose cached list contains
+        # it.  Kept exactly in sync with _neighbor_cache so a departure only
+        # touches the lists that actually reference the departed peer.
+        self._referenced_by: Dict[PeerId, Set[PeerId]] = {}
+        # Per-landmark (hop_count, repr(peer), peer) orderings, kept sorted so
+        # cross-landmark fills can merge the few best candidates lazily.
+        # Built on first use per landmark and maintained incrementally after
+        # that, so purely single-landmark workloads never pay for it.
+        self._peers_by_hops: Dict[LandmarkId, List[Tuple[int, str, PeerId]]] = {}
         self._landmark_distances: Dict[Tuple[LandmarkId, LandmarkId], float] = {}
         if landmark_distances:
             for (a, b), distance in landmark_distances.items():
@@ -169,6 +207,13 @@ class ManagementServer:
             raise UnknownPeerError(peer_id)
         return self._peer_landmark[peer_id]
 
+    def referencing_peers(self, peer_id: PeerId) -> Set[PeerId]:
+        """Peers whose cached neighbour list currently contains ``peer_id``.
+
+        Exposed for churn diagnostics and tests; the returned set is a copy.
+        """
+        return set(self._referenced_by.get(peer_id, ()))
+
     # -------------------------------------------------------------- register
 
     def register_peer(self, path: RouterPath) -> List[Tuple[PeerId, float]]:
@@ -178,42 +223,78 @@ class ManagementServer:
         entries of ``(peer_id, estimated_distance)``), which is also what the
         server caches for subsequent O(1) queries.
         """
-        if path.landmark_id not in self._trees:
-            raise RegistrationError(
-                f"peer {path.peer_id!r} reported a path to unknown landmark "
-                f"{path.landmark_id!r}"
-            )
+        self._require_registrable(path)
         if path.peer_id in self._peer_landmark:
             self.unregister_peer(path.peer_id)
-
-        tree = self._trees[path.landmark_id]
-        tree.insert(path)
-        self._peer_landmark[path.peer_id] = path.landmark_id
-        self._paths[path.peer_id] = path
-        self.stats.registrations += 1
+        self._insert_path(path)
 
         neighbors = self._compute_neighbors(path.peer_id)
         if self.maintain_cache:
-            self._neighbor_cache[path.peer_id] = [
-                NeighborEntry(distance=distance, peer_id=peer) for peer, distance in neighbors
-            ]
+            self._cache_store(path.peer_id, neighbors)
             self._propagate_newcomer(path.peer_id, neighbors)
         return neighbors
 
+    def register_peers(
+        self, paths: Sequence[RouterPath]
+    ) -> Dict[PeerId, List[Tuple[PeerId, float]]]:
+        """Batch arrival: insert every path first, then update caches once.
+
+        This is the entry point churn and arrival workloads should use for
+        co-arriving peers: all paths land in the landmark trees before any
+        neighbour list is computed, so every newcomer's list (and every
+        propagated cache update) already sees the whole batch instead of only
+        the peers that happened to register earlier.
+
+        Returns ``{peer_id: neighbour list}`` in input order (a peer repeated
+        in the batch keeps its last path).
+        """
+        for path in paths:
+            self._require_registrable(path)
+
+        pending: Dict[PeerId, RouterPath] = {}
+        for path in paths:
+            if path.peer_id in self._peer_landmark:
+                self.unregister_peer(path.peer_id)
+            self._insert_path(path)
+            pending[path.peer_id] = path
+
+        results: Dict[PeerId, List[Tuple[PeerId, float]]] = {}
+        for peer_id in pending:
+            neighbors = self._compute_neighbors(peer_id)
+            results[peer_id] = neighbors
+            if self.maintain_cache:
+                self._cache_store(peer_id, neighbors)
+                self._propagate_newcomer(peer_id, neighbors)
+        return results
+
     def unregister_peer(self, peer_id: PeerId) -> None:
-        """Remove a departing peer from its tree and from all cached lists."""
+        """Remove a departing peer from its tree and from the cached lists.
+
+        The reverse neighbour index pinpoints the (at most ``r``) lists that
+        reference the departed peer, so the cost is O(r·k), not O(n): no
+        other cached list is touched.  A list that runs dry is refilled from
+        the tree on its owner's next query.
+        """
         if peer_id not in self._peer_landmark:
             raise UnknownPeerError(peer_id)
         landmark_id = self._peer_landmark.pop(peer_id)
-        del self._paths[peer_id]
+        path = self._paths.pop(peer_id)
         self._trees[landmark_id].remove(peer_id)
-        self._neighbor_cache.pop(peer_id, None)
+        self._hops_discard(landmark_id, path)
         self.stats.removals += 1
-        if self.maintain_cache:
-            # Lazily repair other peers' lists: drop the departed entry; the
-            # list is refilled from the tree on the next query if it runs dry.
-            for entries in self._neighbor_cache.values():
-                entries[:] = [entry for entry in entries if entry.peer_id != peer_id]
+        if not self.maintain_cache:
+            return
+
+        own_entries = self._neighbor_cache.pop(peer_id, None)
+        if own_entries:
+            for entry in own_entries:
+                self._reverse_discard(entry.peer_id, peer_id)
+        for referrer in self._referenced_by.pop(peer_id, ()):
+            entries = self._neighbor_cache.get(referrer)
+            if entries is None:
+                continue
+            entries[:] = [entry for entry in entries if entry.peer_id != peer_id]
+            self.stats.departure_updates += 1
 
     # ---------------------------------------------------------------- queries
 
@@ -235,10 +316,8 @@ class ManagementServer:
                 return [(entry.peer_id, entry.distance) for entry in entries[:k]]
         neighbors = self._compute_neighbors(peer_id, k=k)
         if self.maintain_cache and k >= self.neighbor_set_size:
-            self._neighbor_cache[peer_id] = [
-                NeighborEntry(distance=distance, peer_id=peer)
-                for peer, distance in neighbors[: self.neighbor_set_size]
-            ]
+            self._cache_store(peer_id, neighbors[: self.neighbor_set_size])
+            self.stats.cache_refills += 1
         return neighbors
 
     def estimate_distance(self, peer_a: PeerId, peer_b: PeerId) -> float:
@@ -264,6 +343,108 @@ class ManagementServer:
 
     # -------------------------------------------------------------- internals
 
+    def _require_registrable(self, path: RouterPath) -> None:
+        """Raise if ``path`` cannot be inserted (unknown landmark / wrong root).
+
+        Checks everything :meth:`PathTree.insert` would reject, so a batch
+        can validate all paths up front and then insert without partial
+        failure.
+        """
+        if path.landmark_id not in self._trees:
+            raise RegistrationError(
+                f"peer {path.peer_id!r} reported a path to unknown landmark "
+                f"{path.landmark_id!r}"
+            )
+        root = self._trees[path.landmark_id].root
+        landmark_side = path.from_landmark()[0]
+        if root is not None and root.router != landmark_side:
+            raise RegistrationError(
+                f"path of peer {path.peer_id!r} ends at router {landmark_side!r}, "
+                f"but the tree of landmark {path.landmark_id!r} is rooted at "
+                f"{root.router!r}"
+            )
+
+    def _insert_path(self, path: RouterPath) -> None:
+        """Insert one validated path into the tree and the server indexes."""
+        self._trees[path.landmark_id].insert(path)
+        self._peer_landmark[path.peer_id] = path.landmark_id
+        self._paths[path.peer_id] = path
+        ordering = self._peers_by_hops.get(path.landmark_id)
+        if ordering is not None:
+            bisect.insort(ordering, (path.hop_count, repr(path.peer_id), path.peer_id))
+        self.stats.registrations += 1
+
+    def _hops_ordering(self, landmark_id: LandmarkId) -> List[Tuple[int, str, PeerId]]:
+        """The landmark's min-hop peer ordering, built on first use."""
+        ordering = self._peers_by_hops.get(landmark_id)
+        if ordering is None:
+            ordering = sorted(
+                (self._paths[peer].hop_count, repr(peer), peer)
+                for peer in self._trees[landmark_id].peers()
+            )
+            self._peers_by_hops[landmark_id] = ordering
+        return ordering
+
+    def _hops_discard(self, landmark_id: LandmarkId, path: RouterPath) -> None:
+        """Drop a departed peer from the per-landmark min-hop ordering."""
+        ordering = self._peers_by_hops.get(landmark_id)
+        if not ordering:
+            return
+        key = (path.hop_count, repr(path.peer_id))
+        index = bisect.bisect_left(ordering, key)
+        while index < len(ordering) and ordering[index][:2] == key:
+            if ordering[index][2] == path.peer_id:
+                del ordering[index]
+                return
+            index += 1
+
+    def _reverse_discard(self, target: PeerId, referrer: PeerId) -> None:
+        """Remove one ``referrer -> target`` edge from the reverse index."""
+        refs = self._referenced_by.get(target)
+        if refs is None:
+            return
+        refs.discard(referrer)
+        if not refs:
+            del self._referenced_by[target]
+
+    def _cache_store(self, peer_id: PeerId, pairs: Sequence[Tuple[PeerId, float]]) -> None:
+        """Replace a peer's cached list, keeping the reverse index in sync."""
+        old_entries = self._neighbor_cache.get(peer_id)
+        if old_entries:
+            for entry in old_entries:
+                self._reverse_discard(entry.peer_id, peer_id)
+        entries = [NeighborEntry(distance=distance, peer_id=peer) for peer, distance in pairs]
+        self._neighbor_cache[peer_id] = entries
+        for entry in entries:
+            self._referenced_by.setdefault(entry.peer_id, set()).add(peer_id)
+
+    def _cross_landmark_candidates(
+        self, peer_id: PeerId, landmark_id: LandmarkId, own_hops: int
+    ) -> Iterator[Tuple[float, str, PeerId]]:
+        """Foreign-tree candidates in non-decreasing estimate order (lazy).
+
+        One sorted stream per foreign landmark (its min-hop ordering shifted
+        by the constant ``own_hops + landmark distance``), merged lazily so a
+        consumer that only needs one or two fill candidates stops early.
+        """
+        def shifted(
+            ordering: List[Tuple[int, str, PeerId]], base: float
+        ) -> Iterator[Tuple[float, str, PeerId]]:
+            for hops, text, peer in ordering:
+                if peer != peer_id:
+                    yield (base + hops, text, peer)
+
+        streams = []
+        for other_landmark in self._trees:
+            if other_landmark == landmark_id:
+                continue
+            between = self.landmark_distance(landmark_id, other_landmark)
+            if between is None:
+                continue
+            base = float(own_hops + between)
+            streams.append(shifted(self._hops_ordering(other_landmark), base))
+        return heapq.merge(*streams)
+
     def _compute_neighbors(self, peer_id: PeerId, k: Optional[int] = None) -> List[Tuple[PeerId, float]]:
         """Tree-walk computation of a peer's closest peers (plus cross-landmark fill)."""
         k = k or self.neighbor_set_size
@@ -278,23 +459,14 @@ class ManagementServer:
             return neighbors[:k]
 
         # Not enough peers under this landmark: fill with cross-landmark
-        # estimates if inter-landmark distances are known.
-        own_path = self._paths[peer_id]
-        candidates: List[Tuple[float, str, PeerId]] = []
-        for other_landmark, other_tree in self._trees.items():
-            if other_landmark == landmark_id:
-                continue
-            between = self.landmark_distance(landmark_id, other_landmark)
-            if between is None:
-                continue
-            for other_peer in other_tree.peers():
-                if other_peer == peer_id:
-                    continue
-                estimate = own_path.hop_count + between + self._paths[other_peer].hop_count
-                candidates.append((float(estimate), repr(other_peer), other_peer))
-        candidates.sort()
+        # estimates if inter-landmark distances are known.  The per-landmark
+        # min-hop orderings are merged lazily, so only as many foreign
+        # candidates as needed are ever examined.
+        own_hops = self._paths[peer_id].hop_count
         already = {peer for peer, _ in neighbors}
-        for estimate, _, other_peer in candidates:
+        for estimate, _, other_peer in self._cross_landmark_candidates(
+            peer_id, landmark_id, own_hops
+        ):
             if len(neighbors) >= k:
                 break
             if other_peer in already:
@@ -312,7 +484,8 @@ class ManagementServer:
         their current list members' bound) can possibly gain the newcomer as
         a better neighbour, so the update cost is bounded by
         ``neighbor_set_size`` ordered-list insertions — the O(log n)
-        "ordered list" cost the paper refers to.
+        "ordered list" cost the paper refers to.  Each insertion bisects on
+        the entries' ``(distance, repr(peer))`` keys directly.
         """
         for peer, distance in newcomer_neighbors:
             entries = self._neighbor_cache.get(peer)
@@ -322,11 +495,13 @@ class ManagementServer:
                 continue
             if len(entries) >= self.neighbor_set_size and distance >= entries[-1].distance:
                 continue
-            keys = [entry.as_tuple() for entry in entries]
             new_entry = NeighborEntry(distance=distance, peer_id=newcomer)
-            index = bisect.bisect_left(keys, new_entry.as_tuple())
+            index = bisect.bisect_left(entries, new_entry.as_tuple(), key=NeighborEntry.as_tuple)
             entries.insert(index, new_entry)
+            for evicted in entries[self.neighbor_set_size :]:
+                self._reverse_discard(evicted.peer_id, peer)
             del entries[self.neighbor_set_size :]
+            self._referenced_by.setdefault(newcomer, set()).add(peer)
             self.stats.cache_updates += 1
 
     def __repr__(self) -> str:

@@ -17,6 +17,7 @@ soon as enough candidates have been gathered.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
 
@@ -88,6 +89,10 @@ class PathTree:
             self._root = PathTreeNode(router=landmark_router, depth=0)
         self._attachment: Dict[PeerId, PathTreeNode] = {}
         self._paths: Dict[PeerId, RouterPath] = {}
+        #: Trie nodes examined by the most recent :meth:`closest_peers` call.
+        self.last_query_visits: int = 0
+        #: Trie nodes examined by all :meth:`closest_peers` calls so far.
+        self.total_query_visits: int = 0
 
     # ------------------------------------------------------------------ state
 
@@ -239,15 +244,34 @@ class PathTree:
     ) -> List[Tuple[PeerId, int]]:
         """Return up to ``k`` peers closest to ``peer_id`` by tree distance.
 
-        The query walks up from the peer's attachment node: peers attached in
-        the subtree of an ancestor at depth ``d`` have their branch point at
-        depth >= ``d``, so candidates are discovered in non-decreasing
-        ``dtree`` order level by level.  The walk stops as soon as ``k``
-        candidates strictly closer than anything a higher ancestor could
-        provide have been found.
+        Best-first frontier search guided by ``subtree_peer_count``.  The
+        frontier holds two kinds of entries, each keyed by a lower bound on
+        the ``dtree`` of any peer reachable through it:
+
+        * *ancestor* entries — the next node on the origin's root path.  A
+          peer whose branch point is that ancestor is at least
+          ``(origin.depth - ancestor.depth) + 2`` away;
+        * *subtree* entries — a node hanging off an already-expanded ancestor
+          (the lowest common ancestor of its whole subtree with the origin).
+          Peers attached at the node are exactly ``bound`` away, deeper peers
+          strictly farther.
+
+        Because a popped entry's bound equals the exact ``dtree`` of the
+        peers attached at its node, peers are discovered in non-decreasing
+        ``dtree`` order; the walk stops once the frontier's best bound
+        exceeds the ``k``-th best distance found.  Empty subtrees
+        (``subtree_peer_count == 0``) are never pushed, and subtrees whose
+        bound already exceeds the ``k``-th best are pruned at push time, so
+        the visit count is O(k + depth + branching) instead of the size of
+        every sibling subtree.
+
+        Each call records the number of trie nodes examined in
+        ``last_query_visits`` (and accumulates ``total_query_visits``) so
+        benchmarks can assert the sub-linear behaviour.
 
         Returns a list of ``(peer_id, dtree)`` sorted by ``dtree`` then peer id.
         """
+        self.last_query_visits = 0
         if k <= 0:
             return []
         origin = self.attachment_node(peer_id)
@@ -255,49 +279,59 @@ class PathTree:
         if exclude:
             excluded |= set(exclude)
 
-        candidates: Dict[PeerId, int] = {}
-        visited_child: Optional[PathTreeNode] = None
-        node: Optional[PathTreeNode] = origin
+        # Heap entries: (bound, order, node, lca_depth, skip_child).
+        # Ancestor entries satisfy node.depth == lca_depth and carry the child
+        # subtree already explored in ``skip_child``; subtree entries satisfy
+        # node.depth > lca_depth and never skip anything.
+        order = 0
+        heap: List[Tuple[int, int, PathTreeNode, int, Optional[PathTreeNode]]] = [
+            (2, order, origin, origin.depth, None)
+        ]
+        results: List[Tuple[PeerId, int]] = []
+        kth_distance: Optional[int] = None
+        visits = 0
 
-        while node is not None:
-            # Peers attached at or below `node` (skipping the subtree already
-            # examined through `visited_child`) have their LCA with the origin
-            # exactly at `node`.
-            for subtree_node in self._iter_subtree_excluding(node, visited_child):
-                for candidate in subtree_node.attached_peers:
-                    if candidate in excluded or candidate in candidates:
-                        continue
-                    hops_origin = origin.depth - node.depth + 1
-                    hops_candidate = subtree_node.depth - node.depth + 1
-                    candidates[candidate] = hops_origin + hops_candidate
-            if len(candidates) >= k and node.parent is not None:
-                # Anything discovered through the parent is at least as far as
-                # (origin.depth - parent.depth + 2); check whether the current
-                # k-best are already at most that bound.
-                best = sorted(candidates.values())[:k]
-                parent_bound = origin.depth - node.parent.depth + 2
-                if best[-1] <= parent_bound:
-                    break
-            visited_child = node
-            node = node.parent
+        while heap:
+            bound, _, node, lca_depth, skip_child = heapq.heappop(heap)
+            if kth_distance is not None and bound > kth_distance:
+                break
+            visits += 1
+            for candidate in node.attached_peers:
+                if candidate not in excluded:
+                    results.append((candidate, bound))
+            if kth_distance is None and len(results) >= k:
+                kth_distance = results[k - 1][1]
 
-        ranked = sorted(candidates.items(), key=lambda item: (item[1], repr(item[0])))
-        return ranked[:k]
+            if node.depth == lca_depth:
+                # Ancestor entry: fan out into unexplored child subtrees and
+                # continue up the root path.
+                child_bound = bound + 1  # hops_origin + 2 == bound + 1
+                if kth_distance is None or child_bound <= kth_distance:
+                    for child in node.children.values():
+                        if child is not skip_child and child.subtree_peer_count > 0:
+                            order += 1
+                            heap_entry = (child_bound, order, child, lca_depth, None)
+                            heapq.heappush(heap, heap_entry)
+                parent = node.parent
+                if parent is not None:
+                    parent_bound = origin.depth - parent.depth + 2
+                    if kth_distance is None or parent_bound <= kth_distance:
+                        order += 1
+                        heapq.heappush(heap, (parent_bound, order, parent, parent.depth, node))
+            else:
+                # Subtree entry: descend, one extra hop per level.
+                child_bound = bound + 1
+                if kth_distance is None or child_bound <= kth_distance:
+                    for child in node.children.values():
+                        if child.subtree_peer_count > 0:
+                            order += 1
+                            heapq.heappush(heap, (child_bound, order, child, lca_depth, None))
 
-    @staticmethod
-    def _iter_subtree_excluding(
-        node: PathTreeNode, skip: Optional[PathTreeNode]
-    ) -> Iterator[PathTreeNode]:
-        """Iterate ``node``'s subtree but do not descend into ``skip``."""
-        stack = [node]
-        while stack:
-            current = stack.pop()
-            if current is skip:
-                continue
-            yield current
-            for child in current.children.values():
-                if child is not skip:
-                    stack.append(child)
+        self.last_query_visits = visits
+        self.total_query_visits += visits
+        results.sort(key=lambda item: (item[1], repr(item[0])))
+        del results[k:]
+        return results
 
     def all_pairs_tree_distance(self) -> Dict[Tuple[PeerId, PeerId], int]:
         """Exhaustive dtree for every unordered pair (small populations only)."""

@@ -1,0 +1,35 @@
+"""Perf harness: wall-clock/op-count instrumentation for the discovery hot path.
+
+``repro-experiments perf`` (see :mod:`repro.cli`) runs the workloads in
+:mod:`repro.perf.workloads` at several population sizes and writes
+``BENCH_discovery.json`` — the perf trajectory future PRs regress against.
+"""
+
+from .report import PerfRecord, PerfReport
+from .timer import OpTimer, Timing, time_ops
+from .workloads import (
+    DEFAULT_POPULATIONS,
+    build_populated_server,
+    run_churn_workload,
+    run_departure_workload,
+    run_discovery_suite,
+    run_insert_workload,
+    run_query_workload,
+    synthetic_paths,
+)
+
+__all__ = [
+    "DEFAULT_POPULATIONS",
+    "OpTimer",
+    "PerfRecord",
+    "PerfReport",
+    "Timing",
+    "build_populated_server",
+    "run_churn_workload",
+    "run_departure_workload",
+    "run_discovery_suite",
+    "run_insert_workload",
+    "run_query_workload",
+    "synthetic_paths",
+    "time_ops",
+]

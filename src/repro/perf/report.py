@@ -1,0 +1,120 @@
+"""Perf report: structured per-workload timings written to ``BENCH_*.json``.
+
+The report is the regression anchor for the discovery hot path: every record
+carries the workload name, the population it ran at, wall-clock timings from
+:mod:`repro.perf.timer`, and the management server's
+:class:`~repro.core.management_server.ServerStats` counters observed during
+the measured phase, so later PRs can compare both time *and* algorithmic
+work (tree-node visits, cache updates, departure repairs).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .timer import Timing
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class PerfRecord:
+    """One workload measurement at one population size."""
+
+    workload: str
+    population: int
+    ops: int
+    total_s: float
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def per_op_us(self) -> float:
+        """Mean microseconds per operation."""
+        return (self.total_s / self.ops) * 1e6 if self.ops else 0.0
+
+    @classmethod
+    def from_timing(
+        cls,
+        workload: str,
+        population: int,
+        timing: Timing,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> "PerfRecord":
+        """Build a record from a :class:`~repro.perf.timer.Timing`."""
+        return cls(
+            workload=workload,
+            population=population,
+            ops=timing.ops,
+            total_s=timing.total_s,
+            counters=dict(counters or {}),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (adds the derived per-op cost)."""
+        return {
+            "workload": self.workload,
+            "population": self.population,
+            "ops": self.ops,
+            "total_s": self.total_s,
+            "per_op_us": self.per_op_us,
+            "counters": dict(self.counters),
+        }
+
+
+@dataclass
+class PerfReport:
+    """A set of perf records plus run metadata."""
+
+    records: List[PerfRecord] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add(self, record: PerfRecord) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation of the whole report."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "metadata": dict(self.metadata),
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report serialised as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the JSON report to ``path`` and return it."""
+        target = Path(path)
+        target.write_text(self.to_json() + "\n")
+        return target
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PerfReport":
+        """Rebuild a report from :meth:`to_dict` output (regression tooling)."""
+        records = [
+            PerfRecord(
+                workload=str(entry["workload"]),
+                population=int(entry["population"]),
+                ops=int(entry["ops"]),
+                total_s=float(entry["total_s"]),
+                counters=dict(entry.get("counters", {})),  # type: ignore[arg-type]
+            )
+            for entry in data.get("records", [])  # type: ignore[union-attr]
+        ]
+        return cls(records=records, metadata=dict(data.get("metadata", {})))  # type: ignore[arg-type]
+
+    def to_text(self) -> str:
+        """Aligned human-readable table for the CLI."""
+        header = f"{'workload':<12} {'population':>10} {'ops':>8} {'total_s':>10} {'per_op_us':>12}"
+        lines = [header, "-" * len(header)]
+        for record in self.records:
+            lines.append(
+                f"{record.workload:<12} {record.population:>10} {record.ops:>8} "
+                f"{record.total_s:>10.4f} {record.per_op_us:>12.2f}"
+            )
+        return "\n".join(lines)

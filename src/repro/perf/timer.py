@@ -1,0 +1,85 @@
+"""Lightweight wall-clock / op-count instrumentation for the perf harness.
+
+Deliberately tiny: a monotonic stopwatch that also counts operations, so the
+workloads can report per-operation costs without pulling in pytest-benchmark
+(which is reserved for the asserting benchmark suite).  All times come from
+:func:`time.perf_counter`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timing:
+    """Elapsed wall-clock time for a counted batch of operations."""
+
+    ops: int
+    total_s: float
+
+    @property
+    def per_op_s(self) -> float:
+        """Mean seconds per operation (0.0 when nothing ran)."""
+        return self.total_s / self.ops if self.ops else 0.0
+
+    @property
+    def per_op_us(self) -> float:
+        """Mean microseconds per operation."""
+        return self.per_op_s * 1e6
+
+    @property
+    def ops_per_s(self) -> float:
+        """Operation throughput (inf for a zero-duration batch)."""
+        if self.total_s <= 0.0:
+            return float("inf")
+        return self.ops / self.total_s
+
+
+class OpTimer:
+    """Context-manager stopwatch with an operation counter.
+
+    Usage::
+
+        timer = OpTimer()
+        with timer:
+            for item in work:
+                do(item)
+                timer.add_ops()
+        print(timer.timing.per_op_us)
+
+    Re-entering accumulates, so one timer can cover several measured bursts
+    with unmeasured setup in between.
+    """
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.total_s = 0.0
+        self._started_at: float = 0.0
+
+    def __enter__(self) -> "OpTimer":
+        self._started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.total_s += time.perf_counter() - self._started_at
+
+    def add_ops(self, count: int = 1) -> None:
+        """Record ``count`` completed operations."""
+        self.ops += count
+
+    @property
+    def timing(self) -> Timing:
+        """Snapshot of the accumulated measurement."""
+        return Timing(ops=self.ops, total_s=self.total_s)
+
+
+def time_ops(fn: Callable[[], T], ops: int = 1) -> Timing:
+    """Time one call of ``fn`` that performs ``ops`` operations."""
+    started = time.perf_counter()
+    fn()
+    return Timing(ops=ops, total_s=time.perf_counter() - started)

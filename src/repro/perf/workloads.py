@@ -1,0 +1,201 @@
+"""Discovery hot-path workloads measured by ``repro-experiments perf``.
+
+Each workload builds a management server populated with synthetic paths over
+a three-level access hierarchy (the same shape the complexity benchmarks
+use: it reproduces real landmark-tree fan-out without paying for a full
+router-map build at every population size), then times one hot-path
+operation class:
+
+* ``insert``    — batch arrival of fresh newcomers via
+  :meth:`~repro.core.management_server.ManagementServer.register_peers`;
+* ``query``     — cached closest-peer lookups (the O(1) claim);
+* ``departure`` — peer removals repaired through the reverse neighbour
+  index (the O(k) claim);
+* ``churn``     — interleaved leave / re-join cycles, the membership-dynamics
+  mix the paper defers to future work.
+
+Every record carries the :class:`~repro.core.management_server.ServerStats`
+counter deltas observed during the measured phase plus the landmark trees'
+node-visit counters, so regressions in algorithmic work are visible even on
+noisy machines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..core.management_server import ManagementServer
+from ..core.path import RouterPath
+from .report import PerfRecord, PerfReport
+from .timer import OpTimer
+
+DEFAULT_POPULATIONS = (200, 800, 3200, 12800)
+DEFAULT_LANDMARK = "lmk"
+
+
+def synthetic_paths(
+    count: int,
+    seed: int = 3,
+    landmark: str = DEFAULT_LANDMARK,
+    prefix: str = "peer",
+) -> List[RouterPath]:
+    """``count`` synthetic peer paths over a three-level access hierarchy."""
+    rng = random.Random(seed)
+    paths: List[RouterPath] = []
+    for index in range(count):
+        region = rng.randrange(12)
+        pop = rng.randrange(30)
+        access = rng.randrange(60)
+        routers = [
+            f"access-{region}-{pop}-{access}",
+            f"pop-{region}-{pop}",
+            f"region-{region}",
+            "core",
+            landmark,
+        ]
+        paths.append(RouterPath.from_routers(f"{prefix}{index}", landmark, routers))
+    return paths
+
+
+def build_populated_server(
+    population: int,
+    neighbor_set_size: int = 5,
+    seed: int = 3,
+) -> ManagementServer:
+    """A server pre-loaded with ``population`` synthetic peers (batch path)."""
+    server = ManagementServer(neighbor_set_size=neighbor_set_size)
+    server.register_landmark(DEFAULT_LANDMARK, DEFAULT_LANDMARK)
+    server.register_peers(synthetic_paths(population, seed=seed))
+    return server
+
+
+def _tree_visits(server: ManagementServer) -> int:
+    """Total trie nodes visited by closest-peer queries across all trees."""
+    return sum(server.tree(landmark).total_query_visits for landmark in server.landmarks())
+
+
+def _measured_counters(server: ManagementServer, visits_before: int) -> Dict[str, int]:
+    counters = server.stats.as_dict()
+    counters["tree_node_visits"] = _tree_visits(server) - visits_before
+    return counters
+
+
+def run_insert_workload(
+    population: int,
+    ops: int = 200,
+    seed: int = 3,
+    neighbor_set_size: int = 5,
+) -> PerfRecord:
+    """Batch arrival of ``ops`` newcomers on top of ``population`` peers."""
+    server = build_populated_server(population, neighbor_set_size, seed=seed)
+    newcomers = synthetic_paths(ops, seed=seed + 1, prefix="newcomer")
+    server.stats.reset()
+    visits = _tree_visits(server)
+    timer = OpTimer()
+    with timer:
+        server.register_peers(newcomers)
+        timer.add_ops(len(newcomers))
+    return PerfRecord.from_timing(
+        "insert", population, timer.timing, _measured_counters(server, visits)
+    )
+
+
+def run_query_workload(
+    population: int,
+    ops: int = 2000,
+    seed: int = 3,
+    neighbor_set_size: int = 5,
+) -> PerfRecord:
+    """Cached closest-peer lookups against a steady population."""
+    server = build_populated_server(population, neighbor_set_size, seed=seed)
+    rng = random.Random(seed + 2)
+    peers = server.peers()
+    sample = [rng.choice(peers) for _ in range(ops)]
+    server.stats.reset()
+    visits = _tree_visits(server)
+    timer = OpTimer()
+    with timer:
+        for peer in sample:
+            server.closest_peers(peer)
+            timer.add_ops()
+    return PerfRecord.from_timing(
+        "query", population, timer.timing, _measured_counters(server, visits)
+    )
+
+
+def run_departure_workload(
+    population: int,
+    ops: int = 200,
+    seed: int = 3,
+    neighbor_set_size: int = 5,
+) -> PerfRecord:
+    """Departures repaired through the reverse neighbour index."""
+    server = build_populated_server(population, neighbor_set_size, seed=seed)
+    rng = random.Random(seed + 3)
+    ops = min(ops, population - 1)
+    departing = rng.sample(server.peers(), ops)
+    server.stats.reset()
+    visits = _tree_visits(server)
+    timer = OpTimer()
+    with timer:
+        for peer in departing:
+            server.unregister_peer(peer)
+            timer.add_ops()
+    return PerfRecord.from_timing(
+        "departure", population, timer.timing, _measured_counters(server, visits)
+    )
+
+
+def run_churn_workload(
+    population: int,
+    ops: int = 200,
+    seed: int = 3,
+    neighbor_set_size: int = 5,
+) -> PerfRecord:
+    """Interleaved leave / re-join cycles at a steady population."""
+    server = build_populated_server(population, neighbor_set_size, seed=seed)
+    rng = random.Random(seed + 4)
+    churners = rng.sample(server.peers(), min(ops, population - 1))
+    replacement_paths = {
+        path.peer_id: path for path in synthetic_paths(population, seed=seed)
+    }
+    server.stats.reset()
+    visits = _tree_visits(server)
+    timer = OpTimer()
+    with timer:
+        for peer in churners:
+            server.unregister_peer(peer)
+            server.register_peers([replacement_paths[peer]])
+            timer.add_ops()
+    return PerfRecord.from_timing(
+        "churn", population, timer.timing, _measured_counters(server, visits)
+    )
+
+
+def run_discovery_suite(
+    populations: Sequence[int] = DEFAULT_POPULATIONS,
+    ops: Optional[int] = None,
+    seed: int = 3,
+    neighbor_set_size: int = 5,
+) -> PerfReport:
+    """Run every discovery workload at every population size.
+
+    ``ops`` overrides each workload's default operation count (useful for
+    smoke runs in CI); ``None`` keeps the defaults.
+    """
+    report = PerfReport(
+        metadata={
+            "suite": "discovery",
+            "populations": list(populations),
+            "neighbor_set_size": neighbor_set_size,
+            "seed": seed,
+        }
+    )
+    overrides = {} if ops is None else {"ops": ops}
+    for population in populations:
+        report.add(run_insert_workload(population, seed=seed, neighbor_set_size=neighbor_set_size, **overrides))
+        report.add(run_query_workload(population, seed=seed, neighbor_set_size=neighbor_set_size, **overrides))
+        report.add(run_departure_workload(population, seed=seed, neighbor_set_size=neighbor_set_size, **overrides))
+        report.add(run_churn_workload(population, seed=seed, neighbor_set_size=neighbor_set_size, **overrides))
+    return report

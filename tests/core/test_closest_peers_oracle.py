@@ -1,0 +1,130 @@
+"""Oracle tests for the count-guided best-first ``closest_peers`` query.
+
+The query must return exactly what a brute-force ranking over
+``all_pairs_tree_distance`` would (same peers, same distances, same
+``(dtree, repr)`` tie-break order), while visiting far fewer trie nodes than
+the subtree scans the pre-optimisation implementation performed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.path import PeerId, RouterPath
+from repro.core.path_tree import PathTree
+
+
+def _oracle_ranking(tree: PathTree, origin: PeerId, k: int) -> List[Tuple[PeerId, int]]:
+    """Brute-force k-closest via the exhaustive all-pairs distances."""
+    all_pairs = tree.all_pairs_tree_distance()
+    distances: Dict[PeerId, int] = {}
+    for (peer_a, peer_b), distance in all_pairs.items():
+        if peer_a == origin:
+            distances[peer_b] = distance
+        elif peer_b == origin:
+            distances[peer_a] = distance
+    ranked = sorted(distances.items(), key=lambda item: (item[1], repr(item[0])))
+    return ranked[:k]
+
+
+@st.composite
+def random_tree(draw):
+    """A populated path tree over random, prefix-sharing router paths."""
+    n_peers = draw(st.integers(2, 25))
+    tree = PathTree(landmark_id="lmk", landmark_router="lmk")
+    for index in range(n_peers):
+        depth = draw(st.integers(1, 7))
+        branch = [f"r{draw(st.integers(0, 3))}-{level}" for level in range(depth)]
+        seen, unique = set(), []
+        for router in branch + ["lmk"]:
+            if router not in seen:
+                seen.add(router)
+                unique.append(router)
+        tree.insert(RouterPath.from_routers(f"peer{index}", "lmk", unique))
+    # Random churn so pruned/reinserted shapes are covered too.
+    removals = draw(st.integers(0, n_peers // 2))
+    for _ in range(removals):
+        victims = tree.peers()
+        tree.remove(victims[draw(st.integers(0, len(victims) - 1))])
+    return tree
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=random_tree(), k=st.integers(1, 8))
+def test_property_matches_brute_force_oracle(tree, k):
+    """closest_peers == the brute-force all-pairs ranking, byte for byte."""
+    if tree.peer_count < 2:
+        return
+    for origin in tree.peers():
+        assert tree.closest_peers(origin, k=k) == _oracle_ranking(tree, origin, k)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=random_tree(), k=st.integers(1, 5))
+def test_property_exclude_set_respected_against_oracle(tree, k):
+    if tree.peer_count < 3:
+        return
+    origin = tree.peers()[0]
+    excluded = set(tree.peers()[1:2])
+    result = tree.closest_peers(origin, k=k, exclude=excluded)
+    oracle = [entry for entry in _oracle_ranking(tree, origin, tree.peer_count) if entry[0] not in excluded]
+    assert result == oracle[:k]
+
+
+class TestVisitInstrumentation:
+    def _skewed_tree(self, heavy_peers: int = 400) -> PathTree:
+        """Origin on a tiny branch next to one huge, deep sibling chain.
+
+        The sibling subtree is a long spine with one peer per node, so peer
+        distances from the origin strictly increase with depth.  The
+        pre-optimisation query scanned the entire spine as soon as the walk
+        reached the shared ancestor; the count-guided search must stop after
+        the handful of closest candidates.
+        """
+        tree = PathTree(landmark_id="lmk", landmark_router="lmk")
+        tree.insert(RouterPath.from_routers("origin", "lmk", ["o1", "fork", "core", "lmk"]))
+        tree.insert(RouterPath.from_routers("buddy", "lmk", ["o1", "fork", "core", "lmk"]))
+        spine = [f"s{index}" for index in range(heavy_peers)]
+        for index in range(heavy_peers):
+            routers = list(reversed(spine[: index + 1])) + ["fork", "core", "lmk"]
+            tree.insert(RouterPath.from_routers(f"deep{index}", "lmk", routers))
+        return tree
+
+    def test_skewed_tree_visits_fraction_of_nodes(self):
+        tree = self._skewed_tree()
+        total_nodes = tree.router_count
+        result = tree.closest_peers("origin", k=3)
+        assert len(result) == 3
+        assert tree.last_query_visits > 0
+        # The old implementation walked every node of the heavy sibling
+        # spine (plus the origin branch) — on this shape, nearly every
+        # router in the tree.  The frontier search must do far better.
+        assert tree.last_query_visits < total_nodes // 10
+
+    def test_visits_accumulate(self):
+        tree = self._skewed_tree(heavy_peers=50)
+        tree.closest_peers("origin", k=2)
+        first = tree.last_query_visits
+        tree.closest_peers("origin", k=2)
+        assert tree.last_query_visits == first
+        assert tree.total_query_visits >= 2 * first
+
+    def test_exhaustive_query_visits_at_most_every_node(self):
+        tree = self._skewed_tree(heavy_peers=30)
+        tree.closest_peers("origin", k=10_000)
+        assert tree.last_query_visits <= tree.router_count
+
+    def test_empty_subtrees_never_visited(self):
+        """Routers left peerless by departures are skipped via the counts."""
+        tree = PathTree(landmark_id="lmk", landmark_router="lmk")
+        tree.insert(RouterPath.from_routers("a", "lmk", ["a1", "core", "lmk"]))
+        tree.insert(RouterPath.from_routers("b", "lmk", ["b1", "core", "lmk"]))
+        tree.insert(RouterPath.from_routers("c", "lmk", ["c1", "c2", "core", "lmk"]))
+        result = tree.closest_peers("a", k=2)
+        assert [peer for peer, _ in result] == ["b", "c"]
+        with pytest.raises(Exception):
+            tree.closest_peers("ghost", k=1)

@@ -100,6 +100,13 @@ class TestSamplePairs:
         peers = [f"p{i}" for i in range(8)]
         assert sample_peer_pairs(peers, 10, seed=3) == sample_peer_pairs(peers, 10, seed=3)
 
+    def test_duplicate_ids_never_yield_self_pairs(self):
+        peers = ["x"] * 50 + ["y", "z"]
+        pairs = sample_peer_pairs(peers, 10, seed=4)
+        assert pairs  # terminates despite the duplicate streak
+        for peer_a, peer_b in pairs:
+            assert peer_a != peer_b
+
 
 class TestTrueHopDistances:
     def test_counts_host_hops(self, line_graph):

@@ -1,0 +1,159 @@
+"""Tests for the perf harness (timer, report, workloads, CLI subcommand)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_perf_parser, main, run_perf
+from repro.perf.report import SCHEMA_VERSION, PerfRecord, PerfReport
+from repro.perf.timer import OpTimer, Timing, time_ops
+from repro.perf.workloads import (
+    DEFAULT_POPULATIONS,
+    build_populated_server,
+    run_churn_workload,
+    run_departure_workload,
+    run_discovery_suite,
+    run_insert_workload,
+    run_query_workload,
+)
+
+
+class TestTimer:
+    def test_timing_derived_values(self):
+        timing = Timing(ops=4, total_s=2.0)
+        assert timing.per_op_s == 0.5
+        assert timing.per_op_us == 500_000.0
+        assert timing.ops_per_s == 2.0
+
+    def test_zero_ops_is_safe(self):
+        timing = Timing(ops=0, total_s=0.0)
+        assert timing.per_op_s == 0.0
+        assert timing.ops_per_s == float("inf")
+
+    def test_op_timer_accumulates_across_bursts(self):
+        timer = OpTimer()
+        for _ in range(3):
+            with timer:
+                timer.add_ops(2)
+        timing = timer.timing
+        assert timing.ops == 6
+        assert timing.total_s >= 0.0
+
+    def test_time_ops_counts_and_times(self):
+        timing = time_ops(lambda: sum(range(100)), ops=10)
+        assert timing.ops == 10
+        assert timing.total_s >= 0.0
+
+
+class TestReport:
+    def test_record_per_op_us(self):
+        record = PerfRecord(workload="query", population=100, ops=1000, total_s=0.5)
+        assert record.per_op_us == pytest.approx(500.0)
+
+    def test_round_trip(self):
+        report = PerfReport(metadata={"suite": "discovery"})
+        report.add(
+            PerfRecord(
+                workload="insert", population=10, ops=5, total_s=0.1, counters={"registrations": 5}
+            )
+        )
+        data = report.to_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        rebuilt = PerfReport.from_dict(data)
+        assert rebuilt.records[0].workload == "insert"
+        assert rebuilt.records[0].counters == {"registrations": 5}
+        assert rebuilt.metadata == {"suite": "discovery"}
+
+    def test_write_emits_valid_json(self, tmp_path):
+        report = PerfReport()
+        report.add(PerfRecord(workload="query", population=10, ops=1, total_s=0.01))
+        path = report.write(tmp_path / "bench.json")
+        data = json.loads(path.read_text())
+        assert data["records"][0]["per_op_us"] == pytest.approx(10_000.0)
+
+    def test_to_text_lists_all_records(self):
+        report = PerfReport()
+        report.add(PerfRecord(workload="churn", population=10, ops=1, total_s=0.01))
+        text = report.to_text()
+        assert "churn" in text
+        assert "per_op_us" in text
+
+
+class TestWorkloads:
+    def test_build_populated_server_uses_batch_path(self):
+        server = build_populated_server(30, seed=1)
+        assert server.peer_count == 30
+        assert server.stats.registrations == 30
+
+    @pytest.mark.parametrize(
+        "runner, name",
+        [
+            (run_insert_workload, "insert"),
+            (run_query_workload, "query"),
+            (run_departure_workload, "departure"),
+            (run_churn_workload, "churn"),
+        ],
+    )
+    def test_each_workload_produces_a_record(self, runner, name):
+        record = runner(40, ops=10, seed=2)
+        assert record.workload == name
+        assert record.population == 40
+        assert record.ops == 10
+        assert record.total_s >= 0.0
+        assert "registrations" in record.counters
+        assert "tree_node_visits" in record.counters
+
+    def test_query_workload_is_mostly_cache_hits(self):
+        record = run_query_workload(50, ops=100, seed=2)
+        assert record.counters["cache_hits"] >= 90
+
+    def test_departure_workload_counts_reverse_index_repairs(self):
+        record = run_departure_workload(50, ops=20, seed=2)
+        assert record.counters["removals"] == 20
+        # Reverse-index repairs happen, and never explode to O(n) per removal.
+        assert 0 < record.counters["departure_updates"] < 20 * 50
+
+    def test_churn_keeps_population_stable(self):
+        record = run_churn_workload(40, ops=15, seed=2)
+        assert record.counters["removals"] == 15
+        assert record.counters["registrations"] == 15
+
+    def test_suite_covers_all_workloads_and_populations(self):
+        report = run_discovery_suite(populations=(20, 40), ops=5, seed=2)
+        combos = {(record.workload, record.population) for record in report.records}
+        assert combos == {
+            (workload, population)
+            for workload in ("insert", "query", "departure", "churn")
+            for population in (20, 40)
+        }
+        assert report.metadata["populations"] == [20, 40]
+
+    def test_default_populations_match_issue_scales(self):
+        assert DEFAULT_POPULATIONS == (200, 800, 3200, 12800)
+
+
+class TestCli:
+    def test_perf_parser_defaults(self):
+        args = build_perf_parser().parse_args([])
+        assert args.populations is None
+        assert args.ops is None
+        assert str(args.output) == "BENCH_discovery.json"
+
+    def test_run_perf_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_discovery.json"
+        code = run_perf(["--populations", "20", "--ops", "5", "--output", str(output)])
+        assert code == 0
+        data = json.loads(output.read_text())
+        workloads = {record["workload"] for record in data["records"]}
+        assert workloads == {"insert", "query", "departure", "churn"}
+        assert all(record["population"] == 20 for record in data["records"])
+        out = capsys.readouterr().out
+        assert "insert" in out
+
+    def test_main_dispatches_perf_subcommand(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = main(["perf", "--populations", "20", "--ops", "3", "--output", str(output)])
+        assert code == 0
+        assert output.exists()
