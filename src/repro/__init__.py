@@ -31,6 +31,7 @@ from .core import (
     NewcomerClient,
     PathTree,
     RouterPath,
+    ShardedManagementServer,
     join_population,
 )
 from .landmarks import LandmarkSet, place_landmarks
@@ -43,6 +44,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ManagementServer",
     "NewcomerClient",
+    "ShardedManagementServer",
     "PathTree",
     "RouterPath",
     "join_population",

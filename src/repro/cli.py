@@ -18,6 +18,11 @@ Run the discovery perf harness and write ``BENCH_discovery.json``::
 
     repro-experiments perf
     repro-experiments perf --populations 200 800 --ops 50 --output /tmp/bench.json
+
+Measure the sharded management plane and gate on an earlier report::
+
+    repro-experiments perf --shards 1,4
+    repro-experiments perf --compare BENCH_discovery.json
 """
 
 from __future__ import annotations
@@ -70,6 +75,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_shard_counts(value: str) -> List[int]:
+    """Parse the ``--shards`` spec: comma-separated positive shard counts."""
+    try:
+        counts = [int(part) for part in value.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid shard count list {value!r}")
+    if not counts:
+        raise argparse.ArgumentTypeError("at least one shard count is required")
+    if any(count < 1 for count in counts):
+        raise argparse.ArgumentTypeError(f"shard counts must all be >= 1, got {counts}")
+    return counts
+
+
 def build_perf_parser() -> argparse.ArgumentParser:
     """Argument parser for the ``perf`` subcommand (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -108,17 +126,48 @@ def build_perf_parser() -> argparse.ArgumentParser:
         help="neighbour set size k (default: 5)",
     )
     parser.add_argument(
+        "--shards",
+        type=_parse_shard_counts,
+        default=None,
+        metavar="N[,N...]",
+        help=(
+            "run the workloads on a sharded management plane at these shard "
+            "counts (e.g. '1,4'); default runs the classic single server"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path("BENCH_discovery.json"),
         metavar="FILE",
         help="where to write the JSON report (default: BENCH_discovery.json)",
     )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help=(
+            "compare against a previous JSON report and exit non-zero when any "
+            "(workload, population, shards) cell regressed beyond the threshold"
+        ),
+    )
+    parser.add_argument(
+        "--compare-threshold",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="allowed per-op slowdown before --compare fails (default: 0.25)",
+    )
     return parser
 
 
 def run_perf(argv: Optional[Sequence[str]] = None) -> int:
     """Run the ``perf`` subcommand; returns the process exit code."""
+    import json
+
+    from .perf.compare import compare_reports
+    from .perf.report import PerfReport
     from .perf.workloads import DEFAULT_POPULATIONS, run_discovery_suite
 
     parser = build_perf_parser()
@@ -130,11 +179,23 @@ def run_perf(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--ops must be >= 1, got {args.ops}")
     if args.neighbor_set_size < 1:
         parser.error(f"--neighbor-set-size must be >= 1, got {args.neighbor_set_size}")
+    if args.compare_threshold < 0:
+        parser.error(f"--compare-threshold must be >= 0, got {args.compare_threshold}")
+
+    baseline = None
+    if args.compare is not None:
+        try:
+            baseline = PerfReport.from_dict(json.loads(args.compare.read_text()))
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"error: cannot read baseline {args.compare}: {error}", file=sys.stderr)
+            return 1
+
     report = run_discovery_suite(
         populations=populations,
         ops=args.ops,
         seed=args.seed,
         neighbor_set_size=args.neighbor_set_size,
+        shard_counts=args.shards,
     )
     print(report.to_text())
     try:
@@ -143,6 +204,24 @@ def run_perf(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: cannot write {args.output}: {error}", file=sys.stderr)
         return 1
     print(f"saved {path}", file=sys.stderr)
+
+    if baseline is not None:
+        result = compare_reports(baseline, report, threshold=args.compare_threshold)
+        print(result.to_text())
+        if not result.deltas:
+            print(
+                f"error: no comparable cells between {args.compare} and this run "
+                "(check --populations/--ops/--shards match the baseline)",
+                file=sys.stderr,
+            )
+            return 1
+        if not result.ok:
+            print(
+                f"error: perf regression vs {args.compare} "
+                f"({len(result.regressions)} cell(s) beyond {args.compare_threshold:.0%})",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -21,6 +21,8 @@ from .path import (
 )
 from .path_tree import PathTree, PathTreeNode
 from .management_server import ManagementServer, NeighborEntry, ServerStats
+from .neighbor_cache import NeighborCache
+from .sharded import ConsistentHashRing, ShardBackend, ShardedManagementServer
 from .distance import (
     AccuracyReport,
     DistanceEstimator,
@@ -67,8 +69,12 @@ __all__ = [
     "PathTree",
     "PathTreeNode",
     "ManagementServer",
+    "NeighborCache",
     "NeighborEntry",
     "ServerStats",
+    "ConsistentHashRing",
+    "ShardBackend",
+    "ShardedManagementServer",
     "AccuracyReport",
     "DistanceEstimator",
     "PairAccuracy",

@@ -1,0 +1,262 @@
+"""Shared peer-facing logic of the management plane.
+
+:class:`ManagementPlaneBase` holds everything that must behave *identically*
+on the single :class:`~repro.core.management_server.ManagementServer` and on
+the sharded coordinator
+(:class:`~repro.core.sharded.ShardedManagementServer`): the registration
+skeleton, the cache-hit/refill policy of ``closest_peers``, the distance
+estimator, the landmark-distance map and the peer read accessors.  Keeping
+one copy makes the sharded plane's byte-identical-results guarantee hold *by
+construction* for these paths — only the data-plane hooks below differ per
+plane.
+
+Subclass contract
+-----------------
+``__init__`` must set ``neighbor_set_size``, ``maintain_cache``, ``stats``,
+``_cache`` (a :class:`~repro.core.neighbor_cache.NeighborCache`),
+``_peer_landmark``, ``_paths``, ``_landmark_routers`` and
+``_landmark_distances``; the subclass implements the data-plane hooks
+``_validate_path``, ``_insert_path``, ``_compute_neighbors``,
+``unregister_peer`` and ``tree``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..exceptions import LandmarkError, UnknownPeerError
+from .neighbor_cache import NeighborCache, NeighborEntry
+from .path import LandmarkId, NodeId, PeerId, RouterPath
+from .path_tree import PathTree
+
+__all__ = ["ManagementPlaneBase", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Operation counters, used by the complexity benchmarks and perf harness."""
+
+    registrations: int = 0
+    removals: int = 0
+    queries: int = 0
+    cache_hits: int = 0
+    tree_queries: int = 0
+    cache_updates: int = 0
+    cache_refills: int = 0
+    departure_updates: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        for spec in fields(self):
+            setattr(self, spec.name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counter values keyed by name (for perf reports)."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+
+class ManagementPlaneBase:
+    """Plane-independent half of the management-server API (see module doc)."""
+
+    neighbor_set_size: int
+    maintain_cache: bool
+    stats: ServerStats
+    _cache: NeighborCache
+    _peer_landmark: Dict[PeerId, LandmarkId]
+    _paths: Dict[PeerId, RouterPath]
+    _landmark_routers: Dict[LandmarkId, NodeId]
+    _landmark_distances: Dict[Tuple[LandmarkId, LandmarkId], float]
+
+    # -------------------------------------------------------- data-plane hooks
+
+    def _validate_path(self, path: RouterPath) -> None:
+        """Raise if ``path`` cannot be inserted (plane-specific routing)."""
+        raise NotImplementedError
+
+    def _insert_path(self, path: RouterPath) -> None:
+        """Insert one validated path into the plane's trees and indexes."""
+        raise NotImplementedError
+
+    def _compute_neighbors(self, peer_id: PeerId, k: Optional[int] = None) -> List[Tuple[PeerId, float]]:
+        """Tree-walk computation of a peer's closest peers (plus fill)."""
+        raise NotImplementedError
+
+    def unregister_peer(self, peer_id: PeerId) -> None:
+        """Remove a departing peer from the plane."""
+        raise NotImplementedError
+
+    def tree(self, landmark_id: LandmarkId) -> PathTree:
+        """The path tree of one landmark."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- cache views
+
+    @property
+    def _neighbor_cache(self) -> Dict[PeerId, List[NeighborEntry]]:
+        """The cached neighbour lists (owned by :class:`NeighborCache`)."""
+        return self._cache.lists
+
+    @property
+    def _referenced_by(self) -> Dict[PeerId, Set[PeerId]]:
+        """The reverse neighbour index (owned by :class:`NeighborCache`)."""
+        return self._cache.referenced_by
+
+    # -------------------------------------------------------------- landmarks
+
+    def landmark_router(self, landmark_id: LandmarkId) -> NodeId:
+        """Router a landmark is attached to."""
+        if landmark_id not in self._landmark_routers:
+            raise LandmarkError(f"unknown landmark {landmark_id!r}")
+        return self._landmark_routers[landmark_id]
+
+    def set_landmark_distance(self, a: LandmarkId, b: LandmarkId, distance: float) -> None:
+        """Record the (symmetric) distance between two landmarks."""
+        if distance < 0:
+            raise LandmarkError(f"landmark distance must be >= 0, got {distance}")
+        self._landmark_distances[(a, b)] = float(distance)
+        self._landmark_distances[(b, a)] = float(distance)
+
+    def landmark_distance(self, a: LandmarkId, b: LandmarkId) -> Optional[float]:
+        """Distance between two landmarks, or None if unknown."""
+        if a == b:
+            return 0.0
+        return self._landmark_distances.get((a, b))
+
+    # ------------------------------------------------------------------ peers
+
+    @property
+    def peer_count(self) -> int:
+        """Number of currently registered peers."""
+        return len(self._peer_landmark)
+
+    def peers(self) -> List[PeerId]:
+        """Identifiers of all registered peers (registration order)."""
+        return list(self._peer_landmark)
+
+    def has_peer(self, peer_id: PeerId) -> bool:
+        """True if the peer is registered."""
+        return peer_id in self._peer_landmark
+
+    def peer_path(self, peer_id: PeerId) -> RouterPath:
+        """The path a peer registered with."""
+        if peer_id not in self._paths:
+            raise UnknownPeerError(peer_id)
+        return self._paths[peer_id]
+
+    def peer_landmark(self, peer_id: PeerId) -> LandmarkId:
+        """The landmark a peer registered under."""
+        if peer_id not in self._peer_landmark:
+            raise UnknownPeerError(peer_id)
+        return self._peer_landmark[peer_id]
+
+    def referencing_peers(self, peer_id: PeerId) -> Set[PeerId]:
+        """Peers whose cached neighbour list currently contains ``peer_id``.
+
+        Exposed for churn diagnostics and tests; the returned set is a copy.
+        """
+        return self._cache.referencing(peer_id)
+
+    # -------------------------------------------------------------- register
+
+    def register_peer(self, path: RouterPath) -> List[Tuple[PeerId, float]]:
+        """Round 2 of the join protocol: insert the path, return closest peers.
+
+        Returns the newcomer's neighbour list (up to ``neighbor_set_size``
+        entries of ``(peer_id, estimated_distance)``), which is also what the
+        plane caches for subsequent O(1) queries.
+        """
+        self._validate_path(path)
+        if path.peer_id in self._peer_landmark:
+            self.unregister_peer(path.peer_id)
+        self._insert_path(path)
+
+        neighbors = self._compute_neighbors(path.peer_id)
+        if self.maintain_cache:
+            self._cache.store(path.peer_id, neighbors)
+            self._cache.propagate_newcomer(path.peer_id, neighbors)
+        return neighbors
+
+    def _neighbor_phase(
+        self, pending: Dict[PeerId, RouterPath]
+    ) -> Dict[PeerId, List[Tuple[PeerId, float]]]:
+        """Phase 2 of a batch arrival: neighbour lists + cache propagation.
+
+        Runs after every batch path has landed in the trees, so each
+        newcomer's list (and each propagated update) already sees the whole
+        batch.
+        """
+        results: Dict[PeerId, List[Tuple[PeerId, float]]] = {}
+        for peer_id in pending:
+            neighbors = self._compute_neighbors(peer_id)
+            results[peer_id] = neighbors
+            if self.maintain_cache:
+                self._cache.store(peer_id, neighbors)
+                self._cache.propagate_newcomer(peer_id, neighbors)
+        return results
+
+    def _fill_bases(
+        self, landmarks: Iterable[LandmarkId], home_landmark: LandmarkId, own_hops: int
+    ) -> Dict[LandmarkId, float]:
+        """Detour-estimate bases for a cross-landmark fill over ``landmarks``.
+
+        One shared implementation for both planes: the base of each foreign
+        landmark with a known distance to the querying peer's home landmark
+        is ``own_hops + d(home, other)``.  Both the single server and the
+        sharded coordinator feed these bases to ``fill_candidates``, so the
+        fill order is identical by construction.
+        """
+        bases: Dict[LandmarkId, float] = {}
+        for other_landmark in landmarks:
+            if other_landmark == home_landmark:
+                continue
+            between = self.landmark_distance(home_landmark, other_landmark)
+            if between is None:
+                continue
+            bases[other_landmark] = float(own_hops + between)
+        return bases
+
+    # ---------------------------------------------------------------- queries
+
+    def closest_peers(self, peer_id: PeerId, k: Optional[int] = None) -> List[Tuple[PeerId, float]]:
+        """Return up to ``k`` closest peers for a registered peer.
+
+        With the cache enabled and ``k <= neighbor_set_size`` this is a single
+        dictionary access (plus slicing); otherwise the landmark trees are
+        queried directly, lazily refilling the cache.
+        """
+        if peer_id not in self._peer_landmark:
+            raise UnknownPeerError(peer_id)
+        k = k or self.neighbor_set_size
+        self.stats.queries += 1
+        if self.maintain_cache and k <= self.neighbor_set_size:
+            entries = self._cache.get(peer_id) or []
+            if len(entries) >= min(k, self.peer_count - 1):
+                self.stats.cache_hits += 1
+                return [(entry.peer_id, entry.distance) for entry in entries[:k]]
+        neighbors = self._compute_neighbors(peer_id, k=k)
+        if self.maintain_cache and k >= self.neighbor_set_size:
+            self._cache.store(peer_id, neighbors[: self.neighbor_set_size])
+            self.stats.cache_refills += 1
+        return neighbors
+
+    def estimate_distance(self, peer_a: PeerId, peer_b: PeerId) -> float:
+        """Estimated hop distance between two registered peers.
+
+        Implements the :class:`~repro.core.distance.DistanceEstimator`
+        protocol: same-landmark pairs use the tree distance, cross-landmark
+        pairs use the landmark-detour estimate (requires landmark distances),
+        and unknown cross-landmark distances raise :class:`LandmarkError`.
+        """
+        if peer_a == peer_b:
+            return 0.0
+        landmark_a = self.peer_landmark(peer_a)
+        landmark_b = self.peer_landmark(peer_b)
+        if landmark_a == landmark_b:
+            return float(self.tree(landmark_a).tree_distance(peer_a, peer_b))
+        between = self.landmark_distance(landmark_a, landmark_b)
+        if between is None:
+            raise LandmarkError(
+                f"no inter-landmark distance between {landmark_a!r} and {landmark_b!r}"
+            )
+        return float(self._paths[peer_a].hop_count + between + self._paths[peer_b].hop_count)

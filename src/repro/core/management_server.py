@@ -13,16 +13,16 @@ Hot-path complexity guarantees
 With ``n`` registered peers, ``k = neighbor_set_size``, ``d`` the network
 diameter (path length, ~15–30 hops) and ``b`` the trie branching factor:
 
-* **Insertion** (:meth:`ManagementServer.register_peer`): O(d) trie insert +
-  a count-guided tree query (O(k + d·b), see below) + at most ``k``
-  ordered-list insertions of O(log k) each — the paper's O(log n) claim.
-  (When cross-landmark fills are in use, maintaining the per-landmark
-  min-hop ordering adds one sorted-list insert; the ordering is built
-  lazily, so single-landmark deployments never pay it.)
-* **Query** (:meth:`ManagementServer.closest_peers`): one dictionary access
-  when the cache is warm — O(1).  A cache miss falls back to the tree query:
-  a best-first walk over the landmark trie guided by ``subtree_peer_count``
-  that visits O(k + d·b) nodes instead of scanning whole sibling subtrees.
+* **Insertion** (``register_peer``): O(d) trie insert + a count-guided tree
+  query (O(k + d·b), see below) + at most ``k`` ordered-list insertions of
+  O(log k) each — the paper's O(log n) claim.  (When cross-landmark fills
+  are in use, maintaining the per-landmark min-hop ordering adds one
+  sorted-list insert; the ordering is built lazily, so single-landmark
+  deployments never pay it.)
+* **Query** (``closest_peers``): one dictionary access when the cache is
+  warm — O(1).  A cache miss falls back to the tree query: a best-first walk
+  over the landmark trie guided by ``subtree_peer_count`` that visits
+  O(k + d·b) nodes instead of scanning whole sibling subtrees.
 * **Departure** (:meth:`ManagementServer.unregister_peer`): O(d) trie removal
   + O(r) cached-list repairs where ``r`` is the number of lists that actually
   reference the departed peer (bounded by the reverse neighbour index, not by
@@ -31,6 +31,28 @@ diameter (path length, ~15–30 hops) and ``b`` the trie branching factor:
 * **Batch arrival** (:meth:`ManagementServer.register_peers`): inserts all
   paths first, then computes neighbour lists and propagates cache updates in
   one pass, so co-arriving peers see each other immediately.
+
+The peer-facing half of the API (registration skeleton, cache policy,
+distance estimator, read accessors) lives in
+:class:`~repro.core.management_plane.ManagementPlaneBase`, and the cached
+lists plus the reverse neighbour index in
+:class:`~repro.core.neighbor_cache.NeighborCache` — both shared with the
+sharded coordinator (:class:`~repro.core.sharded.ShardedManagementServer`)
+so the two planes behave identically by construction.
+
+Shard-facing interface
+----------------------
+A :class:`ManagementServer` can also serve as one **shard** of the sharded
+management plane.  The coordinator drives it through a small data-plane
+surface (see :class:`~repro.core.sharded.ShardBackend`):
+
+* :meth:`validate_registrable` / :meth:`insert_paths` /
+  :meth:`unregister_peer` — landmark-tree membership, no neighbour-list work;
+* :meth:`local_closest` — the count-guided query over the peer's own
+  landmark tree;
+* :meth:`fill_candidates` — this shard's lazily merged candidate stream over
+  its per-landmark min-hop orderings, the inter-shard half of the
+  cross-landmark fill protocol.
 
 Cross-landmark estimates
 ------------------------
@@ -52,51 +74,19 @@ from __future__ import annotations
 
 import bisect
 import heapq
-from dataclasses import dataclass, fields
-from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .._validation import require_positive_int
 from ..exceptions import LandmarkError, RegistrationError, UnknownPeerError
+from .management_plane import ManagementPlaneBase, ServerStats
+from .neighbor_cache import NeighborCache, NeighborEntry
 from .path import LandmarkId, NodeId, PeerId, RouterPath
 from .path_tree import PathTree
 
-
-@dataclass
-class ServerStats:
-    """Operation counters, used by the complexity benchmarks and perf harness."""
-
-    registrations: int = 0
-    removals: int = 0
-    queries: int = 0
-    cache_hits: int = 0
-    tree_queries: int = 0
-    cache_updates: int = 0
-    cache_refills: int = 0
-    departure_updates: int = 0
-
-    def reset(self) -> None:
-        """Zero all counters."""
-        for spec in fields(self):
-            setattr(self, spec.name, 0)
-
-    def as_dict(self) -> Dict[str, int]:
-        """Counter values keyed by name (for perf reports)."""
-        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+__all__ = ["ManagementServer", "NeighborEntry", "ServerStats"]
 
 
-@dataclass
-class NeighborEntry:
-    """One entry of a cached neighbour list."""
-
-    distance: float
-    peer_id: PeerId
-
-    def as_tuple(self) -> Tuple[float, str, PeerId]:
-        """Sort key: distance first, then a stable textual tiebreak."""
-        return (self.distance, repr(self.peer_id), self.peer_id)
-
-
-class ManagementServer:
+class ManagementServer(ManagementPlaneBase):
     """Central server implementing the paper's two-round discovery scheme.
 
     Parameters
@@ -107,7 +97,8 @@ class ManagementServer:
     maintain_cache:
         Keep per-peer neighbour lists up to date on every registration so
         queries are O(1).  Disabling it makes every query walk the tree
-        (useful for the complexity ablation).
+        (useful for the complexity ablation, and for shard backends whose
+        coordinator owns the cache).
     landmark_distances:
         Optional ``{(landmark_a, landmark_b): hop_distance}`` map (symmetric
         entries are filled in automatically) enabling cross-landmark
@@ -126,11 +117,8 @@ class ManagementServer:
         self._landmark_routers: Dict[LandmarkId, NodeId] = {}
         self._peer_landmark: Dict[PeerId, LandmarkId] = {}
         self._paths: Dict[PeerId, RouterPath] = {}
-        self._neighbor_cache: Dict[PeerId, List[NeighborEntry]] = {}
-        # Reverse neighbour index: peer -> peers whose cached list contains
-        # it.  Kept exactly in sync with _neighbor_cache so a departure only
-        # touches the lists that actually reference the departed peer.
-        self._referenced_by: Dict[PeerId, Set[PeerId]] = {}
+        self.stats = ServerStats()
+        self._cache = NeighborCache(self.neighbor_set_size, self.stats)
         # Per-landmark (hop_count, repr(peer), peer) orderings, kept sorted so
         # cross-landmark fills can merge the few best candidates lazily.
         # Built on first use per landmark and maintained incrementally after
@@ -140,7 +128,6 @@ class ManagementServer:
         if landmark_distances:
             for (a, b), distance in landmark_distances.items():
                 self.set_landmark_distance(a, b, distance)
-        self.stats = ServerStats()
 
     # -------------------------------------------------------------- landmarks
 
@@ -155,84 +142,13 @@ class ManagementServer:
         """Identifiers of all registered landmarks."""
         return list(self._trees)
 
-    def landmark_router(self, landmark_id: LandmarkId) -> NodeId:
-        """Router a landmark is attached to."""
-        if landmark_id not in self._landmark_routers:
-            raise LandmarkError(f"unknown landmark {landmark_id!r}")
-        return self._landmark_routers[landmark_id]
-
     def tree(self, landmark_id: LandmarkId) -> PathTree:
         """The path tree of one landmark."""
         if landmark_id not in self._trees:
             raise LandmarkError(f"unknown landmark {landmark_id!r}")
         return self._trees[landmark_id]
 
-    def set_landmark_distance(self, a: LandmarkId, b: LandmarkId, distance: float) -> None:
-        """Record the (symmetric) distance between two landmarks."""
-        if distance < 0:
-            raise LandmarkError(f"landmark distance must be >= 0, got {distance}")
-        self._landmark_distances[(a, b)] = float(distance)
-        self._landmark_distances[(b, a)] = float(distance)
-
-    def landmark_distance(self, a: LandmarkId, b: LandmarkId) -> Optional[float]:
-        """Distance between two landmarks, or None if unknown."""
-        if a == b:
-            return 0.0
-        return self._landmark_distances.get((a, b))
-
-    # ------------------------------------------------------------------ peers
-
-    @property
-    def peer_count(self) -> int:
-        """Number of currently registered peers."""
-        return len(self._peer_landmark)
-
-    def peers(self) -> List[PeerId]:
-        """Identifiers of all registered peers."""
-        return list(self._peer_landmark)
-
-    def has_peer(self, peer_id: PeerId) -> bool:
-        """True if the peer is registered."""
-        return peer_id in self._peer_landmark
-
-    def peer_path(self, peer_id: PeerId) -> RouterPath:
-        """The path a peer registered with."""
-        if peer_id not in self._paths:
-            raise UnknownPeerError(peer_id)
-        return self._paths[peer_id]
-
-    def peer_landmark(self, peer_id: PeerId) -> LandmarkId:
-        """The landmark a peer registered under."""
-        if peer_id not in self._peer_landmark:
-            raise UnknownPeerError(peer_id)
-        return self._peer_landmark[peer_id]
-
-    def referencing_peers(self, peer_id: PeerId) -> Set[PeerId]:
-        """Peers whose cached neighbour list currently contains ``peer_id``.
-
-        Exposed for churn diagnostics and tests; the returned set is a copy.
-        """
-        return set(self._referenced_by.get(peer_id, ()))
-
     # -------------------------------------------------------------- register
-
-    def register_peer(self, path: RouterPath) -> List[Tuple[PeerId, float]]:
-        """Round 2 of the join protocol: insert the path, return closest peers.
-
-        Returns the newcomer's neighbour list (up to ``neighbor_set_size``
-        entries of ``(peer_id, estimated_distance)``), which is also what the
-        server caches for subsequent O(1) queries.
-        """
-        self._require_registrable(path)
-        if path.peer_id in self._peer_landmark:
-            self.unregister_peer(path.peer_id)
-        self._insert_path(path)
-
-        neighbors = self._compute_neighbors(path.peer_id)
-        if self.maintain_cache:
-            self._cache_store(path.peer_id, neighbors)
-            self._propagate_newcomer(path.peer_id, neighbors)
-        return neighbors
 
     def register_peers(
         self, paths: Sequence[RouterPath]
@@ -248,24 +164,11 @@ class ManagementServer:
         Returns ``{peer_id: neighbour list}`` in input order (a peer repeated
         in the batch keeps its last path).
         """
-        for path in paths:
-            self._require_registrable(path)
-
+        self.insert_paths(paths)
         pending: Dict[PeerId, RouterPath] = {}
         for path in paths:
-            if path.peer_id in self._peer_landmark:
-                self.unregister_peer(path.peer_id)
-            self._insert_path(path)
             pending[path.peer_id] = path
-
-        results: Dict[PeerId, List[Tuple[PeerId, float]]] = {}
-        for peer_id in pending:
-            neighbors = self._compute_neighbors(peer_id)
-            results[peer_id] = neighbors
-            if self.maintain_cache:
-                self._cache_store(peer_id, neighbors)
-                self._propagate_newcomer(peer_id, neighbors)
-        return results
+        return self._neighbor_phase(pending)
 
     def unregister_peer(self, peer_id: PeerId) -> None:
         """Remove a departing peer from its tree and from the cached lists.
@@ -284,66 +187,11 @@ class ManagementServer:
         self.stats.removals += 1
         if not self.maintain_cache:
             return
+        self._cache.drop_peer(peer_id)
 
-        own_entries = self._neighbor_cache.pop(peer_id, None)
-        if own_entries:
-            for entry in own_entries:
-                self._reverse_discard(entry.peer_id, peer_id)
-        for referrer in self._referenced_by.pop(peer_id, ()):
-            entries = self._neighbor_cache.get(referrer)
-            if entries is None:
-                continue
-            entries[:] = [entry for entry in entries if entry.peer_id != peer_id]
-            self.stats.departure_updates += 1
+    # ------------------------------------------------- shard-facing interface
 
-    # ---------------------------------------------------------------- queries
-
-    def closest_peers(self, peer_id: PeerId, k: Optional[int] = None) -> List[Tuple[PeerId, float]]:
-        """Return up to ``k`` closest peers for a registered peer.
-
-        With the cache enabled and ``k <= neighbor_set_size`` this is a single
-        dictionary access (plus slicing); otherwise the landmark tree is
-        queried directly.
-        """
-        if peer_id not in self._peer_landmark:
-            raise UnknownPeerError(peer_id)
-        k = k or self.neighbor_set_size
-        self.stats.queries += 1
-        if self.maintain_cache and k <= self.neighbor_set_size:
-            entries = self._neighbor_cache.get(peer_id, [])
-            if len(entries) >= min(k, self.peer_count - 1):
-                self.stats.cache_hits += 1
-                return [(entry.peer_id, entry.distance) for entry in entries[:k]]
-        neighbors = self._compute_neighbors(peer_id, k=k)
-        if self.maintain_cache and k >= self.neighbor_set_size:
-            self._cache_store(peer_id, neighbors[: self.neighbor_set_size])
-            self.stats.cache_refills += 1
-        return neighbors
-
-    def estimate_distance(self, peer_a: PeerId, peer_b: PeerId) -> float:
-        """Estimated hop distance between two registered peers.
-
-        Implements the :class:`~repro.core.distance.DistanceEstimator`
-        protocol: same-landmark pairs use the tree distance, cross-landmark
-        pairs use the landmark-detour estimate (requires landmark distances),
-        and unknown cross-landmark distances raise :class:`LandmarkError`.
-        """
-        if peer_a == peer_b:
-            return 0.0
-        landmark_a = self.peer_landmark(peer_a)
-        landmark_b = self.peer_landmark(peer_b)
-        if landmark_a == landmark_b:
-            return float(self._trees[landmark_a].tree_distance(peer_a, peer_b))
-        between = self.landmark_distance(landmark_a, landmark_b)
-        if between is None:
-            raise LandmarkError(
-                f"no inter-landmark distance between {landmark_a!r} and {landmark_b!r}"
-            )
-        return float(self._paths[peer_a].hop_count + between + self._paths[peer_b].hop_count)
-
-    # -------------------------------------------------------------- internals
-
-    def _require_registrable(self, path: RouterPath) -> None:
+    def validate_registrable(self, path: RouterPath) -> None:
         """Raise if ``path`` cannot be inserted (unknown landmark / wrong root).
 
         Checks everything :meth:`PathTree.insert` would reject, so a batch
@@ -363,6 +211,72 @@ class ManagementServer:
                 f"but the tree of landmark {path.landmark_id!r} is rooted at "
                 f"{root.router!r}"
             )
+
+    def insert_paths(self, paths: Sequence[RouterPath], validate: bool = True) -> None:
+        """Raw batch insert: landmark trees and indexes only, no neighbour work.
+
+        This is the arrival half of the shard interface: the coordinator owns
+        the neighbour cache, so a shard only validates every path up front
+        (no partial failure) and lands them in its trees.  A peer already
+        present on this shard is replaced.  A coordinator that has already
+        validated the batch passes ``validate=False`` to skip the re-check.
+        """
+        if validate:
+            for path in paths:
+                self.validate_registrable(path)
+        for path in paths:
+            if path.peer_id in self._peer_landmark:
+                self.unregister_peer(path.peer_id)
+            self._insert_path(path)
+
+    def local_closest(self, peer_id: PeerId, k: int) -> List[Tuple[PeerId, float]]:
+        """Closest peers from the peer's own landmark tree (no cross fill).
+
+        The count-guided best-first tree walk, exposed so the sharded
+        coordinator can query a peer's home shard directly.
+        """
+        if peer_id not in self._peer_landmark:
+            raise UnknownPeerError(peer_id)
+        landmark_id = self._peer_landmark[peer_id]
+        self.stats.tree_queries += 1
+        same_landmark = self._trees[landmark_id].closest_peers(peer_id, k)
+        return [(peer, float(distance)) for peer, distance in same_landmark]
+
+    def fill_candidates(
+        self,
+        bases: Mapping[LandmarkId, float],
+        exclude_peer: Optional[PeerId] = None,
+    ) -> Iterator[Tuple[float, str, PeerId]]:
+        """This server's candidate stream for a cross-landmark fill (lazy).
+
+        ``bases`` maps each of this server's landmarks to the constant part
+        of the detour estimate for the querying peer
+        (``hops(peer -> its landmark) + d(its landmark, this landmark)``) —
+        the caller computes it, so a shard needs no knowledge of foreign
+        landmark distances.  The stream yields ``(estimate, repr(peer),
+        peer)`` tuples in non-decreasing order: one sorted stream per local
+        landmark (its min-hop ordering shifted by the base), merged lazily so
+        a consumer that only needs one or two fill candidates stops early.
+        """
+
+        def shifted(
+            ordering: List[Tuple[int, str, PeerId]], base: float
+        ) -> Iterator[Tuple[float, str, PeerId]]:
+            for hops, text, peer in ordering:
+                if peer != exclude_peer:
+                    yield (base + hops, text, peer)
+
+        streams = [
+            shifted(self._hops_ordering(landmark_id), float(base))
+            for landmark_id, base in bases.items()
+            if landmark_id in self._trees
+        ]
+        return heapq.merge(*streams)
+
+    # -------------------------------------------------------------- internals
+
+    def _validate_path(self, path: RouterPath) -> None:
+        self.validate_registrable(path)
 
     def _insert_path(self, path: RouterPath) -> None:
         """Insert one validated path into the tree and the server indexes."""
@@ -398,63 +312,17 @@ class ManagementServer:
                 return
             index += 1
 
-    def _reverse_discard(self, target: PeerId, referrer: PeerId) -> None:
-        """Remove one ``referrer -> target`` edge from the reverse index."""
-        refs = self._referenced_by.get(target)
-        if refs is None:
-            return
-        refs.discard(referrer)
-        if not refs:
-            del self._referenced_by[target]
-
-    def _cache_store(self, peer_id: PeerId, pairs: Sequence[Tuple[PeerId, float]]) -> None:
-        """Replace a peer's cached list, keeping the reverse index in sync."""
-        old_entries = self._neighbor_cache.get(peer_id)
-        if old_entries:
-            for entry in old_entries:
-                self._reverse_discard(entry.peer_id, peer_id)
-        entries = [NeighborEntry(distance=distance, peer_id=peer) for peer, distance in pairs]
-        self._neighbor_cache[peer_id] = entries
-        for entry in entries:
-            self._referenced_by.setdefault(entry.peer_id, set()).add(peer_id)
-
     def _cross_landmark_candidates(
         self, peer_id: PeerId, landmark_id: LandmarkId, own_hops: int
     ) -> Iterator[Tuple[float, str, PeerId]]:
-        """Foreign-tree candidates in non-decreasing estimate order (lazy).
-
-        One sorted stream per foreign landmark (its min-hop ordering shifted
-        by the constant ``own_hops + landmark distance``), merged lazily so a
-        consumer that only needs one or two fill candidates stops early.
-        """
-        def shifted(
-            ordering: List[Tuple[int, str, PeerId]], base: float
-        ) -> Iterator[Tuple[float, str, PeerId]]:
-            for hops, text, peer in ordering:
-                if peer != peer_id:
-                    yield (base + hops, text, peer)
-
-        streams = []
-        for other_landmark in self._trees:
-            if other_landmark == landmark_id:
-                continue
-            between = self.landmark_distance(landmark_id, other_landmark)
-            if between is None:
-                continue
-            base = float(own_hops + between)
-            streams.append(shifted(self._hops_ordering(other_landmark), base))
-        return heapq.merge(*streams)
+        """Foreign-tree candidates in non-decreasing estimate order (lazy)."""
+        bases = self._fill_bases(self._trees, landmark_id, own_hops)
+        return self.fill_candidates(bases, exclude_peer=peer_id)
 
     def _compute_neighbors(self, peer_id: PeerId, k: Optional[int] = None) -> List[Tuple[PeerId, float]]:
         """Tree-walk computation of a peer's closest peers (plus cross-landmark fill)."""
         k = k or self.neighbor_set_size
-        landmark_id = self._peer_landmark[peer_id]
-        tree = self._trees[landmark_id]
-        self.stats.tree_queries += 1
-        same_landmark = tree.closest_peers(peer_id, k)
-        neighbors: List[Tuple[PeerId, float]] = [
-            (peer, float(distance)) for peer, distance in same_landmark
-        ]
+        neighbors = self.local_closest(peer_id, k)
         if len(neighbors) >= k:
             return neighbors[:k]
 
@@ -462,6 +330,7 @@ class ManagementServer:
         # estimates if inter-landmark distances are known.  The per-landmark
         # min-hop orderings are merged lazily, so only as many foreign
         # candidates as needed are ever examined.
+        landmark_id = self._peer_landmark[peer_id]
         own_hops = self._paths[peer_id].hop_count
         already = {peer for peer, _ in neighbors}
         for estimate, _, other_peer in self._cross_landmark_candidates(
@@ -474,35 +343,6 @@ class ManagementServer:
             neighbors.append((other_peer, estimate))
             already.add(other_peer)
         return neighbors
-
-    def _propagate_newcomer(
-        self, newcomer: PeerId, newcomer_neighbors: Sequence[Tuple[PeerId, float]]
-    ) -> None:
-        """Insert the newcomer into nearby peers' cached lists (ordered insert).
-
-        Only the peers that appear in the newcomer's own neighbour list (and
-        their current list members' bound) can possibly gain the newcomer as
-        a better neighbour, so the update cost is bounded by
-        ``neighbor_set_size`` ordered-list insertions — the O(log n)
-        "ordered list" cost the paper refers to.  Each insertion bisects on
-        the entries' ``(distance, repr(peer))`` keys directly.
-        """
-        for peer, distance in newcomer_neighbors:
-            entries = self._neighbor_cache.get(peer)
-            if entries is None:
-                continue
-            if any(entry.peer_id == newcomer for entry in entries):
-                continue
-            if len(entries) >= self.neighbor_set_size and distance >= entries[-1].distance:
-                continue
-            new_entry = NeighborEntry(distance=distance, peer_id=newcomer)
-            index = bisect.bisect_left(entries, new_entry.as_tuple(), key=NeighborEntry.as_tuple)
-            entries.insert(index, new_entry)
-            for evicted in entries[self.neighbor_set_size :]:
-                self._reverse_discard(evicted.peer_id, peer)
-            del entries[self.neighbor_set_size :]
-            self._referenced_by.setdefault(newcomer, set()).add(peer)
-            self.stats.cache_updates += 1
 
     def __repr__(self) -> str:
         return (

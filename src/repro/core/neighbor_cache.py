@@ -1,0 +1,143 @@
+"""Per-peer cached neighbour lists with a reverse neighbour index.
+
+This is the peer-facing half of the management plane, extracted from
+:class:`~repro.core.management_server.ManagementServer` so that both the
+single-process server and the sharded coordinator
+(:class:`~repro.core.sharded.ShardedManagementServer`) maintain their caches
+with *exactly* the same code — which is what makes the sharded plane's
+results byte-identical to the single server's.
+
+The cache holds, for every registered peer, an ordered list of
+:class:`NeighborEntry` (closest first), plus the **reverse neighbour index**
+``referenced_by`` (peer -> peers whose cached list contains it) so a
+departure only repairs the lists that actually reference the departed peer.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from .._validation import require_positive_int
+from .path import PeerId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .management_plane import ServerStats
+
+
+@dataclass
+class NeighborEntry:
+    """One entry of a cached neighbour list."""
+
+    distance: float
+    peer_id: PeerId
+
+    def as_tuple(self) -> Tuple[float, str, PeerId]:
+        """Sort key: distance first, then a stable textual tiebreak."""
+        return (self.distance, repr(self.peer_id), self.peer_id)
+
+
+class NeighborCache:
+    """Cached neighbour lists plus the reverse index, kept exactly in sync.
+
+    Parameters
+    ----------
+    neighbor_set_size:
+        Maximum entries per cached list (``k``).
+    stats:
+        The owning server's :class:`~repro.core.management_plane.ServerStats`;
+        the cache increments ``cache_updates`` and ``departure_updates`` on it
+        so counter-based complexity tests keep working regardless of which
+        plane (single or sharded) owns the cache.
+    """
+
+    def __init__(self, neighbor_set_size: int, stats: "ServerStats") -> None:
+        self.neighbor_set_size = require_positive_int(neighbor_set_size, "neighbor_set_size")
+        self.stats = stats
+        self.lists: Dict[PeerId, List[NeighborEntry]] = {}
+        self.referenced_by: Dict[PeerId, Set[PeerId]] = {}
+
+    # ---------------------------------------------------------------- reading
+
+    def get(self, peer_id: PeerId) -> Optional[List[NeighborEntry]]:
+        """The peer's cached list, or None if it has none."""
+        return self.lists.get(peer_id)
+
+    def referencing(self, peer_id: PeerId) -> Set[PeerId]:
+        """Peers whose cached list currently contains ``peer_id`` (a copy)."""
+        return set(self.referenced_by.get(peer_id, ()))
+
+    # --------------------------------------------------------------- mutating
+
+    def store(self, peer_id: PeerId, pairs: Sequence[Tuple[PeerId, float]]) -> None:
+        """Replace a peer's cached list, keeping the reverse index in sync."""
+        old_entries = self.lists.get(peer_id)
+        if old_entries:
+            for entry in old_entries:
+                self._reverse_discard(entry.peer_id, peer_id)
+        entries = [NeighborEntry(distance=distance, peer_id=peer) for peer, distance in pairs]
+        self.lists[peer_id] = entries
+        for entry in entries:
+            self.referenced_by.setdefault(entry.peer_id, set()).add(peer_id)
+
+    def drop_peer(self, peer_id: PeerId) -> None:
+        """Remove a departing peer's list and repair the lists referencing it.
+
+        The reverse index pinpoints the (at most ``r``) lists that reference
+        the departed peer, so the cost is O(r·k), not O(n).  Each repaired
+        list bumps ``stats.departure_updates``.
+        """
+        own_entries = self.lists.pop(peer_id, None)
+        if own_entries:
+            for entry in own_entries:
+                self._reverse_discard(entry.peer_id, peer_id)
+        for referrer in self.referenced_by.pop(peer_id, ()):
+            entries = self.lists.get(referrer)
+            if entries is None:
+                continue
+            entries[:] = [entry for entry in entries if entry.peer_id != peer_id]
+            self.stats.departure_updates += 1
+
+    def propagate_newcomer(
+        self, newcomer: PeerId, newcomer_neighbors: Sequence[Tuple[PeerId, float]]
+    ) -> None:
+        """Insert the newcomer into nearby peers' cached lists (ordered insert).
+
+        Only the peers that appear in the newcomer's own neighbour list (and
+        their current list members' bound) can possibly gain the newcomer as
+        a better neighbour, so the update cost is bounded by
+        ``neighbor_set_size`` ordered-list insertions — the O(log n)
+        "ordered list" cost the paper refers to.  Each insertion bisects on
+        the entries' ``(distance, repr(peer))`` keys directly.
+        """
+        for peer, distance in newcomer_neighbors:
+            entries = self.lists.get(peer)
+            if entries is None:
+                continue
+            if any(entry.peer_id == newcomer for entry in entries):
+                continue
+            if len(entries) >= self.neighbor_set_size and distance >= entries[-1].distance:
+                continue
+            new_entry = NeighborEntry(distance=distance, peer_id=newcomer)
+            index = bisect.bisect_left(entries, new_entry.as_tuple(), key=NeighborEntry.as_tuple)
+            entries.insert(index, new_entry)
+            for evicted in entries[self.neighbor_set_size :]:
+                self._reverse_discard(evicted.peer_id, peer)
+            del entries[self.neighbor_set_size :]
+            self.referenced_by.setdefault(newcomer, set()).add(peer)
+            self.stats.cache_updates += 1
+
+    # -------------------------------------------------------------- internals
+
+    def _reverse_discard(self, target: PeerId, referrer: PeerId) -> None:
+        """Remove one ``referrer -> target`` edge from the reverse index."""
+        refs = self.referenced_by.get(target)
+        if refs is None:
+            return
+        refs.discard(referrer)
+        if not refs:
+            del self.referenced_by[target]
+
+    def __repr__(self) -> str:
+        return f"NeighborCache(lists={len(self.lists)}, k={self.neighbor_set_size})"

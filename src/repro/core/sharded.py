@@ -1,0 +1,376 @@
+"""Sharded management plane: landmarks partitioned across several shards.
+
+The paper's management server is a single process.  To serve millions of
+peers, this module partitions the **data plane** — the per-landmark path
+trees and min-hop orderings — across ``N`` shards by consistent-hashing
+landmark identifiers, while a thin coordinator keeps the **peer-facing
+plane** (routing table, neighbour cache, reverse neighbour index) and
+presents the exact :class:`~repro.core.management_server.ManagementServer`
+public API.
+
+Shard protocol
+--------------
+Every landmark is owned by exactly one shard (consistent hashing via
+:class:`ConsistentHashRing`, so adding shards relocates only ~1/N of the
+landmarks), and every peer lives on the shard that owns its landmark.  The
+coordinator drives shards through the small :class:`ShardBackend` surface —
+today an in-process :class:`~repro.core.management_server.ManagementServer`
+per shard, later a remote or async backend speaking the same five methods:
+
+* **Arrival** — ``validate_registrable`` on every path's home shard first
+  (no partial batch failure), then ``insert_paths`` once per shard: a batch
+  of co-arriving peers fans out into independent per-shard tree inserts.
+* **Departure** — ``unregister_peer`` on the peer's home shard removes it
+  from that shard's tree and min-hop ordering; the coordinator's shared
+  :class:`~repro.core.neighbor_cache.NeighborCache` repairs exactly the
+  cached lists that referenced the departed peer (reverse neighbour index),
+  wherever their owners live.
+* **Query** — the home shard answers from its local tree
+  (``local_closest``).  When the home tree cannot provide ``k`` candidates,
+  the coordinator reuses the **cross-landmark fill** as the inter-shard
+  candidate protocol: it sends each shard the per-landmark detour-estimate
+  bases, each shard lazily heap-merges its local min-hop orderings into one
+  sorted candidate stream (``fill_candidates``), and the coordinator
+  heap-merges the per-shard streams into the final top-k.  No new estimator
+  is introduced: a shard boundary is just a landmark boundary, so the
+  single-server fill order is reproduced exactly.
+
+Equivalence guarantee
+---------------------
+Because every candidate tuple ``(estimate, repr(peer), peer)`` is a total
+order and the cache logic is the very same :class:`NeighborCache` code, a
+``ShardedManagementServer`` returns **byte-identical results** to a single
+:class:`ManagementServer` fed the same operation sequence — same peers, same
+distances, same order — for any shard count.  The property-test oracle in
+``tests/core/test_sharded_equivalence.py`` enforces this.  Operation
+counters (:class:`ServerStats`) are coordinator-level and may differ from
+the single server's in pathological batches (e.g. a peer repeated within
+one batch skips the intermediate tree insert); results never do.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import heapq
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from .._validation import require_positive_int
+from ..exceptions import LandmarkError, UnknownPeerError
+from .management_plane import ManagementPlaneBase, ServerStats
+from .management_server import ManagementServer
+from .neighbor_cache import NeighborCache
+from .path import LandmarkId, NodeId, PeerId, RouterPath
+from .path_tree import PathTree
+
+__all__ = ["ConsistentHashRing", "ShardBackend", "ShardedManagementServer"]
+
+
+@runtime_checkable
+class ShardBackend(Protocol):
+    """The data-plane surface a shard must offer the coordinator.
+
+    :class:`~repro.core.management_server.ManagementServer` (with
+    ``maintain_cache=False``) implements it in-process; a remote or async
+    backend only needs these methods (plus :meth:`tree` for diagnostics and
+    distance estimation) to slot in behind the coordinator.
+    """
+
+    def register_landmark(self, landmark_id: LandmarkId, router: NodeId) -> None: ...
+
+    def validate_registrable(self, path: RouterPath) -> None: ...
+
+    def insert_paths(self, paths: Sequence[RouterPath], validate: bool = True) -> None: ...
+
+    def unregister_peer(self, peer_id: PeerId) -> None: ...
+
+    def local_closest(self, peer_id: PeerId, k: int) -> List[Tuple[PeerId, float]]: ...
+
+    def fill_candidates(
+        self,
+        bases: Mapping[LandmarkId, float],
+        exclude_peer: Optional[PeerId] = None,
+    ) -> Iterator[Tuple[float, str, PeerId]]: ...
+
+    def tree(self, landmark_id: LandmarkId) -> PathTree: ...
+
+
+class ConsistentHashRing:
+    """Deterministic consistent-hash ring over a fixed set of nodes.
+
+    Each node projects ``replicas`` virtual points onto a 64-bit ring
+    (SHA-1-derived, so placement is stable across processes and Python hash
+    randomisation); a key maps to the first virtual point clockwise from its
+    own hash.  With ``replicas`` in the tens, keys spread near-uniformly and
+    growing the ring from ``n`` to ``n+1`` nodes relocates ~1/(n+1) of them.
+    """
+
+    def __init__(self, node_count: int, replicas: int = 64) -> None:
+        self.node_count = require_positive_int(node_count, "node_count")
+        self.replicas = require_positive_int(replicas, "replicas")
+        points = sorted(
+            (self._point(f"node:{node}:replica:{replica}"), node)
+            for node in range(node_count)
+            for replica in range(replicas)
+        )
+        self._hashes = [point for point, _ in points]
+        self._nodes = [node for _, node in points]
+
+    @staticmethod
+    def _point(text: str) -> int:
+        """A stable 64-bit ring position for ``text``."""
+        return int.from_bytes(hashlib.sha1(text.encode("utf-8")).digest()[:8], "big")
+
+    def node_for(self, key: Hashable) -> int:
+        """The node index owning ``key`` (stable across runs and machines)."""
+        position = self._point(f"key:{key!r}")
+        index = bisect.bisect_right(self._hashes, position) % len(self._hashes)
+        return self._nodes[index]
+
+    def __repr__(self) -> str:
+        return f"ConsistentHashRing(nodes={self.node_count}, replicas={self.replicas})"
+
+
+class ShardedManagementServer(ManagementPlaneBase):
+    """Drop-in :class:`ManagementServer` replacement over ``N`` shards.
+
+    Presents the same public API — ``register_landmark``, ``register_peer`` /
+    ``register_peers``, ``unregister_peer``, ``closest_peers``,
+    ``estimate_distance`` and the read accessors — while landmarks (and the
+    peers under them) are consistent-hashed across ``shard_count`` backends.
+    See the module docstring for the shard protocol and the equivalence
+    guarantee.
+
+    Parameters
+    ----------
+    shard_count:
+        Number of shards to partition landmarks across.
+    neighbor_set_size / maintain_cache / landmark_distances:
+        As for :class:`ManagementServer`; the cache and the distance map are
+        coordinator-level.
+    shard_factory:
+        Builds one shard backend; defaults to an in-process
+        :class:`ManagementServer` with ``maintain_cache=False`` (the
+        coordinator owns the only cache).  Override to slot in remote or
+        async backends implementing :class:`ShardBackend`.
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        neighbor_set_size: int = 5,
+        maintain_cache: bool = True,
+        landmark_distances: Optional[Dict[Tuple[LandmarkId, LandmarkId], float]] = None,
+        shard_factory: Optional[Callable[[], ShardBackend]] = None,
+    ) -> None:
+        self.shard_count = require_positive_int(shard_count, "shard_count")
+        self.neighbor_set_size = require_positive_int(neighbor_set_size, "neighbor_set_size")
+        self.maintain_cache = maintain_cache
+        if shard_factory is None:
+            shard_factory = lambda: ManagementServer(  # noqa: E731 - one-liner default
+                neighbor_set_size=neighbor_set_size, maintain_cache=False
+            )
+        self._shards: Tuple[ShardBackend, ...] = tuple(
+            shard_factory() for _ in range(shard_count)
+        )
+        self._ring = ConsistentHashRing(shard_count)
+        self._landmark_shard: Dict[LandmarkId, int] = {}
+        self._shard_landmarks: List[List[LandmarkId]] = [[] for _ in range(shard_count)]
+        self._landmark_routers: Dict[LandmarkId, NodeId] = {}
+        self._peer_landmark: Dict[PeerId, LandmarkId] = {}
+        self._paths: Dict[PeerId, RouterPath] = {}
+        self._landmark_distances: Dict[Tuple[LandmarkId, LandmarkId], float] = {}
+        self.stats = ServerStats()
+        self._cache = NeighborCache(self.neighbor_set_size, self.stats)
+        if landmark_distances:
+            for (a, b), distance in landmark_distances.items():
+                self.set_landmark_distance(a, b, distance)
+
+    # ---------------------------------------------------------------- shards
+
+    @property
+    def shards(self) -> Tuple[ShardBackend, ...]:
+        """The shard backends, by index (read-only view for diagnostics)."""
+        return self._shards
+
+    def shard_of(self, landmark_id: LandmarkId) -> int:
+        """Index of the shard owning a registered landmark."""
+        if landmark_id not in self._landmark_shard:
+            raise LandmarkError(f"unknown landmark {landmark_id!r}")
+        return self._landmark_shard[landmark_id]
+
+    def shard_landmarks(self, shard_index: int) -> List[LandmarkId]:
+        """Landmarks owned by one shard, in registration order (a copy)."""
+        return list(self._shard_landmarks[shard_index])
+
+    def _home_shard(self, landmark_id: LandmarkId) -> ShardBackend:
+        """The shard owning ``landmark_id`` (ring placement if unregistered).
+
+        Routing unregistered landmarks to their ring shard lets that shard's
+        own validation raise the canonical unknown-landmark error.
+        """
+        index = self._landmark_shard.get(landmark_id)
+        if index is None:
+            index = self._ring.node_for(landmark_id)
+        return self._shards[index]
+
+    # -------------------------------------------------------------- landmarks
+
+    def register_landmark(self, landmark_id: LandmarkId, router: NodeId) -> None:
+        """Declare a landmark; the consistent-hash ring assigns its shard."""
+        if landmark_id in self._landmark_shard:
+            raise LandmarkError(f"landmark {landmark_id!r} is already registered")
+        shard_index = self._ring.node_for(landmark_id)
+        self._shards[shard_index].register_landmark(landmark_id, router)
+        self._landmark_shard[landmark_id] = shard_index
+        self._shard_landmarks[shard_index].append(landmark_id)
+        self._landmark_routers[landmark_id] = router
+
+    def landmarks(self) -> List[LandmarkId]:
+        """Identifiers of all registered landmarks (registration order)."""
+        return list(self._landmark_shard)
+
+    def tree(self, landmark_id: LandmarkId) -> PathTree:
+        """The path tree of one landmark (lives on its owning shard)."""
+        if landmark_id not in self._landmark_shard:
+            raise LandmarkError(f"unknown landmark {landmark_id!r}")
+        return self._shards[self._landmark_shard[landmark_id]].tree(landmark_id)
+
+    # ------------------------------------------------------------------ peers
+
+    def peer_shard(self, peer_id: PeerId) -> int:
+        """Index of the shard holding a peer's path tree."""
+        return self._landmark_shard[self.peer_landmark(peer_id)]
+
+    # -------------------------------------------------------------- register
+
+    def register_peers(
+        self, paths: Sequence[RouterPath]
+    ) -> Dict[PeerId, List[Tuple[PeerId, float]]]:
+        """Batch arrival: per-shard tree inserts first, then one cache pass.
+
+        Validates every path on its home shard up front, performs the tree
+        inserts as one ``insert_paths`` call per shard (this is where a
+        multi-process backend parallelises), then computes neighbour lists
+        and propagates cache updates exactly like the single server — so
+        co-arriving peers see each other immediately and results match the
+        single server byte for byte.
+        """
+        for path in paths:
+            self._validate_path(path)
+
+        pending: Dict[PeerId, RouterPath] = {}
+        for path in paths:
+            if path.peer_id in pending:
+                # In-batch re-registration: the single server removes and
+                # re-inserts, moving the peer to the end of the registration
+                # order; its cache effects are no-ops at this stage.
+                self._peer_landmark.pop(path.peer_id, None)
+                self._paths.pop(path.peer_id, None)
+            elif path.peer_id in self._peer_landmark:
+                self.unregister_peer(path.peer_id)
+            self._peer_landmark[path.peer_id] = path.landmark_id
+            self._paths[path.peer_id] = path
+            self.stats.registrations += 1
+            pending[path.peer_id] = path
+
+        by_shard: Dict[int, List[RouterPath]] = {}
+        for path in pending.values():
+            by_shard.setdefault(self._landmark_shard[path.landmark_id], []).append(path)
+        for shard_index, shard_paths in by_shard.items():
+            self._shards[shard_index].insert_paths(shard_paths, validate=False)
+        return self._neighbor_phase(pending)
+
+    def unregister_peer(self, peer_id: PeerId) -> None:
+        """Remove a departing peer from its home shard and the cached lists.
+
+        The home shard repairs its tree and min-hop ordering; the
+        coordinator's reverse neighbour index then repairs exactly the cached
+        lists that referenced the departed peer — including lists whose
+        owners live on other shards.
+        """
+        if peer_id not in self._peer_landmark:
+            raise UnknownPeerError(peer_id)
+        landmark_id = self._peer_landmark.pop(peer_id)
+        self._paths.pop(peer_id)
+        self._shards[self._landmark_shard[landmark_id]].unregister_peer(peer_id)
+        self.stats.removals += 1
+        if not self.maintain_cache:
+            return
+        self._cache.drop_peer(peer_id)
+
+    # -------------------------------------------------------------- internals
+
+    def _validate_path(self, path: RouterPath) -> None:
+        """Route validation to the path's home shard (ring placement)."""
+        self._home_shard(path.landmark_id).validate_registrable(path)
+
+    def _insert_path(self, path: RouterPath) -> None:
+        """Insert one already-validated path on its home shard and index it."""
+        self._shards[self._landmark_shard[path.landmark_id]].insert_paths(
+            [path], validate=False
+        )
+        self._peer_landmark[path.peer_id] = path.landmark_id
+        self._paths[path.peer_id] = path
+        self.stats.registrations += 1
+
+    def _compute_neighbors(self, peer_id: PeerId, k: Optional[int] = None) -> List[Tuple[PeerId, float]]:
+        """Home-shard tree query plus (if short) the inter-shard fill merge."""
+        k = k or self.neighbor_set_size
+        landmark_id = self._peer_landmark[peer_id]
+        home = self._shards[self._landmark_shard[landmark_id]]
+        self.stats.tree_queries += 1
+        neighbors = home.local_closest(peer_id, k)
+        if len(neighbors) >= k:
+            return neighbors[:k]
+
+        own_hops = self._paths[peer_id].hop_count
+        already = {peer for peer, _ in neighbors}
+        for estimate, _, other_peer in self._inter_shard_candidates(
+            peer_id, landmark_id, own_hops
+        ):
+            if len(neighbors) >= k:
+                break
+            if other_peer in already:
+                continue
+            neighbors.append((other_peer, estimate))
+            already.add(other_peer)
+        return neighbors
+
+    def _inter_shard_candidates(
+        self, peer_id: PeerId, landmark_id: LandmarkId, own_hops: int
+    ) -> Iterator[Tuple[float, str, PeerId]]:
+        """Heap-merge of per-shard candidate streams (the inter-shard protocol).
+
+        The coordinator computes, per shard, the detour-estimate base of each
+        of its landmarks; every shard lazily merges its local min-hop
+        orderings into one sorted stream, and this merge interleaves the
+        shard streams.  Because the stream elements ``(estimate, repr(peer),
+        peer)`` are totally ordered, the merged sequence is independent of
+        how landmarks are partitioned — the equivalence guarantee.
+        """
+        streams = []
+        for shard_index, shard in enumerate(self._shards):
+            bases = self._fill_bases(self._shard_landmarks[shard_index], landmark_id, own_hops)
+            if bases:
+                streams.append(shard.fill_candidates(bases, exclude_peer=peer_id))
+        return heapq.merge(*streams)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedManagementServer(shards={self.shard_count}, peers={self.peer_count}, "
+            f"landmarks={len(self._landmark_shard)}, k={self.neighbor_set_size}, "
+            f"cache={'on' if self.maintain_cache else 'off'})"
+        )

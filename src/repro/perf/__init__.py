@@ -5,10 +5,12 @@
 ``BENCH_discovery.json`` — the perf trajectory future PRs regress against.
 """
 
+from .compare import CellDelta, ComparisonResult, compare_reports
 from .report import PerfRecord, PerfReport
 from .timer import OpTimer, Timing, time_ops
 from .workloads import (
     DEFAULT_POPULATIONS,
+    SHARDED_LANDMARK_COUNT,
     build_populated_server,
     run_churn_workload,
     run_departure_workload,
@@ -16,20 +18,28 @@ from .workloads import (
     run_insert_workload,
     run_query_workload,
     synthetic_paths,
+    synthetic_sharded_paths,
+    workload_rng,
 )
 
 __all__ = [
+    "CellDelta",
+    "ComparisonResult",
     "DEFAULT_POPULATIONS",
     "OpTimer",
     "PerfRecord",
     "PerfReport",
+    "SHARDED_LANDMARK_COUNT",
     "Timing",
     "build_populated_server",
+    "compare_reports",
     "run_churn_workload",
     "run_departure_workload",
     "run_discovery_suite",
     "run_insert_workload",
     "run_query_workload",
     "synthetic_paths",
+    "synthetic_sharded_paths",
     "time_ops",
+    "workload_rng",
 ]

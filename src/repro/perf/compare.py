@@ -1,0 +1,148 @@
+"""Perf-regression comparison: fail the run when a cell got slower.
+
+``repro-experiments perf --compare BENCH_discovery.json`` re-runs the suite
+and compares the fresh report against the saved baseline, cell by cell —
+a cell is one ``(workload, population, shards)`` combination — and exits
+non-zero when any cell's per-op cost regressed by more than the threshold
+(25% by default).  This turns the perf trajectory from something eyeballed
+into something CI can gate on.
+
+Cells present in only one report are listed but never fail the comparison
+(a new dimension, e.g. ``--shards``, must not break comparisons against
+pre-sharding baselines), and cells whose baseline measured 0 µs are skipped
+as noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .report import PerfRecord, PerfReport
+
+DEFAULT_THRESHOLD = 0.25
+
+CellKey = Tuple[str, int, Optional[int]]
+
+
+def _cell_text(key: CellKey) -> str:
+    workload, population, shards = key
+    shard_text = "-" if shards is None else str(shards)
+    return f"{workload}@{population}/shards={shard_text}"
+
+
+@dataclass
+class CellDelta:
+    """Per-op cost of one cell in the baseline vs. the current report."""
+
+    workload: str
+    population: int
+    shards: Optional[int]
+    baseline_us: float
+    current_us: float
+
+    @property
+    def key(self) -> CellKey:
+        """The cell identity this delta compares."""
+        return (self.workload, self.population, self.shards)
+
+    @property
+    def ratio(self) -> float:
+        """Current cost relative to baseline (1.0 = unchanged)."""
+        if self.baseline_us <= 0.0:
+            return 1.0 if self.current_us <= 0.0 else float("inf")
+        return self.current_us / self.baseline_us
+
+    def is_regression(self, threshold: float) -> bool:
+        """True when the cell got more than ``threshold`` slower.
+
+        Zero-µs baselines are unmeasurable (timer resolution), so they never
+        count as regressions.
+        """
+        return self.baseline_us > 0.0 and self.current_us > self.baseline_us * (1.0 + threshold)
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of comparing a current report against a baseline."""
+
+    deltas: List[CellDelta]
+    threshold: float
+    baseline_only: List[CellKey]
+    current_only: List[CellKey]
+
+    @property
+    def regressions(self) -> List[CellDelta]:
+        """The cells that regressed beyond the threshold."""
+        return [delta for delta in self.deltas if delta.is_regression(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        """True when no compared cell regressed beyond the threshold.
+
+        An empty comparison (no overlapping cells) is trivially ok here;
+        callers gating on a baseline must also check that ``deltas`` is
+        non-empty, or the gate passes without measuring anything (the CLI
+        treats that as an error).
+        """
+        return not self.regressions
+
+    def to_text(self) -> str:
+        """Aligned human-readable comparison table."""
+        header = (
+            f"{'workload':<12} {'population':>10} {'shards':>7} "
+            f"{'baseline_us':>12} {'current_us':>12} {'ratio':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for delta in self.deltas:
+            shards = "-" if delta.shards is None else str(delta.shards)
+            flag = "  REGRESSION" if delta.is_regression(self.threshold) else ""
+            lines.append(
+                f"{delta.workload:<12} {delta.population:>10} {shards:>7} "
+                f"{delta.baseline_us:>12.2f} {delta.current_us:>12.2f} "
+                f"{delta.ratio:>7.2f}{flag}"
+            )
+        for key in self.baseline_only:
+            lines.append(f"(baseline only, not compared: {_cell_text(key)})")
+        for key in self.current_only:
+            lines.append(f"(new cell, not compared: {_cell_text(key)})")
+        verdict = (
+            f"OK: no cell regressed by more than {self.threshold:.0%}"
+            if self.ok
+            else f"FAIL: {len(self.regressions)} cell(s) regressed by more than {self.threshold:.0%}"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def compare_reports(
+    baseline: PerfReport,
+    current: PerfReport,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> ComparisonResult:
+    """Compare two perf reports cell by cell.
+
+    Cells are keyed by ``(workload, population, shards)``; a duplicated cell
+    keeps its last record.  Deltas are listed in baseline order.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    baseline_cells: Dict[CellKey, PerfRecord] = {r.cell: r for r in baseline.records}
+    current_cells: Dict[CellKey, PerfRecord] = {r.cell: r for r in current.records}
+    deltas = [
+        CellDelta(
+            workload=key[0],
+            population=key[1],
+            shards=key[2],
+            baseline_us=record.per_op_us,
+            current_us=current_cells[key].per_op_us,
+        )
+        for key, record in baseline_cells.items()
+        if key in current_cells
+    ]
+    return ComparisonResult(
+        deltas=deltas,
+        threshold=threshold,
+        baseline_only=[key for key in baseline_cells if key not in current_cells],
+        current_only=[key for key in current_cells if key not in baseline_cells],
+    )

@@ -17,18 +17,24 @@ from typing import Dict, List, Optional, Union
 
 from .timer import Timing
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass
 class PerfRecord:
-    """One workload measurement at one population size."""
+    """One workload measurement at one population size.
+
+    ``shards`` is the shard count of the sharded management plane the cell
+    ran on, or ``None`` for the classic single-server cells (schema v1
+    reports load as ``None``).
+    """
 
     workload: str
     population: int
     ops: int
     total_s: float
     counters: Dict[str, int] = field(default_factory=dict)
+    shards: Optional[int] = None
 
     @property
     def per_op_us(self) -> float:
@@ -42,6 +48,7 @@ class PerfRecord:
         population: int,
         timing: Timing,
         counters: Optional[Dict[str, int]] = None,
+        shards: Optional[int] = None,
     ) -> "PerfRecord":
         """Build a record from a :class:`~repro.perf.timer.Timing`."""
         return cls(
@@ -50,7 +57,13 @@ class PerfRecord:
             ops=timing.ops,
             total_s=timing.total_s,
             counters=dict(counters or {}),
+            shards=shards,
         )
+
+    @property
+    def cell(self) -> tuple:
+        """The report cell this record measures (regression-comparison key)."""
+        return (self.workload, self.population, self.shards)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation (adds the derived per-op cost)."""
@@ -61,6 +74,7 @@ class PerfRecord:
             "total_s": self.total_s,
             "per_op_us": self.per_op_us,
             "counters": dict(self.counters),
+            "shards": self.shards,
         }
 
 
@@ -103,6 +117,7 @@ class PerfReport:
                 ops=int(entry["ops"]),
                 total_s=float(entry["total_s"]),
                 counters=dict(entry.get("counters", {})),  # type: ignore[arg-type]
+                shards=None if entry.get("shards") is None else int(entry["shards"]),  # type: ignore[arg-type]
             )
             for entry in data.get("records", [])  # type: ignore[union-attr]
         ]
@@ -110,11 +125,15 @@ class PerfReport:
 
     def to_text(self) -> str:
         """Aligned human-readable table for the CLI."""
-        header = f"{'workload':<12} {'population':>10} {'ops':>8} {'total_s':>10} {'per_op_us':>12}"
+        header = (
+            f"{'workload':<12} {'population':>10} {'shards':>7} {'ops':>8} "
+            f"{'total_s':>10} {'per_op_us':>12}"
+        )
         lines = [header, "-" * len(header)]
         for record in self.records:
+            shards = "-" if record.shards is None else str(record.shards)
             lines.append(
-                f"{record.workload:<12} {record.population:>10} {record.ops:>8} "
+                f"{record.workload:<12} {record.population:>10} {shards:>7} {record.ops:>8} "
                 f"{record.total_s:>10.4f} {record.per_op_us:>12.2f}"
             )
         return "\n".join(lines)

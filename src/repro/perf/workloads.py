@@ -1,18 +1,32 @@
 """Discovery hot-path workloads measured by ``repro-experiments perf``.
 
-Each workload builds a management server populated with synthetic paths over
+Each workload builds a management plane populated with synthetic paths over
 a three-level access hierarchy (the same shape the complexity benchmarks
 use: it reproduces real landmark-tree fan-out without paying for a full
 router-map build at every population size), then times one hot-path
 operation class:
 
-* ``insert``    — batch arrival of fresh newcomers via
-  :meth:`~repro.core.management_server.ManagementServer.register_peers`;
+* ``insert``    — batch arrival of fresh newcomers via ``register_peers``;
 * ``query``     — cached closest-peer lookups (the O(1) claim);
 * ``departure`` — peer removals repaired through the reverse neighbour
   index (the O(k) claim);
 * ``churn``     — interleaved leave / re-join cycles, the membership-dynamics
   mix the paper defers to future work.
+
+The suite has an optional **shards** dimension: with ``shards=None`` a cell
+runs the classic single-landmark
+:class:`~repro.core.management_server.ManagementServer` (bit-for-bit the
+pre-sharding workload, so old and new ``BENCH_discovery.json`` reports stay
+comparable), while an integer runs a
+:class:`~repro.core.sharded.ShardedManagementServer` over a fixed
+:data:`SHARDED_LANDMARK_COUNT`-landmark population — the same workload at
+every shard count, so per-op cost across the shards axis isolates the cost
+of partitioning itself.
+
+Sampling is a pure function of ``(seed, workload, population)``: every
+workload re-seeds its own RNG via :func:`workload_rng` instead of sharing a
+suite-level RNG, so multiplying cells along the shards axis can never
+silently change which peers an existing cell samples.
 
 Every record carries the :class:`~repro.core.management_server.ServerStats`
 counter deltas observed during the measured phase plus the landmark trees'
@@ -23,15 +37,43 @@ noisy machines.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.management_server import ManagementServer
 from ..core.path import RouterPath
+from ..core.sharded import ShardedManagementServer
 from .report import PerfRecord, PerfReport
 from .timer import OpTimer
 
 DEFAULT_POPULATIONS = (200, 800, 3200, 12800)
 DEFAULT_LANDMARK = "lmk"
+
+#: Landmark count used by every sharded cell, regardless of shard count, so
+#: the workload is identical along the shards axis and only the partitioning
+#: varies.
+SHARDED_LANDMARK_COUNT = 8
+
+ManagementPlane = Union[ManagementServer, ShardedManagementServer]
+
+# Per-workload RNG offsets; keep these stable or old reports stop being
+# comparable (the sampled peers would change).
+_QUERY_RNG_OFFSET = 2
+_DEPARTURE_RNG_OFFSET = 3
+_CHURN_RNG_OFFSET = 4
+
+
+def workload_rng(seed: int, offset: int) -> random.Random:
+    """A fresh RNG for one workload invocation (one report cell).
+
+    Sampling must depend only on the suite seed and the workload — never on
+    how many other cells ran before, which the ``shards`` dimension
+    multiplies — so each workload builds its own RNG from ``seed + offset``
+    at call time.  Because populations register peers in index order,
+    ``rng.sample(server.peers(), ops)`` then picks the same peer *names* in
+    every cell of a population, sharded or not, and matches reports written
+    before the shards dimension existed.
+    """
+    return random.Random(seed + offset)
 
 
 def synthetic_paths(
@@ -58,24 +100,99 @@ def synthetic_paths(
     return paths
 
 
+def sharded_landmarks(landmark_count: int = SHARDED_LANDMARK_COUNT) -> List[str]:
+    """Landmark identifiers used by the sharded cells."""
+    return [f"lmk{index}" for index in range(landmark_count)]
+
+
+def sharded_landmark_distances(
+    landmark_count: int = SHARDED_LANDMARK_COUNT,
+) -> Dict[Tuple[str, str], float]:
+    """Deterministic pairwise hop distances between the sharded landmarks."""
+    names = sharded_landmarks(landmark_count)
+    return {
+        (names[i], names[j]): float(2 + abs(i - j))
+        for i in range(landmark_count)
+        for j in range(landmark_count)
+        if i < j
+    }
+
+
+def synthetic_sharded_paths(
+    count: int,
+    seed: int = 3,
+    landmark_count: int = SHARDED_LANDMARK_COUNT,
+    prefix: str = "peer",
+) -> List[RouterPath]:
+    """``count`` synthetic paths spread over ``landmark_count`` landmarks.
+
+    Peer names match :func:`synthetic_paths` (``peer0``, ``peer1``, …, in
+    index order) so per-cell sampling picks the same names as the
+    single-landmark cells; each landmark gets its own disjoint three-level
+    hierarchy so the per-landmark trees are independent.
+    """
+    rng = random.Random(seed)
+    names = sharded_landmarks(landmark_count)
+    paths: List[RouterPath] = []
+    for index in range(count):
+        landmark = names[rng.randrange(landmark_count)]
+        region = rng.randrange(12)
+        pop = rng.randrange(30)
+        access = rng.randrange(60)
+        routers = [
+            f"{landmark}-access-{region}-{pop}-{access}",
+            f"{landmark}-pop-{region}-{pop}",
+            f"{landmark}-region-{region}",
+            f"{landmark}-core",
+            landmark,
+        ]
+        paths.append(RouterPath.from_routers(f"{prefix}{index}", landmark, routers))
+    return paths
+
+
+def _population_paths(
+    count: int, seed: int, shards: Optional[int], prefix: str = "peer"
+) -> List[RouterPath]:
+    """The synthetic population for a cell (single- or multi-landmark)."""
+    if shards is None:
+        return synthetic_paths(count, seed=seed, prefix=prefix)
+    return synthetic_sharded_paths(count, seed=seed, prefix=prefix)
+
+
 def build_populated_server(
     population: int,
     neighbor_set_size: int = 5,
     seed: int = 3,
-) -> ManagementServer:
-    """A server pre-loaded with ``population`` synthetic peers (batch path)."""
-    server = ManagementServer(neighbor_set_size=neighbor_set_size)
-    server.register_landmark(DEFAULT_LANDMARK, DEFAULT_LANDMARK)
-    server.register_peers(synthetic_paths(population, seed=seed))
+    shards: Optional[int] = None,
+) -> ManagementPlane:
+    """A management plane pre-loaded with ``population`` synthetic peers.
+
+    ``shards=None`` reproduces the original single-landmark
+    :class:`ManagementServer` exactly; an integer builds a
+    :class:`ShardedManagementServer` over that many shards with
+    :data:`SHARDED_LANDMARK_COUNT` landmarks.
+    """
+    if shards is None:
+        server: ManagementPlane = ManagementServer(neighbor_set_size=neighbor_set_size)
+        server.register_landmark(DEFAULT_LANDMARK, DEFAULT_LANDMARK)
+    else:
+        server = ShardedManagementServer(
+            shard_count=shards,
+            neighbor_set_size=neighbor_set_size,
+            landmark_distances=sharded_landmark_distances(),
+        )
+        for landmark in sharded_landmarks():
+            server.register_landmark(landmark, landmark)
+    server.register_peers(_population_paths(population, seed, shards))
     return server
 
 
-def _tree_visits(server: ManagementServer) -> int:
+def _tree_visits(server: ManagementPlane) -> int:
     """Total trie nodes visited by closest-peer queries across all trees."""
     return sum(server.tree(landmark).total_query_visits for landmark in server.landmarks())
 
 
-def _measured_counters(server: ManagementServer, visits_before: int) -> Dict[str, int]:
+def _measured_counters(server: ManagementPlane, visits_before: int) -> Dict[str, int]:
     counters = server.stats.as_dict()
     counters["tree_node_visits"] = _tree_visits(server) - visits_before
     return counters
@@ -86,10 +203,11 @@ def run_insert_workload(
     ops: int = 200,
     seed: int = 3,
     neighbor_set_size: int = 5,
+    shards: Optional[int] = None,
 ) -> PerfRecord:
     """Batch arrival of ``ops`` newcomers on top of ``population`` peers."""
-    server = build_populated_server(population, neighbor_set_size, seed=seed)
-    newcomers = synthetic_paths(ops, seed=seed + 1, prefix="newcomer")
+    server = build_populated_server(population, neighbor_set_size, seed=seed, shards=shards)
+    newcomers = _population_paths(ops, seed + 1, shards, prefix="newcomer")
     server.stats.reset()
     visits = _tree_visits(server)
     timer = OpTimer()
@@ -97,7 +215,7 @@ def run_insert_workload(
         server.register_peers(newcomers)
         timer.add_ops(len(newcomers))
     return PerfRecord.from_timing(
-        "insert", population, timer.timing, _measured_counters(server, visits)
+        "insert", population, timer.timing, _measured_counters(server, visits), shards=shards
     )
 
 
@@ -106,10 +224,11 @@ def run_query_workload(
     ops: int = 2000,
     seed: int = 3,
     neighbor_set_size: int = 5,
+    shards: Optional[int] = None,
 ) -> PerfRecord:
     """Cached closest-peer lookups against a steady population."""
-    server = build_populated_server(population, neighbor_set_size, seed=seed)
-    rng = random.Random(seed + 2)
+    server = build_populated_server(population, neighbor_set_size, seed=seed, shards=shards)
+    rng = workload_rng(seed, _QUERY_RNG_OFFSET)
     peers = server.peers()
     sample = [rng.choice(peers) for _ in range(ops)]
     server.stats.reset()
@@ -120,7 +239,7 @@ def run_query_workload(
             server.closest_peers(peer)
             timer.add_ops()
     return PerfRecord.from_timing(
-        "query", population, timer.timing, _measured_counters(server, visits)
+        "query", population, timer.timing, _measured_counters(server, visits), shards=shards
     )
 
 
@@ -129,10 +248,11 @@ def run_departure_workload(
     ops: int = 200,
     seed: int = 3,
     neighbor_set_size: int = 5,
+    shards: Optional[int] = None,
 ) -> PerfRecord:
     """Departures repaired through the reverse neighbour index."""
-    server = build_populated_server(population, neighbor_set_size, seed=seed)
-    rng = random.Random(seed + 3)
+    server = build_populated_server(population, neighbor_set_size, seed=seed, shards=shards)
+    rng = workload_rng(seed, _DEPARTURE_RNG_OFFSET)
     ops = min(ops, population - 1)
     departing = rng.sample(server.peers(), ops)
     server.stats.reset()
@@ -143,7 +263,7 @@ def run_departure_workload(
             server.unregister_peer(peer)
             timer.add_ops()
     return PerfRecord.from_timing(
-        "departure", population, timer.timing, _measured_counters(server, visits)
+        "departure", population, timer.timing, _measured_counters(server, visits), shards=shards
     )
 
 
@@ -152,13 +272,14 @@ def run_churn_workload(
     ops: int = 200,
     seed: int = 3,
     neighbor_set_size: int = 5,
+    shards: Optional[int] = None,
 ) -> PerfRecord:
     """Interleaved leave / re-join cycles at a steady population."""
-    server = build_populated_server(population, neighbor_set_size, seed=seed)
-    rng = random.Random(seed + 4)
+    server = build_populated_server(population, neighbor_set_size, seed=seed, shards=shards)
+    rng = workload_rng(seed, _CHURN_RNG_OFFSET)
     churners = rng.sample(server.peers(), min(ops, population - 1))
     replacement_paths = {
-        path.peer_id: path for path in synthetic_paths(population, seed=seed)
+        path.peer_id: path for path in _population_paths(population, seed, shards)
     }
     server.stats.reset()
     visits = _tree_visits(server)
@@ -169,7 +290,7 @@ def run_churn_workload(
             server.register_peers([replacement_paths[peer]])
             timer.add_ops()
     return PerfRecord.from_timing(
-        "churn", population, timer.timing, _measured_counters(server, visits)
+        "churn", population, timer.timing, _measured_counters(server, visits), shards=shards
     )
 
 
@@ -178,11 +299,15 @@ def run_discovery_suite(
     ops: Optional[int] = None,
     seed: int = 3,
     neighbor_set_size: int = 5,
+    shard_counts: Optional[Sequence[int]] = None,
 ) -> PerfReport:
-    """Run every discovery workload at every population size.
+    """Run every discovery workload at every population (and shard count).
 
     ``ops`` overrides each workload's default operation count (useful for
-    smoke runs in CI); ``None`` keeps the defaults.
+    smoke runs in CI); ``None`` keeps the defaults.  ``shard_counts=None``
+    runs the classic single-server cells; a sequence like ``(1, 4)`` runs
+    each workload on a :class:`ShardedManagementServer` at every listed
+    shard count instead, tagging each record with its ``shards`` value.
     """
     report = PerfReport(
         metadata={
@@ -190,12 +315,28 @@ def run_discovery_suite(
             "populations": list(populations),
             "neighbor_set_size": neighbor_set_size,
             "seed": seed,
+            "shard_counts": list(shard_counts) if shard_counts is not None else None,
         }
     )
     overrides = {} if ops is None else {"ops": ops}
+    shard_values: Sequence[Optional[int]] = (
+        [None] if shard_counts is None else list(shard_counts)
+    )
     for population in populations:
-        report.add(run_insert_workload(population, seed=seed, neighbor_set_size=neighbor_set_size, **overrides))
-        report.add(run_query_workload(population, seed=seed, neighbor_set_size=neighbor_set_size, **overrides))
-        report.add(run_departure_workload(population, seed=seed, neighbor_set_size=neighbor_set_size, **overrides))
-        report.add(run_churn_workload(population, seed=seed, neighbor_set_size=neighbor_set_size, **overrides))
+        for shards in shard_values:
+            for runner in (
+                run_insert_workload,
+                run_query_workload,
+                run_departure_workload,
+                run_churn_workload,
+            ):
+                report.add(
+                    runner(
+                        population,
+                        seed=seed,
+                        neighbor_set_size=neighbor_set_size,
+                        shards=shards,
+                        **overrides,
+                    )
+                )
     return report

@@ -18,12 +18,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence, Union
 
 from .._validation import coerce_seed, require_positive_int
 from ..baselines.brute_force import BruteForceOracle
 from ..baselines.random_selection import RandomSelection
 from ..core.management_server import ManagementServer
+from ..core.sharded import ShardedManagementServer
 from ..core.newcomer import JoinResult, NewcomerClient, SELECT_CLOSEST_RTT
 from ..exceptions import ConfigurationError
 from ..landmarks.manager import LandmarkSet
@@ -66,6 +67,12 @@ class ScenarioConfig:
     maintain_cache: bool = True
     """Whether the management server keeps per-peer neighbour caches."""
 
+    shard_count: Optional[int] = None
+    """Partition landmarks across this many management-plane shards
+    (:class:`~repro.core.sharded.ShardedManagementServer`); None keeps the
+    paper's single :class:`~repro.core.management_server.ManagementServer`.
+    Results are identical either way — sharding is an operational choice."""
+
     seed: Optional[int] = None
     """Master seed; every random decision derives from it."""
 
@@ -73,6 +80,8 @@ class ScenarioConfig:
         require_positive_int(self.peer_count, "peer_count")
         require_positive_int(self.landmark_count, "landmark_count")
         require_positive_int(self.neighbor_set_size, "neighbor_set_size")
+        if self.shard_count is not None:
+            require_positive_int(self.shard_count, "shard_count")
         coerce_seed(self.seed)
 
 
@@ -83,7 +92,7 @@ class Scenario:
     config: ScenarioConfig
     router_map: RouterMap
     landmark_set: LandmarkSet
-    server: ManagementServer
+    server: Union[ManagementServer, ShardedManagementServer]
     traceroute: TracerouteSimulator
     oracle: BruteForceOracle
     peer_routers: Dict[PeerId, NodeId]
@@ -218,12 +227,23 @@ def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scen
     )
     landmark_set = LandmarkSet.from_routers(router_map.graph, landmark_routers)
 
-    # 4. Management server with inter-landmark distances.
-    server = ManagementServer(
-        neighbor_set_size=config.neighbor_set_size,
-        maintain_cache=config.maintain_cache,
-        landmark_distances=landmark_set.pairwise_hop_distances() if len(landmark_set) > 1 else None,
-    )
+    # 4. Management plane (single-server or sharded) with inter-landmark
+    #    distances; the sharded plane returns identical results, so the rest
+    #    of the scenario machinery is oblivious to the choice.
+    distances = landmark_set.pairwise_hop_distances() if len(landmark_set) > 1 else None
+    if config.shard_count is None:
+        server: Union[ManagementServer, ShardedManagementServer] = ManagementServer(
+            neighbor_set_size=config.neighbor_set_size,
+            maintain_cache=config.maintain_cache,
+            landmark_distances=distances,
+        )
+    else:
+        server = ShardedManagementServer(
+            shard_count=config.shard_count,
+            neighbor_set_size=config.neighbor_set_size,
+            maintain_cache=config.maintain_cache,
+            landmark_distances=distances,
+        )
     for landmark in landmark_set:
         server.register_landmark(landmark.landmark_id, landmark.router)
 

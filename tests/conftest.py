@@ -6,13 +6,23 @@ per session; tests that need to mutate them build their own copies.
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.topology.graph import Graph
 from repro.topology.internet_mapper import RouterMap, RouterMapConfig, generate_router_map
 from repro.workloads.scenarios import Scenario, ScenarioConfig, build_scenario
+
+
+# High-budget profile for the sharded-equivalence oracle; CI's dedicated
+# matrix entry selects it via HYPOTHESIS_PROFILE=ci-equivalence.  Tests that
+# pin max_examples in their own @settings are unaffected.
+hypothesis_settings.register_profile("ci-equivalence", max_examples=400, deadline=None)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    hypothesis_settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 
 SMALL_MAP_KWARGS = dict(

@@ -5,6 +5,11 @@ cached list contains it) exactly consistent with the cached lists through
 arbitrary interleavings of joins, departures and re-registrations — and a
 departure may only touch the lists that actually reference the departed
 peer, never the whole population.
+
+The sharded plane (:class:`~repro.core.sharded.ShardedManagementServer`)
+must uphold the same invariants when the churning peers and the lists that
+reference them live on *different* shards: departures repair cross-shard
+min-hop orderings, and dry lists lazily refill from remote shards.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import pytest
 
 from repro.core.management_server import ManagementServer, NeighborEntry
 from repro.core.path import RouterPath
+from repro.core.sharded import ConsistentHashRing, ShardedManagementServer
 
 
 def path(peer, routers, landmark="lmA"):
@@ -212,6 +218,126 @@ class TestBatchRegistration:
         for peer in server.peers():
             neighbors = server.closest_peers(peer)
             assert all(server.has_peer(neighbor) for neighbor, _ in neighbors)
+
+
+def landmarks_on_distinct_shards(shard_count: int, needed: int) -> List[str]:
+    """Landmark names that the ring provably places on ``needed`` distinct shards."""
+    ring = ConsistentHashRing(shard_count)
+    found: Dict[int, str] = {}
+    index = 0
+    while len(found) < needed:
+        name = f"lm{index}"
+        shard = ring.node_for(name)
+        if shard not in found:
+            found[shard] = name
+        index += 1
+    return [found[shard] for shard in sorted(found)]
+
+
+def remote_path(peer, landmark, access="a1"):
+    return RouterPath.from_routers(
+        peer, landmark, [f"{landmark}-{access}", f"{landmark}-core", landmark]
+    )
+
+
+class TestShardedChurn:
+    """Cross-shard departures and lazy refills on the sharded plane."""
+
+    def make_server(self, shard_count=2, k=3):
+        local, remote = landmarks_on_distinct_shards(shard_count, needed=2)
+        server = ShardedManagementServer(
+            shard_count,
+            neighbor_set_size=k,
+            landmark_distances={(local, remote): 4.0},
+        )
+        server.register_landmark(local, local)
+        server.register_landmark(remote, remote)
+        assert server.shard_of(local) != server.shard_of(remote)
+        return server, local, remote
+
+    def fill_cross_shard(self, server, local, remote, remote_count=4):
+        """One querier alone under ``local``; candidates live under ``remote``."""
+        server.register_peers(
+            [remote_path("q", local)]
+            + [remote_path(f"r{i}", remote, access=f"a{i}") for i in range(remote_count)]
+        )
+        return [peer for peer, _ in server.closest_peers("q")]
+
+    def test_cross_shard_fill_populates_querier_list(self):
+        server, local, remote = self.make_server()
+        neighbors = self.fill_cross_shard(server, local, remote)
+        assert len(neighbors) == 3
+        assert all(server.peer_landmark(peer) == remote for peer in neighbors)
+        assert_reverse_index_consistent(server)
+
+    def test_departure_on_remote_shard_repairs_cross_shard_lists(self):
+        server, local, remote = self.make_server()
+        neighbors = self.fill_cross_shard(server, local, remote)
+        victim = neighbors[0]
+        referencing = server.referencing_peers(victim)
+        assert "q" in referencing  # the querier's list crosses the shard boundary
+        server.stats.reset()
+        server.unregister_peer(victim)
+        assert server.stats.departure_updates == len(referencing)
+        assert victim not in [peer for peer, _ in server.closest_peers("q")]
+        assert_reverse_index_consistent(server)
+
+    def test_departure_repairs_remote_min_hop_ordering(self):
+        server, local, remote = self.make_server()
+        neighbors = self.fill_cross_shard(server, local, remote)
+        victim = neighbors[0]
+        remote_shard = server.shards[server.shard_of(remote)]
+        assert victim in [entry[2] for entry in remote_shard._hops_ordering(remote)]
+        server.unregister_peer(victim)
+        # The remote shard's min-hop ordering (the fill candidate source)
+        # must not keep serving the departed peer.
+        assert victim not in [entry[2] for entry in remote_shard._hops_ordering(remote)]
+        refreshed = server.closest_peers("q", k=4)
+        assert victim not in [peer for peer, _ in refreshed]
+
+    def test_dry_list_refills_from_remote_shard(self):
+        server, local, remote = self.make_server()
+        neighbors = self.fill_cross_shard(server, local, remote, remote_count=5)
+        # Remove two cached neighbours so the querier's list runs dry.
+        server.unregister_peer(neighbors[0])
+        server.unregister_peer(neighbors[1])
+        server.stats.reset()
+        refilled = server.closest_peers("q")
+        assert server.stats.cache_hits == 0
+        assert server.stats.cache_refills == 1
+        assert len(refilled) == 3
+        assert all(server.has_peer(peer) for peer, _ in refilled)
+        # The refill candidates all live on the other shard.
+        assert all(server.peer_shard(peer) != server.peer_shard("q") for peer, _ in refilled)
+        again = server.closest_peers("q")
+        assert again == refilled
+        assert server.stats.cache_hits == 1
+        assert_reverse_index_consistent(server)
+
+    def test_interleaved_sharded_churn_stays_consistent(self):
+        server, local, remote = self.make_server(shard_count=4)
+        rng = random.Random(17)
+        landmarks = [local, remote]
+        alive: List[str] = []
+        next_index = 0
+        for step in range(300):
+            action = rng.random()
+            if action < 0.5 or len(alive) < 3:
+                landmark = landmarks[rng.randrange(2)]
+                server.register_peer(
+                    remote_path(f"peer{next_index}", landmark, access=f"a{rng.randrange(6)}")
+                )
+                alive.append(f"peer{next_index}")
+                next_index += 1
+            elif action < 0.8:
+                victim = alive.pop(rng.randrange(len(alive)))
+                server.unregister_peer(victim)
+            else:
+                server.closest_peers(rng.choice(alive))
+            if step % 25 == 0:
+                assert_reverse_index_consistent(server)
+        assert_reverse_index_consistent(server)
+        assert server.peer_count == len(alive)
 
 
 class TestPropagationOrderedInsert:

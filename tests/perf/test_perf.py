@@ -7,10 +7,13 @@ import json
 import pytest
 
 from repro.cli import build_perf_parser, main, run_perf
+from repro.core.sharded import ShardedManagementServer
+from repro.perf.compare import CellDelta, compare_reports
 from repro.perf.report import SCHEMA_VERSION, PerfRecord, PerfReport
 from repro.perf.timer import OpTimer, Timing, time_ops
 from repro.perf.workloads import (
     DEFAULT_POPULATIONS,
+    SHARDED_LANDMARK_COUNT,
     build_populated_server,
     run_churn_workload,
     run_departure_workload,
@@ -59,12 +62,28 @@ class TestReport:
                 workload="insert", population=10, ops=5, total_s=0.1, counters={"registrations": 5}
             )
         )
+        report.add(PerfRecord(workload="query", population=10, ops=5, total_s=0.1, shards=4))
         data = report.to_dict()
         assert data["schema_version"] == SCHEMA_VERSION
         rebuilt = PerfReport.from_dict(data)
         assert rebuilt.records[0].workload == "insert"
         assert rebuilt.records[0].counters == {"registrations": 5}
+        assert rebuilt.records[0].shards is None
+        assert rebuilt.records[1].shards == 4
         assert rebuilt.metadata == {"suite": "discovery"}
+
+    def test_schema_v1_records_load_with_no_shards(self):
+        """Pre-sharding reports (no 'shards' key) stay loadable/comparable."""
+        data = {
+            "schema_version": 1,
+            "metadata": {},
+            "records": [
+                {"workload": "query", "population": 20, "ops": 5, "total_s": 0.01}
+            ],
+        }
+        rebuilt = PerfReport.from_dict(data)
+        assert rebuilt.records[0].shards is None
+        assert rebuilt.records[0].cell == ("query", 20, None)
 
     def test_write_emits_valid_json(self, tmp_path):
         report = PerfReport()
@@ -134,6 +153,155 @@ class TestWorkloads:
         assert DEFAULT_POPULATIONS == (200, 800, 3200, 12800)
 
 
+class TestShardedWorkloads:
+    def test_build_populated_server_sharded(self):
+        server = build_populated_server(40, seed=1, shards=2)
+        assert isinstance(server, ShardedManagementServer)
+        assert server.peer_count == 40
+        assert len(server.landmarks()) == SHARDED_LANDMARK_COUNT
+
+    def test_sharded_population_keeps_peer_names_and_order(self):
+        """Cells sample by name from peers(); names must not depend on shards."""
+        single = build_populated_server(30, seed=3)
+        sharded = build_populated_server(30, seed=3, shards=4)
+        assert sharded.peers() == single.peers()
+
+    @pytest.mark.parametrize(
+        "runner, name",
+        [
+            (run_insert_workload, "insert"),
+            (run_query_workload, "query"),
+            (run_departure_workload, "departure"),
+            (run_churn_workload, "churn"),
+        ],
+    )
+    def test_each_workload_runs_sharded(self, runner, name):
+        record = runner(40, ops=10, seed=2, shards=2)
+        assert record.workload == name
+        assert record.shards == 2
+        assert record.total_s >= 0.0
+        assert "tree_node_visits" in record.counters
+
+    def test_sharded_query_workload_is_mostly_cache_hits(self):
+        record = run_query_workload(50, ops=100, seed=2, shards=2)
+        assert record.counters["cache_hits"] >= 90
+
+    @pytest.mark.parametrize("runner", [run_insert_workload, run_churn_workload])
+    def test_algorithmic_work_is_flat_across_shard_counts(self, runner):
+        """The scaling acceptance claim, counter-based: spreading the same
+        8-landmark population over more shards adds zero tree visits, cache
+        updates or departure repairs — per-shard op cost cannot grow."""
+        baseline = runner(200, ops=20, seed=2, shards=1).counters
+        for shards in (2, 4, 8):
+            assert runner(200, ops=20, seed=2, shards=shards).counters == baseline
+
+    def test_suite_with_shard_counts_tags_cells(self):
+        report = run_discovery_suite(populations=(20, 40), ops=5, seed=2, shard_counts=(1, 2))
+        combos = {(record.workload, record.population, record.shards) for record in report.records}
+        assert combos == {
+            (workload, population, shards)
+            for workload in ("insert", "query", "departure", "churn")
+            for population in (20, 40)
+            for shards in (1, 2)
+        }
+        assert report.metadata["shard_counts"] == [1, 2]
+
+    def test_workload_sampling_is_per_cell_pure(self):
+        """The sampled peers of a cell never depend on which other cells ran.
+
+        Counters are deterministic functions of the sampled peers, so
+        identical counters across a standalone run, a repeat run, and a
+        suite run that also measured sharded cells prove the RNG is re-seeded
+        per invocation rather than shared across the suite.
+        """
+        standalone = run_departure_workload(40, ops=10, seed=2)
+        repeat = run_departure_workload(40, ops=10, seed=2)
+        assert standalone.counters == repeat.counters
+        suite = run_discovery_suite(populations=(40,), ops=10, seed=2, shard_counts=(2,))
+        sharded_cell = next(
+            r for r in suite.records if r.workload == "departure" and r.shards == 2
+        )
+        sharded_repeat = run_departure_workload(40, ops=10, seed=2, shards=2)
+        assert sharded_cell.counters == sharded_repeat.counters
+        churn_a = run_churn_workload(40, ops=10, seed=2)
+        churn_b = run_churn_workload(40, ops=10, seed=2)
+        assert churn_a.counters == churn_b.counters
+
+
+def _report_from_cells(cells):
+    """Build a PerfReport from (workload, population, shards, per_op_us) rows."""
+    report = PerfReport()
+    for workload, population, shards, per_op_us in cells:
+        report.add(
+            PerfRecord(
+                workload=workload,
+                population=population,
+                ops=100,
+                total_s=per_op_us * 100 / 1e6,
+                shards=shards,
+            )
+        )
+    return report
+
+
+class TestCompare:
+    def test_no_regression_within_threshold(self):
+        baseline = _report_from_cells([("query", 200, None, 10.0), ("insert", 200, None, 50.0)])
+        current = _report_from_cells([("query", 200, None, 12.0), ("insert", 200, None, 45.0)])
+        result = compare_reports(baseline, current, threshold=0.25)
+        assert result.ok
+        assert result.regressions == []
+        assert "OK" in result.to_text()
+
+    def test_regression_beyond_threshold_fails(self):
+        baseline = _report_from_cells([("query", 200, None, 10.0), ("churn", 800, None, 40.0)])
+        current = _report_from_cells([("query", 200, None, 13.0), ("churn", 800, None, 40.0)])
+        result = compare_reports(baseline, current, threshold=0.25)
+        assert not result.ok
+        assert [delta.key for delta in result.regressions] == [("query", 200, None)]
+        assert "REGRESSION" in result.to_text()
+        assert "FAIL" in result.to_text()
+
+    def test_exactly_at_threshold_is_not_a_regression(self):
+        baseline = _report_from_cells([("query", 200, None, 10.0)])
+        current = _report_from_cells([("query", 200, None, 12.5)])
+        assert compare_reports(baseline, current, threshold=0.25).ok
+
+    def test_cells_are_keyed_by_shards_too(self):
+        baseline = _report_from_cells([("query", 200, 1, 10.0), ("query", 200, 4, 10.0)])
+        current = _report_from_cells([("query", 200, 1, 10.0), ("query", 200, 4, 30.0)])
+        result = compare_reports(baseline, current)
+        assert [delta.key for delta in result.regressions] == [("query", 200, 4)]
+
+    def test_unmatched_cells_are_reported_but_never_fail(self):
+        baseline = _report_from_cells([("query", 200, None, 10.0), ("query", 800, None, 10.0)])
+        current = _report_from_cells([("query", 200, None, 10.0), ("query", 200, 2, 99.0)])
+        result = compare_reports(baseline, current)
+        assert result.ok
+        assert result.baseline_only == [("query", 800, None)]
+        assert result.current_only == [("query", 200, 2)]
+        text = result.to_text()
+        assert "baseline only" in text
+        assert "new cell" in text
+
+    def test_zero_baseline_cells_are_skipped_as_noise(self):
+        baseline = _report_from_cells([("query", 200, None, 0.0)])
+        current = _report_from_cells([("query", 200, None, 5.0)])
+        result = compare_reports(baseline, current)
+        assert result.ok
+        assert result.deltas[0].ratio == float("inf")
+
+    def test_delta_ratio(self):
+        delta = CellDelta("query", 200, None, baseline_us=10.0, current_us=15.0)
+        assert delta.ratio == pytest.approx(1.5)
+        assert delta.is_regression(0.25)
+        assert not delta.is_regression(0.6)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_reports(PerfReport(), PerfReport(), threshold=-0.1)
+
+
 class TestCli:
     def test_perf_parser_defaults(self):
         args = build_perf_parser().parse_args([])
@@ -157,3 +325,65 @@ class TestCli:
         code = main(["perf", "--populations", "20", "--ops", "3", "--output", str(output)])
         assert code == 0
         assert output.exists()
+
+    def test_shards_flag_runs_sharded_cells(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = run_perf(
+            ["--populations", "20", "--ops", "3", "--shards", "1,2", "--output", str(output)]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        assert {record["shards"] for record in data["records"]} == {1, 2}
+
+    @pytest.mark.parametrize("spec", ["0", "1,0", "abc", ","])
+    def test_invalid_shards_spec_is_rejected(self, spec, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            run_perf(["--populations", "20", "--ops", "3", "--shards", spec,
+                      "--output", str(tmp_path / "b.json")])
+
+    def test_compare_passes_against_identical_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert run_perf(["--populations", "20", "--ops", "3", "--output", str(baseline)]) == 0
+        code = run_perf(
+            ["--populations", "20", "--ops", "3", "--output", str(tmp_path / "new.json"),
+             "--compare", str(baseline), "--compare-threshold", "1000"]
+        )
+        assert code == 0
+        assert "OK: no cell regressed" in capsys.readouterr().out
+
+    def test_compare_fails_on_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert run_perf(["--populations", "20", "--ops", "3", "--output", str(baseline)]) == 0
+        # Shrink the baseline timings so the re-run is a guaranteed regression.
+        data = json.loads(baseline.read_text())
+        for record in data["records"]:
+            record["total_s"] = record["total_s"] / 1e6
+        baseline.write_text(json.dumps(data))
+        code = run_perf(
+            ["--populations", "20", "--ops", "3", "--output", str(tmp_path / "new.json"),
+             "--compare", str(baseline)]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "perf regression" in captured.err
+
+    def test_compare_with_no_overlapping_cells_errors(self, tmp_path, capsys):
+        """The gate must not pass vacuously when nothing was compared."""
+        baseline = tmp_path / "baseline.json"
+        assert run_perf(["--populations", "20", "--ops", "3", "--output", str(baseline)]) == 0
+        code = run_perf(
+            ["--populations", "20", "--ops", "3", "--shards", "2",
+             "--output", str(tmp_path / "new.json"), "--compare", str(baseline)]
+        )
+        assert code == 1
+        assert "no comparable cells" in capsys.readouterr().err
+
+    def test_compare_with_unreadable_baseline_errors(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        code = run_perf(
+            ["--populations", "20", "--ops", "3", "--output", str(tmp_path / "new.json"),
+             "--compare", str(missing)]
+        )
+        assert code == 1
+        assert "cannot read baseline" in capsys.readouterr().err

@@ -136,3 +136,32 @@ class TestNeighborSets:
         assert overlay.size == joined_scenario.config.peer_count
         peer = joined_scenario.peer_ids[0]
         assert overlay.neighbors_of(peer) == joined_scenario.scheme_neighbor_sets()[peer]
+
+
+class TestShardedScenario:
+    def test_config_validates_shard_count(self):
+        with pytest.raises(Exception):
+            ScenarioConfig(shard_count=0)
+        assert ScenarioConfig(shard_count=2).shard_count == 2
+
+    def test_sharded_scenario_builds_sharded_plane(self):
+        from repro.core.sharded import ShardedManagementServer
+
+        scenario = make_small_scenario(seed=7, peer_count=20, shard_count=2)
+        assert isinstance(scenario.server, ShardedManagementServer)
+        assert scenario.server.shard_count == 2
+        scenario.join_all()
+        assert scenario.server.peer_count == 20
+
+    def test_sharded_scenario_matches_single_server_scenario(self):
+        """End-to-end equivalence: the full paper pipeline (map, landmarks,
+        traceroute, joins) produces identical neighbour sets whether the
+        management plane runs as one server or as four shards."""
+        single = make_small_scenario(seed=11, peer_count=25)
+        sharded = make_small_scenario(seed=11, peer_count=25, shard_count=4)
+        single.join_all()
+        sharded.join_all()
+        assert sharded.scheme_neighbor_sets() == single.scheme_neighbor_sets()
+        assert sharded.server.peers() == single.server.peers()
+        for peer in single.peer_ids:
+            assert sharded.server.closest_peers(peer, k=5) == single.server.closest_peers(peer, k=5)
