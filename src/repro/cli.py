@@ -23,6 +23,13 @@ Measure the sharded management plane and gate on an earlier report::
 
     repro-experiments perf --shards 1,4
     repro-experiments perf --compare BENCH_discovery.json
+
+Measure the multi-process shard backend (one worker process per shard),
+alone or alongside the inline cells so ``--compare`` can gate the inline
+ones against an older baseline while the process cells join as new cells::
+
+    repro-experiments perf --shards 2 --backend process
+    repro-experiments perf --shards 2 --backend inline,process --compare BENCH_discovery.json
 """
 
 from __future__ import annotations
@@ -88,6 +95,21 @@ def _parse_shard_counts(value: str) -> List[int]:
     return counts
 
 
+def _parse_backends(value: str) -> List[str]:
+    """Parse the ``--backend`` spec: comma-separated backend names."""
+    from .core.remote import BACKENDS
+
+    backends = [part.strip() for part in value.split(",") if part.strip()]
+    if not backends:
+        raise argparse.ArgumentTypeError("at least one backend is required")
+    unknown = [backend for backend in backends if backend not in BACKENDS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"backends must be one of {BACKENDS}, got {unknown}"
+        )
+    return backends
+
+
 def build_perf_parser() -> argparse.ArgumentParser:
     """Argument parser for the ``perf`` subcommand (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -136,6 +158,17 @@ def build_perf_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend",
+        type=_parse_backends,
+        default=None,
+        metavar="NAME[,NAME]",
+        help=(
+            "where sharded cells' shards live: 'inline' (in-process, the "
+            "default), 'process' (one worker process per shard), or both as "
+            "'inline,process'; 'process' requires --shards"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path("BENCH_discovery.json"),
@@ -181,6 +214,9 @@ def run_perf(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--neighbor-set-size must be >= 1, got {args.neighbor_set_size}")
     if args.compare_threshold < 0:
         parser.error(f"--compare-threshold must be >= 0, got {args.compare_threshold}")
+    backends = args.backend or ["inline"]
+    if "process" in backends and args.shards is None:
+        parser.error("--backend process requires --shards (the process plane is sharded)")
 
     baseline = None
     if args.compare is not None:
@@ -196,6 +232,7 @@ def run_perf(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         neighbor_set_size=args.neighbor_set_size,
         shard_counts=args.shards,
+        backends=backends,
     )
     print(report.to_text())
     try:

@@ -23,6 +23,12 @@ from .path_tree import PathTree, PathTreeNode
 from .management_server import ManagementServer, NeighborEntry, ServerStats
 from .neighbor_cache import NeighborCache
 from .sharded import ConsistentHashRing, ShardBackend, ShardedManagementServer
+from .remote import (
+    ProcessShardBackend,
+    ShardSupervisor,
+    process_shard_factory,
+    shard_factory_for,
+)
 from .distance import (
     AccuracyReport,
     DistanceEstimator,
@@ -75,6 +81,10 @@ __all__ = [
     "ConsistentHashRing",
     "ShardBackend",
     "ShardedManagementServer",
+    "ProcessShardBackend",
+    "ShardSupervisor",
+    "process_shard_factory",
+    "shard_factory_for",
     "AccuracyReport",
     "DistanceEstimator",
     "PairAccuracy",

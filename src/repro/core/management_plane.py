@@ -90,6 +90,33 @@ class ManagementPlaneBase:
         """The path tree of one landmark."""
         raise NotImplementedError
 
+    def _same_landmark_distance(
+        self, landmark_id: LandmarkId, peer_a: PeerId, peer_b: PeerId
+    ) -> float:
+        """``dtree`` between two peers under one landmark (plane-specific).
+
+        The default asks the local tree; the sharded coordinator routes to
+        the landmark's shard instead, so a remote backend answers with one
+        scalar round trip rather than shipping a whole tree snapshot.
+        """
+        return float(self.tree(landmark_id).tree_distance(peer_a, peer_b))
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release plane-owned resources (worker processes, pipes).
+
+        A no-op for purely in-process planes; the sharded coordinator closes
+        its shard backends.  Always safe to call more than once, so callers
+        can ``finally: server.close()`` regardless of the backend in use.
+        """
+
+    def __enter__(self) -> "ManagementPlaneBase":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------- cache views
 
     @property
@@ -253,7 +280,7 @@ class ManagementPlaneBase:
         landmark_a = self.peer_landmark(peer_a)
         landmark_b = self.peer_landmark(peer_b)
         if landmark_a == landmark_b:
-            return float(self.tree(landmark_a).tree_distance(peer_a, peer_b))
+            return self._same_landmark_distance(landmark_a, peer_a, peer_b)
         between = self.landmark_distance(landmark_a, landmark_b)
         if between is None:
             raise LandmarkError(

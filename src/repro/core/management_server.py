@@ -77,7 +77,7 @@ import heapq
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .._validation import require_positive_int
-from ..exceptions import LandmarkError, RegistrationError, UnknownPeerError
+from ..exceptions import LandmarkError, RegistrationError, ReproError, UnknownPeerError
 from .management_plane import ManagementPlaneBase, ServerStats
 from .neighbor_cache import NeighborCache, NeighborEntry
 from .path import LandmarkId, NodeId, PeerId, RouterPath
@@ -148,6 +148,24 @@ class ManagementServer(ManagementPlaneBase):
             raise LandmarkError(f"unknown landmark {landmark_id!r}")
         return self._trees[landmark_id]
 
+    def tree_distance(self, landmark_id: LandmarkId, peer_a: PeerId, peer_b: PeerId) -> float:
+        """``dtree`` between two peers of one landmark tree (shard-facing).
+
+        One scalar answer, so the sharded coordinator's distance estimator
+        costs a remote backend one small round trip instead of a tree
+        snapshot.
+        """
+        return float(self.tree(landmark_id).tree_distance(peer_a, peer_b))
+
+    def total_tree_visits(self) -> int:
+        """Trie nodes visited by closest-peer queries, summed over all trees.
+
+        Part of the shard-facing surface so the perf harness can read the
+        algorithmic-work counter with one cheap call per plane instead of
+        shipping whole tree snapshots across a process boundary.
+        """
+        return sum(tree.total_query_visits for tree in self._trees.values())
+
     # -------------------------------------------------------------- register
 
     def register_peers(
@@ -211,6 +229,26 @@ class ManagementServer(ManagementPlaneBase):
                 f"but the tree of landmark {path.landmark_id!r} is rooted at "
                 f"{root.router!r}"
             )
+
+    def first_rejected_path(
+        self, paths: Sequence[RouterPath]
+    ) -> Optional[Tuple[int, BaseException]]:
+        """Index and error of the first path :meth:`insert_paths` would reject.
+
+        The batch half of validation on the shard interface: one call (one
+        round trip on a remote backend) validates a whole shard's slice of a
+        co-arriving batch, and the coordinator merges the per-shard results
+        by input index — so the error a sharded batch surfaces is exactly
+        the single server's first-invalid-path-in-input-order error.
+        Validation is read-only; returns ``None`` when every path is
+        registrable.
+        """
+        for index, path in enumerate(paths):
+            try:
+                self.validate_registrable(path)
+            except ReproError as error:
+                return (index, error)
+        return None
 
     def insert_paths(self, paths: Sequence[RouterPath], validate: bool = True) -> None:
         """Raw batch insert: landmark trees and indexes only, no neighbour work.

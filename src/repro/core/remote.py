@@ -1,0 +1,734 @@
+"""Multi-process shard backend: one ``ManagementServer`` per worker process.
+
+:class:`~repro.core.sharded.ShardedManagementServer` drives its shards
+through the :class:`~repro.core.sharded.ShardBackend` protocol, and PR 2 left
+"implement a remote backend and pass it via ``shard_factory=``" as the named
+next step off a single process.  This module provides that backend: a
+:class:`ProcessShardBackend` proxies the five shard methods to a full
+:class:`~repro.core.management_server.ManagementServer` (with
+``maintain_cache=False`` — the coordinator owns the only cache) running in a
+worker process, and a :class:`ShardSupervisor` owns the worker's lifecycle.
+
+Wire protocol
+-------------
+Each shard talks over one duplex :func:`multiprocessing.Pipe`, strictly
+request/reply (the coordinator is single-threaded per shard, so requests
+never interleave).  A message is one **length-prefixed frame**::
+
+    frame   = header body
+    header  = !I big-endian byte length of body
+    body    = serialised message tuple
+
+    request = (request_id, op, args)      request_id > 0, or 0 for one-way
+    reply   = (request_id, "ok",  value)
+            | (request_id, "err", exception_type_name, message)
+
+The header is redundant with the pipe's own message boundaries on purpose:
+a frame whose declared length disagrees with its byte count means the
+channel is corrupt (truncated write, desynchronised reply), and the client
+turns it into a typed :class:`~repro.exceptions.ShardUnavailableError`
+instead of a pickle traceback.  Bodies contain only plain data — the typed
+codec below flattens :class:`~repro.core.path.RouterPath` and candidate
+tuples into tagged tuples before serialisation — so the wire format is
+independent of repro class layout and a worker crash mid-write can never
+surface as a half-unpickled domain object.
+
+Errors raised by the worker's ``ManagementServer`` travel as
+``(type_name, str(message))`` and are re-raised client-side as the same
+exception type with the same message (resolved from
+:mod:`repro.exceptions`, then builtins), which is exactly the surface the
+equivalence oracle compares — so the process plane reproduces the inline
+plane's errors byte for byte.  (Reconstructed exceptions carry the message
+but not constructor-specific attributes like ``peer_id``.)
+
+Batching and chunking rules
+---------------------------
+* **Arrival is batched**: a co-arriving batch crosses the process boundary
+  as ONE ``validate_batch`` request and ONE ``insert_paths`` request per
+  shard, each carrying every encoded path for that shard, so arrival cost
+  per peer stays O(path length), not O(round trips).
+* **fill_candidates is chunked and lazy**: the worker keeps the lazily
+  heap-merged candidate stream; the client generator opens it on first use
+  (``fill_open``), pulls :data:`DEFAULT_FILL_CHUNK` candidates per
+  ``fill_next`` round trip, and sends a one-way ``fill_close`` when the
+  coordinator abandons the merge early — so the inter-shard merge stays lazy
+  across the process boundary and a query that needs two fill candidates
+  ships two chunks, not every foreign peer.
+* **One-way notifications** (``fill_close``, ``shutdown``) use
+  ``request_id == 0`` and produce no reply, so an abandoned stream's cleanup
+  can be sent from a generator finaliser without desynchronising the strict
+  request/reply order of the pipe.
+
+Fault model
+-----------
+Every transport failure — dead worker, broken, unwritable or timed-out
+pipe, malformed frame or reply (:class:`~repro.exceptions.WireProtocolError`
+internally, a type deliberately distinct from the join-protocol
+``ProtocolError``) — raises
+:class:`~repro.exceptions.ShardUnavailableError` naming the shard, and
+poisons the channel so subsequent requests fail fast until
+:meth:`ShardSupervisor.restart`.  Fill-stream ids are scoped to one worker
+incarnation (:attr:`ShardSupervisor.epoch`), so consumers outliving a
+restart fail typed instead of touching the new worker's streams.  The supervisor keeps a **per-shard operation journal** of every
+successful mutating request (``register_landmark``, ``insert_paths``,
+``unregister``); :meth:`ShardSupervisor.restart` spawns a fresh worker and
+replays the journal in order, which rebuilds the shard's trees and min-hop
+orderings to a byte-identical state (insert order determines tree shape;
+the orderings are rebuilt lazily from the same sorted keys).  Mutating
+requests only touch coordinator state *after* the shard acknowledged them,
+so a crash mid-operation leaves the coordinator consistent with the journal
+for single-operation arrival/departure/query.  A batch ``register_peers``
+is not atomic across a shard crash: the coordinator may have recorded peers
+whose insert never reached the failed shard — restart, replay and re-register
+the batch to converge.  The journal is append-only and unbounded; compaction
+(snapshot + truncate) is the named follow-up in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+import builtins
+import itertools
+import multiprocessing
+import pickle
+import select
+import struct
+from typing import (
+    Callable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .. import exceptions as _exceptions
+from ..exceptions import ShardUnavailableError, WireProtocolError
+from .management_server import ManagementServer
+from .path import LandmarkId, PeerId, RouterPath
+from .path_tree import PathTree
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_FILL_CHUNK",
+    "ProcessShardBackend",
+    "ShardSupervisor",
+    "decode_frame",
+    "decode_path",
+    "encode_frame",
+    "encode_path",
+    "process_shard_factory",
+    "shard_factory_for",
+]
+
+#: The shard-backend implementations selectable by name — the single source
+#: for every ``backend=`` surface (ScenarioConfig, the perf suite, the CLI).
+BACKENDS = ("inline", "process")
+
+#: Candidates shipped per ``fill_next`` round trip.  Small enough that a
+#: query needing one or two fill slots pays one chunk, large enough that a
+#: deep fill is not dominated by round trips.
+DEFAULT_FILL_CHUNK = 32
+
+_HEADER = struct.Struct("!I")
+
+#: Seconds a request waits for its reply before declaring the shard gone.
+DEFAULT_REQUEST_TIMEOUT = 60.0
+
+
+# ------------------------------------------------------------------- codec
+
+_PATH_TAG = "path"
+
+
+def encode_path(path: RouterPath) -> Tuple[object, ...]:
+    """Flatten a :class:`RouterPath` into a tagged plain-data tuple."""
+    return (_PATH_TAG, path.peer_id, path.landmark_id, tuple(path.routers), path.rtt_ms)
+
+
+def decode_path(data: Sequence[object]) -> RouterPath:
+    """Rebuild a :class:`RouterPath` from :func:`encode_path` output."""
+    if len(data) != 5 or data[0] != _PATH_TAG:
+        raise WireProtocolError(f"malformed path frame: {data!r}")
+    _, peer_id, landmark_id, routers, rtt_ms = data
+    return RouterPath(
+        peer_id=peer_id,
+        landmark_id=landmark_id,
+        routers=tuple(routers),  # type: ignore[arg-type]
+        rtt_ms=rtt_ms,  # type: ignore[arg-type]
+    )
+
+
+def encode_frame(message: Tuple[object, ...]) -> bytes:
+    """Serialise one message tuple into a length-prefixed frame."""
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(frame: bytes) -> Tuple[object, ...]:
+    """Parse one frame; raise :class:`WireProtocolError` on any inconsistency."""
+    if len(frame) < _HEADER.size:
+        raise WireProtocolError(f"frame shorter than its header: {len(frame)} bytes")
+    (declared,) = _HEADER.unpack_from(frame)
+    if declared != len(frame) - _HEADER.size:
+        raise WireProtocolError(
+            f"frame declares {declared} body bytes but carries {len(frame) - _HEADER.size}"
+        )
+    message = pickle.loads(frame[_HEADER.size :])
+    if not isinstance(message, tuple) or len(message) < 2:
+        raise WireProtocolError(f"malformed message: {message!r}")
+    return message
+
+
+def _rebuild_exception(type_name: str, message: str) -> BaseException:
+    """Client-side twin of a worker exception: same type, same ``str()``.
+
+    The instance is created without running the original constructor (which
+    may require domain arguments the wire does not carry), so it carries the
+    message but not attributes like ``peer_id``.
+    """
+    candidate = getattr(_exceptions, type_name, None)
+    if not (isinstance(candidate, type) and issubclass(candidate, BaseException)):
+        candidate = getattr(builtins, type_name, None)
+    if not (isinstance(candidate, type) and issubclass(candidate, BaseException)):
+        return WireProtocolError(f"{type_name}: {message}")
+    error = candidate.__new__(candidate)
+    BaseException.__init__(error, message)
+    return error
+
+
+# ------------------------------------------------------------------ worker
+
+
+def _shard_worker(conn, neighbor_set_size: int) -> None:
+    """Worker-process main loop: one ``ManagementServer`` behind the pipe.
+
+    Runs until a ``shutdown`` notification, a closed pipe (the supervisor
+    died), or an undecodable frame (a poisoned channel is unrecoverable, so
+    the worker exits and the client surfaces the EOF as unavailability).
+    """
+    server = ManagementServer(neighbor_set_size=neighbor_set_size, maintain_cache=False)
+    streams: dict = {}
+    stream_ids = itertools.count(1)
+    try:
+        while True:
+            try:
+                message = decode_frame(conn.recv_bytes())
+            except (EOFError, OSError, WireProtocolError, pickle.UnpicklingError):
+                break
+            request_id, op = message[0], message[1]
+            args = message[2] if len(message) > 2 else ()
+            if op == "shutdown":
+                break
+            if op == "fill_close":
+                generator = streams.pop(args[0], None)
+                if generator is not None:
+                    generator.close()
+                continue
+            try:
+                result = _dispatch(server, streams, stream_ids, op, args)
+            except Exception as error:  # noqa: BLE001 - errors are protocol payload
+                reply = (request_id, "err", type(error).__name__, str(error))
+            else:
+                reply = (request_id, "ok", result)
+            if request_id:
+                conn.send_bytes(encode_frame(reply))
+    finally:
+        conn.close()
+
+
+def _dispatch(server: ManagementServer, streams: dict, stream_ids, op: str, args):
+    """Apply one decoded request to the worker's server; return the value."""
+    if op == "ping":
+        return "pong"
+    if op == "register_landmark":
+        landmark_id, router = args
+        return server.register_landmark(landmark_id, router)
+    if op == "validate":
+        return server.validate_registrable(decode_path(args[0]))
+    if op == "validate_batch":
+        rejected = server.first_rejected_path([decode_path(p) for p in args[0]])
+        if rejected is None:
+            return None
+        index, error = rejected
+        return (index, type(error).__name__, str(error))
+    if op == "insert_paths":
+        encoded_paths, validate = args
+        return server.insert_paths([decode_path(p) for p in encoded_paths], validate=validate)
+    if op == "unregister":
+        return server.unregister_peer(args[0])
+    if op == "local_closest":
+        peer_id, k = args
+        return tuple(server.local_closest(peer_id, k))
+    if op == "fill_open":
+        bases_items, exclude_peer = args
+        stream_id = next(stream_ids)
+        streams[stream_id] = server.fill_candidates(dict(bases_items), exclude_peer=exclude_peer)
+        return stream_id
+    if op == "fill_next":
+        stream_id, chunk_size = args
+        generator = streams.get(stream_id)
+        if generator is None:
+            raise WireProtocolError(f"unknown fill stream {stream_id}")
+        chunk = tuple(itertools.islice(generator, chunk_size))
+        done = len(chunk) < chunk_size
+        if done:
+            streams.pop(stream_id, None)
+        return (done, chunk)
+    if op == "tree":
+        tree = server.tree(args[0])
+        return (
+            tree.root.router if tree.root is not None else None,
+            tuple(encode_path(tree.path_of(peer)) for peer in tree.peers()),
+            tree.total_query_visits,
+            tree.last_query_visits,
+        )
+    if op == "tree_distance":
+        landmark_id, peer_a, peer_b = args
+        return server.tree_distance(landmark_id, peer_a, peer_b)
+    if op == "total_tree_visits":
+        return server.total_tree_visits()
+    if op == "stats":
+        return server.stats.as_dict()
+    raise WireProtocolError(f"unknown operation {op!r}")
+
+
+# -------------------------------------------------------------- supervisor
+
+
+class ShardSupervisor:
+    """Owns one shard worker: spawn, request plumbing, journal, restart.
+
+    The supervisor is transport-level — it moves opaque ``(op, args)``
+    requests and keeps the **operation journal**: every mutating request
+    that the worker acknowledged, in order.  :meth:`restart` spawns a fresh
+    worker and replays the journal, restoring the shard's data plane to the
+    exact pre-crash state (see the module docstring's fault model).
+
+    Parameters
+    ----------
+    name:
+        The shard's name; every :class:`ShardUnavailableError` carries it.
+    neighbor_set_size:
+        Passed to the worker's ``ManagementServer``.
+    start_method:
+        ``multiprocessing`` start method; ``None`` picks ``fork`` where
+        available (workers are cheap clones) and ``spawn`` elsewhere.
+    request_timeout:
+        Seconds to wait for a reply before declaring the shard unavailable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        neighbor_set_size: int,
+        start_method: Optional[str] = None,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        self.name = name
+        self.neighbor_set_size = neighbor_set_size
+        self.request_timeout = request_timeout
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+        self._context = multiprocessing.get_context(start_method)
+        self._journal: List[Tuple[str, Tuple[object, ...]]] = []
+        self._next_request_id = itertools.count(1)
+        self._conn = None
+        self._process = None
+        self._poisoned: Optional[str] = None
+        self._closed = False
+        self._epoch = 0
+        self._spawn()
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def process(self):
+        """The live worker :class:`multiprocessing.Process` (or ``None``)."""
+        return self._process
+
+    @property
+    def journal(self) -> List[Tuple[str, Tuple[object, ...]]]:
+        """The acknowledged mutating operations, in order (a copy)."""
+        return list(self._journal)
+
+    @property
+    def epoch(self) -> int:
+        """Worker incarnation counter (bumped by every spawn/restart).
+
+        Stream state (fill streams' worker-side ids) is only valid within
+        one epoch: a consumer created before a restart must not touch — or
+        tear down — streams belonging to the new worker.
+        """
+        return self._epoch
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_shard_worker,
+            args=(child_conn, self.neighbor_set_size),
+            name=f"repro-{self.name}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self._process = process
+        self._poisoned = None
+        self._epoch += 1
+
+    def restart(self) -> None:
+        """Spawn a fresh worker and replay the journal (crash recovery)."""
+        if self._closed:
+            raise ShardUnavailableError(self.name, "supervisor is closed")
+        self._teardown_worker()
+        self._spawn()
+        for op, args in self._journal:
+            self._roundtrip(op, args)
+
+    def close(self) -> None:
+        """Shut the worker down and release the pipe (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown_worker()
+
+    def _teardown_worker(self) -> None:
+        conn, process = self._conn, self._process
+        self._conn = None
+        self._process = None
+        if conn is not None:
+            try:
+                conn.send_bytes(encode_frame((0, "shutdown")))
+            except (OSError, ValueError):
+                pass
+        if process is not None:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM-ignoring worker
+                process.kill()
+                process.join()
+        if conn is not None:
+            conn.close()
+
+    def health_check(self, timeout: float = 5.0) -> bool:
+        """True when the worker is alive and answering pings."""
+        try:
+            return self.request("ping", (), timeout=timeout) == "pong"
+        except ShardUnavailableError:
+            return False
+
+    # --------------------------------------------------------------- requests
+
+    def request(
+        self,
+        op: str,
+        args: Tuple[object, ...],
+        journal: bool = False,
+        timeout: Optional[float] = None,
+    ) -> object:
+        """One request/reply round trip; journals mutating ops on success."""
+        value = self._roundtrip(op, args, timeout=timeout)
+        if journal:
+            self._journal.append((op, args))
+        return value
+
+    def notify(self, op: str, args: Tuple[object, ...]) -> None:
+        """One-way notification (no reply; failures are swallowed).
+
+        Used for stream cleanup from generator finalisers: the worker
+        processes it in pipe order and sends nothing back, so it can never
+        desynchronise an in-flight request/reply pair.
+        """
+        conn = self._conn
+        if conn is None or self._poisoned is not None:
+            return
+        try:
+            conn.send_bytes(encode_frame((0, op, args)))
+        except (OSError, ValueError):
+            pass
+
+    def _roundtrip(
+        self, op: str, args: Tuple[object, ...], timeout: Optional[float] = None
+    ) -> object:
+        if self._closed:
+            raise ShardUnavailableError(self.name, "supervisor is closed")
+        if self._poisoned is not None:
+            raise ShardUnavailableError(self.name, f"channel poisoned: {self._poisoned}")
+        process, conn = self._process, self._conn
+        if process is None or conn is None or not process.is_alive():
+            raise ShardUnavailableError(self.name, "worker process is not running")
+        deadline = self.request_timeout if timeout is None else timeout
+        request_id = next(self._next_request_id)
+        try:
+            # A worker that stopped reading while staying alive would make a
+            # blocking send hang with the pipe buffer full, so probe
+            # writability under the same deadline as the reply.  The probe
+            # itself must never break the typed-error contract: where it
+            # cannot run (fd beyond FD_SETSIZE, platforms whose pipe handles
+            # select() rejects), fall back to sending un-probed — the
+            # residual blocking risk of the Connection API, also present for
+            # frames larger than the pipe buffer once a write has started.
+            try:
+                writable = select.select([], [conn], [], deadline)[1]
+            except (OSError, ValueError):
+                writable = [conn]
+            if not writable:
+                self._poisoned = f"pipe not writable for {op!r} within timeout"
+                raise ShardUnavailableError(self.name, self._poisoned)
+            conn.send_bytes(encode_frame((request_id, op, args)))
+            if not conn.poll(deadline):
+                self._poisoned = f"no reply to {op!r} within timeout"
+                raise ShardUnavailableError(self.name, self._poisoned)
+            reply = decode_frame(conn.recv_bytes())
+        except ShardUnavailableError:
+            raise
+        except (EOFError, OSError, WireProtocolError, pickle.UnpicklingError) as error:
+            # Any transport failure leaves the request/reply order unknown:
+            # poison the channel so later requests fail fast until restart().
+            self._poisoned = f"transport failure during {op!r}: {type(error).__name__}"
+            raise ShardUnavailableError(
+                self.name, f"worker died during {op!r}: {type(error).__name__}: {error}"
+            ) from error
+        if reply[0] != request_id or len(reply) < 3:
+            self._poisoned = f"out-of-order reply to {op!r}"
+            raise ShardUnavailableError(self.name, self._poisoned)
+        if reply[1] == "ok":
+            return reply[2]
+        if reply[1] == "err" and len(reply) == 4:
+            error = _rebuild_exception(str(reply[2]), str(reply[3]))
+            if isinstance(error, WireProtocolError):
+                # The worker saw a protocol violation from us: surface it as
+                # unavailability, never as a domain (join-protocol) error.
+                raise ShardUnavailableError(
+                    self.name, f"worker reported a protocol violation: {error}"
+                ) from error
+            raise error
+        self._poisoned = f"malformed reply to {op!r}"
+        raise ShardUnavailableError(self.name, self._poisoned)
+
+
+# ----------------------------------------------------------------- backend
+
+
+class ProcessShardBackend:
+    """A :class:`~repro.core.sharded.ShardBackend` living in a worker process.
+
+    Implements the shard-facing surface by proxying every call to a
+    ``ManagementServer(maintain_cache=False)`` in the supervised worker,
+    following the module docstring's batching/chunking rules.  Pass
+    instances via ``ShardedManagementServer(shard_factory=...)`` — see
+    :func:`process_shard_factory` for the canonical wiring.
+
+    Always :meth:`close` a backend (or use it as a context manager): the
+    worker is a real OS process and the pipe a real file descriptor.
+    """
+
+    def __init__(
+        self,
+        neighbor_set_size: int = 5,
+        name: str = "process-shard",
+        fill_chunk_size: int = DEFAULT_FILL_CHUNK,
+        start_method: Optional[str] = None,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        self.name = name
+        self.fill_chunk_size = fill_chunk_size
+        self.supervisor = ShardSupervisor(
+            name=name,
+            neighbor_set_size=neighbor_set_size,
+            start_method=start_method,
+            request_timeout=request_timeout,
+        )
+
+    # ---------------------------------------------------------- shard surface
+
+    def register_landmark(self, landmark_id: LandmarkId, router) -> None:
+        self.supervisor.request("register_landmark", (landmark_id, router), journal=True)
+
+    def validate_registrable(self, path: RouterPath) -> None:
+        self.supervisor.request("validate", (encode_path(path),))
+
+    def first_rejected_path(
+        self, paths: Sequence[RouterPath]
+    ) -> Optional[Tuple[int, BaseException]]:
+        """Batch validation in one round trip (the arrival batching rule)."""
+        result = self.supervisor.request(
+            "validate_batch", (tuple(encode_path(path) for path in paths),)
+        )
+        if result is None:
+            return None
+        index, type_name, message = result  # type: ignore[misc]
+        return (int(index), _rebuild_exception(str(type_name), str(message)))
+
+    def insert_paths(self, paths: Sequence[RouterPath], validate: bool = True) -> None:
+        self.supervisor.request(
+            "insert_paths",
+            (tuple(encode_path(path) for path in paths), validate),
+            journal=True,
+        )
+
+    def unregister_peer(self, peer_id: PeerId) -> None:
+        self.supervisor.request("unregister", (peer_id,), journal=True)
+
+    def local_closest(self, peer_id: PeerId, k: int) -> List[Tuple[PeerId, float]]:
+        result = self.supervisor.request("local_closest", (peer_id, k))
+        return [tuple(pair) for pair in result]  # type: ignore[union-attr, misc]
+
+    def fill_candidates(
+        self,
+        bases: Mapping[LandmarkId, float],
+        exclude_peer: Optional[PeerId] = None,
+    ) -> Iterator[Tuple[float, str, PeerId]]:
+        """Chunked client view of the worker's lazy candidate stream.
+
+        The worker-side stream is opened on the first ``next()`` (a never
+        consumed stream costs nothing on either side) and torn down by a
+        one-way ``fill_close`` when the consumer stops early.
+        """
+        bases_items = tuple(bases.items())
+        chunk_size = self.fill_chunk_size
+        supervisor = self.supervisor
+
+        def stream() -> Iterator[Tuple[float, str, PeerId]]:
+            epoch = supervisor.epoch
+            stream_id = supervisor.request("fill_open", (bases_items, exclude_peer))
+            exhausted = False
+            try:
+                while True:
+                    if supervisor.epoch != epoch:
+                        # The worker restarted mid-stream: our stream id now
+                        # belongs to a different incarnation.
+                        raise ShardUnavailableError(
+                            self.name, "worker restarted mid fill stream"
+                        )
+                    done, chunk = supervisor.request("fill_next", (stream_id, chunk_size))  # type: ignore[misc]
+                    for item in chunk:
+                        yield tuple(item)  # type: ignore[misc]
+                    if done:
+                        exhausted = True
+                        return
+            finally:
+                # Only tear down a stream on the worker that owns it: after a
+                # restart the same id may name a fresh, unrelated stream.
+                if not exhausted and supervisor.epoch == epoch:
+                    supervisor.notify("fill_close", (stream_id,))
+
+        return stream()
+
+    def tree(self, landmark_id: LandmarkId) -> PathTree:
+        """A local **snapshot** of the worker's tree (for diagnostics).
+
+        Rebuilt from the worker's paths in registration order, so structure
+        and ``tree_distance`` answers are byte-identical to the live tree;
+        the query-visit counters are copied across.  Mutating the snapshot
+        does not affect the worker.
+        """
+        root, encoded_paths, total_visits, last_visits = self.supervisor.request(  # type: ignore[misc]
+            "tree", (landmark_id,)
+        )
+        snapshot = PathTree(landmark_id=landmark_id, landmark_router=root)
+        for encoded in encoded_paths:  # type: ignore[union-attr]
+            snapshot.insert(decode_path(encoded))
+        snapshot.total_query_visits = int(total_visits)  # type: ignore[arg-type]
+        snapshot.last_query_visits = int(last_visits)  # type: ignore[arg-type]
+        return snapshot
+
+    def tree_distance(self, landmark_id: LandmarkId, peer_a: PeerId, peer_b: PeerId) -> float:
+        """``dtree`` of a same-landmark pair: one scalar round trip.
+
+        This is how the coordinator's ``estimate_distance`` reaches a remote
+        tree — :meth:`tree` snapshots are for diagnostics only.
+        """
+        return float(
+            self.supervisor.request("tree_distance", (landmark_id, peer_a, peer_b))  # type: ignore[arg-type]
+        )
+
+    def total_tree_visits(self) -> int:
+        return int(self.supervisor.request("total_tree_visits", ()))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------ diagnostics
+
+    def worker_stats(self) -> dict:
+        """The worker server's :class:`ServerStats` counters (a copy)."""
+        return dict(self.supervisor.request("stats", ()))  # type: ignore[arg-type, call-overload]
+
+    def health_check(self, timeout: float = 5.0) -> bool:
+        """True when the shard's worker is alive and answering."""
+        return self.supervisor.health_check(timeout=timeout)
+
+    def restart(self) -> None:
+        """Respawn the worker and replay the journal (crash recovery)."""
+        self.supervisor.restart()
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Stop the worker and close the pipe (idempotent)."""
+        self.supervisor.close()
+
+    def __enter__(self) -> "ProcessShardBackend":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown guard
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - never raise from a finaliser
+            pass
+
+    def __repr__(self) -> str:
+        process = self.supervisor.process
+        state = "alive" if process is not None and process.is_alive() else "down"
+        return f"ProcessShardBackend(name={self.name!r}, worker={state})"
+
+
+def process_shard_factory(
+    neighbor_set_size: int = 5,
+    fill_chunk_size: int = DEFAULT_FILL_CHUNK,
+    start_method: Optional[str] = None,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+) -> Callable[[], ProcessShardBackend]:
+    """A ``shard_factory`` for :class:`ShardedManagementServer`.
+
+    Each call of the returned factory spawns one worker process named
+    ``shard-0``, ``shard-1``, … in creation order — the names that
+    :class:`~repro.exceptions.ShardUnavailableError` reports on failure.
+    Close the owning ``ShardedManagementServer`` (or each backend) to reap
+    the workers.
+    """
+    indexes = itertools.count()
+
+    def factory() -> ProcessShardBackend:
+        return ProcessShardBackend(
+            neighbor_set_size=neighbor_set_size,
+            name=f"shard-{next(indexes)}",
+            fill_chunk_size=fill_chunk_size,
+            start_method=start_method,
+            request_timeout=request_timeout,
+        )
+
+    return factory
+
+
+def shard_factory_for(
+    backend: str, neighbor_set_size: int = 5, **kwargs
+) -> Optional[Callable[[], ProcessShardBackend]]:
+    """The ``ShardedManagementServer(shard_factory=...)`` value for a backend.
+
+    ``"inline"`` returns ``None`` (the coordinator's default in-process
+    shards); ``"process"`` returns a :func:`process_shard_factory`.  The one
+    place backend names map to wiring, shared by scenarios, the perf suite
+    and tests.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if backend == "process":
+        return process_shard_factory(neighbor_set_size, **kwargs)
+    return None

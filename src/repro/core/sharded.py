@@ -14,12 +14,17 @@ Every landmark is owned by exactly one shard (consistent hashing via
 :class:`ConsistentHashRing`, so adding shards relocates only ~1/N of the
 landmarks), and every peer lives on the shard that owns its landmark.  The
 coordinator drives shards through the small :class:`ShardBackend` surface —
-today an in-process :class:`~repro.core.management_server.ManagementServer`
-per shard, later a remote or async backend speaking the same five methods:
+an in-process :class:`~repro.core.management_server.ManagementServer` per
+shard by default, or one worker process per shard via
+:class:`~repro.core.remote.ProcessShardBackend`
+(``shard_factory=process_shard_factory(...)``) — any backend speaking the
+same methods:
 
-* **Arrival** — ``validate_registrable`` on every path's home shard first
-  (no partial batch failure), then ``insert_paths`` once per shard: a batch
-  of co-arriving peers fans out into independent per-shard tree inserts.
+* **Arrival** — one ``first_rejected_path`` batch validation per home shard
+  first (no partial batch failure; the per-shard results merge by input
+  index, so the surfaced error is the single server's), then
+  ``insert_paths`` once per shard: a batch of co-arriving peers fans out
+  into one validation and one insert round trip per shard, never per peer.
 * **Departure** — ``unregister_peer`` on the peer's home shard removes it
   from that shard's tree and min-hop ordering; the coordinator's shared
   :class:`~repro.core.neighbor_cache.NeighborCache` repairs exactly the
@@ -83,14 +88,21 @@ class ShardBackend(Protocol):
     """The data-plane surface a shard must offer the coordinator.
 
     :class:`~repro.core.management_server.ManagementServer` (with
-    ``maintain_cache=False``) implements it in-process; a remote or async
-    backend only needs these methods (plus :meth:`tree` for diagnostics and
-    distance estimation) to slot in behind the coordinator.
+    ``maintain_cache=False``) implements it in-process, and
+    :class:`~repro.core.remote.ProcessShardBackend` implements it over a
+    worker process; a further remote or async backend only needs these
+    methods (plus :meth:`tree` for diagnostics and distance estimation,
+    :meth:`total_tree_visits` for the perf counters, and :meth:`close` for
+    resource teardown) to slot in behind the coordinator.
     """
 
     def register_landmark(self, landmark_id: LandmarkId, router: NodeId) -> None: ...
 
     def validate_registrable(self, path: RouterPath) -> None: ...
+
+    def first_rejected_path(
+        self, paths: Sequence[RouterPath]
+    ) -> Optional[Tuple[int, BaseException]]: ...
 
     def insert_paths(self, paths: Sequence[RouterPath], validate: bool = True) -> None: ...
 
@@ -105,6 +117,14 @@ class ShardBackend(Protocol):
     ) -> Iterator[Tuple[float, str, PeerId]]: ...
 
     def tree(self, landmark_id: LandmarkId) -> PathTree: ...
+
+    def tree_distance(
+        self, landmark_id: LandmarkId, peer_a: PeerId, peer_b: PeerId
+    ) -> float: ...
+
+    def total_tree_visits(self) -> int: ...
+
+    def close(self) -> None: ...
 
 
 class ConsistentHashRing:
@@ -205,6 +225,20 @@ class ShardedManagementServer(ManagementPlaneBase):
         """The shard backends, by index (read-only view for diagnostics)."""
         return self._shards
 
+    def total_tree_visits(self) -> int:
+        """Trie nodes visited by queries, summed over every shard's trees."""
+        return sum(shard.total_tree_visits() for shard in self._shards)
+
+    def close(self) -> None:
+        """Close every shard backend that holds real resources.
+
+        In-process shards make this a no-op; process-backed shards
+        (:class:`~repro.core.remote.ProcessShardBackend`) shut their worker
+        down and close the pipe.  Idempotent.
+        """
+        for shard in self._shards:
+            shard.close()
+
     def shard_of(self, landmark_id: LandmarkId) -> int:
         """Index of the shard owning a registered landmark."""
         if landmark_id not in self._landmark_shard:
@@ -215,8 +249,9 @@ class ShardedManagementServer(ManagementPlaneBase):
         """Landmarks owned by one shard, in registration order (a copy)."""
         return list(self._shard_landmarks[shard_index])
 
-    def _home_shard(self, landmark_id: LandmarkId) -> ShardBackend:
-        """The shard owning ``landmark_id`` (ring placement if unregistered).
+    def _home_shard_index(self, landmark_id: LandmarkId) -> int:
+        """Index of the shard owning ``landmark_id`` (ring placement if
+        unregistered).
 
         Routing unregistered landmarks to their ring shard lets that shard's
         own validation raise the canonical unknown-landmark error.
@@ -224,7 +259,11 @@ class ShardedManagementServer(ManagementPlaneBase):
         index = self._landmark_shard.get(landmark_id)
         if index is None:
             index = self._ring.node_for(landmark_id)
-        return self._shards[index]
+        return index
+
+    def _home_shard(self, landmark_id: LandmarkId) -> ShardBackend:
+        """The shard owning ``landmark_id`` (see :meth:`_home_shard_index`)."""
+        return self._shards[self._home_shard_index(landmark_id)]
 
     # -------------------------------------------------------------- landmarks
 
@@ -248,6 +287,21 @@ class ShardedManagementServer(ManagementPlaneBase):
             raise LandmarkError(f"unknown landmark {landmark_id!r}")
         return self._shards[self._landmark_shard[landmark_id]].tree(landmark_id)
 
+    def _same_landmark_distance(
+        self, landmark_id: LandmarkId, peer_a: PeerId, peer_b: PeerId
+    ) -> float:
+        """Route the estimator's same-landmark case to the owning shard.
+
+        One scalar round trip on a remote backend; the inline backend runs
+        the very same :meth:`PathTree.tree_distance`, so answers and errors
+        match the single server byte for byte.
+        """
+        return float(
+            self._shards[self._landmark_shard[landmark_id]].tree_distance(
+                landmark_id, peer_a, peer_b
+            )
+        )
+
     # ------------------------------------------------------------------ peers
 
     def peer_shard(self, peer_id: PeerId) -> int:
@@ -261,15 +315,31 @@ class ShardedManagementServer(ManagementPlaneBase):
     ) -> Dict[PeerId, List[Tuple[PeerId, float]]]:
         """Batch arrival: per-shard tree inserts first, then one cache pass.
 
-        Validates every path on its home shard up front, performs the tree
-        inserts as one ``insert_paths`` call per shard (this is where a
-        multi-process backend parallelises), then computes neighbour lists
-        and propagates cache updates exactly like the single server — so
-        co-arriving peers see each other immediately and results match the
-        single server byte for byte.
+        Validates every path up front as ONE ``first_rejected_path`` call
+        per home shard (validation is read-only, so per-shard grouping is
+        safe; merging the per-shard results by input index reproduces the
+        single server's first-invalid-path-in-input-order error exactly),
+        performs the tree inserts as one ``insert_paths`` call per shard —
+        so a remote backend pays round trips per shard, not per path — then
+        computes neighbour lists and propagates cache updates exactly like
+        the single server: co-arriving peers see each other immediately and
+        results match the single server byte for byte.
         """
-        for path in paths:
-            self._validate_path(path)
+        to_validate: Dict[int, List[Tuple[int, RouterPath]]] = {}
+        for input_index, path in enumerate(paths):
+            shard_index = self._home_shard_index(path.landmark_id)
+            to_validate.setdefault(shard_index, []).append((input_index, path))
+        first_error: Optional[Tuple[int, BaseException]] = None
+        for shard_index, indexed in to_validate.items():
+            rejected = self._shards[shard_index].first_rejected_path(
+                [path for _, path in indexed]
+            )
+            if rejected is not None:
+                input_index = indexed[rejected[0]][0]
+                if first_error is None or input_index < first_error[0]:
+                    first_error = (input_index, rejected[1])
+        if first_error is not None:
+            raise first_error[1]
 
         pending: Dict[PeerId, RouterPath] = {}
         for path in paths:
@@ -299,13 +369,28 @@ class ShardedManagementServer(ManagementPlaneBase):
         The home shard repairs its tree and min-hop ordering; the
         coordinator's reverse neighbour index then repairs exactly the cached
         lists that referenced the departed peer — including lists whose
-        owners live on other shards.
+        owners live on other shards.  The shard is told first and the
+        coordinator's indexes only updated after it acknowledged: a remote
+        shard failing mid-departure (:class:`ShardUnavailableError`) leaves
+        the coordinator unchanged, so restart-and-replay reconverges.
         """
         if peer_id not in self._peer_landmark:
             raise UnknownPeerError(peer_id)
-        landmark_id = self._peer_landmark.pop(peer_id)
+        landmark_id = self._peer_landmark[peer_id]
+        try:
+            self._shards[self._landmark_shard[landmark_id]].unregister_peer(peer_id)
+        except UnknownPeerError:
+            # A shard crash mid-register_peers can leave the coordinator
+            # ahead of the (replayed) shard: the peer's insert never reached
+            # it.  The peer is already absent shard-side, which is exactly
+            # what a departure wants — proceed with coordinator cleanup so
+            # the documented restart + replay + re-register recovery
+            # converges instead of dead-ending on a phantom peer.  An inline
+            # shard can never take this branch (coordinator and shard
+            # membership move in lock step in one process).
+            pass
+        del self._peer_landmark[peer_id]
         self._paths.pop(peer_id)
-        self._shards[self._landmark_shard[landmark_id]].unregister_peer(peer_id)
         self.stats.removals += 1
         if not self.maintain_cache:
             return

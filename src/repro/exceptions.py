@@ -86,6 +86,31 @@ class LandmarkError(ReproError):
     """Raised for landmark placement or lookup problems."""
 
 
+class WireProtocolError(ReproError):
+    """Raised when the shard wire protocol is violated.
+
+    Covers malformed or truncated frames, unknown operations and unknown
+    fill streams — transport-level corruption, deliberately distinct from
+    :class:`ProtocolError` (the peer-facing *join* protocol) so handlers of
+    registration errors never swallow a corrupt channel.  Client code
+    normally sees these wrapped in :class:`ShardUnavailableError`.
+    """
+
+
+class ShardUnavailableError(ReproError):
+    """Raised when a management-plane shard backend cannot serve a request.
+
+    Carries the shard's name so operators (and fault-injection tests) can
+    tell *which* shard failed, and a reason describing how it failed
+    (crashed worker, closed channel, timeout, protocol violation).
+    """
+
+    def __init__(self, shard: object, reason: str) -> None:
+        super().__init__(f"shard {shard!r} is unavailable: {reason}")
+        self.shard = shard
+        self.reason = reason
+
+
 class OverlayError(ReproError):
     """Raised for overlay bookkeeping inconsistencies."""
 

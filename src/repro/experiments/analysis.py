@@ -90,6 +90,10 @@ def branch_point_analysis(
     exact_on_path = [0, 0]   # [exact, total] when the branch lies on a true shortest path
     exact_off_path = [0, 0]  # [exact, total] otherwise
     distance_cache: Dict = {}
+    # One tree view per landmark for the whole pair loop: with a process
+    # shard backend, server.tree() ships and rebuilds a full snapshot, so
+    # fetching it per pair would serialise the tree O(pairs) times.
+    tree_cache: Dict = {}
 
     def distances_from(router):
         if router not in distance_cache:
@@ -98,7 +102,9 @@ def branch_point_analysis(
 
     for peer_a, peer_b in same_landmark:
         landmark_id = scenario.server.peer_landmark(peer_a)
-        tree = scenario.server.tree(landmark_id)
+        tree = tree_cache.get(landmark_id)
+        if tree is None:
+            tree = tree_cache[landmark_id] = scenario.server.tree(landmark_id)
         branch = tree.lowest_common_ancestor(peer_a, peer_b).router
         if not graph.has_node(branch):
             continue

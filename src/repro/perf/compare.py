@@ -2,15 +2,17 @@
 
 ``repro-experiments perf --compare BENCH_discovery.json`` re-runs the suite
 and compares the fresh report against the saved baseline, cell by cell —
-a cell is one ``(workload, population, shards)`` combination — and exits
+a cell is one ``(workload, population, shards, backend)`` combination — and exits
 non-zero when any cell's per-op cost regressed by more than the threshold
 (25% by default).  This turns the perf trajectory from something eyeballed
 into something CI can gate on.
 
 Cells present in only one report are listed but never fail the comparison
-(a new dimension, e.g. ``--shards``, must not break comparisons against
-pre-sharding baselines), and cells whose baseline measured 0 µs are skipped
-as noise.
+(a new dimension — ``--shards`` in schema v2, ``--backend`` in v3 — must not
+break comparisons against older baselines: a record without the dimension
+loads with its default, so pre-existing cells still line up, while cells
+along the new axis are "new cells, not compared"), and cells whose baseline
+measured 0 µs are skipped as noise.
 """
 
 from __future__ import annotations
@@ -22,13 +24,13 @@ from .report import PerfRecord, PerfReport
 
 DEFAULT_THRESHOLD = 0.25
 
-CellKey = Tuple[str, int, Optional[int]]
+CellKey = Tuple[str, int, Optional[int], str]
 
 
 def _cell_text(key: CellKey) -> str:
-    workload, population, shards = key
+    workload, population, shards, backend = key
     shard_text = "-" if shards is None else str(shards)
-    return f"{workload}@{population}/shards={shard_text}"
+    return f"{workload}@{population}/shards={shard_text}/{backend}"
 
 
 @dataclass
@@ -40,11 +42,12 @@ class CellDelta:
     shards: Optional[int]
     baseline_us: float
     current_us: float
+    backend: str = "inline"
 
     @property
     def key(self) -> CellKey:
         """The cell identity this delta compares."""
-        return (self.workload, self.population, self.shards)
+        return (self.workload, self.population, self.shards, self.backend)
 
     @property
     def ratio(self) -> float:
@@ -90,7 +93,7 @@ class ComparisonResult:
     def to_text(self) -> str:
         """Aligned human-readable comparison table."""
         header = (
-            f"{'workload':<12} {'population':>10} {'shards':>7} "
+            f"{'workload':<12} {'population':>10} {'shards':>7} {'backend':>8} "
             f"{'baseline_us':>12} {'current_us':>12} {'ratio':>7}"
         )
         lines = [header, "-" * len(header)]
@@ -99,6 +102,7 @@ class ComparisonResult:
             flag = "  REGRESSION" if delta.is_regression(self.threshold) else ""
             lines.append(
                 f"{delta.workload:<12} {delta.population:>10} {shards:>7} "
+                f"{delta.backend:>8} "
                 f"{delta.baseline_us:>12.2f} {delta.current_us:>12.2f} "
                 f"{delta.ratio:>7.2f}{flag}"
             )
@@ -122,8 +126,9 @@ def compare_reports(
 ) -> ComparisonResult:
     """Compare two perf reports cell by cell.
 
-    Cells are keyed by ``(workload, population, shards)``; a duplicated cell
-    keeps its last record.  Deltas are listed in baseline order.
+    Cells are keyed by ``(workload, population, shards, backend)``; a
+    duplicated cell keeps its last record.  Deltas are listed in baseline
+    order.
     """
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold}")
@@ -134,6 +139,7 @@ def compare_reports(
             workload=key[0],
             population=key[1],
             shards=key[2],
+            backend=key[3],
             baseline_us=record.per_op_us,
             current_us=current_cells[key].per_op_us,
         )

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Union
 
 from .timer import Timing
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -26,7 +26,10 @@ class PerfRecord:
 
     ``shards`` is the shard count of the sharded management plane the cell
     ran on, or ``None`` for the classic single-server cells (schema v1
-    reports load as ``None``).
+    reports load as ``None``).  ``backend`` says where the shards lived:
+    ``"inline"`` (in-process, the only pre-v3 behaviour — older reports load
+    as ``"inline"``) or ``"process"`` (one worker process per shard via
+    :class:`~repro.core.remote.ProcessShardBackend`).
     """
 
     workload: str
@@ -35,6 +38,7 @@ class PerfRecord:
     total_s: float
     counters: Dict[str, int] = field(default_factory=dict)
     shards: Optional[int] = None
+    backend: str = "inline"
 
     @property
     def per_op_us(self) -> float:
@@ -49,6 +53,7 @@ class PerfRecord:
         timing: Timing,
         counters: Optional[Dict[str, int]] = None,
         shards: Optional[int] = None,
+        backend: str = "inline",
     ) -> "PerfRecord":
         """Build a record from a :class:`~repro.perf.timer.Timing`."""
         return cls(
@@ -58,12 +63,13 @@ class PerfRecord:
             total_s=timing.total_s,
             counters=dict(counters or {}),
             shards=shards,
+            backend=backend,
         )
 
     @property
     def cell(self) -> tuple:
         """The report cell this record measures (regression-comparison key)."""
-        return (self.workload, self.population, self.shards)
+        return (self.workload, self.population, self.shards, self.backend)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation (adds the derived per-op cost)."""
@@ -75,6 +81,7 @@ class PerfRecord:
             "per_op_us": self.per_op_us,
             "counters": dict(self.counters),
             "shards": self.shards,
+            "backend": self.backend,
         }
 
 
@@ -118,6 +125,7 @@ class PerfReport:
                 total_s=float(entry["total_s"]),
                 counters=dict(entry.get("counters", {})),  # type: ignore[arg-type]
                 shards=None if entry.get("shards") is None else int(entry["shards"]),  # type: ignore[arg-type]
+                backend=str(entry.get("backend", "inline")),  # type: ignore[arg-type]
             )
             for entry in data.get("records", [])  # type: ignore[union-attr]
         ]
@@ -126,14 +134,15 @@ class PerfReport:
     def to_text(self) -> str:
         """Aligned human-readable table for the CLI."""
         header = (
-            f"{'workload':<12} {'population':>10} {'shards':>7} {'ops':>8} "
+            f"{'workload':<12} {'population':>10} {'shards':>7} {'backend':>8} {'ops':>8} "
             f"{'total_s':>10} {'per_op_us':>12}"
         )
         lines = [header, "-" * len(header)]
         for record in self.records:
             shards = "-" if record.shards is None else str(record.shards)
             lines.append(
-                f"{record.workload:<12} {record.population:>10} {shards:>7} {record.ops:>8} "
+                f"{record.workload:<12} {record.population:>10} {shards:>7} "
+                f"{record.backend:>8} {record.ops:>8} "
                 f"{record.total_s:>10.4f} {record.per_op_us:>12.2f}"
             )
         return "\n".join(lines)

@@ -23,6 +23,15 @@ comparable), while an integer runs a
 every shard count, so per-op cost across the shards axis isolates the cost
 of partitioning itself.
 
+Orthogonally, the **backend** dimension says where sharded cells' shards
+live: ``backend="inline"`` keeps them in-process (the only pre-v3
+behaviour), ``backend="process"`` runs one worker process per shard behind
+:class:`~repro.core.remote.ProcessShardBackend` — the same workload over
+the same partitioning, so per-op cost across the backend axis isolates the
+cost of crossing the process boundary (framing, codec, chunked fills).
+``backend="process"`` requires a shard count; every workload reaps its
+worker processes before returning, however the measured phase exits.
+
 Sampling is a pure function of ``(seed, workload, population)``: every
 workload re-seeds its own RNG via :func:`workload_rng` instead of sharing a
 suite-level RNG, so multiplying cells along the shards axis can never
@@ -41,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.management_server import ManagementServer
 from ..core.path import RouterPath
+from ..core.remote import BACKENDS, shard_factory_for
 from ..core.sharded import ShardedManagementServer
 from .report import PerfRecord, PerfReport
 from .timer import OpTimer
@@ -159,37 +169,55 @@ def _population_paths(
     return synthetic_sharded_paths(count, seed=seed, prefix=prefix)
 
 
+def _require_backend(backend: str, shards: Optional[int]) -> None:
+    """Reject unknown backends and process cells without a shard count."""
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if backend == "process" and shards is None:
+        raise ValueError("backend='process' requires a shard count")
+
+
 def build_populated_server(
     population: int,
     neighbor_set_size: int = 5,
     seed: int = 3,
     shards: Optional[int] = None,
+    backend: str = "inline",
 ) -> ManagementPlane:
     """A management plane pre-loaded with ``population`` synthetic peers.
 
     ``shards=None`` reproduces the original single-landmark
     :class:`ManagementServer` exactly; an integer builds a
     :class:`ShardedManagementServer` over that many shards with
-    :data:`SHARDED_LANDMARK_COUNT` landmarks.
+    :data:`SHARDED_LANDMARK_COUNT` landmarks, inline or (with
+    ``backend="process"``) one worker process per shard.  The caller owns
+    the returned plane and must ``close()`` it.
     """
+    _require_backend(backend, shards)
     if shards is None:
         server: ManagementPlane = ManagementServer(neighbor_set_size=neighbor_set_size)
         server.register_landmark(DEFAULT_LANDMARK, DEFAULT_LANDMARK)
     else:
+        shard_factory = shard_factory_for(backend, neighbor_set_size)
         server = ShardedManagementServer(
             shard_count=shards,
             neighbor_set_size=neighbor_set_size,
             landmark_distances=sharded_landmark_distances(),
+            shard_factory=shard_factory,
         )
         for landmark in sharded_landmarks():
             server.register_landmark(landmark, landmark)
-    server.register_peers(_population_paths(population, seed, shards))
+    try:
+        server.register_peers(_population_paths(population, seed, shards))
+    except BaseException:
+        server.close()
+        raise
     return server
 
 
 def _tree_visits(server: ManagementPlane) -> int:
     """Total trie nodes visited by closest-peer queries across all trees."""
-    return sum(server.tree(landmark).total_query_visits for landmark in server.landmarks())
+    return server.total_tree_visits()
 
 
 def _measured_counters(server: ManagementPlane, visits_before: int) -> Dict[str, int]:
@@ -204,19 +232,30 @@ def run_insert_workload(
     seed: int = 3,
     neighbor_set_size: int = 5,
     shards: Optional[int] = None,
+    backend: str = "inline",
 ) -> PerfRecord:
     """Batch arrival of ``ops`` newcomers on top of ``population`` peers."""
-    server = build_populated_server(population, neighbor_set_size, seed=seed, shards=shards)
-    newcomers = _population_paths(ops, seed + 1, shards, prefix="newcomer")
-    server.stats.reset()
-    visits = _tree_visits(server)
-    timer = OpTimer()
-    with timer:
-        server.register_peers(newcomers)
-        timer.add_ops(len(newcomers))
-    return PerfRecord.from_timing(
-        "insert", population, timer.timing, _measured_counters(server, visits), shards=shards
+    server = build_populated_server(
+        population, neighbor_set_size, seed=seed, shards=shards, backend=backend
     )
+    try:
+        newcomers = _population_paths(ops, seed + 1, shards, prefix="newcomer")
+        server.stats.reset()
+        visits = _tree_visits(server)
+        timer = OpTimer()
+        with timer:
+            server.register_peers(newcomers)
+            timer.add_ops(len(newcomers))
+        return PerfRecord.from_timing(
+            "insert",
+            population,
+            timer.timing,
+            _measured_counters(server, visits),
+            shards=shards,
+            backend=backend,
+        )
+    finally:
+        server.close()
 
 
 def run_query_workload(
@@ -225,22 +264,33 @@ def run_query_workload(
     seed: int = 3,
     neighbor_set_size: int = 5,
     shards: Optional[int] = None,
+    backend: str = "inline",
 ) -> PerfRecord:
     """Cached closest-peer lookups against a steady population."""
-    server = build_populated_server(population, neighbor_set_size, seed=seed, shards=shards)
-    rng = workload_rng(seed, _QUERY_RNG_OFFSET)
-    peers = server.peers()
-    sample = [rng.choice(peers) for _ in range(ops)]
-    server.stats.reset()
-    visits = _tree_visits(server)
-    timer = OpTimer()
-    with timer:
-        for peer in sample:
-            server.closest_peers(peer)
-            timer.add_ops()
-    return PerfRecord.from_timing(
-        "query", population, timer.timing, _measured_counters(server, visits), shards=shards
+    server = build_populated_server(
+        population, neighbor_set_size, seed=seed, shards=shards, backend=backend
     )
+    try:
+        rng = workload_rng(seed, _QUERY_RNG_OFFSET)
+        peers = server.peers()
+        sample = [rng.choice(peers) for _ in range(ops)]
+        server.stats.reset()
+        visits = _tree_visits(server)
+        timer = OpTimer()
+        with timer:
+            for peer in sample:
+                server.closest_peers(peer)
+                timer.add_ops()
+        return PerfRecord.from_timing(
+            "query",
+            population,
+            timer.timing,
+            _measured_counters(server, visits),
+            shards=shards,
+            backend=backend,
+        )
+    finally:
+        server.close()
 
 
 def run_departure_workload(
@@ -249,22 +299,33 @@ def run_departure_workload(
     seed: int = 3,
     neighbor_set_size: int = 5,
     shards: Optional[int] = None,
+    backend: str = "inline",
 ) -> PerfRecord:
     """Departures repaired through the reverse neighbour index."""
-    server = build_populated_server(population, neighbor_set_size, seed=seed, shards=shards)
-    rng = workload_rng(seed, _DEPARTURE_RNG_OFFSET)
-    ops = min(ops, population - 1)
-    departing = rng.sample(server.peers(), ops)
-    server.stats.reset()
-    visits = _tree_visits(server)
-    timer = OpTimer()
-    with timer:
-        for peer in departing:
-            server.unregister_peer(peer)
-            timer.add_ops()
-    return PerfRecord.from_timing(
-        "departure", population, timer.timing, _measured_counters(server, visits), shards=shards
+    server = build_populated_server(
+        population, neighbor_set_size, seed=seed, shards=shards, backend=backend
     )
+    try:
+        rng = workload_rng(seed, _DEPARTURE_RNG_OFFSET)
+        ops = min(ops, population - 1)
+        departing = rng.sample(server.peers(), ops)
+        server.stats.reset()
+        visits = _tree_visits(server)
+        timer = OpTimer()
+        with timer:
+            for peer in departing:
+                server.unregister_peer(peer)
+                timer.add_ops()
+        return PerfRecord.from_timing(
+            "departure",
+            population,
+            timer.timing,
+            _measured_counters(server, visits),
+            shards=shards,
+            backend=backend,
+        )
+    finally:
+        server.close()
 
 
 def run_churn_workload(
@@ -273,25 +334,36 @@ def run_churn_workload(
     seed: int = 3,
     neighbor_set_size: int = 5,
     shards: Optional[int] = None,
+    backend: str = "inline",
 ) -> PerfRecord:
     """Interleaved leave / re-join cycles at a steady population."""
-    server = build_populated_server(population, neighbor_set_size, seed=seed, shards=shards)
-    rng = workload_rng(seed, _CHURN_RNG_OFFSET)
-    churners = rng.sample(server.peers(), min(ops, population - 1))
-    replacement_paths = {
-        path.peer_id: path for path in _population_paths(population, seed, shards)
-    }
-    server.stats.reset()
-    visits = _tree_visits(server)
-    timer = OpTimer()
-    with timer:
-        for peer in churners:
-            server.unregister_peer(peer)
-            server.register_peers([replacement_paths[peer]])
-            timer.add_ops()
-    return PerfRecord.from_timing(
-        "churn", population, timer.timing, _measured_counters(server, visits), shards=shards
+    server = build_populated_server(
+        population, neighbor_set_size, seed=seed, shards=shards, backend=backend
     )
+    try:
+        rng = workload_rng(seed, _CHURN_RNG_OFFSET)
+        churners = rng.sample(server.peers(), min(ops, population - 1))
+        replacement_paths = {
+            path.peer_id: path for path in _population_paths(population, seed, shards)
+        }
+        server.stats.reset()
+        visits = _tree_visits(server)
+        timer = OpTimer()
+        with timer:
+            for peer in churners:
+                server.unregister_peer(peer)
+                server.register_peers([replacement_paths[peer]])
+                timer.add_ops()
+        return PerfRecord.from_timing(
+            "churn",
+            population,
+            timer.timing,
+            _measured_counters(server, visits),
+            shards=shards,
+            backend=backend,
+        )
+    finally:
+        server.close()
 
 
 def run_discovery_suite(
@@ -300,15 +372,25 @@ def run_discovery_suite(
     seed: int = 3,
     neighbor_set_size: int = 5,
     shard_counts: Optional[Sequence[int]] = None,
+    backends: Sequence[str] = ("inline",),
 ) -> PerfReport:
-    """Run every discovery workload at every population (and shard count).
+    """Run every discovery workload at every (population, backend, shards).
 
     ``ops`` overrides each workload's default operation count (useful for
     smoke runs in CI); ``None`` keeps the defaults.  ``shard_counts=None``
     runs the classic single-server cells; a sequence like ``(1, 4)`` runs
     each workload on a :class:`ShardedManagementServer` at every listed
     shard count instead, tagging each record with its ``shards`` value.
+    ``backends`` multiplies the sharded cells along the backend axis
+    (``"process"`` cells require ``shard_counts``); sampling stays a pure
+    function of ``(seed, workload, population)``, so adding either dimension
+    never changes what existing cells measure.
     """
+    for backend in backends:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if "process" in backends and shard_counts is None:
+        raise ValueError("backends including 'process' require shard_counts")
     report = PerfReport(
         metadata={
             "suite": "discovery",
@@ -316,6 +398,7 @@ def run_discovery_suite(
             "neighbor_set_size": neighbor_set_size,
             "seed": seed,
             "shard_counts": list(shard_counts) if shard_counts is not None else None,
+            "backends": list(backends),
         }
     )
     overrides = {} if ops is None else {"ops": ops}
@@ -323,20 +406,22 @@ def run_discovery_suite(
         [None] if shard_counts is None else list(shard_counts)
     )
     for population in populations:
-        for shards in shard_values:
-            for runner in (
-                run_insert_workload,
-                run_query_workload,
-                run_departure_workload,
-                run_churn_workload,
-            ):
-                report.add(
-                    runner(
-                        population,
-                        seed=seed,
-                        neighbor_set_size=neighbor_set_size,
-                        shards=shards,
-                        **overrides,
+        for backend in backends:
+            for shards in shard_values:
+                for runner in (
+                    run_insert_workload,
+                    run_query_workload,
+                    run_departure_workload,
+                    run_churn_workload,
+                ):
+                    report.add(
+                        runner(
+                            population,
+                            seed=seed,
+                            neighbor_set_size=neighbor_set_size,
+                            shards=shards,
+                            backend=backend,
+                            **overrides,
+                        )
                     )
-                )
     return report

@@ -24,6 +24,7 @@ from .._validation import coerce_seed, require_positive_int
 from ..baselines.brute_force import BruteForceOracle
 from ..baselines.random_selection import RandomSelection
 from ..core.management_server import ManagementServer
+from ..core.remote import BACKENDS, shard_factory_for
 from ..core.sharded import ShardedManagementServer
 from ..core.newcomer import JoinResult, NewcomerClient, SELECT_CLOSEST_RTT
 from ..exceptions import ConfigurationError
@@ -73,6 +74,13 @@ class ScenarioConfig:
     paper's single :class:`~repro.core.management_server.ManagementServer`.
     Results are identical either way — sharding is an operational choice."""
 
+    backend: str = "inline"
+    """Where the shards live: ``"inline"`` keeps every shard in this process;
+    ``"process"`` runs one worker process per shard behind
+    :class:`~repro.core.remote.ProcessShardBackend` (requires
+    ``shard_count``).  Results are byte-identical either way; call
+    :meth:`Scenario.close` when done so worker processes are reaped."""
+
     seed: Optional[int] = None
     """Master seed; every random decision derives from it."""
 
@@ -82,6 +90,12 @@ class ScenarioConfig:
         require_positive_int(self.neighbor_set_size, "neighbor_set_size")
         if self.shard_count is not None:
             require_positive_int(self.shard_count, "shard_count")
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.backend == "process" and self.shard_count is None:
+            raise ConfigurationError("backend='process' requires shard_count")
         coerce_seed(self.seed)
 
 
@@ -102,6 +116,21 @@ class Scenario:
     def peer_ids(self) -> List[PeerId]:
         """All peer identifiers in creation order."""
         return list(self.peer_routers)
+
+    def close(self) -> None:
+        """Release the management plane's resources (idempotent).
+
+        Only scenarios built with ``backend="process"`` hold real resources
+        (one worker process and pipe per shard), but calling this is always
+        safe, so tests and experiments can tear scenarios down uniformly.
+        """
+        self.server.close()
+
+    def __enter__(self) -> "Scenario":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
 
     def true_distance(self, peer_a: PeerId, peer_b: PeerId) -> float:
         """True hop distance between two peers (via the oracle)."""
@@ -238,24 +267,32 @@ def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scen
             landmark_distances=distances,
         )
     else:
+        shard_factory = shard_factory_for(config.backend, config.neighbor_set_size)
         server = ShardedManagementServer(
             shard_count=config.shard_count,
             neighbor_set_size=config.neighbor_set_size,
             maintain_cache=config.maintain_cache,
             landmark_distances=distances,
+            shard_factory=shard_factory,
         )
-    for landmark in landmark_set:
-        server.register_landmark(landmark.landmark_id, landmark.router)
+    try:
+        for landmark in landmark_set:
+            server.register_landmark(landmark.landmark_id, landmark.router)
 
-    # 5. Traceroute simulator + oracle.
-    route_table = RouteTable(graph=router_map.graph)
-    traceroute_config = config.traceroute_config or TracerouteConfig(
-        seed=streams.seed_for("traceroute")
-    )
-    traceroute = TracerouteSimulator(
-        graph=router_map.graph, route_table=route_table, config=traceroute_config
-    )
-    oracle = BruteForceOracle(router_map.graph, peer_routers)
+        # 5. Traceroute simulator + oracle.
+        route_table = RouteTable(graph=router_map.graph)
+        traceroute_config = config.traceroute_config or TracerouteConfig(
+            seed=streams.seed_for("traceroute")
+        )
+        traceroute = TracerouteSimulator(
+            graph=router_map.graph, route_table=route_table, config=traceroute_config
+        )
+        oracle = BruteForceOracle(router_map.graph, peer_routers)
+    except BaseException:
+        # A failure after the plane exists must not orphan its resources
+        # (one worker process per shard with backend="process").
+        server.close()
+        raise
 
     return Scenario(
         config=config,

@@ -6,6 +6,7 @@ per session; tests that need to mutate them build their own copies.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import random
 
@@ -21,8 +22,28 @@ from repro.workloads.scenarios import Scenario, ScenarioConfig, build_scenario
 # matrix entry selects it via HYPOTHESIS_PROFILE=ci-equivalence.  Tests that
 # pin max_examples in their own @settings are unaffected.
 hypothesis_settings.register_profile("ci-equivalence", max_examples=400, deadline=None)
+# Reduced budget for the PROCESS-backend oracle run: every example spawns
+# 1-8 worker processes, so its own CI matrix entry trades example count for
+# a hard wall-clock timeout instead of inheriting the 400-example sweep.
+hypothesis_settings.register_profile("ci-equivalence-process", max_examples=60, deadline=None)
 if os.environ.get("HYPOTHESIS_PROFILE"):
     hypothesis_settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_workers():
+    """No test may orphan a shard worker process.
+
+    The multi-process shard backend spawns one worker per shard; every
+    test/CLI path must reap them (``close()``, context managers, fixture
+    finalizers) so the tier-1 suite exits cleanly.  This fixture enforces
+    that suite-wide: leaked workers are terminated, then the test fails.
+    """
+    yield
+    leaked = multiprocessing.active_children()
+    for process in leaked:
+        process.terminate()
+    assert not leaked, f"leaked shard worker processes: {leaked}"
 
 
 SMALL_MAP_KWARGS = dict(

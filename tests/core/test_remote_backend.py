@@ -1,0 +1,440 @@
+"""Tests for the multi-process shard backend (codec, supervisor, faults).
+
+Covers the wire-protocol building blocks, the ``ProcessShardBackend``'s
+parity with an inline shard, the fault-injection contract (typed
+``ShardUnavailableError`` naming the shard — never a hang or a pickle
+traceback), supervisor restart with journal replay, and worker teardown
+(no test may leave an orphaned process — enforced suite-wide by the
+``no_leaked_workers`` autouse fixture in ``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import ManagementServer, ShardBackend, ShardedManagementServer
+from repro.core.path import RouterPath
+from repro.core.remote import (
+    ProcessShardBackend,
+    ShardSupervisor,
+    decode_frame,
+    decode_path,
+    encode_frame,
+    encode_path,
+    process_shard_factory,
+)
+from repro.exceptions import (
+    RegistrationError,
+    ShardUnavailableError,
+    UnknownPeerError,
+    WireProtocolError,
+)
+
+
+def simple_path(peer, landmark, access="a1"):
+    return RouterPath.from_routers(
+        peer, landmark, [f"{landmark}-{access}", f"{landmark}-core", landmark]
+    )
+
+
+@pytest.fixture()
+def backend():
+    with ProcessShardBackend(neighbor_set_size=3, name="shard-under-test") as shard:
+        yield shard
+
+
+@pytest.fixture()
+def pair():
+    """A process shard and an inline twin fed identical operations."""
+    inline = ManagementServer(neighbor_set_size=3, maintain_cache=False)
+    with ProcessShardBackend(neighbor_set_size=3, name="shard-under-test") as shard:
+        yield shard, inline
+
+
+def seed_peers(*shards, landmark="lmA", count=4):
+    for shard in shards:
+        shard.register_landmark(landmark, landmark)
+        shard.insert_paths(
+            [simple_path(f"p{i}", landmark, access=f"a{i % 3}") for i in range(count)]
+        )
+
+
+class TestCodec:
+    def test_path_round_trip(self):
+        path = RouterPath.from_routers("p1", "lmA", ["a", "b", "lmA"], rtt_ms=12.5)
+        assert decode_path(encode_path(path)) == path
+
+    def test_malformed_path_rejected(self):
+        with pytest.raises(WireProtocolError):
+            decode_path(("not-a-path", 1, 2))
+
+    def test_frame_round_trip(self):
+        message = (7, "ok", (("p1", 2.0), ("p2", 4.0)))
+        assert decode_frame(encode_frame(message)) == message
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_frame((1, "ok", "value"))
+        with pytest.raises(WireProtocolError):
+            decode_frame(frame[:-1])
+        with pytest.raises(WireProtocolError):
+            decode_frame(frame[:2])
+
+    def test_non_tuple_body_rejected(self):
+        import struct
+
+        body = pickle.dumps("just a string")
+        with pytest.raises(WireProtocolError):
+            decode_frame(struct.pack("!I", len(body)) + body)
+
+
+class TestBackendParity:
+    """The process shard answers byte-identically to an inline shard."""
+
+    def test_satisfies_shard_backend_protocol(self, backend):
+        assert isinstance(backend, ShardBackend)
+
+    def test_local_closest_matches_inline(self, pair):
+        shard, inline = pair
+        seed_peers(shard, inline)
+        for peer in ("p0", "p1", "p2", "p3"):
+            for k in (1, 2, 5):
+                assert shard.local_closest(peer, k) == inline.local_closest(peer, k)
+
+    def test_fill_candidates_match_inline(self, pair):
+        shard, inline = pair
+        seed_peers(shard, inline)
+        bases = {"lmA": 7.0}
+        assert list(shard.fill_candidates(bases, exclude_peer="p0")) == list(
+            inline.fill_candidates(bases, exclude_peer="p0")
+        )
+
+    def test_fill_stream_consumed_lazily_in_chunks(self):
+        with ProcessShardBackend(neighbor_set_size=3, fill_chunk_size=2) as shard:
+            seed_peers(shard, count=7)
+            stream = shard.fill_candidates({"lmA": 1.0})
+            first_two = [next(stream) for _ in range(2)]
+            assert len(first_two) == 2
+            stream.close()  # abandon early: fill_close tears the stream down
+            # The channel stays healthy and ordered after an abandoned stream.
+            assert shard.local_closest("p0", 2) == shard.local_closest("p0", 2)
+
+    def test_stale_fill_stream_does_not_touch_a_restarted_worker(self):
+        """Stream ids are scoped to one worker incarnation: after a restart,
+        a stale consumer neither reads from nor tears down the fresh
+        worker's streams (whose ids restart from 1)."""
+        with ProcessShardBackend(neighbor_set_size=3, fill_chunk_size=2) as shard:
+            seed_peers(shard, count=7)
+            stale = shard.fill_candidates({"lmA": 1.0})
+            next(stale)
+            next(stale)  # drain the buffered chunk so the next pull hits the wire
+            shard.restart()
+            fresh = shard.fill_candidates({"lmA": 1.0})
+            first = next(fresh)
+            # Pulling the stale stream must fail typed, not read the fresh
+            # worker's identically-numbered stream.
+            with pytest.raises(ShardUnavailableError):
+                next(stale)
+            # And its finaliser must not close the fresh stream either.
+            stale.close()
+            remainder = [first] + list(fresh)
+            assert remainder == list(shard.fill_candidates({"lmA": 1.0}))
+
+    def test_first_rejected_path_matches_inline_in_one_round_trip(self, pair):
+        shard, inline = pair
+        seed_peers(shard, inline)
+        good = simple_path("p9", "lmA", access="a9")
+        bad = simple_path("px", "unknown-lm")
+        assert shard.first_rejected_path([good]) is None
+        assert inline.first_rejected_path([good]) is None
+        for batch in ([bad], [good, bad], [good, bad, bad]):
+            process_result = shard.first_rejected_path(batch)
+            inline_result = inline.first_rejected_path(batch)
+            assert process_result is not None and inline_result is not None
+            assert process_result[0] == inline_result[0]
+            assert type(process_result[1]) is type(inline_result[1])
+            assert str(process_result[1]) == str(inline_result[1])
+
+    def test_errors_cross_the_boundary_with_type_and_message(self, pair):
+        shard, inline = pair
+
+        def outcome(target, action):
+            try:
+                action(target)
+                return None
+            except Exception as error:  # noqa: BLE001
+                return (type(error).__name__, str(error))
+
+        for action in (
+            lambda s: s.validate_registrable(simple_path("px", "unknown-lm")),
+            lambda s: s.unregister_peer("ghost"),
+            lambda s: s.local_closest("ghost", 3),
+            lambda s: s.tree("unknown-lm"),
+        ):
+            process_outcome = outcome(shard, action)
+            inline_outcome = outcome(inline, action)
+            assert process_outcome == inline_outcome
+            assert process_outcome is not None
+
+    def test_rebuilt_errors_are_real_exception_types(self, backend):
+        with pytest.raises(UnknownPeerError):
+            backend.unregister_peer("ghost")
+        with pytest.raises(RegistrationError):
+            backend.validate_registrable(simple_path("px", "unknown-lm"))
+
+    def test_tree_returns_an_isolated_snapshot(self, pair):
+        shard, inline = pair
+        seed_peers(shard, inline)
+        snapshot = shard.tree("lmA")
+        assert snapshot.peers() == inline.tree("lmA").peers()
+        assert snapshot.tree_distance("p0", "p1") == inline.tree("lmA").tree_distance("p0", "p1")
+        snapshot.remove("p0")  # mutating the snapshot must not reach the worker
+        assert "p0" in shard.tree("lmA").peers()
+
+    def test_tree_distance_is_one_scalar_round_trip(self, pair):
+        shard, inline = pair
+        seed_peers(shard, inline)
+        assert shard.tree_distance("lmA", "p0", "p1") == inline.tree_distance("lmA", "p0", "p1")
+
+        def outcome(target, landmark, a, b):
+            try:
+                return ("ok", target.tree_distance(landmark, a, b))
+            except Exception as error:  # noqa: BLE001
+                return (type(error).__name__, str(error))
+
+        assert outcome(shard, "lmA", "p0", "ghost") == outcome(inline, "lmA", "p0", "ghost")
+        assert outcome(shard, "nope", "p0", "p1") == outcome(inline, "nope", "p0", "p1")
+
+    def test_tree_visit_counters_travel_with_the_snapshot(self, backend):
+        seed_peers(backend)
+        assert backend.total_tree_visits() == 0
+        backend.local_closest("p0", 2)
+        visits = backend.total_tree_visits()
+        assert visits > 0
+        assert backend.tree("lmA").total_query_visits == visits
+
+    def test_worker_stats_reflect_worker_side_operations(self, backend):
+        seed_peers(backend)
+        stats = backend.worker_stats()
+        assert stats["registrations"] == 4
+
+
+class TestFaultInjection:
+    """Crash mid-churn => typed error naming the shard, never a hang."""
+
+    def make_plane(self, shard_count=2, k=3):
+        distances = {("lmA", "lmB"): 4.0}
+        server = ShardedManagementServer(
+            shard_count,
+            neighbor_set_size=k,
+            landmark_distances=distances,
+            shard_factory=process_shard_factory(k),
+        )
+        for landmark in ("lmA", "lmB"):
+            server.register_landmark(landmark, landmark)
+        return server
+
+    def test_killed_worker_raises_typed_error_naming_the_shard(self):
+        server = self.make_plane()
+        try:
+            server.register_peers(
+                [simple_path(f"p{i}", "lmA", access=f"a{i}") for i in range(4)]
+            )
+            victim_index = server.peer_shard("p0")
+            victim = server.shards[victim_index]
+            victim.supervisor.process.kill()
+            victim.supervisor.process.join()
+            with pytest.raises(ShardUnavailableError) as departure_error:
+                server.unregister_peer("p0")
+            assert victim.name in str(departure_error.value)
+            with pytest.raises(ShardUnavailableError) as arrival_error:
+                server.register_peer(simple_path("p9", "lmA", access="a9"))
+            assert victim.name in str(arrival_error.value)
+            assert not victim.health_check()
+        finally:
+            server.close()
+
+    def test_failed_departure_leaves_coordinator_unchanged(self):
+        server = self.make_plane()
+        try:
+            server.register_peers([simple_path("p0", "lmA"), simple_path("p1", "lmA", "a2")])
+            victim = server.shards[server.peer_shard("p0")]
+            victim.supervisor.process.kill()
+            victim.supervisor.process.join()
+            with pytest.raises(ShardUnavailableError):
+                server.unregister_peer("p0")
+            # The shard was told first, so the failed departure must not have
+            # half-applied: the coordinator still knows the peer and its path.
+            assert server.has_peer("p0")
+            assert server.peer_path("p0") == simple_path("p0", "lmA")
+        finally:
+            server.close()
+
+    def test_cached_queries_keep_answering_while_a_shard_is_down(self):
+        """Discovery keeps serving warm queries through a shard outage."""
+        server = self.make_plane()
+        try:
+            server.register_peers(
+                [simple_path(f"p{i}", "lmA", access=f"a{i % 2}") for i in range(4)]
+            )
+            before = {peer: server.closest_peers(peer) for peer in server.peers()}
+            victim = server.shards[server.peer_shard("p0")]
+            victim.supervisor.process.kill()
+            victim.supervisor.process.join()
+            for peer, answer in before.items():
+                assert server.closest_peers(peer) == answer
+        finally:
+            server.close()
+
+    def test_restart_with_replay_restores_byte_identical_answers(self):
+        """Kill mid-churn, restart, replay: answers match a reference server."""
+        reference = ManagementServer(neighbor_set_size=3, landmark_distances={("lmA", "lmB"): 4.0})
+        for landmark in ("lmA", "lmB"):
+            reference.register_landmark(landmark, landmark)
+        server = self.make_plane()
+        try:
+            churn = [
+                ("arrive", simple_path("p0", "lmA", "a0")),
+                ("arrive", simple_path("p1", "lmA", "a1")),
+                ("arrive", simple_path("p2", "lmB", "a0")),
+                ("arrive", simple_path("p3", "lmA", "a0")),
+                ("depart", "p1"),
+                ("arrive", simple_path("p1", "lmA", "a2")),
+            ]
+            for kind, payload in churn:
+                if kind == "arrive":
+                    server.register_peer(payload)
+                    reference.register_peer(payload)
+                else:
+                    server.unregister_peer(payload)
+                    reference.unregister_peer(payload)
+            victim_index = server.peer_shard("p0")
+            victim = server.shards[victim_index]
+            victim.supervisor.process.kill()
+            victim.supervisor.process.join()
+            with pytest.raises(ShardUnavailableError):
+                server.unregister_peer("p0")
+
+            victim.restart()
+            assert victim.health_check()
+            for peer in reference.peers():
+                for k in (1, 3, 5):
+                    assert server.closest_peers(peer, k) == reference.closest_peers(peer, k)
+                assert server.peer_path(peer) == reference.peer_path(peer)
+            # And the recovered shard keeps serving writes.
+            server.unregister_peer("p0")
+            reference.unregister_peer("p0")
+            assert server.closest_peers("p3") == reference.closest_peers("p3")
+        finally:
+            server.close()
+
+    def test_mid_batch_crash_recovers_via_restart_replay_reregister(self):
+        """A crash between batch validation and a shard's insert must not
+        strand phantom peers: the documented recovery — restart, replay the
+        journal, re-register the batch — converges to the reference state."""
+        reference = ManagementServer(neighbor_set_size=3, landmark_distances={("lmA", "lmB"): 4.0})
+        for landmark in ("lmA", "lmB"):
+            reference.register_landmark(landmark, landmark)
+        server = self.make_plane()
+        try:
+            victim_index = server.shard_of("lmA")
+            victim = server.shards[victim_index]
+            batch = [
+                simple_path("p0", "lmA", "a0"),
+                simple_path("p1", "lmB", "a0"),
+                simple_path("p2", "lmA", "a1"),
+            ]
+
+            original_insert = victim.insert_paths
+
+            def crash_before_insert(paths, validate=True):
+                victim.supervisor.process.kill()
+                victim.supervisor.process.join()
+                return original_insert(paths, validate=validate)
+
+            victim.insert_paths = crash_before_insert
+            with pytest.raises(ShardUnavailableError):
+                server.register_peers(batch)
+            victim.insert_paths = original_insert
+
+            victim.restart()
+            assert victim.health_check()
+            # The coordinator may be ahead of the replayed shard (it recorded
+            # peers whose insert never landed); re-registering the batch must
+            # reconverge instead of dead-ending on a phantom peer.
+            server.register_peers(batch)
+            reference.register_peers(batch)
+            assert server.peers() == reference.peers()
+            for peer in reference.peers():
+                assert server.closest_peers(peer) == reference.closest_peers(peer)
+            # Phantom-free from here on: departures work on every batch member.
+            server.unregister_peer("p0")
+            reference.unregister_peer("p0")
+            assert server.peers() == reference.peers()
+        finally:
+            server.close()
+
+    def test_journal_records_only_acknowledged_mutations(self):
+        with ProcessShardBackend(neighbor_set_size=2, name="journaled") as shard:
+            shard.register_landmark("lmA", "lmA")
+            shard.insert_paths([simple_path("p0", "lmA")])
+            with pytest.raises(UnknownPeerError):
+                shard.unregister_peer("ghost")  # rejected => not journaled
+            ops = [op for op, _ in shard.supervisor.journal]
+            assert ops == ["register_landmark", "insert_paths"]
+
+
+class TestSupervisorLifecycle:
+    def test_factory_names_shards_in_spawn_order(self):
+        factory = process_shard_factory(neighbor_set_size=2)
+        shards = [factory() for _ in range(3)]
+        try:
+            assert [shard.name for shard in shards] == ["shard-0", "shard-1", "shard-2"]
+        finally:
+            for shard in shards:
+                shard.close()
+
+    def test_close_is_idempotent_and_reaps_the_worker(self):
+        shard = ProcessShardBackend(neighbor_set_size=2)
+        process = shard.supervisor.process
+        shard.close()
+        assert not process.is_alive()
+        assert process.exitcode is not None
+        shard.close()  # second close is a no-op
+
+    def test_requests_after_close_raise_typed_error(self):
+        shard = ProcessShardBackend(neighbor_set_size=2)
+        shard.close()
+        with pytest.raises(ShardUnavailableError):
+            shard.local_closest("p0", 1)
+        with pytest.raises(ShardUnavailableError):
+            shard.restart()
+        assert not shard.health_check()
+
+    def test_supervisor_health_check_round_trip(self):
+        supervisor = ShardSupervisor(name="probe", neighbor_set_size=2)
+        try:
+            assert supervisor.health_check()
+            supervisor.process.kill()
+            supervisor.process.join()
+            assert not supervisor.health_check()
+        finally:
+            supervisor.close()
+
+    def test_sharded_plane_close_reaps_every_worker(self):
+        server = ShardedManagementServer(
+            3, neighbor_set_size=2, shard_factory=process_shard_factory(2)
+        )
+        processes = [shard.supervisor.process for shard in server.shards]
+        assert all(process.is_alive() for process in processes)
+        server.close()
+        assert all(not process.is_alive() for process in processes)
+        server.close()  # idempotent at the coordinator level too
+
+    def test_context_manager_closes_the_plane(self):
+        with ShardedManagementServer(
+            2, neighbor_set_size=2, shard_factory=process_shard_factory(2)
+        ) as server:
+            processes = [shard.supervisor.process for shard in server.shards]
+        assert all(not process.is_alive() for process in processes)

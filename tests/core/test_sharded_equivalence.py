@@ -1,4 +1,4 @@
-"""Equivalence oracle: the sharded plane is byte-identical to one server.
+"""Equivalence oracle: every sharded plane is byte-identical to one server.
 
 The sharding refactor is only safe because of this harness: for randomized
 interleavings of arrivals (single and batch), departures and queries — over
@@ -9,14 +9,24 @@ sequence: same peers, same distances, same order, same errors.  Internal
 state that determines future answers (registration order, cached lists) is
 audited too.
 
-Run with ``HYPOTHESIS_PROFILE=ci-equivalence`` for the high-budget CI sweep
-(see ``tests/conftest.py``).
+The harness is **backend-parametrized**: the same state machine runs once
+per :class:`~repro.core.sharded.ShardBackend` implementation — ``inline``
+(in-process shards) and ``process`` (one worker per shard behind
+:class:`~repro.core.remote.ProcessShardBackend`) — via the
+``backend_factory`` fixture, so the wire protocol, the typed codec and the
+chunked fill streams are held to the very same byte-identical bar as the
+original sharding refactor.
+
+Run with ``HYPOTHESIS_PROFILE=ci-equivalence`` for the high-budget inline
+CI sweep, and ``HYPOTHESIS_PROFILE=ci-equivalence-process`` for the
+reduced-budget process-backend sweep (its CI matrix entry also carries a
+hard wall-clock timeout); see ``tests/conftest.py``.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import pytest
 from hypothesis import given, settings
@@ -24,9 +34,36 @@ from hypothesis import strategies as st
 
 from repro.core import ManagementServer, ShardedManagementServer
 from repro.core.path import RouterPath
+from repro.core.remote import BACKENDS, shard_factory_for
 
 MAX_PEERS = 24
 MAX_LANDMARKS = 5
+
+
+def make_backend_factory(backend: str):
+    """A ``backend_factory``: builds one sharded plane for ``backend``.
+
+    The returned callable is stateless (each call spawns fresh shards —
+    fresh worker processes for the process backend), so it is safe to share
+    across hypothesis examples.
+    """
+
+    def factory(shard_count, k, maintain_cache, distances) -> ShardedManagementServer:
+        return ShardedManagementServer(
+            shard_count,
+            neighbor_set_size=k,
+            maintain_cache=maintain_cache,
+            landmark_distances=distances,
+            shard_factory=shard_factory_for(backend, k),
+        )
+
+    return factory
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def backend_factory(request):
+    """One sharded-plane factory per ShardBackend implementation."""
+    return make_backend_factory(request.param)
 
 
 def landmark_name(index: int) -> str:
@@ -57,6 +94,7 @@ def landmark_distances(landmark_count: int):
 
 
 def build_planes(
+    backend_factory,
     landmark_count: int,
     shard_count: int,
     with_distances: bool,
@@ -67,12 +105,7 @@ def build_planes(
     single = ManagementServer(
         neighbor_set_size=k, maintain_cache=maintain_cache, landmark_distances=distances
     )
-    sharded = ShardedManagementServer(
-        shard_count,
-        neighbor_set_size=k,
-        maintain_cache=maintain_cache,
-        landmark_distances=distances,
-    )
+    sharded = backend_factory(shard_count, k, maintain_cache, distances)
     for index in range(landmark_count):
         single.register_landmark(landmark_name(index), f"{landmark_name(index)}-router")
         sharded.register_landmark(landmark_name(index), f"{landmark_name(index)}-router")
@@ -135,6 +168,20 @@ def apply_pair(server, peer_a, peer_b):
         return ("error", type(error).__name__, str(error))
 
 
+def run_case(backend_factory, case) -> None:
+    """One oracle example: interleave the ops on both planes, then audit."""
+    landmark_count, shard_count, with_distances, maintain_cache, k, ops = case
+    single, sharded = build_planes(
+        backend_factory, landmark_count, shard_count, with_distances, maintain_cache, k
+    )
+    try:
+        for op in ops:
+            assert apply_op(sharded, op) == apply_op(single, op), op
+        audit_equal(single, sharded)
+    finally:
+        sharded.close()
+
+
 @st.composite
 def equivalence_cases(draw):
     landmark_count = draw(st.integers(1, MAX_LANDMARKS))
@@ -144,16 +191,17 @@ def equivalence_cases(draw):
     k = draw(st.integers(1, 4))
     shape = st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 3))
     peer = st.integers(0, MAX_PEERS - 1)
-    # landmark index == landmark_count exercises the unknown-landmark error.
+    # landmark index == landmark_count exercises the unknown-landmark error —
+    # in batches too, so the per-shard batched validation must surface the
+    # same first-invalid-path-in-input-order error as the single server.
     any_lm = st.integers(0, landmark_count)
-    known_lm = st.integers(0, landmark_count - 1)
     ops = draw(
         st.lists(
             st.one_of(
                 st.tuples(st.just("arrive"), peer, any_lm, shape),
                 st.tuples(
                     st.just("batch"),
-                    st.lists(st.tuples(peer, known_lm, shape), min_size=1, max_size=6),
+                    st.lists(st.tuples(peer, any_lm, shape), min_size=1, max_size=6),
                 ),
                 st.tuples(st.just("depart"), peer),
                 st.tuples(st.just("query"), peer, st.sampled_from([None, 1, 2, 3, 7])),
@@ -167,18 +215,13 @@ def equivalence_cases(draw):
 
 class TestEquivalenceOracle:
     # max_examples is deliberately not pinned: the default profile's budget
-    # applies locally, and CI's ci-equivalence profile (tests/conftest.py)
-    # raises it for the dedicated matrix entry.
+    # applies locally, and CI's dedicated matrix entries (tests/conftest.py)
+    # select ci-equivalence (inline, high budget) or ci-equivalence-process
+    # (process, reduced budget + hard timeout) instead.
     @settings(deadline=None)
     @given(case=equivalence_cases())
-    def test_sharded_plane_matches_single_server(self, case):
-        landmark_count, shard_count, with_distances, maintain_cache, k, ops = case
-        single, sharded = build_planes(
-            landmark_count, shard_count, with_distances, maintain_cache, k
-        )
-        for op in ops:
-            assert apply_op(sharded, op) == apply_op(single, op), op
-        audit_equal(single, sharded)
+    def test_sharded_plane_matches_single_server(self, backend_factory, case):
+        run_case(backend_factory, case)
 
 
 class TestEquivalenceAcceptance:
@@ -186,40 +229,44 @@ class TestEquivalenceAcceptance:
 
     @pytest.mark.parametrize("shard_count", [1, 2, 4, 8])
     @pytest.mark.parametrize("with_distances", [True, False])
-    def test_long_interleaved_workload(self, shard_count, with_distances):
+    def test_long_interleaved_workload(self, backend_factory, shard_count, with_distances):
         single, sharded = build_planes(
+            backend_factory,
             landmark_count=4,
             shard_count=shard_count,
             with_distances=with_distances,
             maintain_cache=True,
             k=3,
         )
-        rng = random.Random(20_000 + shard_count)
-        alive: List[str] = []
-        for step in range(400):
-            action = rng.random()
-            if action < 0.40 or len(alive) < 3:
-                op = ("arrive", rng.randrange(MAX_PEERS), rng.randrange(4), _shape(rng))
-            elif action < 0.55:
-                op = (
-                    "batch",
-                    [
-                        (rng.randrange(MAX_PEERS), rng.randrange(4), _shape(rng))
-                        for _ in range(rng.randrange(1, 5))
-                    ],
-                )
-            elif action < 0.75:
-                op = ("depart", rng.randrange(MAX_PEERS))
-            else:
-                op = ("query", rng.randrange(MAX_PEERS), rng.choice([None, 1, 3, 6]))
-            assert apply_op(sharded, op) == apply_op(single, op), (step, op)
-            alive = single.peers()
-        audit_equal(single, sharded)
-        if shard_count > 1 and len(sharded.landmarks()) > 1:
-            used = {sharded.shard_of(landmark) for landmark in sharded.landmarks()}
-            # The fixed landmark names spread over >1 shard at these counts,
-            # so the sweep genuinely crosses shard boundaries.
-            assert len(used) > 1
+        try:
+            rng = random.Random(20_000 + shard_count)
+            alive: List[str] = []
+            for step in range(400):
+                action = rng.random()
+                if action < 0.40 or len(alive) < 3:
+                    op = ("arrive", rng.randrange(MAX_PEERS), rng.randrange(4), _shape(rng))
+                elif action < 0.55:
+                    op = (
+                        "batch",
+                        [
+                            (rng.randrange(MAX_PEERS), rng.randrange(4), _shape(rng))
+                            for _ in range(rng.randrange(1, 5))
+                        ],
+                    )
+                elif action < 0.75:
+                    op = ("depart", rng.randrange(MAX_PEERS))
+                else:
+                    op = ("query", rng.randrange(MAX_PEERS), rng.choice([None, 1, 3, 6]))
+                assert apply_op(sharded, op) == apply_op(single, op), (step, op)
+                alive = single.peers()
+            audit_equal(single, sharded)
+            if shard_count > 1 and len(sharded.landmarks()) > 1:
+                used = {sharded.shard_of(landmark) for landmark in sharded.landmarks()}
+                # The fixed landmark names spread over >1 shard at these counts,
+                # so the sweep genuinely crosses shard boundaries.
+                assert len(used) > 1
+        finally:
+            sharded.close()
 
 
 def _shape(rng: random.Random) -> Tuple[int, int, int]:

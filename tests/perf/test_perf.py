@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -83,7 +84,20 @@ class TestReport:
         }
         rebuilt = PerfReport.from_dict(data)
         assert rebuilt.records[0].shards is None
-        assert rebuilt.records[0].cell == ("query", 20, None)
+        assert rebuilt.records[0].cell == ("query", 20, None, "inline")
+
+    def test_schema_v2_records_load_as_inline_backend(self):
+        """Pre-backend reports (no 'backend' key) line up with inline cells."""
+        data = {
+            "schema_version": 2,
+            "metadata": {},
+            "records": [
+                {"workload": "churn", "population": 20, "ops": 5, "total_s": 0.01, "shards": 2}
+            ],
+        }
+        rebuilt = PerfReport.from_dict(data)
+        assert rebuilt.records[0].backend == "inline"
+        assert rebuilt.records[0].cell == ("churn", 20, 2, "inline")
 
     def test_write_emits_valid_json(self, tmp_path):
         report = PerfReport()
@@ -228,10 +242,76 @@ class TestShardedWorkloads:
         assert churn_a.counters == churn_b.counters
 
 
+class TestProcessBackendWorkloads:
+    # Worker-process teardown is enforced suite-wide by the
+    # no_leaked_workers autouse fixture in tests/conftest.py.
+
+    def test_build_populated_server_process_backend(self):
+        server = build_populated_server(30, seed=1, shards=2, backend="process")
+        try:
+            assert isinstance(server, ShardedManagementServer)
+            assert server.peer_count == 30
+        finally:
+            server.close()
+
+    def test_process_backend_requires_shards(self):
+        with pytest.raises(ValueError):
+            build_populated_server(30, seed=1, backend="process")
+        with pytest.raises(ValueError):
+            build_populated_server(30, seed=1, shards=2, backend="bogus")
+
+    @pytest.mark.parametrize(
+        "runner, name",
+        [
+            (run_insert_workload, "insert"),
+            (run_query_workload, "query"),
+            (run_departure_workload, "departure"),
+            (run_churn_workload, "churn"),
+        ],
+    )
+    def test_each_workload_runs_on_the_process_backend(self, runner, name):
+        record = runner(40, ops=10, seed=2, shards=2, backend="process")
+        assert record.workload == name
+        assert record.shards == 2
+        assert record.backend == "process"
+        assert record.total_s >= 0.0
+        assert "tree_node_visits" in record.counters
+
+    @pytest.mark.parametrize(
+        "runner",
+        [run_insert_workload, run_query_workload, run_departure_workload, run_churn_workload],
+    )
+    def test_process_cells_do_identical_algorithmic_work(self, runner):
+        """Crossing the process boundary may cost time, never extra work:
+        coordinator counters and worker tree visits match the inline cell."""
+        inline = runner(60, ops=10, seed=2, shards=2).counters
+        process = runner(60, ops=10, seed=2, shards=2, backend="process").counters
+        assert process == inline
+
+    def test_suite_multiplies_backend_cells_and_tags_metadata(self):
+        report = run_discovery_suite(
+            populations=(20,), ops=3, seed=2, shard_counts=(2,),
+            backends=("inline", "process"),
+        )
+        combos = {(record.workload, record.shards, record.backend) for record in report.records}
+        assert combos == {
+            (workload, 2, backend)
+            for workload in ("insert", "query", "departure", "churn")
+            for backend in ("inline", "process")
+        }
+        assert report.metadata["backends"] == ["inline", "process"]
+
+    def test_suite_rejects_process_backend_without_shards(self):
+        with pytest.raises(ValueError):
+            run_discovery_suite(populations=(20,), ops=3, backends=("process",))
+        with pytest.raises(ValueError):
+            run_discovery_suite(populations=(20,), ops=3, backends=("bogus",))
+
+
 def _report_from_cells(cells):
-    """Build a PerfReport from (workload, population, shards, per_op_us) rows."""
+    """Build a PerfReport from (workload, population, shards, per_op_us[, backend]) rows."""
     report = PerfReport()
-    for workload, population, shards, per_op_us in cells:
+    for workload, population, shards, per_op_us, *rest in cells:
         report.add(
             PerfRecord(
                 workload=workload,
@@ -239,6 +319,7 @@ def _report_from_cells(cells):
                 ops=100,
                 total_s=per_op_us * 100 / 1e6,
                 shards=shards,
+                backend=rest[0] if rest else "inline",
             )
         )
     return report
@@ -258,7 +339,7 @@ class TestCompare:
         current = _report_from_cells([("query", 200, None, 13.0), ("churn", 800, None, 40.0)])
         result = compare_reports(baseline, current, threshold=0.25)
         assert not result.ok
-        assert [delta.key for delta in result.regressions] == [("query", 200, None)]
+        assert [delta.key for delta in result.regressions] == [("query", 200, None, "inline")]
         assert "REGRESSION" in result.to_text()
         assert "FAIL" in result.to_text()
 
@@ -271,15 +352,38 @@ class TestCompare:
         baseline = _report_from_cells([("query", 200, 1, 10.0), ("query", 200, 4, 10.0)])
         current = _report_from_cells([("query", 200, 1, 10.0), ("query", 200, 4, 30.0)])
         result = compare_reports(baseline, current)
-        assert [delta.key for delta in result.regressions] == [("query", 200, 4)]
+        assert [delta.key for delta in result.regressions] == [("query", 200, 4, "inline")]
+
+    def test_cells_are_keyed_by_backend_too(self):
+        """A slow process cell never fails an inline cell, and vice versa."""
+        baseline = _report_from_cells(
+            [("query", 200, 2, 10.0), ("query", 200, 2, 10.0, "process")]
+        )
+        current = _report_from_cells(
+            [("query", 200, 2, 10.0), ("query", 200, 2, 90.0, "process")]
+        )
+        result = compare_reports(baseline, current)
+        assert [delta.key for delta in result.regressions] == [("query", 200, 2, "process")]
+
+    def test_process_cells_against_inline_baseline_are_new_cells(self):
+        """The --backend dimension must not break pre-v3 baselines: inline
+        cells still gate, process cells join as new (uncompared) cells."""
+        baseline = _report_from_cells([("query", 200, 2, 10.0)])
+        current = _report_from_cells(
+            [("query", 200, 2, 11.0), ("query", 200, 2, 500.0, "process")]
+        )
+        result = compare_reports(baseline, current)
+        assert result.ok
+        assert [delta.key for delta in result.deltas] == [("query", 200, 2, "inline")]
+        assert result.current_only == [("query", 200, 2, "process")]
 
     def test_unmatched_cells_are_reported_but_never_fail(self):
         baseline = _report_from_cells([("query", 200, None, 10.0), ("query", 800, None, 10.0)])
         current = _report_from_cells([("query", 200, None, 10.0), ("query", 200, 2, 99.0)])
         result = compare_reports(baseline, current)
         assert result.ok
-        assert result.baseline_only == [("query", 800, None)]
-        assert result.current_only == [("query", 200, 2)]
+        assert result.baseline_only == [("query", 800, None, "inline")]
+        assert result.current_only == [("query", 200, 2, "inline")]
         text = result.to_text()
         assert "baseline only" in text
         assert "new cell" in text
@@ -340,6 +444,47 @@ class TestCli:
         with pytest.raises(SystemExit):
             run_perf(["--populations", "20", "--ops", "3", "--shards", spec,
                       "--output", str(tmp_path / "b.json")])
+
+    def test_backend_flag_runs_process_cells(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = run_perf(
+            ["--populations", "20", "--ops", "3", "--shards", "2",
+             "--backend", "process", "--output", str(output)]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        assert {record["backend"] for record in data["records"]} == {"process"}
+        assert all(record["shards"] == 2 for record in data["records"])
+        assert multiprocessing.active_children() == []
+
+    def test_backend_process_without_shards_is_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            run_perf(["--populations", "20", "--ops", "3", "--backend", "process",
+                      "--output", str(tmp_path / "b.json")])
+
+    @pytest.mark.parametrize("spec", ["bogus", "inline,bogus", ","])
+    def test_invalid_backend_spec_is_rejected(self, spec, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            run_perf(["--populations", "20", "--ops", "3", "--shards", "2",
+                      "--backend", spec, "--output", str(tmp_path / "b.json")])
+
+    def test_compare_gates_inline_cells_while_process_cells_join_as_new(self, tmp_path, capsys):
+        """The issue's acceptance path: an inline baseline still gates an
+        'inline,process' run — process cells are listed as new, not compared."""
+        baseline = tmp_path / "baseline.json"
+        assert run_perf(
+            ["--populations", "20", "--ops", "3", "--shards", "2",
+             "--output", str(baseline)]
+        ) == 0
+        code = run_perf(
+            ["--populations", "20", "--ops", "3", "--shards", "2",
+             "--backend", "inline,process", "--output", str(tmp_path / "new.json"),
+             "--compare", str(baseline), "--compare-threshold", "1000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK: no cell regressed" in out
+        assert "new cell, not compared" in out
 
     def test_compare_passes_against_identical_baseline(self, tmp_path, capsys):
         baseline = tmp_path / "baseline.json"

@@ -165,3 +165,54 @@ class TestShardedScenario:
         assert sharded.server.peers() == single.server.peers()
         for peer in single.peer_ids:
             assert sharded.server.closest_peers(peer, k=5) == single.server.closest_peers(peer, k=5)
+
+
+class TestProcessBackendScenario:
+    # Worker-process teardown is enforced suite-wide by the
+    # no_leaked_workers autouse fixture in tests/conftest.py.
+
+    def test_config_validates_backend(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(backend="bogus")
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(backend="process")  # needs shard_count
+        assert ScenarioConfig(backend="process", shard_count=2).backend == "process"
+
+    def test_process_scenario_builds_process_backed_shards(self):
+        from repro.core.remote import ProcessShardBackend
+        from repro.core.sharded import ShardedManagementServer
+
+        with make_small_scenario(seed=7, peer_count=15, shard_count=2, backend="process") as scenario:
+            assert isinstance(scenario.server, ShardedManagementServer)
+            assert all(
+                isinstance(shard, ProcessShardBackend) for shard in scenario.server.shards
+            )
+            scenario.join_all()
+            assert scenario.server.peer_count == 15
+
+    def test_process_scenario_matches_inline_scenario(self):
+        """The full paper pipeline answers identically when every shard is a
+        worker process behind the wire protocol."""
+        inline = make_small_scenario(seed=11, peer_count=20, shard_count=2)
+        with make_small_scenario(
+            seed=11, peer_count=20, shard_count=2, backend="process"
+        ) as process:
+            inline.join_all()
+            process.join_all()
+            assert process.scheme_neighbor_sets() == inline.scheme_neighbor_sets()
+            for peer in inline.peer_ids:
+                assert process.server.closest_peers(peer, k=5) == inline.server.closest_peers(
+                    peer, k=5
+                )
+
+    def test_close_reaps_workers_and_is_idempotent(self):
+        scenario = make_small_scenario(seed=7, peer_count=10, shard_count=2, backend="process")
+        processes = [shard.supervisor.process for shard in scenario.server.shards]
+        assert all(process.is_alive() for process in processes)
+        scenario.close()
+        assert all(not process.is_alive() for process in processes)
+        scenario.close()
+
+    def test_inline_scenario_close_is_a_safe_no_op(self, fresh_scenario):
+        fresh_scenario.close()
+        fresh_scenario.join_all()  # still usable: nothing was torn down
