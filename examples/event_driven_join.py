@@ -38,7 +38,13 @@ def main() -> None:
     scenario = build_scenario(config)
 
     engine = Engine()
-    network = SimulatedNetwork(engine, scenario.router_map.graph, processing_delay_ms=0.5, seed=23)
+    network = SimulatedNetwork(
+        engine,
+        scenario.router_map.graph,
+        processing_delay_ms=0.5,
+        seed=23,
+        distance_engine=scenario.distance_engine,
+    )
 
     # The server host sits next to the first landmark's router.
     server_router = scenario.landmark_set.routers()[0]

@@ -38,7 +38,12 @@ def main() -> None:
     scenario.join_all()
 
     stubs = scenario.router_map.stub_routers()
-    model = MobilityModel(candidate_routers=stubs, mean_pause_s=60.0, seed=43)
+    model = MobilityModel(
+        candidate_routers=stubs,
+        mean_pause_s=60.0,
+        seed=43,
+        engine=scenario.distance_engine,
+    )
     moves = model.trace(
         scenario.router_map.graph, scenario.peer_routers, horizon_s=300.0, mobile_fraction=0.3
     )

@@ -13,6 +13,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from .._validation import require_positive_int
 from ..exceptions import ConfigurationError
+from ..routing.distance_engine import HopDistanceEngine
 from ..routing.shortest_path import AllPairsHopDistances
 from ..topology.graph import Graph
 
@@ -32,6 +33,10 @@ class BruteForceOracle:
     host_hops:
         Hops charged for the host-to-router link on each side (1 by default,
         consistent with how the tree distance counts).
+    engine:
+        Optional shared :class:`HopDistanceEngine`; the scenario builder
+        passes its own so the oracle's BFS work rides the same CSR snapshot
+        as every other distance consumer.
     """
 
     name = "brute_force"
@@ -41,13 +46,14 @@ class BruteForceOracle:
         graph: Graph,
         attachment: Dict[PeerId, NodeId],
         host_hops: int = 1,
+        engine: Optional[HopDistanceEngine] = None,
     ) -> None:
         if host_hops < 0:
             raise ConfigurationError(f"host_hops must be >= 0, got {host_hops}")
         self.graph = graph
         self.attachment = dict(attachment)
         self.host_hops = host_hops
-        self._oracle = AllPairsHopDistances(graph)
+        self._oracle = AllPairsHopDistances(graph, engine=engine)
 
     def add_peer(self, peer_id: PeerId, router: NodeId) -> None:
         """Register a (new) peer's attachment router."""

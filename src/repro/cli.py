@@ -116,7 +116,8 @@ def build_perf_parser() -> argparse.ArgumentParser:
         prog="repro-experiments perf",
         description=(
             "Measure the discovery hot path (insert / query / departure / churn) "
-            "at several population sizes and write a JSON perf report."
+            "and the scenario distance-plane build (build) at several population "
+            "sizes and write a JSON perf report."
         ),
     )
     parser.add_argument(

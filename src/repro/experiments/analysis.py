@@ -22,7 +22,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.distance import sample_peer_pairs
-from ..routing.shortest_path import bfs_shortest_paths
 from ..sim.rng import RandomStreams
 from ..topology.centrality import approximate_betweenness, centrality_concentration
 from ..topology.internet_mapper import RouterMapConfig
@@ -89,16 +88,14 @@ def branch_point_analysis(
     branch_in_core = 0
     exact_on_path = [0, 0]   # [exact, total] when the branch lies on a true shortest path
     exact_off_path = [0, 0]  # [exact, total] otherwise
-    distance_cache: Dict = {}
+    # One engine snapshot for the whole analysis: distance vectors from the
+    # attachment routers and branch routers are cached across the pair loop
+    # instead of populating a per-router dict of independent BFS results.
+    engine = scenario.distance_engine
     # One tree view per landmark for the whole pair loop: with a process
     # shard backend, server.tree() ships and rebuilds a full snapshot, so
     # fetching it per pair would serialise the tree O(pairs) times.
     tree_cache: Dict = {}
-
-    def distances_from(router):
-        if router not in distance_cache:
-            distance_cache[router], _ = bfs_shortest_paths(graph, router)
-        return distance_cache[router]
 
     for peer_a, peer_b in same_landmark:
         landmark_id = scenario.server.peer_landmark(peer_a)
@@ -112,12 +109,13 @@ def branch_point_analysis(
             branch_in_core += 1
         router_a = scenario.peer_routers[peer_a]
         router_b = scenario.peer_routers[peer_b]
-        true_distance = distances_from(router_a)[router_b] + 2
+        true_distance = engine.hop_distance(router_a, router_b) + 2
         dtree = scenario.server.estimate_distance(peer_a, peer_b)
         exact = abs(dtree - true_distance) < 1e-9
         on_true_path = (
-            distances_from(router_a)[branch] + distances_from(branch).get(router_b, 10 ** 9)
-            == distances_from(router_a)[router_b]
+            engine.hop_distance(router_a, branch)
+            + engine.hop_between(branch, router_b, default=10 ** 9)
+            == engine.hop_distance(router_a, router_b)
         )
         bucket = exact_on_path if on_true_path else exact_off_path
         bucket[1] += 1

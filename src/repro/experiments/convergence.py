@@ -23,7 +23,6 @@ from ..baselines.gnp import GnpSystem
 from ..baselines.vivaldi import VivaldiSystem
 from ..metrics.latency_stats import ProbeCostModel
 from ..metrics.proximity import population_cost
-from ..routing.shortest_path import AllPairsHopDistances, dijkstra_shortest_paths
 from ..sim.rng import RandomStreams
 from ..topology.internet_mapper import RouterMapConfig
 from ..workloads.scenarios import Scenario, ScenarioConfig, build_scenario
@@ -92,14 +91,12 @@ def run_convergence_study(
     )
 
     # --- Shared RTT model for the coordinate systems. ------------------------
-    graph = scenario.router_map.graph
-    latency_cache: Dict = {}
+    # Latency vectors come from the scenario's shared distance engine (one
+    # batched Dijkstra per distinct source router, cached on its snapshot).
+    engine = scenario.distance_engine
 
     def latency_between_routers(router_a, router_b) -> float:
-        if router_a not in latency_cache:
-            distances, _ = dijkstra_shortest_paths(graph, router_a)
-            latency_cache[router_a] = distances
-        return latency_cache[router_a].get(router_b, float("inf"))
+        return engine.latency_between(router_a, router_b, default=float("inf"))
 
     def peer_rtt(peer_a, peer_b) -> float:
         return 2.0 * latency_between_routers(

@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
-from ..exceptions import LandmarkError
-from ..routing.shortest_path import bfs_shortest_paths, dijkstra_shortest_paths
+from ..exceptions import LandmarkError, NodeNotFoundError
+from ..routing.distance_engine import HopDistanceEngine
 from ..topology.graph import Graph
 
 NodeId = Hashable
@@ -30,18 +30,38 @@ class Landmark:
 
 @dataclass
 class LandmarkSet:
-    """The set of deployed landmarks plus distance bookkeeping."""
+    """The set of deployed landmarks plus distance bookkeeping.
+
+    All hop/latency questions are answered through one shared
+    :class:`HopDistanceEngine` (injectable so a scenario can pass its own):
+    the inter-landmark matrix is one batched multi-source pass, and the
+    closest-landmark oracle reads the per-landmark distance vectors instead
+    of running a fresh BFS per queried router (hop distances on an
+    undirected graph are symmetric), which turns coverage sweeps from one
+    BFS per router into one BFS per landmark.
+    """
 
     graph: Graph
     landmarks: List[Landmark] = field(default_factory=list)
+    engine: Optional[HopDistanceEngine] = field(default=None, repr=False)
     _by_id: Dict[LandmarkId, Landmark] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            self.engine = HopDistanceEngine(self.graph)
+        else:
+            self.engine.check_graph(self.graph)
 
     @classmethod
     def from_routers(
-        cls, graph: Graph, routers: Sequence[NodeId], prefix: str = "lm"
+        cls,
+        graph: Graph,
+        routers: Sequence[NodeId],
+        prefix: str = "lm",
+        engine: Optional[HopDistanceEngine] = None,
     ) -> "LandmarkSet":
         """Create landmarks named ``lm0, lm1, ...`` attached to ``routers``."""
-        landmark_set = cls(graph=graph)
+        landmark_set = cls(graph=graph, engine=engine)
         for index, router in enumerate(routers):
             landmark_set.add(f"{prefix}{index}", router)
         return landmark_set
@@ -90,33 +110,49 @@ class LandmarkSet:
     # -------------------------------------------------------------- distances
 
     def pairwise_hop_distances(self) -> Dict[Tuple[LandmarkId, LandmarkId], float]:
-        """Hop distances between every pair of landmarks (both orders)."""
+        """Hop distances between every pair of landmarks (both orders).
+
+        One batched multi-source pass over the shared engine snapshot: each
+        landmark's distance vector is computed once and every pair is a flat
+        lookup.
+        """
         result: Dict[Tuple[LandmarkId, LandmarkId], float] = {}
+        self.engine.warm_hops(landmark.router for landmark in self.landmarks)
         for landmark in self.landmarks:
-            distances, _ = bfs_shortest_paths(self.graph, landmark.router)
             for other in self.landmarks:
                 if other.landmark_id == landmark.landmark_id:
                     continue
-                if other.router not in distances:
+                distance = self.engine.hop_between(landmark.router, other.router)
+                if distance is None:
                     raise LandmarkError(
                         f"landmarks {landmark.landmark_id!r} and {other.landmark_id!r} "
                         "are not connected"
                     )
-                result[(landmark.landmark_id, other.landmark_id)] = float(
-                    distances[other.router]
-                )
+                result[(landmark.landmark_id, other.landmark_id)] = float(distance)
         return result
 
     def closest_landmark_by_hops(self, router: NodeId) -> Tuple[Landmark, int]:
-        """Oracle lookup: the landmark with the fewest hops from ``router``."""
+        """Oracle lookup: the landmark with the fewest hops from ``router``.
+
+        Hop distances on the undirected router graph are symmetric, so this
+        reads the cached per-*landmark* vectors — no per-router BFS.
+        """
         if not self.landmarks:
             raise LandmarkError("the landmark set is empty")
-        distances, _ = bfs_shortest_paths(self.graph, router)
+        if not self.graph.has_node(router):
+            raise NodeNotFoundError(router)
         best: Optional[Tuple[int, str, Landmark]] = None
         for landmark in self.landmarks:
-            if landmark.router not in distances:
+            # A landmark whose router left the topology is simply not a
+            # candidate (it would be absent from a BFS rooted at ``router``);
+            # the guard keeps it from becoming an unknown BFS *source* now
+            # that the lookup reads the symmetric per-landmark vectors.
+            if not self.graph.has_node(landmark.router):
                 continue
-            key = (distances[landmark.router], repr(landmark.landmark_id), landmark)
+            distance = self.engine.hop_between(landmark.router, router)
+            if distance is None:
+                continue
+            key = (distance, repr(landmark.landmark_id), landmark)
             if best is None or key[:2] < best[:2]:
                 best = key
         if best is None:
@@ -124,15 +160,20 @@ class LandmarkSet:
         return best[2], best[0]
 
     def closest_landmark_by_latency(self, router: NodeId) -> Tuple[Landmark, float]:
-        """Oracle lookup: the landmark with the lowest latency from ``router``."""
+        """Oracle lookup: the landmark with the lowest latency from ``router``.
+
+        Latency sums are kept source-rooted at ``router`` (one engine
+        Dijkstra, cached) so the floats match the reference implementation
+        bit-for-bit.
+        """
         if not self.landmarks:
             raise LandmarkError("the landmark set is empty")
-        distances, _ = dijkstra_shortest_paths(self.graph, router)
         best: Optional[Tuple[float, str, Landmark]] = None
         for landmark in self.landmarks:
-            if landmark.router not in distances:
+            distance = self.engine.latency_between(router, landmark.router)
+            if distance is None:
                 continue
-            key = (distances[landmark.router], repr(landmark.landmark_id), landmark)
+            key = (distance, repr(landmark.landmark_id), landmark)
             if best is None or key[:2] < best[:2]:
                 best = key
         if best is None:

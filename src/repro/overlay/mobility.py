@@ -26,7 +26,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from .._validation import coerce_seed, require_positive_float, require_positive_int, require_probability
 from ..core.newcomer import NewcomerClient
 from ..exceptions import ConfigurationError
-from ..routing.shortest_path import bfs_shortest_paths
+from ..routing.distance_engine import HopDistanceEngine
 
 PeerId = Hashable
 NodeId = Hashable
@@ -56,6 +56,11 @@ class MobilityModel:
         (the user went somewhere else entirely).
     mean_pause_s:
         Mean time between two moves of the same peer (exponential).
+    engine:
+        Optional shared :class:`HopDistanceEngine` owned by the session
+        (e.g. ``scenario.distance_engine``); without one, the model keeps a
+        private engine per graph, so ranking candidates for a local move is
+        a cached-vector lookup instead of a fresh BFS per handover step.
     """
 
     candidate_routers: Sequence[NodeId]
@@ -63,7 +68,9 @@ class MobilityModel:
     locality_radius: int = 16
     mean_pause_s: float = 120.0
     seed: Optional[int] = None
+    engine: Optional[HopDistanceEngine] = None
     _rng: random.Random = field(init=False, repr=False)
+    _private_engine: Optional[HopDistanceEngine] = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         if not self.candidate_routers:
@@ -73,16 +80,26 @@ class MobilityModel:
         require_positive_float(self.mean_pause_s, "mean_pause_s")
         self._rng = random.Random(coerce_seed(self.seed))
 
+    def _engine_for(self, graph) -> HopDistanceEngine:
+        """The shared engine if it matches ``graph``, else a cached private one."""
+        if self.engine is not None and self.engine.graph is graph:
+            return self.engine
+        if self._private_engine is None or self._private_engine.graph is not graph:
+            self._private_engine = HopDistanceEngine(graph)
+        return self._private_engine
+
     def next_router(self, graph, current_router: NodeId) -> NodeId:
         """Pick the router a peer moves to from ``current_router``."""
         candidates = [router for router in self.candidate_routers if router != current_router]
         if not candidates:
             return current_router
         if self._rng.random() < self.local_move_probability:
-            distances, _ = bfs_shortest_paths(graph, current_router)
+            distances = self._engine_for(graph).hop_distances_to(
+                current_router, candidates, default=float("inf")
+            )
             ranked = sorted(
-                (distances.get(router, float("inf")), repr(router), router)
-                for router in candidates
+                (distance, repr(router), router)
+                for distance, router in zip(distances, candidates)
             )
             pool = [router for _, _, router in ranked[: self.locality_radius]]
             return self._rng.choice(pool)

@@ -17,7 +17,11 @@ from typing import Dict, List, Optional, Union
 
 from .timer import Timing
 
-SCHEMA_VERSION = 3
+# v2 added the shards dimension, v3 the backend dimension, v4 the
+# scenario-build workload (``workload == "build"``, whose ops count is the
+# peer count and whose counters come from the distance engine).  All are
+# additive: older reports load with defaults and their cells still compare.
+SCHEMA_VERSION = 4
 
 
 @dataclass

@@ -13,6 +13,19 @@ operation class:
 * ``churn``     — interleaved leave / re-join cycles, the membership-dynamics
   mix the paper defers to future work.
 
+The ``build`` workload (schema v4) is different in kind: instead of a
+synthetic plane it measures the **scenario-build distance plane** — a full
+:func:`~repro.workloads.scenarios.build_scenario` over a router map scaled
+to the population (paper-scale ~4 000 routers at the suite's largest
+population) followed by :meth:`~repro.workloads.scenarios.Scenario.
+warm_distance_plane` (landmark pairwise distances, landmark-rooted routing
+trees, true-hop-distance vectors from every distinct peer attachment
+router).  Map *generation* happens outside the timed phase — it is a
+topology-generator concern the distance engine does not touch — so the cell
+regression-gates exactly the code the
+:mod:`repro.routing.distance_engine` owns.  One build is one cell;
+``per_op_us`` divides by the peer count.
+
 The suite has an optional **shards** dimension: with ``shards=None`` a cell
 runs the classic single-landmark
 :class:`~repro.core.management_server.ManagementServer` (bit-for-bit the
@@ -52,11 +65,17 @@ from ..core.management_server import ManagementServer
 from ..core.path import RouterPath
 from ..core.remote import BACKENDS, shard_factory_for
 from ..core.sharded import ShardedManagementServer
+from ..topology.internet_mapper import RouterMap, RouterMapConfig, generate_router_map
+from ..workloads.scenarios import ScenarioConfig, build_scenario
 from .report import PerfRecord, PerfReport
 from .timer import OpTimer
 
 DEFAULT_POPULATIONS = (200, 800, 3200, 12800)
 DEFAULT_LANDMARK = "lmk"
+
+#: Landmark count used by every ``build`` cell (sharded or not) so the
+#: scenario workload is identical along the shards/backend axes.
+BUILD_LANDMARK_COUNT = 8
 
 #: Landmark count used by every sharded cell, regardless of shard count, so
 #: the workload is identical along the shards axis and only the partitioning
@@ -366,6 +385,93 @@ def run_churn_workload(
         server.close()
 
 
+def build_map_config(population: int, seed: int = 3) -> RouterMapConfig:
+    """Router map for one ``build`` cell, scaled to the population.
+
+    The suite's largest population gets the paper-scale default map
+    (~4 000 routers); smaller populations get proportionally smaller maps
+    (clamped so the tier structure survives), keeping smoke cells cheap.
+    The map is a pure function of ``(population, seed)`` so a cell is
+    always comparable with itself across reports.
+    """
+    fraction = min(1.0, population / DEFAULT_POPULATIONS[-1])
+    return RouterMapConfig(
+        core_size=max(8, int(60 * fraction)),
+        core_attachment=4,
+        transit_size=max(12, int(600 * fraction)),
+        transit_attachment=2,
+        stub_size=max(48, int(3400 * fraction)),
+        stub_attachment=1,
+        seed=seed,
+    )
+
+
+def run_build_workload(
+    population: int,
+    ops: Optional[int] = None,
+    seed: int = 3,
+    neighbor_set_size: int = 5,
+    shards: Optional[int] = None,
+    backend: str = "inline",
+    router_map_config: Optional[RouterMapConfig] = None,
+    router_map: Optional[RouterMap] = None,
+) -> PerfRecord:
+    """Scenario distance-plane build at ``population`` peers.
+
+    Times :func:`~repro.workloads.scenarios.build_scenario` (landmark
+    placement, inter-landmark distance matrix, management plane, traceroute
+    plumbing) plus :meth:`~repro.workloads.scenarios.Scenario.
+    warm_distance_plane` (landmark routing trees and true-distance vectors
+    from every distinct attachment router) over a pre-generated router map.
+    ``ops`` is accepted for suite uniformity but ignored — one build is one
+    cell, and ``per_op_us`` divides by the peer count.  Counters carry the
+    distance engine's algorithmic-work counters plus the map size, so a
+    regression in BFS batching is visible even on noisy machines.
+
+    ``router_map`` optionally supplies the pre-generated map (the suite
+    shares one map across a population's backend/shard cells — the map is
+    a pure function of ``(population, seed)`` either way).
+    """
+    del ops  # one build per cell; the op count is the peer count
+    _require_backend(backend, shards)
+    if router_map is None:
+        map_config = router_map_config or build_map_config(population, seed)
+        router_map = generate_router_map(map_config)
+    else:
+        map_config = router_map.config
+    config = ScenarioConfig(
+        peer_count=population,
+        landmark_count=BUILD_LANDMARK_COUNT,
+        neighbor_set_size=neighbor_set_size,
+        router_map_config=map_config,
+        seed=seed,
+        shard_count=shards,
+        backend=backend,
+    )
+    scenario = None
+    try:
+        timer = OpTimer()
+        with timer:
+            scenario = build_scenario(config, router_map=router_map)
+            distance_sources = scenario.warm_distance_plane()
+            timer.add_ops(population)
+        counters = scenario.distance_engine.stats.as_dict()
+        counters["routers"] = router_map.graph.node_count
+        counters["edges"] = router_map.graph.edge_count
+        counters["distance_sources"] = distance_sources
+        return PerfRecord.from_timing(
+            "build",
+            population,
+            timer.timing,
+            counters,
+            shards=shards,
+            backend=backend,
+        )
+    finally:
+        if scenario is not None:
+            scenario.close()
+
+
 def run_discovery_suite(
     populations: Sequence[int] = DEFAULT_POPULATIONS,
     ops: Optional[int] = None,
@@ -377,14 +483,15 @@ def run_discovery_suite(
     """Run every discovery workload at every (population, backend, shards).
 
     ``ops`` overrides each workload's default operation count (useful for
-    smoke runs in CI); ``None`` keeps the defaults.  ``shard_counts=None``
-    runs the classic single-server cells; a sequence like ``(1, 4)`` runs
-    each workload on a :class:`ShardedManagementServer` at every listed
-    shard count instead, tagging each record with its ``shards`` value.
-    ``backends`` multiplies the sharded cells along the backend axis
-    (``"process"`` cells require ``shard_counts``); sampling stays a pure
-    function of ``(seed, workload, population)``, so adding either dimension
-    never changes what existing cells measure.
+    smoke runs in CI); ``None`` keeps the defaults (the ``build`` workload
+    ignores it either way).  ``shard_counts=None`` runs the classic
+    single-server cells; a sequence like ``(1, 4)`` runs each workload on a
+    :class:`ShardedManagementServer` at every listed shard count instead,
+    tagging each record with its ``shards`` value.  ``backends`` multiplies
+    the sharded cells along the backend axis (``"process"`` cells require
+    ``shard_counts``); sampling stays a pure function of
+    ``(seed, workload, population)``, so adding either dimension never
+    changes what existing cells measure.
     """
     for backend in backends:
         if backend not in BACKENDS:
@@ -406,6 +513,10 @@ def run_discovery_suite(
         [None] if shard_counts is None else list(shard_counts)
     )
     for population in populations:
+        # One map per population, shared by every backend/shard build cell
+        # (it is a pure function of (population, seed); generation happens
+        # outside the build cells' timed phase either way).
+        build_router_map: Optional[RouterMap] = None
         for backend in backends:
             for shards in shard_values:
                 for runner in (
@@ -424,4 +535,16 @@ def run_discovery_suite(
                             **overrides,
                         )
                     )
+                if build_router_map is None:
+                    build_router_map = generate_router_map(build_map_config(population, seed))
+                report.add(
+                    run_build_workload(
+                        population,
+                        seed=seed,
+                        neighbor_set_size=neighbor_set_size,
+                        shards=shards,
+                        backend=backend,
+                        router_map=build_router_map,
+                    )
+                )
     return report

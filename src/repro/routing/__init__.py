@@ -15,6 +15,7 @@ from .shortest_path import (
     reconstruct_path,
     shortest_path_tree,
 )
+from .distance_engine import CsrTopology, HopDistanceEngine
 from .route_table import RouteTable, build_route_table
 from .traceroute import (
     TracerouteConfig,
@@ -37,6 +38,8 @@ from .path_inference import (
 
 __all__ = [
     "AllPairsHopDistances",
+    "CsrTopology",
+    "HopDistanceEngine",
     "ShortestPathTree",
     "bfs_shortest_paths",
     "dijkstra_shortest_paths",

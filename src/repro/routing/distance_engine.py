@@ -1,0 +1,567 @@
+"""Vectorised hop/latency distance engine over CSR topology snapshots.
+
+Every distance consumer in the repository used to run its own pure-python
+per-source BFS/Dijkstra over the dict-of-dicts :class:`~repro.topology.graph.
+Graph` — one fresh ``dict`` per node per source.  At paper-scale router maps
+(~4 000 routers) and perf-suite populations (12 800 peers) that per-source
+dict churn dominates scenario-build wall-clock.  This module replaces it with
+a shared engine built around two ideas:
+
+**CSR snapshots** (:class:`CsrTopology`) — the graph is flattened once into
+int-indexed compact arrays (``offsets``/``neighbors`` in the classic
+compressed-sparse-row layout, plus per-weight-key weight arrays).  Snapshots
+are immutable; :class:`Graph` carries a generation counter bumped on every
+mutation, and the engine transparently rebuilds its snapshot when the
+generation moves.
+
+**Batched level-vector BFS** (:class:`HopDistanceEngine`) — hop distances are
+computed as flat ``bytearray`` level-vectors (one byte per node, ``0xFF`` =
+unreachable) expanded one shared frontier per level, instead of per-node
+dict inserts.  Two structural accelerations make multi-source batches cheap:
+
+* the snapshot separates *leaf* routers (degree-1 nodes hanging off a
+  higher-degree neighbour — the stub/access routers peers attach to) from the
+  *core* graph.  BFS runs over the core only; leaf distances are filled in
+  afterwards with one C-speed gather (:func:`operator.itemgetter`) plus one
+  ``bytes.translate`` (+1 per hop);
+* a BFS *from* a leaf source is derived from its unique neighbour's vector
+  with the same translate trick (``d_leaf(x) = d_neighbor(x) + 1``), so
+  warming every peer attachment router costs one BFS per *distinct access
+  parent* rather than one per peer.
+
+Results are exactly equal to :func:`~repro.routing.shortest_path.
+bfs_shortest_paths` / :func:`~repro.routing.shortest_path.
+dijkstra_shortest_paths` for every source, including disconnected graphs —
+``tests/routing/test_distance_engine.py`` holds the property-test oracle.
+Vectors saturate at 254 hops; rare deeper graphs fall back to exact wide
+(machine-int) vectors automatically.
+
+The batched Dijkstra mirrors the reference implementation operation-for-
+operation over the snapshot's weight arrays (same relaxation order, same
+float addition order), so latency distances and tie-broken parents are
+bit-identical, not merely numerically close.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+from heapq import heappop, heappush
+from operator import itemgetter
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import NodeNotFoundError, NoRouteError
+from ..topology.graph import DEFAULT_WEIGHT_KEY, Graph
+from .shortest_path import ShortestPathTree
+
+NodeId = Hashable
+
+#: Byte sentinel marking an unreachable node in a hop level-vector.
+UNREACHABLE = 0xFF
+
+#: Largest hop distance the core byte BFS may produce.  One ``+1`` headroom
+#: step is reserved below the 0xFF sentinel so the leaf fill / leaf-source
+#: derivation stays exact; deeper graphs fall back to wide (machine-int)
+#: vectors, where ``-1`` marks unreachable nodes.
+MAX_BYTE_HOPS = 253
+
+#: 256-entry translate table adding one hop to every finite byte distance
+#: (distances above :data:`MAX_BYTE_HOPS` and the unreachable sentinel map
+#: to the sentinel).  Callers must check the vector's finite maximum is at
+#: most :data:`MAX_BYTE_HOPS` before applying it.
+_PLUS_ONE_HOP = bytes(range(1, 255)) + b"\xff\xff"
+
+HopVector = Union[bytes, array]
+
+
+class _ByteOverflow(Exception):
+    """Internal: a byte-vector BFS exceeded MAX_BYTE_HOPS levels."""
+
+
+class CsrTopology:
+    """Immutable int-indexed CSR snapshot of a :class:`Graph`.
+
+    Nodes are reordered so the *core* (every node that is not a leaf) comes
+    first and leaves last; ``core_count`` splits the two ranges.  A leaf is a
+    degree-1 node whose single neighbour has degree > 1 — degree-0 nodes and
+    mutually-attached degree-1 pairs stay in the core so the reduced
+    adjacency remains self-contained.
+
+    Use :meth:`HopDistanceEngine.snapshot` rather than building these
+    directly; the engine handles generation-based invalidation.
+    """
+
+    __slots__ = (
+        "graph",
+        "generation",
+        "nodes",
+        "index",
+        "node_count",
+        "core_count",
+        "core_adjacency",
+        "offsets",
+        "neighbors",
+        "leaf_parents",
+        "_leaf_gather",
+        "_weights",
+        "_weighted_adjacency",
+    )
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.generation = graph.generation
+
+        degree = graph.degrees()
+        core: List[NodeId] = []
+        leaves: List[NodeId] = []
+        for node in graph.nodes():
+            if degree[node] == 1 and degree[next(graph.iter_neighbors(node))] > 1:
+                leaves.append(node)
+            else:
+                core.append(node)
+        self.nodes: List[NodeId] = core + leaves
+        self.index: Dict[NodeId, int] = {node: i for i, node in enumerate(self.nodes)}
+        self.node_count = len(self.nodes)
+        self.core_count = len(core)
+
+        index = self.index
+        # Reduced adjacency: core-to-core edges only, original neighbour
+        # order preserved (BFS tie-breaking depends on it).
+        self.core_adjacency: List[Tuple[int, ...]] = [
+            tuple(index[v] for v in graph.iter_neighbors(u) if degree[v] > 1 or index[v] < self.core_count)
+            for u in core
+        ]
+        # Full-graph CSR arrays (all nodes, snapshot order).
+        offsets = array("l", [0])
+        neighbors = array("l")
+        for u in self.nodes:
+            neighbors.extend(index[v] for v in graph.iter_neighbors(u))
+            offsets.append(len(neighbors))
+        self.offsets = offsets
+        self.neighbors = neighbors
+        # Leaf i (full index core_count + i) hangs off core_adjacency-range
+        # parent leaf_parents[i].
+        self.leaf_parents = array("l", (index[next(graph.iter_neighbors(u))] for u in leaves))
+        self._leaf_gather = itemgetter(*self.leaf_parents) if len(leaves) > 1 else None
+        self._weights: Dict[str, array] = {}
+        self._weighted_adjacency: Dict[str, List[Tuple[Tuple[int, float], ...]]] = {}
+
+    def is_current(self) -> bool:
+        """True while the underlying graph has not mutated since the build."""
+        return self.generation == self.graph.generation
+
+    def index_of(self, node: NodeId) -> int:
+        """Snapshot index of ``node`` (:class:`NodeNotFoundError` if absent)."""
+        try:
+            return self.index[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def weights(self, weight_key: str = DEFAULT_WEIGHT_KEY) -> array:
+        """Per-edge weight array aligned with :attr:`neighbors` (lazy, cached)."""
+        cached = self._weights.get(weight_key)
+        if cached is None:
+            graph = self.graph
+            nodes = self.nodes
+            offsets = self.offsets
+            neighbors = self.neighbors
+            cached = array(
+                "d",
+                (
+                    graph.edge_weight(nodes[u], nodes[neighbors[i]], key=weight_key)
+                    for u in range(self.node_count)
+                    for i in range(offsets[u], offsets[u + 1])
+                ),
+            )
+            self._weights[weight_key] = cached
+        return cached
+
+    def weighted_adjacency(self, weight_key: str = DEFAULT_WEIGHT_KEY) -> List[Tuple[Tuple[int, float], ...]]:
+        """Per-node ``((neighbor_index, weight), ...)`` tuples (lazy, cached)."""
+        cached = self._weighted_adjacency.get(weight_key)
+        if cached is None:
+            weights = self.weights(weight_key)
+            neighbors = self.neighbors
+            offsets = self.offsets
+            cached = [
+                tuple((neighbors[i], weights[i]) for i in range(offsets[u], offsets[u + 1]))
+                for u in range(self.node_count)
+            ]
+            self._weighted_adjacency[weight_key] = cached
+        return cached
+
+    def fill_leaves(self, core_vector: bytearray) -> bytearray:
+        """Extend a core-range byte vector to full length via the leaf gather."""
+        gather = self._leaf_gather
+        if gather is not None:
+            core_vector += bytearray(gather(core_vector)).translate(_PLUS_ONE_HOP)
+        elif len(self.leaf_parents) == 1:
+            core_vector.append(_PLUS_ONE_HOP[core_vector[self.leaf_parents[0]]])
+        return core_vector
+
+
+class EngineStats:
+    """Algorithmic-work counters, mirroring the perf suite's counter style."""
+
+    __slots__ = ("snapshot_builds", "bfs_runs", "wide_bfs_runs", "derived_vectors", "dijkstra_runs", "vector_cache_hits")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.snapshot_builds = 0
+        self.bfs_runs = 0
+        self.wide_bfs_runs = 0
+        self.derived_vectors = 0
+        self.dijkstra_runs = 0
+        self.vector_cache_hits = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class HopDistanceEngine:
+    """Shared hop/latency distance oracle over one graph.
+
+    One engine per graph is the intended ownership model: a scenario, a
+    route table or a landmark set creates (or is handed) an engine and every
+    distance it needs flows through the same snapshot and vector caches.
+    Mutating the graph invalidates the snapshot on the next call via the
+    graph's generation counter.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.stats = EngineStats()
+        self._snapshot: Optional[CsrTopology] = None
+        # source index -> (vector, max finite hop or None for wide vectors)
+        self._hop_vectors: Dict[int, Tuple[HopVector, Optional[int]]] = {}
+        # (source index, weight_key) -> latency vector (inf = unreachable)
+        self._latency_vectors: Dict[Tuple[int, str], array] = {}
+
+    # ------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> CsrTopology:
+        """The current CSR snapshot, rebuilt if the graph has mutated."""
+        snapshot = self._snapshot
+        if snapshot is None or not snapshot.is_current():
+            snapshot = CsrTopology(self.graph)
+            self._snapshot = snapshot
+            self._hop_vectors.clear()
+            self._latency_vectors.clear()
+            self.stats.snapshot_builds += 1
+        return snapshot
+
+    def invalidate(self) -> None:
+        """Drop the snapshot and every cached vector (memory release hook)."""
+        self._snapshot = None
+        self._hop_vectors.clear()
+        self._latency_vectors.clear()
+
+    # ------------------------------------------------------------ hop BFS
+
+    def _byte_bfs(self, snapshot: CsrTopology, source: int) -> Tuple[bytearray, int]:
+        """Core-graph byte BFS from core index ``source`` (no leaf fill)."""
+        adjacency = snapshot.core_adjacency
+        dist = bytearray(b"\xff") * snapshot.core_count
+        dist[source] = 0
+        frontier = [source]
+        level = 0
+        mark = dist.__setitem__
+        while frontier:
+            level += 1
+            # One shared frontier per level; the setitem-in-filter idiom
+            # marks a node the moment it is discovered, so in-level
+            # duplicates are excluded without a second pass.
+            frontier = [
+                v
+                for u in frontier
+                for v in adjacency[u]
+                if dist[v] == 255 and not mark(v, level)
+            ]
+            # Overflow only when nodes actually landed beyond the cap (the
+            # partially-written vector is discarded by the wide fallback).
+            if frontier and level > MAX_BYTE_HOPS:
+                raise _ByteOverflow
+        return dist, level - 1 if level else 0
+
+    def _wide_bfs(self, snapshot: CsrTopology, source: int) -> array:
+        """Exact fallback for graphs deeper than MAX_BYTE_HOPS (full graph)."""
+        self.stats.wide_bfs_runs += 1
+        offsets = snapshot.offsets
+        neighbors = snapshot.neighbors
+        dist = array("l", [-1]) * snapshot.node_count
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            next_level = dist[u] + 1
+            for i in range(offsets[u], offsets[u + 1]):
+                v = neighbors[i]
+                if dist[v] < 0:
+                    dist[v] = next_level
+                    queue.append(v)
+        return dist
+
+    def _hop_vector(self, source: NodeId) -> Tuple[HopVector, Optional[int]]:
+        """The cached (vector, max finite hop) pair for ``source``."""
+        snapshot = self.snapshot()
+        source_index = snapshot.index_of(source)
+        cached = self._hop_vectors.get(source_index)
+        if cached is not None:
+            self.stats.vector_cache_hits += 1
+            return cached
+        core_count = snapshot.core_count
+        if source_index >= core_count:
+            # Leaf source: derive from the unique neighbour's vector.
+            parent = snapshot.leaf_parents[source_index - core_count]
+            parent_vector, parent_max = self._hop_vector(snapshot.nodes[parent])
+            if parent_max is not None and parent_max <= MAX_BYTE_HOPS:
+                derived = bytearray(parent_vector).translate(_PLUS_ONE_HOP)
+                derived[source_index] = 0
+                self.stats.derived_vectors += 1
+                entry: Tuple[HopVector, Optional[int]] = (bytes(derived), parent_max + 1)
+                self._hop_vectors[source_index] = entry
+                return entry
+            entry = (self._wide_bfs(snapshot, source_index), None)
+            self._hop_vectors[source_index] = entry
+            return entry
+        self.stats.bfs_runs += 1
+        try:
+            core_vector, max_hops = self._byte_bfs(snapshot, source_index)
+        except _ByteOverflow:
+            entry = (self._wide_bfs(snapshot, source_index), None)
+        else:
+            full = snapshot.fill_leaves(core_vector)
+            entry = (bytes(full), max_hops + 1 if snapshot.node_count > core_count else max_hops)
+        self._hop_vectors[source_index] = entry
+        return entry
+
+    def check_graph(self, graph: Graph) -> "HopDistanceEngine":
+        """Guard for injection points: raise unless this engine serves ``graph``."""
+        if self.graph is not graph:
+            raise ValueError("engine was built for a different graph")
+        return self
+
+    def warm_hops(self, sources: Iterable[NodeId]) -> int:
+        """Batched multi-source warm-up: cache hop vectors for ``sources``.
+
+        Returns the number of *distinct* sources warmed.  Leaf sources
+        sharing an access parent share that parent's BFS; this is the bulk
+        entry point scenario builds use for peer attachment routers.
+        """
+        seen = set()
+        for source in sources:
+            self._hop_vector(source)
+            seen.add(source)
+        return len(seen)
+
+    def hop_distances(self, source: NodeId) -> Dict[NodeId, int]:
+        """Hop distances from ``source`` as a dict, equal to the BFS oracle.
+
+        The returned dict compares equal to
+        ``bfs_shortest_paths(graph, source)[0]`` (unreachable nodes absent);
+        only the key insertion order differs (snapshot order rather than
+        discovery order).
+        """
+        vector, _ = self._hop_vector(source)
+        nodes = self.snapshot().nodes
+        if isinstance(vector, bytes):
+            return {nodes[i]: d for i, d in enumerate(vector) if d != UNREACHABLE}
+        return {nodes[i]: d for i, d in enumerate(vector) if d >= 0}
+
+    def hop_distance(self, source: NodeId, destination: NodeId) -> int:
+        """Hop distance, raising :class:`NoRouteError` when unreachable."""
+        distance = self.hop_between(source, destination)
+        if distance is None:
+            raise NoRouteError(source, destination)
+        return distance
+
+    def hop_between(self, source: NodeId, destination: NodeId, default=None):
+        """Hop distance, or ``default`` when ``destination`` is unreachable.
+
+        Raises :class:`NodeNotFoundError` for an unknown *source* (matching
+        the single-source BFS entry points); an unknown destination counts
+        as unreachable, matching a ``distances.get(destination)`` lookup on
+        the BFS result dict.
+        """
+        vector, _ = self._hop_vector(source)
+        destination_index = self.snapshot().index.get(destination)
+        if destination_index is None:
+            return default
+        distance = vector[destination_index]
+        unreachable = UNREACHABLE if isinstance(vector, bytes) else -1
+        return default if distance == unreachable else distance
+
+    def hop_distances_to(
+        self, source: NodeId, destinations: Sequence[NodeId], default=None
+    ) -> List:
+        """Distances from ``source`` to each destination (bulk lookup)."""
+        vector, _ = self._hop_vector(source)
+        index = self.snapshot().index
+        unreachable = UNREACHABLE if isinstance(vector, bytes) else -1
+        result = []
+        for destination in destinations:
+            i = index.get(destination)
+            distance = vector[i] if i is not None else unreachable
+            result.append(default if distance == unreachable else distance)
+        return result
+
+    # ----------------------------------------------------- exact BFS mirror
+
+    def bfs(self, source: NodeId) -> Tuple[Dict[NodeId, int], Dict[NodeId, NodeId]]:
+        """``(distances, parents)`` identical to ``bfs_shortest_paths``.
+
+        Runs over the snapshot's full CSR arrays with the same FIFO
+        discovery order as the reference implementation, so parents (and the
+        dicts' insertion order) match exactly — this is the entry point for
+        shortest-path *trees*, where tie-broken parents matter.
+        """
+        snapshot = self.snapshot()
+        source_index = snapshot.index_of(source)
+        offsets = snapshot.offsets
+        neighbors = snapshot.neighbors
+        nodes = snapshot.nodes
+        distances: Dict[NodeId, int] = {nodes[source_index]: 0}
+        parents: Dict[NodeId, NodeId] = {}
+        dist = array("l", [-1]) * snapshot.node_count
+        dist[source_index] = 0
+        queue = deque([source_index])
+        self.stats.bfs_runs += 1
+        while queue:
+            u = queue.popleft()
+            next_level = dist[u] + 1
+            u_node = nodes[u]
+            for i in range(offsets[u], offsets[u + 1]):
+                v = neighbors[i]
+                if dist[v] < 0:
+                    dist[v] = next_level
+                    v_node = nodes[v]
+                    distances[v_node] = next_level
+                    parents[v_node] = u_node
+                    queue.append(v)
+        return distances, parents
+
+    # ------------------------------------------------------------- Dijkstra
+
+    def dijkstra(
+        self, source: NodeId, weight_key: str = DEFAULT_WEIGHT_KEY
+    ) -> Tuple[Dict[NodeId, float], Dict[NodeId, NodeId]]:
+        """``(distances, parents)`` identical to ``dijkstra_shortest_paths``.
+
+        The relaxation order, heap tie-breaking counter and float addition
+        order mirror the reference implementation exactly, so results are
+        bit-identical (not merely approximately equal).
+        """
+        snapshot = self.snapshot()
+        source_index = snapshot.index_of(source)
+        adjacency = snapshot.weighted_adjacency(weight_key)
+        nodes = snapshot.nodes
+        self.stats.dijkstra_runs += 1
+        distances: Dict[int, float] = {source_index: 0.0}
+        parents: Dict[int, int] = {}
+        visited: set = set()
+        heap: List[Tuple[float, int, int]] = [(0.0, 0, source_index)]
+        counter = 0
+        while heap:
+            distance, _, u = heappop(heap)
+            if u in visited:
+                continue
+            visited.add(u)
+            for v, weight in adjacency[u]:
+                if v in visited:
+                    continue
+                candidate = distance + weight
+                if v not in distances or candidate < distances[v]:
+                    distances[v] = candidate
+                    parents[v] = u
+                    counter += 1
+                    heappush(heap, (candidate, counter, v))
+        return (
+            {nodes[i]: d for i, d in distances.items()},
+            {nodes[i]: nodes[p] for i, p in parents.items()},
+        )
+
+    # ---------------------------------------------------------- latency API
+
+    def _latency_vector(self, source: NodeId, weight_key: str) -> array:
+        snapshot = self.snapshot()
+        key = (snapshot.index_of(source), weight_key)
+        cached = self._latency_vectors.get(key)
+        if cached is not None:
+            self.stats.vector_cache_hits += 1
+            return cached
+        # One Dijkstra implementation for the whole engine: the cached
+        # vector is densified from :meth:`dijkstra`'s (reference-identical)
+        # distances, so the two entry points can never drift apart.
+        distances, _ = self.dijkstra(source, weight_key=weight_key)
+        index = snapshot.index
+        vector = array("d", [float("inf")]) * snapshot.node_count
+        for node, distance in distances.items():
+            vector[index[node]] = distance
+        self._latency_vectors[key] = vector
+        return vector
+
+    def warm_latencies(self, sources: Iterable[NodeId], weight_key: str = DEFAULT_WEIGHT_KEY) -> int:
+        """Batched multi-source Dijkstra warm-up over one shared snapshot.
+
+        Returns the number of *distinct* sources warmed.
+        """
+        seen = set()
+        for source in sources:
+            self._latency_vector(source, weight_key)
+            seen.add(source)
+        return len(seen)
+
+    def latency_distances(
+        self, source: NodeId, weight_key: str = DEFAULT_WEIGHT_KEY
+    ) -> Dict[NodeId, float]:
+        """Latency distances as a dict equal to the Dijkstra oracle's."""
+        vector = self._latency_vector(source, weight_key)
+        nodes = self.snapshot().nodes
+        inf = float("inf")
+        return {nodes[i]: d for i, d in enumerate(vector) if d != inf}
+
+    def latency_distance(
+        self, source: NodeId, destination: NodeId, weight_key: str = DEFAULT_WEIGHT_KEY
+    ) -> float:
+        """Latency distance, raising :class:`NoRouteError` when unreachable."""
+        distance = self.latency_between(source, destination, weight_key=weight_key)
+        if distance is None:
+            raise NoRouteError(source, destination)
+        return distance
+
+    def latency_between(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        default=None,
+        weight_key: str = DEFAULT_WEIGHT_KEY,
+    ):
+        """Latency distance, or ``default`` when unreachable (or unknown)."""
+        vector = self._latency_vector(source, weight_key)
+        destination_index = self.snapshot().index.get(destination)
+        if destination_index is None:
+            return default
+        distance = vector[destination_index]
+        return default if distance == float("inf") else distance
+
+    # ----------------------------------------------------------------- trees
+
+    def tree(
+        self,
+        root: NodeId,
+        weighted: bool = False,
+        weight_key: str = DEFAULT_WEIGHT_KEY,
+    ) -> ShortestPathTree:
+        """A :class:`ShortestPathTree` identical to ``shortest_path_tree``."""
+        if weighted:
+            distances, parents = self.dijkstra(root, weight_key=weight_key)
+            return ShortestPathTree(root=root, distances=dict(distances), parents=parents, weighted=True)
+        hop_distances, parents = self.bfs(root)
+        return ShortestPathTree(
+            root=root,
+            distances={node: float(value) for node, value in hop_distances.items()},
+            parents=parents,
+            weighted=False,
+        )

@@ -15,7 +15,8 @@ from typing import Dict, Hashable, List, Optional
 
 from ..exceptions import NoRouteError, RoutingError
 from ..topology.graph import Graph
-from .shortest_path import ShortestPathTree, shortest_path_tree
+from .distance_engine import HopDistanceEngine
+from .shortest_path import ShortestPathTree
 
 NodeId = Hashable
 
@@ -27,17 +28,29 @@ class RouteTable:
     One :class:`~repro.routing.shortest_path.ShortestPathTree` is maintained
     per destination.  ``next_hop(router, destination)`` then answers the
     forwarding question the traceroute simulator asks at every hop.
+
+    All trees are built through one :class:`HopDistanceEngine` (injectable,
+    so a scenario can share its engine), which means every destination added
+    reuses the same CSR topology snapshot instead of re-walking the
+    adjacency dicts.
     """
 
     graph: Graph
     weighted: bool = False
+    engine: Optional[HopDistanceEngine] = None
     _trees: Dict[NodeId, ShortestPathTree] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            self.engine = HopDistanceEngine(self.graph)
+        else:
+            self.engine.check_graph(self.graph)
 
     def add_destination(self, destination: NodeId) -> ShortestPathTree:
         """Compute (or return the cached) tree towards ``destination``."""
         if destination not in self._trees:
-            self._trees[destination] = shortest_path_tree(
-                self.graph, destination, weighted=self.weighted
+            self._trees[destination] = self.engine.tree(
+                destination, weighted=self.weighted
             )
         return self._trees[destination]
 

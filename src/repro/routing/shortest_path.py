@@ -7,9 +7,22 @@ Two distance notions are used throughout the reproduction:
 * **latency distance** — the sum of per-link latencies, used to pick the
   closest landmark and by the streaming examples.
 
-Both are provided as single-source computations, plus landmark-rooted
-shortest-path trees (the routes a traceroute towards a landmark would follow)
-and an on-demand all-pairs cache for the brute-force baseline.
+:func:`bfs_shortest_paths` and :func:`dijkstra_shortest_paths` are the
+*reference* single-source implementations: small, dict-based, and the oracle
+the vectorised engine is property-tested against.  The bulk entry points now
+delegate to :mod:`repro.routing.distance_engine` instead of looping over
+these references:
+
+* :class:`AllPairsHopDistances` is a thin per-source dict view over
+  engine-computed hop vectors (same API, same :class:`NoRouteError`
+  semantics, one CSR snapshot shared across all sources);
+* :class:`~repro.routing.route_table.RouteTable` builds all of its
+  landmark-rooted trees through one engine (``shortest_path_tree`` itself
+  stays reference-backed for one-shot callers, and accepts an ``engine`` to
+  join a batch);
+* :class:`~repro.landmarks.manager.LandmarkSet`, the brute-force baseline,
+  the convergence/analysis experiments, mobility and the sim network all
+  share a scenario-owned engine rather than re-running private BFS loops.
 """
 
 from __future__ import annotations
@@ -17,10 +30,13 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..exceptions import NoRouteError, NodeNotFoundError
 from ..topology.graph import DEFAULT_WEIGHT_KEY, Graph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .distance_engine import HopDistanceEngine
 
 NodeId = Hashable
 
@@ -160,12 +176,18 @@ def shortest_path_tree(
     root: NodeId,
     weighted: bool = False,
     weight_key: str = DEFAULT_WEIGHT_KEY,
+    engine: Optional["HopDistanceEngine"] = None,
 ) -> ShortestPathTree:
     """Build a :class:`ShortestPathTree` rooted at ``root``.
 
     ``weighted=False`` uses hop counts (the paper's route model);
     ``weighted=True`` uses link latencies, modelling latency-based routing.
+    Passing a shared :class:`~repro.routing.distance_engine.HopDistanceEngine`
+    builds the tree over its CSR snapshot (identical results); callers that
+    build trees for several roots should prefer one engine for all of them.
     """
+    if engine is not None:
+        return engine.check_graph(graph).tree(root, weighted=weighted, weight_key=weight_key)
     if weighted:
         distances, parents = dijkstra_shortest_paths(graph, root, weight_key=weight_key)
         return ShortestPathTree(root=root, distances=dict(distances), parents=parents, weighted=True)
@@ -184,19 +206,47 @@ class AllPairsHopDistances:
 
     The brute-force baseline needs hop distances between every peer's
     attachment router and every other attachment router.  Computing the full
-    all-pairs matrix over ~4 000 routers is wasteful; instead this caches one
-    BFS per *queried source*, which is exactly the set of attachment routers.
+    all-pairs matrix over ~4 000 routers is wasteful; instead this is a thin
+    per-source dict view over a :class:`~repro.routing.distance_engine.
+    HopDistanceEngine`: distance vectors are computed (and batched across
+    sources) by the engine's CSR snapshot, and a plain dict is materialised
+    only for sources whose full :meth:`distances_from` map is requested.
+
+    Pass ``engine=`` to share one engine (and its snapshot/vector caches)
+    with the rest of a scenario; by default the view owns a private engine.
+    The dict cache is dropped automatically when the underlying graph
+    mutates (the engine rebuilds its snapshot via the graph's generation
+    counter).
     """
 
     graph: Graph
-    _cache: Dict[NodeId, Dict[NodeId, int]] = field(default_factory=dict)
+    engine: Optional["HopDistanceEngine"] = None
+    _cache: Dict[NodeId, Dict[NodeId, int]] = field(default_factory=dict, repr=False)
+    _owns_engine: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            from .distance_engine import HopDistanceEngine
+
+            self.engine = HopDistanceEngine(self.graph)
+            self._owns_engine = True
+        else:
+            self.engine.check_graph(self.graph)
+        self._snapshot_generation = self.graph.generation
+
+    def _checked_cache(self) -> Dict[NodeId, Dict[NodeId, int]]:
+        """The dict cache, dropped when the graph has mutated under us."""
+        if self._snapshot_generation != self.graph.generation:
+            self._cache.clear()
+            self._snapshot_generation = self.graph.generation
+        return self._cache
 
     def distances_from(self, source: NodeId) -> Dict[NodeId, int]:
         """Return (and cache) hop distances from ``source`` to all nodes."""
-        if source not in self._cache:
-            distances, _ = bfs_shortest_paths(self.graph, source)
-            self._cache[source] = distances
-        return self._cache[source]
+        cache = self._checked_cache()
+        if source not in cache:
+            cache[source] = self.engine.hop_distances(source)
+        return cache[source]
 
     def distance(self, source: NodeId, destination: NodeId) -> int:
         """Hop distance between two nodes, cached per source."""
@@ -213,8 +263,10 @@ class AllPairsHopDistances:
     @property
     def cached_sources(self) -> int:
         """Number of sources currently cached."""
-        return len(self._cache)
+        return len(self._checked_cache())
 
     def clear(self) -> None:
-        """Drop all cached BFS results."""
+        """Drop all cached distance state (engine vectors too, if owned)."""
         self._cache.clear()
+        if self._owns_engine:
+            self.engine.invalidate()

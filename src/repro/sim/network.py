@@ -20,7 +20,7 @@ from .._validation import (
     require_probability,
 )
 from ..exceptions import SimulationError
-from ..routing.shortest_path import dijkstra_shortest_paths
+from ..routing.distance_engine import HopDistanceEngine
 from ..topology.graph import Graph
 from .engine import Engine
 
@@ -64,6 +64,10 @@ class SimulatedNetwork:
         Uniform random jitter added to each delivery.
     loss_probability:
         Probability that a message is silently dropped.
+    distance_engine:
+        Optional shared :class:`HopDistanceEngine` over ``graph``; latency
+        lookups use its cached per-source Dijkstra vectors (a scenario can
+        hand in its own engine so the simulation shares its snapshot).
     """
 
     def __init__(
@@ -74,6 +78,7 @@ class SimulatedNetwork:
         jitter_ms: float = 0.0,
         loss_probability: float = 0.0,
         seed: Optional[int] = None,
+        distance_engine: Optional[HopDistanceEngine] = None,
     ) -> None:
         self.engine = engine
         self.graph = graph
@@ -82,7 +87,11 @@ class SimulatedNetwork:
         self.loss_probability = require_probability(loss_probability, "loss_probability")
         self._rng = random.Random(coerce_seed(seed))
         self._hosts: Dict[HostId, Tuple[NodeId, MessageHandler]] = {}
-        self._latency_cache: Dict[NodeId, Dict[NodeId, float]] = {}
+        if distance_engine is None:
+            distance_engine = HopDistanceEngine(graph)
+        else:
+            distance_engine.check_graph(graph)
+        self._distances = distance_engine
         self.deliveries: List[DeliveryRecord] = []
         self.dropped_messages = 0
         self.sent_messages = 0
@@ -117,13 +126,10 @@ class SimulatedNetwork:
         router_b = self.router_of(recipient)
         if router_a == router_b:
             return 0.1  # same access router: LAN-ish delay
-        if router_a not in self._latency_cache:
-            distances, _ = dijkstra_shortest_paths(self.graph, router_a)
-            self._latency_cache[router_a] = distances
-        distances = self._latency_cache[router_a]
-        if router_b not in distances:
+        latency = self._distances.latency_between(router_a, router_b)
+        if latency is None:
             raise SimulationError(f"no route between hosts {sender!r} and {recipient!r}")
-        return distances[router_b]
+        return latency
 
     # ------------------------------------------------------------------- send
 

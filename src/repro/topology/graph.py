@@ -24,7 +24,21 @@ DEFAULT_WEIGHT_KEY = "latency"
 
 
 def edge_key(u: NodeId, v: NodeId) -> Edge:
-    """Return a canonical (order-independent) key for the undirected edge."""
+    """Return a canonical (order-independent) key for the undirected edge.
+
+    Node ids that are mutually orderable (the common case: all-int or all-str
+    maps) are compared directly; ids whose comparison raises ``TypeError``
+    (mixed types) *or* answers False both ways (partial orders such as NaN
+    or sets) fall back to comparing their ``repr`` so the key stays
+    canonical without paying for string formatting on every call.
+    """
+    try:
+        if u <= v:  # type: ignore[operator]
+            return (u, v)
+        if v <= u:  # type: ignore[operator]
+            return (v, u)
+    except TypeError:
+        pass
     return (u, v) if repr(u) <= repr(v) else (v, u)
 
 
@@ -43,6 +57,22 @@ class Graph:
         self._adjacency: Dict[NodeId, Dict[NodeId, Dict[str, Any]]] = {}
         self._node_attrs: Dict[NodeId, Dict[str, Any]] = {}
         self._edge_count = 0
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every structural or weight mutation.
+
+        Snapshot consumers (:class:`~repro.routing.distance_engine.CsrTopology`)
+        compare this against the generation they were built at to decide
+        whether a cached snapshot is still valid.  The counter is bumped by
+        ``add_node`` (new nodes), ``add_edge``, ``remove_node``,
+        ``remove_edge`` and ``set_edge_attribute``; mutating an attribute
+        dict returned by :meth:`edge_attributes` in place is *not* tracked —
+        use :meth:`set_edge_attribute` for weight changes that must
+        invalidate snapshots.
+        """
+        return self._generation
 
     # ------------------------------------------------------------------ nodes
 
@@ -51,6 +81,7 @@ class Graph:
         if node not in self._adjacency:
             self._adjacency[node] = {}
             self._node_attrs[node] = {}
+            self._generation += 1
         if attrs:
             self._node_attrs[node].update(attrs)
 
@@ -62,6 +93,7 @@ class Graph:
             self.remove_edge(node, neighbor)
         del self._adjacency[node]
         del self._node_attrs[node]
+        self._generation += 1
 
     def has_node(self, node: NodeId) -> bool:
         """Return True if ``node`` is part of the graph."""
@@ -111,6 +143,8 @@ class Graph:
             self._edge_count += 1
         if attrs:
             self._adjacency[u][v].update(attrs)
+        if is_new or attrs:
+            self._generation += 1
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove the undirected edge ``(u, v)``."""
@@ -119,21 +153,25 @@ class Graph:
         del self._adjacency[u][v]
         del self._adjacency[v][u]
         self._edge_count -= 1
+        self._generation += 1
 
     def has_edge(self, u: NodeId, v: NodeId) -> bool:
         """Return True if the undirected edge ``(u, v)`` exists."""
         return u in self._adjacency and v in self._adjacency[u]
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate over each undirected edge exactly once."""
+        """Iterate over each undirected edge exactly once.
+
+        Each edge is yielded when its first endpoint (in node insertion
+        order) is visited, which is the same orientation and order the old
+        canonical-key dedup produced — without formatting a key per edge.
+        """
         seen = set()
         for u, neighbors in self._adjacency.items():
             for v in neighbors:
-                key = edge_key(u, v)
-                if key in seen:
-                    continue
-                seen.add(key)
-                yield (u, v)
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
 
     def edge_attributes(self, u: NodeId, v: NodeId) -> Dict[str, Any]:
         """Return the (mutable, shared) attribute dict of edge ``(u, v)``."""
@@ -144,6 +182,7 @@ class Graph:
     def set_edge_attribute(self, u: NodeId, v: NodeId, key: str, value: Any) -> None:
         """Set a single attribute on edge ``(u, v)``."""
         self.edge_attributes(u, v)[key] = value
+        self._generation += 1
 
     def get_edge_attribute(self, u: NodeId, v: NodeId, key: str, default: Any = None) -> Any:
         """Return attribute ``key`` of edge ``(u, v)`` or ``default``."""

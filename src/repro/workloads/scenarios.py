@@ -31,6 +31,7 @@ from ..exceptions import ConfigurationError
 from ..landmarks.manager import LandmarkSet
 from ..landmarks.placement import place_on_router_map
 from ..overlay.overlay import Overlay
+from ..routing.distance_engine import HopDistanceEngine
 from ..routing.route_table import RouteTable
 from ..routing.traceroute import TracerouteConfig, TracerouteSimulator
 from ..sim.rng import RandomStreams
@@ -111,11 +112,37 @@ class Scenario:
     oracle: BruteForceOracle
     peer_routers: Dict[PeerId, NodeId]
     join_results: Dict[PeerId, JoinResult] = field(default_factory=dict)
+    distance_engine: Optional[HopDistanceEngine] = None
+    """Shared hop/latency distance engine over the router map; the landmark
+    set, route table, traceroute simulator and brute-force oracle all
+    compute their distances through this one engine (one CSR snapshot and
+    vector cache for the whole scenario)."""
+
+    def __post_init__(self) -> None:
+        if self.distance_engine is None:
+            self.distance_engine = HopDistanceEngine(self.router_map.graph)
+        else:
+            self.distance_engine.check_graph(self.router_map.graph)
 
     @property
     def peer_ids(self) -> List[PeerId]:
         """All peer identifiers in creation order."""
         return list(self.peer_routers)
+
+    def warm_distance_plane(self) -> int:
+        """Precompute every distance the evaluation loop will ask for.
+
+        Builds the landmark-rooted routing trees (what each join's
+        traceroutes walk) and the true-hop-distance vectors from every
+        distinct peer attachment router (what the brute-force oracle prices
+        neighbour sets with).  Returns the number of distinct attachment
+        routers warmed.  This is the scenario-build distance plane the
+        ``build`` perf workload measures.
+        """
+        for router in self.landmark_set.routers():
+            self.traceroute.route_table.add_destination(router)
+        routers = dict.fromkeys(self.peer_routers.values())
+        return self.distance_engine.warm_hops(routers)
 
     def close(self) -> None:
         """Release the management plane's resources (idempotent).
@@ -217,13 +244,21 @@ class Scenario:
         return overlay
 
 
-def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scenario:
+def build_scenario(
+    config: Optional[ScenarioConfig] = None,
+    router_map: Optional[RouterMap] = None,
+    **overrides,
+) -> Scenario:
     """Build a scenario from a config (or keyword overrides).
 
     The build performs the paper's setup: peers on degree-1 routers,
     landmarks on medium-degree routers, a management server pre-loaded with
     inter-landmark distances, and a traceroute simulator over the map.
     Peers do **not** join automatically — call :meth:`Scenario.join_all`.
+
+    ``router_map`` optionally supplies a pre-generated map, skipping step 1
+    (used by perf cells that time the distance plane rather than the
+    topology generator, and by sweeps that reuse one map across configs).
     """
     if config is None:
         config = ScenarioConfig(**overrides)
@@ -233,10 +268,15 @@ def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scen
     streams = RandomStreams(config.seed)
 
     # 1. Router-level map.
-    map_config = config.router_map_config
-    if map_config is None:
-        map_config = RouterMapConfig(seed=streams.seed_for("router-map"))
-    router_map = generate_router_map(map_config)
+    if router_map is None:
+        map_config = config.router_map_config
+        if map_config is None:
+            map_config = RouterMapConfig(seed=streams.seed_for("router-map"))
+        router_map = generate_router_map(map_config)
+
+    # One distance engine for the whole scenario: landmarks, route table,
+    # oracle and experiments all share its CSR snapshot and vector caches.
+    engine = HopDistanceEngine(router_map.graph)
 
     # 2. Peers on degree-1 routers.
     stub_routers = router_map.stub_routers()
@@ -254,7 +294,7 @@ def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scen
         strategy=config.landmark_strategy,
         seed=streams.seed_for("landmark-placement"),
     )
-    landmark_set = LandmarkSet.from_routers(router_map.graph, landmark_routers)
+    landmark_set = LandmarkSet.from_routers(router_map.graph, landmark_routers, engine=engine)
 
     # 4. Management plane (single-server or sharded) with inter-landmark
     #    distances; the sharded plane returns identical results, so the rest
@@ -280,14 +320,14 @@ def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scen
             server.register_landmark(landmark.landmark_id, landmark.router)
 
         # 5. Traceroute simulator + oracle.
-        route_table = RouteTable(graph=router_map.graph)
+        route_table = RouteTable(graph=router_map.graph, engine=engine)
         traceroute_config = config.traceroute_config or TracerouteConfig(
             seed=streams.seed_for("traceroute")
         )
         traceroute = TracerouteSimulator(
             graph=router_map.graph, route_table=route_table, config=traceroute_config
         )
-        oracle = BruteForceOracle(router_map.graph, peer_routers)
+        oracle = BruteForceOracle(router_map.graph, peer_routers, engine=engine)
     except BaseException:
         # A failure after the plane exists must not orphan its resources
         # (one worker process per shard with backend="process").
@@ -302,6 +342,7 @@ def build_scenario(config: Optional[ScenarioConfig] = None, **overrides) -> Scen
         traceroute=traceroute,
         oracle=oracle,
         peer_routers=peer_routers,
+        distance_engine=engine,
     )
 
 

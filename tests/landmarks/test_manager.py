@@ -90,6 +90,21 @@ class TestDistances:
         with pytest.raises(LandmarkError):
             landmark_set.closest_landmark_by_hops(0)
 
+    def test_landmark_on_removed_router_is_skipped_not_fatal(self):
+        """A landmark whose router left the topology is ignored, as the
+        pre-engine BFS-from-the-query-router behaviour did."""
+        graph = Graph()
+        for u, v in zip(range(4), range(1, 5)):
+            graph.add_edge(u, v, latency=1.0)
+        landmark_set = LandmarkSet.from_routers(graph, [0, 4])
+        graph.remove_node(4)
+        landmark, distance = landmark_set.closest_landmark_by_hops(2)
+        assert landmark.landmark_id == "lm0"
+        assert distance == 2
+        landmark, latency = landmark_set.closest_landmark_by_latency(2)
+        assert landmark.landmark_id == "lm0"
+        assert latency == pytest.approx(2.0)
+
     def test_coverage_histogram(self, landmark_set):
         histogram = landmark_set.coverage_histogram([0, 1, 2, 3, 4, 5])
         assert histogram["lm0"] + histogram["lm1"] == 6

@@ -13,14 +13,31 @@ from repro.perf.compare import CellDelta, compare_reports
 from repro.perf.report import SCHEMA_VERSION, PerfRecord, PerfReport
 from repro.perf.timer import OpTimer, Timing, time_ops
 from repro.perf.workloads import (
+    BUILD_LANDMARK_COUNT,
     DEFAULT_POPULATIONS,
     SHARDED_LANDMARK_COUNT,
+    build_map_config,
     build_populated_server,
+    run_build_workload,
     run_churn_workload,
     run_departure_workload,
     run_discovery_suite,
     run_insert_workload,
     run_query_workload,
+)
+from repro.topology.internet_mapper import RouterMapConfig
+
+ALL_WORKLOADS = ("insert", "query", "departure", "churn", "build")
+
+#: Tiny map for build-workload tests (the scaled default would dominate
+#: test wall-clock).
+SMALL_BUILD_MAP = dict(
+    core_size=8,
+    core_attachment=3,
+    transit_size=12,
+    transit_attachment=2,
+    stub_size=60,
+    stub_attachment=1,
 )
 
 
@@ -158,13 +175,72 @@ class TestWorkloads:
         combos = {(record.workload, record.population) for record in report.records}
         assert combos == {
             (workload, population)
-            for workload in ("insert", "query", "departure", "churn")
+            for workload in ALL_WORKLOADS
             for population in (20, 40)
         }
         assert report.metadata["populations"] == [20, 40]
 
     def test_default_populations_match_issue_scales(self):
         assert DEFAULT_POPULATIONS == (200, 800, 3200, 12800)
+
+
+class TestBuildWorkload:
+    def _record(self, population=30, **kwargs):
+        return run_build_workload(
+            population,
+            seed=2,
+            router_map_config=RouterMapConfig(seed=2, **SMALL_BUILD_MAP),
+            **kwargs,
+        )
+
+    def test_build_record_shape(self):
+        record = self._record(population=30)
+        assert record.workload == "build"
+        assert record.population == 30
+        # One build per cell: the op count is the peer count, not --ops.
+        assert record.ops == 30
+        assert record.total_s > 0.0
+        for counter in ("bfs_runs", "snapshot_builds", "routers", "edges", "distance_sources"):
+            assert counter in record.counters
+        assert record.counters["snapshot_builds"] >= 1
+        assert 0 < record.counters["distance_sources"] <= 30
+
+    def test_build_ignores_ops_override(self):
+        record = self._record(population=30, ops=5)
+        assert record.ops == 30
+
+    def test_build_batches_leaf_sources(self):
+        """Peers attach to degree-1 stubs, so warmed vectors must be mostly
+        translate-derived — the engine's batching claim, counter-based."""
+        record = self._record(population=60)
+        assert record.counters["derived_vectors"] > 0
+        assert record.counters["bfs_runs"] < record.counters["distance_sources"] + BUILD_LANDMARK_COUNT + 5
+
+    def test_build_sharded_and_process_cells_tag_records(self):
+        inline = self._record(population=30, shards=2)
+        assert inline.cell == ("build", 30, 2, "inline")
+        process = self._record(population=30, shards=2, backend="process")
+        assert process.cell == ("build", 30, 2, "process")
+        assert multiprocessing.active_children() == []
+
+    def test_build_rejects_bad_backend(self):
+        with pytest.raises(ValueError):
+            self._record(population=30, backend="process")
+        with pytest.raises(ValueError):
+            self._record(population=30, backend="bogus")
+
+    def test_build_map_config_scales_with_population(self):
+        largest = build_map_config(DEFAULT_POPULATIONS[-1], seed=3)
+        assert largest.total_routers == RouterMapConfig().total_routers
+        small = build_map_config(50, seed=3)
+        assert small.total_routers < largest.total_routers
+        # Pure function of (population, seed): same inputs, same map.
+        assert build_map_config(50, seed=3) == build_map_config(50, seed=3)
+
+    def test_build_is_deterministic_in_algorithmic_work(self):
+        first = self._record(population=40).counters
+        second = self._record(population=40).counters
+        assert first == second
 
 
 class TestShardedWorkloads:
@@ -214,7 +290,7 @@ class TestShardedWorkloads:
         combos = {(record.workload, record.population, record.shards) for record in report.records}
         assert combos == {
             (workload, population, shards)
-            for workload in ("insert", "query", "departure", "churn")
+            for workload in ALL_WORKLOADS
             for population in (20, 40)
             for shards in (1, 2)
         }
@@ -296,7 +372,7 @@ class TestProcessBackendWorkloads:
         combos = {(record.workload, record.shards, record.backend) for record in report.records}
         assert combos == {
             (workload, 2, backend)
-            for workload in ("insert", "query", "departure", "churn")
+            for workload in ALL_WORKLOADS
             for backend in ("inline", "process")
         }
         assert report.metadata["backends"] == ["inline", "process"]
@@ -395,6 +471,13 @@ class TestCompare:
         assert result.ok
         assert result.deltas[0].ratio == float("inf")
 
+    def test_build_cells_gate_like_any_other_workload(self):
+        baseline = _report_from_cells([("build", 12800, None, 50.0), ("query", 200, None, 10.0)])
+        current = _report_from_cells([("build", 12800, None, 300.0), ("query", 200, None, 10.0)])
+        result = compare_reports(baseline, current, threshold=0.25)
+        assert not result.ok
+        assert [delta.key for delta in result.regressions] == [("build", 12800, None, "inline")]
+
     def test_delta_ratio(self):
         delta = CellDelta("query", 200, None, baseline_us=10.0, current_us=15.0)
         assert delta.ratio == pytest.approx(1.5)
@@ -419,10 +502,11 @@ class TestCli:
         assert code == 0
         data = json.loads(output.read_text())
         workloads = {record["workload"] for record in data["records"]}
-        assert workloads == {"insert", "query", "departure", "churn"}
+        assert workloads == set(ALL_WORKLOADS)
         assert all(record["population"] == 20 for record in data["records"])
         out = capsys.readouterr().out
         assert "insert" in out
+        assert "build" in out
 
     def test_main_dispatches_perf_subcommand(self, tmp_path):
         output = tmp_path / "bench.json"
@@ -512,6 +596,26 @@ class TestCli:
         captured = capsys.readouterr()
         assert "REGRESSION" in captured.out
         assert "perf regression" in captured.err
+
+    def test_compare_against_pre_build_baseline_passes_with_build_as_new_cell(
+        self, tmp_path, capsys
+    ):
+        """Schema v3 baselines (no build cells) must keep gating the four
+        classic workloads while build cells join as new, uncompared cells."""
+        baseline = tmp_path / "baseline.json"
+        assert run_perf(["--populations", "20", "--ops", "3", "--output", str(baseline)]) == 0
+        data = json.loads(baseline.read_text())
+        data["records"] = [r for r in data["records"] if r["workload"] != "build"]
+        data["schema_version"] = 3
+        baseline.write_text(json.dumps(data))
+        code = run_perf(
+            ["--populations", "20", "--ops", "3", "--output", str(tmp_path / "new.json"),
+             "--compare", str(baseline), "--compare-threshold", "1000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK: no cell regressed" in out
+        assert "new cell, not compared: build@20" in out
 
     def test_compare_with_no_overlapping_cells_errors(self, tmp_path, capsys):
         """The gate must not pass vacuously when nothing was compared."""

@@ -118,6 +118,16 @@ class TestEdges:
     def test_edge_key_is_order_independent(self):
         assert edge_key(3, 7) == edge_key(7, 3)
 
+    def test_edge_key_mixed_types_fall_back_to_repr(self):
+        assert edge_key(1, "a") == edge_key("a", 1)
+
+    def test_edge_key_is_canonical_under_partial_orders(self):
+        """Ids that compare False both ways (NaN, sets) must still canonicalise."""
+        nan = float("nan")
+        assert edge_key(nan, 1) == edge_key(1, nan)
+        a, b = frozenset({1}), frozenset({2})
+        assert edge_key(a, b) == edge_key(b, a)
+
 
 class TestDegreesAndNeighbors:
     def test_degree_and_neighbors(self, star_graph):
