@@ -30,6 +30,11 @@ ones against an older baseline while the process cells join as new cells::
 
     repro-experiments perf --shards 2 --backend process
     repro-experiments perf --shards 2 --backend inline,process --compare BENCH_discovery.json
+
+Measure flash-crowd arrivals at specific co-arriving batch sizes (the
+``arrival`` workload runs once per listed size)::
+
+    repro-experiments perf --arrival-batch-sizes 1,64
 """
 
 from __future__ import annotations
@@ -82,17 +87,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_positive_int_list(value: str, what: str) -> List[int]:
+    """Parse a comma-separated list of positive integers (shared validator)."""
+    try:
+        values = [int(part) for part in value.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid {what} list {value!r}")
+    if not values:
+        raise argparse.ArgumentTypeError(f"at least one {what} is required")
+    if any(item < 1 for item in values):
+        raise argparse.ArgumentTypeError(f"{what}s must all be >= 1, got {values}")
+    return values
+
+
 def _parse_shard_counts(value: str) -> List[int]:
     """Parse the ``--shards`` spec: comma-separated positive shard counts."""
-    try:
-        counts = [int(part) for part in value.split(",") if part.strip()]
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"invalid shard count list {value!r}")
-    if not counts:
-        raise argparse.ArgumentTypeError("at least one shard count is required")
-    if any(count < 1 for count in counts):
-        raise argparse.ArgumentTypeError(f"shard counts must all be >= 1, got {counts}")
-    return counts
+    return _parse_positive_int_list(value, "shard count")
+
+
+def _parse_batch_sizes(value: str) -> List[int]:
+    """Parse the ``--arrival-batch-sizes`` spec: comma-separated sizes."""
+    return _parse_positive_int_list(value, "batch size")
 
 
 def _parse_backends(value: str) -> List[str]:
@@ -115,9 +130,9 @@ def build_perf_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments perf",
         description=(
-            "Measure the discovery hot path (insert / query / departure / churn) "
-            "and the scenario distance-plane build (build) at several population "
-            "sizes and write a JSON perf report."
+            "Measure the discovery hot path (insert / query / departure / churn / "
+            "arrival) and the scenario distance-plane build (build) at several "
+            "population sizes and write a JSON perf report."
         ),
     )
     parser.add_argument(
@@ -170,6 +185,16 @@ def build_perf_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--arrival-batch-sizes",
+        type=_parse_batch_sizes,
+        default=None,
+        metavar="N[,N...]",
+        help=(
+            "co-arriving batch sizes the arrival workload measures (one cell "
+            "per size; default: 1,32,256)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path("BENCH_discovery.json"),
@@ -202,7 +227,11 @@ def run_perf(argv: Optional[Sequence[str]] = None) -> int:
 
     from .perf.compare import compare_reports
     from .perf.report import PerfReport
-    from .perf.workloads import DEFAULT_POPULATIONS, run_discovery_suite
+    from .perf.workloads import (
+        DEFAULT_ARRIVAL_BATCH_SIZES,
+        DEFAULT_POPULATIONS,
+        run_discovery_suite,
+    )
 
     parser = build_perf_parser()
     args = parser.parse_args(argv)
@@ -234,6 +263,7 @@ def run_perf(argv: Optional[Sequence[str]] = None) -> int:
         neighbor_set_size=args.neighbor_set_size,
         shard_counts=args.shards,
         backends=backends,
+        arrival_batch_sizes=args.arrival_batch_sizes or list(DEFAULT_ARRIVAL_BATCH_SIZES),
     )
     print(report.to_text())
     try:

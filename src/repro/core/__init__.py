@@ -19,6 +19,7 @@ from .path import (
     shared_suffix_length,
     tree_distance,
 )
+from .interning import PeerKeyInterner
 from .path_tree import PathTree, PathTreeNode
 from .management_server import ManagementServer, NeighborEntry, ServerStats
 from .neighbor_cache import NeighborCache
@@ -74,6 +75,7 @@ __all__ = [
     "tree_distance",
     "PathTree",
     "PathTreeNode",
+    "PeerKeyInterner",
     "ManagementServer",
     "NeighborCache",
     "NeighborEntry",

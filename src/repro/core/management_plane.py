@@ -82,6 +82,20 @@ class ManagementPlaneBase:
         """Tree-walk computation of a peer's closest peers (plus fill)."""
         raise NotImplementedError
 
+    def _compute_neighbors_batch(
+        self, pending: Dict[PeerId, RouterPath]
+    ) -> Dict[PeerId, List[Tuple[PeerId, float]]]:
+        """Neighbour lists for a whole co-arriving batch (default: per peer).
+
+        Planes that can exploit batch structure override this — the single
+        server groups co-arriving peers by attachment trie node and runs one
+        shared frontier per cluster (see ``ManagementServer``).  Whatever the
+        strategy, the returned lists must be byte-identical to calling
+        :meth:`_compute_neighbors` per peer: the batch is only allowed to
+        change *work*, never results.
+        """
+        return {peer_id: self._compute_neighbors(peer_id) for peer_id in pending}
+
     def unregister_peer(self, peer_id: PeerId) -> None:
         """Remove a departing peer from the plane."""
         raise NotImplementedError
@@ -138,11 +152,17 @@ class ManagementPlaneBase:
         return self._landmark_routers[landmark_id]
 
     def set_landmark_distance(self, a: LandmarkId, b: LandmarkId, distance: float) -> None:
-        """Record the (symmetric) distance between two landmarks."""
+        """Record the (symmetric) distance between two landmarks.
+
+        A new inter-landmark distance can make foreign-tree peers reachable,
+        so it invalidates the cache's short-list completeness marks (see
+        :meth:`NeighborCache.note_membership_change`).
+        """
         if distance < 0:
             raise LandmarkError(f"landmark distance must be >= 0, got {distance}")
         self._landmark_distances[(a, b)] = float(distance)
         self._landmark_distances[(b, a)] = float(distance)
+        self._cache.note_membership_change()
 
     def landmark_distance(self, a: LandmarkId, b: LandmarkId) -> Optional[float]:
         """Distance between two landmarks, or None if unknown."""
@@ -200,7 +220,9 @@ class ManagementPlaneBase:
 
         neighbors = self._compute_neighbors(path.peer_id)
         if self.maintain_cache:
-            self._cache.store(path.peer_id, neighbors)
+            self._cache.store(
+                path.peer_id, neighbors, complete=len(neighbors) < self.neighbor_set_size
+            )
             self._cache.propagate_newcomer(path.peer_id, neighbors)
         return neighbors
 
@@ -211,14 +233,19 @@ class ManagementPlaneBase:
 
         Runs after every batch path has landed in the trees, so each
         newcomer's list (and each propagated update) already sees the whole
-        batch.
+        batch.  The lists are computed first — in one
+        :meth:`_compute_neighbors_batch` call, so a plane can share work
+        across the batch; the trees are static during the phase, so batching
+        the computation cannot change any list — and then stored/propagated
+        in input order, exactly like sequential arrivals would.
         """
-        results: Dict[PeerId, List[Tuple[PeerId, float]]] = {}
-        for peer_id in pending:
-            neighbors = self._compute_neighbors(peer_id)
-            results[peer_id] = neighbors
-            if self.maintain_cache:
-                self._cache.store(peer_id, neighbors)
+        results = self._compute_neighbors_batch(pending)
+        if self.maintain_cache:
+            for peer_id in pending:
+                neighbors = results[peer_id]
+                self._cache.store(
+                    peer_id, neighbors, complete=len(neighbors) < self.neighbor_set_size
+                )
                 self._cache.propagate_newcomer(peer_id, neighbors)
         return results
 
@@ -251,6 +278,14 @@ class ManagementPlaneBase:
         With the cache enabled and ``k <= neighbor_set_size`` this is a single
         dictionary access (plus slicing); otherwise the landmark trees are
         queried directly, lazily refilling the cache.
+
+        A cached list is served when it holds enough entries for ``k`` (or
+        for the whole population), **or** when it is marked complete — it
+        was computed from an exhaustive walk that returned every reachable
+        candidate and no membership change has happened since.  Without the
+        completeness mark, a peer whose list is legitimately short
+        (unreachable foreign-landmark peers, no landmark distances) would
+        miss the cache forever and pay a tree walk per query.
         """
         if peer_id not in self._peer_landmark:
             raise UnknownPeerError(peer_id)
@@ -258,12 +293,16 @@ class ManagementPlaneBase:
         self.stats.queries += 1
         if self.maintain_cache and k <= self.neighbor_set_size:
             entries = self._cache.get(peer_id) or []
-            if len(entries) >= min(k, self.peer_count - 1):
+            if len(entries) >= min(k, self.peer_count - 1) or self._cache.is_complete(peer_id):
                 self.stats.cache_hits += 1
                 return [(entry.peer_id, entry.distance) for entry in entries[:k]]
         neighbors = self._compute_neighbors(peer_id, k=k)
         if self.maintain_cache and k >= self.neighbor_set_size:
-            self._cache.store(peer_id, neighbors[: self.neighbor_set_size])
+            self._cache.store(
+                peer_id,
+                neighbors[: self.neighbor_set_size],
+                complete=len(neighbors) < self.neighbor_set_size,
+            )
             self.stats.cache_refills += 1
         return neighbors
 

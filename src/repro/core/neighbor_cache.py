@@ -11,31 +11,66 @@ The cache holds, for every registered peer, an ordered list of
 :class:`NeighborEntry` (closest first), plus the **reverse neighbour index**
 ``referenced_by`` (peer -> peers whose cached list contains it) so a
 departure only repairs the lists that actually reference the departed peer.
+
+Sort keys are interned: entries created by the cache carry the owning
+plane's precomputed ``sort_text`` (see :mod:`repro.core.interning`), so the
+ordered inserts of ``propagate_newcomer`` bisect over ready tuples instead
+of calling ``repr`` per probe.
+
+Completeness tracking
+---------------------
+A cached list shorter than ``k`` can mean two different things: the compute
+that produced it *exhausted every reachable candidate* (few peers under the
+landmark, no usable cross-landmark distances), or the list has merely been
+*eroded* by departures.  The first kind is a perfectly valid answer — it
+should keep hitting the cache until a membership change could add a new
+candidate.  ``store(..., complete=True)`` marks a list as exhaustive,
+stamped with the plane's **membership generation** (bumped by the plane on
+every registration and landmark-distance change); :meth:`is_complete` only
+honours marks from the current generation, so a short-but-complete list is
+O(1) to query in the steady state and recomputed exactly once after each
+arrival.  Departures do not bump the generation: the reverse-index repair
+removes the departed peer from every list that referenced it, and a
+complete list minus a departed member is still the complete answer.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from .._validation import require_positive_int
+from .interning import PeerKeyInterner
 from .path import PeerId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .management_plane import ServerStats
 
 
-@dataclass
+@dataclass(slots=True)
 class NeighborEntry:
-    """One entry of a cached neighbour list."""
+    """One entry of a cached neighbour list.
+
+    ``sort_text`` is the interned textual tiebreak (``repr(peer_id)``),
+    filled in by the cache at construction; entries built directly (tests,
+    ad-hoc tooling) compute it lazily on first :meth:`as_tuple`.  It never
+    participates in equality — two entries are equal iff distance and peer
+    match, exactly as before interning.  Slotted: a warm cache holds
+    ``k`` entries per registered peer, so attribute-dict overhead is pure
+    waste.
+    """
 
     distance: float
     peer_id: PeerId
+    sort_text: Optional[str] = field(default=None, compare=False, repr=False)
 
     def as_tuple(self) -> Tuple[float, str, PeerId]:
         """Sort key: distance first, then a stable textual tiebreak."""
-        return (self.distance, repr(self.peer_id), self.peer_id)
+        text = self.sort_text
+        if text is None:
+            text = self.sort_text = repr(self.peer_id)
+        return (self.distance, text, self.peer_id)
 
 
 class NeighborCache:
@@ -50,13 +85,29 @@ class NeighborCache:
         the cache increments ``cache_updates`` and ``departure_updates`` on it
         so counter-based complexity tests keep working regardless of which
         plane (single or sharded) owns the cache.
+    interner:
+        The owning plane's :class:`~repro.core.interning.PeerKeyInterner`
+        (a private one is created if not given), used to stamp entries with
+        precomputed sort texts.
     """
 
-    def __init__(self, neighbor_set_size: int, stats: "ServerStats") -> None:
+    def __init__(
+        self,
+        neighbor_set_size: int,
+        stats: "ServerStats",
+        interner: Optional[PeerKeyInterner] = None,
+    ) -> None:
         self.neighbor_set_size = require_positive_int(neighbor_set_size, "neighbor_set_size")
         self.stats = stats
+        self.interner = interner if interner is not None else PeerKeyInterner()
         self.lists: Dict[PeerId, List[NeighborEntry]] = {}
         self.referenced_by: Dict[PeerId, Set[PeerId]] = {}
+        #: Plane membership generation; bumped by the plane on every event
+        #: that could add a reachable candidate (registration, new landmark
+        #: distance).  Completeness marks are only valid for the generation
+        #: they were stored under.
+        self.membership_generation: int = 0
+        self._complete: Dict[PeerId, int] = {}
 
     # ---------------------------------------------------------------- reading
 
@@ -68,27 +119,64 @@ class NeighborCache:
         """Peers whose cached list currently contains ``peer_id`` (a copy)."""
         return set(self.referenced_by.get(peer_id, ()))
 
+    def is_complete(self, peer_id: PeerId) -> bool:
+        """True if the peer's cached list is exhaustive *and* still current.
+
+        Exhaustive means the compute that stored it returned every reachable
+        candidate (fewer than ``k``); current means no membership change has
+        happened since (see the module docstring).
+        """
+        return self._complete.get(peer_id) == self.membership_generation
+
     # --------------------------------------------------------------- mutating
 
-    def store(self, peer_id: PeerId, pairs: Sequence[Tuple[PeerId, float]]) -> None:
-        """Replace a peer's cached list, keeping the reverse index in sync."""
+    def note_membership_change(self) -> None:
+        """Invalidate completeness marks: a new candidate may now exist.
+
+        Called by the owning plane on every registration and on every
+        landmark-distance update — both can extend the reachable candidate
+        set of an exhaustive short list.  O(1): stale marks are dropped
+        lazily when consulted.
+        """
+        self.membership_generation += 1
+
+    def store(
+        self, peer_id: PeerId, pairs: Sequence[Tuple[PeerId, float]], complete: bool = False
+    ) -> None:
+        """Replace a peer's cached list, keeping the reverse index in sync.
+
+        ``complete=True`` marks the list as exhaustive for the current
+        membership generation (the compute it came from returned every
+        reachable candidate).
+        """
         old_entries = self.lists.get(peer_id)
         if old_entries:
             for entry in old_entries:
                 self._reverse_discard(entry.peer_id, peer_id)
-        entries = [NeighborEntry(distance=distance, peer_id=peer) for peer, distance in pairs]
+        interned = self.interner.sort_text
+        entries = [
+            NeighborEntry(distance=distance, peer_id=peer, sort_text=interned(peer))
+            for peer, distance in pairs
+        ]
         self.lists[peer_id] = entries
         for entry in entries:
             self.referenced_by.setdefault(entry.peer_id, set()).add(peer_id)
+        if complete:
+            self._complete[peer_id] = self.membership_generation
+        else:
+            self._complete.pop(peer_id, None)
 
     def drop_peer(self, peer_id: PeerId) -> None:
         """Remove a departing peer's list and repair the lists referencing it.
 
         The reverse index pinpoints the (at most ``r``) lists that reference
         the departed peer, so the cost is O(r·k), not O(n).  Each repaired
-        list bumps ``stats.departure_updates``.
+        list bumps ``stats.departure_updates``.  Repaired lists keep their
+        completeness marks: removing a departed member from an exhaustive
+        list leaves the (smaller) exhaustive answer.
         """
         own_entries = self.lists.pop(peer_id, None)
+        self._complete.pop(peer_id, None)
         if own_entries:
             for entry in own_entries:
                 self._reverse_discard(entry.peer_id, peer_id)
@@ -109,8 +197,10 @@ class NeighborCache:
         a better neighbour, so the update cost is bounded by
         ``neighbor_set_size`` ordered-list insertions — the O(log n)
         "ordered list" cost the paper refers to.  Each insertion bisects on
-        the entries' ``(distance, repr(peer))`` keys directly.
+        the entries' interned ``(distance, sort_text)`` keys; no ``repr``
+        is computed per probe.
         """
+        newcomer_text = self.interner.sort_text(newcomer)
         for peer, distance in newcomer_neighbors:
             entries = self.lists.get(peer)
             if entries is None:
@@ -119,7 +209,7 @@ class NeighborCache:
                 continue
             if len(entries) >= self.neighbor_set_size and distance >= entries[-1].distance:
                 continue
-            new_entry = NeighborEntry(distance=distance, peer_id=newcomer)
+            new_entry = NeighborEntry(distance=distance, peer_id=newcomer, sort_text=newcomer_text)
             index = bisect.bisect_left(entries, new_entry.as_tuple(), key=NeighborEntry.as_tuple)
             entries.insert(index, new_entry)
             for evicted in entries[self.neighbor_set_size :]:

@@ -103,8 +103,19 @@ class RouterPath:
         return self.routers
 
     def from_landmark(self) -> Tuple[NodeId, ...]:
-        """Routers ordered landmark → peer (the order the path tree inserts)."""
-        return tuple(reversed(self.routers))
+        """Routers ordered landmark → peer (the order the path tree inserts).
+
+        The reversed tuple is computed once per path and cached: registration
+        consumes it twice (validation and trie insert) and the cache stops
+        the hot path rebuilding it each time.  The cache is invisible to the
+        dataclass surface (equality, hashing and ``repr`` compare fields
+        only).
+        """
+        cached = getattr(self, "_from_landmark_cache", None)
+        if cached is None:
+            cached = tuple(reversed(self.routers))
+            object.__setattr__(self, "_from_landmark_cache", cached)
+        return cached
 
     def contains_router(self, router: NodeId) -> bool:
         """True if ``router`` appears on the path."""

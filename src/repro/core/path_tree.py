@@ -13,40 +13,70 @@ Each trie node corresponds to one router on at least one reported path, knows
 its depth (hops from the landmark), the peers attached at that exact router,
 and the number of peers in its subtree, so closest-peer queries can stop as
 soon as enough candidates have been gathered.
+
+Hot-path representation
+-----------------------
+Trie nodes are ``__slots__`` objects (a registration allocates up to one per
+router on the path, so attribute-dict overhead is pure waste), each node maps
+its attached peers to their **interned sort text** (``repr(peer_id)``
+computed once per peer by the plane's :class:`~repro.core.interning.
+PeerKeyInterner`), and the structural aggregates — ``router_count``,
+``max_depth`` — are maintained incrementally on insert/prune instead of by
+full-subtree scans.  Both the query and the insert side expose
+algorithmic-work counters (``last_query_visits`` / ``last_insert_nodes_*``)
+so benchmarks can assert scaling bounds instead of eyeballing wall-clock.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+from operator import itemgetter
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..exceptions import RegistrationError, UnknownPeerError
+from .interning import PeerKeyInterner
 from .path import LandmarkId, NodeId, PeerId, RouterPath
 
+#: Stable sort key for interned candidate tuples ``(dtree, sort_text, peer)``:
+#: ordering by the first two fields only keeps ties in discovery order (the
+#: historic ``key=lambda item: (item[1], repr(item[0]))`` semantics) and never
+#: falls through to comparing raw peer objects of mixed types.
+_CANDIDATE_ORDER = itemgetter(0, 1)
 
-@dataclass
+
 class PathTreeNode:
-    """One router on the landmark-rooted path tree."""
+    """One router on the landmark-rooted path tree.
 
-    router: NodeId
-    depth: int
-    parent: Optional["PathTreeNode"] = None
-    children: Dict[NodeId, "PathTreeNode"] = field(default_factory=dict)
-    attached_peers: Set[PeerId] = field(default_factory=set)
-    subtree_peer_count: int = 0
+    ``attached_peers`` maps each peer attached at this exact router to its
+    interned sort text, so candidate collection during a query emits
+    ready-to-sort tuples without calling ``repr``.  Iterating / ``len`` /
+    membership on it behaves like the historic set of peer identifiers.
+    """
+
+    __slots__ = (
+        "router",
+        "depth",
+        "parent",
+        "children",
+        "attached_peers",
+        "subtree_peer_count",
+    )
+
+    def __init__(
+        self,
+        router: NodeId,
+        depth: int,
+        parent: Optional["PathTreeNode"] = None,
+    ) -> None:
+        self.router = router
+        self.depth = depth
+        self.parent = parent
+        self.children: Dict[NodeId, "PathTreeNode"] = {}
+        self.attached_peers: Dict[PeerId, str] = {}
+        self.subtree_peer_count = 0
 
     def child(self, router: NodeId) -> Optional["PathTreeNode"]:
         """Return the child trie node for ``router`` if it exists."""
         return self.children.get(router)
-
-    def ensure_child(self, router: NodeId) -> "PathTreeNode":
-        """Return the child for ``router``, creating it if needed."""
-        node = self.children.get(router)
-        if node is None:
-            node = PathTreeNode(router=router, depth=self.depth + 1, parent=self)
-            self.children[router] = node
-        return node
 
     def iter_subtree(self) -> Iterator["PathTreeNode"]:
         """Depth-first iteration over this node and all its descendants."""
@@ -80,19 +110,42 @@ class PathTree:
         Router the landmark is attached to; used as the trie root.  If not
         given, the root is created lazily from the first inserted path's
         landmark-side router.
+    interner:
+        The owning plane's :class:`~repro.core.interning.PeerKeyInterner`;
+        a private one is created for standalone trees.  Sharing the plane's
+        interner means a peer's sort key is computed once per plane, not
+        once per tree.
     """
 
-    def __init__(self, landmark_id: LandmarkId, landmark_router: Optional[NodeId] = None) -> None:
+    def __init__(
+        self,
+        landmark_id: LandmarkId,
+        landmark_router: Optional[NodeId] = None,
+        interner: Optional[PeerKeyInterner] = None,
+    ) -> None:
         self.landmark_id = landmark_id
+        self._interner = interner if interner is not None else PeerKeyInterner()
         self._root: Optional[PathTreeNode] = None
+        self._router_count = 0
+        self._depth_counts: Dict[int, int] = {}
+        self._max_depth = 0
         if landmark_router is not None:
             self._root = PathTreeNode(router=landmark_router, depth=0)
+            self._node_added(0)
         self._attachment: Dict[PeerId, PathTreeNode] = {}
         self._paths: Dict[PeerId, RouterPath] = {}
         #: Trie nodes examined by the most recent :meth:`closest_peers` call.
         self.last_query_visits: int = 0
         #: Trie nodes examined by all :meth:`closest_peers` calls so far.
         self.total_query_visits: int = 0
+        #: Trie nodes created by the most recent :meth:`insert` call.
+        self.last_insert_nodes_created: int = 0
+        #: Trie nodes traversed by the most recent :meth:`insert` call.
+        self.last_insert_nodes_touched: int = 0
+        #: Trie nodes created by all :meth:`insert` calls so far.
+        self.total_insert_nodes_created: int = 0
+        #: Trie nodes traversed by all :meth:`insert` calls so far.
+        self.total_insert_nodes_touched: int = 0
 
     # ------------------------------------------------------------------ state
 
@@ -108,10 +161,8 @@ class PathTree:
 
     @property
     def router_count(self) -> int:
-        """Number of distinct routers present in the tree."""
-        if self._root is None:
-            return 0
-        return sum(1 for _ in self._root.iter_subtree())
+        """Number of distinct routers present in the tree (O(1), incremental)."""
+        return self._router_count
 
     def peers(self) -> List[PeerId]:
         """All registered peer identifiers."""
@@ -134,10 +185,30 @@ class PathTree:
         return self._attachment[peer_id]
 
     def max_depth(self) -> int:
-        """Deepest router depth in the tree (0 for an empty/one-node tree)."""
-        if self._root is None:
-            return 0
-        return max(node.depth for node in self._root.iter_subtree())
+        """Deepest router depth in the tree (0 for an empty/one-node tree).
+
+        Maintained incrementally from a depth histogram, so reading it is
+        O(1) instead of a full-subtree scan.
+        """
+        return self._max_depth
+
+    # ------------------------------------------------- structural bookkeeping
+
+    def _node_added(self, depth: int) -> None:
+        self._router_count += 1
+        self._depth_counts[depth] = self._depth_counts.get(depth, 0) + 1
+        if depth > self._max_depth:
+            self._max_depth = depth
+
+    def _node_removed(self, depth: int) -> None:
+        self._router_count -= 1
+        remaining = self._depth_counts[depth] - 1
+        if remaining:
+            self._depth_counts[depth] = remaining
+        else:
+            del self._depth_counts[depth]
+            while self._max_depth > 0 and self._max_depth not in self._depth_counts:
+                self._max_depth -= 1
 
     # ----------------------------------------------------------------- insert
 
@@ -148,6 +219,11 @@ class PathTree:
         diameter, ~15–30 hops), independent of the number of peers already in
         the tree — this is the cheap "newcomer insertion" the paper claims.
         Re-registering an already-known peer replaces its previous path.
+
+        Each call records the trie nodes traversed / allocated in
+        ``last_insert_nodes_touched`` / ``last_insert_nodes_created`` (and
+        the ``total_*`` accumulators) so benchmarks can assert the O(path
+        length) bound the same way query benchmarks assert visit counts.
         """
         if path.landmark_id != self.landmark_id:
             raise RegistrationError(
@@ -158,8 +234,11 @@ class PathTree:
             self.remove(path.peer_id)
 
         reversed_routers = path.from_landmark()
+        created = 0
         if self._root is None:
             self._root = PathTreeNode(router=reversed_routers[0], depth=0)
+            self._node_added(0)
+            created += 1
         elif self._root.router != reversed_routers[0]:
             raise RegistrationError(
                 f"path of peer {path.peer_id!r} ends at router {reversed_routers[0]!r}, "
@@ -169,9 +248,15 @@ class PathTree:
 
         node = self._root
         for router in reversed_routers[1:]:
-            node = node.ensure_child(router)
+            child = node.children.get(router)
+            if child is None:
+                child = PathTreeNode(router=router, depth=node.depth + 1, parent=node)
+                node.children[router] = child
+                self._node_added(child.depth)
+                created += 1
+            node = child
 
-        node.attached_peers.add(path.peer_id)
+        node.attached_peers[path.peer_id] = self._interner.sort_text(path.peer_id)
         self._attachment[path.peer_id] = node
         self._paths[path.peer_id] = path
         # Propagate the subtree count up to the root.
@@ -179,6 +264,11 @@ class PathTree:
         while current is not None:
             current.subtree_peer_count += 1
             current = current.parent
+
+        self.last_insert_nodes_created = created
+        self.last_insert_nodes_touched = len(reversed_routers)
+        self.total_insert_nodes_created += created
+        self.total_insert_nodes_touched += len(reversed_routers)
         return node
 
     def remove(self, peer_id: PeerId) -> None:
@@ -187,7 +277,7 @@ class PathTree:
             raise UnknownPeerError(peer_id)
         node = self._attachment.pop(peer_id)
         del self._paths[peer_id]
-        node.attached_peers.discard(peer_id)
+        node.attached_peers.pop(peer_id, None)
 
         current: Optional[PathTreeNode] = node
         while current is not None:
@@ -204,6 +294,7 @@ class PathTree:
         ):
             parent = current.parent
             del parent.children[current.router]
+            self._node_removed(current.depth)
             current = parent
 
     # ----------------------------------------------------------------- queries
@@ -244,6 +335,32 @@ class PathTree:
     ) -> List[Tuple[PeerId, int]]:
         """Return up to ``k`` peers closest to ``peer_id`` by tree distance.
 
+        Delegates to :meth:`closest_from_node` from the peer's attachment
+        node, excluding the peer itself — a peer's view of the tree is fully
+        determined by the router it attaches at, which is what lets a batch
+        of co-arriving peers at one access router share a single frontier
+        walk (see ``ManagementServer._compute_neighbors_batch``).
+
+        Returns a list of ``(peer_id, dtree)`` sorted by ``dtree`` then peer
+        sort text.
+        """
+        self.last_query_visits = 0
+        if k <= 0:
+            return []
+        origin = self.attachment_node(peer_id)
+        excluded = {peer_id}
+        if exclude:
+            excluded |= set(exclude)
+        return self.closest_from_node(origin, k, exclude=excluded)
+
+    def closest_from_node(
+        self,
+        origin: PathTreeNode,
+        k: int,
+        exclude: Iterable[PeerId] = (),
+    ) -> List[Tuple[PeerId, int]]:
+        """Up to ``k`` closest peers as seen from a trie node (the engine).
+
         Best-first frontier search guided by ``subtree_peer_count``.  The
         frontier holds two kinds of entries, each keyed by a lower bound on
         the ``dtree`` of any peer reachable through it:
@@ -265,73 +382,83 @@ class PathTree:
         the visit count is O(k + depth + branching) instead of the size of
         every sibling subtree.
 
+        Candidates are collected as ``(dtree, interned_sort_text, peer)``
+        tuples and sorted by the first two fields at C speed — no ``repr``
+        call anywhere on the walk, and byte-identical ordering to the
+        historic ``(dtree, repr(peer))`` sort (ties in both fields keep
+        discovery order, exactly like the stable sort they replace).
+
+        The frontier is **level-synchronous**: every entry spawned by a
+        bound-``b`` entry has bound exactly ``b + 1`` (a child subtree adds
+        one hop; the next ancestor adds one hop to the origin side), so the
+        best-first priority queue degenerates into plain per-level lists —
+        same pop order as a ``(bound, push-order)`` heap, none of the heap's
+        per-entry cost.
+
         Each call records the number of trie nodes examined in
         ``last_query_visits`` (and accumulates ``total_query_visits``) so
         benchmarks can assert the sub-linear behaviour.
-
-        Returns a list of ``(peer_id, dtree)`` sorted by ``dtree`` then peer id.
         """
         self.last_query_visits = 0
         if k <= 0:
             return []
-        origin = self.attachment_node(peer_id)
-        excluded = {peer_id}
-        if exclude:
-            excluded |= set(exclude)
+        excluded = exclude if isinstance(exclude, (set, frozenset)) else set(exclude)
 
-        # Heap entries: (bound, order, node, lca_depth, skip_child).
-        # Ancestor entries satisfy node.depth == lca_depth and carry the child
-        # subtree already explored in ``skip_child``; subtree entries satisfy
-        # node.depth > lca_depth and never skip anything.
-        order = 0
-        heap: List[Tuple[int, int, PathTreeNode, int, Optional[PathTreeNode]]] = [
-            (2, order, origin, origin.depth, None)
+        # Level entries: (node, lca_depth, skip_child).  Ancestor entries
+        # satisfy node.depth == lca_depth and carry the child subtree already
+        # explored in ``skip_child``; subtree entries satisfy node.depth >
+        # lca_depth and never skip anything.  ``bound`` — the exact dtree of
+        # peers attached at the level's nodes — starts at 2 (origin) and
+        # grows by one per level.
+        level: List[Tuple[PathTreeNode, int, Optional[PathTreeNode]]] = [
+            (origin, origin.depth, None)
         ]
-        results: List[Tuple[PeerId, int]] = []
-        kth_distance: Optional[int] = None
+        bound = 2
+        results: List[Tuple[int, str, PeerId]] = []
+        append = results.append
+        kth_found = False
         visits = 0
 
-        while heap:
-            bound, _, node, lca_depth, skip_child = heapq.heappop(heap)
-            if kth_distance is not None and bound > kth_distance:
-                break
-            visits += 1
-            for candidate in node.attached_peers:
-                if candidate not in excluded:
-                    results.append((candidate, bound))
-            if kth_distance is None and len(results) >= k:
-                kth_distance = results[k - 1][1]
-
-            if node.depth == lca_depth:
-                # Ancestor entry: fan out into unexplored child subtrees and
-                # continue up the root path.
-                child_bound = bound + 1  # hops_origin + 2 == bound + 1
-                if kth_distance is None or child_bound <= kth_distance:
+        while level:
+            next_level: List[Tuple[PathTreeNode, int, Optional[PathTreeNode]]] = []
+            push = next_level.append
+            for node, lca_depth, skip_child in level:
+                visits += 1
+                for candidate, sort_text in node.attached_peers.items():
+                    if candidate not in excluded:
+                        append((bound, sort_text, candidate))
+                if kth_found:
+                    # The k-th best distance equals this level's bound, so
+                    # deeper levels cannot contribute; keep draining this
+                    # level (exact-distance ties) without growing the next.
+                    continue
+                if len(results) >= k:
+                    kth_found = True
+                    continue
+                if node.depth == lca_depth:
+                    # Ancestor entry: fan out into unexplored child subtrees
+                    # and continue up the root path.
                     for child in node.children.values():
                         if child is not skip_child and child.subtree_peer_count > 0:
-                            order += 1
-                            heap_entry = (child_bound, order, child, lca_depth, None)
-                            heapq.heappush(heap, heap_entry)
-                parent = node.parent
-                if parent is not None:
-                    parent_bound = origin.depth - parent.depth + 2
-                    if kth_distance is None or parent_bound <= kth_distance:
-                        order += 1
-                        heapq.heappush(heap, (parent_bound, order, parent, parent.depth, node))
-            else:
-                # Subtree entry: descend, one extra hop per level.
-                child_bound = bound + 1
-                if kth_distance is None or child_bound <= kth_distance:
+                            push((child, lca_depth, None))
+                    parent = node.parent
+                    if parent is not None:
+                        push((parent, parent.depth, node))
+                else:
+                    # Subtree entry: descend, one extra hop per level.
                     for child in node.children.values():
                         if child.subtree_peer_count > 0:
-                            order += 1
-                            heapq.heappush(heap, (child_bound, order, child, lca_depth, None))
+                            push((child, lca_depth, None))
+            if kth_found:
+                break
+            level = next_level
+            bound += 1
 
         self.last_query_visits = visits
         self.total_query_visits += visits
-        results.sort(key=lambda item: (item[1], repr(item[0])))
+        results.sort(key=_CANDIDATE_ORDER)
         del results[k:]
-        return results
+        return [(candidate, bound) for bound, _, candidate in results]
 
     def all_pairs_tree_distance(self) -> Dict[Tuple[PeerId, PeerId], int]:
         """Exhaustive dtree for every unordered pair (small populations only)."""

@@ -288,6 +288,8 @@ def _dispatch(server: ManagementServer, streams: dict, stream_ids, op: str, args
         return server.tree_distance(landmark_id, peer_a, peer_b)
     if op == "total_tree_visits":
         return server.total_tree_visits()
+    if op == "total_insert_work":
+        return tuple(server.total_insert_work())
     if op == "stats":
         return server.stats.as_dict()
     raise WireProtocolError(f"unknown operation {op!r}")
@@ -650,6 +652,11 @@ class ProcessShardBackend:
 
     def total_tree_visits(self) -> int:
         return int(self.supervisor.request("total_tree_visits", ()))  # type: ignore[arg-type]
+
+    def total_insert_work(self) -> Tuple[int, int]:
+        """The worker's ``(nodes_created, nodes_touched)`` insert counters."""
+        created, touched = self.supervisor.request("total_insert_work", ())  # type: ignore[misc]
+        return (int(created), int(touched))  # type: ignore[arg-type]
 
     # ------------------------------------------------------------ diagnostics
 

@@ -74,6 +74,7 @@ from typing import (
 
 from .._validation import require_positive_int
 from ..exceptions import LandmarkError, UnknownPeerError
+from .interning import PeerKeyInterner
 from .management_plane import ManagementPlaneBase, ServerStats
 from .management_server import ManagementServer
 from .neighbor_cache import NeighborCache
@@ -123,6 +124,8 @@ class ShardBackend(Protocol):
     ) -> float: ...
 
     def total_tree_visits(self) -> int: ...
+
+    def total_insert_work(self) -> Tuple[int, int]: ...
 
     def close(self) -> None: ...
 
@@ -213,7 +216,11 @@ class ShardedManagementServer(ManagementPlaneBase):
         self._paths: Dict[PeerId, RouterPath] = {}
         self._landmark_distances: Dict[Tuple[LandmarkId, LandmarkId], float] = {}
         self.stats = ServerStats()
-        self._cache = NeighborCache(self.neighbor_set_size, self.stats)
+        # The coordinator shares the single server's interner/cache code: one
+        # plane-owned key table stamps every cached-list entry, so the
+        # ordered inserts of propagate_newcomer never call repr per probe.
+        self._interner = PeerKeyInterner()
+        self._cache = NeighborCache(self.neighbor_set_size, self.stats, self._interner)
         if landmark_distances:
             for (a, b), distance in landmark_distances.items():
                 self.set_landmark_distance(a, b, distance)
@@ -228,6 +235,16 @@ class ShardedManagementServer(ManagementPlaneBase):
     def total_tree_visits(self) -> int:
         """Trie nodes visited by queries, summed over every shard's trees."""
         return sum(shard.total_tree_visits() for shard in self._shards)
+
+    def total_insert_work(self) -> Tuple[int, int]:
+        """``(nodes_created, nodes_touched)`` summed over every shard's trees."""
+        created = 0
+        touched = 0
+        for shard in self._shards:
+            shard_created, shard_touched = shard.total_insert_work()
+            created += shard_created
+            touched += shard_touched
+        return (created, touched)
 
     def close(self) -> None:
         """Close every shard backend that holds real resources.
@@ -354,6 +371,7 @@ class ShardedManagementServer(ManagementPlaneBase):
             self._peer_landmark[path.peer_id] = path.landmark_id
             self._paths[path.peer_id] = path
             self.stats.registrations += 1
+            self._cache.note_membership_change()
             pending[path.peer_id] = path
 
         by_shard: Dict[int, List[RouterPath]] = {}
@@ -391,6 +409,7 @@ class ShardedManagementServer(ManagementPlaneBase):
             pass
         del self._peer_landmark[peer_id]
         self._paths.pop(peer_id)
+        self._interner.discard(peer_id)
         self.stats.removals += 1
         if not self.maintain_cache:
             return
@@ -410,6 +429,7 @@ class ShardedManagementServer(ManagementPlaneBase):
         self._peer_landmark[path.peer_id] = path.landmark_id
         self._paths[path.peer_id] = path
         self.stats.registrations += 1
+        self._cache.note_membership_change()
 
     def _compute_neighbors(self, peer_id: PeerId, k: Optional[int] = None) -> List[Tuple[PeerId, float]]:
         """Home-shard tree query plus (if short) the inter-shard fill merge."""

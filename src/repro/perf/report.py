@@ -19,9 +19,11 @@ from .timer import Timing
 
 # v2 added the shards dimension, v3 the backend dimension, v4 the
 # scenario-build workload (``workload == "build"``, whose ops count is the
-# peer count and whose counters come from the distance engine).  All are
+# peer count and whose counters come from the distance engine), v5 the
+# arrival workload's batch-size dimension (``batch_size``, None for every
+# other workload) plus the insert-side trie work counters.  All are
 # additive: older reports load with defaults and their cells still compare.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 @dataclass
@@ -33,7 +35,9 @@ class PerfRecord:
     reports load as ``None``).  ``backend`` says where the shards lived:
     ``"inline"`` (in-process, the only pre-v3 behaviour — older reports load
     as ``"inline"``) or ``"process"`` (one worker process per shard via
-    :class:`~repro.core.remote.ProcessShardBackend`).
+    :class:`~repro.core.remote.ProcessShardBackend`).  ``batch_size`` is the
+    arrival workload's co-arriving batch size; every other workload (and
+    every pre-v5 record) loads as ``None``.
     """
 
     workload: str
@@ -43,6 +47,7 @@ class PerfRecord:
     counters: Dict[str, int] = field(default_factory=dict)
     shards: Optional[int] = None
     backend: str = "inline"
+    batch_size: Optional[int] = None
 
     @property
     def per_op_us(self) -> float:
@@ -58,6 +63,7 @@ class PerfRecord:
         counters: Optional[Dict[str, int]] = None,
         shards: Optional[int] = None,
         backend: str = "inline",
+        batch_size: Optional[int] = None,
     ) -> "PerfRecord":
         """Build a record from a :class:`~repro.perf.timer.Timing`."""
         return cls(
@@ -68,12 +74,13 @@ class PerfRecord:
             counters=dict(counters or {}),
             shards=shards,
             backend=backend,
+            batch_size=batch_size,
         )
 
     @property
     def cell(self) -> tuple:
         """The report cell this record measures (regression-comparison key)."""
-        return (self.workload, self.population, self.shards, self.backend)
+        return (self.workload, self.population, self.shards, self.backend, self.batch_size)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation (adds the derived per-op cost)."""
@@ -86,6 +93,7 @@ class PerfRecord:
             "counters": dict(self.counters),
             "shards": self.shards,
             "backend": self.backend,
+            "batch_size": self.batch_size,
         }
 
 
@@ -130,6 +138,9 @@ class PerfReport:
                 counters=dict(entry.get("counters", {})),  # type: ignore[arg-type]
                 shards=None if entry.get("shards") is None else int(entry["shards"]),  # type: ignore[arg-type]
                 backend=str(entry.get("backend", "inline")),  # type: ignore[arg-type]
+                batch_size=(
+                    None if entry.get("batch_size") is None else int(entry["batch_size"])  # type: ignore[arg-type]
+                ),
             )
             for entry in data.get("records", [])  # type: ignore[union-attr]
         ]
@@ -138,15 +149,16 @@ class PerfReport:
     def to_text(self) -> str:
         """Aligned human-readable table for the CLI."""
         header = (
-            f"{'workload':<12} {'population':>10} {'shards':>7} {'backend':>8} {'ops':>8} "
-            f"{'total_s':>10} {'per_op_us':>12}"
+            f"{'workload':<12} {'population':>10} {'shards':>7} {'backend':>8} {'batch':>6} "
+            f"{'ops':>8} {'total_s':>10} {'per_op_us':>12}"
         )
         lines = [header, "-" * len(header)]
         for record in self.records:
             shards = "-" if record.shards is None else str(record.shards)
+            batch = "-" if record.batch_size is None else str(record.batch_size)
             lines.append(
                 f"{record.workload:<12} {record.population:>10} {shards:>7} "
-                f"{record.backend:>8} {record.ops:>8} "
+                f"{record.backend:>8} {batch:>6} {record.ops:>8} "
                 f"{record.total_s:>10.4f} {record.per_op_us:>12.2f}"
             )
         return "\n".join(lines)

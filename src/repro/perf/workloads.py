@@ -11,7 +11,16 @@ operation class:
 * ``departure`` — peer removals repaired through the reverse neighbour
   index (the O(k) claim);
 * ``churn``     — interleaved leave / re-join cycles, the membership-dynamics
-  mix the paper defers to future work.
+  mix the paper defers to future work;
+* ``arrival``   — a flash crowd joining in batches of ``batch_size``
+  (schema v5).  Arrivals are drawn from a deliberately *concentrated*
+  access locality (a few regions/PoPs, the way real flash crowds share
+  access networks), so larger batches put co-arriving peers on shared
+  attachment routers and exercise the batch-aware neighbour phase's
+  one-frontier-per-cluster amortisation; ``batch_size=1`` is the
+  sequential-arrival baseline on the same peer stream.  One workload run
+  registers ``ops`` newcomers total regardless of batch size, so per-op
+  cost across the batch axis isolates batch amortisation itself.
 
 The ``build`` workload (schema v4) is different in kind: instead of a
 synthetic plane it measures the **scenario-build distance plane** — a full
@@ -52,8 +61,9 @@ silently change which peers an existing cell samples.
 
 Every record carries the :class:`~repro.core.management_server.ServerStats`
 counter deltas observed during the measured phase plus the landmark trees'
-node-visit counters, so regressions in algorithmic work are visible even on
-noisy machines.
+node-visit counters and the insert-side trie work counters
+(``trie_nodes_created`` / ``trie_nodes_touched``, schema v5), so
+regressions in algorithmic work are visible even on noisy machines.
 """
 
 from __future__ import annotations
@@ -73,6 +83,10 @@ from .timer import OpTimer
 DEFAULT_POPULATIONS = (200, 800, 3200, 12800)
 DEFAULT_LANDMARK = "lmk"
 
+#: Batch sizes the suite measures the ``arrival`` workload at: sequential
+#: joins, a moderate co-arriving group, and a full flash-crowd wave.
+DEFAULT_ARRIVAL_BATCH_SIZES = (1, 32, 256)
+
 #: Landmark count used by every ``build`` cell (sharded or not) so the
 #: scenario workload is identical along the shards/backend axes.
 BUILD_LANDMARK_COUNT = 8
@@ -89,6 +103,11 @@ ManagementPlane = Union[ManagementServer, ShardedManagementServer]
 _QUERY_RNG_OFFSET = 2
 _DEPARTURE_RNG_OFFSET = 3
 _CHURN_RNG_OFFSET = 4
+
+# Seed offset for the arrival workload's newcomer paths (distinct from the
+# insert workload's ``seed + 1`` newcomers, so the two cells never share
+# peers).
+_ARRIVAL_SEED_OFFSET = 7
 
 
 def workload_rng(seed: int, offset: int) -> random.Random:
@@ -188,6 +207,46 @@ def _population_paths(
     return synthetic_sharded_paths(count, seed=seed, prefix=prefix)
 
 
+def arrival_paths(
+    count: int, seed: int, shards: Optional[int], prefix: str = "arrival"
+) -> List[RouterPath]:
+    """``count`` flash-crowd newcomer paths with concentrated access locality.
+
+    Same router namespace as the steady population, but arrivals are drawn
+    from 4 regions x 8 PoPs x 12 access routers (384 access leaves instead
+    of 21 600): a flash crowd shares access networks, so batches of
+    co-arriving peers genuinely cluster on attachment routers.  Sharded
+    cells concentrate the crowd on the first two landmarks the same way.
+    """
+    rng = random.Random(seed)
+    names = sharded_landmarks()
+    paths: List[RouterPath] = []
+    for index in range(count):
+        region = rng.randrange(4)
+        pop = rng.randrange(8)
+        access = rng.randrange(12)
+        if shards is None:
+            landmark = DEFAULT_LANDMARK
+            routers = [
+                f"access-{region}-{pop}-{access}",
+                f"pop-{region}-{pop}",
+                f"region-{region}",
+                "core",
+                landmark,
+            ]
+        else:
+            landmark = names[rng.randrange(2)]
+            routers = [
+                f"{landmark}-access-{region}-{pop}-{access}",
+                f"{landmark}-pop-{region}-{pop}",
+                f"{landmark}-region-{region}",
+                f"{landmark}-core",
+                landmark,
+            ]
+        paths.append(RouterPath.from_routers(f"{prefix}{index}", landmark, routers))
+    return paths
+
+
 def _require_backend(backend: str, shards: Optional[int]) -> None:
     """Reject unknown backends and process cells without a shard count."""
     if backend not in BACKENDS:
@@ -239,9 +298,19 @@ def _tree_visits(server: ManagementPlane) -> int:
     return server.total_tree_visits()
 
 
-def _measured_counters(server: ManagementPlane, visits_before: int) -> Dict[str, int]:
+def _insert_work(server: ManagementPlane) -> Tuple[int, int]:
+    """Total trie ``(nodes_created, nodes_touched)`` across all trees."""
+    return server.total_insert_work()
+
+
+def _measured_counters(
+    server: ManagementPlane, visits_before: int, work_before: Tuple[int, int]
+) -> Dict[str, int]:
     counters = server.stats.as_dict()
     counters["tree_node_visits"] = _tree_visits(server) - visits_before
+    created, touched = _insert_work(server)
+    counters["trie_nodes_created"] = created - work_before[0]
+    counters["trie_nodes_touched"] = touched - work_before[1]
     return counters
 
 
@@ -261,6 +330,7 @@ def run_insert_workload(
         newcomers = _population_paths(ops, seed + 1, shards, prefix="newcomer")
         server.stats.reset()
         visits = _tree_visits(server)
+        work = _insert_work(server)
         timer = OpTimer()
         with timer:
             server.register_peers(newcomers)
@@ -269,7 +339,7 @@ def run_insert_workload(
             "insert",
             population,
             timer.timing,
-            _measured_counters(server, visits),
+            _measured_counters(server, visits, work),
             shards=shards,
             backend=backend,
         )
@@ -295,6 +365,7 @@ def run_query_workload(
         sample = [rng.choice(peers) for _ in range(ops)]
         server.stats.reset()
         visits = _tree_visits(server)
+        work = _insert_work(server)
         timer = OpTimer()
         with timer:
             for peer in sample:
@@ -304,7 +375,7 @@ def run_query_workload(
             "query",
             population,
             timer.timing,
-            _measured_counters(server, visits),
+            _measured_counters(server, visits, work),
             shards=shards,
             backend=backend,
         )
@@ -330,6 +401,7 @@ def run_departure_workload(
         departing = rng.sample(server.peers(), ops)
         server.stats.reset()
         visits = _tree_visits(server)
+        work = _insert_work(server)
         timer = OpTimer()
         with timer:
             for peer in departing:
@@ -339,7 +411,7 @@ def run_departure_workload(
             "departure",
             population,
             timer.timing,
-            _measured_counters(server, visits),
+            _measured_counters(server, visits, work),
             shards=shards,
             backend=backend,
         )
@@ -367,6 +439,7 @@ def run_churn_workload(
         }
         server.stats.reset()
         visits = _tree_visits(server)
+        work = _insert_work(server)
         timer = OpTimer()
         with timer:
             for peer in churners:
@@ -377,9 +450,56 @@ def run_churn_workload(
             "churn",
             population,
             timer.timing,
-            _measured_counters(server, visits),
+            _measured_counters(server, visits, work),
             shards=shards,
             backend=backend,
+        )
+    finally:
+        server.close()
+
+
+def run_arrival_workload(
+    population: int,
+    ops: int = 256,
+    seed: int = 3,
+    neighbor_set_size: int = 5,
+    shards: Optional[int] = None,
+    backend: str = "inline",
+    batch_size: int = 32,
+) -> PerfRecord:
+    """Flash-crowd arrival: ``ops`` newcomers join in ``batch_size`` waves.
+
+    Registers the same concentrated-locality newcomer stream (see
+    :func:`arrival_paths`) as consecutive ``register_peers`` batches of
+    ``batch_size`` on top of a ``population``-peer steady plane, so the
+    per-newcomer cost across the batch-size axis isolates what batching
+    itself buys (shared per-cluster frontiers, amortised validation).
+    ``per_op_us`` divides by the newcomer count.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    server = build_populated_server(
+        population, neighbor_set_size, seed=seed, shards=shards, backend=backend
+    )
+    try:
+        newcomers = arrival_paths(ops, seed + _ARRIVAL_SEED_OFFSET, shards)
+        server.stats.reset()
+        visits = _tree_visits(server)
+        work = _insert_work(server)
+        timer = OpTimer()
+        with timer:
+            for start in range(0, len(newcomers), batch_size):
+                batch = newcomers[start : start + batch_size]
+                server.register_peers(batch)
+                timer.add_ops(len(batch))
+        return PerfRecord.from_timing(
+            "arrival",
+            population,
+            timer.timing,
+            _measured_counters(server, visits, work),
+            shards=shards,
+            backend=backend,
+            batch_size=batch_size,
         )
     finally:
         server.close()
@@ -479,6 +599,7 @@ def run_discovery_suite(
     neighbor_set_size: int = 5,
     shard_counts: Optional[Sequence[int]] = None,
     backends: Sequence[str] = ("inline",),
+    arrival_batch_sizes: Sequence[int] = DEFAULT_ARRIVAL_BATCH_SIZES,
 ) -> PerfReport:
     """Run every discovery workload at every (population, backend, shards).
 
@@ -506,6 +627,7 @@ def run_discovery_suite(
             "seed": seed,
             "shard_counts": list(shard_counts) if shard_counts is not None else None,
             "backends": list(backends),
+            "arrival_batch_sizes": list(arrival_batch_sizes),
         }
     )
     overrides = {} if ops is None else {"ops": ops}
@@ -532,6 +654,18 @@ def run_discovery_suite(
                             neighbor_set_size=neighbor_set_size,
                             shards=shards,
                             backend=backend,
+                            **overrides,
+                        )
+                    )
+                for batch_size in arrival_batch_sizes:
+                    report.add(
+                        run_arrival_workload(
+                            population,
+                            seed=seed,
+                            neighbor_set_size=neighbor_set_size,
+                            shards=shards,
+                            backend=backend,
+                            batch_size=batch_size,
                             **overrides,
                         )
                     )

@@ -1,0 +1,332 @@
+"""Equivalence oracle for the interned, batch-aware arrival engine.
+
+PR 5 rebuilt the registration hot path: interned sort keys replace on-the-fly
+``repr`` in every ordering, the trie nodes are slotted, and
+``register_peers`` computes co-arriving neighbour lists through one shared
+frontier per attachment cluster instead of one tree walk per newcomer.  None
+of that is allowed to change a single byte of output.
+
+This harness pins that with a **reference implementation kept in the tests**:
+:class:`ReferencePlane` computes registration results the slow, obviously
+correct way — brute-force path-pair ``dtree`` ranking sorted by
+``(distance, repr(peer))``, an exhaustive cross-landmark fill, and a
+line-by-line transliteration of the paper's ordered-list cache propagation —
+with no interning, no trie, no clustering.  Every management plane
+(single server, sharded coordinator over inline shards, sharded coordinator
+over process shards; 1–8 shards) must match it exactly:
+
+* ``register_peer`` / ``register_peers`` return values (lists, order,
+  distances — batch dictionaries in input order);
+* the cached neighbour lists after ``propagate_newcomer`` has run (the
+  full cache snapshot, so propagation order and evictions are pinned too).
+
+The hypothesis sweep drives the inline planes; the process backend (real
+worker processes per example are expensive) runs a long fixed workload at
+every shard count in 1–8.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ManagementServer, ShardedManagementServer
+from repro.core.path import RouterPath, tree_distance
+from repro.core.remote import shard_factory_for
+
+MAX_PEERS = 20
+MAX_LANDMARKS = 4
+
+
+# ------------------------------------------------------------------ reference
+
+
+class ReferencePlane:
+    """Brute-force reference for registration results and cache propagation.
+
+    Deliberately naive: O(n) scans, repr computed on the fly, one peer at a
+    time.  Shares no code with :mod:`repro.core` beyond the pure-function
+    ``tree_distance`` over two stored paths.
+    """
+
+    def __init__(self, k: int, distances: Optional[Dict[Tuple[str, str], float]] = None):
+        self.k = k
+        self.paths: Dict[str, RouterPath] = {}
+        self.landmark_of: Dict[str, str] = {}
+        self.distances: Dict[Tuple[str, str], float] = {}
+        for (a, b), value in (distances or {}).items():
+            self.distances[(a, b)] = float(value)
+            self.distances[(b, a)] = float(value)
+        #: peer -> ordered [(distance, repr(peer), peer)] cache entries.
+        self.cache: Dict[str, List[Tuple[float, str, str]]] = {}
+
+    # -- distance arithmetic ------------------------------------------------
+
+    def _landmark_distance(self, a: str, b: str) -> Optional[float]:
+        if a == b:
+            return 0.0
+        return self.distances.get((a, b))
+
+    def _candidates(self, peer_id: str) -> List[Tuple[float, str, str]]:
+        """Every reachable candidate of ``peer_id`` in plane order.
+
+        Same-landmark candidates ranked by exact ``dtree`` first; if fewer
+        than ``k``, cross-landmark candidates (landmarks with a known
+        distance) follow, ranked by the detour estimate.  Both tiers break
+        ties on ``repr(candidate)`` — the plane's canonical total order.
+        """
+        own_path = self.paths[peer_id]
+        own_landmark = self.landmark_of[peer_id]
+        same = sorted(
+            (float(tree_distance(own_path, self.paths[other])), repr(other), other)
+            for other in self.paths
+            if other != peer_id and self.landmark_of[other] == own_landmark
+        )
+        if len(same) >= self.k:
+            return same
+        foreign = sorted(
+            (
+                float(own_path.hop_count + between + self.paths[other].hop_count),
+                repr(other),
+                other,
+            )
+            for other in self.paths
+            if self.landmark_of[other] != own_landmark
+            for between in [self._landmark_distance(own_landmark, self.landmark_of[other])]
+            if between is not None
+        )
+        return same + foreign
+
+    def _compute(self, peer_id: str) -> List[Tuple[str, float]]:
+        return [(peer, distance) for distance, _, peer in self._candidates(peer_id)[: self.k]]
+
+    # -- cache maintenance --------------------------------------------------
+
+    def _store(self, peer_id: str, neighbors: List[Tuple[str, float]]) -> None:
+        self.cache[peer_id] = [(distance, repr(peer), peer) for peer, distance in neighbors]
+
+    def _propagate(self, newcomer: str, neighbors: List[Tuple[str, float]]) -> None:
+        for peer, distance in neighbors:
+            entries = self.cache.get(peer)
+            if entries is None:
+                continue
+            if any(entry[2] == newcomer for entry in entries):
+                continue
+            if len(entries) >= self.k and distance >= entries[-1][0]:
+                continue
+            bisect.insort(entries, (distance, repr(newcomer), newcomer))
+            del entries[self.k :]
+
+    # -- the public surface the oracle drives -------------------------------
+
+    def register_peer(self, path: RouterPath) -> List[Tuple[str, float]]:
+        return self.register_peers([path])[path.peer_id]
+
+    def register_peers(
+        self, paths: List[RouterPath]
+    ) -> Dict[str, List[Tuple[str, float]]]:
+        pending: Dict[str, RouterPath] = {}
+        for path in paths:
+            # Every occurrence of an already-registered peer goes through a
+            # full departure first (the real plane's replace semantics): the
+            # peer keeps its last path, moves to the end of the registration
+            # order, and its stale cache references are repaired.  ``pending``
+            # keeps FIRST-occurrence order — the plane builds it with plain
+            # dict overwrites, and the neighbour phase runs in that order.
+            if path.peer_id in self.paths:
+                self.unregister_peer(path.peer_id)
+            self.paths[path.peer_id] = path
+            self.landmark_of[path.peer_id] = path.landmark_id
+            pending[path.peer_id] = path
+        results: Dict[str, List[Tuple[str, float]]] = {}
+        for peer_id in pending:
+            results[peer_id] = self._compute(peer_id)
+        for peer_id in pending:
+            self._store(peer_id, results[peer_id])
+            self._propagate(peer_id, results[peer_id])
+        return results
+
+    def unregister_peer(self, peer_id: str) -> None:
+        del self.paths[peer_id]
+        del self.landmark_of[peer_id]
+        self.cache.pop(peer_id, None)
+        for entries in self.cache.values():
+            entries[:] = [entry for entry in entries if entry[2] != peer_id]
+
+    def cache_snapshot(self) -> Dict[str, List[Tuple[str, float]]]:
+        return {
+            owner: [(peer, distance) for distance, _, peer in entries]
+            for owner, entries in self.cache.items()
+        }
+
+
+# ------------------------------------------------------------------- drivers
+
+
+def landmark_name(index: int) -> str:
+    return f"lm{index}"
+
+
+def make_path(peer_index: int, landmark_index: int, shape: Tuple[int, int, int]) -> RouterPath:
+    landmark = landmark_name(landmark_index)
+    region, pop, access = shape
+    routers = [
+        f"{landmark}-acc-{region}-{pop}-{access}",
+        f"{landmark}-pop-{region}-{pop}",
+        f"{landmark}-reg-{region}",
+        f"{landmark}-core",
+        landmark,
+    ]
+    return RouterPath.from_routers(f"p{peer_index}", landmark, routers)
+
+
+def landmark_distances(landmark_count: int) -> Dict[Tuple[str, str], float]:
+    return {
+        (landmark_name(i), landmark_name(j)): float(1 + abs(i - j))
+        for i in range(landmark_count)
+        for j in range(landmark_count)
+        if i < j
+    }
+
+
+def build_plane(backend: str, shard_count: int, landmark_count: int, with_distances: bool, k: int):
+    distances = landmark_distances(landmark_count) if with_distances else None
+    if backend == "single":
+        plane = ManagementServer(neighbor_set_size=k, landmark_distances=distances)
+    else:
+        plane = ShardedManagementServer(
+            shard_count,
+            neighbor_set_size=k,
+            landmark_distances=distances,
+            shard_factory=shard_factory_for(backend, k),
+        )
+    for index in range(landmark_count):
+        # The landmark's attachment router must equal the landmark-side end
+        # of the synthetic paths, or every insert fails root validation.
+        plane.register_landmark(landmark_name(index), landmark_name(index))
+    return plane
+
+
+def plane_cache_snapshot(plane) -> Dict[str, List[Tuple[str, float]]]:
+    return {
+        owner: [(entry.peer_id, entry.distance) for entry in entries]
+        for owner, entries in plane._neighbor_cache.items()
+    }
+
+
+def run_oracle_case(backend: str, case) -> None:
+    landmark_count, shard_count, with_distances, k, ops = case
+    plane = build_plane(backend, shard_count, landmark_count, with_distances, k)
+    reference = ReferencePlane(k, landmark_distances(landmark_count) if with_distances else None)
+    try:
+        for op in ops:
+            kind = op[0]
+            if kind == "arrive":
+                _, peer_index, lm_index, shape = op
+                path = make_path(peer_index, lm_index, shape)
+                assert plane.register_peer(path) == reference.register_peer(path), op
+            elif kind == "batch":
+                _, specs = op
+                paths = [make_path(*spec) for spec in specs]
+                assert plane.register_peers(paths) == reference.register_peers(paths), op
+            elif kind == "depart":
+                _, peer_index = op
+                peer = f"p{peer_index}"
+                if plane.has_peer(peer):
+                    plane.unregister_peer(peer)
+                    reference.unregister_peer(peer)
+            else:  # pragma: no cover - strategy bug guard
+                raise AssertionError(f"unknown op {op!r}")
+            assert plane_cache_snapshot(plane) == reference.cache_snapshot(), op
+        assert plane.peers() == list(reference.paths)
+    finally:
+        plane.close()
+
+
+@st.composite
+def oracle_cases(draw):
+    landmark_count = draw(st.integers(1, MAX_LANDMARKS))
+    shard_count = draw(st.integers(1, 8))
+    with_distances = draw(st.booleans())
+    k = draw(st.integers(1, 4))
+    shape = st.tuples(st.integers(0, 1), st.integers(0, 1), st.integers(0, 2))
+    peer = st.integers(0, MAX_PEERS - 1)
+    lm = st.integers(0, landmark_count - 1)
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("arrive"), peer, lm, shape),
+                st.tuples(
+                    st.just("batch"),
+                    st.lists(st.tuples(peer, lm, shape), min_size=1, max_size=8),
+                ),
+                st.tuples(st.just("depart"), peer),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    return landmark_count, shard_count, with_distances, k, ops
+
+
+class TestArrivalEngineOracle:
+    """The new arrival engine vs. the brute-force reference, per backend."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=oracle_cases())
+    def test_single_server_matches_reference(self, case):
+        run_oracle_case("single", case)
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=oracle_cases())
+    def test_sharded_inline_matches_reference(self, case):
+        run_oracle_case("inline", case)
+
+
+class TestArrivalEngineOracleAcceptance:
+    """Fixed long workloads: every backend, every shard count 1–8.
+
+    The process backend spawns one worker per shard, so it runs the
+    deterministic sweep instead of the hypothesis budget.
+    """
+
+    def _fixed_case(self, shard_count: int, seed: int):
+        rng = random.Random(seed)
+        ops = []
+        for _ in range(120):
+            roll = rng.random()
+            if roll < 0.45:
+                ops.append(("arrive", rng.randrange(MAX_PEERS), rng.randrange(3), _shape(rng)))
+            elif roll < 0.75:
+                ops.append(
+                    (
+                        "batch",
+                        [
+                            (rng.randrange(MAX_PEERS), rng.randrange(3), _shape(rng))
+                            for _ in range(rng.randrange(1, 7))
+                        ],
+                    )
+                )
+            else:
+                ops.append(("depart", rng.randrange(MAX_PEERS)))
+        return (3, shard_count, True, 3, ops)
+
+    @pytest.mark.parametrize("shard_count", [1, 2, 4, 8])
+    def test_inline_sweep(self, shard_count):
+        run_oracle_case("inline", self._fixed_case(shard_count, 31_000 + shard_count))
+
+    @pytest.mark.parametrize("shard_count", [1, 2, 4, 8])
+    def test_process_sweep(self, shard_count):
+        run_oracle_case("process", self._fixed_case(shard_count, 32_000 + shard_count))
+
+    def test_single_server_sweep(self):
+        run_oracle_case("single", self._fixed_case(1, 33_000))
+
+
+def _shape(rng: random.Random) -> Tuple[int, int, int]:
+    return (rng.randrange(2), rng.randrange(2), rng.randrange(3))

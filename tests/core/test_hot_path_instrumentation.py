@@ -1,0 +1,135 @@
+"""Hot-path instrumentation: no ``repr`` remains on register/query/propagate.
+
+The interned arrival engine's contract (PR 5): ``repr(peer_id)`` runs **once
+per peer, at first registration** — interned by the plane's
+:class:`~repro.core.interning.PeerKeyInterner` — and never again: not per
+candidate in a query sort, not per bisect probe in ``propagate_newcomer``,
+not per insert in the min-hop orderings, not at all on churn re-arrivals or
+cached queries.
+
+These tests pin that by swapping ``builtins.repr`` for a counting wrapper
+around the measured window.  Explicit ``repr(...)`` calls in library code
+resolve through ``builtins`` at call time, so the counter sees exactly the
+calls the interner was built to eliminate (f-string ``!r`` and C-level
+formatting bypass it — they are not on any hot path).
+"""
+
+from __future__ import annotations
+
+import builtins
+
+import pytest
+
+from repro.core import ManagementServer, ShardedManagementServer
+from repro.core.path import RouterPath
+
+
+def make_path(index: int, landmark: str = "lmk", access: int = 0) -> RouterPath:
+    routers = [f"{landmark}-acc-{access}", f"{landmark}-core", landmark]
+    return RouterPath.from_routers(f"peer{index}", landmark, routers)
+
+
+def count_reprs(fn) -> int:
+    """Run ``fn`` with ``builtins.repr`` replaced by a counting wrapper."""
+    calls = 0
+    real_repr = builtins.repr
+
+    def counting_repr(obj) -> str:
+        nonlocal calls
+        calls += 1
+        return real_repr(obj)
+
+    builtins.repr = counting_repr
+    try:
+        fn()
+    finally:
+        builtins.repr = real_repr
+    return calls
+
+
+@pytest.fixture()
+def server() -> ManagementServer:
+    server = ManagementServer(neighbor_set_size=4)
+    server.register_landmark("lmk", "lmk")
+    server.register_peers([make_path(i, access=i % 7) for i in range(40)])
+    return server
+
+
+class TestRegisterPath:
+    def test_fresh_batch_interns_once_per_peer(self, server):
+        newcomers = [make_path(100 + i, access=i % 5) for i in range(20)]
+        calls = count_reprs(lambda: server.register_peers(newcomers))
+        assert calls <= len(newcomers)
+
+    def test_single_arrival_interns_at_most_once(self, server):
+        path = make_path(200, access=3)
+        assert count_reprs(lambda: server.register_peer(path)) <= 1
+
+    def test_churn_cycle_interns_at_most_once(self, server):
+        """A leave/re-join cycle — tree removal, reverse-index repair,
+        re-insert, neighbour recompute, cache propagation — pays at most ONE
+        repr call: the departure evicts the peer's interned key (so the
+        table stays bounded by the live population) and the re-arrival
+        re-interns it.  Never per candidate, per probe, or per list."""
+        path = server.peer_path("peer3")
+
+        def cycle():
+            server.unregister_peer("peer3")
+            server.register_peers([path])
+
+        assert count_reprs(cycle) <= 1
+
+    def test_interner_stays_bounded_under_open_world_churn(self, server):
+        """Departing peers are evicted from the plane's intern table, so a
+        long-lived server's key table tracks the live population, not the
+        cumulative arrival count."""
+        interner = server._interner
+        before = len(interner)
+        for wave in range(5):
+            fresh = [make_path(1000 + wave * 20 + i, access=i % 5) for i in range(20)]
+            server.register_peers(fresh)
+            for path in fresh:
+                server.unregister_peer(path.peer_id)
+        assert len(interner) == before
+
+
+class TestQueryPath:
+    def test_cached_query_is_repr_free(self, server):
+        assert count_reprs(lambda: [server.closest_peers(f"peer{i}") for i in range(40)]) == 0
+
+    def test_tree_walk_query_is_repr_free(self):
+        """The count-guided frontier walk sorts candidates on interned keys:
+        even full cache-miss queries never call repr."""
+        server = ManagementServer(neighbor_set_size=4, maintain_cache=False)
+        server.register_landmark("lmk", "lmk")
+        server.register_peers([make_path(i, access=i % 7) for i in range(40)])
+        assert count_reprs(lambda: [server.closest_peers(f"peer{i}") for i in range(40)]) == 0
+
+    def test_cross_landmark_fill_is_repr_free(self):
+        """The lazily merged min-hop orderings are built from interned keys:
+        a query that needs the cross-landmark fill stays repr-free."""
+        server = ManagementServer(
+            neighbor_set_size=4, landmark_distances={("lmA", "lmB"): 3.0}
+        )
+        server.register_landmark("lmA", "lmA")
+        server.register_landmark("lmB", "lmB")
+        server.register_peers(
+            [make_path(0, landmark="lmA")]
+            + [make_path(10 + i, landmark="lmB", access=i) for i in range(6)]
+        )
+        assert count_reprs(lambda: server.closest_peers("peer0", k=4)) == 0
+
+
+class TestShardedPlane:
+    def test_sharded_batch_interns_at_most_twice_per_peer(self):
+        """Coordinator and home shard each own one interner: a fresh peer is
+        interned at most twice, independent of k, list sizes, or shard count."""
+        server = ShardedManagementServer(shard_count=3, neighbor_set_size=4)
+        for landmark in ("lmA", "lmB"):
+            server.register_landmark(landmark, landmark)
+        first = [make_path(i, landmark="lmA", access=i % 5) for i in range(10)]
+        second = [make_path(50 + i, landmark="lmB", access=i % 5) for i in range(10)]
+        server.register_peers(first)
+        calls = count_reprs(lambda: server.register_peers(second))
+        assert calls <= 2 * len(second)
+        assert count_reprs(lambda: [server.closest_peers(p.peer_id) for p in second]) == 0

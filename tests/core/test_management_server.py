@@ -155,6 +155,89 @@ class TestQueries:
             assert distances == sorted(distances)
 
 
+class TestShortListCompleteness:
+    """The cache-hit predicate fix (PR 5): a list that is legitimately
+    short — the plane simply cannot provide ``k`` reachable candidates —
+    must hit the cache in the steady state instead of paying a tree walk
+    per query, and must be recomputed exactly once after any membership
+    change that could add a candidate."""
+
+    @pytest.fixture()
+    def island(self) -> ManagementServer:
+        """k=5, two landmarks, NO inter-landmark distances: lmB's peers can
+        never fill from lmA, so their lists are legitimately short."""
+        server = ManagementServer(neighbor_set_size=5)
+        server.register_landmark("lmA", "lmA")
+        server.register_landmark("lmB", "lmB")
+        for index in range(8):
+            server.register_peer(path(f"a{index}", [f"r{index}", "core", "lmA"]))
+        server.register_peer(path("b1", ["x1", "lmB"], landmark="lmB"))
+        server.register_peer(path("b2", ["x2", "lmB"], landmark="lmB"))
+        server.register_peer(path("b3", ["x3", "lmB"], landmark="lmB"))
+        return server
+
+    def test_short_list_hits_cache_in_steady_state(self, island):
+        first = island.closest_peers("b1")
+        assert len(first) == 2  # only b2/b3 are reachable: legitimately short
+        island.stats.reset()
+        for _ in range(5):
+            assert island.closest_peers("b1") == first
+        assert island.stats.cache_hits == 5
+        assert island.stats.tree_queries == 0
+
+    def test_seed_predicate_regression(self, island):
+        """The pre-fix predicate ``len(entries) >= min(k, peer_count - 1)``
+        made every b-peer query walk the tree: 2 cached entries < min(5, 10).
+        Pin the fixed behaviour counter-for-counter."""
+        island.closest_peers("b2")
+        island.stats.reset()
+        island.closest_peers("b2")
+        island.closest_peers("b2")
+        assert island.stats.tree_queries == 0
+
+    def test_arrival_invalidates_short_list_once(self, island):
+        first = island.closest_peers("b1")
+        island.register_peer(path("b4", ["x4", "lmB"], landmark="lmB"))
+        island.stats.reset()
+        updated = island.closest_peers("b1")
+        assert {peer for peer, _ in updated} == {"b2", "b3", "b4"}
+        assert updated != first
+        # Exactly one recompute, then the (still short) list is warm again.
+        assert island.stats.tree_queries == 1
+        island.stats.reset()
+        assert island.closest_peers("b1") == updated
+        assert island.stats.tree_queries == 0
+        assert island.stats.cache_hits == 1
+
+    def test_new_landmark_distance_invalidates_short_list(self, island):
+        short = island.closest_peers("b1")
+        assert len(short) == 2
+        island.set_landmark_distance("lmA", "lmB", 4.0)
+        filled = island.closest_peers("b1")
+        assert len(filled) == 5  # the fill can now reach lmA's peers
+        assert [pair for pair in filled[:2]] == short
+
+    def test_departure_keeps_short_list_warm_and_correct(self, island):
+        island.closest_peers("b1")
+        island.unregister_peer("b2")
+        island.stats.reset()
+        assert [peer for peer, _ in island.closest_peers("b1")] == ["b3"]
+        # The reverse-index repair already fixed the list: no recompute.
+        assert island.stats.tree_queries == 0
+
+    def test_short_hit_matches_recompute_exactly(self, island):
+        """Served-from-cache short lists must be byte-identical to what a
+        cacheless twin computes — completeness is a work optimisation only."""
+        twin = ManagementServer(neighbor_set_size=5, maintain_cache=False)
+        twin.register_landmark("lmA", "lmA")
+        twin.register_landmark("lmB", "lmB")
+        for peer in island.peers():
+            twin.register_peer(island.peer_path(peer))
+        for peer in island.peers():
+            island.closest_peers(peer)  # warm + mark
+            assert island.closest_peers(peer) == twin.closest_peers(peer)
+
+
 class TestCacheMaintenance:
     def test_cache_hit_counted(self, populated):
         populated.stats.reset()

@@ -265,3 +265,61 @@ def test_property_subtree_counts_consistent_after_removals(paths):
         )
         assert attached_everywhere == tree.peer_count
         tree.remove(tree.peers()[0])
+
+
+class TestInsertInstrumentation:
+    """The insert-side work counters added by the interned arrival engine."""
+
+    def test_insert_counts_touched_and_created(self):
+        tree = PathTree(landmark_id="lmk", landmark_router="lmk")
+        tree.insert(RouterPath.from_routers("a", "lmk", ["a1", "core", "lmk"]))
+        assert tree.last_insert_nodes_touched == 3
+        assert tree.last_insert_nodes_created == 2  # core + a1 (root pre-made)
+        tree.insert(RouterPath.from_routers("b", "lmk", ["a1", "core", "lmk"]))
+        assert tree.last_insert_nodes_touched == 3
+        assert tree.last_insert_nodes_created == 0  # fully shared prefix
+        assert tree.total_insert_nodes_created == 2
+        assert tree.total_insert_nodes_touched == 6
+
+    def test_lazy_root_counts_as_created(self):
+        tree = PathTree(landmark_id="lmk")
+        tree.insert(RouterPath.from_routers("a", "lmk", ["a1", "lmk"]))
+        assert tree.last_insert_nodes_created == 2
+        assert tree.last_insert_nodes_touched == 2
+
+    def test_incremental_router_count_and_max_depth_track_churn(self):
+        tree = PathTree(landmark_id="lmk", landmark_router="lmk")
+        assert (tree.router_count, tree.max_depth()) == (1, 0)
+        tree.insert(RouterPath.from_routers("a", "lmk", ["a2", "a1", "core", "lmk"]))
+        assert (tree.router_count, tree.max_depth()) == (4, 3)
+        tree.insert(RouterPath.from_routers("b", "lmk", ["b1", "core", "lmk"]))
+        assert (tree.router_count, tree.max_depth()) == (5, 3)
+        tree.remove("a")  # prunes the a2/a1 branch
+        assert (tree.router_count, tree.max_depth()) == (3, 2)
+        tree.remove("b")
+        assert (tree.router_count, tree.max_depth()) == (1, 0)
+
+    def test_incremental_aggregates_match_full_scan(self):
+        import random as _random
+
+        rng = _random.Random(7)
+        tree = PathTree(landmark_id="lmk", landmark_router="lmk")
+        alive = []
+        for step in range(120):
+            if alive and rng.random() < 0.4:
+                victim = alive.pop(rng.randrange(len(alive)))
+                tree.remove(victim)
+            else:
+                depth = rng.randrange(1, 5)
+                routers = [f"r{rng.randrange(3)}-{level}" for level in range(depth)] + ["lmk"]
+                seen, unique = set(), []
+                for router in routers:
+                    if router not in seen:
+                        seen.add(router)
+                        unique.append(router)
+                peer = f"peer{step}"
+                tree.insert(RouterPath.from_routers(peer, "lmk", unique))
+                alive.append(peer)
+            nodes = list(tree.root.iter_subtree())
+            assert tree.router_count == len(nodes)
+            assert tree.max_depth() == max(node.depth for node in nodes)

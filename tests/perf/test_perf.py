@@ -14,10 +14,13 @@ from repro.perf.report import SCHEMA_VERSION, PerfRecord, PerfReport
 from repro.perf.timer import OpTimer, Timing, time_ops
 from repro.perf.workloads import (
     BUILD_LANDMARK_COUNT,
+    DEFAULT_ARRIVAL_BATCH_SIZES,
     DEFAULT_POPULATIONS,
     SHARDED_LANDMARK_COUNT,
+    arrival_paths,
     build_map_config,
     build_populated_server,
+    run_arrival_workload,
     run_build_workload,
     run_churn_workload,
     run_departure_workload,
@@ -27,7 +30,10 @@ from repro.perf.workloads import (
 )
 from repro.topology.internet_mapper import RouterMapConfig
 
-ALL_WORKLOADS = ("insert", "query", "departure", "churn", "build")
+ALL_WORKLOADS = ("insert", "query", "departure", "churn", "arrival", "build")
+
+#: The suite default: one arrival cell per batch size.
+ARRIVAL_BATCH_SIZES = (1, 32, 256)
 
 #: Tiny map for build-workload tests (the scaled default would dominate
 #: test wall-clock).
@@ -101,7 +107,7 @@ class TestReport:
         }
         rebuilt = PerfReport.from_dict(data)
         assert rebuilt.records[0].shards is None
-        assert rebuilt.records[0].cell == ("query", 20, None, "inline")
+        assert rebuilt.records[0].cell == ("query", 20, None, "inline", None)
 
     def test_schema_v2_records_load_as_inline_backend(self):
         """Pre-backend reports (no 'backend' key) line up with inline cells."""
@@ -114,7 +120,7 @@ class TestReport:
         }
         rebuilt = PerfReport.from_dict(data)
         assert rebuilt.records[0].backend == "inline"
-        assert rebuilt.records[0].cell == ("churn", 20, 2, "inline")
+        assert rebuilt.records[0].cell == ("churn", 20, 2, "inline", None)
 
     def test_write_emits_valid_json(self, tmp_path):
         report = PerfReport()
@@ -178,10 +184,123 @@ class TestWorkloads:
             for workload in ALL_WORKLOADS
             for population in (20, 40)
         }
+        arrival_cells = {
+            (record.population, record.batch_size)
+            for record in report.records
+            if record.workload == "arrival"
+        }
+        assert arrival_cells == {
+            (population, batch_size)
+            for population in (20, 40)
+            for batch_size in ARRIVAL_BATCH_SIZES
+        }
+        assert all(
+            record.batch_size is None
+            for record in report.records
+            if record.workload != "arrival"
+        )
         assert report.metadata["populations"] == [20, 40]
+        assert report.metadata["arrival_batch_sizes"] == list(ARRIVAL_BATCH_SIZES)
 
     def test_default_populations_match_issue_scales(self):
         assert DEFAULT_POPULATIONS == (200, 800, 3200, 12800)
+
+
+class TestArrivalWorkload:
+    def test_arrival_record_shape(self):
+        record = run_arrival_workload(40, ops=12, seed=2, batch_size=4)
+        assert record.workload == "arrival"
+        assert record.population == 40
+        assert record.ops == 12
+        assert record.batch_size == 4
+        assert record.cell == ("arrival", 40, None, "inline", 4)
+        assert record.counters["registrations"] == 12
+        assert "tree_node_visits" in record.counters
+        assert "trie_nodes_created" in record.counters
+        assert "trie_nodes_touched" in record.counters
+
+    def test_arrival_default_batch_sizes_match_suite(self):
+        assert DEFAULT_ARRIVAL_BATCH_SIZES == (1, 32, 256)
+
+    def test_arrival_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            run_arrival_workload(40, ops=10, seed=2, batch_size=0)
+
+    def test_arrival_batches_share_cluster_frontiers(self):
+        """The tentpole's amortisation claim, counter-based: a flash-crowd
+        batch groups co-attached newcomers onto one shared frontier walk, so
+        big batches run measurably fewer tree queries than sequential
+        arrivals of the very same peer stream."""
+        sequential = run_arrival_workload(800, ops=256, seed=2, batch_size=1)
+        batched = run_arrival_workload(800, ops=256, seed=2, batch_size=256)
+        assert sequential.counters["tree_queries"] == 256
+        assert batched.counters["tree_queries"] < sequential.counters["tree_queries"]
+
+    def test_arrival_insert_work_is_flat_across_batch_sizes(self):
+        """Batching may only change query-side work: the trie insert work
+        (nodes created / traversed) is a function of the paths alone."""
+        baseline = run_arrival_workload(100, ops=40, seed=2, batch_size=1).counters
+        for batch_size in (8, 40):
+            counters = run_arrival_workload(100, ops=40, seed=2, batch_size=batch_size).counters
+            assert counters["trie_nodes_created"] == baseline["trie_nodes_created"]
+            assert counters["trie_nodes_touched"] == baseline["trie_nodes_touched"]
+
+    def test_batched_arrival_results_match_sequential_registration(self):
+        """One batch of co-arriving newcomers must leave the plane in
+        exactly the state sequential arrivals of the same paths would —
+        the byte-identical guarantee of the batch-aware neighbour phase.
+        (Batch members may see each other earlier than late sequential
+        arrivals see earlier ones, so neighbour lists are compared on the
+        settled plane, not per call.)"""
+        newcomers = arrival_paths(64, seed=9, shards=None)
+        batched = build_populated_server(300, seed=2)
+        batched.register_peers(newcomers)
+        sequential = build_populated_server(300, seed=2)
+        sequential.register_peers(newcomers)
+        assert batched.peers() == sequential.peers()
+        for peer in batched.peers():
+            assert batched.closest_peers(peer) == sequential.closest_peers(peer)
+
+    def test_arrival_runs_sharded_and_process(self):
+        inline = run_arrival_workload(40, ops=8, seed=2, shards=2, batch_size=4)
+        assert inline.cell == ("arrival", 40, 2, "inline", 4)
+        process = run_arrival_workload(40, ops=8, seed=2, shards=2, backend="process", batch_size=4)
+        assert process.cell == ("arrival", 40, 2, "process", 4)
+        assert process.counters == inline.counters
+        assert multiprocessing.active_children() == []
+
+
+class TestInsertWorkCounters:
+    """The registration-side twin of the query-visit scaling assertions."""
+
+    def test_trie_touch_work_is_linear_in_path_length_not_population(self):
+        """Every insert traverses exactly the path's routers (5 in the
+        synthetic hierarchy): the O(d) registration bound, independent of
+        how many peers are already registered."""
+        small = run_insert_workload(200, ops=50, seed=2).counters
+        large = run_insert_workload(3200, ops=50, seed=2).counters
+        assert small["trie_nodes_touched"] == 50 * 5
+        assert large["trie_nodes_touched"] == 50 * 5
+
+    def test_trie_creation_shrinks_as_the_trie_fills(self):
+        """Denser trees share more prefixes: the same newcomer stream
+        allocates fewer fresh trie nodes at larger populations, and never
+        more than it touches."""
+        small = run_insert_workload(200, ops=50, seed=2).counters
+        large = run_insert_workload(12800, ops=50, seed=2).counters
+        assert 0 < large["trie_nodes_created"] <= small["trie_nodes_created"]
+        assert small["trie_nodes_created"] <= small["trie_nodes_touched"]
+
+    def test_churn_reinsert_work_is_bounded_per_cycle(self):
+        record = run_churn_workload(400, ops=30, seed=2)
+        assert record.counters["trie_nodes_touched"] == 30 * 5
+        assert record.counters["trie_nodes_created"] <= 30 * 5
+
+    def test_process_backend_reports_identical_insert_work(self):
+        inline = run_insert_workload(60, ops=10, seed=2, shards=2).counters
+        process = run_insert_workload(60, ops=10, seed=2, shards=2, backend="process").counters
+        assert inline["trie_nodes_created"] == process["trie_nodes_created"]
+        assert inline["trie_nodes_touched"] == process["trie_nodes_touched"]
 
 
 class TestBuildWorkload:
@@ -218,9 +337,9 @@ class TestBuildWorkload:
 
     def test_build_sharded_and_process_cells_tag_records(self):
         inline = self._record(population=30, shards=2)
-        assert inline.cell == ("build", 30, 2, "inline")
+        assert inline.cell == ("build", 30, 2, "inline", None)
         process = self._record(population=30, shards=2, backend="process")
-        assert process.cell == ("build", 30, 2, "process")
+        assert process.cell == ("build", 30, 2, "process", None)
         assert multiprocessing.active_children() == []
 
     def test_build_rejects_bad_backend(self):
@@ -286,7 +405,10 @@ class TestShardedWorkloads:
             assert runner(200, ops=20, seed=2, shards=shards).counters == baseline
 
     def test_suite_with_shard_counts_tags_cells(self):
-        report = run_discovery_suite(populations=(20, 40), ops=5, seed=2, shard_counts=(1, 2))
+        report = run_discovery_suite(
+            populations=(20, 40), ops=5, seed=2, shard_counts=(1, 2),
+            arrival_batch_sizes=(2,),
+        )
         combos = {(record.workload, record.population, record.shards) for record in report.records}
         assert combos == {
             (workload, population, shards)
@@ -367,7 +489,7 @@ class TestProcessBackendWorkloads:
     def test_suite_multiplies_backend_cells_and_tags_metadata(self):
         report = run_discovery_suite(
             populations=(20,), ops=3, seed=2, shard_counts=(2,),
-            backends=("inline", "process"),
+            backends=("inline", "process"), arrival_batch_sizes=(2,),
         )
         combos = {(record.workload, record.shards, record.backend) for record in report.records}
         assert combos == {
@@ -415,7 +537,9 @@ class TestCompare:
         current = _report_from_cells([("query", 200, None, 13.0), ("churn", 800, None, 40.0)])
         result = compare_reports(baseline, current, threshold=0.25)
         assert not result.ok
-        assert [delta.key for delta in result.regressions] == [("query", 200, None, "inline")]
+        assert [delta.key for delta in result.regressions] == [
+            ("query", 200, None, "inline", None)
+        ]
         assert "REGRESSION" in result.to_text()
         assert "FAIL" in result.to_text()
 
@@ -428,7 +552,7 @@ class TestCompare:
         baseline = _report_from_cells([("query", 200, 1, 10.0), ("query", 200, 4, 10.0)])
         current = _report_from_cells([("query", 200, 1, 10.0), ("query", 200, 4, 30.0)])
         result = compare_reports(baseline, current)
-        assert [delta.key for delta in result.regressions] == [("query", 200, 4, "inline")]
+        assert [delta.key for delta in result.regressions] == [("query", 200, 4, "inline", None)]
 
     def test_cells_are_keyed_by_backend_too(self):
         """A slow process cell never fails an inline cell, and vice versa."""
@@ -439,7 +563,7 @@ class TestCompare:
             [("query", 200, 2, 10.0), ("query", 200, 2, 90.0, "process")]
         )
         result = compare_reports(baseline, current)
-        assert [delta.key for delta in result.regressions] == [("query", 200, 2, "process")]
+        assert [delta.key for delta in result.regressions] == [("query", 200, 2, "process", None)]
 
     def test_process_cells_against_inline_baseline_are_new_cells(self):
         """The --backend dimension must not break pre-v3 baselines: inline
@@ -450,16 +574,16 @@ class TestCompare:
         )
         result = compare_reports(baseline, current)
         assert result.ok
-        assert [delta.key for delta in result.deltas] == [("query", 200, 2, "inline")]
-        assert result.current_only == [("query", 200, 2, "process")]
+        assert [delta.key for delta in result.deltas] == [("query", 200, 2, "inline", None)]
+        assert result.current_only == [("query", 200, 2, "process", None)]
 
     def test_unmatched_cells_are_reported_but_never_fail(self):
         baseline = _report_from_cells([("query", 200, None, 10.0), ("query", 800, None, 10.0)])
         current = _report_from_cells([("query", 200, None, 10.0), ("query", 200, 2, 99.0)])
         result = compare_reports(baseline, current)
         assert result.ok
-        assert result.baseline_only == [("query", 800, None, "inline")]
-        assert result.current_only == [("query", 200, 2, "inline")]
+        assert result.baseline_only == [("query", 800, None, "inline", None)]
+        assert result.current_only == [("query", 200, 2, "inline", None)]
         text = result.to_text()
         assert "baseline only" in text
         assert "new cell" in text
@@ -476,7 +600,38 @@ class TestCompare:
         current = _report_from_cells([("build", 12800, None, 300.0), ("query", 200, None, 10.0)])
         result = compare_reports(baseline, current, threshold=0.25)
         assert not result.ok
-        assert [delta.key for delta in result.regressions] == [("build", 12800, None, "inline")]
+        assert [delta.key for delta in result.regressions] == [
+            ("build", 12800, None, "inline", None)
+        ]
+
+    def test_cells_are_keyed_by_batch_size_too(self):
+        """A slow arrival cell at one batch size never fails another."""
+        baseline = PerfReport()
+        current = PerfReport()
+        for report, slow_us in ((baseline, 10.0), (current, 90.0)):
+            report.add(
+                PerfRecord(workload="arrival", population=200, ops=100,
+                           total_s=10.0 * 100 / 1e6, batch_size=1)
+            )
+            report.add(
+                PerfRecord(workload="arrival", population=200, ops=100,
+                           total_s=slow_us * 100 / 1e6, batch_size=32)
+            )
+        result = compare_reports(baseline, current)
+        assert [delta.key for delta in result.regressions] == [
+            ("arrival", 200, None, "inline", 32)
+        ]
+
+    def test_arrival_cells_against_pre_v5_baseline_are_new_cells(self):
+        baseline = _report_from_cells([("query", 200, None, 10.0)])
+        current = _report_from_cells([("query", 200, None, 10.0)])
+        current.add(
+            PerfRecord(workload="arrival", population=200, ops=10, total_s=0.1, batch_size=32)
+        )
+        result = compare_reports(baseline, current)
+        assert result.ok
+        assert result.current_only == [("arrival", 200, None, "inline", 32)]
+        assert "batch=32" in result.to_text()
 
     def test_delta_ratio(self):
         delta = CellDelta("query", 200, None, baseline_us=10.0, current_us=15.0)
@@ -527,6 +682,25 @@ class TestCli:
     def test_invalid_shards_spec_is_rejected(self, spec, tmp_path, capsys):
         with pytest.raises(SystemExit):
             run_perf(["--populations", "20", "--ops", "3", "--shards", spec,
+                      "--output", str(tmp_path / "b.json")])
+
+    def test_arrival_batch_sizes_flag_runs_one_cell_per_size(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = run_perf(
+            ["--populations", "20", "--ops", "4", "--arrival-batch-sizes", "1,2",
+             "--output", str(output)]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        arrival = [r for r in data["records"] if r["workload"] == "arrival"]
+        assert sorted(r["batch_size"] for r in arrival) == [1, 2]
+        assert all(r["batch_size"] is None for r in data["records"] if r["workload"] != "arrival")
+
+    @pytest.mark.parametrize("spec", ["0", "1,0", "abc", ","])
+    def test_invalid_arrival_batch_sizes_rejected(self, spec, tmp_path):
+        with pytest.raises(SystemExit):
+            run_perf(["--populations", "20", "--ops", "3",
+                      "--arrival-batch-sizes", spec,
                       "--output", str(tmp_path / "b.json")])
 
     def test_backend_flag_runs_process_cells(self, tmp_path):
