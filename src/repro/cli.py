@@ -35,6 +35,11 @@ Measure flash-crowd arrivals at specific co-arriving batch sizes (the
 ``arrival`` workload runs once per listed size)::
 
     repro-experiments perf --arrival-batch-sizes 1,64
+
+Measure worker restart+replay with and without journal compaction (the
+``recovery`` / ``recovery-compacted`` cells; process backend only)::
+
+    repro-experiments perf --shards 2 --backend process --recovery-ops 5000
 """
 
 from __future__ import annotations
@@ -195,6 +200,17 @@ def build_perf_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--recovery-ops",
+        type=int,
+        default=None,
+        metavar="COUNT",
+        help=(
+            "churn cycles the recovery workload journals before measuring "
+            "restart+replay (process backend only; default: --ops, else the "
+            "workload default)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path("BENCH_discovery.json"),
@@ -240,6 +256,8 @@ def run_perf(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--populations must all be >= 2, got {populations}")
     if args.ops is not None and args.ops < 1:
         parser.error(f"--ops must be >= 1, got {args.ops}")
+    if args.recovery_ops is not None and args.recovery_ops < 1:
+        parser.error(f"--recovery-ops must be >= 1, got {args.recovery_ops}")
     if args.neighbor_set_size < 1:
         parser.error(f"--neighbor-set-size must be >= 1, got {args.neighbor_set_size}")
     if args.compare_threshold < 0:
@@ -264,6 +282,7 @@ def run_perf(argv: Optional[Sequence[str]] = None) -> int:
         shard_counts=args.shards,
         backends=backends,
         arrival_batch_sizes=args.arrival_batch_sizes or list(DEFAULT_ARRIVAL_BATCH_SIZES),
+        recovery_ops=args.recovery_ops,
     )
     print(report.to_text())
     try:

@@ -21,15 +21,18 @@ from .path import (
 )
 from .interning import PeerKeyInterner
 from .path_tree import PathTree, PathTreeNode
+from .management_plane import DegradedResult, PlaneHealth, ShardHealth
 from .management_server import ManagementServer, NeighborEntry, ServerStats
 from .neighbor_cache import NeighborCache
 from .sharded import ConsistentHashRing, ShardBackend, ShardedManagementServer
 from .remote import (
     ProcessShardBackend,
+    RecoveryPolicy,
     ShardSupervisor,
     process_shard_factory,
     shard_factory_for,
 )
+from .chaos import ChaosShardBackend, Fault, FaultPlan
 from .distance import (
     AccuracyReport,
     DistanceEstimator,
@@ -83,10 +86,17 @@ __all__ = [
     "ConsistentHashRing",
     "ShardBackend",
     "ShardedManagementServer",
+    "DegradedResult",
+    "PlaneHealth",
+    "ShardHealth",
     "ProcessShardBackend",
+    "RecoveryPolicy",
     "ShardSupervisor",
     "process_shard_factory",
     "shard_factory_for",
+    "ChaosShardBackend",
+    "Fault",
+    "FaultPlan",
     "AccuracyReport",
     "DistanceEstimator",
     "PairAccuracy",

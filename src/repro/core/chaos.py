@@ -1,0 +1,250 @@
+"""Deterministic fault injection for shard backends.
+
+Robustness claims need *scripted* failures: a :class:`FaultPlan` describes
+exactly which backend operation fails and how, a :class:`ChaosShardBackend`
+wraps any :class:`~repro.core.sharded.ShardBackend` and executes the plan,
+and the equivalence oracle in ``tests/core/test_sharded_equivalence.py``
+then proves the plane converges byte-identical to the single server
+*through* the scripted crash/recover sequence.  Nothing here is random:
+faults fire on a per-backend operation counter, so a failing case replays
+identically.
+
+Fault kinds
+-----------
+``crash_before``
+    Kill the worker process before forwarding the call — the inner backend
+    sees a dead worker and (with a
+    :class:`~repro.core.remote.RecoveryPolicy`) self-heals via
+    restart+replay+re-issue.  The operation itself is never lost.
+``crash_after``
+    Forward the call, then kill the worker.  The operation was acknowledged
+    (and journaled, if mutating), so recovery replays it — this is the
+    "crash between ops" case.
+``drop_reply``
+    Forward the call, discard its result and raise
+    :class:`~repro.exceptions.ShardUnavailableError` instead.  The worker
+    *did* apply (and journal) the operation while the caller sees a
+    failure — the one fault whose recovery needs caller-level convergence
+    (re-register the batch), which is why the byte-identity oracle scripts
+    only crash faults and ``drop_reply`` is covered by dedicated tests.
+``delay``
+    Sleep ``delay_s`` (via the injectable ``sleep``) before forwarding —
+    models a slow shard without killing anything.
+``error``
+    Raise :class:`~repro.exceptions.ShardUnavailableError` without touching
+    the worker at all — a pure transport flake; a bare retry would succeed.
+
+One-time vs persistent
+----------------------
+A fault fires at the first counted operation ``>= at_op`` (whose name
+matches ``op_name``, when given).  One-time faults (default) are consumed
+by firing; ``persistent=True`` faults keep firing on every matching
+operation from ``at_op`` on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ShardUnavailableError
+from .path import LandmarkId, NodeId, PeerId, RouterPath
+from .path_tree import PathTree
+
+__all__ = ["Fault", "FaultPlan", "ChaosShardBackend", "FAULT_KINDS"]
+
+FAULT_KINDS = ("crash_before", "crash_after", "drop_reply", "delay", "error")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted fault: *what* goes wrong at *which* counted operation."""
+
+    at_op: int
+    kind: str
+    op_name: Optional[str] = None
+    delay_s: float = 0.0
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.at_op < 1:
+            raise ValueError(f"at_op must be >= 1, got {self.at_op}")
+
+
+class FaultPlan:
+    """A deterministic schedule of :class:`Fault` objects for one backend.
+
+    The plan counts every operation the wrapping :class:`ChaosShardBackend`
+    forwards (`ops_seen`) and yields the faults due at each count.  Fired
+    faults are recorded in :attr:`fired` as ``(op_count, kind, op_name)``
+    so tests can assert the scripted failures actually happened.
+    """
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self._pending: List[Fault] = list(faults)
+        self.ops_seen = 0
+        self.fired: List[Tuple[int, str, str]] = []
+
+    @property
+    def pending(self) -> Tuple[Fault, ...]:
+        """Faults that have not fired yet (immutable view)."""
+        return tuple(self._pending)
+
+    def faults_for(self, op_name: str) -> List[Fault]:
+        """Count one operation and return the faults due for it."""
+        self.ops_seen += 1
+        due: List[Fault] = []
+        kept: List[Fault] = []
+        for fault in self._pending:
+            matches = self.ops_seen >= fault.at_op and (
+                fault.op_name is None or fault.op_name == op_name
+            )
+            if matches:
+                due.append(fault)
+                self.fired.append((self.ops_seen, fault.kind, op_name))
+                if fault.persistent:
+                    kept.append(fault)
+            else:
+                kept.append(fault)
+        self._pending = kept
+        return due
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(pending={len(self._pending)}, fired={len(self.fired)}, "
+            f"ops_seen={self.ops_seen})"
+        )
+
+
+class ChaosShardBackend:
+    """A :class:`~repro.core.sharded.ShardBackend` that executes a FaultPlan.
+
+    Wraps any backend; crash faults additionally require the inner backend
+    to expose ``supervisor.process`` (i.e.
+    :class:`~repro.core.remote.ProcessShardBackend`) so there is a real
+    worker to kill.  Lifecycle calls (``close``, ``restart``,
+    ``health_check``) and attribute access pass through unfaulted — chaos
+    targets the data plane, not the harness's cleanup.
+    """
+
+    def __init__(
+        self,
+        inner,
+        plan: FaultPlan,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self._sleep = sleep
+
+    @property
+    def name(self) -> str:
+        return str(getattr(self.inner, "name", "chaos-shard"))
+
+    # ------------------------------------------------------------- injection
+
+    def _kill_worker(self) -> None:
+        supervisor = getattr(self.inner, "supervisor", None)
+        process = getattr(supervisor, "process", None)
+        if process is None:
+            raise ShardUnavailableError(
+                self.name, "chaos: crash fault needs a process-backed shard"
+            )
+        if process.is_alive():
+            process.kill()
+            process.join()
+
+    def _call(self, op_name: str, func, *args, **kwargs):
+        faults = self.plan.faults_for(op_name)
+        for fault in faults:
+            if fault.kind == "delay":
+                self._sleep(fault.delay_s)
+            elif fault.kind == "crash_before":
+                self._kill_worker()
+            elif fault.kind == "error":
+                raise ShardUnavailableError(
+                    self.name, f"chaos: scripted error at op {self.plan.ops_seen}"
+                )
+        result = func(*args, **kwargs)
+        for fault in faults:
+            if fault.kind == "crash_after":
+                self._kill_worker()
+            elif fault.kind == "drop_reply":
+                raise ShardUnavailableError(
+                    self.name,
+                    f"chaos: reply to {op_name!r} dropped at op {self.plan.ops_seen}",
+                )
+        return result
+
+    # ---------------------------------------------------------- shard surface
+
+    def register_landmark(self, landmark_id: LandmarkId, router: NodeId) -> None:
+        return self._call("register_landmark", self.inner.register_landmark, landmark_id, router)
+
+    def validate_registrable(self, path: RouterPath) -> None:
+        return self._call("validate_registrable", self.inner.validate_registrable, path)
+
+    def first_rejected_path(
+        self, paths: Sequence[RouterPath]
+    ) -> Optional[Tuple[int, BaseException]]:
+        return self._call("first_rejected_path", self.inner.first_rejected_path, paths)
+
+    def insert_paths(self, paths: Sequence[RouterPath], validate: bool = True) -> None:
+        return self._call("insert_paths", self.inner.insert_paths, paths, validate=validate)
+
+    def unregister_peer(self, peer_id: PeerId) -> None:
+        return self._call("unregister_peer", self.inner.unregister_peer, peer_id)
+
+    def local_closest(self, peer_id: PeerId, k: int) -> List[Tuple[PeerId, float]]:
+        return self._call("local_closest", self.inner.local_closest, peer_id, k)
+
+    def fill_candidates(
+        self,
+        bases: Mapping[LandmarkId, float],
+        exclude_peer: Optional[PeerId] = None,
+    ) -> Iterator[Tuple[float, str, PeerId]]:
+        # The fault applies to creating the stream (the backend-level op);
+        # per-chunk wire traffic below it is the inner backend's business.
+        return self._call(
+            "fill_candidates", self.inner.fill_candidates, bases, exclude_peer=exclude_peer
+        )
+
+    def tree(self, landmark_id: LandmarkId) -> PathTree:
+        return self._call("tree", self.inner.tree, landmark_id)
+
+    def tree_distance(self, landmark_id: LandmarkId, peer_a: PeerId, peer_b: PeerId) -> float:
+        return self._call("tree_distance", self.inner.tree_distance, landmark_id, peer_a, peer_b)
+
+    def total_tree_visits(self) -> int:
+        return self._call("total_tree_visits", self.inner.total_tree_visits)
+
+    def total_insert_work(self) -> Tuple[int, int]:
+        return self._call("total_insert_work", self.inner.total_insert_work)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def health_check(self, timeout: float = 5.0) -> bool:
+        return bool(self.inner.health_check(timeout=timeout))
+
+    def restart(self) -> None:
+        self.inner.restart()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __enter__(self) -> "ChaosShardBackend":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    def __getattr__(self, attribute: str):
+        # Diagnostics (supervisor, worker_stats, ...) reach the inner
+        # backend directly; only the explicit methods above are faulted.
+        return getattr(self.inner, attribute)
+
+    def __repr__(self) -> str:
+        return f"ChaosShardBackend(inner={self.inner!r}, plan={self.plan!r})"

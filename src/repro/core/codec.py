@@ -1,0 +1,83 @@
+"""Typed wire codec shared by the remote shard backend and state snapshots.
+
+Extracted from :mod:`repro.core.remote` so that
+:class:`~repro.core.management_server.ManagementServer` can serialise its
+own state (``snapshot_state`` / ``restore_state``) with the very same
+tagged-tuple path encoding the wire protocol uses, without importing the
+transport layer (which imports the server back — the codec sits below
+both).
+
+Frames
+------
+A message is one **length-prefixed frame**::
+
+    frame   = header body
+    header  = !I big-endian byte length of body
+    body    = serialised message tuple
+
+The header is redundant with the pipe's own message boundaries on purpose:
+a frame whose declared length disagrees with its byte count means the
+channel is corrupt (truncated write, desynchronised reply), and the client
+turns it into a typed error instead of a pickle traceback.
+
+Paths
+-----
+:class:`~repro.core.path.RouterPath` crosses every serialisation boundary
+(wire requests, journals, state snapshots) as a tagged plain-data tuple, so
+the formats are independent of repro class layout and a crash mid-write can
+never surface as a half-unpickled domain object.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Sequence, Tuple
+
+from ..exceptions import WireProtocolError
+from .path import RouterPath
+
+__all__ = ["decode_frame", "decode_path", "encode_frame", "encode_path"]
+
+_HEADER = struct.Struct("!I")
+
+_PATH_TAG = "path"
+
+
+def encode_path(path: RouterPath) -> Tuple[object, ...]:
+    """Flatten a :class:`RouterPath` into a tagged plain-data tuple."""
+    return (_PATH_TAG, path.peer_id, path.landmark_id, tuple(path.routers), path.rtt_ms)
+
+
+def decode_path(data: Sequence[object]) -> RouterPath:
+    """Rebuild a :class:`RouterPath` from :func:`encode_path` output."""
+    if len(data) != 5 or data[0] != _PATH_TAG:
+        raise WireProtocolError(f"malformed path frame: {data!r}")
+    _, peer_id, landmark_id, routers, rtt_ms = data
+    return RouterPath(
+        peer_id=peer_id,
+        landmark_id=landmark_id,
+        routers=tuple(routers),  # type: ignore[arg-type]
+        rtt_ms=rtt_ms,  # type: ignore[arg-type]
+    )
+
+
+def encode_frame(message: Tuple[object, ...]) -> bytes:
+    """Serialise one message tuple into a length-prefixed frame."""
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(frame: bytes) -> Tuple[object, ...]:
+    """Parse one frame; raise :class:`WireProtocolError` on any inconsistency."""
+    if len(frame) < _HEADER.size:
+        raise WireProtocolError(f"frame shorter than its header: {len(frame)} bytes")
+    (declared,) = _HEADER.unpack_from(frame)
+    if declared != len(frame) - _HEADER.size:
+        raise WireProtocolError(
+            f"frame declares {declared} body bytes but carries {len(frame) - _HEADER.size}"
+        )
+    message = pickle.loads(frame[_HEADER.size :])
+    if not isinstance(message, tuple) or len(message) < 2:
+        raise WireProtocolError(f"malformed message: {message!r}")
+    return message

@@ -25,12 +25,18 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..exceptions import LandmarkError, UnknownPeerError
+from ..exceptions import LandmarkError, ShardUnavailableError, UnknownPeerError
 from .neighbor_cache import NeighborCache, NeighborEntry
 from .path import LandmarkId, NodeId, PeerId, RouterPath
 from .path_tree import PathTree
 
-__all__ = ["ManagementPlaneBase", "ServerStats"]
+__all__ = [
+    "DegradedResult",
+    "ManagementPlaneBase",
+    "PlaneHealth",
+    "ServerStats",
+    "ShardHealth",
+]
 
 
 @dataclass
@@ -45,6 +51,7 @@ class ServerStats:
     cache_updates: int = 0
     cache_refills: int = 0
     departure_updates: int = 0
+    degraded_queries: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -54,6 +61,57 @@ class ServerStats:
     def as_dict(self) -> Dict[str, int]:
         """Counter values keyed by name (for perf reports)."""
         return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+
+class DegradedResult(List[Tuple[PeerId, float]]):
+    """A ``closest_peers`` answer served while part of the plane was down.
+
+    Behaves exactly like the normal ``[(peer_id, distance), ...]`` list
+    (equality and iteration compare content only), but is typed so callers
+    that care can detect — ``isinstance(result, DegradedResult)`` — that the
+    answer was assembled from the coordinator's cache and the *healthy*
+    shards while ``shard`` was unavailable, and may therefore be missing
+    candidates that only the failed shard knew.  Degraded answers are never
+    written back to the cache.
+    """
+
+    __slots__ = ("shard", "reason")
+
+    def __init__(
+        self,
+        pairs: Iterable[Tuple[PeerId, float]] = (),
+        *,
+        shard: object = None,
+        reason: str = "",
+    ) -> None:
+        super().__init__(pairs)
+        self.shard = shard
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"DegradedResult({list(self)!r}, shard={self.shard!r}, reason={self.reason!r})"
+
+
+@dataclass(frozen=True)
+class ShardHealth:
+    """Liveness of one shard, as reported by :meth:`ManagementPlaneBase.health`."""
+
+    index: int
+    name: str
+    alive: bool
+
+
+@dataclass(frozen=True)
+class PlaneHealth:
+    """Plane-level health summary: per-shard liveness + degradation counter."""
+
+    shards: Tuple[ShardHealth, ...]
+    degraded_queries: int
+
+    @property
+    def healthy(self) -> bool:
+        """True when every shard (if any) is alive."""
+        return all(shard.alive for shard in self.shards)
 
 
 class ManagementPlaneBase:
@@ -103,6 +161,30 @@ class ManagementPlaneBase:
     def tree(self, landmark_id: LandmarkId) -> PathTree:
         """The path tree of one landmark."""
         raise NotImplementedError
+
+    def _degraded_neighbors(
+        self, peer_id: PeerId, k: int, error: ShardUnavailableError
+    ) -> Optional["DegradedResult"]:
+        """Best-effort answer when :meth:`_compute_neighbors` lost a shard.
+
+        Returns ``None`` to decline (the original
+        :class:`~repro.exceptions.ShardUnavailableError` is re-raised) — the
+        default for planes with no partial data sources.  The sharded
+        coordinator overrides this to assemble an answer from its neighbour
+        cache and the healthy shards' fill streams.  Only the
+        ``closest_peers`` read path consults this hook: mutations must stay
+        typed and atomic, never silently partial.
+        """
+        return None
+
+    def health(self) -> "PlaneHealth":
+        """Liveness summary of the plane (per-shard for sharded planes).
+
+        A plane without independent failure domains reports no shards and is
+        trivially healthy; the sharded coordinator reports one
+        :class:`ShardHealth` per shard backend.
+        """
+        return PlaneHealth(shards=(), degraded_queries=self.stats.degraded_queries)
 
     def _same_landmark_distance(
         self, landmark_id: LandmarkId, peer_a: PeerId, peer_b: PeerId
@@ -296,7 +378,18 @@ class ManagementPlaneBase:
             if len(entries) >= min(k, self.peer_count - 1) or self._cache.is_complete(peer_id):
                 self.stats.cache_hits += 1
                 return [(entry.peer_id, entry.distance) for entry in entries[:k]]
-        neighbors = self._compute_neighbors(peer_id, k=k)
+        try:
+            neighbors = self._compute_neighbors(peer_id, k=k)
+        except ShardUnavailableError as error:
+            # Reads may degrade while a shard is mid-recovery: the hook
+            # assembles a best-effort answer from partial sources, tagged as
+            # DegradedResult and never cached.  Planes without partial
+            # sources (and mutations, always) keep the typed failure.
+            degraded = self._degraded_neighbors(peer_id, k, error)
+            if degraded is None:
+                raise
+            self.stats.degraded_queries += 1
+            return degraded
         if self.maintain_cache and k >= self.neighbor_set_size:
             self._cache.store(
                 peer_id,

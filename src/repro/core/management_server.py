@@ -94,14 +94,27 @@ import heapq
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .._validation import require_positive_int
-from ..exceptions import LandmarkError, RegistrationError, ReproError, UnknownPeerError
+from ..exceptions import (
+    LandmarkError,
+    RegistrationError,
+    ReproError,
+    StateSnapshotError,
+    UnknownPeerError,
+)
+from .codec import decode_path, encode_path
 from .interning import PeerKeyInterner
 from .management_plane import ManagementPlaneBase, ServerStats
 from .neighbor_cache import NeighborCache, NeighborEntry
 from .path import LandmarkId, NodeId, PeerId, RouterPath
 from .path_tree import PathTree
 
-__all__ = ["ManagementServer", "NeighborEntry", "ServerStats"]
+__all__ = ["ManagementServer", "NeighborEntry", "ServerStats", "STATE_SNAPSHOT_VERSION"]
+
+#: Tag and version of the plain-data state snapshot produced by
+#: :meth:`ManagementServer.snapshot_state`.  Bump the version whenever the
+#: snapshot layout changes; :meth:`restore_state` refuses other versions.
+_STATE_TAG = "repro-state"
+STATE_SNAPSHOT_VERSION = 1
 
 
 class ManagementServer(ManagementPlaneBase):
@@ -349,6 +362,66 @@ class ManagementServer(ManagementPlaneBase):
             if landmark_id in self._trees
         ]
         return heapq.merge(*streams)
+
+    # -------------------------------------------------------------- snapshots
+
+    def snapshot_state(self) -> Tuple[object, ...]:
+        """Serialise the server's live state as a plain-data tuple.
+
+        The snapshot holds landmarks (registration order), every live path
+        (current registration order, the order that determines tree shape),
+        the landmark-distance map, and — when this server maintains one —
+        the neighbour cache.  It contains only plain data (paths go through
+        the wire codec), so it can cross the shard wire protocol and be
+        journaled.  Observability counters (``stats``, tree visit/insert
+        counters) are deliberately *not* captured: restoring yields a server
+        whose answers are byte-identical, with counters restarted — the same
+        contract a journal replay onto a fresh worker provides.
+        """
+        landmarks = tuple(
+            (landmark_id, self._landmark_routers[landmark_id]) for landmark_id in self._trees
+        )
+        paths = tuple(encode_path(self._paths[peer_id]) for peer_id in self._peer_landmark)
+        distances = tuple(self._landmark_distances.items())
+        cache = self._cache.export_state() if self.maintain_cache else None
+        return (_STATE_TAG, STATE_SNAPSHOT_VERSION, landmarks, paths, distances, cache)
+
+    def restore_state(self, snapshot: Tuple[object, ...]) -> None:
+        """Replace all live state with a :meth:`snapshot_state` payload.
+
+        Raises :class:`~repro.exceptions.StateSnapshotError` for anything
+        that is not a supported snapshot.  The interner and neighbour cache
+        are rebuilt together (the cache holds the interner), landmarks are
+        re-registered and paths re-inserted in snapshot order — so every
+        subsequent answer is byte-identical to the snapshotted server's.
+        """
+        if (
+            not isinstance(snapshot, tuple)
+            or len(snapshot) != 6
+            or snapshot[0] != _STATE_TAG
+        ):
+            raise StateSnapshotError(f"malformed state snapshot: {type(snapshot).__name__}")
+        _, version, landmarks, paths, distances, cache = snapshot
+        if version != STATE_SNAPSHOT_VERSION:
+            raise StateSnapshotError(
+                f"unsupported state snapshot version {version!r} "
+                f"(this build reads version {STATE_SNAPSHOT_VERSION})"
+            )
+        self._trees = {}
+        self._landmark_routers = {}
+        self._peer_landmark = {}
+        self._paths = {}
+        self._peers_by_hops = {}
+        self._landmark_distances = {}
+        self._interner = PeerKeyInterner()
+        self._cache = NeighborCache(self.neighbor_set_size, self.stats, self._interner)
+        for landmark_id, router in landmarks:  # type: ignore[union-attr]
+            self.register_landmark(landmark_id, router)
+        self.insert_paths([decode_path(encoded) for encoded in paths], validate=False)  # type: ignore[union-attr]
+        for key, distance in distances:  # type: ignore[union-attr]
+            self._landmark_distances[tuple(key)] = float(distance)
+        if cache is not None and self.maintain_cache:
+            self._cache.import_state(cache)  # type: ignore[arg-type]
 
     # -------------------------------------------------------------- internals
 

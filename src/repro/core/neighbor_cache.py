@@ -218,6 +218,38 @@ class NeighborCache:
             self.referenced_by.setdefault(newcomer, set()).add(peer)
             self.stats.cache_updates += 1
 
+    # ------------------------------------------------------------- snapshots
+
+    def export_state(self) -> Tuple[object, ...]:
+        """The cache as plain data, for management-plane state snapshots.
+
+        Returns ``(membership_generation, lists, completeness)`` where
+        ``lists`` holds each owner's ``(peer, distance)`` pairs in cached
+        order.  The reverse index is derivable, so it is not exported.
+        """
+        lists = tuple(
+            (owner, tuple((entry.peer_id, entry.distance) for entry in entries))
+            for owner, entries in self.lists.items()
+        )
+        return (self.membership_generation, lists, tuple(self._complete.items()))
+
+    def import_state(self, state: Tuple[object, ...]) -> None:
+        """Rebuild the cache (lists, reverse index, completeness) from
+        :meth:`export_state` output, replacing current contents.
+
+        Goes through :meth:`store` so the reverse index is rebuilt by the
+        same code that maintains it live; generation and completeness marks
+        are restored afterwards so marks stay valid exactly when they were.
+        """
+        generation, lists, complete = state
+        self.lists.clear()
+        self.referenced_by.clear()
+        self._complete.clear()
+        for owner, pairs in lists:  # type: ignore[union-attr]
+            self.store(owner, tuple(pairs))
+        self.membership_generation = int(generation)  # type: ignore[arg-type]
+        self._complete.update(dict(complete))  # type: ignore[call-overload]
+
     # -------------------------------------------------------------- internals
 
     def _reverse_discard(self, target: PeerId, referrer: PeerId) -> None:

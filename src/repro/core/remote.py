@@ -80,8 +80,30 @@ so a crash mid-operation leaves the coordinator consistent with the journal
 for single-operation arrival/departure/query.  A batch ``register_peers``
 is not atomic across a shard crash: the coordinator may have recorded peers
 whose insert never reached the failed shard — restart, replay and re-register
-the batch to converge.  The journal is append-only and unbounded; compaction
-(snapshot + truncate) is the named follow-up in ROADMAP.md.
+the batch to converge.
+
+Self-healing
+------------
+Recovery is **opt-in**: construct the supervisor (or backend, or factory)
+with a :class:`RecoveryPolicy` and any transport failure on a recoverable
+request triggers a bounded loop of backoff → :meth:`ShardSupervisor.restart`
+(respawn + replay) → one re-issue of the failed request, instead of raising
+on first fault.  Backoff is exponential with a cap, and deterministic when
+the policy carries an injected ``rng`` for jitter.  Fill streams recover
+too: journal replay rebuilds worker state byte-identically, so the client
+reopens the stream on the fresh worker and fast-forwards past the
+candidates already yielded, continuing the *identical* stream (this assumes
+no mutations landed between the original open and the recovery — true for
+query-scoped merges, best-effort for externally held streams).  Without a
+policy, the first fault raises typed exactly as before.
+
+The journal itself is no longer unbounded: :meth:`ShardSupervisor.compact`
+asks the worker for a ``snapshot_state`` (a plain-data serialisation of its
+landmarks, live paths and landmark distances — see
+``ManagementServer.snapshot_state``) and replaces the journal with the
+single entry ``("restore_state", (snapshot,))``, so restart cost is
+O(live state), not O(operation history).  Pass ``compact_watermark=N`` to
+compact automatically whenever the journal reaches ``N`` entries.
 """
 
 from __future__ import annotations
@@ -90,8 +112,10 @@ import builtins
 import itertools
 import multiprocessing
 import pickle
+import random
 import select
-import struct
+import time
+from dataclasses import dataclass, field
 from typing import (
     Callable,
     Iterator,
@@ -104,6 +128,7 @@ from typing import (
 
 from .. import exceptions as _exceptions
 from ..exceptions import ShardUnavailableError, WireProtocolError
+from .codec import decode_frame, decode_path, encode_frame, encode_path
 from .management_server import ManagementServer
 from .path import LandmarkId, PeerId, RouterPath
 from .path_tree import PathTree
@@ -112,6 +137,7 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_FILL_CHUNK",
     "ProcessShardBackend",
+    "RecoveryPolicy",
     "ShardSupervisor",
     "decode_frame",
     "decode_path",
@@ -130,54 +156,69 @@ BACKENDS = ("inline", "process")
 #: deep fill is not dominated by round trips.
 DEFAULT_FILL_CHUNK = 32
 
-_HEADER = struct.Struct("!I")
-
 #: Seconds a request waits for its reply before declaring the shard gone.
+#: Applies to *every* round trip — requests, journal replay during restart,
+#: the shutdown handshake in close() — so a hung worker can never block the
+#: coordinator indefinitely.
 DEFAULT_REQUEST_TIMEOUT = 60.0
 
 
-# ------------------------------------------------------------------- codec
-
-_PATH_TAG = "path"
+# ---------------------------------------------------------------- recovery
 
 
-def encode_path(path: RouterPath) -> Tuple[object, ...]:
-    """Flatten a :class:`RouterPath` into a tagged plain-data tuple."""
-    return (_PATH_TAG, path.peer_id, path.landmark_id, tuple(path.routers), path.rtt_ms)
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How a :class:`ShardSupervisor` self-heals from transport failures.
 
+    When a recoverable request fails with
+    :class:`~repro.exceptions.ShardUnavailableError`, the supervisor runs up
+    to ``max_restarts`` attempts of *backoff → restart (respawn + journal
+    replay) → re-issue the failed request*, raising the last error when the
+    budget is exhausted.  Domain errors (``UnknownPeerError`` and friends)
+    are answers, not faults — they never trigger recovery.
 
-def decode_path(data: Sequence[object]) -> RouterPath:
-    """Rebuild a :class:`RouterPath` from :func:`encode_path` output."""
-    if len(data) != 5 or data[0] != _PATH_TAG:
-        raise WireProtocolError(f"malformed path frame: {data!r}")
-    _, peer_id, landmark_id, routers, rtt_ms = data
-    return RouterPath(
-        peer_id=peer_id,
-        landmark_id=landmark_id,
-        routers=tuple(routers),  # type: ignore[arg-type]
-        rtt_ms=rtt_ms,  # type: ignore[arg-type]
-    )
+    Parameters
+    ----------
+    max_restarts:
+        Restart+re-issue attempts per failed request.
+    backoff_base_s / backoff_multiplier / backoff_cap_s:
+        Attempt ``n`` sleeps ``min(base * multiplier**(n-1), cap)`` seconds
+        before restarting.  Set ``backoff_base_s=0`` for no delay (tests).
+    jitter:
+        Fractional jitter applied to each backoff when an ``rng`` is given:
+        the delay is scaled by a factor drawn uniformly from
+        ``[1 - jitter, 1 + jitter]``.  Without an ``rng`` no jitter is
+        applied, keeping the schedule fully deterministic by default.
+    rng:
+        Injected :class:`random.Random` for deterministic jitter.
+    op_deadline_s:
+        When set, overrides the supervisor's default per-round-trip deadline
+        (``request_timeout``) so recovery-managed planes can run tighter
+        deadlines than :data:`DEFAULT_REQUEST_TIMEOUT`.
+    sleep:
+        Injected sleep callable (tests pass a no-op to skip real delays).
+    """
 
+    max_restarts: int = 2
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.1
+    rng: Optional[random.Random] = None
+    op_deadline_s: Optional[float] = None
+    sleep: Callable[[float], None] = field(default=time.sleep)
 
-def encode_frame(message: Tuple[object, ...]) -> bytes:
-    """Serialise one message tuple into a length-prefixed frame."""
-    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    return _HEADER.pack(len(body)) + body
-
-
-def decode_frame(frame: bytes) -> Tuple[object, ...]:
-    """Parse one frame; raise :class:`WireProtocolError` on any inconsistency."""
-    if len(frame) < _HEADER.size:
-        raise WireProtocolError(f"frame shorter than its header: {len(frame)} bytes")
-    (declared,) = _HEADER.unpack_from(frame)
-    if declared != len(frame) - _HEADER.size:
-        raise WireProtocolError(
-            f"frame declares {declared} body bytes but carries {len(frame) - _HEADER.size}"
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before restart ``attempt`` (1-based), jittered if rng given."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = min(
+            self.backoff_base_s * self.backoff_multiplier ** (attempt - 1),
+            self.backoff_cap_s,
         )
-    message = pickle.loads(frame[_HEADER.size :])
-    if not isinstance(message, tuple) or len(message) < 2:
-        raise WireProtocolError(f"malformed message: {message!r}")
-    return message
+        if self.rng is not None and self.jitter > 0:
+            delay *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        return max(delay, 0.0)
 
 
 def _rebuild_exception(type_name: str, message: str) -> BaseException:
@@ -292,6 +333,15 @@ def _dispatch(server: ManagementServer, streams: dict, stream_ids, op: str, args
         return tuple(server.total_insert_work())
     if op == "stats":
         return server.stats.as_dict()
+    if op == "snapshot_state":
+        return server.snapshot_state()
+    if op == "restore_state":
+        server.restore_state(args[0])
+        # Any open fill streams iterate state that no longer exists.
+        for generator in streams.values():
+            generator.close()
+        streams.clear()
+        return None
     raise WireProtocolError(f"unknown operation {op!r}")
 
 
@@ -318,6 +368,15 @@ class ShardSupervisor:
         available (workers are cheap clones) and ``spawn`` elsewhere.
     request_timeout:
         Seconds to wait for a reply before declaring the shard unavailable.
+        ``None`` is clamped to :data:`DEFAULT_REQUEST_TIMEOUT` — every round
+        trip always has a deadline.
+    recovery:
+        Optional :class:`RecoveryPolicy`.  When given, recoverable requests
+        that fail with :class:`ShardUnavailableError` trigger bounded
+        backoff → restart+replay → re-issue instead of raising.
+    compact_watermark:
+        When set, :meth:`compact` runs automatically whenever the journal
+        reaches this many entries, bounding replay cost by live state size.
     """
 
     def __init__(
@@ -325,11 +384,22 @@ class ShardSupervisor:
         name: str,
         neighbor_set_size: int,
         start_method: Optional[str] = None,
-        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+        recovery: Optional[RecoveryPolicy] = None,
+        compact_watermark: Optional[int] = None,
     ) -> None:
+        if compact_watermark is not None and compact_watermark < 1:
+            raise ValueError(f"compact_watermark must be >= 1, got {compact_watermark}")
         self.name = name
         self.neighbor_set_size = neighbor_set_size
+        if recovery is not None and recovery.op_deadline_s is not None:
+            request_timeout = recovery.op_deadline_s
+        if request_timeout is None:
+            request_timeout = DEFAULT_REQUEST_TIMEOUT
         self.request_timeout = request_timeout
+        self._recovery = recovery
+        self._compact_watermark = compact_watermark
+        self.last_snapshot_bytes = 0
         if start_method is None:
             start_method = (
                 "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
@@ -352,9 +422,19 @@ class ShardSupervisor:
         return self._process
 
     @property
-    def journal(self) -> List[Tuple[str, Tuple[object, ...]]]:
-        """The acknowledged mutating operations, in order (a copy)."""
-        return list(self._journal)
+    def journal(self) -> Tuple[Tuple[str, Tuple[object, ...]], ...]:
+        """The acknowledged mutating operations, in order (immutable view)."""
+        return tuple(self._journal)
+
+    @property
+    def journal_length(self) -> int:
+        """Number of journal entries — O(1), unlike materialising ``journal``."""
+        return len(self._journal)
+
+    @property
+    def recovery(self) -> Optional[RecoveryPolicy]:
+        """The active :class:`RecoveryPolicy`, or ``None`` (fail-fast mode)."""
+        return self._recovery
 
     @property
     def epoch(self) -> int:
@@ -402,10 +482,15 @@ class ShardSupervisor:
         self._conn = None
         self._process = None
         if conn is not None:
-            try:
-                conn.send_bytes(encode_frame((0, "shutdown")))
-            except (OSError, ValueError):
-                pass
+            # The shutdown frame is a courtesy: a hung worker with a full
+            # pipe buffer must not turn close() into a blocking send, so
+            # probe writability first and skip the frame when it would
+            # block — terminate()/kill() below reap the worker regardless.
+            if self._writable(conn, timeout=0.0):
+                try:
+                    conn.send_bytes(encode_frame((0, "shutdown")))
+                except (OSError, ValueError):
+                    pass
         if process is not None:
             process.join(timeout=2.0)
             if process.is_alive():
@@ -432,27 +517,100 @@ class ShardSupervisor:
         args: Tuple[object, ...],
         journal: bool = False,
         timeout: Optional[float] = None,
+        recoverable: bool = True,
     ) -> object:
-        """One request/reply round trip; journals mutating ops on success."""
-        value = self._roundtrip(op, args, timeout=timeout)
+        """One request/reply round trip; journals mutating ops on success.
+
+        With a :class:`RecoveryPolicy` installed, a transport failure on a
+        ``recoverable`` request runs the bounded restart+replay+re-issue
+        loop before giving up.  Pass ``recoverable=False`` for requests that
+        must observe faults directly (health probes, stream pulls whose
+        recovery the caller manages itself).
+        """
+        try:
+            value = self._roundtrip(op, args, timeout=timeout)
+        except ShardUnavailableError as error:
+            if self._recovery is None or not recoverable or self._closed:
+                raise
+            value = self._recover(op, args, timeout, error)
         if journal:
             self._journal.append((op, args))
+            self._maybe_compact()
         return value
+
+    def _recover(
+        self,
+        op: str,
+        args: Tuple[object, ...],
+        timeout: Optional[float],
+        error: ShardUnavailableError,
+    ) -> object:
+        """Bounded backoff → restart+replay → re-issue loop for one request."""
+        policy = self._recovery
+        assert policy is not None
+        last = error
+        for attempt in range(1, policy.max_restarts + 1):
+            delay = policy.backoff_s(attempt)
+            if delay > 0:
+                policy.sleep(delay)
+            try:
+                self.restart()
+                return self._roundtrip(op, args, timeout=timeout)
+            except ShardUnavailableError as retry_error:
+                last = retry_error
+        raise last
+
+    def compact(self) -> int:
+        """Replace the journal with one state snapshot; return its byte size.
+
+        Asks the worker to serialise its live state (``snapshot_state``) and
+        rewrites the journal as ``[("restore_state", (snapshot,))]``, so the
+        next :meth:`restart` replays O(live state) instead of O(history).
+        The journal is only replaced after the snapshot round trip succeeds.
+        """
+        snapshot = self.request("snapshot_state", ())
+        self._journal = [("restore_state", (snapshot,))]
+        size = len(pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL))
+        self.last_snapshot_bytes = size
+        return size
+
+    def _maybe_compact(self) -> None:
+        if self._compact_watermark is None or len(self._journal) < self._compact_watermark:
+            return
+        try:
+            self.compact()
+        except ShardUnavailableError:
+            # Auto-compaction is an optimisation: if the worker is gone the
+            # triggering request already succeeded, so keep the long journal
+            # and let the normal fault path handle the dead worker.
+            pass
 
     def notify(self, op: str, args: Tuple[object, ...]) -> None:
         """One-way notification (no reply; failures are swallowed).
 
         Used for stream cleanup from generator finalisers: the worker
         processes it in pipe order and sends nothing back, so it can never
-        desynchronise an in-flight request/reply pair.
+        desynchronise an in-flight request/reply pair.  Like every send it
+        must not block on a hung worker, so an unwritable pipe skips the
+        notification (the worker is about to be restarted or reaped anyway).
         """
         conn = self._conn
         if conn is None or self._poisoned is not None:
+            return
+        if not self._writable(conn, timeout=0.0):
             return
         try:
             conn.send_bytes(encode_frame((0, op, args)))
         except (OSError, ValueError):
             pass
+
+    @staticmethod
+    def _writable(conn, timeout: float) -> bool:
+        """Probe pipe writability; optimistic where select() cannot run."""
+        try:
+            return bool(select.select([], [conn], [], timeout)[1])
+        except (OSError, ValueError):
+            return True
 
     def _roundtrip(
         self, op: str, args: Tuple[object, ...], timeout: Optional[float] = None
@@ -475,11 +633,7 @@ class ShardSupervisor:
             # select() rejects), fall back to sending un-probed — the
             # residual blocking risk of the Connection API, also present for
             # frames larger than the pipe buffer once a write has started.
-            try:
-                writable = select.select([], [conn], [], deadline)[1]
-            except (OSError, ValueError):
-                writable = [conn]
-            if not writable:
+            if not self._writable(conn, timeout=deadline):
                 self._poisoned = f"pipe not writable for {op!r} within timeout"
                 raise ShardUnavailableError(self.name, self._poisoned)
             conn.send_bytes(encode_frame((request_id, op, args)))
@@ -536,7 +690,9 @@ class ProcessShardBackend:
         name: str = "process-shard",
         fill_chunk_size: int = DEFAULT_FILL_CHUNK,
         start_method: Optional[str] = None,
-        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+        recovery: Optional[RecoveryPolicy] = None,
+        compact_watermark: Optional[int] = None,
     ) -> None:
         self.name = name
         self.fill_chunk_size = fill_chunk_size
@@ -545,6 +701,8 @@ class ProcessShardBackend:
             neighbor_set_size=neighbor_set_size,
             start_method=start_method,
             request_timeout=request_timeout,
+            recovery=recovery,
+            compact_watermark=compact_watermark,
         )
 
     # ---------------------------------------------------------- shard surface
@@ -591,25 +749,77 @@ class ProcessShardBackend:
         The worker-side stream is opened on the first ``next()`` (a never
         consumed stream costs nothing on either side) and torn down by a
         one-way ``fill_close`` when the consumer stops early.
+
+        With a :class:`RecoveryPolicy`, a worker death mid-stream is healed
+        by reopening the stream on the restarted (journal-replayed, hence
+        byte-identical) worker and fast-forwarding past the candidates
+        already yielded — the consumer sees one uninterrupted stream.
+        Without a policy it fails typed, never silently-partial.
         """
         bases_items = tuple(bases.items())
         chunk_size = self.fill_chunk_size
         supervisor = self.supervisor
 
-        def stream() -> Iterator[Tuple[float, str, PeerId]]:
-            epoch = supervisor.epoch
+        def open_stream() -> Tuple[int, int]:
+            # A recoverable open doubles as the recovery trigger: on a dead
+            # worker it restarts+replays first, then opens on the fresh one.
             stream_id = supervisor.request("fill_open", (bases_items, exclude_peer))
+            return supervisor.epoch, int(stream_id)  # type: ignore[arg-type]
+
+        def pull(stream_id: int, count: int) -> Tuple[bool, Tuple[object, ...]]:
+            # Not recoverable at the supervisor layer: a mid-stream fault
+            # needs reopen+skip, not a blind re-issue against a stream id
+            # from the dead incarnation.
+            return supervisor.request(  # type: ignore[return-value]
+                "fill_next", (stream_id, count), recoverable=False
+            )
+
+        def reopen(yielded: int) -> Tuple[int, int, bool]:
+            """Open a fresh stream and skip the ``yielded`` leading items."""
+            epoch, stream_id = open_stream()
+            remaining = yielded
+            done = False
+            while remaining > 0:
+                done, chunk = pull(stream_id, min(chunk_size, remaining))
+                remaining -= len(chunk)
+                if done:
+                    break
+            if remaining > 0:
+                raise ShardUnavailableError(
+                    self.name,
+                    "fill stream shrank during recovery (worker state diverged)",
+                )
+            return epoch, stream_id, done and remaining == 0
+
+        def stream() -> Iterator[Tuple[float, str, PeerId]]:
+            epoch, stream_id = open_stream()
+            yielded = 0
             exhausted = False
             try:
                 while True:
                     if supervisor.epoch != epoch:
                         # The worker restarted mid-stream: our stream id now
                         # belongs to a different incarnation.
-                        raise ShardUnavailableError(
-                            self.name, "worker restarted mid fill stream"
-                        )
-                    done, chunk = supervisor.request("fill_next", (stream_id, chunk_size))  # type: ignore[misc]
+                        if supervisor.recovery is None:
+                            raise ShardUnavailableError(
+                                self.name, "worker restarted mid fill stream"
+                            )
+                        epoch, stream_id, done = reopen(yielded)
+                        if done:
+                            exhausted = True
+                            return
+                    try:
+                        done, chunk = pull(stream_id, chunk_size)
+                    except ShardUnavailableError:
+                        if supervisor.recovery is None:
+                            raise
+                        epoch, stream_id, done = reopen(yielded)
+                        if done:
+                            exhausted = True
+                            return
+                        continue
                     for item in chunk:
+                        yielded += 1
                         yield tuple(item)  # type: ignore[misc]
                     if done:
                         exhausted = True
@@ -672,6 +882,10 @@ class ProcessShardBackend:
         """Respawn the worker and replay the journal (crash recovery)."""
         self.supervisor.restart()
 
+    def compact(self) -> int:
+        """Snapshot-compact the supervisor's journal; return snapshot bytes."""
+        return self.supervisor.compact()
+
     # -------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
@@ -700,7 +914,9 @@ def process_shard_factory(
     neighbor_set_size: int = 5,
     fill_chunk_size: int = DEFAULT_FILL_CHUNK,
     start_method: Optional[str] = None,
-    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+    recovery: Optional[RecoveryPolicy] = None,
+    compact_watermark: Optional[int] = None,
 ) -> Callable[[], ProcessShardBackend]:
     """A ``shard_factory`` for :class:`ShardedManagementServer`.
 
@@ -708,7 +924,8 @@ def process_shard_factory(
     ``shard-0``, ``shard-1``, … in creation order — the names that
     :class:`~repro.exceptions.ShardUnavailableError` reports on failure.
     Close the owning ``ShardedManagementServer`` (or each backend) to reap
-    the workers.
+    the workers.  ``recovery`` and ``compact_watermark`` are shared by every
+    shard the factory creates (the policy is immutable, so sharing is safe).
     """
     indexes = itertools.count()
 
@@ -719,6 +936,8 @@ def process_shard_factory(
             fill_chunk_size=fill_chunk_size,
             start_method=start_method,
             request_timeout=request_timeout,
+            recovery=recovery,
+            compact_watermark=compact_watermark,
         )
 
     return factory

@@ -73,9 +73,15 @@ from typing import (
 )
 
 from .._validation import require_positive_int
-from ..exceptions import LandmarkError, UnknownPeerError
+from ..exceptions import LandmarkError, ShardUnavailableError, UnknownPeerError
 from .interning import PeerKeyInterner
-from .management_plane import ManagementPlaneBase, ServerStats
+from .management_plane import (
+    DegradedResult,
+    ManagementPlaneBase,
+    PlaneHealth,
+    ServerStats,
+    ShardHealth,
+)
 from .management_server import ManagementServer
 from .neighbor_cache import NeighborCache
 from .path import LandmarkId, NodeId, PeerId, RouterPath
@@ -188,6 +194,14 @@ class ShardedManagementServer(ManagementPlaneBase):
         :class:`ManagementServer` with ``maintain_cache=False`` (the
         coordinator owns the only cache).  Override to slot in remote or
         async backends implementing :class:`ShardBackend`.
+    degraded_reads:
+        When True (default), a ``closest_peers`` query that loses a shard
+        mid-computation (:class:`~repro.exceptions.ShardUnavailableError`)
+        is answered best-effort from the coordinator's neighbour cache and
+        the healthy shards' candidate streams, tagged as
+        :class:`~repro.core.management_plane.DegradedResult` and counted in
+        ``stats.degraded_queries``.  Mutations always fail typed and atomic
+        regardless of this flag.  Set False to make reads fail-fast too.
     """
 
     def __init__(
@@ -197,10 +211,12 @@ class ShardedManagementServer(ManagementPlaneBase):
         maintain_cache: bool = True,
         landmark_distances: Optional[Dict[Tuple[LandmarkId, LandmarkId], float]] = None,
         shard_factory: Optional[Callable[[], ShardBackend]] = None,
+        degraded_reads: bool = True,
     ) -> None:
         self.shard_count = require_positive_int(shard_count, "shard_count")
         self.neighbor_set_size = require_positive_int(neighbor_set_size, "neighbor_set_size")
         self.maintain_cache = maintain_cache
+        self.degraded_reads = degraded_reads
         if shard_factory is None:
             shard_factory = lambda: ManagementServer(  # noqa: E731 - one-liner default
                 neighbor_set_size=neighbor_set_size, maintain_cache=False
@@ -472,6 +488,99 @@ class ShardedManagementServer(ManagementPlaneBase):
             if bases:
                 streams.append(shard.fill_candidates(bases, exclude_peer=peer_id))
         return heapq.merge(*streams)
+
+    # ------------------------------------------------------------ degradation
+
+    def health(self) -> PlaneHealth:
+        """Per-shard liveness plus the degraded-query counter.
+
+        Backends exposing ``health_check`` (process shards) are probed; pure
+        in-process shards cannot fail independently and report alive.
+        """
+        reports = []
+        for index, shard in enumerate(self._shards):
+            name = str(getattr(shard, "name", f"shard-{index}"))
+            probe = getattr(shard, "health_check", None)
+            alive = bool(probe()) if callable(probe) else True
+            reports.append(ShardHealth(index=index, name=name, alive=alive))
+        return PlaneHealth(
+            shards=tuple(reports), degraded_queries=self.stats.degraded_queries
+        )
+
+    def _degraded_neighbors(
+        self, peer_id: PeerId, k: int, error: ShardUnavailableError
+    ) -> Optional[DegradedResult]:
+        """Best-effort ``closest_peers`` answer while a shard is down.
+
+        Assembles up to ``k`` candidates from, in order: the coordinator's
+        cached list for the peer (the best known answer as of the last
+        successful compute), the home shard's tree (guarded — it is often
+        the shard that just failed), and the healthy shards' fill streams.
+        Every shard touch is guarded, so a still-dead shard narrows the
+        answer instead of failing it.  The result is a
+        :class:`DegradedResult` and is never written back to the cache; the
+        next query after recovery recomputes the full answer.
+        """
+        if not self.degraded_reads:
+            return None
+        pairs: List[Tuple[PeerId, float]] = []
+        already = {peer_id}
+        if self.maintain_cache:
+            for entry in self._cache.get(peer_id) or ():
+                if entry.peer_id not in already:
+                    pairs.append((entry.peer_id, entry.distance))
+                    already.add(entry.peer_id)
+        if len(pairs) < k:
+            landmark_id = self._peer_landmark[peer_id]
+            own_hops = self._paths[peer_id].hop_count
+            try:
+                local = self._shards[self._landmark_shard[landmark_id]].local_closest(
+                    peer_id, k
+                )
+            except ShardUnavailableError:
+                local = []
+            for peer, distance in local:
+                if len(pairs) >= k:
+                    break
+                if peer not in already:
+                    pairs.append((peer, float(distance)))
+                    already.add(peer)
+        if len(pairs) < k:
+            landmark_id = self._peer_landmark[peer_id]
+            own_hops = self._paths[peer_id].hop_count
+            streams = []
+            for shard_index, shard in enumerate(self._shards):
+                bases = self._fill_bases(
+                    self._shard_landmarks[shard_index], landmark_id, own_hops
+                )
+                if not bases:
+                    continue
+                try:
+                    # Process backends open lazily (first pull), but a
+                    # backend may also refuse at call time — guard both.
+                    stream = shard.fill_candidates(bases, exclude_peer=peer_id)
+                except ShardUnavailableError:
+                    continue
+                streams.append(self._guarded_stream(stream))
+            for estimate, _, other_peer in heapq.merge(*streams):
+                if len(pairs) >= k:
+                    break
+                if other_peer not in already:
+                    pairs.append((other_peer, float(estimate)))
+                    already.add(other_peer)
+        return DegradedResult(
+            pairs[:k], shard=getattr(error, "shard", None), reason=str(error)
+        )
+
+    @staticmethod
+    def _guarded_stream(
+        stream: Iterator[Tuple[float, str, PeerId]],
+    ) -> Iterator[Tuple[float, str, PeerId]]:
+        """A fill stream that ends quietly if its shard becomes unavailable."""
+        try:
+            yield from stream
+        except ShardUnavailableError:
+            return
 
     def __repr__(self) -> str:
         return (

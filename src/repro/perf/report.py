@@ -21,9 +21,13 @@ from .timer import Timing
 # scenario-build workload (``workload == "build"``, whose ops count is the
 # peer count and whose counters come from the distance engine), v5 the
 # arrival workload's batch-size dimension (``batch_size``, None for every
-# other workload) plus the insert-side trie work counters.  All are
-# additive: older reports load with defaults and their cells still compare.
-SCHEMA_VERSION = 5
+# other workload) plus the insert-side trie work counters, v6 the recovery
+# workloads (``"recovery"`` / ``"recovery-compacted"``) whose counters carry
+# ``journal_len``, ``snapshot_bytes`` and ``recovery_us`` so journal
+# compaction regresses like a time regression.  All are additive: older
+# reports load with defaults and their cells still compare (new cells show
+# as current-only, never as failures).
+SCHEMA_VERSION = 6
 
 
 @dataclass

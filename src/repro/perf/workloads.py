@@ -35,6 +35,13 @@ regression-gates exactly the code the
 :mod:`repro.routing.distance_engine` owns.  One build is one cell;
 ``per_op_us`` divides by the peer count.
 
+The ``recovery`` / ``recovery-compacted`` pair (schema v6) measures the
+self-healing path: restart+replay cost of a churned process-backed shard
+before and after journal compaction (see :func:`run_recovery_workload`).
+Both cells are process-only and carry ``journal_len`` / ``snapshot_bytes``
+/ ``recovery_us`` counters so compaction regressions gate like time
+regressions.
+
 The suite has an optional **shards** dimension: with ``shards=None`` a cell
 runs the classic single-landmark
 :class:`~repro.core.management_server.ManagementServer` (bit-for-bit the
@@ -73,7 +80,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.management_server import ManagementServer
 from ..core.path import RouterPath
-from ..core.remote import BACKENDS, shard_factory_for
+from ..core.remote import BACKENDS, ProcessShardBackend, shard_factory_for
 from ..core.sharded import ShardedManagementServer
 from ..topology.internet_mapper import RouterMap, RouterMapConfig, generate_router_map
 from ..workloads.scenarios import ScenarioConfig, build_scenario
@@ -108,6 +115,9 @@ _CHURN_RNG_OFFSET = 4
 # insert workload's ``seed + 1`` newcomers, so the two cells never share
 # peers).
 _ARRIVAL_SEED_OFFSET = 7
+
+# RNG offset for the recovery workload's churn victims.
+_RECOVERY_RNG_OFFSET = 9
 
 
 def workload_rng(seed: int, offset: int) -> random.Random:
@@ -505,6 +515,92 @@ def run_arrival_workload(
         server.close()
 
 
+def run_recovery_workload(
+    population: int,
+    ops: int = 500,
+    seed: int = 3,
+    neighbor_set_size: int = 5,
+) -> List[PerfRecord]:
+    """Restart+replay cost vs journal length, with and without compaction.
+
+    Builds one :class:`~repro.core.remote.ProcessShardBackend`, loads
+    ``population`` peers, then runs ``ops`` leave/re-join churn cycles so
+    the journal records far more history than live state.  Two records come
+    back (both ``backend="process"``, ``shards=1``):
+
+    * ``recovery`` — ``restart()`` replaying the full churn journal; ``ops``
+      is the journal length, so ``per_op_us`` is replay cost per journaled
+      operation.
+    * ``recovery-compacted`` — the same worker after
+      :meth:`~repro.core.remote.ProcessShardBackend.compact`, so the replay
+      is one snapshot restore bounded by live state; ``per_op_us`` is the
+      whole restart.
+
+    Counters carry ``journal_len``, ``snapshot_bytes``, ``recovery_us`` and
+    ``live_peers`` (schema v6), so a compaction regression (snapshot bloat,
+    replay growing with history again) gates like a time regression.
+    """
+    backend = ProcessShardBackend(
+        neighbor_set_size=neighbor_set_size, name="recovery-shard"
+    )
+    records: List[PerfRecord] = []
+    try:
+        backend.register_landmark(DEFAULT_LANDMARK, DEFAULT_LANDMARK)
+        paths = synthetic_paths(population, seed=seed)
+        backend.insert_paths(paths)
+        rng = workload_rng(seed, _RECOVERY_RNG_OFFSET)
+        for _ in range(ops):
+            victim = paths[rng.randrange(len(paths))]
+            backend.unregister_peer(victim.peer_id)
+            backend.insert_paths([victim])
+
+        journal_len = backend.supervisor.journal_length
+        timer = OpTimer()
+        with timer:
+            backend.restart()
+            timer.add_ops(journal_len)
+        records.append(
+            PerfRecord.from_timing(
+                "recovery",
+                population,
+                timer.timing,
+                {
+                    "journal_len": journal_len,
+                    "snapshot_bytes": 0,
+                    "recovery_us": int(timer.timing.total_s * 1e6),
+                    "live_peers": population,
+                },
+                shards=1,
+                backend="process",
+            )
+        )
+
+        snapshot_bytes = backend.compact()
+        compacted_len = backend.supervisor.journal_length
+        timer = OpTimer()
+        with timer:
+            backend.restart()
+            timer.add_ops(compacted_len)
+        records.append(
+            PerfRecord.from_timing(
+                "recovery-compacted",
+                population,
+                timer.timing,
+                {
+                    "journal_len": compacted_len,
+                    "snapshot_bytes": snapshot_bytes,
+                    "recovery_us": int(timer.timing.total_s * 1e6),
+                    "live_peers": population,
+                },
+                shards=1,
+                backend="process",
+            )
+        )
+        return records
+    finally:
+        backend.close()
+
+
 def build_map_config(population: int, seed: int = 3) -> RouterMapConfig:
     """Router map for one ``build`` cell, scaled to the population.
 
@@ -600,6 +696,7 @@ def run_discovery_suite(
     shard_counts: Optional[Sequence[int]] = None,
     backends: Sequence[str] = ("inline",),
     arrival_batch_sizes: Sequence[int] = DEFAULT_ARRIVAL_BATCH_SIZES,
+    recovery_ops: Optional[int] = None,
 ) -> PerfReport:
     """Run every discovery workload at every (population, backend, shards).
 
@@ -613,6 +710,13 @@ def run_discovery_suite(
     ``shard_counts``); sampling stays a pure function of
     ``(seed, workload, population)``, so adding either dimension never
     changes what existing cells measure.
+
+    When ``"process"`` is among the backends the suite also runs
+    :func:`run_recovery_workload` once per population (it needs a real
+    worker to restart, so it is process-only and single-shard);
+    ``recovery_ops`` overrides its churn-cycle count independently of
+    ``ops`` because replay cost scales with journal length, not query
+    count.
     """
     for backend in backends:
         if backend not in BACKENDS:
@@ -628,6 +732,7 @@ def run_discovery_suite(
             "shard_counts": list(shard_counts) if shard_counts is not None else None,
             "backends": list(backends),
             "arrival_batch_sizes": list(arrival_batch_sizes),
+            "recovery_ops": recovery_ops,
         }
     )
     overrides = {} if ops is None else {"ops": ops}
@@ -681,4 +786,15 @@ def run_discovery_suite(
                         router_map=build_router_map,
                     )
                 )
+        if "process" in backends:
+            recovery_overrides = (
+                overrides if recovery_ops is None else {"ops": recovery_ops}
+            )
+            for record in run_recovery_workload(
+                population,
+                seed=seed,
+                neighbor_set_size=neighbor_set_size,
+                **recovery_overrides,
+            ):
+                report.add(record)
     return report

@@ -26,6 +26,10 @@ hypothesis_settings.register_profile("ci-equivalence", max_examples=400, deadlin
 # 1-8 worker processes, so its own CI matrix entry trades example count for
 # a hard wall-clock timeout instead of inheriting the 400-example sweep.
 hypothesis_settings.register_profile("ci-equivalence-process", max_examples=60, deadline=None)
+# Smallest budget for the CHAOS-backend oracle run: every example spawns
+# worker processes AND kills/restarts them on a scripted fault plan, so each
+# example pays several restart+replay cycles on top of the spawn cost.
+hypothesis_settings.register_profile("ci-equivalence-chaos", max_examples=25, deadline=None)
 if os.environ.get("HYPOTHESIS_PROFILE"):
     hypothesis_settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 

@@ -1,0 +1,181 @@
+"""Fault-plan semantics and the chaos backend's injection contract.
+
+The byte-identity oracle (``test_sharded_equivalence.py``) proves the plane
+*converges* through scripted crashes; this module proves the injection
+machinery itself — fault scheduling (one-time vs persistent, op-name
+filters, determinism), each fault kind's observable effect, and the
+journaled-but-unacked divergence that makes ``drop_reply`` unsuitable for
+the byte-identity oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ManagementServer
+from repro.core.chaos import FAULT_KINDS, ChaosShardBackend, Fault, FaultPlan
+from repro.core.path import RouterPath
+from repro.core.remote import ProcessShardBackend, RecoveryPolicy
+from repro.exceptions import ShardUnavailableError
+
+
+def simple_path(peer, landmark, access="a1"):
+    return RouterPath.from_routers(
+        peer, landmark, [f"{landmark}-{access}", f"{landmark}-core", landmark]
+    )
+
+
+def chaos_backend(plan, recovery=True, **kwargs):
+    policy = (
+        RecoveryPolicy(max_restarts=2, backoff_base_s=0.0, sleep=lambda _delay: None)
+        if recovery
+        else None
+    )
+    inner = ProcessShardBackend(
+        neighbor_set_size=3, name="chaos-under-test", recovery=policy, **kwargs
+    )
+    return ChaosShardBackend(inner, plan)
+
+
+class TestFault:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Fault(at_op=1, kind="meteor-strike")
+
+    def test_rejects_non_positive_at_op(self):
+        with pytest.raises(ValueError):
+            Fault(at_op=0, kind="error")
+
+    def test_all_kinds_construct(self):
+        for kind in FAULT_KINDS:
+            assert Fault(at_op=1, kind=kind).kind == kind
+
+
+class TestFaultPlan:
+    def test_one_time_fault_fires_once_at_its_op(self):
+        plan = FaultPlan([Fault(at_op=3, kind="error")])
+        assert plan.faults_for("op") == []
+        assert plan.faults_for("op") == []
+        assert [fault.kind for fault in plan.faults_for("op")] == ["error"]
+        assert plan.faults_for("op") == []  # consumed
+        assert plan.fired == [(3, "error", "op")]
+        assert plan.pending == ()
+
+    def test_fires_at_first_op_past_due_not_only_exact_match(self):
+        # An op-name filter can make the exact at_op pass by; the fault
+        # fires at the first *matching* op at or after it.
+        plan = FaultPlan([Fault(at_op=2, kind="error", op_name="insert_paths")])
+        assert plan.faults_for("local_closest") == []  # op 1
+        assert plan.faults_for("local_closest") == []  # op 2: name mismatch
+        due = plan.faults_for("insert_paths")  # op 3: fires
+        assert [fault.kind for fault in due] == ["error"]
+        assert plan.fired == [(3, "error", "insert_paths")]
+
+    def test_persistent_fault_keeps_firing(self):
+        plan = FaultPlan([Fault(at_op=2, kind="error", persistent=True)])
+        assert plan.faults_for("op") == []
+        for count in (2, 3, 4):
+            assert [fault.kind for fault in plan.faults_for("op")] == ["error"]
+        assert [entry[0] for entry in plan.fired] == [2, 3, 4]
+        assert len(plan.pending) == 1
+
+    def test_schedule_is_deterministic(self):
+        def run():
+            plan = FaultPlan(
+                [Fault(at_op=2, kind="error"), Fault(at_op=4, kind="delay", delay_s=0.1)]
+            )
+            for _ in range(6):
+                plan.faults_for("op")
+            return plan.fired
+
+        assert run() == run()
+
+
+class TestChaosShardBackend:
+    def test_crash_before_heals_and_never_loses_the_op(self):
+        reference = ManagementServer(neighbor_set_size=3, maintain_cache=False)
+        reference.register_landmark("lmA", "lmA")
+        with chaos_backend(FaultPlan([Fault(at_op=2, kind="crash_before")])) as shard:
+            shard.register_landmark("lmA", "lmA")  # op 1
+            path = simple_path("p0", "lmA")
+            shard.insert_paths([path])  # op 2: worker killed, then self-heals
+            reference.insert_paths([path])
+            assert shard.plan.fired == [(2, "crash_before", "insert_paths")]
+            assert shard.supervisor.epoch == 2
+            assert shard.local_closest("p0", 3) == reference.local_closest("p0", 3)
+
+    def test_crash_after_journals_the_op_before_the_worker_dies(self):
+        with chaos_backend(FaultPlan([Fault(at_op=2, kind="crash_after")])) as shard:
+            shard.register_landmark("lmA", "lmA")
+            shard.insert_paths([simple_path("p0", "lmA")])  # acked, then killed
+            assert [op for op, _ in shard.supervisor.journal] == [
+                "register_landmark",
+                "insert_paths",
+            ]
+            assert not shard.supervisor.process.is_alive()
+            # The next call heals via restart+replay — including that op.
+            assert [pair[0] for pair in shard.local_closest("p0", 3)] == []
+            assert shard.supervisor.epoch == 2
+
+    def test_drop_reply_diverges_journal_from_caller_view(self):
+        """The worker applied and journaled the op while the caller saw a
+        typed failure — exactly why drop_reply is excluded from the
+        byte-identity oracle's plans."""
+        with chaos_backend(
+            FaultPlan([Fault(at_op=2, kind="drop_reply")]), recovery=False
+        ) as shard:
+            shard.register_landmark("lmA", "lmA")
+            with pytest.raises(ShardUnavailableError) as error:
+                shard.insert_paths([simple_path("p0", "lmA")])
+            assert "dropped" in str(error.value)
+            # Caller saw failure, yet the op landed and was journaled.
+            assert [op for op, _ in shard.supervisor.journal] == [
+                "register_landmark",
+                "insert_paths",
+            ]
+            assert shard.local_closest("p0", 3) == []
+
+    def test_delay_sleeps_through_the_injected_clock(self):
+        naps = []
+        plan = FaultPlan([Fault(at_op=1, kind="delay", delay_s=0.25)])
+        inner = ProcessShardBackend(neighbor_set_size=3, name="slow")
+        shard = ChaosShardBackend(inner, plan, sleep=naps.append)
+        with shard:
+            shard.register_landmark("lmA", "lmA")
+            assert naps == [0.25]
+            assert shard.plan.fired == [(1, "delay", "register_landmark")]
+
+    def test_error_fault_raises_typed_without_touching_the_worker(self):
+        with chaos_backend(
+            FaultPlan([Fault(at_op=2, kind="error")]), recovery=False
+        ) as shard:
+            shard.register_landmark("lmA", "lmA")
+            epoch = shard.supervisor.epoch
+            with pytest.raises(ShardUnavailableError) as error:
+                shard.insert_paths([simple_path("p0", "lmA")])
+            assert "chaos-under-test" in str(error.value)
+            assert shard.supervisor.process.is_alive()
+            assert shard.supervisor.epoch == epoch  # no restart happened
+            # The op never reached the worker, so it must not be journaled.
+            assert [op for op, _ in shard.supervisor.journal] == ["register_landmark"]
+
+    def test_crash_fault_on_inline_backend_fails_typed(self):
+        inline = ManagementServer(neighbor_set_size=3, maintain_cache=False)
+        shard = ChaosShardBackend(inline, FaultPlan([Fault(at_op=1, kind="crash_before")]))
+        with pytest.raises(ShardUnavailableError) as error:
+            shard.register_landmark("lmA", "lmA")
+        assert "process-backed" in str(error.value)
+
+    def test_lifecycle_calls_are_never_faulted(self):
+        plan = FaultPlan([Fault(at_op=1, kind="error", persistent=True)])
+        with chaos_backend(plan, recovery=False) as shard:
+            before = plan.ops_seen
+            assert shard.health_check()
+            shard.restart()
+            assert plan.ops_seen == before  # lifecycle traffic is not counted
+
+    def test_diagnostics_pass_through_to_the_inner_backend(self):
+        with chaos_backend(FaultPlan()) as shard:
+            assert shard.name == "chaos-under-test"
+            assert shard.supervisor.epoch == 1
+            assert shard.fill_chunk_size == shard.inner.fill_chunk_size

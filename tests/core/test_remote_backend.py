@@ -10,14 +10,20 @@ traceback), supervisor restart with journal replay, and worker teardown
 
 from __future__ import annotations
 
+import os
 import pickle
+import random
+import signal
+import time
 
 import pytest
 
 from repro.core import ManagementServer, ShardBackend, ShardedManagementServer
 from repro.core.path import RouterPath
 from repro.core.remote import (
+    DEFAULT_REQUEST_TIMEOUT,
     ProcessShardBackend,
+    RecoveryPolicy,
     ShardSupervisor,
     decode_frame,
     decode_path,
@@ -438,3 +444,219 @@ class TestSupervisorLifecycle:
         ) as server:
             processes = [shard.supervisor.process for shard in server.shards]
         assert all(not process.is_alive() for process in processes)
+
+
+class TestRecoveryPolicy:
+    def test_backoff_grows_geometrically_up_to_the_cap(self):
+        policy = RecoveryPolicy(
+            backoff_base_s=0.1, backoff_multiplier=2.0, backoff_cap_s=0.5, jitter=0.0
+        )
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+        assert policy.backoff_s(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff_s(9) == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        def delays(seed):
+            policy = RecoveryPolicy(
+                backoff_base_s=0.1, backoff_cap_s=10.0, jitter=0.1, rng=random.Random(seed)
+            )
+            return [policy.backoff_s(attempt) for attempt in range(1, 6)]
+
+        assert delays(7) == delays(7)  # same seed => same schedule
+        plain = RecoveryPolicy(backoff_base_s=0.1, backoff_cap_s=10.0, jitter=0.0)
+        for attempt, jittered in enumerate(delays(7), start=1):
+            base = plain.backoff_s(attempt)
+            assert base * 0.9 <= jittered <= base * 1.1
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RecoveryPolicy(backoff_base_s=0.1, jitter=0.5)
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy().backoff_s(0)
+
+
+def recovery_backend(**kwargs):
+    """A process shard that self-heals with zero backoff (fast tests)."""
+    policy = RecoveryPolicy(max_restarts=2, backoff_base_s=0.0, sleep=lambda _delay: None)
+    kwargs.setdefault("name", "healing")
+    return ProcessShardBackend(neighbor_set_size=3, recovery=policy, **kwargs)
+
+
+def kill_worker(shard):
+    shard.supervisor.process.kill()
+    shard.supervisor.process.join()
+
+
+class TestSelfHealing:
+    """With a RecoveryPolicy, transient worker deaths heal transparently."""
+
+    def test_transient_crash_heals_via_restart_replay_reissue(self):
+        reference = ManagementServer(neighbor_set_size=3, maintain_cache=False)
+        with recovery_backend() as shard:
+            seed_peers(shard, reference)
+            kill_worker(shard)
+            # The very next request triggers restart+replay+re-issue: no
+            # exception reaches the caller and the answer is byte-identical.
+            assert shard.local_closest("p0", 3) == reference.local_closest("p0", 3)
+            assert shard.supervisor.epoch == 2
+            # The healed worker keeps taking (journaled) writes.
+            shard.insert_paths([simple_path("p9", "lmA", "a9")])
+            reference.insert_paths([simple_path("p9", "lmA", "a9")])
+            assert shard.local_closest("p9", 3) == reference.local_closest("p9", 3)
+
+    def test_recoverable_mutations_are_journaled_exactly_once(self):
+        with recovery_backend() as shard:
+            shard.register_landmark("lmA", "lmA")
+            kill_worker(shard)
+            shard.insert_paths([simple_path("p0", "lmA")])  # heals, then applies
+            ops = [op for op, _ in shard.supervisor.journal]
+            assert ops == ["register_landmark", "insert_paths"]
+
+    def test_recovery_exhaustion_raises_the_typed_error(self, monkeypatch):
+        with recovery_backend() as shard:
+            seed_peers(shard)
+            original_restart = shard.supervisor.restart
+
+            def restart_then_die_again():
+                original_restart()
+                kill_worker(shard)
+
+            monkeypatch.setattr(shard.supervisor, "restart", restart_then_die_again)
+            kill_worker(shard)
+            with pytest.raises(ShardUnavailableError) as error:
+                shard.local_closest("p0", 2)
+            assert "healing" in str(error.value)
+
+    def test_recovery_sleeps_the_scripted_backoff(self):
+        slept = []
+        policy = RecoveryPolicy(
+            max_restarts=2, backoff_base_s=0.05, jitter=0.0, sleep=slept.append
+        )
+        with ProcessShardBackend(neighbor_set_size=3, recovery=policy) as shard:
+            seed_peers(shard)
+            kill_worker(shard)
+            shard.local_closest("p0", 2)
+            assert slept == [pytest.approx(0.05)]
+
+    def test_fill_stream_heals_mid_pull_without_gaps_or_repeats(self):
+        reference = ManagementServer(neighbor_set_size=3, maintain_cache=False)
+        with recovery_backend(fill_chunk_size=2) as shard:
+            seed_peers(shard, reference, count=7)
+            expected = list(reference.fill_candidates({"lmA": 1.0}))
+            assert len(expected) >= 5  # the kill lands genuinely mid-stream
+            stream = shard.fill_candidates({"lmA": 1.0})
+            got = [next(stream), next(stream)]  # drain the buffered chunk
+            kill_worker(shard)
+            got.extend(stream)  # reopen on the replayed worker, fast-forward
+            assert got == expected
+            assert shard.supervisor.epoch == 2
+
+    def test_fill_stream_without_recovery_fails_typed_never_partial(self):
+        with ProcessShardBackend(
+            neighbor_set_size=3, fill_chunk_size=2, name="fragile"
+        ) as shard:
+            seed_peers(shard, count=7)
+            stream = shard.fill_candidates({"lmA": 1.0})
+            next(stream)
+            next(stream)  # the next pull must hit the wire
+            kill_worker(shard)
+            with pytest.raises(ShardUnavailableError) as error:
+                list(stream)
+            assert "fragile" in str(error.value)
+
+
+class TestJournalCompaction:
+    def test_journal_property_is_an_immutable_snapshot(self):
+        with ProcessShardBackend(neighbor_set_size=2, name="journaled") as shard:
+            shard.register_landmark("lmA", "lmA")
+            snapshot = shard.supervisor.journal
+            assert isinstance(snapshot, tuple)
+            shard.insert_paths([simple_path("p0", "lmA")])
+            assert len(snapshot) == 1  # the earlier view did not grow
+            assert shard.supervisor.journal_length == 2
+            assert shard.supervisor.journal[1][0] == "insert_paths"
+
+    def test_compact_replaces_history_with_one_snapshot_entry(self):
+        reference = ManagementServer(neighbor_set_size=3, maintain_cache=False)
+        with ProcessShardBackend(neighbor_set_size=3, name="compacted") as shard:
+            seed_peers(shard, reference)
+            for cycle in range(5):  # churn: history >> live state
+                shard.unregister_peer("p0")
+                reference.unregister_peer("p0")
+                shard.insert_paths([simple_path("p0", "lmA", "a0")])
+                reference.insert_paths([simple_path("p0", "lmA", "a0")])
+            long_journal = shard.supervisor.journal_length
+            size = shard.compact()
+            assert size > 0
+            assert shard.supervisor.last_snapshot_bytes == size
+            assert shard.supervisor.journal_length == 1 < long_journal
+            assert shard.supervisor.journal[0][0] == "restore_state"
+            shard.restart()  # replay is now one snapshot restore
+            for peer in ("p0", "p1", "p2", "p3"):
+                for k in (1, 3, 5):
+                    assert shard.local_closest(peer, k) == reference.local_closest(peer, k)
+
+    def test_watermark_auto_compacts_during_normal_traffic(self):
+        reference = ManagementServer(neighbor_set_size=2, maintain_cache=False)
+        reference.register_landmark("lmA", "lmA")
+        with ProcessShardBackend(
+            neighbor_set_size=2, name="watermarked", compact_watermark=4
+        ) as shard:
+            shard.register_landmark("lmA", "lmA")
+            for i in range(7):
+                path = simple_path(f"p{i}", "lmA", access=f"a{i % 3}")
+                shard.insert_paths([path])
+                reference.insert_paths([path])
+                assert shard.supervisor.journal_length <= 4
+            assert any(op == "restore_state" for op, _ in shard.supervisor.journal)
+            shard.restart()
+            for i in range(7):
+                assert shard.local_closest(f"p{i}", 2) == reference.local_closest(f"p{i}", 2)
+
+    def test_compact_watermark_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ShardSupervisor(name="bad", neighbor_set_size=2, compact_watermark=0)
+
+
+class TestRequestDeadline:
+    """Satellite (a): every round trip carries a deadline — a hung worker
+    (alive but not answering) turns into a typed error, never a hang."""
+
+    def test_every_round_trip_has_a_default_deadline(self):
+        supervisor = ShardSupervisor(name="dl", neighbor_set_size=2, request_timeout=None)
+        try:
+            assert supervisor.request_timeout == DEFAULT_REQUEST_TIMEOUT
+        finally:
+            supervisor.close()
+
+    def test_recovery_op_deadline_overrides_the_request_timeout(self):
+        policy = RecoveryPolicy(op_deadline_s=1.5)
+        supervisor = ShardSupervisor(name="dl2", neighbor_set_size=2, recovery=policy)
+        try:
+            assert supervisor.request_timeout == 1.5
+        finally:
+            supervisor.close()
+
+    def test_hung_worker_times_out_typed_instead_of_hanging(self):
+        with ProcessShardBackend(
+            neighbor_set_size=2, name="hung", request_timeout=0.5
+        ) as shard:
+            shard.register_landmark("lmA", "lmA")
+            process = shard.supervisor.process
+            os.kill(process.pid, signal.SIGSTOP)  # alive, but answering nothing
+            try:
+                started = time.monotonic()
+                with pytest.raises(ShardUnavailableError) as error:
+                    shard.local_closest("p0", 1)
+                assert time.monotonic() - started < 5.0
+                assert "within timeout" in str(error.value)
+                # The channel is poisoned: later requests fail fast and
+                # typed until restart() — never a second hang.
+                with pytest.raises(ShardUnavailableError):
+                    shard.local_closest("p0", 1)
+            finally:
+                os.kill(process.pid, signal.SIGCONT)

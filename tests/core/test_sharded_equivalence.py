@@ -11,20 +11,27 @@ audited too.
 
 The harness is **backend-parametrized**: the same state machine runs once
 per :class:`~repro.core.sharded.ShardBackend` implementation — ``inline``
-(in-process shards) and ``process`` (one worker per shard behind
-:class:`~repro.core.remote.ProcessShardBackend`) — via the
-``backend_factory`` fixture, so the wire protocol, the typed codec and the
-chunked fill streams are held to the very same byte-identical bar as the
+(in-process shards), ``process`` (one worker per shard behind
+:class:`~repro.core.remote.ProcessShardBackend`) and ``chaos`` (process
+shards wrapped in a scripted-crash
+:class:`~repro.core.chaos.ChaosShardBackend` with a
+:class:`~repro.core.remote.RecoveryPolicy`, so every example self-heals
+through worker kills via restart+replay) — via the ``backend_factory``
+fixture, so the wire protocol, the typed codec, the chunked fill streams
+AND the recovery path are held to the very same byte-identical bar as the
 original sharding refactor.
 
 Run with ``HYPOTHESIS_PROFILE=ci-equivalence`` for the high-budget inline
-CI sweep, and ``HYPOTHESIS_PROFILE=ci-equivalence-process`` for the
-reduced-budget process-backend sweep (its CI matrix entry also carries a
-hard wall-clock timeout); see ``tests/conftest.py``.
+CI sweep, ``HYPOTHESIS_PROFILE=ci-equivalence-process`` for the
+reduced-budget process-backend sweep, and
+``HYPOTHESIS_PROFILE=ci-equivalence-chaos`` for the smallest-budget
+fault-injected sweep (both backend entries also carry a hard wall-clock
+timeout); see ``tests/conftest.py``.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import List, Tuple
 
@@ -33,22 +40,81 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import ManagementServer, ShardedManagementServer
+from repro.core.chaos import ChaosShardBackend, Fault, FaultPlan
 from repro.core.path import RouterPath
-from repro.core.remote import BACKENDS, shard_factory_for
+from repro.core.remote import (
+    BACKENDS,
+    ProcessShardBackend,
+    RecoveryPolicy,
+    shard_factory_for,
+)
 
 MAX_PEERS = 24
 MAX_LANDMARKS = 5
+
+# The scripted fault plan every chaos shard runs: an early crash (hits any
+# shard that owns a landmark and then sees traffic — the landmark
+# registration itself is op 1), a mid-workload crash-after (the op is
+# acknowledged and journaled, then the worker dies: the crash-between-ops
+# case), and a late crash deep in the churn so long examples re-kill a shard
+# that has already recovered once.  Crash faults only: ``drop_reply``
+# deliberately diverges the journal from the caller's view, so it is covered
+# by dedicated tests in ``test_chaos.py`` instead of the byte-identity
+# oracle.
+CHAOS_FAULTS = (
+    Fault(at_op=2, kind="crash_before"),
+    Fault(at_op=15, kind="crash_after"),
+    Fault(at_op=60, kind="crash_before"),
+)
+
+
+def chaos_shard_factory(k: int):
+    """A ``shard_factory``: process shards on a scripted crash plan.
+
+    Recovery is fully deterministic — zero backoff, no sleeping, a per-shard
+    seeded RNG — so a failing example shrinks and replays identically.
+    """
+    indexes = itertools.count()
+
+    def factory() -> ChaosShardBackend:
+        index = next(indexes)
+        inner = ProcessShardBackend(
+            neighbor_set_size=k,
+            name=f"chaos-shard-{index}",
+            recovery=RecoveryPolicy(
+                max_restarts=3,
+                backoff_base_s=0.0,
+                rng=random.Random(index),
+                sleep=lambda _delay: None,
+            ),
+            compact_watermark=8,
+        )
+        return ChaosShardBackend(inner, FaultPlan(CHAOS_FAULTS))
+
+    return factory
 
 
 def make_backend_factory(backend: str):
     """A ``backend_factory``: builds one sharded plane for ``backend``.
 
     The returned callable is stateless (each call spawns fresh shards —
-    fresh worker processes for the process backend), so it is safe to share
-    across hypothesis examples.
+    fresh worker processes for the process and chaos backends), so it is
+    safe to share across hypothesis examples.
     """
 
     def factory(shard_count, k, maintain_cache, distances) -> ShardedManagementServer:
+        if backend == "chaos":
+            # degraded_reads off: the oracle demands byte-identity, so a
+            # failure that recovery cannot heal must fail loud, never be
+            # papered over by a best-effort degraded answer.
+            return ShardedManagementServer(
+                shard_count,
+                neighbor_set_size=k,
+                maintain_cache=maintain_cache,
+                landmark_distances=distances,
+                shard_factory=chaos_shard_factory(k),
+                degraded_reads=False,
+            )
         return ShardedManagementServer(
             shard_count,
             neighbor_set_size=k,
@@ -60,7 +126,7 @@ def make_backend_factory(backend: str):
     return factory
 
 
-@pytest.fixture(scope="module", params=BACKENDS)
+@pytest.fixture(scope="module", params=(*BACKENDS, "chaos"))
 def backend_factory(request):
     """One sharded-plane factory per ShardBackend implementation."""
     return make_backend_factory(request.param)
@@ -274,3 +340,66 @@ class TestEquivalenceAcceptance:
 
 def _shape(rng: random.Random) -> Tuple[int, int, int]:
     return (rng.randrange(3), rng.randrange(3), rng.randrange(4))
+
+
+class TestChaosAcceptance:
+    """The issue's chaos sweep: every traffic-bearing shard dies and recovers.
+
+    A scripted :class:`FaultPlan` kills each shard's worker during a long
+    churn workload (1/2/4/8 shards); the plane must auto-recover via
+    restart+replay and stay byte-identical to the single server throughout —
+    and the test proves the kills really happened (``plan.fired``, worker
+    epoch advanced) rather than vacuously passing on an idle plan.
+    """
+
+    @pytest.mark.parametrize("shard_count", [1, 2, 4, 8])
+    def test_every_busy_shard_dies_and_recovers_byte_identical(self, shard_count):
+        factory = make_backend_factory("chaos")
+        single, sharded = build_planes(
+            factory,
+            landmark_count=4,
+            shard_count=shard_count,
+            with_distances=True,
+            maintain_cache=True,
+            k=3,
+        )
+        try:
+            rng = random.Random(31_000 + shard_count)
+            for step in range(220):
+                action = rng.random()
+                if action < 0.45:
+                    op = ("arrive", rng.randrange(MAX_PEERS), rng.randrange(4), _shape(rng))
+                elif action < 0.60:
+                    op = (
+                        "batch",
+                        [
+                            (rng.randrange(MAX_PEERS), rng.randrange(4), _shape(rng))
+                            for _ in range(rng.randrange(1, 5))
+                        ],
+                    )
+                elif action < 0.80:
+                    op = ("depart", rng.randrange(MAX_PEERS))
+                else:
+                    op = ("query", rng.randrange(MAX_PEERS), rng.choice([None, 1, 3, 6]))
+                assert apply_op(sharded, op) == apply_op(single, op), (step, op)
+            audit_equal(single, sharded)
+            # Every shard that owns a landmark took the landmark registration
+            # as op 1 and plenty of churn after it, so its at_op=2 crash must
+            # have fired and its worker must have been respawned at least
+            # once (epoch counts spawns; 1 = never restarted).
+            killed = 0
+            for shard in sharded._shards:
+                if shard.plan.ops_seen >= 2:
+                    assert shard.plan.fired, f"{shard.name} saw traffic but never crashed"
+                    assert shard.supervisor.epoch > 1, (
+                        f"{shard.name} crashed but was never respawned"
+                    )
+                    killed += 1
+            assert killed >= 1, "no shard ever received enough traffic to be killed"
+            if shard_count >= 2:
+                # With 4 landmarks over >=2 shards the consistent-hash ring
+                # spreads ownership, so more than one worker died on duty.
+                used = {sharded.shard_of(lm) for lm in sharded.landmarks()}
+                assert killed >= min(len(used), 2)
+        finally:
+            sharded.close()

@@ -1,0 +1,172 @@
+"""Snapshot/restore: a restored server is answer-identical to the original.
+
+The snapshot contract backs journal compaction: ``ShardSupervisor.compact``
+replaces a long replay journal with one ``restore_state`` entry, which is
+only sound if restoring a snapshot yields byte-identical answers — same
+peers, same distances, same order, same cache contents — for every
+subsequent operation.  Malformed or future-versioned snapshots must fail
+typed (:class:`~repro.exceptions.StateSnapshotError`), never half-restore.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import ManagementServer, NeighborCache, PeerKeyInterner, ServerStats
+from repro.core.management_server import STATE_SNAPSHOT_VERSION
+from repro.core.path import RouterPath
+from repro.exceptions import StateSnapshotError
+
+
+def simple_path(peer, landmark, access="a1"):
+    return RouterPath.from_routers(
+        peer, landmark, [f"{landmark}-{access}", f"{landmark}-core", landmark]
+    )
+
+
+def churned_server(maintain_cache=True):
+    """A server whose history is much longer than its live state."""
+    server = ManagementServer(
+        neighbor_set_size=3,
+        maintain_cache=maintain_cache,
+        landmark_distances={("lmA", "lmB"): 4.0},
+    )
+    for landmark in ("lmA", "lmB"):
+        server.register_landmark(landmark, landmark)
+    server.register_peers(
+        [simple_path(f"p{i}", "lmA" if i % 2 else "lmB", access=f"a{i % 3}") for i in range(6)]
+    )
+    for _ in range(3):  # churn so registration order != peer-name order
+        server.unregister_peer("p1")
+        server.register_peer(simple_path("p1", "lmA", access="a2"))
+    for peer in server.peers():  # warm the cache (when maintained)
+        server.closest_peers(peer)
+    return server
+
+
+def assert_answer_identical(restored, original):
+    assert restored.peers() == original.peers()
+    assert restored.landmarks() == original.landmarks()
+    for peer in original.peers():
+        assert restored.peer_path(peer) == original.peer_path(peer)
+        for k in (1, 3, 7):
+            assert restored.closest_peers(peer, k) == original.closest_peers(peer, k)
+    for peer_a in original.peers():
+        for peer_b in original.peers():
+            assert restored.estimate_distance(peer_a, peer_b) == original.estimate_distance(
+                peer_a, peer_b
+            )
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("maintain_cache", [True, False])
+    def test_restored_server_is_answer_identical(self, maintain_cache):
+        original = churned_server(maintain_cache=maintain_cache)
+        restored = ManagementServer(
+            neighbor_set_size=3,
+            maintain_cache=maintain_cache,
+            landmark_distances=None,  # the snapshot carries the distances
+        )
+        restored.restore_state(original.snapshot_state())
+        assert_answer_identical(restored, original)
+
+    def test_cache_contents_travel_with_the_snapshot(self):
+        original = churned_server(maintain_cache=True)
+        restored = ManagementServer(neighbor_set_size=3, maintain_cache=True)
+        restored.restore_state(original.snapshot_state())
+        original_cache = {
+            owner: [(entry.peer_id, entry.distance) for entry in entries]
+            for owner, entries in original._neighbor_cache.items()
+        }
+        restored_cache = {
+            owner: [(entry.peer_id, entry.distance) for entry in entries]
+            for owner, entries in restored._neighbor_cache.items()
+        }
+        assert restored_cache == original_cache
+        assert restored._referenced_by == original._referenced_by
+
+    def test_restore_replaces_any_previous_state(self):
+        original = churned_server()
+        other = ManagementServer(neighbor_set_size=3)
+        other.register_landmark("lmZ", "lmZ")
+        other.register_peer(simple_path("stale", "lmZ"))
+        other.restore_state(original.snapshot_state())
+        assert "stale" not in other.peers()
+        assert "lmZ" not in other.landmarks()
+        assert_answer_identical(other, original)
+
+    def test_snapshot_is_plain_picklable_data(self):
+        snapshot = churned_server().snapshot_state()
+        clone = pickle.loads(pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL))
+        assert clone == snapshot
+
+    def test_restored_server_keeps_serving_mutations(self):
+        original = churned_server()
+        restored = ManagementServer(neighbor_set_size=3)
+        restored.restore_state(original.snapshot_state())
+        newcomer = simple_path("p9", "lmA", access="a0")
+        restored.register_peer(newcomer)
+        original.register_peer(newcomer)
+        assert restored.closest_peers("p9") == original.closest_peers("p9")
+        restored.unregister_peer("p0")
+        original.unregister_peer("p0")
+        assert restored.peers() == original.peers()
+
+
+class TestSnapshotValidation:
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            "not a snapshot",
+            (),
+            ("wrong-tag", STATE_SNAPSHOT_VERSION, (), (), (), None),
+            ("repro-state", STATE_SNAPSHOT_VERSION, (), (), ()),  # wrong arity
+            None,
+            42,
+        ],
+    )
+    def test_garbage_is_rejected_typed(self, garbage):
+        server = ManagementServer(neighbor_set_size=3)
+        with pytest.raises(StateSnapshotError):
+            server.restore_state(garbage)
+
+    def test_future_version_is_rejected_typed(self):
+        server = ManagementServer(neighbor_set_size=3)
+        snapshot = ("repro-state", STATE_SNAPSHOT_VERSION + 1, (), (), (), None)
+        with pytest.raises(StateSnapshotError) as error:
+            server.restore_state(snapshot)
+        assert str(STATE_SNAPSHOT_VERSION + 1) in str(error.value)
+
+    def test_rejected_snapshot_leaves_existing_state_alone(self):
+        server = ManagementServer(neighbor_set_size=3)
+        server.register_landmark("lmA", "lmA")
+        server.register_peer(simple_path("p0", "lmA"))
+        with pytest.raises(StateSnapshotError):
+            server.restore_state(("repro-state", 999, (), (), (), None))
+        assert server.peers() == ["p0"]
+
+
+class TestNeighborCacheState:
+    def test_export_import_round_trip(self):
+        stats_a, stats_b = ServerStats(), ServerStats()
+        source = NeighborCache(3, stats_a, PeerKeyInterner())
+        source.store("p0", (("p1", 2.0), ("p2", 4.0)))
+        source.store("p1", (("p0", 2.0),))
+        source.note_membership_change()
+        source.store("p2", (("p0", 4.0),), complete=True)
+
+        target = NeighborCache(3, stats_b, PeerKeyInterner())
+        target.store("doomed", (("p9", 1.0),))
+        target.import_state(source.export_state())
+
+        assert target.get("doomed") is None
+        for owner in ("p0", "p1", "p2"):
+            assert [(e.peer_id, e.distance) for e in target.get(owner)] == [
+                (e.peer_id, e.distance) for e in source.get(owner)
+            ]
+        assert target.membership_generation == source.membership_generation
+        assert target.is_complete("p2") == source.is_complete("p2")
+        assert target.is_complete("p0") == source.is_complete("p0")
+        assert target.referenced_by == source.referenced_by

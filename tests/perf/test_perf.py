@@ -27,6 +27,7 @@ from repro.perf.workloads import (
     run_discovery_suite,
     run_insert_workload,
     run_query_workload,
+    run_recovery_workload,
 )
 from repro.topology.internet_mapper import RouterMapConfig
 
@@ -440,6 +441,83 @@ class TestShardedWorkloads:
         assert churn_a.counters == churn_b.counters
 
 
+class TestRecoveryWorkload:
+    def test_recovery_pair_shape_and_counters(self):
+        plain, compacted = run_recovery_workload(30, ops=20, seed=2)
+        assert plain.workload == "recovery"
+        assert compacted.workload == "recovery-compacted"
+        for record in (plain, compacted):
+            assert record.backend == "process"
+            assert record.shards == 1
+            assert record.population == 30
+            for counter in ("journal_len", "snapshot_bytes", "recovery_us", "live_peers"):
+                assert counter in record.counters
+            assert record.counters["live_peers"] == 30
+        # Journal: landmark + initial insert + 2 entries per churn cycle.
+        assert plain.counters["journal_len"] == 2 + 2 * 20
+        assert plain.ops == plain.counters["journal_len"]
+        assert plain.counters["snapshot_bytes"] == 0  # not compacted yet
+        # After compaction: one restore_state entry, a real snapshot size.
+        assert compacted.counters["journal_len"] == 1
+        assert compacted.ops == 1
+        assert compacted.counters["snapshot_bytes"] > 0
+        assert multiprocessing.active_children() == []
+
+    def test_suite_runs_recovery_only_with_the_process_backend(self):
+        inline_only = run_discovery_suite(
+            populations=(20,), ops=3, seed=2, shard_counts=(2,), arrival_batch_sizes=(2,)
+        )
+        assert not any(
+            record.workload.startswith("recovery") for record in inline_only.records
+        )
+        assert inline_only.metadata["recovery_ops"] is None
+        with_process = run_discovery_suite(
+            populations=(20,), ops=3, seed=2, shard_counts=(2,),
+            backends=("process",), arrival_batch_sizes=(2,), recovery_ops=5,
+        )
+        recovery = [
+            record for record in with_process.records
+            if record.workload.startswith("recovery")
+        ]
+        assert {record.workload for record in recovery} == {
+            "recovery", "recovery-compacted"
+        }
+        plain = next(record for record in recovery if record.workload == "recovery")
+        assert plain.counters["journal_len"] == 2 + 2 * 5  # --recovery-ops wins
+        assert with_process.metadata["recovery_ops"] == 5
+
+    def test_compaction_speeds_replay_5x_at_10k_journaled_ops(self):
+        """The issue's recovery-benchmark acceptance bar: with >= 10k
+        journaled operations over a small live population, snapshot-compacted
+        replay recovers at least 5x faster than full-journal replay."""
+        plain, compacted = run_recovery_workload(200, ops=5000, seed=3)
+        assert plain.counters["journal_len"] >= 10_000
+        assert compacted.counters["journal_len"] == 1
+        speedup = plain.counters["recovery_us"] / max(compacted.counters["recovery_us"], 1)
+        assert speedup >= 5.0, (
+            f"compaction speedup {speedup:.1f}x < 5x "
+            f"(full replay {plain.counters['recovery_us']}us, "
+            f"compacted {compacted.counters['recovery_us']}us)"
+        )
+        assert multiprocessing.active_children() == []
+
+    def test_recovery_cells_against_old_baselines_are_new_cells(self):
+        """Schema v6 is additive: a pre-recovery baseline still gates every
+        old cell while the recovery pair joins as new, uncompared cells."""
+        baseline = _report_from_cells([("query", 200, None, 10.0)])
+        current = _report_from_cells([("query", 200, None, 10.0)])
+        current.add(
+            PerfRecord(
+                workload="recovery", population=200, ops=100, total_s=0.1,
+                shards=1, backend="process",
+                counters={"journal_len": 100, "snapshot_bytes": 0, "recovery_us": 100000},
+            )
+        )
+        result = compare_reports(baseline, current)
+        assert result.ok
+        assert result.current_only == [("recovery", 200, 1, "process", None)]
+
+
 class TestProcessBackendWorkloads:
     # Worker-process teardown is enforced suite-wide by the
     # no_leaked_workers autouse fixture in tests/conftest.py.
@@ -491,11 +569,25 @@ class TestProcessBackendWorkloads:
             populations=(20,), ops=3, seed=2, shard_counts=(2,),
             backends=("inline", "process"), arrival_batch_sizes=(2,),
         )
-        combos = {(record.workload, record.shards, record.backend) for record in report.records}
+        combos = {
+            (record.workload, record.shards, record.backend)
+            for record in report.records
+            if not record.workload.startswith("recovery")
+        }
         assert combos == {
             (workload, 2, backend)
             for workload in ALL_WORKLOADS
             for backend in ("inline", "process")
+        }
+        # A process run also measures the recovery pair (single-shard cells).
+        recovery = {
+            (record.workload, record.shards, record.backend)
+            for record in report.records
+            if record.workload.startswith("recovery")
+        }
+        assert recovery == {
+            ("recovery", 1, "process"),
+            ("recovery-compacted", 1, "process"),
         }
         assert report.metadata["backends"] == ["inline", "process"]
 
@@ -712,8 +804,40 @@ class TestCli:
         assert code == 0
         data = json.loads(output.read_text())
         assert {record["backend"] for record in data["records"]} == {"process"}
-        assert all(record["shards"] == 2 for record in data["records"])
+        assert all(
+            record["shards"] == 2
+            for record in data["records"]
+            if not record["workload"].startswith("recovery")
+        )
+        # A process run also emits the single-shard recovery pair.
+        assert {
+            record["workload"]
+            for record in data["records"]
+            if record["shards"] == 1
+        } == {"recovery", "recovery-compacted"}
         assert multiprocessing.active_children() == []
+
+    def test_recovery_ops_flag_sizes_the_recovery_journal(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = run_perf(
+            ["--populations", "20", "--ops", "3", "--shards", "2",
+             "--backend", "process", "--recovery-ops", "4",
+             "--output", str(output)]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        plain = next(
+            record for record in data["records"] if record["workload"] == "recovery"
+        )
+        assert plain["counters"]["journal_len"] == 2 + 2 * 4
+        assert data["metadata"]["recovery_ops"] == 4
+        assert multiprocessing.active_children() == []
+
+    def test_invalid_recovery_ops_is_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            run_perf(["--populations", "20", "--ops", "3", "--shards", "2",
+                      "--backend", "process", "--recovery-ops", "0",
+                      "--output", str(tmp_path / "b.json")])
 
     def test_backend_process_without_shards_is_rejected(self, tmp_path, capsys):
         with pytest.raises(SystemExit):
