@@ -37,9 +37,22 @@ Measure flash-crowd arrivals at specific co-arriving batch sizes (the
     repro-experiments perf --arrival-batch-sizes 1,64
 
 Measure worker restart+replay with and without journal compaction (the
-``recovery`` / ``recovery-compacted`` cells; process backend only)::
+``recovery`` / ``recovery-compacted`` cells; remote backends only)::
 
     repro-experiments perf --shards 2 --backend process --recovery-ops 5000
+
+Measure the socket backend (connection-scoped shards behind a loopback
+asyncio shard server), or record a complete baseline — classic
+single-server cells plus every backend's sharded cells — in one run::
+
+    repro-experiments perf --shards 2 --backend socket
+    repro-experiments perf --shards none,2 --backend inline,process,socket
+
+Serve shards to remote coordinators over TCP and/or Unix-domain sockets
+(each client connection gets its own shard; stop with Ctrl-C)::
+
+    repro-experiments shard-serve --tcp 0.0.0.0:7421
+    repro-experiments shard-serve --unix /tmp/shard.sock --tcp 127.0.0.1:0
 """
 
 from __future__ import annotations
@@ -61,9 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
             "(CoNEXT 2007)."
         ),
         epilog=(
-            "Subcommand: 'repro-experiments perf' (as the first argument) runs the "
-            "discovery perf harness and writes BENCH_discovery.json; see "
-            "'repro-experiments perf --help'."
+            "Subcommands (as the first argument): 'repro-experiments perf' runs the "
+            "discovery perf harness and writes BENCH_discovery.json; "
+            "'repro-experiments shard-serve' serves discovery shards over TCP / "
+            "Unix-domain sockets. See each subcommand's --help."
         ),
     )
     parser.add_argument(
@@ -105,9 +119,32 @@ def _parse_positive_int_list(value: str, what: str) -> List[int]:
     return values
 
 
-def _parse_shard_counts(value: str) -> List[int]:
-    """Parse the ``--shards`` spec: comma-separated positive shard counts."""
-    return _parse_positive_int_list(value, "shard count")
+def _parse_shard_counts(value: str) -> List[Optional[int]]:
+    """Parse the ``--shards`` spec: positive counts and/or ``none``.
+
+    ``none`` is the classic single-server plane, so ``--shards none,2``
+    records the unsharded baseline cells and the 2-shard cells in one
+    report (remote backends skip the ``none`` entry — their shards only
+    exist on a sharded plane).
+    """
+    parts = [part.strip() for part in value.split(",") if part.strip()]
+    if not parts:
+        raise argparse.ArgumentTypeError("at least one shard count is required")
+    counts: List[Optional[int]] = []
+    for part in parts:
+        if part.lower() == "none":
+            counts.append(None)
+            continue
+        try:
+            count = int(part)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"invalid shard count list {value!r}")
+        if count < 1:
+            raise argparse.ArgumentTypeError(
+                f"shard counts must all be >= 1 (or 'none'), got {part!r}"
+            )
+        counts.append(count)
+    return counts
 
 
 def _parse_batch_sizes(value: str) -> List[int]:
@@ -175,18 +212,21 @@ def build_perf_parser() -> argparse.ArgumentParser:
         metavar="N[,N...]",
         help=(
             "run the workloads on a sharded management plane at these shard "
-            "counts (e.g. '1,4'); default runs the classic single server"
+            "counts (e.g. '1,4'); 'none' is the classic single server, so "
+            "'none,2' records both in one report; default runs the classic "
+            "single server only"
         ),
     )
     parser.add_argument(
         "--backend",
         type=_parse_backends,
         default=None,
-        metavar="NAME[,NAME]",
+        metavar="NAME[,NAME...]",
         help=(
             "where sharded cells' shards live: 'inline' (in-process, the "
-            "default), 'process' (one worker process per shard), or both as "
-            "'inline,process'; 'process' requires --shards"
+            "default), 'process' (one worker process per shard), 'socket' "
+            "(connection-scoped shards on a loopback asyncio server), or any "
+            "comma-separated mix; 'process'/'socket' require --shards"
         ),
     )
     parser.add_argument(
@@ -263,8 +303,12 @@ def run_perf(argv: Optional[Sequence[str]] = None) -> int:
     if args.compare_threshold < 0:
         parser.error(f"--compare-threshold must be >= 0, got {args.compare_threshold}")
     backends = args.backend or ["inline"]
-    if "process" in backends and args.shards is None:
-        parser.error("--backend process requires --shards (the process plane is sharded)")
+    remote = [backend for backend in backends if backend in ("process", "socket")]
+    if remote and not any(count is not None for count in (args.shards or [])):
+        parser.error(
+            f"--backend {','.join(remote)} requires --shards with at least one "
+            "real count (remote shards only exist on a sharded plane)"
+        )
 
     baseline = None
     if args.compare is not None:
@@ -318,6 +362,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "perf":
         return run_perf(list(argv[1:]))
+    if argv and argv[0] == "shard-serve":
+        from .core.socket_backend import run_serve
+
+        return run_serve(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -34,6 +34,29 @@ Fault kinds
     Raise :class:`~repro.exceptions.ShardUnavailableError` without touching
     the worker at all — a pure transport flake; a bare retry would succeed.
 
+Network-shaped fault kinds
+--------------------------
+The socket transport (:mod:`repro.core.socket_backend`) fails in ways a
+pipe cannot, so three kinds target its
+``SocketShardSupervisor.sever``/``rewind_generation`` hooks (they raise
+typed on a backend whose supervisor lacks the hooks):
+
+``partial_frame``
+    Before forwarding, send a frame whose length header promises more
+    bytes than follow, then close — the truncated-write corruption the
+    length prefix exists to catch.  The forwarded call fails typed and
+    (with recovery) heals by reconnect+replay+re-issue.
+``conn_reset``
+    Before forwarding, close the connection abortively (``SO_LINGER(0)``,
+    TCP RST) — the mid-operation connection-reset case.  Same recovery
+    story as ``partial_frame``.
+``reconnect_stale_epoch``
+    Before forwarding, advance the supervisor's expected server generation
+    *past* the server's next hello and kill the connection: the first
+    recovery reconnect lands on a stale epoch and fails typed, and only
+    the attempt after it succeeds — exercising the stale-epoch guard under
+    an otherwise-converging plan (``max_restarts`` must be >= 2).
+
 One-time vs persistent
 ----------------------
 A fault fires at the first counted operation ``>= at_op`` (whose name
@@ -52,9 +75,22 @@ from ..exceptions import ShardUnavailableError
 from .path import LandmarkId, NodeId, PeerId, RouterPath
 from .path_tree import PathTree
 
-__all__ = ["Fault", "FaultPlan", "ChaosShardBackend", "FAULT_KINDS"]
+__all__ = ["Fault", "FaultPlan", "ChaosShardBackend", "FAULT_KINDS", "NETWORK_FAULT_KINDS"]
 
-FAULT_KINDS = ("crash_before", "crash_after", "drop_reply", "delay", "error")
+FAULT_KINDS = (
+    "crash_before",
+    "crash_after",
+    "drop_reply",
+    "delay",
+    "error",
+    "partial_frame",
+    "conn_reset",
+    "reconnect_stale_epoch",
+)
+
+#: Kinds that need the socket transport's ``sever``/``rewind_generation``
+#: chaos hooks (process-backed shards cannot fail these ways).
+NETWORK_FAULT_KINDS = ("partial_frame", "conn_reset", "reconnect_stale_epoch")
 
 
 @dataclass(frozen=True)
@@ -147,15 +183,41 @@ class ChaosShardBackend:
     # ------------------------------------------------------------- injection
 
     def _kill_worker(self) -> None:
+        # Every supervised backend exposes a transport-appropriate abrupt
+        # kill (process: SIGKILL the worker; socket: sever the connection),
+        # so crash faults work on any transport.  The legacy process-handle
+        # path is kept for inner backends that predate the generic hook.
         supervisor = getattr(self.inner, "supervisor", None)
+        kill = getattr(supervisor, "kill", None)
+        if callable(kill):
+            kill()
+            return
         process = getattr(supervisor, "process", None)
         if process is None:
             raise ShardUnavailableError(
-                self.name, "chaos: crash fault needs a process-backed shard"
+                self.name, "chaos: crash fault needs a supervised shard backend"
             )
         if process.is_alive():
             process.kill()
             process.join()
+
+    def _sever(self, mode: str) -> None:
+        supervisor = getattr(self.inner, "supervisor", None)
+        sever = getattr(supervisor, "sever", None)
+        if not callable(sever):
+            raise ShardUnavailableError(
+                self.name, f"chaos: {mode!r} fault needs a socket-backed shard"
+            )
+        sever(mode)
+
+    def _rewind_generation(self) -> None:
+        supervisor = getattr(self.inner, "supervisor", None)
+        rewind = getattr(supervisor, "rewind_generation", None)
+        if not callable(rewind):
+            raise ShardUnavailableError(
+                self.name, "chaos: stale-epoch fault needs a socket-backed shard"
+            )
+        rewind()
 
     def _call(self, op_name: str, func, *args, **kwargs):
         faults = self.plan.faults_for(op_name)
@@ -164,6 +226,13 @@ class ChaosShardBackend:
                 self._sleep(fault.delay_s)
             elif fault.kind == "crash_before":
                 self._kill_worker()
+            elif fault.kind == "partial_frame":
+                self._sever("partial_frame")
+            elif fault.kind == "conn_reset":
+                self._sever("reset")
+            elif fault.kind == "reconnect_stale_epoch":
+                self._rewind_generation()
+                self._sever("close")
             elif fault.kind == "error":
                 raise ShardUnavailableError(
                     self.name, f"chaos: scripted error at op {self.plan.ops_seen}"

@@ -9,6 +9,15 @@ next step off a single process.  This module provides that backend: a
 ``maintain_cache=False`` — the coordinator owns the only cache) running in a
 worker process, and a :class:`ShardSupervisor` owns the worker's lifecycle.
 
+The transport-independent half of that story — the operation journal, the
+bounded restart+replay+re-issue recovery loop, snapshot compaction, and the
+full client-side :class:`~repro.core.sharded.ShardBackend` surface with its
+chunked lazy fill streams — lives in :class:`ShardSupervisorBase` and
+:class:`SupervisedShardBackend` so the network transport
+(:mod:`repro.core.socket_backend`) reuses it wholesale: a socket shard
+heals by *reconnect*-with-replay exactly the way a process shard heals by
+*restart*-with-replay, under the very same :class:`RecoveryPolicy`.
+
 Wire protocol
 -------------
 Each shard talks over one duplex :func:`multiprocessing.Pipe`, strictly
@@ -67,39 +76,44 @@ internally, a type deliberately distinct from the join-protocol
 ``ProtocolError``) — raises
 :class:`~repro.exceptions.ShardUnavailableError` naming the shard, and
 poisons the channel so subsequent requests fail fast until
-:meth:`ShardSupervisor.restart`.  Fill-stream ids are scoped to one worker
-incarnation (:attr:`ShardSupervisor.epoch`), so consumers outliving a
-restart fail typed instead of touching the new worker's streams.  The supervisor keeps a **per-shard operation journal** of every
+:meth:`ShardSupervisor.restart`.  Every round trip draws all of its
+blocking phases (writability probe, send, reply wait) from ONE
+:class:`~repro.core.budget.DeadlineBudget`, so its worst-case wall time is
+bounded by a single ``request_timeout`` regardless of how the slowness is
+split between a clogged pipe and a slow worker.  Fill-stream ids are scoped
+to one worker incarnation (:attr:`ShardSupervisorBase.epoch`), so consumers
+outliving a restart fail typed instead of touching the new worker's
+streams.  The supervisor keeps a **per-shard operation journal** of every
 successful mutating request (``register_landmark``, ``insert_paths``,
-``unregister``); :meth:`ShardSupervisor.restart` spawns a fresh worker and
-replays the journal in order, which rebuilds the shard's trees and min-hop
-orderings to a byte-identical state (insert order determines tree shape;
-the orderings are rebuilt lazily from the same sorted keys).  Mutating
-requests only touch coordinator state *after* the shard acknowledged them,
-so a crash mid-operation leaves the coordinator consistent with the journal
-for single-operation arrival/departure/query.  A batch ``register_peers``
-is not atomic across a shard crash: the coordinator may have recorded peers
-whose insert never reached the failed shard — restart, replay and re-register
-the batch to converge.
+``unregister``); :meth:`ShardSupervisorBase.restart` spawns a fresh worker
+and replays the journal in order, which rebuilds the shard's trees and
+min-hop orderings to a byte-identical state (insert order determines tree
+shape; the orderings are rebuilt lazily from the same sorted keys).
+Mutating requests only touch coordinator state *after* the shard
+acknowledged them, so a crash mid-operation leaves the coordinator
+consistent with the journal for single-operation arrival/departure/query.
+A batch ``register_peers`` is not atomic across a shard crash: the
+coordinator may have recorded peers whose insert never reached the failed
+shard — restart, replay and re-register the batch to converge.
 
 Self-healing
 ------------
 Recovery is **opt-in**: construct the supervisor (or backend, or factory)
 with a :class:`RecoveryPolicy` and any transport failure on a recoverable
-request triggers a bounded loop of backoff → :meth:`ShardSupervisor.restart`
-(respawn + replay) → one re-issue of the failed request, instead of raising
-on first fault.  Backoff is exponential with a cap, and deterministic when
-the policy carries an injected ``rng`` for jitter.  Fill streams recover
-too: journal replay rebuilds worker state byte-identically, so the client
-reopens the stream on the fresh worker and fast-forwards past the
-candidates already yielded, continuing the *identical* stream (this assumes
-no mutations landed between the original open and the recovery — true for
-query-scoped merges, best-effort for externally held streams).  Without a
-policy, the first fault raises typed exactly as before.
+request triggers a bounded loop of backoff → :meth:`ShardSupervisorBase.
+restart` (respawn + replay) → one re-issue of the failed request, instead
+of raising on first fault.  Backoff is exponential with a cap, and
+deterministic when the policy carries an injected ``rng`` for jitter.  Fill
+streams recover too: journal replay rebuilds worker state byte-identically,
+so the client reopens the stream on the fresh worker and fast-forwards past
+the candidates already yielded, continuing the *identical* stream (this
+assumes no mutations landed between the original open and the recovery —
+true for query-scoped merges, best-effort for externally held streams).
+Without a policy, the first fault raises typed exactly as before.
 
-The journal itself is no longer unbounded: :meth:`ShardSupervisor.compact`
-asks the worker for a ``snapshot_state`` (a plain-data serialisation of its
-landmarks, live paths and landmark distances — see
+The journal itself is no longer unbounded: :meth:`ShardSupervisorBase.
+compact` asks the worker for a ``snapshot_state`` (a plain-data
+serialisation of its landmarks, live paths and landmark distances — see
 ``ManagementServer.snapshot_state``) and replaces the journal with the
 single entry ``("restore_state", (snapshot,))``, so restart cost is
 O(live state), not O(operation history).  Pass ``compact_watermark=N`` to
@@ -128,6 +142,7 @@ from typing import (
 
 from .. import exceptions as _exceptions
 from ..exceptions import ShardUnavailableError, WireProtocolError
+from .budget import DeadlineBudget
 from .codec import decode_frame, decode_path, encode_frame, encode_path
 from .management_server import ManagementServer
 from .path import LandmarkId, PeerId, RouterPath
@@ -138,7 +153,10 @@ __all__ = [
     "DEFAULT_FILL_CHUNK",
     "ProcessShardBackend",
     "RecoveryPolicy",
+    "ShardRequestHandler",
     "ShardSupervisor",
+    "ShardSupervisorBase",
+    "SupervisedShardBackend",
     "decode_frame",
     "decode_path",
     "encode_frame",
@@ -149,7 +167,10 @@ __all__ = [
 
 #: The shard-backend implementations selectable by name — the single source
 #: for every ``backend=`` surface (ScenarioConfig, the perf suite, the CLI).
-BACKENDS = ("inline", "process")
+#: ``"socket"`` lives in :mod:`repro.core.socket_backend` (asyncio shard
+#: servers over TCP / Unix-domain sockets) and is resolved lazily by
+#: :func:`shard_factory_for` so importing this module never imports asyncio.
+BACKENDS = ("inline", "process", "socket")
 
 #: Candidates shipped per ``fill_next`` round trip.  Small enough that a
 #: query needing one or two fill slots pays one chunk, large enough that a
@@ -168,14 +189,17 @@ DEFAULT_REQUEST_TIMEOUT = 60.0
 
 @dataclass(frozen=True)
 class RecoveryPolicy:
-    """How a :class:`ShardSupervisor` self-heals from transport failures.
+    """How a shard supervisor self-heals from transport failures.
 
     When a recoverable request fails with
     :class:`~repro.exceptions.ShardUnavailableError`, the supervisor runs up
     to ``max_restarts`` attempts of *backoff → restart (respawn + journal
     replay) → re-issue the failed request*, raising the last error when the
     budget is exhausted.  Domain errors (``UnknownPeerError`` and friends)
-    are answers, not faults — they never trigger recovery.
+    are answers, not faults — they never trigger recovery.  For a socket
+    shard (:mod:`repro.core.socket_backend`) "restart" means
+    reconnect-with-replay; the policy, backoff schedule and deadline
+    semantics are identical.
 
     Parameters
     ----------
@@ -241,6 +265,51 @@ def _rebuild_exception(type_name: str, message: str) -> BaseException:
 # ------------------------------------------------------------------ worker
 
 
+class ShardRequestHandler:
+    """Transport-neutral shard session: one server plus its fill streams.
+
+    The request/reply semantics of a shard — dispatch against a
+    ``ManagementServer(maintain_cache=False)``, lazily opened fill streams
+    addressed by id, errors serialised as ``(type_name, message)`` — are
+    identical whether the transport is a :func:`multiprocessing.Pipe`
+    (:func:`_shard_worker`) or an asyncio socket connection
+    (:mod:`repro.core.socket_backend`), so both feed decoded request tuples
+    through one handler instance.
+    """
+
+    def __init__(self, neighbor_set_size: int) -> None:
+        self.server = ManagementServer(
+            neighbor_set_size=neighbor_set_size, maintain_cache=False
+        )
+        self.streams: dict = {}
+        self._stream_ids = itertools.count(1)
+
+    def handle(self, request_id: int, op: str, args: Tuple[object, ...]):
+        """Apply one decoded request; return the reply tuple (or ``None``).
+
+        One-way requests (``request_id == 0``) return ``None`` — the caller
+        must not write a reply for them.
+        """
+        if op == "fill_close":
+            generator = self.streams.pop(args[0], None)
+            if generator is not None:
+                generator.close()
+            return None
+        try:
+            result = _dispatch(self.server, self.streams, self._stream_ids, op, args)
+        except Exception as error:  # noqa: BLE001 - errors are protocol payload
+            reply = (request_id, "err", type(error).__name__, str(error))
+        else:
+            reply = (request_id, "ok", result)
+        return reply if request_id else None
+
+    def close(self) -> None:
+        """Tear down every open fill stream (idempotent)."""
+        for generator in self.streams.values():
+            generator.close()
+        self.streams.clear()
+
+
 def _shard_worker(conn, neighbor_set_size: int) -> None:
     """Worker-process main loop: one ``ManagementServer`` behind the pipe.
 
@@ -248,9 +317,7 @@ def _shard_worker(conn, neighbor_set_size: int) -> None:
     died), or an undecodable frame (a poisoned channel is unrecoverable, so
     the worker exits and the client surfaces the EOF as unavailability).
     """
-    server = ManagementServer(neighbor_set_size=neighbor_set_size, maintain_cache=False)
-    streams: dict = {}
-    stream_ids = itertools.count(1)
+    handler = ShardRequestHandler(neighbor_set_size)
     try:
         while True:
             try:
@@ -261,18 +328,8 @@ def _shard_worker(conn, neighbor_set_size: int) -> None:
             args = message[2] if len(message) > 2 else ()
             if op == "shutdown":
                 break
-            if op == "fill_close":
-                generator = streams.pop(args[0], None)
-                if generator is not None:
-                    generator.close()
-                continue
-            try:
-                result = _dispatch(server, streams, stream_ids, op, args)
-            except Exception as error:  # noqa: BLE001 - errors are protocol payload
-                reply = (request_id, "err", type(error).__name__, str(error))
-            else:
-                reply = (request_id, "ok", result)
-            if request_id:
+            reply = handler.handle(request_id, op, args)
+            if reply is not None:
                 conn.send_bytes(encode_frame(reply))
     finally:
         conn.close()
@@ -348,28 +405,28 @@ def _dispatch(server: ManagementServer, streams: dict, stream_ids, op: str, args
 # -------------------------------------------------------------- supervisor
 
 
-class ShardSupervisor:
-    """Owns one shard worker: spawn, request plumbing, journal, restart.
+class ShardSupervisorBase:
+    """Transport-agnostic shard supervision: journal, recovery, compaction.
 
-    The supervisor is transport-level — it moves opaque ``(op, args)``
-    requests and keeps the **operation journal**: every mutating request
-    that the worker acknowledged, in order.  :meth:`restart` spawns a fresh
-    worker and replays the journal, restoring the shard's data plane to the
-    exact pre-crash state (see the module docstring's fault model).
+    Subclasses own the transport — spawning a worker process and its pipe
+    (:class:`ShardSupervisor`) or dialling a shard server's socket
+    (:class:`~repro.core.socket_backend.SocketShardSupervisor`) — through
+    four hooks: :meth:`_establish_transport`, :meth:`_teardown_transport`,
+    :meth:`_roundtrip` and :meth:`notify`.  Everything above the transport
+    is shared verbatim: the **operation journal** of acknowledged mutating
+    requests, :meth:`restart` (fresh transport + in-order replay, restoring
+    the shard's data plane byte-identically), the :class:`RecoveryPolicy`
+    loop of backoff → restart → re-issue, and snapshot compaction
+    (:meth:`compact`).
 
     Parameters
     ----------
     name:
         The shard's name; every :class:`ShardUnavailableError` carries it.
-    neighbor_set_size:
-        Passed to the worker's ``ManagementServer``.
-    start_method:
-        ``multiprocessing`` start method; ``None`` picks ``fork`` where
-        available (workers are cheap clones) and ``spawn`` elsewhere.
     request_timeout:
-        Seconds to wait for a reply before declaring the shard unavailable.
-        ``None`` is clamped to :data:`DEFAULT_REQUEST_TIMEOUT` — every round
-        trip always has a deadline.
+        Seconds each round trip may take in total (all phases draw from one
+        :class:`~repro.core.budget.DeadlineBudget`).  ``None`` is clamped to
+        :data:`DEFAULT_REQUEST_TIMEOUT` — every round trip has a deadline.
     recovery:
         Optional :class:`RecoveryPolicy`.  When given, recoverable requests
         that fail with :class:`ShardUnavailableError` trigger bounded
@@ -377,21 +434,22 @@ class ShardSupervisor:
     compact_watermark:
         When set, :meth:`compact` runs automatically whenever the journal
         reaches this many entries, bounding replay cost by live state size.
+    clock:
+        Monotonic clock used for round-trip deadline budgets; injectable so
+        timeout regression tests can script pathological phase timings.
     """
 
     def __init__(
         self,
         name: str,
-        neighbor_set_size: int,
-        start_method: Optional[str] = None,
         request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
         recovery: Optional[RecoveryPolicy] = None,
         compact_watermark: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if compact_watermark is not None and compact_watermark < 1:
             raise ValueError(f"compact_watermark must be >= 1, got {compact_watermark}")
         self.name = name
-        self.neighbor_set_size = neighbor_set_size
         if recovery is not None and recovery.op_deadline_s is not None:
             request_timeout = recovery.op_deadline_s
         if request_timeout is None:
@@ -399,27 +457,39 @@ class ShardSupervisor:
         self.request_timeout = request_timeout
         self._recovery = recovery
         self._compact_watermark = compact_watermark
+        self._clock = clock
         self.last_snapshot_bytes = 0
-        if start_method is None:
-            start_method = (
-                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-            )
-        self._context = multiprocessing.get_context(start_method)
         self._journal: List[Tuple[str, Tuple[object, ...]]] = []
         self._next_request_id = itertools.count(1)
-        self._conn = None
-        self._process = None
         self._poisoned: Optional[str] = None
         self._closed = False
         self._epoch = 0
-        self._spawn()
+
+    # ------------------------------------------------------- transport hooks
+
+    def _establish_transport(self) -> None:
+        """Bring up a fresh transport incarnation (spawn / connect)."""
+        raise NotImplementedError
+
+    def _teardown_transport(self) -> None:
+        """Tear the current transport down (reap worker / close socket)."""
+        raise NotImplementedError
+
+    def _roundtrip(
+        self, op: str, args: Tuple[object, ...], timeout: Optional[float] = None
+    ) -> object:
+        """One request/reply exchange, bounded by one deadline budget."""
+        raise NotImplementedError
+
+    def notify(self, op: str, args: Tuple[object, ...]) -> None:
+        """One-way notification (no reply; failures are swallowed)."""
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        """Abruptly destroy the transport (fault injection; no handshake)."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------- lifecycle
-
-    @property
-    def process(self):
-        """The live worker :class:`multiprocessing.Process` (or ``None``)."""
-        return self._process
 
     @property
     def journal(self) -> Tuple[Tuple[str, Tuple[object, ...]], ...]:
@@ -438,78 +508,43 @@ class ShardSupervisor:
 
     @property
     def epoch(self) -> int:
-        """Worker incarnation counter (bumped by every spawn/restart).
+        """Transport incarnation counter (bumped by every spawn/reconnect).
 
-        Stream state (fill streams' worker-side ids) is only valid within
+        Stream state (fill streams' shard-side ids) is only valid within
         one epoch: a consumer created before a restart must not touch — or
-        tear down — streams belonging to the new worker.
+        tear down — streams belonging to the new incarnation.
         """
         return self._epoch
 
-    def _spawn(self) -> None:
-        parent_conn, child_conn = self._context.Pipe(duplex=True)
-        process = self._context.Process(
-            target=_shard_worker,
-            args=(child_conn, self.neighbor_set_size),
-            name=f"repro-{self.name}",
-            daemon=True,
-        )
-        process.start()
-        child_conn.close()
-        self._conn = parent_conn
-        self._process = process
-        self._poisoned = None
-        self._epoch += 1
-
     def restart(self) -> None:
-        """Spawn a fresh worker and replay the journal (crash recovery)."""
+        """Fresh transport + in-order journal replay (crash recovery)."""
         if self._closed:
             raise ShardUnavailableError(self.name, "supervisor is closed")
-        self._teardown_worker()
-        self._spawn()
+        self._teardown_transport()
+        self._establish_transport()
         for op, args in self._journal:
             self._roundtrip(op, args)
 
     def close(self) -> None:
-        """Shut the worker down and release the pipe (idempotent)."""
+        """Shut the shard down and release the transport (idempotent)."""
         if self._closed:
             return
         self._closed = True
-        self._teardown_worker()
-
-    def _teardown_worker(self) -> None:
-        conn, process = self._conn, self._process
-        self._conn = None
-        self._process = None
-        if conn is not None:
-            # The shutdown frame is a courtesy: a hung worker with a full
-            # pipe buffer must not turn close() into a blocking send, so
-            # probe writability first and skip the frame when it would
-            # block — terminate()/kill() below reap the worker regardless.
-            if self._writable(conn, timeout=0.0):
-                try:
-                    conn.send_bytes(encode_frame((0, "shutdown")))
-                except (OSError, ValueError):
-                    pass
-        if process is not None:
-            process.join(timeout=2.0)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=2.0)
-            if process.is_alive():  # pragma: no cover - SIGTERM-ignoring worker
-                process.kill()
-                process.join()
-        if conn is not None:
-            conn.close()
+        self._teardown_transport()
 
     def health_check(self, timeout: float = 5.0) -> bool:
-        """True when the worker is alive and answering pings."""
+        """True when the shard is reachable and answering pings."""
         try:
-            return self.request("ping", (), timeout=timeout) == "pong"
+            return self.request("ping", (), timeout=timeout, recoverable=False) == "pong"
         except ShardUnavailableError:
             return False
 
     # --------------------------------------------------------------- requests
+
+    def _budget(self, timeout: Optional[float]) -> DeadlineBudget:
+        """The single deadline budget one round trip's phases share."""
+        deadline = self.request_timeout if timeout is None else timeout
+        return DeadlineBudget(deadline, clock=self._clock)
 
     def request(
         self,
@@ -563,7 +598,7 @@ class ShardSupervisor:
     def compact(self) -> int:
         """Replace the journal with one state snapshot; return its byte size.
 
-        Asks the worker to serialise its live state (``snapshot_state``) and
+        Asks the shard to serialise its live state (``snapshot_state``) and
         rewrites the journal as ``[("restore_state", (snapshot,))]``, so the
         next :meth:`restart` replays O(live state) instead of O(history).
         The journal is only replaced after the snapshot round trip succeeds.
@@ -580,10 +615,137 @@ class ShardSupervisor:
         try:
             self.compact()
         except ShardUnavailableError:
-            # Auto-compaction is an optimisation: if the worker is gone the
+            # Auto-compaction is an optimisation: if the shard is gone the
             # triggering request already succeeded, so keep the long journal
-            # and let the normal fault path handle the dead worker.
+            # and let the normal fault path handle the dead shard.
             pass
+
+    def _interpret_reply(self, reply, request_id: int, op: str) -> object:
+        """Turn a decoded reply tuple into a value or a raised exception.
+
+        Shared by every transport: out-of-order or malformed replies poison
+        the channel (the request/reply pairing is unknown from here on), and
+        worker-reported ``WireProtocolError`` surfaces as unavailability,
+        never as a domain error.
+        """
+        if reply[0] != request_id or len(reply) < 3:
+            self._poisoned = f"out-of-order reply to {op!r}"
+            raise ShardUnavailableError(self.name, self._poisoned)
+        if reply[1] == "ok":
+            return reply[2]
+        if reply[1] == "err" and len(reply) == 4:
+            error = _rebuild_exception(str(reply[2]), str(reply[3]))
+            if isinstance(error, WireProtocolError):
+                # The worker saw a protocol violation from us: surface it as
+                # unavailability, never as a domain (join-protocol) error.
+                raise ShardUnavailableError(
+                    self.name, f"worker reported a protocol violation: {error}"
+                ) from error
+            raise error
+        self._poisoned = f"malformed reply to {op!r}"
+        raise ShardUnavailableError(self.name, self._poisoned)
+
+
+class ShardSupervisor(ShardSupervisorBase):
+    """Owns one shard worker process: spawn, request plumbing, restart.
+
+    The transport instance of :class:`ShardSupervisorBase` for
+    ``multiprocessing`` pipes; see the base class for the journal, recovery
+    and compaction story it inherits.
+
+    Parameters
+    ----------
+    name / request_timeout / recovery / compact_watermark / clock:
+        As for :class:`ShardSupervisorBase`.
+    neighbor_set_size:
+        Passed to the worker's ``ManagementServer``.
+    start_method:
+        ``multiprocessing`` start method; ``None`` picks ``fork`` where
+        available (workers are cheap clones) and ``spawn`` elsewhere.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        neighbor_set_size: int,
+        start_method: Optional[str] = None,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+        recovery: Optional[RecoveryPolicy] = None,
+        compact_watermark: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        super().__init__(
+            name,
+            request_timeout=request_timeout,
+            recovery=recovery,
+            compact_watermark=compact_watermark,
+            clock=clock,
+        )
+        self.neighbor_set_size = neighbor_set_size
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+        self._context = multiprocessing.get_context(start_method)
+        self._conn = None
+        self._process = None
+        self._establish_transport()
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def process(self):
+        """The live worker :class:`multiprocessing.Process` (or ``None``)."""
+        return self._process
+
+    def _establish_transport(self) -> None:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_shard_worker,
+            args=(child_conn, self.neighbor_set_size),
+            name=f"repro-{self.name}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self._process = process
+        self._poisoned = None
+        self._epoch += 1
+
+    def _teardown_transport(self) -> None:
+        conn, process = self._conn, self._process
+        self._conn = None
+        self._process = None
+        if conn is not None:
+            # The shutdown frame is a courtesy: a hung worker with a full
+            # pipe buffer must not turn close() into a blocking send, so
+            # probe writability first and skip the frame when it would
+            # block — terminate()/kill() below reap the worker regardless.
+            if self._writable(conn, timeout=0.0):
+                try:
+                    conn.send_bytes(encode_frame((0, "shutdown")))
+                except (OSError, ValueError):
+                    pass
+        if process is not None:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM-ignoring worker
+                process.kill()
+                process.join()
+        if conn is not None:
+            conn.close()
+
+    def kill(self) -> None:
+        """Kill the worker process outright (fault injection, no teardown)."""
+        process = self._process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join()
+
+    # --------------------------------------------------------------- requests
 
     def notify(self, op: str, args: Tuple[object, ...]) -> None:
         """One-way notification (no reply; failures are swallowed).
@@ -622,22 +784,24 @@ class ShardSupervisor:
         process, conn = self._process, self._conn
         if process is None or conn is None or not process.is_alive():
             raise ShardUnavailableError(self.name, "worker process is not running")
-        deadline = self.request_timeout if timeout is None else timeout
+        budget = self._budget(timeout)
         request_id = next(self._next_request_id)
         try:
             # A worker that stopped reading while staying alive would make a
             # blocking send hang with the pipe buffer full, so probe
-            # writability under the same deadline as the reply.  The probe
-            # itself must never break the typed-error contract: where it
-            # cannot run (fd beyond FD_SETSIZE, platforms whose pipe handles
+            # writability before sending.  The probe and the reply wait draw
+            # from ONE shared deadline budget — a slow-draining pipe plus a
+            # slow worker is still bounded by a single request_timeout, not
+            # the sum of two full phase timeouts.  Where the probe cannot
+            # run (fd beyond FD_SETSIZE, platforms whose pipe handles
             # select() rejects), fall back to sending un-probed — the
             # residual blocking risk of the Connection API, also present for
             # frames larger than the pipe buffer once a write has started.
-            if not self._writable(conn, timeout=deadline):
+            if not self._writable(conn, timeout=budget.remaining()):
                 self._poisoned = f"pipe not writable for {op!r} within timeout"
                 raise ShardUnavailableError(self.name, self._poisoned)
             conn.send_bytes(encode_frame((request_id, op, args)))
-            if not conn.poll(deadline):
+            if not conn.poll(budget.remaining()):
                 self._poisoned = f"no reply to {op!r} within timeout"
                 raise ShardUnavailableError(self.name, self._poisoned)
             reply = decode_frame(conn.recv_bytes())
@@ -650,60 +814,30 @@ class ShardSupervisor:
             raise ShardUnavailableError(
                 self.name, f"worker died during {op!r}: {type(error).__name__}: {error}"
             ) from error
-        if reply[0] != request_id or len(reply) < 3:
-            self._poisoned = f"out-of-order reply to {op!r}"
-            raise ShardUnavailableError(self.name, self._poisoned)
-        if reply[1] == "ok":
-            return reply[2]
-        if reply[1] == "err" and len(reply) == 4:
-            error = _rebuild_exception(str(reply[2]), str(reply[3]))
-            if isinstance(error, WireProtocolError):
-                # The worker saw a protocol violation from us: surface it as
-                # unavailability, never as a domain (join-protocol) error.
-                raise ShardUnavailableError(
-                    self.name, f"worker reported a protocol violation: {error}"
-                ) from error
-            raise error
-        self._poisoned = f"malformed reply to {op!r}"
-        raise ShardUnavailableError(self.name, self._poisoned)
+        return self._interpret_reply(reply, request_id, op)
 
 
 # ----------------------------------------------------------------- backend
 
 
-class ProcessShardBackend:
-    """A :class:`~repro.core.sharded.ShardBackend` living in a worker process.
+class SupervisedShardBackend:
+    """The full client-side :class:`~repro.core.sharded.ShardBackend` surface
+    over a supervising request channel.
 
-    Implements the shard-facing surface by proxying every call to a
-    ``ManagementServer(maintain_cache=False)`` in the supervised worker,
-    following the module docstring's batching/chunking rules.  Pass
-    instances via ``ShardedManagementServer(shard_factory=...)`` — see
-    :func:`process_shard_factory` for the canonical wiring.
+    Everything a remote shard backend does — path encoding, batched
+    validation, chunked lazy fill streams with epoch-guarded recovery,
+    diagnostics — is a function of its supervisor's ``request``/``notify``/
+    ``epoch`` interface, so :class:`ProcessShardBackend` and
+    :class:`~repro.core.socket_backend.SocketShardBackend` share this one
+    implementation and differ only in how their supervisor moves frames.
 
-    Always :meth:`close` a backend (or use it as a context manager): the
-    worker is a real OS process and the pipe a real file descriptor.
+    Subclasses set ``self.supervisor`` (a :class:`ShardSupervisorBase`),
+    ``self.name`` and ``self.fill_chunk_size`` before use.
     """
 
-    def __init__(
-        self,
-        neighbor_set_size: int = 5,
-        name: str = "process-shard",
-        fill_chunk_size: int = DEFAULT_FILL_CHUNK,
-        start_method: Optional[str] = None,
-        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
-        recovery: Optional[RecoveryPolicy] = None,
-        compact_watermark: Optional[int] = None,
-    ) -> None:
-        self.name = name
-        self.fill_chunk_size = fill_chunk_size
-        self.supervisor = ShardSupervisor(
-            name=name,
-            neighbor_set_size=neighbor_set_size,
-            start_method=start_method,
-            request_timeout=request_timeout,
-            recovery=recovery,
-            compact_watermark=compact_watermark,
-        )
+    supervisor: ShardSupervisorBase
+    name: str
+    fill_chunk_size: int
 
     # ---------------------------------------------------------- shard surface
 
@@ -744,15 +878,15 @@ class ProcessShardBackend:
         bases: Mapping[LandmarkId, float],
         exclude_peer: Optional[PeerId] = None,
     ) -> Iterator[Tuple[float, str, PeerId]]:
-        """Chunked client view of the worker's lazy candidate stream.
+        """Chunked client view of the shard's lazy candidate stream.
 
-        The worker-side stream is opened on the first ``next()`` (a never
+        The shard-side stream is opened on the first ``next()`` (a never
         consumed stream costs nothing on either side) and torn down by a
         one-way ``fill_close`` when the consumer stops early.
 
-        With a :class:`RecoveryPolicy`, a worker death mid-stream is healed
+        With a :class:`RecoveryPolicy`, a shard death mid-stream is healed
         by reopening the stream on the restarted (journal-replayed, hence
-        byte-identical) worker and fast-forwarding past the candidates
+        byte-identical) shard and fast-forwarding past the candidates
         already yielded — the consumer sees one uninterrupted stream.
         Without a policy it fails typed, never silently-partial.
         """
@@ -762,7 +896,7 @@ class ProcessShardBackend:
 
         def open_stream() -> Tuple[int, int]:
             # A recoverable open doubles as the recovery trigger: on a dead
-            # worker it restarts+replays first, then opens on the fresh one.
+            # shard it restarts+replays first, then opens on the fresh one.
             stream_id = supervisor.request("fill_open", (bases_items, exclude_peer))
             return supervisor.epoch, int(stream_id)  # type: ignore[arg-type]
 
@@ -787,7 +921,7 @@ class ProcessShardBackend:
             if remaining > 0:
                 raise ShardUnavailableError(
                     self.name,
-                    "fill stream shrank during recovery (worker state diverged)",
+                    "fill stream shrank during recovery (shard state diverged)",
                 )
             return epoch, stream_id, done and remaining == 0
 
@@ -798,11 +932,11 @@ class ProcessShardBackend:
             try:
                 while True:
                     if supervisor.epoch != epoch:
-                        # The worker restarted mid-stream: our stream id now
+                        # The shard restarted mid-stream: our stream id now
                         # belongs to a different incarnation.
                         if supervisor.recovery is None:
                             raise ShardUnavailableError(
-                                self.name, "worker restarted mid fill stream"
+                                self.name, "shard restarted mid fill stream"
                             )
                         epoch, stream_id, done = reopen(yielded)
                         if done:
@@ -825,20 +959,21 @@ class ProcessShardBackend:
                         exhausted = True
                         return
             finally:
-                # Only tear down a stream on the worker that owns it: after a
-                # restart the same id may name a fresh, unrelated stream.
+                # Only tear down a stream on the incarnation that owns it:
+                # after a restart the same id may name a fresh, unrelated
+                # stream.
                 if not exhausted and supervisor.epoch == epoch:
                     supervisor.notify("fill_close", (stream_id,))
 
         return stream()
 
     def tree(self, landmark_id: LandmarkId) -> PathTree:
-        """A local **snapshot** of the worker's tree (for diagnostics).
+        """A local **snapshot** of the shard's tree (for diagnostics).
 
-        Rebuilt from the worker's paths in registration order, so structure
+        Rebuilt from the shard's paths in registration order, so structure
         and ``tree_distance`` answers are byte-identical to the live tree;
         the query-visit counters are copied across.  Mutating the snapshot
-        does not affect the worker.
+        does not affect the shard.
         """
         root, encoded_paths, total_visits, last_visits = self.supervisor.request(  # type: ignore[misc]
             "tree", (landmark_id,)
@@ -864,22 +999,22 @@ class ProcessShardBackend:
         return int(self.supervisor.request("total_tree_visits", ()))  # type: ignore[arg-type]
 
     def total_insert_work(self) -> Tuple[int, int]:
-        """The worker's ``(nodes_created, nodes_touched)`` insert counters."""
+        """The shard's ``(nodes_created, nodes_touched)`` insert counters."""
         created, touched = self.supervisor.request("total_insert_work", ())  # type: ignore[misc]
         return (int(created), int(touched))  # type: ignore[arg-type]
 
     # ------------------------------------------------------------ diagnostics
 
     def worker_stats(self) -> dict:
-        """The worker server's :class:`ServerStats` counters (a copy)."""
+        """The shard server's :class:`ServerStats` counters (a copy)."""
         return dict(self.supervisor.request("stats", ()))  # type: ignore[arg-type, call-overload]
 
     def health_check(self, timeout: float = 5.0) -> bool:
-        """True when the shard's worker is alive and answering."""
+        """True when the shard is alive and answering."""
         return self.supervisor.health_check(timeout=timeout)
 
     def restart(self) -> None:
-        """Respawn the worker and replay the journal (crash recovery)."""
+        """Respawn the shard's transport and replay the journal."""
         self.supervisor.restart()
 
     def compact(self) -> int:
@@ -889,10 +1024,10 @@ class ProcessShardBackend:
     # -------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
-        """Stop the worker and close the pipe (idempotent)."""
+        """Stop the shard and release the transport (idempotent)."""
         self.supervisor.close()
 
-    def __enter__(self) -> "ProcessShardBackend":
+    def __enter__(self) -> "SupervisedShardBackend":
         return self
 
     def __exit__(self, *_exc_info) -> None:
@@ -903,6 +1038,41 @@ class ProcessShardBackend:
             self.close()
         except Exception:  # noqa: BLE001 - never raise from a finaliser
             pass
+
+
+class ProcessShardBackend(SupervisedShardBackend):
+    """A :class:`~repro.core.sharded.ShardBackend` living in a worker process.
+
+    Implements the shard-facing surface by proxying every call to a
+    ``ManagementServer(maintain_cache=False)`` in the supervised worker,
+    following the module docstring's batching/chunking rules.  Pass
+    instances via ``ShardedManagementServer(shard_factory=...)`` — see
+    :func:`process_shard_factory` for the canonical wiring.
+
+    Always :meth:`close` a backend (or use it as a context manager): the
+    worker is a real OS process and the pipe a real file descriptor.
+    """
+
+    def __init__(
+        self,
+        neighbor_set_size: int = 5,
+        name: str = "process-shard",
+        fill_chunk_size: int = DEFAULT_FILL_CHUNK,
+        start_method: Optional[str] = None,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+        recovery: Optional[RecoveryPolicy] = None,
+        compact_watermark: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.fill_chunk_size = fill_chunk_size
+        self.supervisor = ShardSupervisor(
+            name=name,
+            neighbor_set_size=neighbor_set_size,
+            start_method=start_method,
+            request_timeout=request_timeout,
+            recovery=recovery,
+            compact_watermark=compact_watermark,
+        )
 
     def __repr__(self) -> str:
         process = self.supervisor.process
@@ -943,18 +1113,25 @@ def process_shard_factory(
     return factory
 
 
-def shard_factory_for(
-    backend: str, neighbor_set_size: int = 5, **kwargs
-) -> Optional[Callable[[], ProcessShardBackend]]:
+def shard_factory_for(backend: str, neighbor_set_size: int = 5, **kwargs):
     """The ``ShardedManagementServer(shard_factory=...)`` value for a backend.
 
     ``"inline"`` returns ``None`` (the coordinator's default in-process
-    shards); ``"process"`` returns a :func:`process_shard_factory`.  The one
-    place backend names map to wiring, shared by scenarios, the perf suite
-    and tests.
+    shards); ``"process"`` returns a :func:`process_shard_factory`;
+    ``"socket"`` returns a
+    :func:`~repro.core.socket_backend.socket_shard_factory` (which, without
+    explicit ``addresses``, hosts a loopback asyncio shard server in this
+    process so the socket plane is self-contained).  The one place backend
+    names map to wiring, shared by scenarios, the perf suite and tests.
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
     if backend == "process":
         return process_shard_factory(neighbor_set_size, **kwargs)
+    if backend == "socket":
+        # Imported lazily: the socket transport pulls in asyncio/socket
+        # machinery that pipe-backed planes never need.
+        from .socket_backend import socket_shard_factory
+
+        return socket_shard_factory(neighbor_set_size, **kwargs)
     return None

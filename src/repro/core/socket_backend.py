@@ -1,0 +1,1009 @@
+"""Network shard transport: asyncio shard servers, socket-backed shards.
+
+The PR 3 wire protocol — length-prefixed frames, the typed path codec,
+batched validate+insert, chunked lazy ``fill_candidates`` — was designed
+transport-agnostic but only ran over :func:`multiprocessing.Pipe`.  This
+module runs the *identical* protocol over real sockets so shards can leave
+the machine: a :class:`ShardServer` (asyncio, TCP and Unix-domain) hosts a
+``ManagementServer(maintain_cache=False)`` per **connection-scoped shard**,
+and :class:`SocketShardBackend` is a full
+:class:`~repro.core.sharded.ShardBackend` client over it.  The frame codec
+(:mod:`repro.core.codec`), the request/reply dispatch
+(:class:`~repro.core.remote.ShardRequestHandler`), the client-side backend
+surface (:class:`~repro.core.remote.SupervisedShardBackend`) and the whole
+journal/recovery/compaction story
+(:class:`~repro.core.remote.ShardSupervisorBase`) are reused verbatim —
+the only new code is how frames move and how a dead transport comes back.
+
+Connection-scoped shards and the hello handshake
+------------------------------------------------
+A shard's state lives exactly as long as its connection.  The first frame a
+client sends is ``hello`` carrying ``(PROTOCOL_VERSION,
+neighbor_set_size)``; the server answers ``(PROTOCOL_VERSION, generation)``
+after building a fresh ``ManagementServer`` for the connection.  A second
+``hello`` on the same connection discards the shard and builds a new one —
+which is how pooled connections are recycled without leaking a previous
+tenant's peers.  Dying and reconnecting therefore lands on an *empty*
+shard, exactly like a respawned worker process, and the supervisor heals it
+the same way: replay the operation journal (snapshot-compacted or not) in
+order, byte-identical by insert order, under the same
+:class:`~repro.core.remote.RecoveryPolicy` backoff loop.  *Restart* and
+*reconnect* are one concept with two transports.
+
+Stale-epoch detection
+---------------------
+``generation`` is a server-wide monotonic counter bumped by every hello.
+The client remembers the largest generation it has seen and refuses a
+reconnect whose generation is not strictly newer — that is a **stale
+epoch**: a server that lost time (restarted from an old state, or a
+load-balancer sent us somewhere else) must not silently absorb a journal
+replay meant for its successor.  A stale reconnect fails with a typed
+:class:`~repro.exceptions.ShardUnavailableError`; under a
+:class:`RecoveryPolicy` the next attempt dials again and succeeds once the
+server is genuinely ahead.  The ``reconnect_stale_epoch`` chaos fault
+scripts precisely this sequence.
+
+Deadlines and fault surface
+---------------------------
+Every round trip draws its phases — dial, send, header read, body read —
+from ONE :class:`~repro.core.budget.DeadlineBudget`, so worst-case wall
+time is a single ``request_timeout`` no matter how the slowness is split
+(the same budget discipline that fixed the 2x-timeout bug in the pipe
+transport).  Every transport failure (refused dial, reset, truncated frame,
+undecodable reply, deadline) raises ``ShardUnavailableError`` naming the
+shard and poisons the connection so later requests fail fast until
+reconnect.  :meth:`SocketShardSupervisor.sever` is the fault-injection
+surface: ``close`` (silent death), ``reset`` (RST via ``SO_LINGER(0)``), and
+``partial_frame`` (a frame whose header promises more bytes than follow —
+the truncated-write corruption the length prefix exists to catch).
+
+Topology
+--------
+One coordinator process drives N :class:`SocketShardBackend` shards, each
+over its own connection, against one or many :class:`ShardServer`
+processes (``repro-experiments shard-serve``).  For self-contained runs —
+tests, perf, scenarios — :func:`socket_shard_factory` hosts a loopback
+:class:`LocalShardServer` on a daemon thread (Unix socket where available,
+else TCP on ``127.0.0.1``) and refcounts it away when the last shard
+closes, so ``ShardedManagementServer.close()`` tears the whole plane down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import os
+import pickle
+import socket
+import struct
+import tempfile
+import threading
+import time
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ShardUnavailableError, WireProtocolError
+from .budget import DeadlineBudget
+from .codec import decode_frame, encode_frame
+from .remote import (
+    DEFAULT_FILL_CHUNK,
+    DEFAULT_REQUEST_TIMEOUT,
+    RecoveryPolicy,
+    ShardRequestHandler,
+    ShardSupervisorBase,
+    SupervisedShardBackend,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FramedConnection",
+    "LocalShardServer",
+    "ShardServer",
+    "SocketConnectionPool",
+    "SocketShardBackend",
+    "SocketShardSupervisor",
+    "build_serve_parser",
+    "run_serve",
+    "socket_shard_factory",
+]
+
+#: Version of the hello handshake + operation set.  Bump on incompatible
+#: protocol changes; the handshake fails typed across a version skew.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame body — far above any real snapshot, low enough
+#: that a corrupt header cannot make either side try to buffer gigabytes.
+MAX_FRAME_BYTES = 1 << 30
+
+#: Idle connections a :class:`SocketConnectionPool` keeps per address.
+DEFAULT_POOL_IDLE = 4
+
+_HEADER = struct.Struct("!I")
+
+#: A shard server address: a Unix-socket path, or a ``(host, port)`` pair.
+Address = Union[str, Tuple[str, int]]
+
+_TRANSPORT_ERRORS = (OSError, EOFError, WireProtocolError, pickle.UnpicklingError)
+
+
+def format_address(address: Address) -> str:
+    """Human-readable form used in error messages and serve banners."""
+    if isinstance(address, str):
+        return f"unix:{address}"
+    host, port = address
+    return f"tcp:{host}:{port}"
+
+
+def _dial(address: Address, timeout: float) -> socket.socket:
+    """Open one blocking client socket to a shard server."""
+    if isinstance(address, str):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        # Request/reply with small frames: never wait for Nagle coalescing.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    try:
+        sock.settimeout(timeout)
+        sock.connect(address if isinstance(address, str) else tuple(address))
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+class FramedConnection:
+    """One blocking client connection speaking length-prefixed frames.
+
+    All blocking calls take a :class:`DeadlineBudget` and set the socket
+    timeout to the budget's *remaining* time before each phase, so a send
+    plus a multi-read reply is jointly bounded by one deadline.
+    """
+
+    def __init__(self, sock: socket.socket, address: Address) -> None:
+        self.sock = sock
+        self.address = address
+        self.closed = False
+
+    # ----------------------------------------------------------------- frames
+
+    def send_frame(self, frame: bytes, budget: DeadlineBudget) -> None:
+        self._arm_timeout(budget)
+        self.sock.sendall(frame)
+
+    def recv_frame(self, budget: DeadlineBudget) -> Tuple[object, ...]:
+        header = self._recv_exact(_HEADER.size, budget)
+        (declared,) = _HEADER.unpack(header)
+        if declared > MAX_FRAME_BYTES:
+            raise WireProtocolError(f"frame declares {declared} body bytes (limit {MAX_FRAME_BYTES})")
+        body = self._recv_exact(declared, budget)
+        return decode_frame(header + body)
+
+    def _recv_exact(self, count: int, budget: DeadlineBudget) -> bytes:
+        chunks: List[bytes] = []
+        remaining = count
+        while remaining > 0:
+            self._arm_timeout(budget)
+            chunk = self.sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                raise EOFError("connection closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _arm_timeout(self, budget: DeadlineBudget) -> None:
+        remaining = budget.remaining()
+        if remaining <= 0:
+            raise TimeoutError("deadline budget exhausted")
+        self.sock.settimeout(remaining)
+
+    # -------------------------------------------------------- fault injection
+
+    def close(self) -> None:
+        """Orderly close (idempotent): FIN, then release the descriptor."""
+        if self.closed:
+            return
+        self.closed = True
+        with contextlib.suppress(OSError):
+            self.sock.shutdown(socket.SHUT_RDWR)
+        self.sock.close()
+
+    def reset_close(self) -> None:
+        """Abortive close: ``SO_LINGER(0)`` so TCP sends RST, not FIN."""
+        if self.closed:
+            return
+        self.closed = True
+        with contextlib.suppress(OSError):
+            self.sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+        self.sock.close()
+
+    def send_partial_frame(self) -> None:
+        """Send a frame whose header promises more bytes than follow, then die.
+
+        This is the truncated-write corruption the length prefix exists to
+        catch: the server reads a short body, hits EOF and drops the
+        connection; the client side is closed immediately so its next
+        request fails typed.
+        """
+        if self.closed:
+            return
+        with contextlib.suppress(OSError):
+            self.sock.settimeout(1.0)
+            self.sock.sendall(_HEADER.pack(64) + b"\x00\x01\x02")
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"FramedConnection({format_address(self.address)}, {state})"
+
+
+class SocketConnectionPool:
+    """Idle :class:`FramedConnection` objects for one shard server address.
+
+    Reconnecting supervisors draw from the pool before dialling, and return
+    still-healthy connections on teardown; the ``hello`` handshake resets
+    the connection-scoped shard on every acquire, so a pooled connection
+    can never leak a previous tenant's state.  Poisoned or severed
+    connections are closed, never pooled.  The pool is refcounted by the
+    backends of one factory and closes its idle sockets when the last
+    backend closes.
+    """
+
+    def __init__(self, address: Address, max_idle: int = DEFAULT_POOL_IDLE) -> None:
+        if max_idle < 0:
+            raise ValueError(f"max_idle must be >= 0, got {max_idle}")
+        self.address = address
+        self.max_idle = max_idle
+        self._idle: List[FramedConnection] = []
+        self._lock = threading.Lock()
+        self._refs = 0
+        self._closed = False
+        self.dials = 0
+        self.reuses = 0
+
+    @property
+    def idle_count(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+    def acquire(self, budget: DeadlineBudget) -> FramedConnection:
+        """An idle connection if one is pooled, else a fresh dial.
+
+        A pooled connection may have died server-side while idle; the
+        caller's hello handshake detects that and (under recovery) the next
+        attempt dials fresh — the pool never vouches for liveness.
+        """
+        while True:
+            with self._lock:
+                conn = self._idle.pop() if self._idle else None
+            if conn is None:
+                break
+            if not conn.closed:
+                self.reuses += 1
+                return conn
+        remaining = budget.remaining()
+        if remaining <= 0:
+            raise TimeoutError("deadline budget exhausted before dialling")
+        self.dials += 1
+        return FramedConnection(_dial(self.address, remaining), self.address)
+
+    def release(self, conn: FramedConnection) -> None:
+        """Return a healthy connection to the pool (or close it)."""
+        if conn.closed:
+            return
+        with self._lock:
+            if not self._closed and len(self._idle) < self.max_idle:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def add_ref(self) -> None:
+        with self._lock:
+            self._refs += 1
+            self._closed = False
+
+    def drop_ref(self) -> None:
+        with self._lock:
+            self._refs = max(0, self._refs - 1)
+            last = self._refs == 0
+        if last:
+            self.close()
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for conn in idle:
+            conn.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SocketConnectionPool({format_address(self.address)}, "
+            f"idle={self.idle_count}, dials={self.dials}, reuses={self.reuses})"
+        )
+
+
+# ------------------------------------------------------------------ server
+
+
+class ShardServer:
+    """Asyncio server hosting one connection-scoped shard per client.
+
+    Each connection runs the protocol of :func:`repro.core.remote._dispatch`
+    through a :class:`~repro.core.remote.ShardRequestHandler` built at the
+    connection's ``hello``; the server itself only owns the listen sockets
+    and the monotonic ``generation`` counter the stale-epoch check rides on.
+    Shard state is **per connection** — two clients never share a
+    ``ManagementServer``, and a dropped connection takes its shard with it
+    (the client's journal replay rebuilds it byte-identically on reconnect).
+    """
+
+    def __init__(self) -> None:
+        self._generation = 0
+        self._servers: List[asyncio.AbstractServer] = []
+        self.addresses: List[Address] = []
+        self.connections_served = 0
+
+    @property
+    def generation(self) -> int:
+        """Hellos served so far — the stale-epoch reference counter."""
+        return self._generation
+
+    async def listen(self, address: Address) -> Address:
+        """Bind one listen socket; returns the resolved address (port 0 → real)."""
+        if isinstance(address, str):
+            server = await asyncio.start_unix_server(self._handle_connection, path=address)
+            resolved: Address = address
+        else:
+            host, port = address
+            server = await asyncio.start_server(self._handle_connection, host=host, port=port)
+            bound = server.sockets[0].getsockname()
+            resolved = (bound[0], bound[1])
+        self._servers.append(server)
+        self.addresses.append(resolved)
+        return resolved
+
+    async def close(self) -> None:
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers.clear()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader, writer) -> None:
+        self.connections_served += 1
+        handler: Optional[ShardRequestHandler] = None
+        try:
+            while True:
+                message = await self._read_frame(reader)
+                if message is None:
+                    break
+                request_id, op = message[0], message[1]
+                args = message[2] if len(message) > 2 else ()
+                if op == "shutdown":
+                    break
+                reply = self._apply(handler, request_id, op, args)
+                if isinstance(reply, _HelloAccepted):
+                    if handler is not None:
+                        handler.close()
+                    handler = reply.handler
+                    reply = reply.reply
+                if reply is not None:
+                    try:
+                        writer.write(encode_frame(reply))
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        break
+        finally:
+            if handler is not None:
+                handler.close()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _read_frame(self, reader: asyncio.StreamReader):
+        """One decoded request, or ``None`` when the connection is done for.
+
+        Truncated frames (EOF mid-body — the partial-frame corruption),
+        oversized headers and undecodable bodies all drop the connection:
+        once framing is in doubt, nothing later on the stream can be
+        trusted, and the connection-scoped shard dies with it.
+        """
+        try:
+            header = await reader.readexactly(_HEADER.size)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return None
+        (declared,) = _HEADER.unpack(header)
+        if declared > MAX_FRAME_BYTES:
+            return None
+        try:
+            body = await reader.readexactly(declared)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return None
+        try:
+            return decode_frame(header + body)
+        except (WireProtocolError, pickle.UnpicklingError, ValueError):
+            return None
+
+    def _apply(
+        self,
+        handler: Optional[ShardRequestHandler],
+        request_id: int,
+        op: str,
+        args: Tuple[object, ...],
+    ):
+        if op == "hello":
+            try:
+                version, neighbor_set_size = args
+            except (TypeError, ValueError):
+                version, neighbor_set_size = None, None
+            if version != PROTOCOL_VERSION:
+                return (
+                    request_id,
+                    "err",
+                    "WireProtocolError",
+                    f"server speaks protocol {PROTOCOL_VERSION}, client sent {version!r}",
+                ) if request_id else None
+            self._generation += 1
+            fresh = ShardRequestHandler(int(neighbor_set_size))  # type: ignore[arg-type]
+            reply = (request_id, "ok", (PROTOCOL_VERSION, self._generation))
+            return _HelloAccepted(fresh, reply if request_id else None)
+        if handler is None:
+            # Everything but hello needs a shard; answering typed (instead
+            # of dropping the connection) lets the client fail fast with a
+            # ShardUnavailableError naming the real problem.
+            return (
+                request_id,
+                "err",
+                "WireProtocolError",
+                f"operation {op!r} before hello on this connection",
+            ) if request_id else None
+        return handler.handle(request_id, op, args)
+
+
+class _HelloAccepted:
+    """Internal marker: a hello swapped in a fresh handler for this connection."""
+
+    __slots__ = ("handler", "reply")
+
+    def __init__(self, handler: ShardRequestHandler, reply) -> None:
+        self.handler = handler
+        self.reply = reply
+
+
+class LocalShardServer:
+    """A loopback :class:`ShardServer` on a daemon thread, refcounted away.
+
+    The self-contained deployment used by tests, scenarios and the perf
+    suite: binds an ephemeral Unix socket (or ``127.0.0.1`` TCP where
+    ``AF_UNIX`` is unavailable), serves until the last refcount holder
+    releases it, then stops the loop and unlinks the socket — so closing
+    every backend of a factory leaves no thread, socket or file behind.
+    """
+
+    def __init__(self) -> None:
+        self.address: Optional[Address] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[ShardServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._tempdir: Optional[str] = None
+        self._refs = 0
+        self._lock = threading.Lock()
+        self._stopped = False
+        self._start()
+
+    @property
+    def alive(self) -> bool:
+        return not self._stopped
+
+    @property
+    def generation(self) -> int:
+        server = self._server
+        return server.generation if server is not None else 0
+
+    def _pick_address(self) -> Address:
+        if hasattr(socket, "AF_UNIX"):
+            self._tempdir = tempfile.mkdtemp(prefix="repro-shard-")
+            return os.path.join(self._tempdir, "shard.sock")
+        return ("127.0.0.1", 0)
+
+    def _start(self) -> None:
+        started = threading.Event()
+        failure: List[BaseException] = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            server = ShardServer()
+            try:
+                self.address = loop.run_until_complete(server.listen(self._pick_address()))
+            except BaseException as error:  # noqa: BLE001 - reported to starter
+                failure.append(error)
+                started.set()
+                loop.close()
+                return
+            self._server = server
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(server.close())
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        thread = threading.Thread(target=run, name="repro-shard-server", daemon=True)
+        self._thread = thread
+        thread.start()
+        started.wait()
+        if failure:
+            self._stopped = True
+            self._cleanup_paths()
+            raise ShardUnavailableError(
+                "local-shard-server", f"could not bind loopback server: {failure[0]}"
+            ) from failure[0]
+
+    # ------------------------------------------------------------- refcounting
+
+    def acquire(self) -> "LocalShardServer":
+        with self._lock:
+            if self._stopped:
+                raise ShardUnavailableError("local-shard-server", "server already stopped")
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        with self._lock:
+            self._refs = max(0, self._refs - 1)
+            last = self._refs == 0 and not self._stopped
+        if last:
+            self.stop()
+
+    def stop(self) -> None:
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        loop = self._loop
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._cleanup_paths()
+
+    def _cleanup_paths(self) -> None:
+        if self._tempdir is not None:
+            sock_path = os.path.join(self._tempdir, "shard.sock")
+            with contextlib.suppress(OSError):
+                os.unlink(sock_path)
+            with contextlib.suppress(OSError):
+                os.rmdir(self._tempdir)
+            self._tempdir = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "stopped"
+        where = format_address(self.address) if self.address is not None else "unbound"
+        return f"LocalShardServer({where}, {state}, refs={self._refs})"
+
+
+# ------------------------------------------------------------------ client
+
+
+class SocketShardSupervisor(ShardSupervisorBase):
+    """Supervises one connection-scoped shard on a remote server.
+
+    The socket instance of :class:`~repro.core.remote.ShardSupervisorBase`:
+    journal, recovery loop and compaction are inherited unchanged — only
+    the transport hooks differ.  *Restart* means reconnect (pool-first) +
+    hello + journal replay; :attr:`epoch` counts connections exactly as the
+    process supervisor counts worker incarnations, so fill-stream epoch
+    guards behave identically.
+
+    Chaos hooks: :meth:`sever` kills the connection in transport-shaped
+    ways (``close`` / ``reset`` / ``partial_frame``) and
+    :meth:`rewind_generation` makes the *next* reconnect look stale —
+    together they script every network fault kind deterministically.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        address: Address,
+        neighbor_set_size: int,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+        recovery: Optional[RecoveryPolicy] = None,
+        compact_watermark: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+        pool: Optional[SocketConnectionPool] = None,
+    ) -> None:
+        super().__init__(
+            name,
+            request_timeout=request_timeout,
+            recovery=recovery,
+            compact_watermark=compact_watermark,
+            clock=clock,
+        )
+        self.address = address
+        self.neighbor_set_size = neighbor_set_size
+        self._pool = pool
+        self._conn: Optional[FramedConnection] = None
+        self._seen_generation: Optional[int] = None
+        self._establish_transport()
+
+    @property
+    def connection(self) -> Optional[FramedConnection]:
+        """The live client connection (or ``None``)."""
+        return self._conn
+
+    @property
+    def seen_generation(self) -> Optional[int]:
+        """Largest server generation this supervisor has accepted."""
+        return self._seen_generation
+
+    # ------------------------------------------------------- transport hooks
+
+    def _establish_transport(self) -> None:
+        budget = self._budget(None)
+        conn: Optional[FramedConnection] = None
+        try:
+            if self._pool is not None:
+                conn = self._pool.acquire(budget)
+            else:
+                remaining = budget.remaining()
+                if remaining <= 0:
+                    raise TimeoutError("deadline budget exhausted before dialling")
+                conn = FramedConnection(_dial(self.address, remaining), self.address)
+            generation = self._hello(conn, budget)
+        except ShardUnavailableError:
+            if conn is not None:
+                conn.close()
+            raise
+        except _TRANSPORT_ERRORS as error:
+            if conn is not None:
+                conn.close()
+            raise ShardUnavailableError(
+                self.name,
+                f"connect to {format_address(self.address)} failed: "
+                f"{type(error).__name__}: {error}",
+            ) from error
+        if self._seen_generation is not None and generation <= self._seen_generation:
+            # A server whose generation did not advance past what we already
+            # saw is running old state (restarted from scratch behind our
+            # back, or we were routed to a stale replica): replaying the
+            # journal into it could diverge silently, so fail typed and let
+            # the recovery loop try again once the server is ahead.
+            conn.close()
+            raise ShardUnavailableError(
+                self.name,
+                f"reconnected to a stale epoch: server generation {generation} "
+                f"<= last seen {self._seen_generation}",
+            )
+        self._seen_generation = generation
+        self._conn = conn
+        self._poisoned = None
+        self._epoch += 1
+
+    def _hello(self, conn: FramedConnection, budget: DeadlineBudget) -> int:
+        request_id = next(self._next_request_id)
+        conn.send_frame(
+            encode_frame((request_id, "hello", (PROTOCOL_VERSION, self.neighbor_set_size))),
+            budget,
+        )
+        reply = conn.recv_frame(budget)
+        value = self._interpret_reply(reply, request_id, "hello")
+        version, generation = value  # type: ignore[misc]
+        if version != PROTOCOL_VERSION:
+            raise WireProtocolError(
+                f"server speaks protocol {version!r}, client {PROTOCOL_VERSION}"
+            )
+        return int(generation)  # type: ignore[arg-type]
+
+    def _teardown_transport(self) -> None:
+        conn, self._conn = self._conn, None
+        if conn is None:
+            return
+        if self._pool is not None and self._poisoned is None and not conn.closed:
+            self._pool.release(conn)
+        else:
+            conn.close()
+
+    def _roundtrip(
+        self, op: str, args: Tuple[object, ...], timeout: Optional[float] = None
+    ) -> object:
+        if self._closed:
+            raise ShardUnavailableError(self.name, "supervisor is closed")
+        if self._poisoned is not None:
+            raise ShardUnavailableError(self.name, f"channel poisoned: {self._poisoned}")
+        conn = self._conn
+        if conn is None or conn.closed:
+            raise ShardUnavailableError(self.name, "not connected to shard server")
+        budget = self._budget(timeout)
+        request_id = next(self._next_request_id)
+        try:
+            conn.send_frame(encode_frame((request_id, op, args)), budget)
+            reply = conn.recv_frame(budget)
+        except ShardUnavailableError:
+            raise
+        except _TRANSPORT_ERRORS as error:
+            # Send or reply may be half-done: framing is desynchronised, so
+            # poison the connection and fail fast until reconnect.
+            self._poisoned = f"transport failure during {op!r}: {type(error).__name__}"
+            raise ShardUnavailableError(
+                self.name,
+                f"connection failed during {op!r}: {type(error).__name__}: {error}",
+            ) from error
+        return self._interpret_reply(reply, request_id, op)
+
+    def notify(self, op: str, args: Tuple[object, ...]) -> None:
+        conn = self._conn
+        if conn is None or conn.closed or self._poisoned is not None:
+            return
+        budget = DeadlineBudget(min(1.0, self.request_timeout), clock=self._clock)
+        try:
+            conn.send_frame(encode_frame((0, op, args)), budget)
+        except _TRANSPORT_ERRORS:
+            # A partially written notification desynchronises framing for
+            # every later frame — unlike the message-atomic pipe transport,
+            # a failed socket notify must poison the connection.
+            self._poisoned = f"transport failure during notify {op!r}"
+
+    # -------------------------------------------------------- fault injection
+
+    def kill(self) -> None:
+        """Destroy the transport abruptly (the generic chaos kill hook)."""
+        self.sever("close")
+
+    def sever(self, mode: str = "close") -> None:
+        """Kill the live connection in a transport-shaped way.
+
+        ``close``
+            Silent death: the socket just goes away (FIN), like a crashed
+            server host.
+        ``reset``
+            Abortive close: ``SO_LINGER(0)`` makes TCP send RST, the
+            mid-operation connection-reset case.
+        ``partial_frame``
+            Send a frame whose header declares more bytes than follow, then
+            close — the truncated-write corruption case.
+        """
+        conn = self._conn
+        if conn is None:
+            return
+        if mode == "close":
+            conn.close()
+        elif mode == "reset":
+            conn.reset_close()
+        elif mode == "partial_frame":
+            conn.send_partial_frame()
+        else:
+            raise ValueError(f"unknown sever mode {mode!r}")
+
+    def rewind_generation(self, steps: int = 1) -> None:
+        """Make the next reconnect look stale (chaos: ``reconnect_stale_epoch``).
+
+        Advances the *expected* generation past the server's next hello, so
+        exactly one reconnect attempt fails with the typed stale-epoch
+        error (and, under recovery, the attempt after it succeeds — the
+        rejected hello itself advanced the server).
+        """
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        if self._seen_generation is not None:
+            self._seen_generation += steps
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("poisoned" if self._poisoned else "connected")
+        return (
+            f"SocketShardSupervisor(name={self.name!r}, "
+            f"address={format_address(self.address)}, {state}, epoch={self._epoch})"
+        )
+
+
+class SocketShardBackend(SupervisedShardBackend):
+    """A :class:`~repro.core.sharded.ShardBackend` living behind a socket.
+
+    The client-side surface (batched validation, chunked lazy fill streams,
+    diagnostics) is :class:`~repro.core.remote.SupervisedShardBackend`,
+    shared byte for byte with the process backend; this class only wires a
+    :class:`SocketShardSupervisor` under it.  Without an explicit
+    ``address`` the backend hosts its own :class:`LocalShardServer`, making
+    a standalone backend fully self-contained (tests, notebooks).
+
+    Always :meth:`close` the backend (or use it as a context manager): the
+    connection is a real socket and the loopback server a real thread.
+    """
+
+    def __init__(
+        self,
+        address: Optional[Address] = None,
+        neighbor_set_size: int = 5,
+        name: str = "socket-shard",
+        fill_chunk_size: int = DEFAULT_FILL_CHUNK,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+        recovery: Optional[RecoveryPolicy] = None,
+        compact_watermark: Optional[int] = None,
+        pool: Optional[SocketConnectionPool] = None,
+        on_close: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.name = name
+        self.fill_chunk_size = fill_chunk_size
+        self._on_close = on_close
+        self._released = False
+        if address is None:
+            server = LocalShardServer().acquire()
+            address = server.address
+            previous = on_close
+            def release_owned(server=server, previous=previous):
+                server.release()
+                if previous is not None:
+                    previous()
+            self._on_close = release_owned
+        try:
+            self.supervisor = SocketShardSupervisor(
+                name=name,
+                address=address,  # type: ignore[arg-type]
+                neighbor_set_size=neighbor_set_size,
+                request_timeout=request_timeout,
+                recovery=recovery,
+                compact_watermark=compact_watermark,
+                pool=pool,
+            )
+        except BaseException:
+            self._release_once()
+            raise
+
+    def _release_once(self) -> None:
+        if not self._released:
+            self._released = True
+            if self._on_close is not None:
+                self._on_close()
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            self._release_once()
+
+    def __repr__(self) -> str:
+        return (
+            f"SocketShardBackend(name={self.name!r}, "
+            f"address={format_address(self.supervisor.address)})"
+        )
+
+
+def socket_shard_factory(
+    neighbor_set_size: int = 5,
+    addresses: Optional[Sequence[Address]] = None,
+    fill_chunk_size: int = DEFAULT_FILL_CHUNK,
+    request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+    recovery: Optional[RecoveryPolicy] = None,
+    compact_watermark: Optional[int] = None,
+    pool_idle: int = DEFAULT_POOL_IDLE,
+) -> Callable[[], SocketShardBackend]:
+    """A ``shard_factory`` for :class:`ShardedManagementServer` over sockets.
+
+    With ``addresses``, shard *i* connects to ``addresses[i % len]`` —
+    point it at ``repro-experiments shard-serve`` instances on other
+    machines.  Without, the factory hosts ONE loopback
+    :class:`LocalShardServer` shared by all its shards (each on its own
+    connection, hence its own connection-scoped ``ManagementServer``) and
+    refcounts it down when the last shard closes — so the existing
+    ``ShardedManagementServer.close()`` / ``Scenario.close()`` flows tear
+    the whole socket plane down without new plumbing.  Connections are
+    pooled per address (shared by the factory's shards) so reconnects reuse
+    warm sockets.
+    """
+    indexes = itertools.count()
+    state: dict = {"server": None}
+    pools: dict = {}
+
+    def factory() -> SocketShardBackend:
+        index = next(indexes)
+        release: Optional[Callable[[], None]] = None
+        if addresses:
+            address = addresses[index % len(addresses)]
+        else:
+            server = state["server"]
+            if server is None or not server.alive:
+                server = LocalShardServer()
+                state["server"] = server
+            server.acquire()
+            address = server.address
+            release = server.release
+        key = address if isinstance(address, str) else tuple(address)
+        pool = pools.get(key)
+        if pool is None:
+            pool = pools[key] = SocketConnectionPool(address, max_idle=pool_idle)
+        pool.add_ref()
+
+        def on_close(pool=pool, release=release):
+            pool.drop_ref()
+            if release is not None:
+                release()
+
+        return SocketShardBackend(
+            address=address,
+            neighbor_set_size=neighbor_set_size,
+            name=f"shard-{index}",
+            fill_chunk_size=fill_chunk_size,
+            request_timeout=request_timeout,
+            recovery=recovery,
+            compact_watermark=compact_watermark,
+            pool=pool,
+            on_close=on_close,
+        )
+
+    return factory
+
+
+# --------------------------------------------------------------------- CLI
+
+
+def build_serve_parser():
+    """Argument parser for ``repro-experiments shard-serve``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments shard-serve",
+        description=(
+            "Serve connection-scoped discovery shards over TCP and/or "
+            "Unix-domain sockets. Each client connection gets its own "
+            "ManagementServer; point a coordinator at this address via "
+            "socket_shard_factory(addresses=[...]) or "
+            "ScenarioConfig(backend='socket')."
+        ),
+    )
+    parser.add_argument(
+        "--tcp",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="bind a TCP listen socket (repeatable; PORT 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--unix",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="bind a Unix-domain listen socket (repeatable)",
+    )
+    return parser
+
+
+def _parse_tcp(spec: str) -> Tuple[str, int]:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"--tcp expects HOST:PORT, got {spec!r}")
+    return (host, int(port))
+
+
+async def _serve(addresses: Sequence[Address], ready=None) -> None:
+    server = ShardServer()
+    try:
+        for address in addresses:
+            resolved = await server.listen(address)
+            print(f"listening {format_address(resolved)}", flush=True)
+        if ready is not None:
+            ready(server)
+        await asyncio.Event().wait()
+    finally:
+        await server.close()
+
+
+def run_serve(argv: Sequence[str]) -> int:
+    """``repro-experiments shard-serve`` entry point; serves until interrupted."""
+    options = build_serve_parser().parse_args(list(argv))
+    addresses: List[Address] = []
+    try:
+        addresses.extend(_parse_tcp(spec) for spec in options.tcp)
+    except ValueError as error:
+        build_serve_parser().error(str(error))
+    addresses.extend(options.unix)
+    if not addresses:
+        build_serve_parser().error("bind at least one of --tcp / --unix")
+    try:
+        asyncio.run(_serve(addresses))
+    except KeyboardInterrupt:
+        pass
+    return 0

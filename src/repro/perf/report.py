@@ -24,10 +24,12 @@ from .timer import Timing
 # other workload) plus the insert-side trie work counters, v6 the recovery
 # workloads (``"recovery"`` / ``"recovery-compacted"``) whose counters carry
 # ``journal_len``, ``snapshot_bytes`` and ``recovery_us`` so journal
-# compaction regresses like a time regression.  All are additive: older
-# reports load with defaults and their cells still compare (new cells show
-# as current-only, never as failures).
-SCHEMA_VERSION = 6
+# compaction regresses like a time regression, v7 the socket backend
+# (``backend == "socket"``: connection-scoped shards behind an asyncio
+# shard server; recovery cells now exist per remote backend).  All are
+# additive: older reports load with defaults and their cells still compare
+# (new cells show as current-only, never as failures).
+SCHEMA_VERSION = 7
 
 
 @dataclass

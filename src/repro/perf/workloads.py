@@ -55,11 +55,15 @@ of partitioning itself.
 Orthogonally, the **backend** dimension says where sharded cells' shards
 live: ``backend="inline"`` keeps them in-process (the only pre-v3
 behaviour), ``backend="process"`` runs one worker process per shard behind
-:class:`~repro.core.remote.ProcessShardBackend` — the same workload over
-the same partitioning, so per-op cost across the backend axis isolates the
-cost of crossing the process boundary (framing, codec, chunked fills).
-``backend="process"`` requires a shard count; every workload reaps its
-worker processes before returning, however the measured phase exits.
+:class:`~repro.core.remote.ProcessShardBackend`, and ``backend="socket"``
+(schema v7) runs each shard as a connection-scoped server behind
+:class:`~repro.core.socket_backend.SocketShardBackend` against a loopback
+asyncio shard server — the same workload over the same partitioning, so
+per-op cost across the backend axis isolates the cost of crossing each
+boundary (framing, codec, chunked fills; for sockets, real network I/O).
+Remote backends require a shard count; every workload reaps its worker
+processes, connections and loopback servers before returning, however the
+measured phase exits.
 
 Sampling is a pure function of ``(seed, workload, population)``: every
 workload re-seeds its own RNG via :func:`workload_rng` instead of sharing a
@@ -80,7 +84,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.management_server import ManagementServer
 from ..core.path import RouterPath
-from ..core.remote import BACKENDS, ProcessShardBackend, shard_factory_for
+from ..core.remote import (
+    BACKENDS,
+    ProcessShardBackend,
+    SupervisedShardBackend,
+    shard_factory_for,
+)
 from ..core.sharded import ShardedManagementServer
 from ..topology.internet_mapper import RouterMap, RouterMapConfig, generate_router_map
 from ..workloads.scenarios import ScenarioConfig, build_scenario
@@ -257,12 +266,19 @@ def arrival_paths(
     return paths
 
 
+#: Backends whose shards live behind a transport (worker process / socket
+#: server) — they only exist on a sharded plane, so their cells need a
+#: shard count, and each has a recovery (restart/reconnect+replay) story
+#: the ``recovery`` workload measures.
+REMOTE_BACKENDS = ("process", "socket")
+
+
 def _require_backend(backend: str, shards: Optional[int]) -> None:
-    """Reject unknown backends and process cells without a shard count."""
+    """Reject unknown backends and remote cells without a shard count."""
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
-    if backend == "process" and shards is None:
-        raise ValueError("backend='process' requires a shard count")
+    if backend in REMOTE_BACKENDS and shards is None:
+        raise ValueError(f"backend={backend!r} requires a shard count")
 
 
 def build_populated_server(
@@ -520,29 +536,45 @@ def run_recovery_workload(
     ops: int = 500,
     seed: int = 3,
     neighbor_set_size: int = 5,
+    backend_name: str = "process",
 ) -> List[PerfRecord]:
     """Restart+replay cost vs journal length, with and without compaction.
 
-    Builds one :class:`~repro.core.remote.ProcessShardBackend`, loads
-    ``population`` peers, then runs ``ops`` leave/re-join churn cycles so
-    the journal records far more history than live state.  Two records come
-    back (both ``backend="process"``, ``shards=1``):
+    Builds one remote shard backend (``backend_name`` picks the transport:
+    a :class:`~repro.core.remote.ProcessShardBackend` worker or a
+    :class:`~repro.core.socket_backend.SocketShardBackend` against a
+    loopback server), loads ``population`` peers, then runs ``ops``
+    leave/re-join churn cycles so the journal records far more history than
+    live state.  Two records come back (both tagged ``backend_name``,
+    ``shards=1``):
 
-    * ``recovery`` — ``restart()`` replaying the full churn journal; ``ops``
-      is the journal length, so ``per_op_us`` is replay cost per journaled
-      operation.
-    * ``recovery-compacted`` — the same worker after
-      :meth:`~repro.core.remote.ProcessShardBackend.compact`, so the replay
-      is one snapshot restore bounded by live state; ``per_op_us`` is the
-      whole restart.
+    * ``recovery`` — ``restart()`` (respawn or reconnect) replaying the
+      full churn journal; ``ops`` is the journal length, so ``per_op_us``
+      is replay cost per journaled operation.
+    * ``recovery-compacted`` — the same shard after
+      :meth:`~repro.core.remote.SupervisedShardBackend.compact`, so the
+      replay is one snapshot restore bounded by live state; ``per_op_us``
+      is the whole restart.
 
     Counters carry ``journal_len``, ``snapshot_bytes``, ``recovery_us`` and
     ``live_peers`` (schema v6), so a compaction regression (snapshot bloat,
     replay growing with history again) gates like a time regression.
     """
-    backend = ProcessShardBackend(
-        neighbor_set_size=neighbor_set_size, name="recovery-shard"
-    )
+    if backend_name not in REMOTE_BACKENDS:
+        raise ValueError(
+            f"recovery workload needs a remote backend {REMOTE_BACKENDS}, "
+            f"got {backend_name!r}"
+        )
+    if backend_name == "socket":
+        from ..core.socket_backend import SocketShardBackend
+
+        backend: SupervisedShardBackend = SocketShardBackend(
+            neighbor_set_size=neighbor_set_size, name="recovery-shard"
+        )
+    else:
+        backend = ProcessShardBackend(
+            neighbor_set_size=neighbor_set_size, name="recovery-shard"
+        )
     records: List[PerfRecord] = []
     try:
         backend.register_landmark(DEFAULT_LANDMARK, DEFAULT_LANDMARK)
@@ -571,7 +603,7 @@ def run_recovery_workload(
                     "live_peers": population,
                 },
                 shards=1,
-                backend="process",
+                backend=backend_name,
             )
         )
 
@@ -593,7 +625,7 @@ def run_recovery_workload(
                     "live_peers": population,
                 },
                 shards=1,
-                backend="process",
+                backend=backend_name,
             )
         )
         return records
@@ -693,7 +725,7 @@ def run_discovery_suite(
     ops: Optional[int] = None,
     seed: int = 3,
     neighbor_set_size: int = 5,
-    shard_counts: Optional[Sequence[int]] = None,
+    shard_counts: Optional[Sequence[Optional[int]]] = None,
     backends: Sequence[str] = ("inline",),
     arrival_batch_sizes: Sequence[int] = DEFAULT_ARRIVAL_BATCH_SIZES,
     recovery_ops: Optional[int] = None,
@@ -705,15 +737,19 @@ def run_discovery_suite(
     ignores it either way).  ``shard_counts=None`` runs the classic
     single-server cells; a sequence like ``(1, 4)`` runs each workload on a
     :class:`ShardedManagementServer` at every listed shard count instead,
-    tagging each record with its ``shards`` value.  ``backends`` multiplies
-    the sharded cells along the backend axis (``"process"`` cells require
-    ``shard_counts``); sampling stays a pure function of
-    ``(seed, workload, population)``, so adding either dimension never
-    changes what existing cells measure.
+    tagging each record with its ``shards`` value.  A ``None`` *entry*
+    (CLI spelling ``--shards none,2``) mixes the classic single-server
+    cells into the same report, so one run can record a complete baseline:
+    classic cells plus sharded cells across every backend.  ``backends``
+    multiplies the sharded cells along the backend axis; remote backends
+    (:data:`REMOTE_BACKENDS`) only exist sharded, so they skip ``None``
+    shard entries (and require at least one real count).  Sampling stays a
+    pure function of ``(seed, workload, population)``, so adding either
+    dimension never changes what existing cells measure.
 
-    When ``"process"`` is among the backends the suite also runs
+    For every remote backend among ``backends`` the suite also runs
     :func:`run_recovery_workload` once per population (it needs a real
-    worker to restart, so it is process-only and single-shard);
+    worker/connection to restart, so it is remote-only and single-shard);
     ``recovery_ops`` overrides its churn-cycle count independently of
     ``ops`` because replay cost scales with journal length, not query
     count.
@@ -721,8 +757,13 @@ def run_discovery_suite(
     for backend in backends:
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
-    if "process" in backends and shard_counts is None:
-        raise ValueError("backends including 'process' require shard_counts")
+    remote_backends = [backend for backend in backends if backend in REMOTE_BACKENDS]
+    real_counts = [count for count in (shard_counts or []) if count is not None]
+    if remote_backends and not real_counts:
+        raise ValueError(
+            f"backends including {remote_backends} require at least one real "
+            "shard count (remote shards only exist on a sharded plane)"
+        )
     report = PerfReport(
         metadata={
             "suite": "discovery",
@@ -746,6 +787,11 @@ def run_discovery_suite(
         build_router_map: Optional[RouterMap] = None
         for backend in backends:
             for shards in shard_values:
+                if shards is None and backend in REMOTE_BACKENDS:
+                    # Remote shards only exist on a sharded plane; the
+                    # classic single-server cell is backend-independent and
+                    # already covered by the inline pass.
+                    continue
                 for runner in (
                     run_insert_workload,
                     run_query_workload,
@@ -786,7 +832,7 @@ def run_discovery_suite(
                         router_map=build_router_map,
                     )
                 )
-        if "process" in backends:
+        for backend_name in remote_backends:
             recovery_overrides = (
                 overrides if recovery_ops is None else {"ops": recovery_ops}
             )
@@ -794,6 +840,7 @@ def run_discovery_suite(
                 population,
                 seed=seed,
                 neighbor_set_size=neighbor_set_size,
+                backend_name=backend_name,
                 **recovery_overrides,
             ):
                 report.add(record)

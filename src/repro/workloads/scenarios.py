@@ -78,9 +78,13 @@ class ScenarioConfig:
     backend: str = "inline"
     """Where the shards live: ``"inline"`` keeps every shard in this process;
     ``"process"`` runs one worker process per shard behind
-    :class:`~repro.core.remote.ProcessShardBackend` (requires
-    ``shard_count``).  Results are byte-identical either way; call
-    :meth:`Scenario.close` when done so worker processes are reaped."""
+    :class:`~repro.core.remote.ProcessShardBackend`; ``"socket"`` runs each
+    shard as a connection-scoped server behind
+    :class:`~repro.core.socket_backend.SocketShardBackend` (loopback asyncio
+    shard server hosted by the scenario's factory).  Remote backends require
+    ``shard_count``.  Results are byte-identical in every case; call
+    :meth:`Scenario.close` when done so worker processes, connections and
+    loopback servers are reaped."""
 
     seed: Optional[int] = None
     """Master seed; every random decision derives from it."""
@@ -95,8 +99,8 @@ class ScenarioConfig:
             raise ConfigurationError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
-        if self.backend == "process" and self.shard_count is None:
-            raise ConfigurationError("backend='process' requires shard_count")
+        if self.backend in ("process", "socket") and self.shard_count is None:
+            raise ConfigurationError(f"backend={self.backend!r} requires shard_count")
         coerce_seed(self.seed)
 
 

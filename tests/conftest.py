@@ -30,6 +30,12 @@ hypothesis_settings.register_profile("ci-equivalence-process", max_examples=60, 
 # worker processes AND kills/restarts them on a scripted fault plan, so each
 # example pays several restart+replay cycles on top of the spawn cost.
 hypothesis_settings.register_profile("ci-equivalence-chaos", max_examples=25, deadline=None)
+# Budget for the SOCKET-backend oracle run: connection-scoped shards behind
+# the in-process asyncio shard server.  Cheaper than spawning worker
+# processes but dearer than inline, so it sits between the process and
+# inline budgets; its CI matrix entry selects it with -k "socket" (which
+# also picks up the socket-chaos fault-plan parametrization).
+hypothesis_settings.register_profile("ci-equivalence-socket", max_examples=50, deadline=None)
 if os.environ.get("HYPOTHESIS_PROFILE"):
     hypothesis_settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 

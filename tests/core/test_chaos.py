@@ -164,7 +164,7 @@ class TestChaosShardBackend:
         shard = ChaosShardBackend(inline, FaultPlan([Fault(at_op=1, kind="crash_before")]))
         with pytest.raises(ShardUnavailableError) as error:
             shard.register_landmark("lmA", "lmA")
-        assert "process-backed" in str(error.value)
+        assert "supervised shard backend" in str(error.value)
 
     def test_lifecycle_calls_are_never_faulted(self):
         plan = FaultPlan([Fault(at_op=1, kind="error", persistent=True)])

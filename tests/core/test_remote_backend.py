@@ -622,6 +622,19 @@ class TestJournalCompaction:
             ShardSupervisor(name="bad", neighbor_set_size=2, compact_watermark=0)
 
 
+class FakeClock:
+    """An injectable monotonic clock tests advance by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
 class TestRequestDeadline:
     """Satellite (a): every round trip carries a deadline — a hung worker
     (alive but not answering) turns into a typed error, never a hang."""
@@ -639,6 +652,85 @@ class TestRequestDeadline:
         try:
             assert supervisor.request_timeout == 1.5
         finally:
+            supervisor.close()
+
+    def test_probe_and_reply_wait_share_one_deadline_budget(self, monkeypatch):
+        """Regression: the writability probe and the reply wait used to each
+        get a FULL ``request_timeout``, so a slow-draining pipe feeding a
+        hung worker could stall a caller for 2x the configured timeout.
+        Both phases now draw from one monotonic ``DeadlineBudget``."""
+        clock = FakeClock()
+        supervisor = ShardSupervisor(
+            name="budgeted", neighbor_set_size=2, request_timeout=10.0, clock=clock
+        )
+        real_conn = supervisor._conn
+        try:
+            probe_timeouts, poll_timeouts = [], []
+
+            def slow_probe(conn, timeout):
+                probe_timeouts.append(timeout)
+                clock.advance(6.0)  # the pipe drained slowly
+                return True
+
+            class HungConn:
+                def send_bytes(self, frame):
+                    pass
+
+                def poll(self, timeout):
+                    poll_timeouts.append(timeout)
+                    clock.advance(timeout)  # the worker never answers
+                    return False
+
+            monkeypatch.setattr(ShardSupervisor, "_writable", staticmethod(slow_probe))
+            supervisor._conn = HungConn()
+            started = clock.now
+            with pytest.raises(ShardUnavailableError) as error:
+                supervisor.request("ping", (), recoverable=False)
+            assert "within timeout" in str(error.value)
+            assert probe_timeouts == [pytest.approx(10.0)]
+            # The reply wait got only what the probe left over...
+            assert poll_timeouts == [pytest.approx(4.0)]
+            # ...so the whole round trip is bounded by ONE request_timeout.
+            assert clock.now - started == pytest.approx(10.0)
+        finally:
+            supervisor._conn = real_conn
+            supervisor._poisoned = None  # poisoned by the simulated hang
+            supervisor.close()
+
+    def test_exhausted_budget_degrades_to_a_non_blocking_reply_probe(self, monkeypatch):
+        """A probe that eats the whole budget leaves ``remaining() == 0``:
+        the reply wait must poll non-blocking, never with a negative or
+        full-size timeout."""
+        clock = FakeClock()
+        supervisor = ShardSupervisor(
+            name="exhausted", neighbor_set_size=2, request_timeout=10.0, clock=clock
+        )
+        real_conn = supervisor._conn
+        try:
+            poll_timeouts = []
+
+            def overrunning_probe(conn, timeout):
+                clock.advance(12.0)  # past the deadline before the send
+                return True
+
+            class SilentConn:
+                def send_bytes(self, frame):
+                    pass
+
+                def poll(self, timeout):
+                    poll_timeouts.append(timeout)
+                    return False
+
+            monkeypatch.setattr(
+                ShardSupervisor, "_writable", staticmethod(overrunning_probe)
+            )
+            supervisor._conn = SilentConn()
+            with pytest.raises(ShardUnavailableError):
+                supervisor.request("ping", (), recoverable=False)
+            assert poll_timeouts == [0.0]
+        finally:
+            supervisor._conn = real_conn
+            supervisor._poisoned = None
             supervisor.close()
 
     def test_hung_worker_times_out_typed_instead_of_hanging(self):

@@ -12,20 +12,25 @@ audited too.
 The harness is **backend-parametrized**: the same state machine runs once
 per :class:`~repro.core.sharded.ShardBackend` implementation — ``inline``
 (in-process shards), ``process`` (one worker per shard behind
-:class:`~repro.core.remote.ProcessShardBackend`) and ``chaos`` (process
-shards wrapped in a scripted-crash
+:class:`~repro.core.remote.ProcessShardBackend`), ``socket``
+(connection-scoped shards on a loopback asyncio server behind
+:class:`~repro.core.socket_backend.SocketShardBackend`), ``chaos``
+(process shards wrapped in a scripted-crash
 :class:`~repro.core.chaos.ChaosShardBackend` with a
 :class:`~repro.core.remote.RecoveryPolicy`, so every example self-heals
-through worker kills via restart+replay) — via the ``backend_factory``
-fixture, so the wire protocol, the typed codec, the chunked fill streams
-AND the recovery path are held to the very same byte-identical bar as the
+through worker kills via restart+replay) and ``socket-chaos`` (socket
+shards on a network-shaped fault plan: crashes plus connection resets,
+partial frames and stale-epoch reconnects, healed by
+reconnect-with-replay) — via the ``backend_factory`` fixture, so the wire
+protocol, the typed codec, the chunked fill streams AND both transports'
+recovery paths are held to the very same byte-identical bar as the
 original sharding refactor.
 
 Run with ``HYPOTHESIS_PROFILE=ci-equivalence`` for the high-budget inline
-CI sweep, ``HYPOTHESIS_PROFILE=ci-equivalence-process`` for the
-reduced-budget process-backend sweep, and
+CI sweep, ``HYPOTHESIS_PROFILE=ci-equivalence-process`` /
+``ci-equivalence-socket`` for the reduced-budget transport sweeps, and
 ``HYPOTHESIS_PROFILE=ci-equivalence-chaos`` for the smallest-budget
-fault-injected sweep (both backend entries also carry a hard wall-clock
+fault-injected sweeps (the transport entries also carry a hard wall-clock
 timeout); see ``tests/conftest.py``.
 """
 
@@ -48,6 +53,7 @@ from repro.core.remote import (
     RecoveryPolicy,
     shard_factory_for,
 )
+from repro.core.socket_backend import SocketShardBackend
 
 MAX_PEERS = 24
 MAX_LANDMARKS = 5
@@ -67,29 +73,54 @@ CHAOS_FAULTS = (
     Fault(at_op=60, kind="crash_before"),
 )
 
+# The socket transport's plan adds the network-shaped kinds on top of an
+# early crash: a connection reset mid-churn, a truncated frame, and a
+# reconnect that first lands on a stale server epoch (one typed rejection,
+# then success — needs max_restarts >= 2).  All four converge
+# byte-identically under recovery, so they are safe for the byte-identity
+# oracle; ``drop_reply`` stays out for the same reason as above.
+SOCKET_CHAOS_FAULTS = (
+    Fault(at_op=2, kind="crash_before"),
+    Fault(at_op=15, kind="conn_reset"),
+    Fault(at_op=40, kind="partial_frame"),
+    Fault(at_op=60, kind="reconnect_stale_epoch"),
+)
 
-def chaos_shard_factory(k: int):
-    """A ``shard_factory``: process shards on a scripted crash plan.
 
-    Recovery is fully deterministic — zero backoff, no sleeping, a per-shard
-    seeded RNG — so a failing example shrinks and replays identically.
+def chaos_shard_factory(k: int, transport: str = "process"):
+    """A ``shard_factory``: remote shards on a scripted fault plan.
+
+    ``transport`` picks the shard flavour (process workers on the crash
+    plan, socket connections on the network-shaped plan).  Recovery is
+    fully deterministic — zero backoff, no sleeping, a per-shard seeded
+    RNG — so a failing example shrinks and replays identically.
     """
     indexes = itertools.count()
+    faults = SOCKET_CHAOS_FAULTS if transport == "socket" else CHAOS_FAULTS
 
     def factory() -> ChaosShardBackend:
         index = next(indexes)
-        inner = ProcessShardBackend(
-            neighbor_set_size=k,
-            name=f"chaos-shard-{index}",
-            recovery=RecoveryPolicy(
-                max_restarts=3,
-                backoff_base_s=0.0,
-                rng=random.Random(index),
-                sleep=lambda _delay: None,
-            ),
-            compact_watermark=8,
+        recovery = RecoveryPolicy(
+            max_restarts=3,
+            backoff_base_s=0.0,
+            rng=random.Random(index),
+            sleep=lambda _delay: None,
         )
-        return ChaosShardBackend(inner, FaultPlan(CHAOS_FAULTS))
+        if transport == "socket":
+            inner = SocketShardBackend(
+                neighbor_set_size=k,
+                name=f"chaos-shard-{index}",
+                recovery=recovery,
+                compact_watermark=8,
+            )
+        else:
+            inner = ProcessShardBackend(
+                neighbor_set_size=k,
+                name=f"chaos-shard-{index}",
+                recovery=recovery,
+                compact_watermark=8,
+            )
+        return ChaosShardBackend(inner, FaultPlan(faults))
 
     return factory
 
@@ -98,21 +129,22 @@ def make_backend_factory(backend: str):
     """A ``backend_factory``: builds one sharded plane for ``backend``.
 
     The returned callable is stateless (each call spawns fresh shards —
-    fresh worker processes for the process and chaos backends), so it is
-    safe to share across hypothesis examples.
+    fresh worker processes / connections for the remote and chaos
+    backends), so it is safe to share across hypothesis examples.
     """
 
     def factory(shard_count, k, maintain_cache, distances) -> ShardedManagementServer:
-        if backend == "chaos":
+        if backend in ("chaos", "socket-chaos"):
             # degraded_reads off: the oracle demands byte-identity, so a
             # failure that recovery cannot heal must fail loud, never be
             # papered over by a best-effort degraded answer.
+            transport = "socket" if backend == "socket-chaos" else "process"
             return ShardedManagementServer(
                 shard_count,
                 neighbor_set_size=k,
                 maintain_cache=maintain_cache,
                 landmark_distances=distances,
-                shard_factory=chaos_shard_factory(k),
+                shard_factory=chaos_shard_factory(k, transport=transport),
                 degraded_reads=False,
             )
         return ShardedManagementServer(
@@ -126,7 +158,7 @@ def make_backend_factory(backend: str):
     return factory
 
 
-@pytest.fixture(scope="module", params=(*BACKENDS, "chaos"))
+@pytest.fixture(scope="module", params=(*BACKENDS, "chaos", "socket-chaos"))
 def backend_factory(request):
     """One sharded-plane factory per ShardBackend implementation."""
     return make_backend_factory(request.param)
@@ -346,15 +378,19 @@ class TestChaosAcceptance:
     """The issue's chaos sweep: every traffic-bearing shard dies and recovers.
 
     A scripted :class:`FaultPlan` kills each shard's worker during a long
-    churn workload (1/2/4/8 shards); the plane must auto-recover via
-    restart+replay and stay byte-identical to the single server throughout —
-    and the test proves the kills really happened (``plan.fired``, worker
-    epoch advanced) rather than vacuously passing on an idle plan.
+    churn workload (1/2/4/8 shards, on both remote transports — process
+    workers and socket connections, the latter additionally through
+    connection resets, partial frames and a stale-epoch reconnect); the
+    plane must auto-recover via restart/reconnect+replay and stay
+    byte-identical to the single server throughout — and the test proves
+    the faults really happened (``plan.fired``, worker epoch advanced)
+    rather than vacuously passing on an idle plan.
     """
 
+    @pytest.mark.parametrize("transport", ["process", "socket"])
     @pytest.mark.parametrize("shard_count", [1, 2, 4, 8])
-    def test_every_busy_shard_dies_and_recovers_byte_identical(self, shard_count):
-        factory = make_backend_factory("chaos")
+    def test_every_busy_shard_dies_and_recovers_byte_identical(self, shard_count, transport):
+        factory = make_backend_factory("socket-chaos" if transport == "socket" else "chaos")
         single, sharded = build_planes(
             factory,
             landmark_count=4,
@@ -401,5 +437,12 @@ class TestChaosAcceptance:
                 # spreads ownership, so more than one worker died on duty.
                 used = {sharded.shard_of(lm) for lm in sharded.landmarks()}
                 assert killed >= min(len(used), 2)
+            if transport == "socket" and shard_count == 1:
+                # All 220+ ops hit the lone shard, so every scripted network
+                # fault kind must actually have fired — the sweep is not
+                # allowed to pass without exercising resets, truncated
+                # frames and the stale-epoch reconnect.
+                kinds = {kind for _count, kind, _op in sharded._shards[0].plan.fired}
+                assert {"conn_reset", "partial_frame", "reconnect_stale_epoch"} <= kinds
         finally:
             sharded.close()

@@ -598,6 +598,128 @@ class TestProcessBackendWorkloads:
             run_discovery_suite(populations=(20,), ops=3, backends=("bogus",))
 
 
+class TestSocketBackendWorkloads:
+    # Socket/server teardown is enforced per-test: the loopback ShardServer
+    # dies with the last backend, and no worker processes are involved.
+
+    def test_build_populated_server_socket_backend(self):
+        server = build_populated_server(30, seed=1, shards=2, backend="socket")
+        try:
+            assert isinstance(server, ShardedManagementServer)
+            assert server.peer_count == 30
+        finally:
+            server.close()
+
+    def test_socket_backend_requires_shards(self):
+        with pytest.raises(ValueError):
+            build_populated_server(30, seed=1, backend="socket")
+
+    @pytest.mark.parametrize(
+        "runner, name",
+        [
+            (run_insert_workload, "insert"),
+            (run_query_workload, "query"),
+            (run_departure_workload, "departure"),
+            (run_churn_workload, "churn"),
+        ],
+    )
+    def test_each_workload_runs_on_the_socket_backend(self, runner, name):
+        record = runner(40, ops=10, seed=2, shards=2, backend="socket")
+        assert record.workload == name
+        assert record.shards == 2
+        assert record.backend == "socket"
+        assert record.total_s >= 0.0
+        assert "tree_node_visits" in record.counters
+
+    @pytest.mark.parametrize(
+        "runner",
+        [run_insert_workload, run_query_workload, run_departure_workload, run_churn_workload],
+    )
+    def test_socket_cells_do_identical_algorithmic_work(self, runner):
+        """Crossing the socket may cost time, never extra work."""
+        inline = runner(60, ops=10, seed=2, shards=2).counters
+        socket_cell = runner(60, ops=10, seed=2, shards=2, backend="socket").counters
+        assert socket_cell == inline
+
+    def test_recovery_workload_runs_on_the_socket_backend(self):
+        plain, compacted = run_recovery_workload(30, ops=20, seed=2, backend_name="socket")
+        for record in (plain, compacted):
+            assert record.backend == "socket"
+            assert record.shards == 1
+        assert plain.counters["journal_len"] == 2 + 2 * 20
+        assert compacted.counters["journal_len"] == 1
+        assert compacted.counters["snapshot_bytes"] > 0
+
+    def test_suite_measures_recovery_per_remote_backend(self):
+        report = run_discovery_suite(
+            populations=(20,), ops=3, seed=2, shard_counts=(2,),
+            backends=("process", "socket"), arrival_batch_sizes=(2,), recovery_ops=4,
+        )
+        recovery = {
+            (record.workload, record.backend)
+            for record in report.records
+            if record.workload.startswith("recovery")
+        }
+        assert recovery == {
+            ("recovery", "process"),
+            ("recovery-compacted", "process"),
+            ("recovery", "socket"),
+            ("recovery-compacted", "socket"),
+        }
+
+    def test_suite_mixes_classic_and_sharded_cells_with_none(self):
+        """shard_counts may carry None (classic single-server cells): remote
+        backends skip it, inline measures it as the shards=None cell."""
+        report = run_discovery_suite(
+            populations=(20,), ops=3, seed=2, shard_counts=(None, 2),
+            backends=("inline", "socket"), arrival_batch_sizes=(2,),
+        )
+        combos = {
+            (record.shards, record.backend)
+            for record in report.records
+            if not record.workload.startswith("recovery")
+        }
+        assert combos == {(None, "inline"), (2, "inline"), (2, "socket")}
+
+    def test_suite_rejects_remote_backends_without_a_real_shard_count(self):
+        with pytest.raises(ValueError):
+            run_discovery_suite(
+                populations=(20,), ops=3, shard_counts=(None,), backends=("socket",)
+            )
+
+
+class TestCommittedBaseline:
+    """Satellite: the committed baseline must never drift behind the code.
+
+    ``BENCH_discovery.json`` is the regression anchor CI compares against;
+    a baseline recorded at an older schema silently stops gating new cells,
+    so its schema version and its backend coverage are asserted here (and
+    therefore in every CI run of the tier-1 suite).
+    """
+
+    @pytest.fixture()
+    def baseline(self):
+        import pathlib
+
+        path = pathlib.Path(__file__).resolve().parents[2] / "BENCH_discovery.json"
+        assert path.exists(), "committed perf baseline is missing"
+        return json.loads(path.read_text())
+
+    def test_schema_version_matches_the_code(self, baseline):
+        assert baseline["schema_version"] == SCHEMA_VERSION
+
+    def test_baseline_covers_every_backend_and_the_classic_cells(self, baseline):
+        backends = {record["backend"] for record in baseline["records"]}
+        assert {"inline", "process", "socket"} <= backends
+        assert any(record["shards"] is None for record in baseline["records"])
+        recovery = {
+            (record["workload"], record["backend"])
+            for record in baseline["records"]
+            if record["workload"].startswith("recovery")
+        }
+        assert {("recovery", "process"), ("recovery", "socket")} <= recovery
+
+
 def _report_from_cells(cells):
     """Build a PerfReport from (workload, population, shards, per_op_us[, backend]) rows."""
     report = PerfReport()
@@ -816,6 +938,40 @@ class TestCli:
             if record["shards"] == 1
         } == {"recovery", "recovery-compacted"}
         assert multiprocessing.active_children() == []
+
+    def test_backend_socket_runs_socket_cells(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = run_perf(
+            ["--populations", "20", "--ops", "3", "--shards", "2",
+             "--backend", "socket", "--output", str(output)]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        assert {record["backend"] for record in data["records"]} == {"socket"}
+        assert {
+            record["workload"]
+            for record in data["records"]
+            if record["shards"] == 1
+        } == {"recovery", "recovery-compacted"}
+        assert multiprocessing.active_children() == []
+
+    def test_shards_none_token_mixes_classic_cells(self, tmp_path):
+        """--shards none,2 measures the classic single-server cells next to
+        the sharded ones in one report (the full-baseline recording command)."""
+        output = tmp_path / "bench.json"
+        code = run_perf(
+            ["--populations", "20", "--ops", "3", "--shards", "none,2",
+             "--output", str(output)]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        assert {record["shards"] for record in data["records"]} == {None, 2}
+
+    def test_remote_backend_with_only_none_shards_is_rejected(self, tmp_path):
+        for backend in ("process", "socket"):
+            with pytest.raises(SystemExit):
+                run_perf(["--populations", "20", "--ops", "3", "--shards", "none",
+                          "--backend", backend, "--output", str(tmp_path / "b.json")])
 
     def test_recovery_ops_flag_sizes_the_recovery_journal(self, tmp_path):
         output = tmp_path / "bench.json"

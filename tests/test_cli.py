@@ -60,3 +60,15 @@ class TestMain:
     def test_saves_json_when_output_given(self, stub_experiment, capsys, tmp_path):
         assert main(["stub", "--output", str(tmp_path)]) == 0
         assert (tmp_path / "stub.json").exists()
+
+
+class TestShardServeDispatch:
+    def test_shard_serve_without_binds_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["shard-serve"])
+        assert "--tcp / --unix" in capsys.readouterr().err
+
+    def test_shard_serve_rejects_malformed_tcp_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["shard-serve", "--tcp", "7421"])
+        assert "HOST:PORT" in capsys.readouterr().err

@@ -216,3 +216,47 @@ class TestProcessBackendScenario:
     def test_inline_scenario_close_is_a_safe_no_op(self, fresh_scenario):
         fresh_scenario.close()
         fresh_scenario.join_all()  # still usable: nothing was torn down
+
+
+class TestSocketBackendScenario:
+    def test_config_validates_socket_backend(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(backend="socket")  # needs shard_count
+        assert ScenarioConfig(backend="socket", shard_count=2).backend == "socket"
+
+    def test_socket_scenario_builds_socket_backed_shards(self):
+        from repro.core.sharded import ShardedManagementServer
+        from repro.core.socket_backend import SocketShardBackend
+
+        with make_small_scenario(
+            seed=7, peer_count=15, shard_count=2, backend="socket"
+        ) as scenario:
+            assert isinstance(scenario.server, ShardedManagementServer)
+            assert all(
+                isinstance(shard, SocketShardBackend) for shard in scenario.server.shards
+            )
+            scenario.join_all()
+            assert scenario.server.peer_count == 15
+
+    def test_socket_scenario_matches_inline_scenario(self):
+        """The full paper pipeline answers identically when every shard sits
+        behind a loopback socket server."""
+        inline = make_small_scenario(seed=11, peer_count=20, shard_count=2)
+        with make_small_scenario(
+            seed=11, peer_count=20, shard_count=2, backend="socket"
+        ) as socket_scenario:
+            inline.join_all()
+            socket_scenario.join_all()
+            assert socket_scenario.scheme_neighbor_sets() == inline.scheme_neighbor_sets()
+            for peer in inline.peer_ids:
+                assert socket_scenario.server.closest_peers(
+                    peer, k=5
+                ) == inline.server.closest_peers(peer, k=5)
+
+    def test_close_tears_down_the_loopback_server_and_is_idempotent(self):
+        scenario = make_small_scenario(seed=7, peer_count=10, shard_count=2, backend="socket")
+        supervisors = [shard.supervisor for shard in scenario.server.shards]
+        assert all(supervisor.health_check() for supervisor in supervisors)
+        scenario.close()
+        assert all(not supervisor.health_check() for supervisor in supervisors)
+        scenario.close()
