@@ -36,6 +36,11 @@ Measure flash-crowd arrivals at specific co-arriving batch sizes (the
 
     repro-experiments perf --arrival-batch-sizes 1,64
 
+Sweep the lock-free serving plane's concurrent-clients dimension (the
+``serving`` workload runs once per listed reader count, inline cells only)::
+
+    repro-experiments perf --readers 1,2,4
+
 Measure worker restart+replay with and without journal compaction (the
 ``recovery`` / ``recovery-compacted`` cells; remote backends only)::
 
@@ -152,6 +157,11 @@ def _parse_batch_sizes(value: str) -> List[int]:
     return _parse_positive_int_list(value, "batch size")
 
 
+def _parse_reader_counts(value: str) -> List[int]:
+    """Parse the ``--readers`` spec: comma-separated reader counts."""
+    return _parse_positive_int_list(value, "reader count")
+
+
 def _parse_backends(value: str) -> List[str]:
     """Parse the ``--backend`` spec: comma-separated backend names."""
     from .core.remote import BACKENDS
@@ -240,6 +250,16 @@ def build_perf_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--readers",
+        type=_parse_reader_counts,
+        default=None,
+        metavar="N[,N...]",
+        help=(
+            "concurrent reader counts the serving workload sweeps (one cell "
+            "per count, inline cells only; default: 1,2,4)"
+        ),
+    )
+    parser.add_argument(
         "--recovery-ops",
         type=int,
         default=None,
@@ -286,6 +306,7 @@ def run_perf(argv: Optional[Sequence[str]] = None) -> int:
     from .perf.workloads import (
         DEFAULT_ARRIVAL_BATCH_SIZES,
         DEFAULT_POPULATIONS,
+        DEFAULT_READER_COUNTS,
         run_discovery_suite,
     )
 
@@ -327,6 +348,7 @@ def run_perf(argv: Optional[Sequence[str]] = None) -> int:
         backends=backends,
         arrival_batch_sizes=args.arrival_batch_sizes or list(DEFAULT_ARRIVAL_BATCH_SIZES),
         recovery_ops=args.recovery_ops,
+        reader_counts=args.readers or list(DEFAULT_READER_COUNTS),
     )
     print(report.to_text())
     try:

@@ -33,6 +33,7 @@ from .remote import (
     shard_factory_for,
 )
 from .chaos import ChaosShardBackend, Fault, FaultPlan
+from .serving import DiscoverySnapshot, FlatTrie, SnapshotPublisher, SnapshotReader
 from .distance import (
     AccuracyReport,
     DistanceEstimator,
@@ -97,6 +98,10 @@ __all__ = [
     "ChaosShardBackend",
     "Fault",
     "FaultPlan",
+    "DiscoverySnapshot",
+    "FlatTrie",
+    "SnapshotPublisher",
+    "SnapshotReader",
     "AccuracyReport",
     "DistanceEstimator",
     "PairAccuracy",

@@ -70,6 +70,30 @@ class PeerKeyInterner:
         """
         self._keys.pop(peer_id, None)
 
+    def export_state(self) -> Tuple[Tuple[Tuple[PeerId, str, int], ...], int]:
+        """Plain-data ``(assignments, next_index)`` for state snapshots.
+
+        ``assignments`` is ``(peer_id, sort_text, compact_index)`` per live
+        peer, in interning order.  Restoring through :meth:`import_state`
+        preserves every compact index *and* the monotonic counter, so
+        array-backed structures keyed by compact indices (the serving-plane
+        snapshots) stay valid across a snapshot/restore cycle — re-interning
+        from scratch would silently renumber peers after any churn.
+        """
+        assignments = tuple(
+            (peer_id, text, index) for peer_id, (text, index) in self._keys.items()
+        )
+        return (assignments, self._next_index)
+
+    def import_state(self, state: Tuple[object, object]) -> None:
+        """Replace the table with an :meth:`export_state` payload."""
+        assignments, next_index = state
+        self._keys = {
+            peer_id: (str(text), int(index))
+            for peer_id, text, index in assignments  # type: ignore[union-attr]
+        }
+        self._next_index = int(next_index)  # type: ignore[call-overload]
+
     def sort_text(self, peer_id: PeerId) -> str:
         """The peer's interned textual sort key (``repr(peer_id)``)."""
         return self.key(peer_id)[0]

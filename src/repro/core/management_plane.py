@@ -279,6 +279,20 @@ class ManagementPlaneBase:
             raise UnknownPeerError(peer_id)
         return self._peer_landmark[peer_id]
 
+    def neighbor_list(self, peer_id: PeerId) -> List[Tuple[PeerId, float]]:
+        """The peer's cached neighbour list as ``(peer_id, distance)`` pairs.
+
+        A pure read of the cache — no tree walk, no refill: a registered
+        peer without a stored list (cache disabled, or eroded away) yields
+        ``[]``.  This is the accessor the serving-plane snapshot mirrors
+        byte-identically, so it is the cheapest "who does the plane think is
+        near me right now" view on both the live planes and the snapshots.
+        """
+        if peer_id not in self._peer_landmark:
+            raise UnknownPeerError(peer_id)
+        entries = self._cache.get(peer_id) or []
+        return [(entry.peer_id, entry.distance) for entry in entries]
+
     def referencing_peers(self, peer_id: PeerId) -> Set[PeerId]:
         """Peers whose cached neighbour list currently contains ``peer_id``.
 

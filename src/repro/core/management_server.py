@@ -114,7 +114,12 @@ __all__ = ["ManagementServer", "NeighborEntry", "ServerStats", "STATE_SNAPSHOT_V
 #: :meth:`ManagementServer.snapshot_state`.  Bump the version whenever the
 #: snapshot layout changes; :meth:`restore_state` refuses other versions.
 _STATE_TAG = "repro-state"
-STATE_SNAPSHOT_VERSION = 1
+#: Version history:
+#:   1 — landmarks, paths, distances, cache (no interner: restoring re-interned
+#:       peers in path order, silently renumbering compact indices after churn).
+#:   2 — adds the interner's ``(peer_id, sort_text, compact_index)`` table and
+#:       ``next_index``, so compact indices survive snapshot→restore verbatim.
+STATE_SNAPSHOT_VERSION = 2
 
 
 class ManagementServer(ManagementPlaneBase):
@@ -370,8 +375,8 @@ class ManagementServer(ManagementPlaneBase):
 
         The snapshot holds landmarks (registration order), every live path
         (current registration order, the order that determines tree shape),
-        the landmark-distance map, and — when this server maintains one —
-        the neighbour cache.  It contains only plain data (paths go through
+        the landmark-distance map, the interner's compact-index table, and —
+        when this server maintains one — the neighbour cache.  It contains only plain data (paths go through
         the wire codec), so it can cross the shard wire protocol and be
         journaled.  Observability counters (``stats``, tree visit/insert
         counters) are deliberately *not* captured: restoring yields a server
@@ -384,40 +389,63 @@ class ManagementServer(ManagementPlaneBase):
         paths = tuple(encode_path(self._paths[peer_id]) for peer_id in self._peer_landmark)
         distances = tuple(self._landmark_distances.items())
         cache = self._cache.export_state() if self.maintain_cache else None
-        return (_STATE_TAG, STATE_SNAPSHOT_VERSION, landmarks, paths, distances, cache)
+        interner = self._interner.export_state()
+        return (_STATE_TAG, STATE_SNAPSHOT_VERSION, landmarks, paths, distances, cache, interner)
 
     def restore_state(self, snapshot: Tuple[object, ...]) -> None:
         """Replace all live state with a :meth:`snapshot_state` payload.
 
         Raises :class:`~repro.exceptions.StateSnapshotError` for anything
-        that is not a supported snapshot.  The interner and neighbour cache
-        are rebuilt together (the cache holds the interner), landmarks are
-        re-registered and paths re-inserted in snapshot order — so every
-        subsequent answer is byte-identical to the snapshotted server's.
+        that is not a supported snapshot.  The interner table is imported
+        verbatim (compact indices and the monotonic counter survive, so
+        array-backed consumers keyed on them stay valid), the neighbour cache
+        is rebuilt around it, landmarks are re-registered and paths
+        re-inserted in snapshot order — so every subsequent answer is
+        byte-identical to the snapshotted server's.
         """
         if (
             not isinstance(snapshot, tuple)
-            or len(snapshot) != 6
+            or len(snapshot) < 2
             or snapshot[0] != _STATE_TAG
         ):
             raise StateSnapshotError(f"malformed state snapshot: {type(snapshot).__name__}")
-        _, version, landmarks, paths, distances, cache = snapshot
+        version = snapshot[1]
         if version != STATE_SNAPSHOT_VERSION:
+            # Typed rejection before the arity check: an old-layout tuple
+            # (e.g. the 6-element version 1) reports its version mismatch,
+            # not a generic malformed-snapshot error.
             raise StateSnapshotError(
                 f"unsupported state snapshot version {version!r} "
                 f"(this build reads version {STATE_SNAPSHOT_VERSION})"
             )
+        if len(snapshot) != 7:
+            raise StateSnapshotError(f"malformed state snapshot: {type(snapshot).__name__}")
+        _, _, landmarks, paths, distances, cache, interner = snapshot
         self._trees = {}
         self._landmark_routers = {}
         self._peer_landmark = {}
         self._paths = {}
         self._peers_by_hops = {}
         self._landmark_distances = {}
+        # Import the interner *before* replaying paths: every replayed insert
+        # then finds the snapshotted (sort_text, compact_index) key instead of
+        # interning afresh, so compact indices — including the gaps left by
+        # departed peers and the monotonic next_index — survive verbatim.
         self._interner = PeerKeyInterner()
+        try:
+            self._interner.import_state(interner)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as error:
+            raise StateSnapshotError(f"malformed interner state: {error}") from error
         self._cache = NeighborCache(self.neighbor_set_size, self.stats, self._interner)
         for landmark_id, router in landmarks:  # type: ignore[union-attr]
             self.register_landmark(landmark_id, router)
         self.insert_paths([decode_path(encoded) for encoded in paths], validate=False)  # type: ignore[union-attr]
+        # The replay above bumped the fresh cache's membership generation once
+        # per path.  Those bumps are restore bookkeeping, not membership
+        # changes the snapshotted lists missed: reset the counter so the cache
+        # import below re-validates the snapshot's completeness marks (and a
+        # cache-less restore starts at generation 0, like a fresh server).
+        self._cache.membership_generation = 0
         for key, distance in distances:  # type: ignore[union-attr]
             self._landmark_distances[tuple(key)] = float(distance)
         if cache is not None and self.maintain_cache:

@@ -1,0 +1,700 @@
+"""The serving plane: immutable discovery snapshots, published by epoch.
+
+Single-threaded query cost is ~2 µs after PRs 1–7; the next order of
+magnitude is concurrency.  This module does for the discovery plane what
+PR 4's ``CsrTopology`` did for the router graph: it freezes one epoch of a
+live management plane into a :class:`DiscoverySnapshot` — flat tuple views
+of the landmark tries, the per-landmark min-hop orderings, the cached
+neighbour lists and the interner's ``(sort_text, compact_index)`` table —
+that any number of reader threads or forked processes query with **zero
+locks**, while the write plane keeps mutating and periodically publishes the
+next epoch.
+
+Why this is safe without locks
+------------------------------
+* A snapshot is *immutable*: nothing mutates it after construction, so
+  concurrent readers share it freely (no writer ever touches it).
+* Publication is *atomic*: :meth:`SnapshotPublisher.publish` builds the new
+  snapshot off to the side and installs it with a single attribute
+  assignment — an atomic reference store under the interpreter.  A reader
+  :meth:`pins <SnapshotReader.pin>` the current snapshot once per query and
+  works only on the pinned object, so every answer is computed against
+  exactly one generation — never a torn mix of two epochs.  This is the
+  classic read-copy-update discipline, with the interpreter's reference
+  semantics standing in for the memory barrier.
+
+Byte-identical answers
+----------------------
+The snapshot replays the live read path, not an approximation of it:
+:meth:`DiscoverySnapshot.closest_peers` implements the exact cache-serve
+condition of :meth:`~repro.core.management_plane.ManagementPlaneBase.
+closest_peers`, falls back to the same level-synchronous frontier walk as
+:meth:`~repro.core.path_tree.PathTree.closest_from_node` (over flat arrays
+instead of node objects, preserving child and attachment iteration order),
+and fills short lists by heap-merging the same shifted min-hop orderings in
+the same stream order the source plane would use — including the per-shard
+grouping of the sharded coordinator, whose snapshot is composed from the
+per-shard tree exports.  ``tests/core/test_serving.py`` holds the oracle
+pinning snapshot answers byte-identical to the live plane at the same epoch.
+
+Array keys are the PR 5 compact indices: peers get dense **slots** in
+compact-index order, which is why the interner table must survive state
+snapshots verbatim (see ``STATE_SNAPSHOT_VERSION`` 2 in
+:mod:`repro.core.management_server`) — a restore that re-interned peers
+would silently renumber the keys under a published snapshot.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from operator import itemgetter
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import LandmarkError, UnknownPeerError
+from .management_plane import ManagementPlaneBase
+from .path import LandmarkId, NodeId, PeerId, RouterPath
+from .path_tree import PathTree
+
+__all__ = ["DiscoverySnapshot", "FlatTrie", "SnapshotPublisher", "SnapshotReader"]
+
+#: Stable sort key for ``(dtree, sort_text, slot)`` candidate tuples — the
+#: flat twin of ``path_tree._CANDIDATE_ORDER``: ties beyond the first two
+#: fields keep discovery order and never compare raw identifiers.
+_CANDIDATE_ORDER = itemgetter(0, 1)
+
+
+class FlatTrie:
+    """One landmark's path trie, frozen into flat parallel tuples.
+
+    Nodes are numbered in depth-first order from the root (node ``0``);
+    children and attached peers keep their live dict iteration order, so the
+    frontier walk below discovers candidates in exactly the order the live
+    :class:`~repro.core.path_tree.PathTree` would — which is what keeps tied
+    results byte-identical after the stable sort.  CSR-style ranges
+    (``child_start`` / ``attached_start`` with one trailing sentinel) replace
+    per-node containers; attachments are peer *slots* into the owning
+    snapshot's arrays.
+    """
+
+    __slots__ = (
+        "landmark_id",
+        "routers",
+        "parent",
+        "depth",
+        "subtree_count",
+        "child_start",
+        "children",
+        "attached_start",
+        "attached",
+    )
+
+    def __init__(self, landmark_id: LandmarkId, tree: PathTree, slot_of: Dict[PeerId, int]):
+        self.landmark_id = landmark_id
+        routers: List[NodeId] = []
+        parent: List[int] = []
+        depth: List[int] = []
+        subtree: List[int] = []
+        child_start: List[int] = [0]
+        children: List[int] = []
+        attached_start: List[int] = [0]
+        attached: List[int] = []
+        root = tree.root
+        if root is not None:
+            # Two passes: number every node first (depth-first, children in
+            # dict order), then emit the CSR rows — child lists must hold
+            # final node numbers.
+            index_of: Dict[int, int] = {}
+            order = []
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                index_of[id(node)] = len(order)
+                order.append(node)
+                stack.extend(reversed(list(node.children.values())))
+            for node in order:
+                routers.append(node.router)
+                parent.append(index_of[id(node.parent)] if node.parent is not None else -1)
+                depth.append(node.depth)
+                subtree.append(node.subtree_peer_count)
+                children.extend(index_of[id(child)] for child in node.children.values())
+                child_start.append(len(children))
+                attached.extend(slot_of[peer] for peer in node.attached_peers)
+                attached_start.append(len(attached))
+        self.routers = tuple(routers)
+        self.parent = tuple(parent)
+        self.depth = tuple(depth)
+        self.subtree_count = tuple(subtree)
+        self.child_start = tuple(child_start)
+        self.children = tuple(children)
+        self.attached_start = tuple(attached_start)
+        self.attached = tuple(attached)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.routers)
+
+    def lca_depth(self, node_a: int, node_b: int) -> int:
+        """Depth of the lowest common ancestor of two nodes."""
+        parent, depth = self.parent, self.depth
+        while depth[node_a] > depth[node_b]:
+            node_a = parent[node_a]
+        while depth[node_b] > depth[node_a]:
+            node_b = parent[node_b]
+        while node_a != node_b:
+            node_a = parent[node_a]
+            node_b = parent[node_b]
+        return depth[node_a]
+
+    def closest_from_node(
+        self, origin: int, k: int, exclude_slot: int, sort_texts: Sequence[str]
+    ) -> List[Tuple[int, int]]:
+        """Up to ``k`` closest peer slots as seen from a node, as ``(slot, dtree)``.
+
+        The flat replay of :meth:`PathTree.closest_from_node`: the same
+        level-synchronous frontier (ancestor entries carry the already
+        explored child in ``skip_child``), the same ``bound`` arithmetic, the
+        same stable ``(dtree, sort_text)`` sort over candidates collected in
+        discovery order — so results are byte-identical to the live walk.
+        """
+        if k <= 0:
+            return []
+        parent, depth, subtree = self.parent, self.depth, self.subtree_count
+        child_start, children = self.child_start, self.children
+        attached_start, attached = self.attached_start, self.attached
+        level: List[Tuple[int, int, int]] = [(origin, depth[origin], -1)]
+        bound = 2
+        results: List[Tuple[int, str, int]] = []
+        append = results.append
+        kth_found = False
+        while level:
+            next_level: List[Tuple[int, int, int]] = []
+            push = next_level.append
+            for node, lca_depth, skip_child in level:
+                for position in range(attached_start[node], attached_start[node + 1]):
+                    slot = attached[position]
+                    if slot != exclude_slot:
+                        append((bound, sort_texts[slot], slot))
+                if kth_found:
+                    continue
+                if len(results) >= k:
+                    kth_found = True
+                    continue
+                if depth[node] == lca_depth:
+                    for position in range(child_start[node], child_start[node + 1]):
+                        child = children[position]
+                        if child != skip_child and subtree[child] > 0:
+                            push((child, lca_depth, -1))
+                    up = parent[node]
+                    if up >= 0:
+                        push((up, depth[up], node))
+                else:
+                    for position in range(child_start[node], child_start[node + 1]):
+                        child = children[position]
+                        if subtree[child] > 0:
+                            push((child, lca_depth, -1))
+            if kth_found:
+                break
+            level = next_level
+            bound += 1
+        results.sort(key=_CANDIDATE_ORDER)
+        del results[k:]
+        return [(slot, bound) for bound, _, slot in results]
+
+
+class DiscoverySnapshot:
+    """One immutable, generation-stamped epoch of a management plane.
+
+    Built by :meth:`build` from a live
+    :class:`~repro.core.management_server.ManagementServer` or
+    :class:`~repro.core.sharded.ShardedManagementServer` (any backend — the
+    coordinator snapshot is composed from the per-shard tree exports, which
+    rebuild byte-identical tries on the coordinator side).  All state is
+    plain tuples/dicts keyed by dense peer **slots** assigned in
+    compact-index order, so the whole object is cheaply forkable/picklable
+    for process readers and safely shared between threads.
+
+    The query surface mirrors the live plane byte for byte:
+    :meth:`closest_peers`, :meth:`neighbor_list`, :meth:`estimate_distance`
+    and the read accessors (``peers``, ``peer_count``, ``has_peer``,
+    ``peer_path``, ``peer_landmark``, ``landmarks``, ``landmark_router``,
+    ``landmark_distance``).
+    """
+
+    __slots__ = (
+        "generation",
+        "neighbor_set_size",
+        "maintain_cache",
+        "interner_table",
+        "next_compact_index",
+        "_registration_order",
+        "_slot_of",
+        "_peer_ids",
+        "_sort_texts",
+        "_compact_indices",
+        "_hop_counts",
+        "_slot_landmark",
+        "_attach_node",
+        "_cache_lists",
+        "_cache_complete",
+        "_paths",
+        "_tries",
+        "_landmark_order",
+        "_landmark_routers",
+        "_landmark_distances",
+        "_fill_order",
+        "_hops_orderings",
+    )
+
+    def __init__(self) -> None:  # populated by build()
+        self.generation = 0
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(cls, plane: ManagementPlaneBase, generation: int = 0) -> "DiscoverySnapshot":
+        """Freeze the plane's current state into a snapshot.
+
+        Read-only with one documented exception: building the coordinator
+        snapshot of a *remote* shard backend pulls each landmark's tree
+        export over the wire (the same ``tree`` round trip diagnostics use).
+        """
+        snap = cls()
+        snap.generation = int(generation)
+        snap.neighbor_set_size = plane.neighbor_set_size
+        snap.maintain_cache = plane.maintain_cache
+
+        assignments, next_index = plane._interner.export_state()
+        table: Dict[PeerId, Tuple[str, int]] = {
+            peer: (text, index) for peer, text, index in assignments
+        }
+        snap.interner_table = table
+        snap.next_compact_index = next_index
+
+        registration_order = tuple(plane.peers())
+        snap._registration_order = registration_order
+        for peer in registration_order:
+            if peer not in table:  # never-interned peer: intern via the plane
+                table[peer] = plane._interner.key(peer)
+        slot_order = sorted(registration_order, key=lambda peer: table[peer][1])
+        slot_of: Dict[PeerId, int] = {peer: slot for slot, peer in enumerate(slot_order)}
+        snap._slot_of = slot_of
+        snap._peer_ids = tuple(slot_order)
+        snap._sort_texts = tuple(table[peer][0] for peer in slot_order)
+        snap._compact_indices = tuple(table[peer][1] for peer in slot_order)
+        snap._paths = {peer: plane._paths[peer] for peer in registration_order}
+        snap._hop_counts = tuple(snap._paths[peer].hop_count for peer in slot_order)
+        snap._slot_landmark = tuple(plane._peer_landmark[peer] for peer in slot_order)
+
+        landmark_order = tuple(plane.landmarks())
+        snap._landmark_order = landmark_order
+        snap._landmark_routers = {
+            landmark: plane.landmark_router(landmark) for landmark in landmark_order
+        }
+        snap._landmark_distances = dict(plane._landmark_distances)
+        snap._fill_order = cls._fill_stream_order(plane, landmark_order)
+
+        tries: Dict[LandmarkId, FlatTrie] = {}
+        attach_node: List[int] = [-1] * len(slot_order)
+        orderings: Dict[LandmarkId, Tuple[Tuple[int, str, PeerId], ...]] = {}
+        for landmark in landmark_order:
+            tree = plane.tree(landmark)
+            flat = FlatTrie(landmark, tree, slot_of)
+            tries[landmark] = flat
+            for node in range(flat.node_count):
+                for position in range(flat.attached_start[node], flat.attached_start[node + 1]):
+                    attach_node[flat.attached[position]] = node
+            # The live plane's lazily built min-hop ordering, computed the
+            # same way (sorted is input-order independent up to full-tuple
+            # ties, which only identical elements can produce here).
+            orderings[landmark] = tuple(
+                sorted(
+                    (snap._paths[peer].hop_count, table[peer][0], peer)
+                    for peer in tree.peers()
+                )
+            )
+        snap._tries = tries
+        snap._attach_node = tuple(attach_node)
+        snap._hops_orderings = orderings
+
+        if plane.maintain_cache:
+            lists = []
+            complete = []
+            for peer in slot_order:
+                entries = plane._cache.get(peer) or ()
+                lists.append(tuple((entry.peer_id, entry.distance) for entry in entries))
+                complete.append(plane._cache.is_complete(peer))
+            snap._cache_lists = tuple(lists)
+            snap._cache_complete = tuple(complete)
+        else:
+            snap._cache_lists = ((),) * len(slot_order)
+            snap._cache_complete = (False,) * len(slot_order)
+        return snap
+
+    @staticmethod
+    def _fill_stream_order(
+        plane: ManagementPlaneBase, landmark_order: Tuple[LandmarkId, ...]
+    ) -> Tuple[LandmarkId, ...]:
+        """The landmark order of the plane's cross-landmark fill streams.
+
+        The single server merges one stream per landmark in registration
+        order; the sharded coordinator merges per-shard streams (shard index
+        order), each internally in that shard's landmark registration order.
+        A single flat ``heapq.merge`` over the concatenated grouping yields
+        the same sequence as the live nested merge: ties between equal
+        candidate tuples fall back to stream position in both shapes.
+        """
+        shard_landmarks = getattr(plane, "_shard_landmarks", None)
+        if shard_landmarks is not None:
+            return tuple(
+                landmark for per_shard in shard_landmarks for landmark in per_shard
+            )
+        return landmark_order
+
+    # ------------------------------------------------------------- equality
+
+    def _content(self) -> Tuple[object, ...]:
+        return (
+            self.neighbor_set_size,
+            self.maintain_cache,
+            self._registration_order,
+            self._peer_ids,
+            self._sort_texts,
+            self._compact_indices,
+            self._hop_counts,
+            self._slot_landmark,
+            self._attach_node,
+            self._cache_lists,
+            self._cache_complete,
+            self._landmark_order,
+            tuple(sorted(self._landmark_distances.items(), key=repr)),
+            self._fill_order,
+            tuple(
+                (
+                    landmark,
+                    trie.routers,
+                    trie.parent,
+                    trie.children,
+                    trie.attached,
+                )
+                for landmark, trie in self._tries.items()
+            ),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Content equality, *ignoring* the generation stamp.
+
+        Two snapshots of identical plane state compare equal even when
+        published at different epochs — which is what lets a publisher (or a
+        test) detect no-op epochs.
+        """
+        if not isinstance(other, DiscoverySnapshot):
+            return NotImplemented
+        return self._content() == other._content()
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing is fine
+        return id(self)
+
+    # ------------------------------------------------------------- accessors
+
+    @property
+    def peer_count(self) -> int:
+        """Number of peers registered at this epoch."""
+        return len(self._peer_ids)
+
+    def peers(self) -> List[PeerId]:
+        """Peer identifiers in registration order (like the live plane)."""
+        return list(self._registration_order)
+
+    def has_peer(self, peer_id: PeerId) -> bool:
+        """True if the peer was registered at this epoch."""
+        return peer_id in self._slot_of
+
+    def peer_path(self, peer_id: PeerId) -> RouterPath:
+        """The path the peer registered with."""
+        if peer_id not in self._paths:
+            raise UnknownPeerError(peer_id)
+        return self._paths[peer_id]
+
+    def peer_landmark(self, peer_id: PeerId) -> LandmarkId:
+        """The landmark the peer registered under."""
+        slot = self._slot_of.get(peer_id)
+        if slot is None:
+            raise UnknownPeerError(peer_id)
+        return self._slot_landmark[slot]
+
+    def compact_index(self, peer_id: PeerId) -> int:
+        """The peer's interned compact index (the stable array key)."""
+        slot = self._slot_of.get(peer_id)
+        if slot is None:
+            raise UnknownPeerError(peer_id)
+        return self._compact_indices[slot]
+
+    def landmarks(self) -> List[LandmarkId]:
+        """Landmark identifiers in registration order."""
+        return list(self._landmark_order)
+
+    def landmark_router(self, landmark_id: LandmarkId) -> NodeId:
+        """Router a landmark is attached to."""
+        if landmark_id not in self._landmark_routers:
+            raise LandmarkError(f"unknown landmark {landmark_id!r}")
+        return self._landmark_routers[landmark_id]
+
+    def landmark_distance(self, a: LandmarkId, b: LandmarkId) -> Optional[float]:
+        """Distance between two landmarks, or None if unknown."""
+        if a == b:
+            return 0.0
+        return self._landmark_distances.get((a, b))
+
+    # --------------------------------------------------------------- queries
+
+    def neighbor_list(self, peer_id: PeerId) -> List[Tuple[PeerId, float]]:
+        """The peer's cached neighbour list at this epoch (see the live twin)."""
+        slot = self._slot_of.get(peer_id)
+        if slot is None:
+            raise UnknownPeerError(peer_id)
+        return list(self._cache_lists[slot])
+
+    def closest_peers(
+        self, peer_id: PeerId, k: Optional[int] = None
+    ) -> List[Tuple[PeerId, float]]:
+        """Up to ``k`` closest peers, byte-identical to the live plane's answer.
+
+        Replays the live read path against frozen state: the cached list is
+        served under exactly the live cache-hit condition (enough entries
+        for ``k`` or for the whole population, or a still-valid completeness
+        mark), anything else falls back to the flat frontier walk plus the
+        cross-landmark fill merge.
+        """
+        slot = self._slot_of.get(peer_id)
+        if slot is None:
+            raise UnknownPeerError(peer_id)
+        k = k or self.neighbor_set_size
+        if self.maintain_cache and k <= self.neighbor_set_size:
+            entries = self._cache_lists[slot]
+            if len(entries) >= min(k, self.peer_count - 1) or self._cache_complete[slot]:
+                return list(entries[:k])
+        return self._compute_neighbors(slot, k)
+
+    def estimate_distance(self, peer_a: PeerId, peer_b: PeerId) -> float:
+        """Estimated hop distance between two peers (live-estimator semantics)."""
+        if peer_a == peer_b:
+            return 0.0
+        slot_a = self._slot_of.get(peer_a)
+        if slot_a is None:
+            raise UnknownPeerError(peer_a)
+        slot_b = self._slot_of.get(peer_b)
+        if slot_b is None:
+            raise UnknownPeerError(peer_b)
+        landmark_a = self._slot_landmark[slot_a]
+        landmark_b = self._slot_landmark[slot_b]
+        if landmark_a == landmark_b:
+            trie = self._tries[landmark_a]
+            node_a = self._attach_node[slot_a]
+            node_b = self._attach_node[slot_b]
+            lca_depth = trie.lca_depth(node_a, node_b)
+            return float(
+                (trie.depth[node_a] - lca_depth + 1) + (trie.depth[node_b] - lca_depth + 1)
+            )
+        between = self._landmark_distances.get((landmark_a, landmark_b))
+        if between is None:
+            raise LandmarkError(
+                f"no inter-landmark distance between {landmark_a!r} and {landmark_b!r}"
+            )
+        return float(self._hop_counts[slot_a] + between + self._hop_counts[slot_b])
+
+    # -------------------------------------------------------------- internals
+
+    def _compute_neighbors(self, slot: int, k: int) -> List[Tuple[PeerId, float]]:
+        """Flat twin of the live ``_compute_neighbors``: walk, then fill."""
+        landmark = self._slot_landmark[slot]
+        trie = self._tries[landmark]
+        peer_ids = self._peer_ids
+        candidates = trie.closest_from_node(
+            self._attach_node[slot], k, slot, self._sort_texts
+        )
+        neighbors = [(peer_ids[other], float(distance)) for other, distance in candidates]
+        if len(neighbors) >= k:
+            return neighbors[:k]
+        own_hops = self._hop_counts[slot]
+        already = {peer for peer, _ in neighbors}
+        for estimate, _, other_peer in self._fill_candidates(
+            peer_ids[slot], landmark, own_hops
+        ):
+            if len(neighbors) >= k:
+                break
+            if other_peer in already:
+                continue
+            neighbors.append((other_peer, estimate))
+            already.add(other_peer)
+        return neighbors
+
+    def _fill_candidates(
+        self, peer_id: PeerId, home_landmark: LandmarkId, own_hops: int
+    ) -> Iterator[Tuple[float, str, PeerId]]:
+        """The plane's cross-landmark fill merge over frozen orderings."""
+
+        def shifted(
+            ordering: Tuple[Tuple[int, str, PeerId], ...], base: float
+        ) -> Iterator[Tuple[float, str, PeerId]]:
+            for hops, text, peer in ordering:
+                if peer != peer_id:
+                    yield (base + hops, text, peer)
+
+        streams = []
+        for landmark in self._fill_order:
+            if landmark == home_landmark:
+                continue
+            between = self._landmark_distances.get((home_landmark, landmark))
+            if between is None:
+                continue
+            streams.append(shifted(self._hops_orderings[landmark], float(own_hops + between)))
+        return heapq.merge(*streams)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscoverySnapshot(generation={self.generation}, peers={self.peer_count}, "
+            f"landmarks={len(self._landmark_order)}, k={self.neighbor_set_size})"
+        )
+
+
+class SnapshotPublisher:
+    """The write plane's side of the serving plane: batch, build, publish.
+
+    Wraps a live management plane.  Mutations go to the live plane through
+    the delegating methods below (which count them); :meth:`publish` freezes
+    the plane into the next-generation :class:`DiscoverySnapshot` and
+    installs it with one atomic reference store.  With ``publish_every=N``
+    the publisher auto-publishes after every ``N`` buffered mutations, which
+    bounds snapshot staleness without paying a rebuild per write.
+
+    Thread model: one writer drives the publisher; any number of
+    :class:`SnapshotReader` instances read :attr:`snapshot` concurrently,
+    lock-free.  The live plane itself is **not** thread-safe — readers must
+    go through snapshots, never through the plane.
+    """
+
+    def __init__(self, plane: ManagementPlaneBase, publish_every: Optional[int] = None):
+        self._plane = plane
+        self.publish_every = publish_every
+        self.pending_mutations = 0
+        #: Wall-clock seconds the most recent publish spent building.
+        self.last_publish_seconds = 0.0
+        self._snapshot = DiscoverySnapshot.build(plane, generation=1)
+
+    @property
+    def plane(self) -> ManagementPlaneBase:
+        """The wrapped live plane (writer-side use only)."""
+        return self._plane
+
+    @property
+    def snapshot(self) -> DiscoverySnapshot:
+        """The currently published snapshot (atomic read, safe from any thread)."""
+        return self._snapshot
+
+    @property
+    def generation(self) -> int:
+        """Generation of the currently published snapshot."""
+        return self._snapshot.generation
+
+    def publish(self) -> DiscoverySnapshot:
+        """Freeze the plane into generation ``current + 1`` and install it."""
+        started = time.perf_counter()
+        snapshot = DiscoverySnapshot.build(self._plane, generation=self._snapshot.generation + 1)
+        self.last_publish_seconds = time.perf_counter() - started
+        self.pending_mutations = 0
+        self._snapshot = snapshot  # the atomic epoch flip
+        return snapshot
+
+    def _mutated(self, count: int = 1) -> None:
+        self.pending_mutations += count
+        if self.publish_every is not None and self.pending_mutations >= self.publish_every:
+            self.publish()
+
+    # ------------------------------------------------------ write delegation
+
+    def register_landmark(self, landmark_id: LandmarkId, router: NodeId) -> None:
+        self._plane.register_landmark(landmark_id, router)
+        self._mutated()
+
+    def set_landmark_distance(self, a: LandmarkId, b: LandmarkId, distance: float) -> None:
+        self._plane.set_landmark_distance(a, b, distance)
+        self._mutated()
+
+    def register_peer(self, path: RouterPath) -> List[Tuple[PeerId, float]]:
+        result = self._plane.register_peer(path)
+        self._mutated()
+        return result
+
+    def register_peers(
+        self, paths: Sequence[RouterPath]
+    ) -> Dict[PeerId, List[Tuple[PeerId, float]]]:
+        result = self._plane.register_peers(paths)
+        self._mutated(len(paths))
+        return result
+
+    def unregister_peer(self, peer_id: PeerId) -> None:
+        self._plane.unregister_peer(peer_id)
+        self._mutated()
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotPublisher(generation={self.generation}, "
+            f"pending={self.pending_mutations}, every={self.publish_every})"
+        )
+
+
+class SnapshotReader:
+    """A lock-free query handle over published snapshots.
+
+    Every query :meth:`pins <pin>` the publisher's current snapshot exactly
+    once and computes the whole answer against that object, so a reader
+    racing a publish sees **one** consistent generation per query — never a
+    mix.  For multi-query consistency, call :meth:`pin` yourself and query
+    the returned snapshot directly.
+
+    Readers hold no locks and share no mutable state with the publisher, so
+    any number of them can run in threads, or in forked processes handed a
+    fixed :class:`DiscoverySnapshot` (the snapshot is plain picklable data).
+    """
+
+    def __init__(self, source: Union[SnapshotPublisher, DiscoverySnapshot]):
+        if isinstance(source, DiscoverySnapshot):
+            self._publisher: Optional[SnapshotPublisher] = None
+            self._fixed: Optional[DiscoverySnapshot] = source
+        else:
+            self._publisher = source
+            self._fixed = None
+        #: Queries answered by this reader (reader-local, unsynchronised).
+        self.queries_served = 0
+
+    def pin(self) -> DiscoverySnapshot:
+        """The current snapshot, pinned (one atomic read)."""
+        if self._publisher is not None:
+            return self._publisher.snapshot
+        return self._fixed  # type: ignore[return-value]
+
+    @property
+    def generation(self) -> int:
+        """Generation this reader would serve right now."""
+        return self.pin().generation
+
+    def closest_peers(
+        self, peer_id: PeerId, k: Optional[int] = None
+    ) -> List[Tuple[PeerId, float]]:
+        """One-generation-consistent ``closest_peers`` (see DiscoverySnapshot)."""
+        self.queries_served += 1
+        return self.pin().closest_peers(peer_id, k)
+
+    def neighbor_list(self, peer_id: PeerId) -> List[Tuple[PeerId, float]]:
+        """One-generation-consistent ``neighbor_list``."""
+        self.queries_served += 1
+        return self.pin().neighbor_list(peer_id)
+
+    def estimate_distance(self, peer_a: PeerId, peer_b: PeerId) -> float:
+        """One-generation-consistent ``estimate_distance``."""
+        self.queries_served += 1
+        return self.pin().estimate_distance(peer_a, peer_b)
+
+    def __repr__(self) -> str:
+        return f"SnapshotReader(generation={self.generation}, served={self.queries_served})"

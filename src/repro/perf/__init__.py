@@ -10,6 +10,7 @@ from .report import PerfRecord, PerfReport
 from .timer import OpTimer, Timing, time_ops
 from .workloads import (
     DEFAULT_POPULATIONS,
+    DEFAULT_READER_COUNTS,
     SHARDED_LANDMARK_COUNT,
     build_populated_server,
     run_churn_workload,
@@ -17,6 +18,7 @@ from .workloads import (
     run_discovery_suite,
     run_insert_workload,
     run_query_workload,
+    run_serving_workload,
     synthetic_paths,
     synthetic_sharded_paths,
     workload_rng,
@@ -26,6 +28,7 @@ __all__ = [
     "CellDelta",
     "ComparisonResult",
     "DEFAULT_POPULATIONS",
+    "DEFAULT_READER_COUNTS",
     "OpTimer",
     "PerfRecord",
     "PerfReport",
@@ -38,6 +41,7 @@ __all__ = [
     "run_discovery_suite",
     "run_insert_workload",
     "run_query_workload",
+    "run_serving_workload",
     "synthetic_paths",
     "synthetic_sharded_paths",
     "time_ops",

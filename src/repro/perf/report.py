@@ -26,10 +26,14 @@ from .timer import Timing
 # ``journal_len``, ``snapshot_bytes`` and ``recovery_us`` so journal
 # compaction regresses like a time regression, v7 the socket backend
 # (``backend == "socket"``: connection-scoped shards behind an asyncio
-# shard server; recovery cells now exist per remote backend).  All are
-# additive: older reports load with defaults and their cells still compare
-# (new cells show as current-only, never as failures).
-SCHEMA_VERSION = 7
+# shard server; recovery cells now exist per remote backend), v8 the
+# serving-plane workload (``workload == "serving"``) with its
+# concurrent-clients ``readers`` dimension (None for every other workload)
+# and its throughput/latency/publish-lag counters, plus ``peak_rss_kb`` /
+# ``bytes_per_peer`` memory counters in every cell.  All are additive:
+# older reports load with defaults and their cells still compare (new
+# cells show as current-only, never as failures).
+SCHEMA_VERSION = 8
 
 
 @dataclass
@@ -43,7 +47,9 @@ class PerfRecord:
     as ``"inline"``) or ``"process"`` (one worker process per shard via
     :class:`~repro.core.remote.ProcessShardBackend`).  ``batch_size`` is the
     arrival workload's co-arriving batch size; every other workload (and
-    every pre-v5 record) loads as ``None``.
+    every pre-v5 record) loads as ``None``.  ``readers`` is the serving
+    workload's concurrent reader count (schema v8); every other workload
+    (and every pre-v8 record) loads as ``None``.
     """
 
     workload: str
@@ -54,6 +60,7 @@ class PerfRecord:
     shards: Optional[int] = None
     backend: str = "inline"
     batch_size: Optional[int] = None
+    readers: Optional[int] = None
 
     @property
     def per_op_us(self) -> float:
@@ -70,6 +77,7 @@ class PerfRecord:
         shards: Optional[int] = None,
         backend: str = "inline",
         batch_size: Optional[int] = None,
+        readers: Optional[int] = None,
     ) -> "PerfRecord":
         """Build a record from a :class:`~repro.perf.timer.Timing`."""
         return cls(
@@ -81,12 +89,20 @@ class PerfRecord:
             shards=shards,
             backend=backend,
             batch_size=batch_size,
+            readers=readers,
         )
 
     @property
     def cell(self) -> tuple:
         """The report cell this record measures (regression-comparison key)."""
-        return (self.workload, self.population, self.shards, self.backend, self.batch_size)
+        return (
+            self.workload,
+            self.population,
+            self.shards,
+            self.backend,
+            self.batch_size,
+            self.readers,
+        )
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation (adds the derived per-op cost)."""
@@ -100,6 +116,7 @@ class PerfRecord:
             "shards": self.shards,
             "backend": self.backend,
             "batch_size": self.batch_size,
+            "readers": self.readers,
         }
 
 
@@ -147,6 +164,9 @@ class PerfReport:
                 batch_size=(
                     None if entry.get("batch_size") is None else int(entry["batch_size"])  # type: ignore[arg-type]
                 ),
+                readers=(
+                    None if entry.get("readers") is None else int(entry["readers"])  # type: ignore[arg-type]
+                ),
             )
             for entry in data.get("records", [])  # type: ignore[union-attr]
         ]
@@ -156,15 +176,16 @@ class PerfReport:
         """Aligned human-readable table for the CLI."""
         header = (
             f"{'workload':<12} {'population':>10} {'shards':>7} {'backend':>8} {'batch':>6} "
-            f"{'ops':>8} {'total_s':>10} {'per_op_us':>12}"
+            f"{'readers':>7} {'ops':>8} {'total_s':>10} {'per_op_us':>12}"
         )
         lines = [header, "-" * len(header)]
         for record in self.records:
             shards = "-" if record.shards is None else str(record.shards)
             batch = "-" if record.batch_size is None else str(record.batch_size)
+            readers = "-" if record.readers is None else str(record.readers)
             lines.append(
                 f"{record.workload:<12} {record.population:>10} {shards:>7} "
-                f"{record.backend:>8} {batch:>6} {record.ops:>8} "
+                f"{record.backend:>8} {batch:>6} {readers:>7} {record.ops:>8} "
                 f"{record.total_s:>10.4f} {record.per_op_us:>12.2f}"
             )
         return "\n".join(lines)

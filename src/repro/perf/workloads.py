@@ -35,6 +35,46 @@ regression-gates exactly the code the
 :mod:`repro.routing.distance_engine` owns.  One build is one cell;
 ``per_op_us`` divides by the peer count.
 
+The ``serving`` workload (schema v8) measures the lock-free serving plane:
+a :class:`~repro.core.serving.SnapshotPublisher` freezes the populated
+plane into an immutable :class:`~repro.core.serving.DiscoverySnapshot` and
+``readers`` concurrent :class:`~repro.core.serving.SnapshotReader` threads
+run closest-peer queries against it with zero locks.  One cell per entry
+in ``reader_counts`` (the **concurrent-clients dimension**).  Because the
+readers share hardware (CI runs this on a single core, where the
+interpreter time-slices the threads), wall-clock throughput cannot show
+reader scaling; the cell therefore records two throughputs:
+
+* ``wall_qps`` — aggregate queries per wall-clock second, whatever the
+  scheduler did;
+* ``capacity_qps`` — the sum over readers of ``ops / on-CPU busy time``
+  (per-thread ``time.thread_time_ns``): the rate the reader fleet would
+  sustain given a core each, i.e. the lock-freedom signal.  Readers that
+  serialised on a lock would burn busy time waiting and ``capacity_qps``
+  would stay flat as readers are added; lock-free readers scale it
+  linearly.
+
+Latency quantiles (``latency_p50_ns`` / ``latency_p99_ns``) are on-CPU
+nanoseconds per query for the same reason — wall-clock quantiles on a
+shared core measure scheduler slices, not the read path.  Three more
+pieces of quantile hygiene: each reader runs a short untimed warmup pass
+before the barrier (interpreter type/specialisation caches); the cyclic GC
+is paused across the timed sweep (read queries allocate but create no
+cycles, and a generational collection over a population-sized snapshot
+heap otherwise lands in whichever query it interrupts and owns the p99);
+and each reader makes several timed passes over the identical query
+sample, recording a query's latency as its *minimum* across passes.  The
+queries are deterministic and read-only, so the minimum is the standard
+repeated-measurement estimator of their true cost: heterogeneity across
+queries survives (a trie-walk query is slow in every pass), and so would
+lock contention (waiting burns on-CPU time in every pass), while
+preemption-resume cache refills and clock-syscall jitter — which land on
+different queries each pass — do not.  ``publish_lag_us``
+records how long the publisher took to build+install the epoch the readers
+served (snapshot staleness bound).  The serving cells run on inline cells
+only: the snapshot read path is identical wherever the shards live, so the
+backend axis is degenerate for it.
+
 The ``recovery`` / ``recovery-compacted`` pair (schema v6) measures the
 self-healing path: restart+replay cost of a churned process-backed shard
 before and after journal compaction (see :func:`run_recovery_workload`).
@@ -75,15 +115,25 @@ counter deltas observed during the measured phase plus the landmark trees'
 node-visit counters and the insert-side trie work counters
 (``trie_nodes_created`` / ``trie_nodes_touched``, schema v5), so
 regressions in algorithmic work are visible even on noisy machines.
+Schema v8 adds two memory counters to every cell: ``peak_rss_kb`` (the
+process's resident-set high-water mark at the end of the measured phase —
+monotone across a run, so a leak shows up where it happens and the largest
+populations bound it) and ``bytes_per_peer`` (that peak divided by the
+cell's population: the per-peer memory trajectory of the whole plane).
 """
 
 from __future__ import annotations
 
+import gc
 import random
+import resource
+import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.management_server import ManagementServer
 from ..core.path import RouterPath
+from ..core.serving import SnapshotPublisher, SnapshotReader
 from ..core.remote import (
     BACKENDS,
     ProcessShardBackend,
@@ -102,6 +152,11 @@ DEFAULT_LANDMARK = "lmk"
 #: Batch sizes the suite measures the ``arrival`` workload at: sequential
 #: joins, a moderate co-arriving group, and a full flash-crowd wave.
 DEFAULT_ARRIVAL_BATCH_SIZES = (1, 32, 256)
+
+#: Reader counts the suite measures the ``serving`` workload at: the
+#: single-reader baseline and two fan-out points of the concurrent-clients
+#: sweep (the acceptance bar compares 1 vs 4).
+DEFAULT_READER_COUNTS = (1, 2, 4)
 
 #: Landmark count used by every ``build`` cell (sharded or not) so the
 #: scenario workload is identical along the shards/backend axes.
@@ -127,6 +182,17 @@ _ARRIVAL_SEED_OFFSET = 7
 
 # RNG offset for the recovery workload's churn victims.
 _RECOVERY_RNG_OFFSET = 9
+
+# RNG offset for the serving workload's query sample.
+_SERVING_RNG_OFFSET = 11
+
+# Untimed queries each serving reader runs before the barrier releases it.
+_SERVING_WARMUP_OPS = 200
+
+# Timed passes each serving reader makes over the query sample; a query's
+# recorded latency is its minimum across the passes (see the module
+# docstring's quantile-hygiene paragraph).
+_SERVING_LATENCY_PASSES = 3
 
 
 def workload_rng(seed: int, offset: int) -> random.Random:
@@ -329,14 +395,35 @@ def _insert_work(server: ManagementPlane) -> Tuple[int, int]:
     return server.total_insert_work()
 
 
+def _memory_counters(population: int) -> Dict[str, int]:
+    """``peak_rss_kb`` / ``bytes_per_peer`` for one cell (schema v8).
+
+    ``ru_maxrss`` is the process-lifetime resident-set high-water mark
+    (kilobytes on Linux) — monotone across a suite run, so within a run the
+    growth between cells localises where memory went, and the largest
+    population's cell bounds the whole plane's footprint.
+    ``bytes_per_peer`` divides that peak by the cell's population: the
+    per-peer memory trajectory the roadmap's scaling claims gate on.
+    """
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "peak_rss_kb": int(peak_rss_kb),
+        "bytes_per_peer": int(peak_rss_kb * 1024 // max(1, population)),
+    }
+
+
 def _measured_counters(
-    server: ManagementPlane, visits_before: int, work_before: Tuple[int, int]
+    server: ManagementPlane,
+    visits_before: int,
+    work_before: Tuple[int, int],
+    population: int,
 ) -> Dict[str, int]:
     counters = server.stats.as_dict()
     counters["tree_node_visits"] = _tree_visits(server) - visits_before
     created, touched = _insert_work(server)
     counters["trie_nodes_created"] = created - work_before[0]
     counters["trie_nodes_touched"] = touched - work_before[1]
+    counters.update(_memory_counters(population))
     return counters
 
 
@@ -365,7 +452,7 @@ def run_insert_workload(
             "insert",
             population,
             timer.timing,
-            _measured_counters(server, visits, work),
+            _measured_counters(server, visits, work, population),
             shards=shards,
             backend=backend,
         )
@@ -401,7 +488,7 @@ def run_query_workload(
             "query",
             population,
             timer.timing,
-            _measured_counters(server, visits, work),
+            _measured_counters(server, visits, work, population),
             shards=shards,
             backend=backend,
         )
@@ -437,7 +524,7 @@ def run_departure_workload(
             "departure",
             population,
             timer.timing,
-            _measured_counters(server, visits, work),
+            _measured_counters(server, visits, work, population),
             shards=shards,
             backend=backend,
         )
@@ -476,7 +563,7 @@ def run_churn_workload(
             "churn",
             population,
             timer.timing,
-            _measured_counters(server, visits, work),
+            _measured_counters(server, visits, work, population),
             shards=shards,
             backend=backend,
         )
@@ -522,11 +609,164 @@ def run_arrival_workload(
             "arrival",
             population,
             timer.timing,
-            _measured_counters(server, visits, work),
+            _measured_counters(server, visits, work, population),
             shards=shards,
             backend=backend,
             batch_size=batch_size,
         )
+    finally:
+        server.close()
+
+
+def _quantile(sorted_values: Sequence[int], fraction: float) -> int:
+    """Nearest-rank quantile of a pre-sorted sample (0 for an empty one)."""
+    if not sorted_values:
+        return 0
+    rank = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return int(sorted_values[rank])
+
+
+def _serving_reader_loop(
+    snapshot, sample: Sequence[str], results: list, slot: int, barrier: threading.Barrier
+) -> None:
+    """One reader thread: pin-per-query closest-peer lookups over a snapshot.
+
+    Busy time and per-query latencies use ``time.thread_time_ns`` (on-CPU
+    nanoseconds for *this* thread), so the numbers mean the same thing
+    whether the fleet got one core or is being time-sliced on a single one
+    — see the module docstring's ``capacity_qps`` rationale.  A short
+    untimed warmup pass runs before the barrier (a throwaway reader issues
+    it so ``queries_served`` counts exactly the timed queries); the timed
+    region then makes :data:`_SERVING_LATENCY_PASSES` passes over the
+    sample and reports each query's minimum latency across them (the
+    module docstring's quantile-hygiene paragraph says why).
+    """
+    reader = SnapshotReader(snapshot)
+    clock = time.thread_time_ns
+    warmup = SnapshotReader(snapshot)
+    for peer in sample[:_SERVING_WARMUP_OPS]:
+        warmup.closest_peers(peer)
+    best: List[int] = [0] * len(sample)
+    barrier.wait()
+    busy_start = clock()
+    for pass_index in range(_SERVING_LATENCY_PASSES):
+        first_pass = pass_index == 0
+        for index, peer in enumerate(sample):
+            started = clock()
+            reader.closest_peers(peer)
+            elapsed = clock() - started
+            if first_pass or elapsed < best[index]:
+                best[index] = elapsed
+    busy_ns = clock() - busy_start
+    results[slot] = (reader.queries_served, busy_ns, best)
+
+
+def run_serving_workload(
+    population: int,
+    ops: int = 2000,
+    seed: int = 3,
+    neighbor_set_size: int = 5,
+    shards: Optional[int] = None,
+    backend: str = "inline",
+    reader_counts: Sequence[int] = DEFAULT_READER_COUNTS,
+) -> List[PerfRecord]:
+    """Lock-free snapshot reads under a concurrent-clients sweep (schema v8).
+
+    Builds one populated plane, publishes one
+    :class:`~repro.core.serving.DiscoverySnapshot` epoch through a
+    :class:`~repro.core.serving.SnapshotPublisher`, then — one cell per
+    entry in ``reader_counts`` — runs that many
+    :class:`~repro.core.serving.SnapshotReader` threads, each issuing the
+    same ``ops`` closest-peer queries against the pinned epoch,
+    :data:`_SERVING_LATENCY_PASSES` times over.  The cell's ``ops`` is the
+    fleet total (``ops x readers x passes``); ``per_op_us`` is wall time
+    per query.  Counters per cell:
+
+    * ``capacity_qps`` — sum over readers of queries per on-CPU second,
+      the core-independent scaling signal (see the module docstring);
+    * ``wall_qps`` — aggregate wall-clock throughput as scheduled;
+    * ``latency_p50_ns`` / ``latency_p99_ns`` — on-CPU per-query quantiles
+      over every reader's sample, each query's latency its minimum across
+      the passes (quantile hygiene, module docstring);
+    * ``publish_lag_us`` — how long building+installing the served epoch
+      took on the write side (the staleness bound readers pay);
+    * ``generation`` and the schema-v8 memory counters.
+    """
+    if any(count < 1 for count in reader_counts):
+        raise ValueError(f"reader counts must be >= 1, got {list(reader_counts)}")
+    server = build_populated_server(
+        population, neighbor_set_size, seed=seed, shards=shards, backend=backend
+    )
+    try:
+        publisher = SnapshotPublisher(server)
+        publisher.publish()  # a fresh epoch, so publish_lag_us is measured
+        publish_lag_us = int(publisher.last_publish_seconds * 1e6)
+        snapshot = publisher.snapshot
+        rng = workload_rng(seed, _SERVING_RNG_OFFSET)
+        peers = server.peers()
+        sample = [rng.choice(peers) for _ in range(ops)]
+        records: List[PerfRecord] = []
+        # Quantile hygiene: drain the build-phase garbage now, then keep the
+        # cyclic collector paused across the timed sweeps.  Read queries
+        # allocate but never create cycles, and a generational collection
+        # over a population-sized snapshot heap lands in whichever query it
+        # interrupts — that pause, not the read path, owns the p99.
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            for readers in reader_counts:
+                results: List[Optional[Tuple[int, int, List[int]]]] = [None] * readers
+                barrier = threading.Barrier(readers + 1)
+                threads = [
+                    threading.Thread(
+                        target=_serving_reader_loop,
+                        args=(snapshot, sample, results, slot, barrier),
+                    )
+                    for slot in range(readers)
+                ]
+                for thread in threads:
+                    thread.start()
+                timer = OpTimer()
+                with timer:
+                    barrier.wait()  # release the fleet, then wall-clock it
+                    for thread in threads:
+                        thread.join()
+                    timer.add_ops(ops * readers * _SERVING_LATENCY_PASSES)
+                latencies: List[int] = []
+                capacity_qps = 0.0
+                for entry in results:
+                    assert entry is not None  # threads report before join returns
+                    served, busy_ns, reader_latencies = entry
+                    capacity_qps += served / max(busy_ns, 1) * 1e9
+                    latencies.extend(reader_latencies)
+                latencies.sort()
+                wall_s = timer.timing.total_s
+                fleet_queries = ops * readers * _SERVING_LATENCY_PASSES
+                counters = {
+                    "capacity_qps": int(capacity_qps),
+                    "wall_qps": int(fleet_queries / wall_s) if wall_s > 0 else 0,
+                    "latency_p50_ns": _quantile(latencies, 0.50),
+                    "latency_p99_ns": _quantile(latencies, 0.99),
+                    "publish_lag_us": publish_lag_us,
+                    "generation": snapshot.generation,
+                }
+                counters.update(_memory_counters(population))
+                records.append(
+                    PerfRecord.from_timing(
+                        "serving",
+                        population,
+                        timer.timing,
+                        counters,
+                        shards=shards,
+                        backend=backend,
+                        readers=readers,
+                    )
+                )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return records
     finally:
         server.close()
 
@@ -601,6 +841,7 @@ def run_recovery_workload(
                     "snapshot_bytes": 0,
                     "recovery_us": int(timer.timing.total_s * 1e6),
                     "live_peers": population,
+                    **_memory_counters(population),
                 },
                 shards=1,
                 backend=backend_name,
@@ -623,6 +864,7 @@ def run_recovery_workload(
                     "snapshot_bytes": snapshot_bytes,
                     "recovery_us": int(timer.timing.total_s * 1e6),
                     "live_peers": population,
+                    **_memory_counters(population),
                 },
                 shards=1,
                 backend=backend_name,
@@ -707,6 +949,7 @@ def run_build_workload(
         counters["routers"] = router_map.graph.node_count
         counters["edges"] = router_map.graph.edge_count
         counters["distance_sources"] = distance_sources
+        counters.update(_memory_counters(population))
         return PerfRecord.from_timing(
             "build",
             population,
@@ -729,6 +972,7 @@ def run_discovery_suite(
     backends: Sequence[str] = ("inline",),
     arrival_batch_sizes: Sequence[int] = DEFAULT_ARRIVAL_BATCH_SIZES,
     recovery_ops: Optional[int] = None,
+    reader_counts: Sequence[int] = DEFAULT_READER_COUNTS,
 ) -> PerfReport:
     """Run every discovery workload at every (population, backend, shards).
 
@@ -753,6 +997,11 @@ def run_discovery_suite(
     ``recovery_ops`` overrides its churn-cycle count independently of
     ``ops`` because replay cost scales with journal length, not query
     count.
+
+    Inline cells additionally run :func:`run_serving_workload` — one
+    ``serving`` record per entry in ``reader_counts`` (the
+    concurrent-clients dimension).  The snapshot read path is identical
+    wherever the shards live, so remote backends skip it.
     """
     for backend in backends:
         if backend not in BACKENDS:
@@ -774,6 +1023,7 @@ def run_discovery_suite(
             "backends": list(backends),
             "arrival_batch_sizes": list(arrival_batch_sizes),
             "recovery_ops": recovery_ops,
+            "reader_counts": list(reader_counts),
         }
     )
     overrides = {} if ops is None else {"ops": ops}
@@ -832,6 +1082,17 @@ def run_discovery_suite(
                         router_map=build_router_map,
                     )
                 )
+                if backend == "inline":
+                    for record in run_serving_workload(
+                        population,
+                        seed=seed,
+                        neighbor_set_size=neighbor_set_size,
+                        shards=shards,
+                        backend=backend,
+                        reader_counts=reader_counts,
+                        **overrides,
+                    ):
+                        report.add(record)
         for backend_name in remote_backends:
             recovery_overrides = (
                 overrides if recovery_ops is None else {"ops": recovery_ops}

@@ -1,0 +1,411 @@
+"""Serving-plane oracles: snapshots are byte-identical and epoch-consistent.
+
+Two properties make the lock-free read path safe, and both are enforced
+here:
+
+* **Byte-identity** — a :class:`~repro.core.serving.DiscoverySnapshot`
+  built from any plane (single server, or the sharded coordinator at 1–8
+  shards) answers ``closest_peers`` / ``neighbor_list`` /
+  ``estimate_distance`` / every read accessor exactly like the live plane
+  at the same epoch, for randomized operation histories (hypothesis).
+* **Single-generation consistency** — readers racing the publisher across
+  thread preemption observe, per query, state belonging to exactly one
+  published generation: every sampled answer matches the reference replay
+  of that generation, never a torn mix of two epochs.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ManagementServer, ShardedManagementServer
+from repro.core.path import RouterPath
+from repro.core.serving import DiscoverySnapshot, SnapshotPublisher, SnapshotReader
+
+MAX_PEERS = 20
+MAX_LANDMARKS = 4
+
+
+def landmark_name(index: int) -> str:
+    return f"lm{index}"
+
+
+def make_path(peer_id: str, landmark_index: int, shape: Tuple[int, int, int]) -> RouterPath:
+    """A synthetic 5-router path under one landmark's disjoint hierarchy."""
+    landmark = landmark_name(landmark_index)
+    region, pop, access = shape
+    routers = [
+        f"{landmark}-acc-{region}-{pop}-{access}",
+        f"{landmark}-pop-{region}-{pop}",
+        f"{landmark}-reg-{region}",
+        f"{landmark}-core",
+        landmark,
+    ]
+    return RouterPath.from_routers(peer_id, landmark, routers)
+
+
+def landmark_distances(landmark_count: int):
+    return {
+        (landmark_name(i), landmark_name(j)): float(1 + abs(i - j))
+        for i in range(landmark_count)
+        for j in range(landmark_count)
+        if i < j
+    }
+
+
+def build_plane(shard_count, landmark_count, with_distances, maintain_cache, k):
+    """``shard_count=None`` builds the single server, else inline shards."""
+    distances = landmark_distances(landmark_count) if with_distances else None
+    if shard_count is None:
+        plane = ManagementServer(
+            neighbor_set_size=k, maintain_cache=maintain_cache, landmark_distances=distances
+        )
+    else:
+        plane = ShardedManagementServer(
+            shard_count,
+            neighbor_set_size=k,
+            maintain_cache=maintain_cache,
+            landmark_distances=distances,
+        )
+    for index in range(landmark_count):
+        plane.register_landmark(landmark_name(index), landmark_name(index))
+    return plane
+
+
+def apply_op(plane, op):
+    try:
+        kind = op[0]
+        if kind == "arrive":
+            _, peer_index, lm_index, shape = op
+            return ("ok", plane.register_peer(make_path(f"p{peer_index}", lm_index, shape)))
+        if kind == "batch":
+            _, specs = op
+            return (
+                "ok",
+                plane.register_peers(
+                    [make_path(f"p{i}", lm, shape) for i, lm, shape in specs]
+                ),
+            )
+        if kind == "depart":
+            _, peer_index = op
+            return ("ok", plane.unregister_peer(f"p{peer_index}"))
+        raise AssertionError(f"unknown op {op!r}")
+    except Exception as error:  # noqa: BLE001 - errors are part of the contract
+        return ("error", type(error).__name__, str(error))
+
+
+def probe(target, peer_a, peer_b):
+    try:
+        return ("ok", target.estimate_distance(peer_a, peer_b))
+    except Exception as error:  # noqa: BLE001
+        return ("error", type(error).__name__, str(error))
+
+
+def assert_snapshot_matches_live(snapshot: DiscoverySnapshot, plane) -> None:
+    """The full read surface, compared byte for byte.
+
+    Read-only comparisons first: a live ``closest_peers`` with
+    ``k >= neighbor_set_size`` refills the cache (a mutation), so the
+    big-``k`` sweep runs last — its answers must still match, and the
+    small-``k``/``neighbor_list`` checks must not be polluted by it.
+    """
+    assert snapshot.peers() == plane.peers()
+    assert snapshot.peer_count == plane.peer_count
+    assert snapshot.landmarks() == plane.landmarks()
+    for landmark in plane.landmarks():
+        assert snapshot.landmark_router(landmark) == plane.landmark_router(landmark)
+    for peer in plane.peers():
+        assert snapshot.has_peer(peer)
+        assert snapshot.peer_path(peer) == plane.peer_path(peer)
+        assert snapshot.peer_landmark(peer) == plane.peer_landmark(peer)
+        assert snapshot.neighbor_list(peer) == plane.neighbor_list(peer)
+        assert snapshot.compact_index(peer) == plane._interner.index(peer)
+        for k in (1, plane.neighbor_set_size):
+            assert snapshot.closest_peers(peer, k) == plane.closest_peers(peer, k), (peer, k)
+        assert snapshot.closest_peers(peer) == plane.closest_peers(peer)
+    sample = plane.peers()[:8]
+    for peer_a in sample:
+        for peer_b in sample:
+            assert probe(snapshot, peer_a, peer_b) == probe(plane, peer_a, peer_b)
+    for peer in plane.peers():  # cache-refilling queries last (see docstring)
+        big = plane.neighbor_set_size + 3
+        assert snapshot.closest_peers(peer, big) == plane.closest_peers(peer, big)
+    ghost = "never-registered"
+    assert not snapshot.has_peer(ghost)
+    for reader_error in (
+        lambda: snapshot.closest_peers(ghost),
+        lambda: snapshot.neighbor_list(ghost),
+        lambda: snapshot.peer_landmark(ghost),
+        lambda: snapshot.peer_path(ghost),
+    ):
+        with pytest.raises(Exception) as caught:
+            reader_error()
+        assert type(caught.value).__name__ == "UnknownPeerError"
+
+
+@st.composite
+def serving_cases(draw):
+    landmark_count = draw(st.integers(1, MAX_LANDMARKS))
+    shard_count = draw(st.sampled_from([None, 1, 2, 3, 5, 8]))
+    with_distances = draw(st.booleans())
+    maintain_cache = draw(st.booleans())
+    k = draw(st.integers(1, 4))
+    shape = st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 3))
+    peer = st.integers(0, MAX_PEERS - 1)
+    lm = st.integers(0, landmark_count - 1)
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("arrive"), peer, lm, shape),
+                st.tuples(
+                    st.just("batch"),
+                    st.lists(st.tuples(peer, lm, shape), min_size=1, max_size=5),
+                ),
+                st.tuples(st.just("depart"), peer),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    return landmark_count, shard_count, with_distances, maintain_cache, k, ops
+
+
+class TestSnapshotByteIdentity:
+    @settings(deadline=None)
+    @given(case=serving_cases())
+    def test_snapshot_matches_live_plane(self, case):
+        landmark_count, shard_count, with_distances, maintain_cache, k, ops = case
+        plane = build_plane(shard_count, landmark_count, with_distances, maintain_cache, k)
+        try:
+            for op in ops:
+                apply_op(plane, op)
+            snapshot = DiscoverySnapshot.build(plane, generation=7)
+            assert snapshot.generation == 7
+            assert_snapshot_matches_live(snapshot, plane)
+        finally:
+            plane.close()
+
+    @pytest.mark.parametrize("shard_count", [None, 1, 2, 4, 8])
+    def test_churned_plane_snapshot_is_byte_identical(self, shard_count):
+        """A fixed long churn history, including departures that gap the
+        compact-index space — the case a re-interning restore would break."""
+        plane = build_plane(shard_count, 3, True, True, 3)
+        try:
+            import random
+
+            rng = random.Random(77)
+            for step in range(160):
+                action = rng.random()
+                if action < 0.55:
+                    apply_op(plane, ("arrive", rng.randrange(MAX_PEERS), rng.randrange(3), _shape(rng)))
+                elif action < 0.7:
+                    apply_op(
+                        plane,
+                        (
+                            "batch",
+                            [
+                                (rng.randrange(MAX_PEERS), rng.randrange(3), _shape(rng))
+                                for _ in range(rng.randrange(1, 4))
+                            ],
+                        ),
+                    )
+                else:
+                    apply_op(plane, ("depart", rng.randrange(MAX_PEERS)))
+            snapshot = DiscoverySnapshot.build(plane)
+            assert_snapshot_matches_live(snapshot, plane)
+        finally:
+            plane.close()
+
+    def test_snapshot_slots_are_keyed_by_compact_index(self):
+        plane = build_plane(None, 1, False, True, 3)
+        for i in range(6):
+            apply_op(plane, ("arrive", i, 0, (i % 3, 0, 0)))
+        plane.unregister_peer("p1")
+        plane.unregister_peer("p3")
+        snapshot = DiscoverySnapshot.build(plane)
+        # Slots ascend in compact-index order and the table is carried.
+        assert list(snapshot._compact_indices) == sorted(snapshot._compact_indices)
+        for peer in plane.peers():
+            assert snapshot.interner_table[peer] == plane._interner.key(peer)
+        assert snapshot.next_compact_index == plane._interner._next_index
+
+    def test_snapshot_is_picklable_plain_data(self):
+        plane = build_plane(2, 2, True, True, 3)
+        for i in range(8):
+            apply_op(plane, ("arrive", i, i % 2, (i % 3, 0, i % 4)))
+        snapshot = DiscoverySnapshot.build(plane, generation=3)
+        clone = pickle.loads(pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL))
+        assert clone == snapshot
+        assert clone.generation == 3
+        for peer in plane.peers():
+            assert clone.closest_peers(peer) == plane.closest_peers(peer)
+
+
+def _shape(rng) -> Tuple[int, int, int]:
+    return (rng.randrange(3), rng.randrange(3), rng.randrange(4))
+
+
+class TestPublisher:
+    def test_publish_bumps_generation_and_swaps_atomically(self):
+        plane = build_plane(None, 1, False, True, 3)
+        publisher = SnapshotPublisher(plane)
+        assert publisher.generation == 1
+        first = publisher.snapshot
+        publisher.register_peer(make_path("p0", 0, (0, 0, 0)))
+        second = publisher.publish()
+        assert publisher.generation == 2
+        assert publisher.snapshot is second
+        assert not first.has_peer("p0") and second.has_peer("p0")
+
+    def test_publish_every_batches_mutations(self):
+        plane = build_plane(None, 1, False, True, 3)
+        publisher = SnapshotPublisher(plane, publish_every=3)
+        reader = SnapshotReader(publisher)
+        for i in range(2):
+            publisher.register_peer(make_path(f"p{i}", 0, (i, 0, 0)))
+        assert reader.generation == 1  # buffered: not published yet
+        assert publisher.pending_mutations == 2
+        publisher.register_peer(make_path("p2", 0, (2, 0, 0)))  # third: publishes
+        assert reader.generation == 2
+        assert publisher.pending_mutations == 0
+        assert reader.pin().has_peer("p2")
+        # A batch counts every path; one big batch crosses the threshold.
+        publisher.register_peers([make_path(f"q{i}", 0, (i, 1, 0)) for i in range(4)])
+        assert reader.generation == 3
+
+    def test_no_op_epochs_compare_equal(self):
+        plane = build_plane(None, 2, True, True, 3)
+        for i in range(5):
+            apply_op(plane, ("arrive", i, i % 2, (i, 0, 0)))
+        publisher = SnapshotPublisher(plane)
+        before = publisher.snapshot
+        after = publisher.publish()
+        assert after.generation == before.generation + 1
+        assert after == before  # content-equal despite the new stamp
+        publisher.register_peer(make_path("px", 0, (1, 1, 1)))
+        assert publisher.publish() != before
+
+    def test_reader_pin_is_stable_across_publishes(self):
+        plane = build_plane(None, 1, False, True, 3)
+        publisher = SnapshotPublisher(plane)
+        reader = SnapshotReader(publisher)
+        publisher.register_peer(make_path("p0", 0, (0, 0, 0)))
+        publisher.publish()
+        pinned = reader.pin()
+        peers_at_pin = pinned.peers()
+        for i in range(1, 6):
+            publisher.register_peer(make_path(f"p{i}", 0, (i % 3, 0, 0)))
+            publisher.publish()
+        assert pinned.peers() == peers_at_pin  # immutable: untouched by epochs
+        assert reader.pin().peer_count == 6
+
+    def test_reader_over_fixed_snapshot(self):
+        plane = build_plane(None, 1, False, True, 3)
+        apply_op(plane, ("arrive", 0, 0, (0, 0, 0)))
+        snapshot = DiscoverySnapshot.build(plane, generation=9)
+        reader = SnapshotReader(snapshot)
+        assert reader.generation == 9
+        assert reader.closest_peers("p0") == plane.closest_peers("p0")
+        assert reader.queries_served == 1
+
+
+class TestMidEpochConsistency:
+    """Readers racing the publisher see exactly one generation per query.
+
+    The writer publishes a deterministic epoch sequence: epoch ``e``
+    registers peer ``e<e>`` and restamps the lm0–lm1 distance to ``10 + e``,
+    so generation ``g`` implies exactly the peers of epochs ``1..g-1`` and
+    distance ``10 + (g - 1)``.  Reader threads spin concurrently, pin a
+    snapshot per query, and record what they saw; every sample must match
+    the reference replay of its generation — a torn read (new peer visible
+    with the old distance, or vice versa) matches no generation and fails.
+    """
+
+    EPOCHS = 30
+
+    def _expected(self, generation: int) -> Tuple[List[str], float]:
+        epoch = generation - 1
+        return ([f"e{i}" for i in range(1, epoch + 1)], 10.0 + epoch)
+
+    @pytest.mark.parametrize("shard_count", [None, 1, 2, 4, 8])
+    def test_concurrent_readers_see_single_generations(self, shard_count):
+        plane = build_plane(shard_count, 2, True, True, 3)
+        plane.set_landmark_distance("lm0", "lm1", 10.0)
+        publisher = SnapshotPublisher(plane)
+        stop = threading.Event()
+        samples: List[List[Tuple[int, Tuple[str, ...], float]]] = [[] for _ in range(3)]
+        errors: List[BaseException] = []
+
+        def read_loop(slot: int) -> None:
+            reader = SnapshotReader(publisher)
+            try:
+                while not stop.is_set():
+                    snapshot = reader.pin()
+                    peers = tuple(p for p in snapshot.peers() if str(p).startswith("e"))
+                    distance = snapshot.landmark_distance("lm0", "lm1")
+                    # Same pin: peers + distance + generation in one record.
+                    samples[slot].append((snapshot.generation, peers, distance))
+                    if peers:
+                        snapshot.closest_peers(peers[-1])  # must not raise mid-epoch
+            except BaseException as error:  # noqa: BLE001 - fail the test, not the thread
+                errors.append(error)
+
+        threads = [threading.Thread(target=read_loop, args=(i,)) for i in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for epoch in range(1, self.EPOCHS + 1):
+                publisher.register_peer(make_path(f"e{epoch}", epoch % 2, (epoch % 3, 0, 0)))
+                publisher.set_landmark_distance("lm0", "lm1", 10.0 + epoch)
+                publisher.publish()
+                time.sleep(0.001)  # give readers a scheduling window per epoch
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+            plane.close()
+        assert not errors, errors
+
+        observed_generations = set()
+        for reader_samples in samples:
+            for generation, peers, distance in reader_samples:
+                expected_peers, expected_distance = self._expected(generation)
+                assert list(peers) == expected_peers, generation
+                assert distance == expected_distance, generation
+                observed_generations.add(generation)
+        # The race must actually have happened: readers observed several
+        # distinct epochs, not just the final state.
+        assert len(observed_generations) >= 3
+        assert max(observed_generations) <= self.EPOCHS + 1
+
+    def test_published_epochs_match_reference_replay(self):
+        """Every retained epoch is byte-identical to a fresh replay of it."""
+        plane = build_plane(2, 2, True, True, 3)
+        plane.set_landmark_distance("lm0", "lm1", 10.0)
+        publisher = SnapshotPublisher(plane)
+        retained: Dict[int, DiscoverySnapshot] = {publisher.generation: publisher.snapshot}
+        for epoch in range(1, 9):
+            publisher.register_peer(make_path(f"e{epoch}", epoch % 2, (epoch % 3, 0, 0)))
+            publisher.set_landmark_distance("lm0", "lm1", 10.0 + epoch)
+            published = publisher.publish()
+            retained[published.generation] = published
+        plane.close()
+
+        reference = build_plane(None, 2, True, True, 3)
+        reference.set_landmark_distance("lm0", "lm1", 10.0)
+        for generation in sorted(retained):
+            epoch = generation - 1
+            if epoch > 0:
+                reference.register_peer(make_path(f"e{epoch}", epoch % 2, (epoch % 3, 0, 0)))
+                reference.set_landmark_distance("lm0", "lm1", 10.0 + epoch)
+            snapshot = retained[generation]
+            for peer in reference.peers():
+                assert snapshot.closest_peers(peer) == reference.closest_peers(peer)
+                assert snapshot.neighbor_list(peer) == reference.neighbor_list(peer)

@@ -115,14 +115,122 @@ class TestSnapshotRoundTrip:
         assert restored.peers() == original.peers()
 
 
+class TestInternerStability:
+    """Compact indices must survive snapshot→churn→compact→restore verbatim.
+
+    The serving plane keys array-backed state on the interner's compact
+    indices, so a restore that re-interned peers in path order — silently
+    renumbering the survivors after any churn left gaps — would invalidate
+    every published :class:`~repro.core.serving.DiscoverySnapshot`.  These
+    tests fail on the version-1 restore path.
+    """
+
+    def test_compact_indices_survive_restore_after_churn(self):
+        original = churned_server()
+        # Open gaps in the index space: departures free indices that a
+        # re-interning restore would densely reassign.
+        original.unregister_peer("p0")
+        original.unregister_peer("p3")
+        original.register_peer(simple_path("p9", "lmA", access="a9"))
+        before = {peer: original._interner.key(peer) for peer in original.peers()}
+
+        restored = ManagementServer(neighbor_set_size=3)
+        restored.restore_state(original.snapshot_state())
+        after = {peer: restored._interner.key(peer) for peer in restored.peers()}
+        assert after == before
+
+    def test_monotonic_counter_survives_restore(self):
+        original = churned_server()
+        original.unregister_peer("p0")
+        restored = ManagementServer(neighbor_set_size=3)
+        restored.restore_state(original.snapshot_state())
+        assert restored._interner._next_index == original._interner._next_index
+        # A fresh arrival after restore gets the same index it would have
+        # gotten on the original plane — no collision with a freed index.
+        restored.register_peer(simple_path("px", "lmA", access="a5"))
+        original.register_peer(simple_path("px", "lmA", access="a5"))
+        assert restored._interner.key("px") == original._interner.key("px")
+
+    def test_supervised_compact_preserves_compact_indices(self):
+        """The journal-compaction path end to end: churn → compact → restart.
+
+        ``compact`` rewrites the journal as one ``restore_state`` entry and
+        ``restart`` replays it onto a fresh worker; the worker's next
+        ``snapshot_state`` — interner table included — must be identical to
+        the pre-compact snapshot.
+        """
+        from repro.core.remote import ProcessShardBackend
+
+        shard = ProcessShardBackend(neighbor_set_size=3, name="compact-shard")
+        try:
+            shard.register_landmark("lmA", "lmA")
+            shard.insert_paths(
+                [simple_path(f"p{i}", "lmA", access=f"a{i % 3}") for i in range(6)]
+            )
+            for peer in ("p1", "p4"):
+                shard.unregister_peer(peer)
+            before = shard.supervisor.request("snapshot_state", ())
+            shard.compact()
+            shard.restart()
+            after = shard.supervisor.request("snapshot_state", ())
+            assert after == before
+        finally:
+            shard.close()
+
+
+class TestRestoreCacheGeneration:
+    """Restore must not let the path replay inflate the cache generation.
+
+    ``restore_state`` replays every path through ``_insert_path``, which
+    bumps the fresh cache's ``membership_generation`` once per peer.  Those
+    transient bumps are suppressed: a cache import re-validates the
+    snapshot's completeness marks, and a cache-less restore starts at
+    generation 0 like a fresh server.
+    """
+
+    def test_generation_is_not_replay_inflated(self):
+        original = churned_server(maintain_cache=True)
+        restored = ManagementServer(neighbor_set_size=3, maintain_cache=True)
+        restored.restore_state(original.snapshot_state())
+        assert (
+            restored._cache.membership_generation == original._cache.membership_generation
+        )
+
+    def test_cacheless_restore_starts_at_generation_zero(self):
+        original = churned_server(maintain_cache=False)
+        restored = ManagementServer(neighbor_set_size=3, maintain_cache=False)
+        restored.restore_state(original.snapshot_state())
+        assert restored._cache.membership_generation == 0
+
+    def test_completeness_marks_honoured_on_first_query_after_restore(self):
+        """A complete-but-short list must hit the cache, not recompute."""
+        original = ManagementServer(neighbor_set_size=5, maintain_cache=True)
+        original.register_landmark("lmA", "lmA")
+        # Two peers: every list is legitimately short (1 < k) and marked
+        # complete at store time.
+        original.register_peers(
+            [simple_path("p0", "lmA", access="a0"), simple_path("p1", "lmA", access="a1")]
+        )
+        assert original._cache.is_complete("p0")
+
+        restored = ManagementServer(neighbor_set_size=5, maintain_cache=True)
+        restored.restore_state(original.snapshot_state())
+        assert restored._cache.is_complete("p0")
+        tree_queries = restored.stats.tree_queries
+        answer = restored.closest_peers("p0")
+        assert answer == original.closest_peers("p0")
+        assert restored.stats.tree_queries == tree_queries  # served from cache
+
+
 class TestSnapshotValidation:
     @pytest.mark.parametrize(
         "garbage",
         [
             "not a snapshot",
             (),
-            ("wrong-tag", STATE_SNAPSHOT_VERSION, (), (), (), None),
-            ("repro-state", STATE_SNAPSHOT_VERSION, (), (), ()),  # wrong arity
+            ("wrong-tag", STATE_SNAPSHOT_VERSION, (), (), (), None, ((), 0)),
+            ("repro-state", STATE_SNAPSHOT_VERSION, (), (), (), None),  # wrong arity
+            ("repro-state", STATE_SNAPSHOT_VERSION, (), (), (), None, ((), 0), ()),
             None,
             42,
         ],
@@ -132,19 +240,28 @@ class TestSnapshotValidation:
         with pytest.raises(StateSnapshotError):
             server.restore_state(garbage)
 
-    def test_future_version_is_rejected_typed(self):
+    @pytest.mark.parametrize(
+        "version", [STATE_SNAPSHOT_VERSION + 1, 1]  # future AND the pre-interner layout
+    )
+    def test_other_versions_are_rejected_typed(self, version):
         server = ManagementServer(neighbor_set_size=3)
-        snapshot = ("repro-state", STATE_SNAPSHOT_VERSION + 1, (), (), (), None)
+        snapshot = ("repro-state", version, (), (), (), None)
         with pytest.raises(StateSnapshotError) as error:
             server.restore_state(snapshot)
-        assert str(STATE_SNAPSHOT_VERSION + 1) in str(error.value)
+        assert str(version) in str(error.value)
+
+    def test_malformed_interner_state_is_rejected_typed(self):
+        server = ManagementServer(neighbor_set_size=3)
+        snapshot = ("repro-state", STATE_SNAPSHOT_VERSION, (), (), (), None, "bogus")
+        with pytest.raises(StateSnapshotError):
+            server.restore_state(snapshot)
 
     def test_rejected_snapshot_leaves_existing_state_alone(self):
         server = ManagementServer(neighbor_set_size=3)
         server.register_landmark("lmA", "lmA")
         server.register_peer(simple_path("p0", "lmA"))
         with pytest.raises(StateSnapshotError):
-            server.restore_state(("repro-state", 999, (), (), (), None))
+            server.restore_state(("repro-state", 999, (), (), (), None, ((), 0)))
         assert server.peers() == ["p0"]
 
 

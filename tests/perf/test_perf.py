@@ -16,7 +16,9 @@ from repro.perf.workloads import (
     BUILD_LANDMARK_COUNT,
     DEFAULT_ARRIVAL_BATCH_SIZES,
     DEFAULT_POPULATIONS,
+    DEFAULT_READER_COUNTS,
     SHARDED_LANDMARK_COUNT,
+    _SERVING_LATENCY_PASSES,
     arrival_paths,
     build_map_config,
     build_populated_server,
@@ -28,10 +30,11 @@ from repro.perf.workloads import (
     run_insert_workload,
     run_query_workload,
     run_recovery_workload,
+    run_serving_workload,
 )
 from repro.topology.internet_mapper import RouterMapConfig
 
-ALL_WORKLOADS = ("insert", "query", "departure", "churn", "arrival", "build")
+ALL_WORKLOADS = ("insert", "query", "departure", "churn", "arrival", "build", "serving")
 
 #: The suite default: one arrival cell per batch size.
 ARRIVAL_BATCH_SIZES = (1, 32, 256)
@@ -108,7 +111,7 @@ class TestReport:
         }
         rebuilt = PerfReport.from_dict(data)
         assert rebuilt.records[0].shards is None
-        assert rebuilt.records[0].cell == ("query", 20, None, "inline", None)
+        assert rebuilt.records[0].cell == ("query", 20, None, "inline", None, None)
 
     def test_schema_v2_records_load_as_inline_backend(self):
         """Pre-backend reports (no 'backend' key) line up with inline cells."""
@@ -121,7 +124,7 @@ class TestReport:
         }
         rebuilt = PerfReport.from_dict(data)
         assert rebuilt.records[0].backend == "inline"
-        assert rebuilt.records[0].cell == ("churn", 20, 2, "inline", None)
+        assert rebuilt.records[0].cell == ("churn", 20, 2, "inline", None, None)
 
     def test_write_emits_valid_json(self, tmp_path):
         report = PerfReport()
@@ -200,8 +203,24 @@ class TestWorkloads:
             for record in report.records
             if record.workload != "arrival"
         )
+        serving_cells = {
+            (record.population, record.readers)
+            for record in report.records
+            if record.workload == "serving"
+        }
+        assert serving_cells == {
+            (population, readers)
+            for population in (20, 40)
+            for readers in DEFAULT_READER_COUNTS
+        }
+        assert all(
+            record.readers is None
+            for record in report.records
+            if record.workload != "serving"
+        )
         assert report.metadata["populations"] == [20, 40]
         assert report.metadata["arrival_batch_sizes"] == list(ARRIVAL_BATCH_SIZES)
+        assert report.metadata["reader_counts"] == list(DEFAULT_READER_COUNTS)
 
     def test_default_populations_match_issue_scales(self):
         assert DEFAULT_POPULATIONS == (200, 800, 3200, 12800)
@@ -214,7 +233,7 @@ class TestArrivalWorkload:
         assert record.population == 40
         assert record.ops == 12
         assert record.batch_size == 4
-        assert record.cell == ("arrival", 40, None, "inline", 4)
+        assert record.cell == ("arrival", 40, None, "inline", 4, None)
         assert record.counters["registrations"] == 12
         assert "tree_node_visits" in record.counters
         assert "trie_nodes_created" in record.counters
@@ -264,9 +283,9 @@ class TestArrivalWorkload:
 
     def test_arrival_runs_sharded_and_process(self):
         inline = run_arrival_workload(40, ops=8, seed=2, shards=2, batch_size=4)
-        assert inline.cell == ("arrival", 40, 2, "inline", 4)
+        assert inline.cell == ("arrival", 40, 2, "inline", 4, None)
         process = run_arrival_workload(40, ops=8, seed=2, shards=2, backend="process", batch_size=4)
-        assert process.cell == ("arrival", 40, 2, "process", 4)
+        assert process.cell == ("arrival", 40, 2, "process", 4, None)
         assert process.counters == inline.counters
         assert multiprocessing.active_children() == []
 
@@ -338,9 +357,9 @@ class TestBuildWorkload:
 
     def test_build_sharded_and_process_cells_tag_records(self):
         inline = self._record(population=30, shards=2)
-        assert inline.cell == ("build", 30, 2, "inline", None)
+        assert inline.cell == ("build", 30, 2, "inline", None, None)
         process = self._record(population=30, shards=2, backend="process")
-        assert process.cell == ("build", 30, 2, "process", None)
+        assert process.cell == ("build", 30, 2, "process", None, None)
         assert multiprocessing.active_children() == []
 
     def test_build_rejects_bad_backend(self):
@@ -515,7 +534,7 @@ class TestRecoveryWorkload:
         )
         result = compare_reports(baseline, current)
         assert result.ok
-        assert result.current_only == [("recovery", 200, 1, "process", None)]
+        assert result.current_only == [("recovery", 200, 1, "process", None, None)]
 
 
 class TestProcessBackendWorkloads:
@@ -573,12 +592,20 @@ class TestProcessBackendWorkloads:
             (record.workload, record.shards, record.backend)
             for record in report.records
             if not record.workload.startswith("recovery")
+            and record.workload != "serving"
         }
         assert combos == {
             (workload, 2, backend)
             for workload in ALL_WORKLOADS
+            if workload != "serving"
             for backend in ("inline", "process")
         }
+        # Serving cells are inline-only: the snapshot read path is the same
+        # wherever the shards live, so the backend axis is degenerate for it.
+        serving_backends = {
+            record.backend for record in report.records if record.workload == "serving"
+        }
+        assert serving_backends == {"inline"}
         # A process run also measures the recovery pair (single-shard cells).
         recovery = {
             (record.workload, record.shards, record.backend)
@@ -688,6 +715,62 @@ class TestSocketBackendWorkloads:
             )
 
 
+class TestServingWorkload:
+    def test_serving_records_shape(self):
+        records = run_serving_workload(60, ops=50, seed=2, reader_counts=(1, 2))
+        assert [record.readers for record in records] == [1, 2]
+        for record in records:
+            assert record.workload == "serving"
+            assert record.population == 60
+            # fleet total: every reader runs every pass over the sample
+            assert record.ops == 50 * record.readers * _SERVING_LATENCY_PASSES
+            assert record.cell == ("serving", 60, None, "inline", None, record.readers)
+            for counter in (
+                "capacity_qps",
+                "wall_qps",
+                "latency_p50_ns",
+                "latency_p99_ns",
+                "publish_lag_us",
+                "generation",
+                "peak_rss_kb",
+                "bytes_per_peer",
+            ):
+                assert counter in record.counters, counter
+            assert record.counters["capacity_qps"] > 0
+            assert record.counters["latency_p50_ns"] <= record.counters["latency_p99_ns"]
+
+    def test_serving_capacity_scales_with_readers(self):
+        """The lock-freedom signal: on-CPU capacity grows with the fleet
+        because readers never serialise on shared state.  The threshold is
+        deliberately below the ~2x ideal — CI machines are noisy — but well
+        above the flat line a lock would produce."""
+        single, double = run_serving_workload(800, ops=2000, seed=2, reader_counts=(1, 2))
+        ratio = double.counters["capacity_qps"] / single.counters["capacity_qps"]
+        assert ratio >= 1.5, f"2-reader capacity only {ratio:.2f}x the single reader"
+
+    def test_serving_runs_on_a_sharded_plane(self):
+        (record,) = run_serving_workload(60, ops=30, seed=2, shards=2, reader_counts=(2,))
+        assert record.cell == ("serving", 60, 2, "inline", None, 2)
+        assert record.counters["capacity_qps"] > 0
+
+    def test_serving_answers_match_the_live_plane(self):
+        """The perf cell measures the real read path: the snapshot served to
+        the readers answers exactly like the live plane it froze."""
+        from repro.core.serving import DiscoverySnapshot
+
+        server = build_populated_server(80, seed=2)
+        snapshot = DiscoverySnapshot.build(server)
+        for peer in server.peers()[:20]:
+            assert snapshot.closest_peers(peer) == server.closest_peers(peer)
+
+    def test_serving_rejects_bad_reader_counts(self):
+        with pytest.raises(ValueError):
+            run_serving_workload(60, ops=10, seed=2, reader_counts=(1, 0))
+
+    def test_default_reader_counts_cover_the_acceptance_sweep(self):
+        assert DEFAULT_READER_COUNTS == (1, 2, 4)
+
+
 class TestCommittedBaseline:
     """Satellite: the committed baseline must never drift behind the code.
 
@@ -718,6 +801,19 @@ class TestCommittedBaseline:
             if record["workload"].startswith("recovery")
         }
         assert {("recovery", "process"), ("recovery", "socket")} <= recovery
+
+    def test_baseline_covers_the_reader_sweep(self, baseline):
+        """The concurrent-clients dimension is recorded at every default
+        reader count, and every cell carries the schema-v8 memory counters."""
+        serving_readers = {
+            record["readers"]
+            for record in baseline["records"]
+            if record["workload"] == "serving"
+        }
+        assert set(DEFAULT_READER_COUNTS) <= serving_readers
+        for record in baseline["records"]:
+            assert record["counters"]["peak_rss_kb"] > 0
+            assert record["counters"]["bytes_per_peer"] > 0
 
 
 def _report_from_cells(cells):
@@ -752,7 +848,7 @@ class TestCompare:
         result = compare_reports(baseline, current, threshold=0.25)
         assert not result.ok
         assert [delta.key for delta in result.regressions] == [
-            ("query", 200, None, "inline", None)
+            ("query", 200, None, "inline", None, None)
         ]
         assert "REGRESSION" in result.to_text()
         assert "FAIL" in result.to_text()
@@ -766,7 +862,7 @@ class TestCompare:
         baseline = _report_from_cells([("query", 200, 1, 10.0), ("query", 200, 4, 10.0)])
         current = _report_from_cells([("query", 200, 1, 10.0), ("query", 200, 4, 30.0)])
         result = compare_reports(baseline, current)
-        assert [delta.key for delta in result.regressions] == [("query", 200, 4, "inline", None)]
+        assert [delta.key for delta in result.regressions] == [("query", 200, 4, "inline", None, None)]
 
     def test_cells_are_keyed_by_backend_too(self):
         """A slow process cell never fails an inline cell, and vice versa."""
@@ -777,7 +873,7 @@ class TestCompare:
             [("query", 200, 2, 10.0), ("query", 200, 2, 90.0, "process")]
         )
         result = compare_reports(baseline, current)
-        assert [delta.key for delta in result.regressions] == [("query", 200, 2, "process", None)]
+        assert [delta.key for delta in result.regressions] == [("query", 200, 2, "process", None, None)]
 
     def test_process_cells_against_inline_baseline_are_new_cells(self):
         """The --backend dimension must not break pre-v3 baselines: inline
@@ -788,16 +884,16 @@ class TestCompare:
         )
         result = compare_reports(baseline, current)
         assert result.ok
-        assert [delta.key for delta in result.deltas] == [("query", 200, 2, "inline", None)]
-        assert result.current_only == [("query", 200, 2, "process", None)]
+        assert [delta.key for delta in result.deltas] == [("query", 200, 2, "inline", None, None)]
+        assert result.current_only == [("query", 200, 2, "process", None, None)]
 
     def test_unmatched_cells_are_reported_but_never_fail(self):
         baseline = _report_from_cells([("query", 200, None, 10.0), ("query", 800, None, 10.0)])
         current = _report_from_cells([("query", 200, None, 10.0), ("query", 200, 2, 99.0)])
         result = compare_reports(baseline, current)
         assert result.ok
-        assert result.baseline_only == [("query", 800, None, "inline", None)]
-        assert result.current_only == [("query", 200, 2, "inline", None)]
+        assert result.baseline_only == [("query", 800, None, "inline", None, None)]
+        assert result.current_only == [("query", 200, 2, "inline", None, None)]
         text = result.to_text()
         assert "baseline only" in text
         assert "new cell" in text
@@ -815,7 +911,7 @@ class TestCompare:
         result = compare_reports(baseline, current, threshold=0.25)
         assert not result.ok
         assert [delta.key for delta in result.regressions] == [
-            ("build", 12800, None, "inline", None)
+            ("build", 12800, None, "inline", None, None)
         ]
 
     def test_cells_are_keyed_by_batch_size_too(self):
@@ -833,7 +929,7 @@ class TestCompare:
             )
         result = compare_reports(baseline, current)
         assert [delta.key for delta in result.regressions] == [
-            ("arrival", 200, None, "inline", 32)
+            ("arrival", 200, None, "inline", 32, None)
         ]
 
     def test_arrival_cells_against_pre_v5_baseline_are_new_cells(self):
@@ -844,8 +940,37 @@ class TestCompare:
         )
         result = compare_reports(baseline, current)
         assert result.ok
-        assert result.current_only == [("arrival", 200, None, "inline", 32)]
+        assert result.current_only == [("arrival", 200, None, "inline", 32, None)]
         assert "batch=32" in result.to_text()
+
+    def test_cells_are_keyed_by_readers_too(self):
+        """A slow serving cell at one reader count never fails another."""
+        baseline = PerfReport()
+        current = PerfReport()
+        for report, slow_us in ((baseline, 10.0), (current, 90.0)):
+            report.add(
+                PerfRecord(workload="serving", population=200, ops=100,
+                           total_s=10.0 * 100 / 1e6, readers=1)
+            )
+            report.add(
+                PerfRecord(workload="serving", population=200, ops=100,
+                           total_s=slow_us * 100 / 1e6, readers=4)
+            )
+        result = compare_reports(baseline, current)
+        assert [delta.key for delta in result.regressions] == [
+            ("serving", 200, None, "inline", None, 4)
+        ]
+
+    def test_serving_cells_against_pre_v8_baseline_are_new_cells(self):
+        baseline = _report_from_cells([("query", 200, None, 10.0)])
+        current = _report_from_cells([("query", 200, None, 10.0)])
+        current.add(
+            PerfRecord(workload="serving", population=200, ops=10, total_s=0.1, readers=2)
+        )
+        result = compare_reports(baseline, current)
+        assert result.ok
+        assert result.current_only == [("serving", 200, None, "inline", None, 2)]
+        assert "readers=2" in result.to_text()
 
     def test_delta_ratio(self):
         delta = CellDelta("query", 200, None, baseline_us=10.0, current_us=15.0)
@@ -915,6 +1040,25 @@ class TestCli:
         with pytest.raises(SystemExit):
             run_perf(["--populations", "20", "--ops", "3",
                       "--arrival-batch-sizes", spec,
+                      "--output", str(tmp_path / "b.json")])
+
+    def test_readers_flag_runs_one_serving_cell_per_count(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = run_perf(
+            ["--populations", "20", "--ops", "4", "--readers", "1,2",
+             "--output", str(output)]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        serving = [r for r in data["records"] if r["workload"] == "serving"]
+        assert sorted(r["readers"] for r in serving) == [1, 2]
+        assert all(r["readers"] is None for r in data["records"] if r["workload"] != "serving")
+        assert data["metadata"]["reader_counts"] == [1, 2]
+
+    @pytest.mark.parametrize("spec", ["0", "1,0", "abc", ","])
+    def test_invalid_readers_spec_is_rejected(self, spec, tmp_path):
+        with pytest.raises(SystemExit):
+            run_perf(["--populations", "20", "--ops", "3", "--readers", spec,
                       "--output", str(tmp_path / "b.json")])
 
     def test_backend_flag_runs_process_cells(self, tmp_path):
