@@ -41,6 +41,12 @@ Sweep the lock-free serving plane's concurrent-clients dimension (the
 
     repro-experiments perf --readers 1,2,4
 
+Measure the beaconing discovery protocol over the event sim's lossy wire
+(the ``protocol`` workload runs once per listed loss probability,
+inline-only; skipped without the flag)::
+
+    repro-experiments perf --protocol-loss 0,0.1,0.3
+
 Measure worker restart+replay with and without journal compaction (the
 ``recovery`` / ``recovery-compacted`` cells; remote backends only)::
 
@@ -162,6 +168,19 @@ def _parse_reader_counts(value: str) -> List[int]:
     return _parse_positive_int_list(value, "reader count")
 
 
+def _parse_loss_rates(value: str) -> List[float]:
+    """Parse the ``--protocol-loss`` spec: comma-separated probabilities."""
+    try:
+        rates = [float(part) for part in value.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid loss-rate list {value!r}")
+    if not rates:
+        raise argparse.ArgumentTypeError("at least one loss rate is required")
+    if any(not 0.0 <= rate < 1.0 for rate in rates):
+        raise argparse.ArgumentTypeError(f"loss rates must be in [0, 1), got {rates}")
+    return rates
+
+
 def _parse_backends(value: str) -> List[str]:
     """Parse the ``--backend`` spec: comma-separated backend names."""
     from .core.remote import BACKENDS
@@ -260,6 +279,17 @@ def build_perf_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--protocol-loss",
+        type=_parse_loss_rates,
+        default=None,
+        metavar="P[,P...]",
+        help=(
+            "run the beaconing-protocol workload over the event sim's lossy "
+            "wire at these loss probabilities (one cell per rate, e.g. "
+            "'0,0.1,0.3'; default: skipped)"
+        ),
+    )
+    parser.add_argument(
         "--recovery-ops",
         type=int,
         default=None,
@@ -349,6 +379,7 @@ def run_perf(argv: Optional[Sequence[str]] = None) -> int:
         arrival_batch_sizes=args.arrival_batch_sizes or list(DEFAULT_ARRIVAL_BATCH_SIZES),
         recovery_ops=args.recovery_ops,
         reader_counts=args.readers or list(DEFAULT_READER_COUNTS),
+        protocol_loss_rates=args.protocol_loss,
     )
     print(report.to_text())
     try:

@@ -57,12 +57,54 @@ typed on a backend whose supervisor lacks the hooks):
     the attempt after it succeeds — exercising the stale-epoch guard under
     an otherwise-converging plan (``max_restarts`` must be >= 2).
 
+Wire-shaped fault kinds
+-----------------------
+The event-sim discovery protocol (:mod:`repro.protocol`) and the shard
+backends share one *lossy-wire* failure vocabulary, so the same
+:class:`FaultPlan` can script both the simulated network (via
+:class:`repro.sim.network.NetworkFaultPlan`) and a
+:class:`ChaosShardBackend`:
+
+``drop``
+    The request/message is lost in transit.  On the sim: the message is
+    silently dropped (counted in ``dropped_messages``).  On a backend: the
+    call is never forwarded and raises
+    :class:`~repro.exceptions.ShardUnavailableError` (the request never
+    reached the worker — contrast ``drop_reply``, where it did).
+``duplicate``
+    At-least-once delivery gone wrong: the message arrives twice.  On the
+    sim: the delivery is scheduled twice (independent latency samples).  On
+    a backend: the operation is forwarded twice and the first result is
+    returned — safe only if the receiver dedups or the op is idempotent,
+    which is exactly what it exercises.
+``reorder``
+    The message is delivered late, *after* the next message to the same
+    recipient.  On the sim: delivery is held until the next delivery to
+    that recipient completes.  On a backend calls are synchronous, so only
+    one-way (``None``-returning) operations can be reordered: the call is
+    deferred and executed after the next forwarded operation.  A reorder
+    fault therefore requires ``op_name`` (enforced at construction); firing
+    it on a value-returning operation raises typed at the call site.
+``partition``
+    A connectivity window: every matching operation in
+    ``[at_op, at_op + window_ops)`` fails.  On the sim: messages in the
+    window are dropped.  On a backend: calls in the window raise
+    :class:`~repro.exceptions.ShardUnavailableError` without forwarding.
+    Requires ``window_ops >= 1`` (enforced at construction).
+
+``delay`` belongs to both vocabularies: on a backend it sleeps
+``delay_s`` wall seconds; on the sim it adds ``delay_s * 1000`` simulated
+milliseconds to the delivery.
+
 One-time vs persistent
 ----------------------
 A fault fires at the first counted operation ``>= at_op`` (whose name
 matches ``op_name``, when given).  One-time faults (default) are consumed
 by firing; ``persistent=True`` faults keep firing on every matching
-operation from ``at_op`` on.
+operation from ``at_op`` on.  ``partition`` faults stay live for their
+whole window (one-time means one *window*, not one operation);
+``persistent=True`` re-opens the window at every matching op from
+``at_op`` on, i.e. the partition never heals.
 """
 
 from __future__ import annotations
@@ -75,7 +117,14 @@ from ..exceptions import ShardUnavailableError
 from .path import LandmarkId, NodeId, PeerId, RouterPath
 from .path_tree import PathTree
 
-__all__ = ["Fault", "FaultPlan", "ChaosShardBackend", "FAULT_KINDS", "NETWORK_FAULT_KINDS"]
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "ChaosShardBackend",
+    "FAULT_KINDS",
+    "NETWORK_FAULT_KINDS",
+    "WIRE_FAULT_KINDS",
+]
 
 FAULT_KINDS = (
     "crash_before",
@@ -86,28 +135,85 @@ FAULT_KINDS = (
     "partial_frame",
     "conn_reset",
     "reconnect_stale_epoch",
+    "drop",
+    "duplicate",
+    "reorder",
+    "partition",
 )
 
 #: Kinds that need the socket transport's ``sever``/``rewind_generation``
 #: chaos hooks (process-backed shards cannot fail these ways).
 NETWORK_FAULT_KINDS = ("partial_frame", "conn_reset", "reconnect_stale_epoch")
 
+#: The lossy-wire vocabulary shared by the event sim
+#: (:class:`repro.sim.network.NetworkFaultPlan`) and the shard backends —
+#: one :class:`FaultPlan` scripts both planes.
+WIRE_FAULT_KINDS = ("drop", "delay", "duplicate", "reorder", "partition")
+
+#: Backend operations with no return value; the only ones a synchronous
+#: backend can reorder (the caller never waits on a reply, so delivering
+#: the effect late is observable yet well-defined).
+_ONE_WAY_OPS = frozenset(
+    {"register_landmark", "validate_registrable", "insert_paths", "unregister_peer"}
+)
+
 
 @dataclass(frozen=True)
 class Fault:
-    """One scripted fault: *what* goes wrong at *which* counted operation."""
+    """One scripted fault: *what* goes wrong at *which* counted operation.
+
+    Kind/option mismatches are rejected here, at construction — a plan that
+    would misfire must fail when it is written, not when it fires:
+
+    * ``delay_s`` is only meaningful for ``kind="delay"`` (and a delay of
+      zero would be a no-op, so it must be positive there);
+    * ``window_ops`` is only meaningful for ``kind="partition"`` (where it
+      is required, ``>= 1``);
+    * ``kind="reorder"`` requires ``op_name`` — reordering is only defined
+      relative to a named message/operation stream.
+    """
 
     at_op: int
     kind: str
     op_name: Optional[str] = None
     delay_s: float = 0.0
     persistent: bool = False
+    window_ops: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
         if self.at_op < 1:
             raise ValueError(f"at_op must be >= 1, got {self.at_op}")
+        if self.kind == "delay":
+            if self.delay_s <= 0.0:
+                raise ValueError(
+                    f"kind='delay' requires delay_s > 0, got {self.delay_s!r}"
+                )
+        elif self.delay_s != 0.0:
+            raise ValueError(
+                f"delay_s is only valid for kind='delay', got delay_s={self.delay_s!r} "
+                f"with kind={self.kind!r}"
+            )
+        if self.kind == "partition":
+            if self.window_ops < 1:
+                raise ValueError(
+                    f"kind='partition' requires window_ops >= 1, got {self.window_ops!r}"
+                )
+        elif self.window_ops != 0:
+            raise ValueError(
+                f"window_ops is only valid for kind='partition', got "
+                f"window_ops={self.window_ops!r} with kind={self.kind!r}"
+            )
+        if self.kind == "reorder" and self.op_name is None:
+            raise ValueError("kind='reorder' requires op_name (the stream to reorder within)")
+
+    @property
+    def window_end(self) -> int:
+        """First counted op *past* the fault's active window."""
+        if self.kind == "partition":
+            return self.at_op + self.window_ops
+        return self.at_op + 1
 
 
 class FaultPlan:
@@ -135,15 +241,29 @@ class FaultPlan:
         due: List[Fault] = []
         kept: List[Fault] = []
         for fault in self._pending:
-            matches = self.ops_seen >= fault.at_op and (
-                fault.op_name is None or fault.op_name == op_name
-            )
-            if matches:
+            name_ok = fault.op_name is None or fault.op_name == op_name
+            if fault.kind == "partition":
+                # Partitions are positional: the window covers counted ops
+                # [at_op, at_op + window_ops), matching or not.
+                in_window = self.ops_seen >= fault.at_op and (
+                    fault.persistent or self.ops_seen < fault.window_end
+                )
+            else:
+                # Point faults fire at the first *matching* op at or after
+                # at_op — an op-name filter can make the exact at_op pass by.
+                in_window = self.ops_seen >= fault.at_op
+            fired = in_window and name_ok
+            if fired:
                 due.append(fault)
                 self.fired.append((self.ops_seen, fault.kind, op_name))
-                if fault.persistent:
+            if fault.persistent:
+                kept.append(fault)
+            elif fault.kind == "partition":
+                # A partition stays live for its whole window (it fires on
+                # *every* matching op inside it) and heals when it closes.
+                if self.ops_seen + 1 < fault.window_end:
                     kept.append(fault)
-            else:
+            elif not fired:
                 kept.append(fault)
         self._pending = kept
         return due
@@ -175,6 +295,9 @@ class ChaosShardBackend:
         self.inner = inner
         self.plan = plan
         self._sleep = sleep
+        # One-way operations deferred by a ``reorder`` fault, executed (in
+        # held order) after the next forwarded operation completes.
+        self._reordered: List[Tuple[str, Callable[[], object]]] = []
 
     @property
     def name(self) -> str:
@@ -221,6 +344,7 @@ class ChaosShardBackend:
 
     def _call(self, op_name: str, func, *args, **kwargs):
         faults = self.plan.faults_for(op_name)
+        duplicated = False
         for fault in faults:
             if fault.kind == "delay":
                 self._sleep(fault.delay_s)
@@ -237,7 +361,30 @@ class ChaosShardBackend:
                 raise ShardUnavailableError(
                     self.name, f"chaos: scripted error at op {self.plan.ops_seen}"
                 )
+            elif fault.kind in ("drop", "partition"):
+                raise ShardUnavailableError(
+                    self.name,
+                    f"chaos: {fault.kind} — request {op_name!r} lost at op "
+                    f"{self.plan.ops_seen}",
+                )
+            elif fault.kind == "duplicate":
+                duplicated = True
+            elif fault.kind == "reorder":
+                if op_name not in _ONE_WAY_OPS:
+                    raise ShardUnavailableError(
+                        self.name,
+                        f"chaos: reorder targets one-way ops {sorted(_ONE_WAY_OPS)}, "
+                        f"not {op_name!r}",
+                    )
+                self._reordered.append((op_name, lambda: func(*args, **kwargs)))
+                return None
         result = func(*args, **kwargs)
+        if duplicated:
+            # The wire delivered the same request twice: apply it again and
+            # keep the first result (both applications must agree for
+            # idempotent/deduplicated receivers, which is what this probes).
+            func(*args, **kwargs)
+        self._flush_reordered()
         for fault in faults:
             if fault.kind == "crash_after":
                 self._kill_worker()
@@ -247,6 +394,12 @@ class ChaosShardBackend:
                     f"chaos: reply to {op_name!r} dropped at op {self.plan.ops_seen}",
                 )
         return result
+
+    def _flush_reordered(self) -> None:
+        """Deliver reorder-held one-way operations (late arrivals)."""
+        while self._reordered:
+            _name, thunk = self._reordered.pop(0)
+            thunk()
 
     # ---------------------------------------------------------- shard surface
 
@@ -302,6 +455,9 @@ class ChaosShardBackend:
         self.inner.restart()
 
     def close(self) -> None:
+        # Reordered means late, not lost: deliver held one-way ops before
+        # the backend goes away.
+        self._flush_reordered()
         self.inner.close()
 
     def __enter__(self) -> "ChaosShardBackend":

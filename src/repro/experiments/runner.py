@@ -25,6 +25,7 @@ from .ablations import (
 from .analysis import branch_point_analysis
 from .convergence import run_convergence_study
 from .figure1 import Figure1Config, quick_figure1_config, run_figure1
+from .protocol_sim import run_protocol_sim, run_protocol_sim_quick
 from .results import ResultTable
 
 ExperimentFunction = Callable[[], ResultTable]
@@ -50,6 +51,8 @@ EXPERIMENTS: Dict[str, ExperimentFunction] = {
     "superpeers": superpeer_study,
     "convergence": run_convergence_study,
     "branch-analysis": branch_point_analysis,
+    "protocol-sim": run_protocol_sim,
+    "protocol-sim-quick": run_protocol_sim_quick,
 }
 """All runnable experiments by name."""
 

@@ -3,14 +3,15 @@
 ``repro-experiments perf --compare BENCH_discovery.json`` re-runs the suite
 and compares the fresh report against the saved baseline, cell by cell —
 a cell is one ``(workload, population, shards, backend, batch_size,
-readers)`` combination — and exits non-zero when any cell's per-op cost
+readers, loss)`` combination — and exits non-zero when any cell's per-op cost
 regressed by more than the threshold (25% by default).  This turns the perf
 trajectory from something eyeballed into something CI can gate on.
 
 Cells present in only one report are listed but never fail the comparison
 (a new dimension — ``--shards`` in schema v2, ``--backend`` in v3, the
 arrival workload's ``batch_size`` in v5, the serving workload's
-``readers`` in v8 — must not break comparisons
+``readers`` in v8, the protocol workload's ``loss`` in v9 — must not
+break comparisons
 against older baselines: a record without the dimension loads with its
 default, so pre-existing cells still line up, while cells along the new
 axis are "new cells, not compared"), and cells whose baseline measured 0 µs
@@ -26,17 +27,19 @@ from .report import PerfRecord, PerfReport
 
 DEFAULT_THRESHOLD = 0.25
 
-CellKey = Tuple[str, int, Optional[int], str, Optional[int], Optional[int]]
+CellKey = Tuple[str, int, Optional[int], str, Optional[int], Optional[int], Optional[float]]
 
 
 def _cell_text(key: CellKey) -> str:
-    workload, population, shards, backend, batch_size, readers = key
+    workload, population, shards, backend, batch_size, readers, loss = key
     shard_text = "-" if shards is None else str(shards)
     text = f"{workload}@{population}/shards={shard_text}/{backend}"
     if batch_size is not None:
         text += f"/batch={batch_size}"
     if readers is not None:
         text += f"/readers={readers}"
+    if loss is not None:
+        text += f"/loss={loss}"
     return text
 
 
@@ -52,6 +55,7 @@ class CellDelta:
     backend: str = "inline"
     batch_size: Optional[int] = None
     readers: Optional[int] = None
+    loss: Optional[float] = None
 
     @property
     def key(self) -> CellKey:
@@ -63,6 +67,7 @@ class CellDelta:
             self.backend,
             self.batch_size,
             self.readers,
+            self.loss,
         )
 
     @property
@@ -110,17 +115,18 @@ class ComparisonResult:
         """Aligned human-readable comparison table."""
         header = (
             f"{'workload':<12} {'population':>10} {'shards':>7} {'backend':>8} {'batch':>6} "
-            f"{'readers':>7} {'baseline_us':>12} {'current_us':>12} {'ratio':>7}"
+            f"{'readers':>7} {'loss':>5} {'baseline_us':>12} {'current_us':>12} {'ratio':>7}"
         )
         lines = [header, "-" * len(header)]
         for delta in self.deltas:
             shards = "-" if delta.shards is None else str(delta.shards)
             batch = "-" if delta.batch_size is None else str(delta.batch_size)
             readers = "-" if delta.readers is None else str(delta.readers)
+            loss = "-" if delta.loss is None else f"{delta.loss:.2f}"
             flag = "  REGRESSION" if delta.is_regression(self.threshold) else ""
             lines.append(
                 f"{delta.workload:<12} {delta.population:>10} {shards:>7} "
-                f"{delta.backend:>8} {batch:>6} {readers:>7} "
+                f"{delta.backend:>8} {batch:>6} {readers:>7} {loss:>5} "
                 f"{delta.baseline_us:>12.2f} {delta.current_us:>12.2f} "
                 f"{delta.ratio:>7.2f}{flag}"
             )
@@ -145,7 +151,7 @@ def compare_reports(
     """Compare two perf reports cell by cell.
 
     Cells are keyed by ``(workload, population, shards, backend,
-    batch_size, readers)``; a duplicated cell keeps its last record.
+    batch_size, readers, loss)``; a duplicated cell keeps its last record.
     Deltas are listed in baseline order.
     """
     if threshold < 0:
@@ -160,6 +166,7 @@ def compare_reports(
             backend=key[3],
             batch_size=key[4],
             readers=key[5],
+            loss=key[6],
             baseline_us=record.per_op_us,
             current_us=current_cells[key].per_op_us,
         )

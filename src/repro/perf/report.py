@@ -29,11 +29,16 @@ from .timer import Timing
 # shard server; recovery cells now exist per remote backend), v8 the
 # serving-plane workload (``workload == "serving"``) with its
 # concurrent-clients ``readers`` dimension (None for every other workload)
-# and its throughput/latency/publish-lag counters, plus ``peak_rss_kb`` /
-# ``bytes_per_peer`` memory counters in every cell.  All are additive:
-# older reports load with defaults and their cells still compare (new
-# cells show as current-only, never as failures).
-SCHEMA_VERSION = 8
+# and its throughput/publish-lag counters, plus ``peak_rss_kb`` /
+# ``bytes_per_peer`` memory counters in every cell, v9 the protocol
+# workload (``workload == "protocol"``: the beaconing discovery protocol
+# over the event sim's lossy wire) with its ``loss`` dimension (the wire
+# loss probability, None for every other workload) and simulated-time
+# counters (messages/sec, maintenance bytes per peer per second,
+# discovery-latency quantiles).  All are additive: older reports load
+# with defaults and their cells still compare (new cells show as
+# current-only, never as failures).
+SCHEMA_VERSION = 9
 
 
 @dataclass
@@ -49,7 +54,9 @@ class PerfRecord:
     arrival workload's co-arriving batch size; every other workload (and
     every pre-v5 record) loads as ``None``.  ``readers`` is the serving
     workload's concurrent reader count (schema v8); every other workload
-    (and every pre-v8 record) loads as ``None``.
+    (and every pre-v8 record) loads as ``None``.  ``loss`` is the protocol
+    workload's wire loss probability (schema v9); every other workload
+    (and every pre-v9 record) loads as ``None``.
     """
 
     workload: str
@@ -61,6 +68,7 @@ class PerfRecord:
     backend: str = "inline"
     batch_size: Optional[int] = None
     readers: Optional[int] = None
+    loss: Optional[float] = None
 
     @property
     def per_op_us(self) -> float:
@@ -78,6 +86,7 @@ class PerfRecord:
         backend: str = "inline",
         batch_size: Optional[int] = None,
         readers: Optional[int] = None,
+        loss: Optional[float] = None,
     ) -> "PerfRecord":
         """Build a record from a :class:`~repro.perf.timer.Timing`."""
         return cls(
@@ -90,6 +99,7 @@ class PerfRecord:
             backend=backend,
             batch_size=batch_size,
             readers=readers,
+            loss=loss,
         )
 
     @property
@@ -102,6 +112,7 @@ class PerfRecord:
             self.backend,
             self.batch_size,
             self.readers,
+            self.loss,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -117,6 +128,7 @@ class PerfRecord:
             "backend": self.backend,
             "batch_size": self.batch_size,
             "readers": self.readers,
+            "loss": self.loss,
         }
 
 
@@ -167,6 +179,9 @@ class PerfReport:
                 readers=(
                     None if entry.get("readers") is None else int(entry["readers"])  # type: ignore[arg-type]
                 ),
+                loss=(
+                    None if entry.get("loss") is None else float(entry["loss"])  # type: ignore[arg-type]
+                ),
             )
             for entry in data.get("records", [])  # type: ignore[union-attr]
         ]
@@ -176,16 +191,17 @@ class PerfReport:
         """Aligned human-readable table for the CLI."""
         header = (
             f"{'workload':<12} {'population':>10} {'shards':>7} {'backend':>8} {'batch':>6} "
-            f"{'readers':>7} {'ops':>8} {'total_s':>10} {'per_op_us':>12}"
+            f"{'readers':>7} {'loss':>5} {'ops':>8} {'total_s':>10} {'per_op_us':>12}"
         )
         lines = [header, "-" * len(header)]
         for record in self.records:
             shards = "-" if record.shards is None else str(record.shards)
             batch = "-" if record.batch_size is None else str(record.batch_size)
             readers = "-" if record.readers is None else str(record.readers)
+            loss = "-" if record.loss is None else f"{record.loss:.2f}"
             lines.append(
                 f"{record.workload:<12} {record.population:>10} {shards:>7} "
-                f"{record.backend:>8} {batch:>6} {readers:>7} {record.ops:>8} "
+                f"{record.backend:>8} {batch:>6} {readers:>7} {loss:>5} {record.ops:>8} "
                 f"{record.total_s:>10.4f} {record.per_op_us:>12.2f}"
             )
         return "\n".join(lines)

@@ -141,6 +141,9 @@ from ..core.remote import (
     shard_factory_for,
 )
 from ..core.sharded import ShardedManagementServer
+from ..protocol.peer import BeaconConfig
+from ..protocol.simulation import ProtocolSimulation
+from ..sim.rng import derive_seed
 from ..topology.internet_mapper import RouterMap, RouterMapConfig, generate_router_map
 from ..workloads.scenarios import ScenarioConfig, build_scenario
 from .report import PerfRecord, PerfReport
@@ -193,6 +196,24 @@ _SERVING_WARMUP_OPS = 200
 # recorded latency is its minimum across the passes (see the module
 # docstring's quantile-hygiene paragraph).
 _SERVING_LATENCY_PASSES = 3
+
+#: Wire loss probabilities the ``protocol`` workload sweeps when enabled
+#: (one cell per rate, inline-only; the suite skips the workload unless the
+#: caller passes rates — ``--protocol-loss`` on the CLI).
+DEFAULT_PROTOCOL_LOSS_RATES = (0.0, 0.1, 0.3)
+
+# Simulated milliseconds each protocol cell runs the beaconing sim for, and
+# the beacon cadence it uses.  Fixed simulated time (not ``ops``) keeps the
+# cell's *simulated-time* counters — messages/sec, maintenance bytes per
+# peer per second, discovery quantiles — comparable across machines; the
+# wall-clock ``per_op_us`` (cost per wire message processed) is what the
+# regression gate watches.
+_PROTOCOL_DURATION_MS = 3000.0
+_PROTOCOL_BEACON_INTERVAL_MS = 500.0
+
+# Seed stream name for the protocol workload's simulation (network + peer
+# jitter); the sweep derives one stream per loss rate.
+_PROTOCOL_SEED_STREAM = "perf-protocol"
 
 
 def workload_rng(seed: int, offset: int) -> random.Random:
@@ -771,6 +792,91 @@ def run_serving_workload(
         server.close()
 
 
+def run_protocol_workload(
+    population: int,
+    seed: int = 3,
+    neighbor_set_size: int = 5,
+    loss_rates: Sequence[float] = DEFAULT_PROTOCOL_LOSS_RATES,
+) -> List[PerfRecord]:
+    """The beaconing discovery protocol over the lossy wire (schema v9).
+
+    One cell per entry in ``loss_rates``: a
+    :class:`~repro.protocol.simulation.ProtocolSimulation` with
+    ``population`` beaconing peers runs :data:`_PROTOCOL_DURATION_MS`
+    simulated milliseconds at that wire loss probability, and the cell
+    times the whole event-driven run.  ``ops`` is the number of wire
+    messages the simulation carried (beacons + acks, including dropped and
+    duplicated copies), so ``per_op_us`` is the wall cost per message
+    event — the hot path being the network send/deliver machinery plus the
+    host's dedup/registration work.  Counters per cell:
+
+    * ``messages_per_sec`` / ``maintenance_bytes_per_peer_s`` — simulated-
+      time protocol costs (the paper-facing numbers);
+    * ``discovery_p50_ms`` / ``discovery_p99_ms`` — simulated time from a
+      peer's first beacon to its first ack;
+    * ``beacons_sent`` / ``retransmissions`` / ``dropped_messages`` /
+      ``duplicated_messages`` / ``reordered_messages`` / ``peers_expired``
+      / ``discovered_peers`` — protocol health, plus the schema-v8 memory
+      counters.
+
+    The simulation is seed-deterministic per ``(seed, loss)``, so the
+    simulated-time counters are exactly reproducible; only the wall-clock
+    timing varies across machines.
+    """
+    if not loss_rates:
+        raise ValueError("loss_rates must not be empty")
+    for loss in loss_rates:
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss rates must be in [0, 1), got {loss}")
+    records: List[PerfRecord] = []
+    paths = synthetic_paths(population, seed=seed)
+    for loss in loss_rates:
+        sim = ProtocolSimulation(
+            paths,
+            beacon_config=BeaconConfig(beacon_interval_ms=_PROTOCOL_BEACON_INTERVAL_MS),
+            loss_probability=loss,
+            seed=derive_seed(seed, f"{_PROTOCOL_SEED_STREAM}-{loss}"),
+            neighbor_set_size=neighbor_set_size,
+        )
+        try:
+            timer = OpTimer()
+            with timer:
+                metrics = sim.run(_PROTOCOL_DURATION_MS)
+                timer.add_ops(metrics.messages_sent)
+            counters = {
+                "messages_per_sec": int(metrics.messages_per_sec),
+                "maintenance_bytes_per_peer_s": int(metrics.maintenance_bytes_per_peer_s),
+                "discovery_p50_ms": int(
+                    metrics.discovery_latency.median if metrics.discovery_latency else 0
+                ),
+                "discovery_p99_ms": int(
+                    metrics.discovery_latency.p99 if metrics.discovery_latency else 0
+                ),
+                "beacons_sent": metrics.beacons_sent,
+                "retransmissions": metrics.retransmissions,
+                "dropped_messages": metrics.dropped_messages,
+                "duplicated_messages": metrics.duplicated_messages,
+                "reordered_messages": metrics.reordered_messages,
+                "peers_expired": metrics.host_counters.get("peers_expired", 0),
+                "discovered_peers": metrics.discovered_peers,
+            }
+            counters.update(_memory_counters(population))
+            records.append(
+                PerfRecord.from_timing(
+                    "protocol",
+                    population,
+                    timer.timing,
+                    counters,
+                    shards=None,
+                    backend="inline",
+                    loss=loss,
+                )
+            )
+        finally:
+            sim.close()
+    return records
+
+
 def run_recovery_workload(
     population: int,
     ops: int = 500,
@@ -973,6 +1079,7 @@ def run_discovery_suite(
     arrival_batch_sizes: Sequence[int] = DEFAULT_ARRIVAL_BATCH_SIZES,
     recovery_ops: Optional[int] = None,
     reader_counts: Sequence[int] = DEFAULT_READER_COUNTS,
+    protocol_loss_rates: Optional[Sequence[float]] = None,
 ) -> PerfReport:
     """Run every discovery workload at every (population, backend, shards).
 
@@ -1002,6 +1109,14 @@ def run_discovery_suite(
     ``serving`` record per entry in ``reader_counts`` (the
     concurrent-clients dimension).  The snapshot read path is identical
     wherever the shards live, so remote backends skip it.
+
+    ``protocol_loss_rates`` (``--protocol-loss`` on the CLI) additionally
+    runs :func:`run_protocol_workload` once per population — one
+    ``protocol`` cell per loss rate, tagged with the schema-v9 ``loss``
+    dimension.  The protocol cells measure the event-sim wire, not the
+    plane backends, so they run once per population regardless of the
+    shards/backend axes (``shards=None``, ``backend="inline"``) and are
+    skipped entirely when the argument is ``None``.
     """
     for backend in backends:
         if backend not in BACKENDS:
@@ -1024,6 +1139,9 @@ def run_discovery_suite(
             "arrival_batch_sizes": list(arrival_batch_sizes),
             "recovery_ops": recovery_ops,
             "reader_counts": list(reader_counts),
+            "protocol_loss_rates": (
+                list(protocol_loss_rates) if protocol_loss_rates is not None else None
+            ),
         }
     )
     overrides = {} if ops is None else {"ops": ops}
@@ -1103,6 +1221,14 @@ def run_discovery_suite(
                 neighbor_set_size=neighbor_set_size,
                 backend_name=backend_name,
                 **recovery_overrides,
+            ):
+                report.add(record)
+        if protocol_loss_rates is not None:
+            for record in run_protocol_workload(
+                population,
+                seed=seed,
+                neighbor_set_size=neighbor_set_size,
+                loss_rates=protocol_loss_rates,
             ):
                 report.add(record)
     return report

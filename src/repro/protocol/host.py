@@ -1,0 +1,256 @@
+"""The management plane behind a lossy wire.
+
+:class:`ProtocolManagementHost` is the receive side of the beaconing
+protocol: it attaches to a :class:`~repro.sim.network.SimulatedNetwork`
+and turns heard :class:`~repro.protocol.messages.Beacon` messages into
+management-plane state, the way a deployed discovery daemon turns UDP
+datagrams into peer-table entries.  Four behaviours make the plane safe
+under at-least-once delivery on an untrusted wire:
+
+* **dedup** — beacons carry per-peer sequence numbers; a sequence number
+  already applied is re-acked but never touches the plane again, so a
+  duplicated beacon cannot double-register (the plane would otherwise
+  unregister + reinsert, churning ``membership_generation`` and every
+  cached neighbour list that references the peer);
+* **ack after apply** — the ack for sequence ``n`` is sent only after
+  the plane has applied beacon ``n``, so a peer that heard an ack knows
+  it is registered;
+* **expiry** — a periodic sweep unregisters peers whose last beacon is
+  older than the TTL (the silent-failure detector of the paper's setting:
+  no unregister message is ever required, stopping beaconing is leaving);
+* **quarantine** — a malformed message (not a beacon) or a forged beacon
+  (claiming a peer id that does not match the sender, or carrying a path
+  recorded for someone else) bans the sender: it is unregistered and its
+  future traffic is dropped before any plane work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from ..core.path import PeerId, RouterPath
+from ..sim.engine import Engine
+from ..sim.events import TimerHandle
+from ..sim.network import HostId, SimulatedNetwork
+from .messages import Beacon, BeaconAck
+
+ExpireHook = Callable[[PeerId, float], None]
+
+
+@dataclass
+class HostStats:
+    """Receive-side protocol counters (one instance per host)."""
+
+    beacons_received: int = 0
+    beacons_registered: int = 0
+    """Beacons that reached the plane as ``register_peer`` (new/changed path)."""
+    beacons_refreshed: int = 0
+    """Beacons that only refreshed the TTL (same path, already registered)."""
+    duplicate_beacons: int = 0
+    """Beacons deduplicated by sequence number (re-acked, no plane work)."""
+    acks_sent: int = 0
+    peers_expired: int = 0
+    peers_banned: int = 0
+    banned_beacons_dropped: int = 0
+    malformed_messages: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (experiment tables, perf reports)."""
+        return {
+            "beacons_received": self.beacons_received,
+            "beacons_registered": self.beacons_registered,
+            "beacons_refreshed": self.beacons_refreshed,
+            "duplicate_beacons": self.duplicate_beacons,
+            "acks_sent": self.acks_sent,
+            "peers_expired": self.peers_expired,
+            "peers_banned": self.peers_banned,
+            "banned_beacons_dropped": self.banned_beacons_dropped,
+            "malformed_messages": self.malformed_messages,
+        }
+
+
+class ProtocolManagementHost:
+    """Management-plane endpoint speaking the beaconing protocol.
+
+    Parameters
+    ----------
+    host_id:
+        Network identity the host attaches under (peers address acks come
+        from it).
+    engine, network:
+        The simulation event loop and wire; the host schedules its expiry
+        sweep on ``engine`` and sends acks through ``network``.
+    server:
+        The live management plane beacons are applied to.  Any
+        ``ManagementPlaneBase`` works — single server or sharded plane.
+    ttl_ms:
+        A peer whose newest beacon is older than this is expired
+        (unregistered) by the sweep.
+    sweep_interval_ms:
+        How often the expiry sweep runs; defaults to ``ttl_ms / 4`` so a
+        stale entry outlives its TTL by at most a quarter of it.
+    on_expire:
+        Optional hook called as ``on_expire(peer_id, now_ms)`` after a
+        peer is expired (experiments record staleness with it).
+    """
+
+    def __init__(
+        self,
+        host_id: HostId,
+        engine: Engine,
+        network: SimulatedNetwork,
+        server: Any,
+        ttl_ms: float,
+        sweep_interval_ms: Optional[float] = None,
+        on_expire: Optional[ExpireHook] = None,
+    ) -> None:
+        if ttl_ms <= 0:
+            raise ValueError(f"ttl_ms must be positive, got {ttl_ms}")
+        self.host_id = host_id
+        self.engine = engine
+        self.network = network
+        self.server = server
+        self.ttl_ms = float(ttl_ms)
+        self.sweep_interval_ms = (
+            float(sweep_interval_ms) if sweep_interval_ms is not None else self.ttl_ms / 4.0
+        )
+        if self.sweep_interval_ms <= 0:
+            raise ValueError(f"sweep_interval_ms must be positive, got {sweep_interval_ms}")
+        self.on_expire = on_expire
+        self.stats = HostStats()
+        self.banned: Set[HostId] = set()
+        # Dedup state survives expiry on purpose: a peer that resumes
+        # beaconing after being expired keeps counting its rounds upward, and
+        # late retransmits from before the outage must still be recognised.
+        self._last_seq: Dict[PeerId, int] = {}
+        self._last_heard_ms: Dict[PeerId, float] = {}
+        self._applied_paths: Dict[PeerId, RouterPath] = {}
+        self._sweep_timer: Optional[TimerHandle] = None
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Schedule the periodic expiry sweep (idempotent)."""
+        if self._sweep_timer is None or self._sweep_timer.cancelled:
+            self._sweep_timer = self.engine.schedule(
+                self.sweep_interval_ms, self._sweep, label=f"sweep:{self.host_id}"
+            )
+
+    def stop(self) -> None:
+        """Cancel the expiry sweep."""
+        if self._sweep_timer is not None:
+            self._sweep_timer.cancel()
+            self._sweep_timer = None
+
+    # ------------------------------------------------------------------ receive
+
+    def handle_message(self, sender: HostId, message: Any) -> None:
+        """Network delivery entry point (``MessageHandler`` protocol)."""
+        if sender in self.banned:
+            # Quarantined senders never reach the plane — not even their
+            # well-formed beacons.
+            self.stats.banned_beacons_dropped += 1
+            return
+        if not isinstance(message, Beacon):
+            self.stats.malformed_messages += 1
+            self._ban(sender)
+            return
+        if message.peer_id != sender or message.path.peer_id != message.peer_id:
+            # Forged: claiming someone else's identity, or re-announcing a
+            # path recorded for a different peer.
+            self._ban(sender)
+            return
+        self._apply_beacon(sender, message)
+
+    def _apply_beacon(self, sender: HostId, beacon: Beacon) -> None:
+        self.stats.beacons_received += 1
+        peer_id = beacon.peer_id
+        last = self._last_seq.get(peer_id)
+        if last is not None and beacon.seq <= last:
+            # At-least-once duplicate (retransmit, wire duplication, or a
+            # reordered late copy).  Re-ack so the sender stops resending,
+            # but never touch the plane: dedup is what keeps duplicated
+            # beacons from double-registering.
+            self.stats.duplicate_beacons += 1
+            if beacon.seq == last:
+                self._last_heard_ms[peer_id] = self.engine.now
+            self._ack(sender, beacon.seq)
+            return
+
+        self._last_seq[peer_id] = beacon.seq
+        self._last_heard_ms[peer_id] = self.engine.now
+        applied = self._applied_paths.get(peer_id)
+        if applied == beacon.path and self.server.has_peer(peer_id):
+            # Same path re-announced: pure TTL refresh, no plane churn (a
+            # re-register would bump membership_generation for nothing).
+            self.stats.beacons_refreshed += 1
+        else:
+            self.server.register_peer(beacon.path)
+            self._applied_paths[peer_id] = beacon.path
+            self.stats.beacons_registered += 1
+        # Ack only after the plane applied the beacon: acked => registered.
+        self._ack(sender, beacon.seq)
+
+    def _ack(self, sender: HostId, seq: int) -> None:
+        if not self.network.is_attached(sender):
+            return
+        self.network.send(self.host_id, sender, BeaconAck(peer_id=sender, seq=seq))
+        self.stats.acks_sent += 1
+
+    # --------------------------------------------------------------- quarantine
+
+    def _ban(self, sender: HostId) -> None:
+        self.banned.add(sender)
+        self.stats.peers_banned += 1
+        # Quarantine also evicts any state the sender managed to register.
+        if self.server.has_peer(sender):
+            self.server.unregister_peer(sender)
+        self._applied_paths.pop(sender, None)
+        self._last_heard_ms.pop(sender, None)
+
+    # ------------------------------------------------------------------- expiry
+
+    def _sweep(self) -> None:
+        self.expire_stale()
+        self._sweep_timer = self.engine.schedule(
+            self.sweep_interval_ms, self._sweep, label=f"sweep:{self.host_id}"
+        )
+
+    def expire_stale(self) -> List[PeerId]:
+        """Unregister every peer whose newest beacon is older than the TTL.
+
+        Called by the periodic sweep; callable directly from tests and
+        experiments.  Returns the expired peer ids (deterministic order).
+        """
+        now = self.engine.now
+        expired = [
+            peer_id
+            for peer_id, heard in self._last_heard_ms.items()
+            if now - heard > self.ttl_ms
+        ]
+        for peer_id in expired:
+            del self._last_heard_ms[peer_id]
+            self._applied_paths.pop(peer_id, None)
+            if self.server.has_peer(peer_id):
+                self.server.unregister_peer(peer_id)
+            self.stats.peers_expired += 1
+            if self.on_expire is not None:
+                self.on_expire(peer_id, now)
+        return expired
+
+    # -------------------------------------------------------------------- views
+
+    def is_live(self, peer_id: PeerId) -> bool:
+        """True if the peer is currently registered via the protocol."""
+        return peer_id in self._last_heard_ms and self.server.has_peer(peer_id)
+
+    def last_heard(self, peer_id: PeerId) -> Optional[float]:
+        """Simulated time of the peer's newest applied/refreshed beacon."""
+        return self._last_heard_ms.get(peer_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProtocolManagementHost(host_id={self.host_id!r}, "
+            f"live={len(self._last_heard_ms)}, banned={len(self.banned)})"
+        )

@@ -1,0 +1,69 @@
+"""Wire vocabulary of the beaconing discovery protocol.
+
+Two message types cross the simulated network:
+
+* :class:`Beacon` — peer → management host.  Carries the peer's current
+  router path and a per-peer monotonically increasing sequence number.
+  Beacons double as registration (first beacon heard), refresh (same
+  path re-announced before the TTL runs out) and update (new path after
+  a handover).  Retransmissions of an unacked round reuse the round's
+  sequence number, which is what lets the receiver deduplicate
+  at-least-once delivery.
+* :class:`BeaconAck` — host → peer.  Echoes the sequence number so the
+  sender can stop retransmitting that round.  An ack is only sent after
+  the plane has applied the beacon, so "acked" implies "registered".
+
+Messages are frozen dataclasses, matching :mod:`repro.core.protocol`.
+Their lowercased class names (``beacon`` / ``beaconack``) are the op
+names a :class:`~repro.sim.network.NetworkFaultPlan` targets, via
+:func:`repro.sim.network.message_op_name`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.path import PeerId, RouterPath
+
+# Synthetic wire-size model for maintenance-traffic accounting.  The paper's
+# control messages are tiny UDP datagrams: a fixed header plus one entry per
+# path hop for beacons.  Absolute bytes matter less than how traffic scales
+# with beacon rate and path length, so a simple affine model is enough.
+_HEADER_BYTES = 28  # IP + UDP headers
+_BEACON_BASE_BYTES = 24  # peer id, landmark id, seq, flags
+_BEACON_HOP_BYTES = 8  # one router id per hop
+_ACK_BYTES = 12  # peer id echo + seq
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """Peer → host: announce or refresh the peer's path registration."""
+
+    peer_id: PeerId
+    seq: int
+    path: RouterPath
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError(f"beacon sequence numbers start at 0, got {self.seq}")
+
+
+@dataclass(frozen=True)
+class BeaconAck:
+    """Host → peer: the beacon with this sequence number has been applied."""
+
+    peer_id: PeerId
+    seq: int
+
+
+def wire_size(message: object) -> int:
+    """Synthetic on-the-wire size in bytes of one protocol message.
+
+    Deterministic and cheap; used for the maintenance-traffic counters
+    (bytes per peer per second), never for delivery decisions.
+    """
+    if isinstance(message, Beacon):
+        return _HEADER_BYTES + _BEACON_BASE_BYTES + _BEACON_HOP_BYTES * message.path.hop_count
+    if isinstance(message, BeaconAck):
+        return _HEADER_BYTES + _ACK_BYTES
+    raise TypeError(f"not a protocol message: {message!r}")

@@ -1,0 +1,320 @@
+"""Deterministic driver wiring peers, plane and wire together.
+
+:class:`ProtocolSimulation` is the harness every consumer of the
+protocol layer shares — the oracle tests, the lossy-wire experiments
+and the ``protocol`` perf workload.  Given a set of
+:class:`~repro.core.path.RouterPath` (the same synthetic paths the perf
+suite feeds the plane directly), it builds the router topology those
+paths imply, stands up a :class:`~repro.sim.network.SimulatedNetwork`
+with the requested impairments, attaches one
+:class:`~repro.protocol.peer.BeaconingPeer` per path plus a
+:class:`~repro.protocol.host.ProtocolManagementHost` wrapping the
+management plane, runs the event engine for a scripted duration and
+reports :class:`ProtocolMetrics` — discovery latency, staleness,
+maintenance traffic and the full counter set.  Same seed, same report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..core.management_server import ManagementServer
+from ..core.path import PeerId, RouterPath
+from ..metrics.latency_stats import DelaySummary
+from ..routing.distance_engine import HopDistanceEngine
+from ..sim.engine import Engine
+from ..sim.network import NetworkFaultPlan, SimulatedNetwork
+from ..sim.rng import derive_seed
+from ..topology.graph import Graph
+from .host import ProtocolManagementHost
+from .messages import wire_size
+from .peer import BeaconConfig, BeaconingPeer
+
+DEFAULT_HOP_LATENCY_MS = 5.0
+MANAGEMENT_HOST_ID = "mgmt-host"
+
+
+def topology_from_paths(
+    paths: Iterable[RouterPath], hop_latency_ms: float = DEFAULT_HOP_LATENCY_MS
+) -> Graph:
+    """Router topology implied by a set of peer-to-landmark paths.
+
+    Every consecutive router pair on every path becomes an edge with a
+    uniform ``latency`` weight, so the network's one-way delay between a
+    peer and the management host is proportional to the peer's hop count
+    — the same distance model the plane estimates with.  The caller is
+    responsible for the paths forming one connected component (the
+    synthetic populations all traverse a shared core).
+    """
+    if hop_latency_ms <= 0:
+        raise ValueError(f"hop_latency_ms must be positive, got {hop_latency_ms}")
+    graph = Graph(name="protocol-topology")
+    for path in paths:
+        for router in path.routers:
+            if not graph.has_node(router):
+                graph.add_node(router)
+        for u, v in zip(path.routers, path.routers[1:]):
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v, latency=hop_latency_ms)
+    return graph
+
+
+def _summary(samples: Sequence[float]) -> Optional[DelaySummary]:
+    return DelaySummary.from_samples(samples) if samples else None
+
+
+@dataclass
+class ProtocolMetrics:
+    """One protocol-simulation run, summarised.
+
+    All latencies are simulated milliseconds; traffic counters cover the
+    whole run (beacons *and* acks, including dropped and duplicated
+    copies — everything that crossed the wire).
+    """
+
+    duration_ms: float
+    peers: int
+    discovered_peers: int
+    live_peers: int
+    messages_sent: int
+    maintenance_bytes: int
+    beacons_sent: int
+    retransmissions: int
+    dropped_messages: int
+    duplicated_messages: int
+    reordered_messages: int
+    discovery_latency: Optional[DelaySummary]
+    staleness: Optional[DelaySummary]
+    host_counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def messages_per_sec(self) -> float:
+        """Wire messages per simulated second."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.messages_sent / (self.duration_ms / 1000.0)
+
+    @property
+    def maintenance_bytes_per_peer_s(self) -> float:
+        """Maintenance-traffic bytes per peer per simulated second."""
+        if self.duration_ms <= 0 or self.peers == 0:
+            return 0.0
+        return self.maintenance_bytes / self.peers / (self.duration_ms / 1000.0)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict for experiment tables and perf counters."""
+        return {
+            "duration_ms": self.duration_ms,
+            "peers": self.peers,
+            "discovered_peers": self.discovered_peers,
+            "live_peers": self.live_peers,
+            "messages_sent": self.messages_sent,
+            "messages_per_sec": round(self.messages_per_sec, 3),
+            "maintenance_bytes": self.maintenance_bytes,
+            "maintenance_bytes_per_peer_s": round(self.maintenance_bytes_per_peer_s, 3),
+            "beacons_sent": self.beacons_sent,
+            "retransmissions": self.retransmissions,
+            "dropped_messages": self.dropped_messages,
+            "duplicated_messages": self.duplicated_messages,
+            "reordered_messages": self.reordered_messages,
+            "discovery_p50_ms": self.discovery_latency.median if self.discovery_latency else None,
+            "discovery_p99_ms": self.discovery_latency.p99 if self.discovery_latency else None,
+            "staleness_p50_ms": self.staleness.median if self.staleness else None,
+            "staleness_p99_ms": self.staleness.p99 if self.staleness else None,
+            **self.host_counters,
+        }
+
+
+class ProtocolSimulation:
+    """Everything needed to run the beaconing protocol over a lossy wire.
+
+    Parameters
+    ----------
+    paths:
+        One :class:`RouterPath` per peer; the router topology is derived
+        from them (:func:`topology_from_paths`).
+    server:
+        Management plane to wrap; by default a fresh
+        :class:`ManagementServer` with every landmark appearing in
+        ``paths`` registered at its landmark-side router.
+    beacon_config:
+        Shared :class:`BeaconConfig` for every peer.
+    ttl_ms:
+        Host-side expiry TTL; defaults to ``3 × beacon_interval`` (a peer
+        survives two consecutive lost rounds before it is expired).
+    start_times_ms:
+        Per-peer beaconing start times (aligned with ``paths``); defaults
+        to deterministically staggering all starts across one beacon
+        interval, which is how real daemons desynchronise.
+    loss_probability / duplicate_probability / reorder_probability /
+    jitter_ms / fault_plan:
+        Passed through to :class:`SimulatedNetwork`.
+    seed:
+        Master seed; the network and every peer derive their own streams
+        from it.
+    """
+
+    def __init__(
+        self,
+        paths: Sequence[RouterPath],
+        server: Optional[Any] = None,
+        beacon_config: Optional[BeaconConfig] = None,
+        ttl_ms: Optional[float] = None,
+        start_times_ms: Optional[Sequence[float]] = None,
+        loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        reorder_probability: float = 0.0,
+        jitter_ms: float = 0.0,
+        fault_plan: Optional[NetworkFaultPlan] = None,
+        seed: int = 0,
+        hop_latency_ms: float = DEFAULT_HOP_LATENCY_MS,
+        neighbor_set_size: int = 5,
+    ) -> None:
+        if not paths:
+            raise ValueError("a protocol simulation needs at least one peer path")
+        if start_times_ms is not None and len(start_times_ms) != len(paths):
+            raise ValueError(
+                f"start_times_ms has {len(start_times_ms)} entries for {len(paths)} paths"
+            )
+        self.paths = list(paths)
+        self.config = beacon_config if beacon_config is not None else BeaconConfig()
+        self.ttl_ms = float(ttl_ms) if ttl_ms is not None else 3.0 * self.config.beacon_interval_ms
+        self.engine = Engine()
+        self.graph = topology_from_paths(self.paths, hop_latency_ms=hop_latency_ms)
+        # One shared distance engine, pre-warmed at the management host's
+        # router: latency is symmetric on the undirected topology, so the
+        # network answers every peer<->host lookup from this one vector
+        # instead of running a Dijkstra per peer access router.
+        distances = HopDistanceEngine(self.graph)
+        distances.warm_latencies([self.paths[0].landmark_router])
+        self.network = SimulatedNetwork(
+            self.engine,
+            self.graph,
+            distance_engine=distances,
+            jitter_ms=jitter_ms,
+            loss_probability=loss_probability,
+            duplicate_probability=duplicate_probability,
+            reorder_probability=reorder_probability,
+            seed=derive_seed(seed, "protocol-network"),
+            fault_plan=fault_plan,
+        )
+        if server is None:
+            server = ManagementServer(neighbor_set_size=neighbor_set_size)
+            for path in self.paths:
+                if path.landmark_id not in server.landmarks():
+                    server.register_landmark(path.landmark_id, path.landmark_router)
+        self.server = server
+        # The management host lives at the landmark-side router of the
+        # first path — the "server sits next to the landmark" picture the
+        # paper draws.
+        self.host = ProtocolManagementHost(
+            MANAGEMENT_HOST_ID,
+            self.engine,
+            self.network,
+            self.server,
+            ttl_ms=self.ttl_ms,
+        )
+        self.network.attach_host(MANAGEMENT_HOST_ID, self.paths[0].landmark_router, self.host)
+
+        if start_times_ms is None:
+            interval = self.config.beacon_interval_ms
+            start_times_ms = [
+                interval * index / max(1, len(self.paths)) for index in range(len(self.paths))
+            ]
+        self.start_times_ms = [float(value) for value in start_times_ms]
+        self.peers: Dict[PeerId, BeaconingPeer] = {}
+        for index, path in enumerate(self.paths):
+            peer = BeaconingPeer(
+                path.peer_id,
+                self.engine,
+                self.network,
+                MANAGEMENT_HOST_ID,
+                path,
+                config=self.config,
+                seed=derive_seed(seed, f"protocol-peer-{index}"),
+            )
+            self.peers[path.peer_id] = peer
+            self.network.attach_host(path.peer_id, path.access_router, peer)
+
+    # ---------------------------------------------------------------- scripting
+
+    def schedule_path_update(
+        self, peer_id: PeerId, at_ms: float, path: RouterPath, beacon_now: bool = True
+    ) -> None:
+        """Script a mobility handover: ``peer_id`` adopts ``path`` at ``at_ms``.
+
+        The new path's routers must already exist in the topology (pass
+        every post-handover path to the constructor, or keep handovers
+        within the derived topology).
+        """
+        peer = self.peers[peer_id]
+
+        def apply() -> None:
+            if self.network.is_attached(peer_id):
+                # Re-attach at the new access router: a new epoch, so
+                # messages in flight to the old attachment are dropped.
+                self.network.attach_host(peer_id, path.access_router, peer)
+            peer.update_path(path, beacon_now=beacon_now)
+
+        self.engine.schedule_at(at_ms, apply, label=f"handover:{peer_id}")
+
+    def schedule_stop(self, peer_id: PeerId, at_ms: float, detach: bool = True) -> None:
+        """Script a silent failure: the peer stops beaconing at ``at_ms``."""
+        peer = self.peers[peer_id]
+
+        def apply() -> None:
+            peer.stop()
+            if detach:
+                self.network.detach_host(peer_id)
+
+        self.engine.schedule_at(at_ms, apply, label=f"stop:{peer_id}")
+
+    # ---------------------------------------------------------------------- run
+
+    def run(self, duration_ms: float) -> ProtocolMetrics:
+        """Start everything, run the engine to ``duration_ms``, summarise."""
+        if duration_ms <= 0:
+            raise ValueError(f"duration_ms must be positive, got {duration_ms}")
+        self.host.start()
+        for path, start_at in zip(self.paths, self.start_times_ms):
+            self.peers[path.peer_id].start(initial_delay_ms=start_at)
+        self.engine.run(until=duration_ms)
+        return self.collect_metrics(duration_ms)
+
+    def collect_metrics(self, duration_ms: float) -> ProtocolMetrics:
+        """Summarise the run so far (callable mid-run from experiments)."""
+        discovery = [
+            peer.stats.discovery_latency_ms
+            for peer in self.peers.values()
+            if peer.stats.discovery_latency_ms is not None
+        ]
+        staleness = [
+            sample for peer in self.peers.values() for sample in peer.stats.update_latencies_ms
+        ]
+        return ProtocolMetrics(
+            duration_ms=duration_ms,
+            peers=len(self.peers),
+            discovered_peers=len(discovery),
+            live_peers=sum(
+                1 for peer_id in self.peers if self.host.is_live(peer_id)
+            ),
+            messages_sent=len(self.network.deliveries),
+            maintenance_bytes=sum(
+                wire_size(record.message) for record in self.network.deliveries
+            ),
+            beacons_sent=sum(peer.stats.beacons_sent for peer in self.peers.values()),
+            retransmissions=sum(peer.stats.retransmissions for peer in self.peers.values()),
+            dropped_messages=self.network.dropped_messages,
+            duplicated_messages=self.network.duplicated_messages,
+            reordered_messages=self.network.reordered_messages,
+            discovery_latency=_summary(discovery),
+            staleness=_summary(staleness),
+            host_counters=self.host.stats.as_dict(),
+        )
+
+    def close(self) -> None:
+        """Release the plane if this simulation owns remote resources."""
+        close = getattr(self.server, "close", None)
+        if callable(close):
+            close()

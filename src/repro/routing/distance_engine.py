@@ -502,6 +502,20 @@ class HopDistanceEngine:
         self._latency_vectors[key] = vector
         return vector
 
+    def has_latency_vector(self, source: NodeId, weight_key: str = DEFAULT_WEIGHT_KEY) -> bool:
+        """True when ``source``'s latency vector is already cached.
+
+        Lets callers on undirected graphs — where latency is symmetric —
+        pick the warm endpoint of a pair as the Dijkstra source instead of
+        paying one run per distinct cold source (the simulated network's
+        many-clients-one-server traffic pattern).
+        """
+        snapshot = self.snapshot()
+        index = snapshot.index.get(source)
+        if index is None:
+            return False
+        return (index, weight_key) in self._latency_vectors
+
     def warm_latencies(self, sources: Iterable[NodeId], weight_key: str = DEFAULT_WEIGHT_KEY) -> int:
         """Batched multi-source Dijkstra warm-up over one shared snapshot.
 

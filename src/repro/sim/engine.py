@@ -11,6 +11,7 @@ reproducibility.
 from __future__ import annotations
 
 import heapq
+import itertools
 from typing import Any, Callable, List, Optional
 
 from .._validation import require_non_negative_float
@@ -34,13 +35,23 @@ class Engine:
         self._running = False
         self._processed_events = 0
         self._stop_requested = False
+        # Engine-owned sequence numbers: two engines built back to back
+        # produce identical traces because neither sees the other's (or any
+        # earlier test's) scheduling history.
+        self._sequence_counter = itertools.count()
+
+    def _next_sequence(self) -> int:
+        """Allocate the next per-engine event sequence number."""
+        return next(self._sequence_counter)
 
     # -------------------------------------------------------------- schedule
 
     def schedule(self, delay: float, callback: EventCallback, label: str = "") -> TimerHandle:
         """Schedule ``callback`` to run ``delay`` time units from now."""
         require_non_negative_float(delay, "delay")
-        event = Event.at(self.now + delay, callback, label=label)
+        event = Event(
+            time=self.now + delay, sequence=self._next_sequence(), callback=callback, label=label
+        )
         heapq.heappush(self._queue, event)
         return TimerHandle(event)
 
@@ -48,7 +59,7 @@ class Engine:
         """Schedule ``callback`` at absolute simulated ``time``."""
         if time < self.now:
             raise ClockError(f"cannot schedule an event at {time} before current time {self.now}")
-        event = Event.at(time, callback, label=label)
+        event = Event(time=time, sequence=self._next_sequence(), callback=callback, label=label)
         heapq.heappush(self._queue, event)
         return TimerHandle(event)
 
@@ -133,6 +144,7 @@ class Engine:
         self._queue.clear()
         self._processed_events = 0
         self._stop_requested = False
+        self._sequence_counter = itertools.count()
 
     def __repr__(self) -> str:
         return f"Engine(now={self.now}, pending={self.pending_events})"

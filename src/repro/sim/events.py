@@ -13,6 +13,10 @@ from typing import Any, Callable, Optional
 
 EventCallback = Callable[[], Any]
 
+# Fallback counter for events built outside an engine (``Event.at`` in
+# tests).  Engines allocate sequence numbers from their *own* counter so
+# "same seed => same trace" never depends on whole-process history — see
+# ``Engine._next_sequence``.
 _sequence_counter = itertools.count()
 
 
@@ -32,7 +36,12 @@ class Event:
 
     @classmethod
     def at(cls, time: float, callback: EventCallback, label: str = "") -> "Event":
-        """Create an event scheduled at absolute ``time``."""
+        """Create an event scheduled at absolute ``time``.
+
+        Sequence numbers come from a module-level counter, which is fine for
+        hand-built events in tests; engine-scheduled events draw from the
+        engine's own counter instead (cross-engine determinism).
+        """
         return cls(time=time, sequence=next(_sequence_counter), callback=callback, label=label)
 
     def cancel(self) -> None:

@@ -4,8 +4,24 @@ The network layer connects protocol endpoints (peers, landmarks, the
 management server) to the discrete-event engine: ``send`` schedules the
 destination's ``handle_message`` after the one-way latency between the two
 hosts' attachment routers (computed over the router topology), plus optional
-fixed processing delay and random jitter.  Message loss can be injected for
-robustness experiments.
+fixed processing delay and random jitter.
+
+The wire is *lossy* on demand, three ways, all seed-deterministic:
+
+* probability knobs — ``loss_probability``, ``duplicate_probability`` and
+  ``reorder_probability`` perturb every message independently (the classic
+  UDP impairments: silent drops, at-least-once duplicates, late delivery
+  behind a younger message);
+* a scripted :class:`NetworkFaultPlan` — the *same*
+  :class:`~repro.core.chaos.Fault` vocabulary that scripts the chaos shard
+  backends (``drop`` / ``delay`` / ``duplicate`` / ``reorder`` /
+  ``partition``) applied to counted messages, so one fault plan stresses
+  the event sim and the serving plane identically;
+* teardown — a message in flight to a host that detaches before delivery
+  is recorded as dropped.  Attachments are *epoch-stamped*: re-attaching a
+  host id (handover, a restarted daemon) starts a new epoch, and messages
+  sent to an earlier epoch are dropped rather than delivered to the
+  successor.
 """
 
 from __future__ import annotations
@@ -19,6 +35,7 @@ from .._validation import (
     require_non_negative_float,
     require_probability,
 )
+from ..core.chaos import Fault, FaultPlan, WIRE_FAULT_KINDS
 from ..exceptions import SimulationError
 from ..routing.distance_engine import HopDistanceEngine
 from ..topology.graph import Graph
@@ -26,6 +43,65 @@ from .engine import Engine
 
 HostId = Hashable
 NodeId = Hashable
+
+
+def message_op_name(message: Any) -> str:
+    """The fault-plan operation name of one message.
+
+    Messages may carry an explicit ``op_name`` attribute; otherwise the
+    lowercased class name is used (``Beacon`` → ``"beacon"``), so
+    :class:`~repro.core.chaos.Fault` ``op_name`` filters read naturally.
+    """
+    explicit = getattr(message, "op_name", None)
+    if isinstance(explicit, str):
+        return explicit
+    return type(message).__name__.lower()
+
+
+class NetworkFaultPlan:
+    """Adapter: a :class:`~repro.core.chaos.FaultPlan` applied to the wire.
+
+    The adapter validates that every scripted fault uses the shared
+    lossy-wire vocabulary (:data:`~repro.core.chaos.WIRE_FAULT_KINDS`) —
+    backend-only kinds like ``crash_before`` have no wire meaning and are
+    rejected at construction, not at fire time.  Each ``send`` counts as
+    one operation named by :func:`message_op_name`, so ``op_name`` filters
+    (e.g. only ``"beacon"`` messages) and ``persistent=True`` compose
+    exactly as they do on a :class:`~repro.core.chaos.ChaosShardBackend`.
+
+    Effects (interpreted by :class:`SimulatedNetwork`):
+
+    * ``drop`` / ``partition`` — the message is dropped (partitions drop
+      every matching message inside their ``window_ops`` window);
+    * ``delay`` — ``delay_s`` (seconds) is added to the delivery as
+      ``delay_s * 1000`` simulated milliseconds;
+    * ``duplicate`` — the message is delivered twice, each copy with its
+      own latency sample;
+    * ``reorder`` — delivery is held until the next message to the same
+      recipient is delivered (the held copy arrives immediately after it).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        bad = [fault.kind for fault in plan.pending if fault.kind not in WIRE_FAULT_KINDS]
+        if bad:
+            raise SimulationError(
+                f"wire fault plans accept kinds {WIRE_FAULT_KINDS}, got {bad}"
+            )
+        self.plan = plan
+
+    @classmethod
+    def of(cls, *faults: Fault) -> "NetworkFaultPlan":
+        """Convenience constructor from bare faults."""
+        return cls(FaultPlan(faults))
+
+    @property
+    def fired(self) -> List[Tuple[int, str, str]]:
+        """``(message_count, kind, op_name)`` triples of fired faults."""
+        return self.plan.fired
+
+    def faults_for(self, op_name: str) -> List[Fault]:
+        """Count one message send and return the faults due for it."""
+        return self.plan.faults_for(op_name)
 
 
 class MessageHandler(Protocol):
@@ -46,6 +122,8 @@ class DeliveryRecord:
     recipient: HostId
     message: Any
     dropped: bool = False
+    duplicate: bool = False
+    """True for the extra copy a duplication fault/knob produced."""
 
 
 class SimulatedNetwork:
@@ -64,10 +142,24 @@ class SimulatedNetwork:
         Uniform random jitter added to each delivery.
     loss_probability:
         Probability that a message is silently dropped.
+    duplicate_probability:
+        Probability that a message is delivered twice (the duplicate gets
+        its own latency/jitter sample, so the copies may arrive in either
+        order — receivers must dedup).
+    reorder_probability:
+        Probability that a message is delivered *late*: it is held until
+        the next message to the same recipient is delivered and arrives
+        immediately after it (a pairwise swap, the minimal reordering).
+    seed:
+        Seed for every random decision (loss, jitter, duplication,
+        reordering) — same seed, same impairments.
     distance_engine:
         Optional shared :class:`HopDistanceEngine` over ``graph``; latency
         lookups use its cached per-source Dijkstra vectors (a scenario can
         hand in its own engine so the simulation shares its snapshot).
+    fault_plan:
+        Optional :class:`NetworkFaultPlan` scripting per-message faults on
+        top of (and independently of) the probability knobs.
     """
 
     def __init__(
@@ -77,36 +169,62 @@ class SimulatedNetwork:
         processing_delay_ms: float = 0.5,
         jitter_ms: float = 0.0,
         loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        reorder_probability: float = 0.0,
         seed: Optional[int] = None,
         distance_engine: Optional[HopDistanceEngine] = None,
+        fault_plan: Optional[NetworkFaultPlan] = None,
     ) -> None:
         self.engine = engine
         self.graph = graph
         self.processing_delay_ms = require_non_negative_float(processing_delay_ms, "processing_delay_ms")
         self.jitter_ms = require_non_negative_float(jitter_ms, "jitter_ms")
         self.loss_probability = require_probability(loss_probability, "loss_probability")
+        self.duplicate_probability = require_probability(
+            duplicate_probability, "duplicate_probability"
+        )
+        self.reorder_probability = require_probability(
+            reorder_probability, "reorder_probability"
+        )
         self._rng = random.Random(coerce_seed(seed))
         self._hosts: Dict[HostId, Tuple[NodeId, MessageHandler]] = {}
+        # Attachment epochs: bumped on every attach of a host id, checked at
+        # delivery — a message addressed to epoch N is dropped if the host
+        # detached, even when a successor re-attached as epoch N+1.
+        self._attach_epochs: Dict[HostId, int] = {}
+        # Reorder-held deliveries per recipient: (record, deliver_callback).
+        self._held: Dict[HostId, List[Tuple[DeliveryRecord, Callable[[], None]]]] = {}
         if distance_engine is None:
             distance_engine = HopDistanceEngine(graph)
         else:
             distance_engine.check_graph(graph)
         self._distances = distance_engine
+        self.fault_plan = fault_plan
         self.deliveries: List[DeliveryRecord] = []
         self.dropped_messages = 0
         self.sent_messages = 0
+        self.duplicated_messages = 0
+        self.reordered_messages = 0
 
     # ------------------------------------------------------------------ hosts
 
     def attach_host(self, host_id: HostId, router: NodeId, handler: MessageHandler) -> None:
-        """Attach a protocol endpoint to a router."""
+        """Attach a protocol endpoint to a router (starts a new epoch)."""
         if not self.graph.has_node(router):
             raise SimulationError(f"router {router!r} is not part of the topology")
         self._hosts[host_id] = (router, handler)
+        self._attach_epochs[host_id] = self._attach_epochs.get(host_id, 0) + 1
 
     def detach_host(self, host_id: HostId) -> None:
-        """Detach a departed host (queued deliveries to it are dropped)."""
+        """Detach a departed host.
+
+        Queued deliveries to it are dropped when they fire — including
+        reorder-held messages, which are dropped immediately (there is no
+        live endpoint left to release them to).
+        """
         self._hosts.pop(host_id, None)
+        for record, _deliver in self._held.pop(host_id, []):
+            self._drop(record)
 
     def is_attached(self, host_id: HostId) -> bool:
         """True if ``host_id`` is currently attached."""
@@ -121,17 +239,74 @@ class SimulatedNetwork:
     # ---------------------------------------------------------------- latency
 
     def one_way_latency(self, sender: HostId, recipient: HostId) -> float:
-        """Latency-weighted shortest-path delay between two hosts' routers."""
+        """Latency-weighted shortest-path delay between two hosts' routers.
+
+        The topology is undirected, so latency is symmetric — which lets
+        the lookup prefer whichever endpoint already has a cached latency
+        vector as the Dijkstra source.  Under the protocol's
+        many-peers-one-host traffic pattern that means one Dijkstra from
+        the host's router instead of one per peer access router.
+        """
         router_a = self.router_of(sender)
         router_b = self.router_of(recipient)
         if router_a == router_b:
             return 0.1  # same access router: LAN-ish delay
+        if self._distances.has_latency_vector(router_b) and not self._distances.has_latency_vector(
+            router_a
+        ):
+            router_a, router_b = router_b, router_a
         latency = self._distances.latency_between(router_a, router_b)
         if latency is None:
             raise SimulationError(f"no route between hosts {sender!r} and {recipient!r}")
         return latency
 
     # ------------------------------------------------------------------- send
+
+    def _drop(self, record: DeliveryRecord) -> None:
+        record.dropped = True
+        self.dropped_messages += 1
+
+    def _delivery_delay(self, sender: HostId, recipient: HostId) -> float:
+        return (
+            self.one_way_latency(sender, recipient)
+            + self.processing_delay_ms
+            + (self._rng.uniform(0.0, self.jitter_ms) if self.jitter_ms > 0 else 0.0)
+        )
+
+    def _schedule_delivery(
+        self,
+        record: DeliveryRecord,
+        extra_delay_ms: float = 0.0,
+        hold: bool = False,
+    ) -> None:
+        """Schedule (or, with ``hold``, park) one delivery."""
+        recipient = record.recipient
+        epoch = self._attach_epochs.get(recipient)
+
+        def deliver() -> None:
+            entry = self._hosts.get(recipient)
+            if entry is None or self._attach_epochs.get(recipient) != epoch:
+                # Detached in flight — or detached and re-attached: a new
+                # epoch must never receive the old epoch's traffic.
+                self._drop(record)
+                return
+            record.delivered_at = self.engine.now
+            entry[1].handle_message(record.sender, record.message)
+            self._release_held(recipient)
+
+        if hold:
+            self._held.setdefault(recipient, []).append((record, deliver))
+            return
+        delay = self._delivery_delay(record.sender, recipient) + extra_delay_ms
+        self.engine.schedule(delay, deliver, label=f"deliver:{record.sender}->{recipient}")
+
+    def _release_held(self, recipient: HostId) -> None:
+        """Deliver reorder-held messages right after a younger delivery."""
+        held = self._held.pop(recipient, None)
+        if not held:
+            return
+        for _record, deliver in held:
+            deliver()
 
     def send(self, sender: HostId, recipient: HostId, message: Any) -> DeliveryRecord:
         """Send ``message``; delivery is scheduled on the engine."""
@@ -149,29 +324,73 @@ class SimulatedNetwork:
         )
         self.deliveries.append(record)
 
+        # Scripted faults first (deterministic, counted per send), then the
+        # probability knobs (deterministic per seed).
+        extra_delay_ms = 0.0
+        duplicate = False
+        reorder = False
+        if self.fault_plan is not None:
+            for fault in self.fault_plan.faults_for(message_op_name(message)):
+                if fault.kind in ("drop", "partition"):
+                    self._drop(record)
+                    return record
+                if fault.kind == "delay":
+                    extra_delay_ms += fault.delay_s * 1000.0
+                elif fault.kind == "duplicate":
+                    duplicate = True
+                elif fault.kind == "reorder":
+                    reorder = True
         if self._rng.random() < self.loss_probability:
-            record.dropped = True
-            self.dropped_messages += 1
+            self._drop(record)
             return record
+        if self.duplicate_probability > 0 and self._rng.random() < self.duplicate_probability:
+            duplicate = True
+        if self.reorder_probability > 0 and self._rng.random() < self.reorder_probability:
+            reorder = True
 
-        delay = (
-            self.one_way_latency(sender, recipient)
-            + self.processing_delay_ms
-            + (self._rng.uniform(0.0, self.jitter_ms) if self.jitter_ms > 0 else 0.0)
-        )
-
-        def deliver() -> None:
-            entry = self._hosts.get(recipient)
-            if entry is None:
-                record.dropped = True
-                self.dropped_messages += 1
-                return
-            record.delivered_at = self.engine.now
-            entry[1].handle_message(sender, message)
-
-        self.engine.schedule(delay, deliver, label=f"deliver:{sender}->{recipient}")
+        if duplicate:
+            self.duplicated_messages += 1
+            copy = DeliveryRecord(
+                sent_at=record.sent_at,
+                delivered_at=None,
+                sender=sender,
+                recipient=recipient,
+                message=message,
+                duplicate=True,
+            )
+            self.deliveries.append(copy)
+            self._schedule_delivery(copy, extra_delay_ms=extra_delay_ms)
+        if reorder:
+            self.reordered_messages += 1
+        self._schedule_delivery(record, extra_delay_ms=extra_delay_ms, hold=reorder)
         return record
 
     def broadcast(self, sender: HostId, recipients: List[HostId], message: Any) -> List[DeliveryRecord]:
         """Send the same message to several recipients."""
         return [self.send(sender, recipient, message) for recipient in recipients]
+
+    # ------------------------------------------------------------- accounting
+
+    @property
+    def held_messages(self) -> int:
+        """Reorder-held messages still waiting for a younger delivery."""
+        return sum(len(entries) for entries in self._held.values())
+
+    def accounting_consistent(self) -> bool:
+        """Every recorded message is delivered, dropped, or still held/queued.
+
+        After the engine drains and no messages are held, ``deliveries``
+        must partition exactly into delivered and dropped — the invariant
+        the loss/teardown tests pin.
+        """
+        delivered = sum(1 for record in self.deliveries if record.delivered_at is not None)
+        dropped = sum(1 for record in self.deliveries if record.dropped)
+        in_flight = sum(
+            1
+            for record in self.deliveries
+            if record.delivered_at is None and not record.dropped
+        )
+        return (
+            dropped == self.dropped_messages
+            and delivered + dropped + in_flight == len(self.deliveries)
+        )

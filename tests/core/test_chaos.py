@@ -47,8 +47,42 @@ class TestFault:
             Fault(at_op=0, kind="error")
 
     def test_all_kinds_construct(self):
+        # Kinds with required options (validated at __post_init__) get them.
+        required = {
+            "delay": {"delay_s": 0.1},
+            "partition": {"window_ops": 1},
+            "reorder": {"op_name": "insert_paths"},
+        }
         for kind in FAULT_KINDS:
-            assert Fault(at_op=1, kind=kind).kind == kind
+            assert Fault(at_op=1, kind=kind, **required.get(kind, {})).kind == kind
+
+    def test_delay_requires_positive_delay_s(self):
+        with pytest.raises(ValueError):
+            Fault(at_op=1, kind="delay")
+        with pytest.raises(ValueError):
+            Fault(at_op=1, kind="delay", delay_s=-0.5)
+
+    def test_delay_s_rejected_on_other_kinds(self):
+        with pytest.raises(ValueError):
+            Fault(at_op=1, kind="drop", delay_s=0.1)
+
+    def test_partition_requires_a_window(self):
+        with pytest.raises(ValueError):
+            Fault(at_op=1, kind="partition")
+        with pytest.raises(ValueError):
+            Fault(at_op=1, kind="partition", window_ops=0)
+
+    def test_window_ops_rejected_on_other_kinds(self):
+        with pytest.raises(ValueError):
+            Fault(at_op=1, kind="drop", window_ops=2)
+
+    def test_reorder_requires_op_name(self):
+        with pytest.raises(ValueError):
+            Fault(at_op=1, kind="reorder")
+
+    def test_partition_window_end(self):
+        assert Fault(at_op=3, kind="partition", window_ops=4).window_end == 7
+        assert Fault(at_op=3, kind="error").window_end == 4
 
 
 class TestFaultPlan:
@@ -77,6 +111,34 @@ class TestFaultPlan:
         for count in (2, 3, 4):
             assert [fault.kind for fault in plan.faults_for("op")] == ["error"]
         assert [entry[0] for entry in plan.fired] == [2, 3, 4]
+        assert len(plan.pending) == 1
+
+    def test_partition_fires_on_every_op_in_window_then_heals(self):
+        plan = FaultPlan([Fault(at_op=2, kind="partition", window_ops=2)])
+        assert plan.faults_for("op") == []  # op 1: before the window
+        assert [fault.kind for fault in plan.faults_for("op")] == ["partition"]  # op 2
+        assert [fault.kind for fault in plan.faults_for("op")] == ["partition"]  # op 3
+        assert plan.faults_for("op") == []  # op 4: healed
+        assert plan.pending == ()
+        assert [entry[0] for entry in plan.fired] == [2, 3]
+
+    def test_partition_window_is_positional_but_fires_only_on_matching_ops(self):
+        # The window covers counted ops [2, 4) regardless of name; only the
+        # matching op inside it actually fires.
+        plan = FaultPlan(
+            [Fault(at_op=2, kind="partition", window_ops=2, op_name="insert_paths")]
+        )
+        assert plan.faults_for("insert_paths") == []  # op 1
+        assert plan.faults_for("local_closest") == []  # op 2: in window, wrong name
+        assert [fault.kind for fault in plan.faults_for("insert_paths")] == ["partition"]
+        assert plan.faults_for("insert_paths") == []  # op 4: window closed
+        assert plan.fired == [(3, "partition", "insert_paths")]
+
+    def test_persistent_partition_never_heals(self):
+        plan = FaultPlan([Fault(at_op=2, kind="partition", window_ops=1, persistent=True)])
+        assert plan.faults_for("op") == []
+        for count in (2, 3, 4, 5):
+            assert [fault.kind for fault in plan.faults_for("op")] == ["partition"]
         assert len(plan.pending) == 1
 
     def test_schedule_is_deterministic(self):
@@ -179,3 +241,90 @@ class TestChaosShardBackend:
             assert shard.name == "chaos-under-test"
             assert shard.supervisor.epoch == 1
             assert shard.fill_chunk_size == shard.inner.fill_chunk_size
+
+
+def inline_chaos(plan):
+    """Chaos wrapper around an in-process server (wire faults need no worker)."""
+    server = ManagementServer(neighbor_set_size=3, maintain_cache=False)
+    return server, ChaosShardBackend(server, plan)
+
+
+class TestWireFaultsOnBackend:
+    """The lossy-wire fault kinds applied to a shard backend's call stream.
+
+    The same vocabulary scripts the event sim's ``NetworkFaultPlan``
+    (tests/sim/test_network.py); these tests pin the backend half of the
+    contract documented in ``repro.core.chaos``.
+    """
+
+    def test_drop_never_reaches_the_worker_and_a_bare_retry_succeeds(self):
+        server, shard = inline_chaos(FaultPlan([Fault(at_op=2, kind="drop")]))
+        shard.register_landmark("lmA", "lmA")
+        with pytest.raises(ShardUnavailableError) as error:
+            shard.insert_paths([simple_path("p0", "lmA")])
+        assert "lost" in str(error.value)
+        # Unlike drop_reply, the request never reached the plane — so the
+        # caller's view and the plane agree, and a bare retry converges.
+        assert server.peer_count == 0
+        shard.insert_paths([simple_path("p0", "lmA")])
+        assert server.has_peer("p0")
+
+    def test_partition_fails_every_call_in_the_window_then_heals(self):
+        server, shard = inline_chaos(
+            FaultPlan([Fault(at_op=2, kind="partition", window_ops=2)])
+        )
+        shard.register_landmark("lmA", "lmA")  # op 1
+        for _attempt in (2, 3):
+            with pytest.raises(ShardUnavailableError):
+                shard.insert_paths([simple_path("p0", "lmA")])
+        shard.insert_paths([simple_path("p0", "lmA")])  # op 4: healed
+        assert server.has_peer("p0")
+        assert [entry[0] for entry in shard.plan.fired] == [2, 3]
+
+    def test_duplicate_applies_the_op_twice_and_registration_dedups(self):
+        server, shard = inline_chaos(FaultPlan([Fault(at_op=2, kind="duplicate")]))
+        shard.register_landmark("lmA", "lmA")
+        shard.insert_paths([simple_path("p0", "lmA")])
+        # register_peer unregisters-then-reinserts, so the duplicated apply
+        # leaves exactly one registration — at-least-once delivery is safe.
+        assert server.has_peer("p0")
+        assert server.peer_count == 1
+
+    def test_reorder_defers_a_one_way_op_until_the_next_call(self):
+        server, shard = inline_chaos(
+            FaultPlan([Fault(at_op=2, kind="reorder", op_name="insert_paths")])
+        )
+        shard.register_landmark("lmA", "lmA")  # op 1
+        shard.insert_paths([simple_path("p0", "lmA")])  # op 2: held, not applied
+        assert server.peer_count == 0
+        shard.insert_paths([simple_path("p1", "lmA")])  # op 3: applied, then flush
+        assert server.has_peer("p1")
+        assert server.has_peer("p0")  # the held insert arrived late, not lost
+
+    def test_reorder_on_a_value_returning_op_raises_typed(self):
+        _server, shard = inline_chaos(
+            FaultPlan([Fault(at_op=1, kind="reorder", op_name="local_closest")])
+        )
+        with pytest.raises(ShardUnavailableError) as error:
+            shard.local_closest("p0", 3)
+        assert "one-way" in str(error.value)
+
+    def test_close_flushes_reordered_ops(self):
+        server, shard = inline_chaos(
+            FaultPlan([Fault(at_op=2, kind="reorder", op_name="insert_paths")])
+        )
+        shard.register_landmark("lmA", "lmA")
+        shard.insert_paths([simple_path("p0", "lmA")])  # held
+        shard.close()  # reordered means late, not lost
+        assert server.has_peer("p0")
+
+    def test_persistent_drop_with_op_name_filter_targets_one_stream(self):
+        server, shard = inline_chaos(
+            FaultPlan([Fault(at_op=1, kind="drop", op_name="insert_paths", persistent=True)])
+        )
+        shard.register_landmark("lmA", "lmA")  # unfiltered op passes
+        for _attempt in range(2):
+            with pytest.raises(ShardUnavailableError):
+                shard.insert_paths([simple_path("p0", "lmA")])
+        assert server.peer_count == 0
+        assert {entry[2] for entry in shard.plan.fired} == {"insert_paths"}

@@ -1,0 +1,57 @@
+"""Tests for the lossy-wire protocol experiment sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.protocol_sim import (
+    FAMILIES,
+    ProtocolSimConfig,
+    quick_protocol_sim_config,
+    run_protocol_family,
+    run_protocol_sim,
+)
+from repro.experiments.runner import available_experiments
+
+TINY = ProtocolSimConfig(
+    peers=8,
+    beacon_intervals_ms=(250.0,),
+    loss_rates=(0.0, 0.2),
+    duration_ms=2_000.0,
+)
+
+
+class TestSweep:
+    def test_table_shape_covers_the_whole_grid(self):
+        table = run_protocol_sim(TINY)
+        assert table.name == "protocol-sim"
+        assert len(table.rows) == len(FAMILIES) * 1 * 2
+        assert {(row["family"], row["loss"]) for row in table.rows} == {
+            (family, loss) for family in FAMILIES for loss in (0.0, 0.2)
+        }
+        assert table.metadata["duration_ms"] == 2_000.0
+        for row in table.rows:
+            assert row["peers"] == 8
+            assert row["messages_per_sec"] > 0
+            if row["loss"] == 0.0:
+                # With a perfect wire every family discovers everyone.
+                assert row["discovered"] == 8
+        handover_rows = [
+            row for row in table.rows if row["family"] == "mobility-handover"
+        ]
+        assert all(row["staleness_p50_ms"] is not None for row in handover_rows)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            run_protocol_family("carrier-pigeon", TINY, 250.0, 0.0)
+
+    def test_quick_config_is_ci_sized(self):
+        config = quick_protocol_sim_config()
+        assert config.peers <= 16
+        assert config.duration_ms <= 5_000.0
+        assert len(config.beacon_intervals_ms) * len(config.loss_rates) == 4
+
+    def test_registered_in_the_experiment_registry(self):
+        names = available_experiments()
+        assert "protocol-sim" in names
+        assert "protocol-sim-quick" in names

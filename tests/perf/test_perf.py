@@ -28,6 +28,7 @@ from repro.perf.workloads import (
     run_departure_workload,
     run_discovery_suite,
     run_insert_workload,
+    run_protocol_workload,
     run_query_workload,
     run_recovery_workload,
     run_serving_workload,
@@ -49,6 +50,12 @@ SMALL_BUILD_MAP = dict(
     stub_size=60,
     stub_attachment=1,
 )
+
+
+def _algorithmic(counters):
+    """Drop the host-dependent memory readings (``ru_maxrss`` is a process
+    high-water mark, so it can grow between two otherwise identical cells)."""
+    return {k: v for k, v in counters.items() if k not in ("peak_rss_kb", "bytes_per_peer")}
 
 
 class TestTimer:
@@ -111,7 +118,7 @@ class TestReport:
         }
         rebuilt = PerfReport.from_dict(data)
         assert rebuilt.records[0].shards is None
-        assert rebuilt.records[0].cell == ("query", 20, None, "inline", None, None)
+        assert rebuilt.records[0].cell == ("query", 20, None, "inline", None, None, None)
 
     def test_schema_v2_records_load_as_inline_backend(self):
         """Pre-backend reports (no 'backend' key) line up with inline cells."""
@@ -124,7 +131,7 @@ class TestReport:
         }
         rebuilt = PerfReport.from_dict(data)
         assert rebuilt.records[0].backend == "inline"
-        assert rebuilt.records[0].cell == ("churn", 20, 2, "inline", None, None)
+        assert rebuilt.records[0].cell == ("churn", 20, 2, "inline", None, None, None)
 
     def test_write_emits_valid_json(self, tmp_path):
         report = PerfReport()
@@ -233,7 +240,7 @@ class TestArrivalWorkload:
         assert record.population == 40
         assert record.ops == 12
         assert record.batch_size == 4
-        assert record.cell == ("arrival", 40, None, "inline", 4, None)
+        assert record.cell == ("arrival", 40, None, "inline", 4, None, None)
         assert record.counters["registrations"] == 12
         assert "tree_node_visits" in record.counters
         assert "trie_nodes_created" in record.counters
@@ -283,10 +290,10 @@ class TestArrivalWorkload:
 
     def test_arrival_runs_sharded_and_process(self):
         inline = run_arrival_workload(40, ops=8, seed=2, shards=2, batch_size=4)
-        assert inline.cell == ("arrival", 40, 2, "inline", 4, None)
+        assert inline.cell == ("arrival", 40, 2, "inline", 4, None, None)
         process = run_arrival_workload(40, ops=8, seed=2, shards=2, backend="process", batch_size=4)
-        assert process.cell == ("arrival", 40, 2, "process", 4, None)
-        assert process.counters == inline.counters
+        assert process.cell == ("arrival", 40, 2, "process", 4, None, None)
+        assert _algorithmic(process.counters) == _algorithmic(inline.counters)
         assert multiprocessing.active_children() == []
 
 
@@ -357,9 +364,9 @@ class TestBuildWorkload:
 
     def test_build_sharded_and_process_cells_tag_records(self):
         inline = self._record(population=30, shards=2)
-        assert inline.cell == ("build", 30, 2, "inline", None, None)
+        assert inline.cell == ("build", 30, 2, "inline", None, None, None)
         process = self._record(population=30, shards=2, backend="process")
-        assert process.cell == ("build", 30, 2, "process", None, None)
+        assert process.cell == ("build", 30, 2, "process", None, None, None)
         assert multiprocessing.active_children() == []
 
     def test_build_rejects_bad_backend(self):
@@ -534,7 +541,7 @@ class TestRecoveryWorkload:
         )
         result = compare_reports(baseline, current)
         assert result.ok
-        assert result.current_only == [("recovery", 200, 1, "process", None, None)]
+        assert result.current_only == [("recovery", 200, 1, "process", None, None, None)]
 
 
 class TestProcessBackendWorkloads:
@@ -724,7 +731,7 @@ class TestServingWorkload:
             assert record.population == 60
             # fleet total: every reader runs every pass over the sample
             assert record.ops == 50 * record.readers * _SERVING_LATENCY_PASSES
-            assert record.cell == ("serving", 60, None, "inline", None, record.readers)
+            assert record.cell == ("serving", 60, None, "inline", None, record.readers, None)
             for counter in (
                 "capacity_qps",
                 "wall_qps",
@@ -750,7 +757,7 @@ class TestServingWorkload:
 
     def test_serving_runs_on_a_sharded_plane(self):
         (record,) = run_serving_workload(60, ops=30, seed=2, shards=2, reader_counts=(2,))
-        assert record.cell == ("serving", 60, 2, "inline", None, 2)
+        assert record.cell == ("serving", 60, 2, "inline", None, 2, None)
         assert record.counters["capacity_qps"] > 0
 
     def test_serving_answers_match_the_live_plane(self):
@@ -769,6 +776,56 @@ class TestServingWorkload:
 
     def test_default_reader_counts_cover_the_acceptance_sweep(self):
         assert DEFAULT_READER_COUNTS == (1, 2, 4)
+
+
+class TestProtocolWorkload:
+    def test_protocol_records_shape(self):
+        records = run_protocol_workload(20, seed=3, loss_rates=(0.0, 0.2))
+        assert [record.loss for record in records] == [0.0, 0.2]
+        for record in records:
+            assert record.workload == "protocol"
+            assert record.population == 20
+            assert record.shards is None
+            assert record.backend == "inline"
+            assert record.cell == ("protocol", 20, None, "inline", None, None, record.loss)
+            assert record.ops > 0  # wire messages carried
+            counters = record.counters
+            assert counters["discovered_peers"] == 20
+            assert counters["messages_per_sec"] > 0
+            assert counters["maintenance_bytes_per_peer_s"] > 0
+            assert counters["discovery_p99_ms"] >= counters["discovery_p50_ms"] > 0
+            assert counters["peak_rss_kb"] > 0
+        clean, lossy = records
+        assert clean.counters["dropped_messages"] == 0
+        assert clean.counters["retransmissions"] == 0
+        assert lossy.counters["dropped_messages"] > 0
+        assert lossy.counters["retransmissions"] > 0
+
+    @pytest.mark.parametrize("rates", [(), (1.0,), (-0.1,), (0.0, 1.5)])
+    def test_bad_loss_rates_rejected(self, rates):
+        with pytest.raises(ValueError):
+            run_protocol_workload(20, loss_rates=rates)
+
+    def test_simulated_counters_are_deterministic(self):
+        """Wall-clock timing varies, but the simulated-time counters — the
+        paper-facing numbers — must be byte-identical across runs."""
+
+        def counters():
+            [record] = run_protocol_workload(16, seed=3, loss_rates=(0.25,))
+            return record.ops, _algorithmic(record.counters)
+
+        assert counters() == counters()
+
+    def test_suite_runs_protocol_cells_only_when_asked(self):
+        report = run_discovery_suite(
+            populations=(20,), ops=30, protocol_loss_rates=(0.0,)
+        )
+        protocol = [r for r in report.records if r.workload == "protocol"]
+        assert [record.loss for record in protocol] == [0.0]
+        assert report.metadata["protocol_loss_rates"] == [0.0]
+        without = run_discovery_suite(populations=(20,), ops=30)
+        assert not [r for r in without.records if r.workload == "protocol"]
+        assert without.metadata["protocol_loss_rates"] is None
 
 
 class TestCommittedBaseline:
@@ -815,6 +872,21 @@ class TestCommittedBaseline:
             assert record["counters"]["peak_rss_kb"] > 0
             assert record["counters"]["bytes_per_peer"] > 0
 
+    def test_baseline_covers_the_protocol_loss_sweep(self, baseline):
+        """Schema v9: the beaconing protocol is recorded at every default
+        wire-loss rate, so CI gates the lossy-wire cells too."""
+        protocol_losses = {
+            record["loss"]
+            for record in baseline["records"]
+            if record["workload"] == "protocol"
+        }
+        assert protocol_losses == {0.0, 0.1, 0.3}
+        for record in baseline["records"]:
+            if record["workload"] == "protocol":
+                assert record["counters"]["discovered_peers"] > 0
+            else:
+                assert record["loss"] is None
+
 
 def _report_from_cells(cells):
     """Build a PerfReport from (workload, population, shards, per_op_us[, backend]) rows."""
@@ -848,7 +920,7 @@ class TestCompare:
         result = compare_reports(baseline, current, threshold=0.25)
         assert not result.ok
         assert [delta.key for delta in result.regressions] == [
-            ("query", 200, None, "inline", None, None)
+            ("query", 200, None, "inline", None, None, None)
         ]
         assert "REGRESSION" in result.to_text()
         assert "FAIL" in result.to_text()
@@ -862,7 +934,7 @@ class TestCompare:
         baseline = _report_from_cells([("query", 200, 1, 10.0), ("query", 200, 4, 10.0)])
         current = _report_from_cells([("query", 200, 1, 10.0), ("query", 200, 4, 30.0)])
         result = compare_reports(baseline, current)
-        assert [delta.key for delta in result.regressions] == [("query", 200, 4, "inline", None, None)]
+        assert [delta.key for delta in result.regressions] == [("query", 200, 4, "inline", None, None, None)]
 
     def test_cells_are_keyed_by_backend_too(self):
         """A slow process cell never fails an inline cell, and vice versa."""
@@ -873,7 +945,7 @@ class TestCompare:
             [("query", 200, 2, 10.0), ("query", 200, 2, 90.0, "process")]
         )
         result = compare_reports(baseline, current)
-        assert [delta.key for delta in result.regressions] == [("query", 200, 2, "process", None, None)]
+        assert [delta.key for delta in result.regressions] == [("query", 200, 2, "process", None, None, None)]
 
     def test_process_cells_against_inline_baseline_are_new_cells(self):
         """The --backend dimension must not break pre-v3 baselines: inline
@@ -884,16 +956,16 @@ class TestCompare:
         )
         result = compare_reports(baseline, current)
         assert result.ok
-        assert [delta.key for delta in result.deltas] == [("query", 200, 2, "inline", None, None)]
-        assert result.current_only == [("query", 200, 2, "process", None, None)]
+        assert [delta.key for delta in result.deltas] == [("query", 200, 2, "inline", None, None, None)]
+        assert result.current_only == [("query", 200, 2, "process", None, None, None)]
 
     def test_unmatched_cells_are_reported_but_never_fail(self):
         baseline = _report_from_cells([("query", 200, None, 10.0), ("query", 800, None, 10.0)])
         current = _report_from_cells([("query", 200, None, 10.0), ("query", 200, 2, 99.0)])
         result = compare_reports(baseline, current)
         assert result.ok
-        assert result.baseline_only == [("query", 800, None, "inline", None, None)]
-        assert result.current_only == [("query", 200, 2, "inline", None, None)]
+        assert result.baseline_only == [("query", 800, None, "inline", None, None, None)]
+        assert result.current_only == [("query", 200, 2, "inline", None, None, None)]
         text = result.to_text()
         assert "baseline only" in text
         assert "new cell" in text
@@ -911,7 +983,7 @@ class TestCompare:
         result = compare_reports(baseline, current, threshold=0.25)
         assert not result.ok
         assert [delta.key for delta in result.regressions] == [
-            ("build", 12800, None, "inline", None, None)
+            ("build", 12800, None, "inline", None, None, None)
         ]
 
     def test_cells_are_keyed_by_batch_size_too(self):
@@ -929,7 +1001,7 @@ class TestCompare:
             )
         result = compare_reports(baseline, current)
         assert [delta.key for delta in result.regressions] == [
-            ("arrival", 200, None, "inline", 32, None)
+            ("arrival", 200, None, "inline", 32, None, None)
         ]
 
     def test_arrival_cells_against_pre_v5_baseline_are_new_cells(self):
@@ -940,7 +1012,7 @@ class TestCompare:
         )
         result = compare_reports(baseline, current)
         assert result.ok
-        assert result.current_only == [("arrival", 200, None, "inline", 32, None)]
+        assert result.current_only == [("arrival", 200, None, "inline", 32, None, None)]
         assert "batch=32" in result.to_text()
 
     def test_cells_are_keyed_by_readers_too(self):
@@ -958,7 +1030,7 @@ class TestCompare:
             )
         result = compare_reports(baseline, current)
         assert [delta.key for delta in result.regressions] == [
-            ("serving", 200, None, "inline", None, 4)
+            ("serving", 200, None, "inline", None, 4, None)
         ]
 
     def test_serving_cells_against_pre_v8_baseline_are_new_cells(self):
@@ -969,8 +1041,37 @@ class TestCompare:
         )
         result = compare_reports(baseline, current)
         assert result.ok
-        assert result.current_only == [("serving", 200, None, "inline", None, 2)]
+        assert result.current_only == [("serving", 200, None, "inline", None, 2, None)]
         assert "readers=2" in result.to_text()
+
+    def test_cells_are_keyed_by_loss_too(self):
+        """A slow protocol cell at one loss rate never fails another."""
+        baseline = PerfReport()
+        current = PerfReport()
+        for report, slow_us in ((baseline, 10.0), (current, 90.0)):
+            report.add(
+                PerfRecord(workload="protocol", population=200, ops=100,
+                           total_s=10.0 * 100 / 1e6, loss=0.0)
+            )
+            report.add(
+                PerfRecord(workload="protocol", population=200, ops=100,
+                           total_s=slow_us * 100 / 1e6, loss=0.3)
+            )
+        result = compare_reports(baseline, current)
+        assert [delta.key for delta in result.regressions] == [
+            ("protocol", 200, None, "inline", None, None, 0.3)
+        ]
+
+    def test_protocol_cells_against_pre_v9_baseline_are_new_cells(self):
+        baseline = _report_from_cells([("query", 200, None, 10.0)])
+        current = _report_from_cells([("query", 200, None, 10.0)])
+        current.add(
+            PerfRecord(workload="protocol", population=200, ops=10, total_s=0.1, loss=0.1)
+        )
+        result = compare_reports(baseline, current)
+        assert result.ok
+        assert result.current_only == [("protocol", 200, None, "inline", None, None, 0.1)]
+        assert "loss=0.1" in result.to_text()
 
     def test_delta_ratio(self):
         delta = CellDelta("query", 200, None, baseline_us=10.0, current_us=15.0)
@@ -1059,6 +1160,25 @@ class TestCli:
     def test_invalid_readers_spec_is_rejected(self, spec, tmp_path):
         with pytest.raises(SystemExit):
             run_perf(["--populations", "20", "--ops", "3", "--readers", spec,
+                      "--output", str(tmp_path / "b.json")])
+
+    def test_protocol_loss_flag_runs_one_cell_per_rate(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = run_perf(
+            ["--populations", "20", "--ops", "4", "--protocol-loss", "0,0.2",
+             "--output", str(output)]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        protocol = [r for r in data["records"] if r["workload"] == "protocol"]
+        assert sorted(r["loss"] for r in protocol) == [0.0, 0.2]
+        assert all(r["loss"] is None for r in data["records"] if r["workload"] != "protocol")
+        assert data["metadata"]["protocol_loss_rates"] == [0.0, 0.2]
+
+    @pytest.mark.parametrize("spec", ["1.0", "0,-0.5", "abc", ","])
+    def test_invalid_protocol_loss_spec_is_rejected(self, spec, tmp_path):
+        with pytest.raises(SystemExit):
+            run_perf(["--populations", "20", "--ops", "3", "--protocol-loss", spec,
                       "--output", str(tmp_path / "b.json")])
 
     def test_backend_flag_runs_process_cells(self, tmp_path):

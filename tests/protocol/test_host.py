@@ -1,0 +1,226 @@
+"""Receive-side protocol semantics: dedup, expiry, quarantine, ack-after-apply.
+
+The host is driven directly over a :class:`SimulatedNetwork` so each test
+controls exactly which messages arrive, in which order, at which simulated
+time — the unit-level complement of the end-to-end runs in
+``test_simulation.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ManagementServer
+from repro.core.path import RouterPath
+from repro.protocol import Beacon, BeaconAck, ProtocolManagementHost
+from repro.sim.engine import Engine
+from repro.sim.network import SimulatedNetwork
+
+HOST = "mgmt"
+TTL_MS = 100.0
+
+
+def path_for(peer, access="a1"):
+    return RouterPath.from_routers(peer, "lmA", [f"lmA-{access}", "lmA-core", "lmA"])
+
+
+class Recorder:
+    """Peer-side handler recording acks with their arrival times."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.received = []
+
+    def handle_message(self, sender, message):
+        self.received.append((self.engine.now, sender, message))
+
+
+@pytest.fixture()
+def plane(line_graph):
+    """Engine, network, server and a started host, plus two peer endpoints."""
+    engine = Engine()
+    network = SimulatedNetwork(engine, line_graph, processing_delay_ms=0.0, seed=5)
+    server = ManagementServer(neighbor_set_size=3)
+    server.register_landmark("lmA", "lmA")
+    host = ProtocolManagementHost(HOST, engine, network, server, ttl_ms=TTL_MS)
+    network.attach_host(HOST, 0, host)
+    senders = {}
+    for peer_id, router in (("p0", 5), ("p1", 3)):
+        recorder = Recorder(engine)
+        network.attach_host(peer_id, router, recorder)
+        senders[peer_id] = recorder
+    return engine, network, server, host, senders
+
+
+def beacon_from(network, peer_id, seq, path=None):
+    path = path if path is not None else path_for(peer_id)
+    network.send(peer_id, HOST, Beacon(peer_id=peer_id, seq=seq, path=path))
+
+
+class TestRegistration:
+    def test_first_beacon_registers_and_acks_after_apply(self, plane):
+        engine, network, server, host, senders = plane
+        beacon_from(network, "p0", 0)
+        engine.run()
+        assert server.has_peer("p0")
+        assert host.is_live("p0")
+        assert host.stats.beacons_registered == 1
+        assert host.stats.acks_sent == 1
+        [(_, sender, ack)] = senders["p0"].received
+        assert sender == HOST
+        assert ack == BeaconAck(peer_id="p0", seq=0)
+
+    def test_duplicate_beacon_reacks_without_plane_work(self, plane):
+        engine, network, server, host, senders = plane
+        beacon_from(network, "p0", 0)
+        engine.run()
+        generation = server._cache.membership_generation
+        heard_first = host.last_heard("p0")
+        beacon_from(network, "p0", 0)  # wire duplicate / retransmit
+        engine.run()
+        assert host.stats.duplicate_beacons == 1
+        assert host.stats.beacons_registered == 1
+        assert server._cache.membership_generation == generation
+        # Re-acked so the sender stops retransmitting...
+        assert len(senders["p0"].received) == 2
+        # ...and the retransmit of the *current* round still refreshes the TTL.
+        assert host.last_heard("p0") > heard_first
+
+    def test_same_path_reannounce_is_a_refresh_not_a_reregister(self, plane):
+        engine, network, server, host, _senders = plane
+        beacon_from(network, "p0", 0)
+        engine.run()
+        generation = server._cache.membership_generation
+        beacon_from(network, "p0", 1)  # next round, same path
+        engine.run()
+        assert host.stats.beacons_refreshed == 1
+        assert host.stats.beacons_registered == 1
+        assert server._cache.membership_generation == generation
+
+    def test_new_path_reregisters(self, plane):
+        engine, network, server, host, _senders = plane
+        beacon_from(network, "p0", 0)
+        engine.run()
+        beacon_from(network, "p0", 1, path=path_for("p0", access="a2"))
+        engine.run()
+        assert host.stats.beacons_registered == 2
+        assert server.peer_path("p0") == path_for("p0", access="a2")
+
+    def test_ack_skipped_for_a_sender_that_detached_in_flight(self, plane):
+        engine, network, server, host, senders = plane
+        beacon_from(network, "p0", 0)
+        network.detach_host("p0")
+        engine.run()
+        # The beacon was already in flight, so it still registers; the ack
+        # has nowhere to go and is skipped rather than crashing the host.
+        assert server.has_peer("p0")
+        assert host.stats.acks_sent == 0
+        assert senders["p0"].received == []
+
+
+class TestQuarantine:
+    def test_malformed_message_bans_the_sender(self, plane):
+        engine, network, server, host, _senders = plane
+        network.send("p1", HOST, "garbage")
+        engine.run()
+        assert "p1" in host.banned
+        assert host.stats.malformed_messages == 1
+        assert host.stats.peers_banned == 1
+        # Even well-formed beacons from a banned sender never reach the plane.
+        beacon_from(network, "p1", 0)
+        engine.run()
+        assert host.stats.banned_beacons_dropped == 1
+        assert host.stats.beacons_received == 0
+        assert not server.has_peer("p1")
+
+    def test_forged_peer_id_bans_and_evicts_the_sender(self, plane):
+        engine, network, server, host, _senders = plane
+        beacon_from(network, "p1", 0)  # legitimate registration first
+        engine.run()
+        assert server.has_peer("p1")
+        # p1 claims to be p0: sender/peer_id mismatch.
+        network.send("p1", HOST, Beacon(peer_id="p0", seq=0, path=path_for("p0")))
+        engine.run()
+        assert "p1" in host.banned
+        assert not server.has_peer("p1")  # quarantine evicts registered state
+        assert not server.has_peer("p0")  # the forged identity never lands
+
+    def test_forged_path_owner_bans(self, plane):
+        engine, network, server, host, _senders = plane
+        # p1 announces its own id but a path recorded for p0.
+        network.send("p1", HOST, Beacon(peer_id="p1", seq=0, path=path_for("p0")))
+        engine.run()
+        assert "p1" in host.banned
+        assert not server.has_peer("p1")
+        assert host.stats.beacons_received == 0  # never counted as protocol traffic
+
+
+class TestExpiry:
+    def test_silent_peer_expires_after_ttl(self, plane):
+        engine, network, server, host, _senders = plane
+        expired_log = []
+        host.on_expire = lambda peer_id, now: expired_log.append((peer_id, now))
+        host.start()
+        beacon_from(network, "p0", 0)
+        engine.run(until=TTL_MS * 3)  # silence after the single beacon
+        assert not host.is_live("p0")
+        assert not server.has_peer("p0")
+        assert host.stats.peers_expired == 1
+        assert expired_log and expired_log[0][0] == "p0"
+        # The sweep lags the TTL by at most one sweep interval (ttl/4).
+        heard_at = 5.0  # delivery latency from router 5 to router 0
+        assert heard_at + TTL_MS < expired_log[0][1] <= heard_at + TTL_MS * 1.25 + 1
+
+    def test_expired_peer_reregisters_cleanly_and_dedup_survives_expiry(self, plane):
+        engine, network, server, host, _senders = plane
+        host.start()
+        beacon_from(network, "p0", 3)
+        engine.run(until=TTL_MS * 3)
+        assert not server.has_peer("p0")
+        generation = server._cache.membership_generation
+        # A late retransmit from before the outage must still be deduped —
+        # expiry forgets liveness, not sequence numbers.
+        beacon_from(network, "p0", 3)
+        engine.run(until=TTL_MS * 3 + 20)
+        assert host.stats.duplicate_beacons == 1
+        assert not server.has_peer("p0")
+        # Resumed beaconing (fresh round) re-registers cleanly.
+        beacon_from(network, "p0", 4)
+        engine.run(until=TTL_MS * 3 + 40)
+        assert server.has_peer("p0")
+        assert host.is_live("p0")
+        assert host.stats.beacons_registered == 2
+        assert server._cache.membership_generation > generation
+
+    def test_live_peer_survives_sweeps_while_beaconing(self, plane):
+        engine, network, server, host, _senders = plane
+        host.start()
+        for round_number in range(6):
+            engine.schedule_at(
+                round_number * (TTL_MS / 2.0),
+                lambda seq=round_number: beacon_from(network, "p0", seq),
+            )
+        engine.run(until=TTL_MS * 3)
+        assert host.is_live("p0")
+        assert host.stats.peers_expired == 0
+
+    def test_stop_cancels_the_sweep(self, plane):
+        engine, _network, _server, host, _senders = plane
+        host.start()
+        host.stop()
+        engine.run(until=TTL_MS * 10)
+        assert engine.pending_events == 0
+
+
+class TestValidation:
+    def test_ttl_must_be_positive(self, plane):
+        engine, network, server, _host, _senders = plane
+        with pytest.raises(ValueError):
+            ProtocolManagementHost(HOST, engine, network, server, ttl_ms=0.0)
+
+    def test_sweep_interval_must_be_positive(self, plane):
+        engine, network, server, _host, _senders = plane
+        with pytest.raises(ValueError):
+            ProtocolManagementHost(
+                HOST, engine, network, server, ttl_ms=100.0, sweep_interval_ms=-1.0
+            )

@@ -1,0 +1,149 @@
+"""End-to-end protocol runs: the oracle, the acceptance bounds, the scripts.
+
+These are the PR's acceptance tests: with a perfect wire the protocol's
+view of the plane is byte-identical to driving the plane directly, and
+with a scripted-lossy wire every live peer is still discovered within the
+``k × beacon_interval + TTL`` bound while duplicates never double-register.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ManagementServer
+from repro.core.chaos import Fault
+from repro.core.path import RouterPath
+from repro.perf.workloads import synthetic_paths
+from repro.protocol import BeaconConfig, ProtocolSimulation
+from repro.sim.network import NetworkFaultPlan
+
+
+def reference_server(paths, neighbor_set_size=5):
+    """The oracle: the same plane driven directly, no wire in between."""
+    server = ManagementServer(neighbor_set_size=neighbor_set_size)
+    for path in paths:
+        if path.landmark_id not in server.landmarks():
+            server.register_landmark(path.landmark_id, path.landmark_router)
+    for path in paths:
+        server.register_peer(path)
+    return server
+
+
+class TestZeroLossOracle:
+    def test_protocol_converges_to_the_directly_driven_plane(self):
+        paths = synthetic_paths(24, seed=3)
+        sim = ProtocolSimulation(paths, seed=3)
+        metrics = sim.run(3000.0)
+        assert metrics.discovered_peers == metrics.live_peers == 24
+        assert metrics.dropped_messages == 0
+        assert metrics.retransmissions == 0
+        assert sim.network.accounting_consistent()
+        reference = reference_server(paths)
+        for path in paths:
+            assert sim.server.closest_peers(path.peer_id) == reference.closest_peers(
+                path.peer_id
+            ), path.peer_id
+
+    def test_same_seed_same_report(self):
+        def run_once():
+            sim = ProtocolSimulation(
+                synthetic_paths(12, seed=3),
+                loss_probability=0.3,
+                duplicate_probability=0.05,
+                seed=11,
+            )
+            return sim.run(2000.0).as_dict()
+
+        assert run_once() == run_once()
+
+
+class TestLossyAcceptance:
+    def test_every_live_peer_is_discovered_within_the_bound(self):
+        interval = 250.0
+        config = BeaconConfig(
+            beacon_interval_ms=interval,
+            ack_timeout_ms=40.0,
+            max_backoff_ms=160.0,
+        )
+        sim = ProtocolSimulation(
+            synthetic_paths(20, seed=3),
+            beacon_config=config,
+            loss_probability=0.3,
+            duplicate_probability=0.05,
+            reorder_probability=0.05,
+            seed=7,
+        )
+        metrics = sim.run(4000.0)
+        assert metrics.discovered_peers == 20
+        assert metrics.live_peers == 20
+        # Acceptance bound: first beacon -> first ack within
+        # k x beacon_interval + TTL for every peer (k = 4 retained rounds).
+        bound = 4 * interval + sim.ttl_ms
+        for peer in sim.peers.values():
+            assert peer.stats.discovery_latency_ms is not None
+            assert peer.stats.discovery_latency_ms <= bound
+        assert metrics.retransmissions > 0
+        assert metrics.host_counters["duplicate_beacons"] > 0
+        assert sim.network.accounting_consistent()
+
+    def test_duplicated_beacons_never_double_register(self):
+        sim = ProtocolSimulation(
+            synthetic_paths(10, seed=3), duplicate_probability=1.0, seed=5
+        )
+        metrics = sim.run(1500.0)
+        assert metrics.discovered_peers == 10
+        assert metrics.duplicated_messages > 0
+        # Every wire copy past the first of a (peer, seq) is deduped at the
+        # host: exactly one registration per peer, ever.
+        assert metrics.host_counters["beacons_registered"] == 10
+        assert metrics.host_counters["duplicate_beacons"] > 0
+        assert sim.server.peer_count == 10
+
+    def test_scripted_partition_heals_and_everyone_is_discovered(self):
+        plan = NetworkFaultPlan.of(
+            Fault(at_op=4, kind="partition", window_ops=15, op_name="beacon")
+        )
+        sim = ProtocolSimulation(
+            synthetic_paths(12, seed=3), fault_plan=plan, seed=9
+        )
+        metrics = sim.run(3000.0)
+        assert metrics.discovered_peers == 12
+        assert metrics.dropped_messages >= 8
+        assert metrics.retransmissions > 0
+        assert plan.fired  # the partition actually bit
+
+
+class TestScripts:
+    def test_scheduled_stop_expires_the_peer(self):
+        paths = synthetic_paths(6, seed=3)
+        sim = ProtocolSimulation(paths, seed=2)
+        sim.schedule_stop(paths[0].peer_id, at_ms=1500.0)
+        metrics = sim.run(3000.0 + 3 * sim.ttl_ms)
+        assert metrics.live_peers == 5
+        assert metrics.host_counters["peers_expired"] == 1
+        assert not sim.server.has_peer(paths[0].peer_id)
+
+    def test_mobility_handover_updates_the_plane_and_the_wire(self):
+        paths = synthetic_paths(8, seed=3)
+        mover, donor = paths[0], paths[4]
+        new_path = RouterPath.from_routers(
+            mover.peer_id, donor.landmark_id, donor.routers, rtt_ms=donor.rtt_ms
+        )
+        sim = ProtocolSimulation(paths, seed=4)
+        sim.schedule_path_update(mover.peer_id, at_ms=2000.0, path=new_path)
+        metrics = sim.run(4000.0)
+        peer = sim.peers[mover.peer_id]
+        assert peer.stats.path_updates == 1
+        assert len(peer.stats.update_latencies_ms) == 1  # staleness sample
+        assert metrics.staleness is not None
+        assert sim.network.router_of(mover.peer_id) == new_path.access_router
+        assert sim.server.peer_path(mover.peer_id) == new_path
+
+    def test_validation(self):
+        paths = synthetic_paths(3, seed=3)
+        with pytest.raises(ValueError):
+            ProtocolSimulation([])
+        with pytest.raises(ValueError):
+            ProtocolSimulation(paths, start_times_ms=[0.0])
+        with pytest.raises(ValueError):
+            ProtocolSimulation(paths).run(0.0)

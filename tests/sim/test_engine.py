@@ -146,6 +146,50 @@ class TestRunControl:
             engine.run()
 
 
+class TestDeterminism:
+    """Engine-owned sequence numbers: no cross-engine scheduling history.
+
+    Regression guard for the per-engine event counter — with a process-wide
+    counter, an engine's trace (and anything derived from it, like tie-break
+    order of simultaneous events) depended on how many events *other*
+    engines had scheduled first.
+    """
+
+    @staticmethod
+    def _trace():
+        engine = Engine()
+        fired = []
+
+        def chain(label, depth):
+            fired.append((engine.now, label, depth))
+            if depth:
+                engine.schedule(1.5, lambda: chain(label, depth - 1))
+
+        handles = [
+            engine.schedule(float(i % 3), lambda i=i: chain(f"e{i}", 2)) for i in range(5)
+        ]
+        handles[3].cancel()
+        engine.run()
+        return fired, [handle.event.sequence for handle in handles]
+
+    def test_two_engines_back_to_back_produce_identical_traces(self):
+        assert self._trace() == self._trace()
+
+    def test_sequence_numbers_are_engine_local(self):
+        noisy = Engine()
+        for _ in range(7):
+            noisy.schedule(1.0, lambda: None)
+        fresh = Engine()
+        assert fresh.schedule(1.0, lambda: None).event.sequence == 0
+
+    def test_reset_rewinds_the_sequence_counter(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        engine.reset()
+        assert engine.schedule(1.0, lambda: None).event.sequence == 0
+
+
 class TestEvent:
     def test_event_ordering(self):
         early = Event.at(1.0, lambda: None)

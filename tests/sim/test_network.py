@@ -4,9 +4,18 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.chaos import Fault, FaultPlan
 from repro.exceptions import SimulationError
 from repro.sim.engine import Engine
-from repro.sim.network import SimulatedNetwork
+from repro.sim.network import NetworkFaultPlan, SimulatedNetwork, message_op_name
+
+
+class Ping:
+    """Fault-plan op name ``"ping"`` (lowercased class name)."""
+
+
+class Pong:
+    """Fault-plan op name ``"pong"``."""
 
 
 class Recorder:
@@ -148,3 +157,181 @@ class TestLoss:
         network.send("a", "b", "x")
         engine.run()
         assert receiver.received[0][0] >= 5.0
+
+
+def _pair(line_graph, sender_router=0, receiver_router=1, **kwargs):
+    """An engine, a network built with ``kwargs``, and an a->b receiver."""
+    engine = Engine()
+    kwargs.setdefault("processing_delay_ms", 0.0)
+    kwargs.setdefault("seed", 1)
+    network = SimulatedNetwork(engine, line_graph, **kwargs)
+    receiver = Recorder(engine)
+    network.attach_host("a", sender_router, Recorder(engine))
+    network.attach_host("b", receiver_router, receiver)
+    return engine, network, receiver
+
+
+class TestDuplication:
+    def test_duplicate_delivers_two_copies(self, line_graph):
+        engine, network, receiver = _pair(line_graph, duplicate_probability=1.0, seed=4)
+        network.send("a", "b", "x")
+        engine.run()
+        assert [message for _, _, message in receiver.received] == ["x", "x"]
+        assert network.sent_messages == 1  # one send, two deliveries
+        assert network.duplicated_messages == 1
+        assert [record.duplicate for record in network.deliveries] == [False, True]
+
+    def test_duplication_is_deterministic_per_seed(self, line_graph):
+        def run_once():
+            engine, network, receiver = _pair(line_graph, duplicate_probability=0.5, seed=9)
+            for i in range(10):
+                network.send("a", "b", i)
+            engine.run()
+            return network.duplicated_messages, [m for _, _, m in receiver.received]
+
+        first = run_once()
+        assert first == run_once()
+        assert 0 < first[0] < 10  # partial duplication actually happened
+
+
+class TestReorder:
+    def test_reordered_message_waits_for_a_younger_delivery(self, line_graph):
+        plan = NetworkFaultPlan.of(Fault(at_op=1, kind="reorder", op_name="ping"))
+        engine, network, receiver = _pair(line_graph, receiver_router=5, fault_plan=plan)
+        network.send("a", "b", Ping())
+        network.send("a", "b", Pong())
+        engine.run()
+        kinds = [type(message).__name__ for _, _, message in receiver.received]
+        assert kinds == ["Pong", "Ping"]  # the ping arrived late
+        times = [arrival for arrival, _, _ in receiver.received]
+        assert times[1] >= times[0]
+        assert network.reordered_messages == 1
+        assert network.held_messages == 0
+        assert network.accounting_consistent()
+
+    def test_held_message_with_no_younger_delivery_stays_in_flight(self, line_graph):
+        engine, network, receiver = _pair(line_graph, reorder_probability=1.0)
+        network.send("a", "b", "only")
+        engine.run()
+        assert receiver.received == []
+        assert network.held_messages == 1
+        assert network.dropped_messages == 0
+        assert network.accounting_consistent()
+
+    def test_reorder_knob_is_deterministic_per_seed(self, line_graph):
+        def run_once():
+            engine, network, receiver = _pair(line_graph, reorder_probability=0.5, seed=13)
+            for i in range(10):
+                network.send("a", "b", i)
+            engine.run()
+            return network.reordered_messages, [m for _, _, m in receiver.received]
+
+        first = run_once()
+        assert first == run_once()
+        assert first[0] > 0
+
+
+class TestTeardown:
+    """Epoch-stamped attachments: in-flight traffic dies with the epoch."""
+
+    def test_detach_drops_reorder_held_messages(self, line_graph):
+        plan = NetworkFaultPlan.of(Fault(at_op=1, kind="reorder", op_name="ping"))
+        engine, network, receiver = _pair(line_graph, fault_plan=plan)
+        network.send("a", "b", Ping())
+        network.detach_host("b")
+        engine.run()
+        assert receiver.received == []
+        assert network.held_messages == 0
+        assert network.dropped_messages == 1
+        assert network.accounting_consistent()
+
+    def test_in_flight_message_never_reaches_a_reattached_successor(self, wired):
+        engine, network, nodes = wired
+        network.send("alice", "bob", "for-old-bob")
+        network.detach_host("bob")
+        successor = Recorder(engine)
+        network.attach_host("bob", 5, successor)
+        engine.run()
+        # The message was addressed to the old epoch; the successor under
+        # the same host id must never see it.
+        assert successor.received == []
+        assert nodes["bob"].received == []
+        assert network.dropped_messages == 1
+        network.send("alice", "bob", "for-new-bob")
+        engine.run()
+        assert [message for _, _, message in successor.received] == ["for-new-bob"]
+        assert network.accounting_consistent()
+
+    def test_accounting_consistent_under_loss_and_detach(self, line_graph):
+        engine, network, _receiver = _pair(line_graph, receiver_router=3, loss_probability=0.4, seed=11)
+        for i in range(8):
+            network.send("a", "b", i)
+        network.detach_host("b")  # everything not lost at send is now doomed
+        engine.run()
+        assert all(record.delivered_at is None for record in network.deliveries)
+        assert network.dropped_messages == len(network.deliveries) == 8
+        assert network.accounting_consistent()
+
+
+class TestNetworkFaultPlan:
+    """The shared chaos vocabulary applied to the wire."""
+
+    def test_backend_only_kinds_rejected_at_construction(self):
+        with pytest.raises(SimulationError):
+            NetworkFaultPlan.of(Fault(at_op=1, kind="crash_before"))
+
+    def test_drop_fault_drops_the_counted_message(self, line_graph):
+        plan = NetworkFaultPlan.of(Fault(at_op=2, kind="drop"))
+        engine, network, receiver = _pair(line_graph, fault_plan=plan)
+        for i in range(3):
+            network.send("a", "b", i)
+        engine.run()
+        assert [message for _, _, message in receiver.received] == [0, 2]
+        assert network.dropped_messages == 1
+        assert plan.fired == [(2, "drop", "int")]  # op name: lowercased class
+
+    def test_delay_fault_adds_simulated_milliseconds(self, line_graph):
+        plan = NetworkFaultPlan.of(Fault(at_op=1, kind="delay", delay_s=0.004))
+        engine, network, receiver = _pair(line_graph, receiver_router=5, fault_plan=plan)
+        network.send("a", "b", "slow")
+        engine.run()
+        # 5 unit-latency hops + delay_s * 1000 simulated ms.
+        assert receiver.received[0][0] == pytest.approx(9.0)
+
+    def test_duplicate_fault_delivers_twice(self, line_graph):
+        plan = NetworkFaultPlan.of(Fault(at_op=1, kind="duplicate"))
+        engine, network, receiver = _pair(line_graph, fault_plan=plan)
+        network.send("a", "b", "x")
+        engine.run()
+        assert [message for _, _, message in receiver.received] == ["x", "x"]
+        assert network.duplicated_messages == 1
+
+    def test_partition_drops_every_message_in_its_window(self, line_graph):
+        plan = NetworkFaultPlan.of(Fault(at_op=2, kind="partition", window_ops=3))
+        engine, network, receiver = _pair(line_graph, fault_plan=plan)
+        for i in range(5):
+            network.send("a", "b", i)
+        engine.run()
+        assert [message for _, _, message in receiver.received] == [0, 4]
+        assert network.dropped_messages == 3
+
+    def test_op_name_filter_targets_one_message_stream(self, line_graph):
+        plan = NetworkFaultPlan.of(
+            Fault(at_op=1, kind="drop", op_name="ping", persistent=True)
+        )
+        engine, network, receiver = _pair(line_graph, fault_plan=plan)
+        for message in (Ping(), Pong(), Ping(), Pong()):
+            network.send("a", "b", message)
+        engine.run()
+        kinds = [type(message).__name__ for _, _, message in receiver.received]
+        assert kinds == ["Pong", "Pong"]
+        assert network.dropped_messages == 2
+        assert {entry[2] for entry in plan.fired} == {"ping"}
+
+    def test_message_op_name_prefers_an_explicit_attribute(self):
+        class Custom:
+            op_name = "weird"
+
+        assert message_op_name(Custom()) == "weird"
+        assert message_op_name(Ping()) == "ping"
+        assert message_op_name(3) == "int"
